@@ -1,0 +1,155 @@
+//! Criterion micro-benchmarks for the hot kernels every experiment leans
+//! on: epoch shuffling, oracle construction/advance, cache insert/evict,
+//! the Algorithm 1 search, piecewise regression fitting, and the
+//! processor-sharing link.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lobster_cache::{EvictOrder, NodeCache};
+use lobster_core::{assign_threads, Algorithm1Params, PiecewiseLinear};
+use lobster_data::{Dataset, EpochSchedule, NodeOracle, SampleId, ScheduleSpec, SizeDistribution};
+use lobster_sim::{PsLink, SimDuration, SimTime, Xoshiro256StarStar};
+use std::hint::black_box;
+
+fn bench_shuffle(c: &mut Criterion) {
+    let spec = ScheduleSpec {
+        nodes: 8,
+        gpus_per_node: 8,
+        batch_size: 32,
+        dataset_len: 100_000,
+        seed: 42,
+    };
+    c.bench_function("schedule/generate_100k", |b| {
+        let mut epoch = 0u64;
+        b.iter(|| {
+            epoch += 1;
+            black_box(EpochSchedule::generate(spec, epoch))
+        })
+    });
+}
+
+fn bench_oracle(c: &mut Criterion) {
+    let spec = ScheduleSpec {
+        nodes: 8,
+        gpus_per_node: 8,
+        batch_size: 32,
+        dataset_len: 100_000,
+        seed: 42,
+    };
+    let e0 = EpochSchedule::generate(spec, 0);
+    let e1 = EpochSchedule::generate(spec, 1);
+    c.bench_function("oracle/build_2epoch_window", |b| {
+        b.iter(|| black_box(NodeOracle::build(0, &[&e0, &e1], 0)))
+    });
+    c.bench_function("oracle/advance_full_epoch", |b| {
+        b.iter(|| {
+            let mut o = NodeOracle::build(0, &[&e0, &e1], 0);
+            for _ in 0..e0.iterations() {
+                o.advance();
+            }
+            black_box(o.current_iteration())
+        })
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("cache/insert_evict_churn_10k", |b| {
+        b.iter(|| {
+            let mut cache = NodeCache::new(1_000_000, EvictOrder::SmallestKeyFirst);
+            for i in 0..10_000u32 {
+                cache.insert(SampleId(i), 1_000, u64::MAX - i as u64);
+            }
+            black_box(cache.len())
+        })
+    });
+    c.bench_function("cache/touch_hot_set", |b| {
+        let mut cache = NodeCache::new(10_000_000, EvictOrder::SmallestKeyFirst);
+        for i in 0..10_000u32 {
+            cache.insert(SampleId(i), 1_000, i as u64);
+        }
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            cache.set_key(SampleId((k % 10_000) as u32), k);
+        })
+    });
+}
+
+fn bench_algorithm1(c: &mut Criterion) {
+    let params = Algorithm1Params::new(0.005, 32);
+    c.bench_function("algorithm1/assign_8_gpus", |b| {
+        let work = [720.0, 180.0, 3600.0, 90.0, 1500.0, 400.0, 2000.0, 60.0];
+        b.iter(|| {
+            black_box(assign_threads(&params, &[4; 8], |g, k| {
+                let load = if k == 0 { f64::INFINITY } else { work[g] / k as f64 };
+                (200.0 - (load + 20.0)) / 1e3
+            }))
+        })
+    });
+}
+
+fn bench_regression(c: &mut Criterion) {
+    let pts: Vec<(f64, f64)> = (1..=32)
+        .map(|x| {
+            let x = x as f64;
+            (x, if x <= 6.0 { 10.0 / x } else { 10.0 / 6.0 + 0.05 * (x - 6.0) })
+        })
+        .collect();
+    c.bench_function("regression/segmented_fit_32pts", |b| {
+        b.iter(|| black_box(PiecewiseLinear::fit(&pts, 0.05)))
+    });
+}
+
+fn bench_pslink(c: &mut Criterion) {
+    c.bench_function("pslink/churn_64_flows", |b| {
+        b.iter(|| {
+            let mut link = PsLink::new(1e9);
+            let mut now = SimTime::ZERO;
+            for i in 0..64 {
+                link.start_flow(now, 1e6 * (i + 1) as f64);
+                now += SimDuration::from_micros(100);
+            }
+            while link.active() > 0 {
+                let t = link.next_completion(now).unwrap();
+                now = t;
+                link.complete(now);
+            }
+            black_box(link.delivered_bytes)
+        })
+    });
+}
+
+fn bench_dataset(c: &mut Criterion) {
+    c.bench_function("dataset/generate_100k_lognormal", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(Dataset::generate(
+                "bench",
+                100_000,
+                SizeDistribution::LogNormal {
+                    mu: (90_000f64).ln(),
+                    sigma: 0.55,
+                    min: 4_096,
+                    max: 4_000_000,
+                },
+                seed,
+            ))
+        })
+    });
+    c.bench_function("rng/xoshiro_next_u64", |b| {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        b.iter(|| black_box(rng.next_u64()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_shuffle,
+    bench_oracle,
+    bench_cache,
+    bench_algorithm1,
+    bench_regression,
+    bench_pslink,
+    bench_dataset
+);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Criterion benchmarks of the end-to-end machinery: one simulated epoch
+//! per loader policy (the unit of work behind every figure), plus one run
+//! of the live multi-threaded engine. These measure the *reproduction's*
+//! cost, complementing the figure binaries that measure the *simulated
+//! cluster's* behaviour.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lobster_core::policy_by_name;
+use lobster_data::{Dataset, SizeDistribution};
+use lobster_pipeline::{ClusterSim, ConfigBuilder, ExperimentConfig};
+use lobster_runtime::{run as engine_run, EngineConfig, SyntheticStore};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn sim_config(seed: u64) -> ExperimentConfig {
+    let dataset = Dataset::generate(
+        "bench-epoch",
+        8_192,
+        SizeDistribution::Constant { bytes: 100_000 },
+        seed,
+    );
+    let cache = dataset.total_bytes() / 4;
+    ConfigBuilder::new()
+        .nodes(2)
+        .gpus_per_node(4)
+        .batch_size(16)
+        .cache_bytes(cache)
+        .epochs(2)
+        .seed(seed)
+        .dataset(dataset)
+        .build()
+}
+
+fn bench_policy_epochs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("executor");
+    for name in ["pytorch", "dali", "nopfs", "lobster", "lobster_th", "lobster_evict"] {
+        group.bench_function(format!("two_epochs/{name}"), |b| {
+            b.iter(|| {
+                let sim = ClusterSim::new(sim_config(42), policy_by_name(name).unwrap());
+                black_box(sim.run().0.total_wall_s)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_live_engine(c: &mut Criterion) {
+    c.bench_function("runtime/engine_128_samples", |b| {
+        b.iter(|| {
+            let ds = Dataset::generate(
+                "bench-engine",
+                128,
+                SizeDistribution::Constant { bytes: 4_000 },
+                3,
+            );
+            let store = Arc::new(SyntheticStore::new(ds, Duration::ZERO, 0.0));
+            let cfg = EngineConfig {
+                consumers: 2,
+                batch_size: 8,
+                loader_threads: 2,
+                preproc_threads: 2,
+                cache_bytes: 16 << 20,
+                work_factor: 1,
+                train: Duration::from_micros(50),
+                adaptive: true,
+                epochs: 1,
+                seed: 3,
+            };
+            black_box(engine_run(store, cfg).delivered)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_policy_epochs, bench_live_engine
+}
+criterion_main!(benches);

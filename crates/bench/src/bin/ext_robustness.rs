@@ -1,0 +1,140 @@
+//! Extension experiments beyond the paper (DESIGN.md §8):
+//!
+//! 1. **Slow-node fault injection** — one of four nodes reads I/O at half
+//!    speed; how much of each loader's throughput survives?
+//! 2. **KV-partitioned distributed cache** — §2 mentions KV-stores as an
+//!    alternative distributed-cache organization; compare hash-owner
+//!    placement against the paper's consume-side replication.
+//! 3. **MinIO never-evict baseline** — the related-work comparator of §6.
+//! 4. **Partition schemes** — global shuffle (the paper's setting) vs
+//!    node-local shard shuffling: local shuffling collapses reuse distances
+//!    to one epoch and transforms cache behaviour.
+
+use lobster_bench::{paper_config, params_from_args, run_policy, BenchParams, DatasetKind};
+use lobster_core::models::resnet50;
+use lobster_core::policy_by_name;
+use lobster_metrics::{fmt_pct, fmt_secs, fmt_speedup, ResultSink, Table};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct ExtResult {
+    params: BenchParams,
+    /// policy -> (nominal epoch_s, slow-node epoch_s, degradation)
+    slow_node: Vec<(String, f64, f64, f64)>,
+    /// policy -> (replicated epoch_s/hits, kv epoch_s/hits)
+    kv: Vec<(String, f64, f64, f64, f64)>,
+    /// minio vs pytorch vs lobster hit ratios at two cache sizes
+    minio: Vec<(String, u32, f64, f64)>,
+}
+
+fn main() {
+    let params = params_from_args(BenchParams { scale: 64, epochs: 4, seed: 42 });
+    println!("Extensions — robustness & cache topology (scale 1/{})\n", params.scale);
+    let mut result = ExtResult { params, slow_node: vec![], kv: vec![], minio: vec![] };
+
+    // ---- 1. Slow node. ----
+    println!("-- slow node: node 2 of 4 at half I/O speed, ImageNet-22K --");
+    let mut t = Table::new(["loader", "nominal", "degraded", "slowdown"]);
+    for name in ["pytorch", "nopfs", "lobster"] {
+        let nominal = run_policy(
+            paper_config(DatasetKind::ImageNet22k, 4, resnet50(), params),
+            policy_by_name(name).unwrap(),
+        )
+        .mean_epoch_s();
+        let mut cfg = paper_config(DatasetKind::ImageNet22k, 4, resnet50(), params);
+        cfg.node_slowdown = vec![1.0, 1.0, 2.0, 1.0];
+        let degraded = run_policy(cfg, policy_by_name(name).unwrap()).mean_epoch_s();
+        let factor = degraded / nominal;
+        t.row([
+            name.to_string(),
+            fmt_secs(nominal),
+            fmt_secs(degraded),
+            fmt_speedup(factor),
+        ]);
+        result.slow_node.push((name.to_string(), nominal, degraded, factor));
+    }
+    print!("{}", t.render());
+    println!();
+
+    // ---- 2. KV-partitioned cache. ----
+    println!("-- distributed-cache topology: replicated vs KV-partitioned, 8 nodes --");
+    let mut t = Table::new(["loader", "replicated", "hits", "kv-partitioned", "hits"]);
+    for name in ["nopfs", "lobster"] {
+        let rep = run_policy(
+            paper_config(DatasetKind::ImageNet22k, 8, resnet50(), params),
+            policy_by_name(name).unwrap(),
+        );
+        let mut cfg = paper_config(DatasetKind::ImageNet22k, 8, resnet50(), params);
+        cfg.kv_partitioned = true;
+        let kv = run_policy(cfg, policy_by_name(name).unwrap());
+        t.row([
+            name.to_string(),
+            fmt_secs(rep.mean_epoch_s()),
+            fmt_pct(rep.mean_hit_ratio()),
+            fmt_secs(kv.mean_epoch_s()),
+            fmt_pct(kv.mean_hit_ratio()),
+        ]);
+        result.kv.push((
+            name.to_string(),
+            rep.mean_epoch_s(),
+            rep.mean_hit_ratio(),
+            kv.mean_epoch_s(),
+            kv.mean_hit_ratio(),
+        ));
+    }
+    print!("{}", t.render());
+    println!();
+
+    // ---- 3. MinIO. ----
+    println!("-- never-evict (MinIO) vs LRU vs Lobster, single node, two cache sizes --");
+    let mut t = Table::new(["loader", "scale", "epoch", "hit ratio"]);
+    for scale in [params.scale, params.scale * 4] {
+        let p = BenchParams { scale, ..params };
+        for name in ["pytorch", "minio", "lobster"] {
+            let report = run_policy(
+                paper_config(DatasetKind::ImageNet1k, 1, resnet50(), p),
+                policy_by_name(name).unwrap(),
+            );
+            t.row([
+                name.to_string(),
+                format!("1/{scale}"),
+                fmt_secs(report.mean_epoch_s()),
+                fmt_pct(report.mean_hit_ratio()),
+            ]);
+            result.minio.push((name.to_string(), scale, report.mean_epoch_s(), report.mean_hit_ratio()));
+        }
+    }
+    print!("{}", t.render());
+
+    println!();
+
+    // ---- 4. Partition schemes. ----
+    // ImageNet-1K on 4 nodes: each shard fits the scaled cache, so local
+    // shuffling can pin its whole shard while global shuffling cannot.
+    println!("-- partition: global shuffle vs node-local shard shuffle, 4 nodes, ImageNet-1K --");
+    let mut t = Table::new(["loader", "scheme", "epoch", "hit ratio"]);
+    for scheme in [
+        lobster_pipeline_partition::GlobalShuffle,
+        lobster_pipeline_partition::NodeLocalShuffle,
+    ] {
+        for name in ["pytorch", "lobster"] {
+            let mut cfg = paper_config(DatasetKind::ImageNet1k, 4, resnet50(), params);
+            cfg.partition = scheme;
+            let report = run_policy(cfg, policy_by_name(name).unwrap());
+            t.row([
+                name.to_string(),
+                format!("{scheme:?}"),
+                fmt_secs(report.mean_epoch_s()),
+                fmt_pct(report.mean_hit_ratio()),
+            ]);
+        }
+    }
+    print!("{}", t.render());
+
+    let path = ResultSink::default_location()
+        .write_json("ext_robustness", &result)
+        .expect("write results");
+    println!("\nresults -> {}", path.display());
+}
+
+use lobster_data::PartitionScheme as lobster_pipeline_partition;

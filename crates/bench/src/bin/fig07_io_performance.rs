@@ -1,0 +1,119 @@
+//! Figure 7: I/O performance of Lobster vs PyTorch DataLoader, DALI, NoPFS.
+//!
+//! (a) single node × 8 GPUs, ImageNet-1K;
+//! (b) single node × 8 GPUs, ImageNet-22K;
+//! (c) 8 nodes × 8 GPUs, ImageNet-22K;
+//! (d) scalability: 1–8 nodes, ImageNet-22K, speedup vs PyTorch.
+//!
+//! Paper shape targets: Lobster ≈1.6×/1.8× PyTorch on (a)/(b), ≈1.7× DALI,
+//! ≈1.2× NoPFS; on (c) 2.0×/1.4×/1.2×; consistent 1.2–2.0× across scales.
+
+use lobster_bench::{
+    compare_policies, paper_config, params_from_args, BenchParams, DatasetKind, PolicyRow,
+    BASELINE_NAMES,
+};
+use lobster_core::models::resnet50;
+use lobster_metrics::{fmt_pct, fmt_secs, fmt_speedup, ResultSink, Table};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig7Result {
+    params: BenchParams,
+    single_node_1k: Vec<PolicyRow>,
+    single_node_22k: Vec<PolicyRow>,
+    multi_node_22k: Vec<PolicyRow>,
+    scalability: Vec<(usize, Vec<PolicyRow>)>,
+}
+
+fn print_rows(title: &str, rows: &[PolicyRow]) {
+    println!("-- {title} --");
+    let mut t = Table::new(["loader", "epoch", "speedup", "hit", "util"]);
+    for r in rows {
+        t.row([
+            r.policy.clone(),
+            fmt_secs(r.mean_epoch_s),
+            fmt_speedup(r.speedup_vs_pytorch),
+            fmt_pct(r.hit_ratio),
+            fmt_pct(r.gpu_utilization),
+        ]);
+    }
+    print!("{}", t.render());
+    println!();
+}
+
+fn main() {
+    let params = params_from_args(BenchParams { scale: 64, epochs: 4, seed: 42 });
+    println!("Figure 7 — I/O performance (scale 1/{}, {} epochs)\n", params.scale, params.epochs);
+
+    let single_node_1k = compare_policies(
+        || paper_config(DatasetKind::ImageNet1k, 1, resnet50(), params),
+        &BASELINE_NAMES,
+    );
+    print_rows("(a) 1 node x 8 GPUs, ImageNet-1K", &single_node_1k);
+
+    let single_node_22k = compare_policies(
+        || paper_config(DatasetKind::ImageNet22k, 1, resnet50(), params),
+        &BASELINE_NAMES,
+    );
+    print_rows("(b) 1 node x 8 GPUs, ImageNet-22K", &single_node_22k);
+
+    let multi_node_22k = compare_policies(
+        || paper_config(DatasetKind::ImageNet22k, 8, resnet50(), params),
+        &BASELINE_NAMES,
+    );
+    print_rows("(c) 8 nodes x 8 GPUs, ImageNet-22K", &multi_node_22k);
+
+    println!("-- (d) scalability, ImageNet-22K, speedup vs PyTorch --");
+    let mut scalability = Vec::new();
+    let mut t = Table::new(["nodes", "pytorch", "dali", "nopfs", "lobster"]);
+    for nodes in [1usize, 2, 4, 8] {
+        let rows = compare_policies(
+            || paper_config(DatasetKind::ImageNet22k, nodes, resnet50(), params),
+            &BASELINE_NAMES,
+        );
+        t.row([
+            nodes.to_string(),
+            fmt_speedup(rows[0].speedup_vs_pytorch),
+            fmt_speedup(rows[1].speedup_vs_pytorch),
+            fmt_speedup(rows[2].speedup_vs_pytorch),
+            fmt_speedup(rows[3].speedup_vs_pytorch),
+        ]);
+        scalability.push((nodes, rows));
+    }
+    print!("{}", t.render());
+
+    let result =
+        Fig7Result { params, single_node_1k, single_node_22k, multi_node_22k, scalability };
+    let sink = ResultSink::default_location();
+    let path = sink.write_json("fig07_io_performance", &result).expect("write results");
+
+    // Plot-friendly CSV: one row per (config, loader).
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut push = |config: &str, nodes: usize, policy_rows: &[PolicyRow]| {
+        for r in policy_rows {
+            rows.push(vec![
+                config.to_string(),
+                nodes.to_string(),
+                r.policy.clone(),
+                format!("{:.6}", r.mean_epoch_s),
+                format!("{:.4}", r.speedup_vs_pytorch),
+                format!("{:.4}", r.hit_ratio),
+                format!("{:.4}", r.gpu_utilization),
+            ]);
+        }
+    };
+    push("1k_single", 1, &result.single_node_1k);
+    push("22k_single", 1, &result.single_node_22k);
+    push("22k_multi", 8, &result.multi_node_22k);
+    for (nodes, policy_rows) in &result.scalability {
+        push("22k_scaling", *nodes, policy_rows);
+    }
+    let csv = sink
+        .write_csv(
+            "fig07_io_performance",
+            &["config", "nodes", "loader", "epoch_s", "speedup", "hit_ratio", "gpu_util"],
+            &rows,
+        )
+        .expect("write csv");
+    println!("\nresults -> {} and {}", path.display(), csv.display());
+}

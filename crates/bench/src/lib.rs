@@ -1,0 +1,13 @@
+//! # lobster-bench
+//!
+//! The experiment harness that regenerates every figure and table of the
+//! paper's evaluation (see DESIGN.md §5 for the full index). [`harness`]
+//! holds the scaled paper configurations; each `src/bin/fig*.rs` binary
+//! reproduces one figure and writes `results/<name>.{json,csv}`.
+
+pub mod harness;
+
+pub use harness::{
+    compare_policies, paper_config, params_from_args, run_policy, scaled_cache_bytes, BenchParams,
+    DatasetKind, PolicyRow, BASELINE_NAMES,
+};

@@ -1,0 +1,170 @@
+//! The distributed cache directory: which nodes currently hold which sample.
+//!
+//! The paper's online runtime has a "distribution manager" that serves
+//! locally cached samples to remote nodes over MPI. The directory is the
+//! metadata half of that: replica locations, used (1) to route a fetch to a
+//! remote cache instead of the PFS, and (2) to enforce the reuse-count
+//! eviction guard — a sample is not dropped "unless no other node in the
+//! group holds a copy" (§4.4).
+//!
+//! Nodes are limited to 64 so holder sets fit in one `u64` bitmask; the
+//! paper's largest configuration is 8 nodes.
+
+use lobster_data::SampleId;
+use std::collections::HashMap;
+
+/// Maximum nodes representable by the bitmask directory.
+pub const MAX_NODES: usize = 64;
+
+/// Replica locations for every cached sample, cluster-wide.
+#[derive(Debug, Clone, Default)]
+pub struct Directory {
+    holders: HashMap<u32, u64>,
+}
+
+impl Directory {
+    pub fn new(nodes: usize) -> Directory {
+        assert!((1..=MAX_NODES).contains(&nodes), "directory supports 1..=64 nodes");
+        Directory { holders: HashMap::new() }
+    }
+
+    /// Record that `node` now holds `s`.
+    pub fn add(&mut self, s: SampleId, node: usize) {
+        debug_assert!(node < MAX_NODES);
+        *self.holders.entry(s.0).or_insert(0) |= 1u64 << node;
+    }
+
+    /// Record that `node` dropped `s`.
+    pub fn remove(&mut self, s: SampleId, node: usize) {
+        debug_assert!(node < MAX_NODES);
+        if let Some(mask) = self.holders.get_mut(&s.0) {
+            *mask &= !(1u64 << node);
+            if *mask == 0 {
+                self.holders.remove(&s.0);
+            }
+        }
+    }
+
+    /// Does `node` hold `s`?
+    pub fn holds(&self, s: SampleId, node: usize) -> bool {
+        self.holders.get(&s.0).map(|m| m & (1u64 << node) != 0).unwrap_or(false)
+    }
+
+    /// Number of nodes holding `s`.
+    pub fn replica_count(&self, s: SampleId) -> u32 {
+        self.holders.get(&s.0).map(|m| m.count_ones()).unwrap_or(0)
+    }
+
+    /// Does any node *other than* `node` hold `s`? (The eviction guard.)
+    pub fn held_elsewhere(&self, s: SampleId, node: usize) -> bool {
+        self.holders
+            .get(&s.0)
+            .map(|m| m & !(1u64 << node) != 0)
+            .unwrap_or(false)
+    }
+
+    /// Pick a remote holder of `s` for `asking_node` to fetch from.
+    /// Deterministic: rotates by sample id so load spreads across replicas
+    /// without randomness.
+    pub fn pick_remote(&self, s: SampleId, asking_node: usize) -> Option<usize> {
+        let mask = self.holders.get(&s.0)? & !(1u64 << asking_node);
+        if mask == 0 {
+            return None;
+        }
+        let count = mask.count_ones();
+        let skip = s.0 % count;
+        let mut m = mask;
+        for _ in 0..skip {
+            m &= m - 1; // clear lowest set bit
+        }
+        Some(m.trailing_zeros() as usize)
+    }
+
+    /// Number of distinct samples cached anywhere.
+    pub fn distinct_samples(&self) -> usize {
+        self.holders.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(i: u32) -> SampleId {
+        SampleId(i)
+    }
+
+    #[test]
+    fn add_remove_roundtrip() {
+        let mut d = Directory::new(4);
+        d.add(s(7), 2);
+        assert!(d.holds(s(7), 2));
+        assert!(!d.holds(s(7), 1));
+        assert_eq!(d.replica_count(s(7)), 1);
+        d.remove(s(7), 2);
+        assert!(!d.holds(s(7), 2));
+        assert_eq!(d.replica_count(s(7)), 0);
+        assert_eq!(d.distinct_samples(), 0);
+    }
+
+    #[test]
+    fn held_elsewhere_ignores_self() {
+        let mut d = Directory::new(4);
+        d.add(s(1), 0);
+        assert!(!d.held_elsewhere(s(1), 0));
+        assert!(d.held_elsewhere(s(1), 3));
+        d.add(s(1), 2);
+        assert!(d.held_elsewhere(s(1), 0));
+    }
+
+    #[test]
+    fn pick_remote_excludes_self_and_spreads() {
+        let mut d = Directory::new(8);
+        d.add(s(10), 1);
+        d.add(s(10), 3);
+        d.add(s(10), 5);
+        // Never returns the asking node, always returns a holder.
+        for asker in 0..8 {
+            if let Some(n) = d.pick_remote(s(10), asker) {
+                assert_ne!(n, asker);
+                assert!(d.holds(s(10), n));
+            } else {
+                panic!("replica exists, must find one");
+            }
+        }
+        // Different sample ids rotate across replicas.
+        d.add(s(11), 1);
+        d.add(s(11), 3);
+        d.add(s(11), 5);
+        d.add(s(12), 1);
+        d.add(s(12), 3);
+        d.add(s(12), 5);
+        let picks: std::collections::HashSet<usize> = [10u32, 11, 12]
+            .iter()
+            .map(|&i| d.pick_remote(s(i), 0).unwrap())
+            .collect();
+        assert!(picks.len() > 1, "rotation should use multiple replicas: {picks:?}");
+    }
+
+    #[test]
+    fn pick_remote_none_when_only_self_holds() {
+        let mut d = Directory::new(2);
+        d.add(s(5), 0);
+        assert_eq!(d.pick_remote(s(5), 0), None);
+        assert_eq!(d.pick_remote(s(99), 0), None);
+    }
+
+    #[test]
+    fn idempotent_add() {
+        let mut d = Directory::new(2);
+        d.add(s(1), 1);
+        d.add(s(1), 1);
+        assert_eq!(d.replica_count(s(1)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=64")]
+    fn too_many_nodes_rejected() {
+        Directory::new(65);
+    }
+}

@@ -1,0 +1,18 @@
+//! # lobster-cache
+//!
+//! Distributed-caching substrate for the Lobster reproduction:
+//!
+//! * [`local`] — the per-node, capacity-bounded sample cache with a
+//!   priority-indexed victim order (mechanism for LRU / FIFO / never-evict /
+//!   farthest-reuse strategies).
+//! * [`directory`] — cluster-wide replica locations, backing remote-cache
+//!   routing and the "never evict the last copy" guard of §4.4.
+//!
+//! Policy decisions (what to prefetch, what to pin, when to proactively
+//! evict) live in `lobster-core`; this crate provides the state they act on.
+
+pub mod directory;
+pub mod local;
+
+pub use directory::{Directory, MAX_NODES};
+pub use local::{CacheStats, EvictOrder, InsertOutcome, NodeCache};

@@ -1,0 +1,360 @@
+//! The node-local sample cache.
+//!
+//! One instance models the 40 GB DRAM cache each compute node dedicates to
+//! training samples (paper §5.1). Capacity is in bytes; victims are chosen
+//! through a priority index so that every strategy the evaluation compares —
+//! LRU (PyTorch/DALI-style), FIFO, never-evict (MinIO-style), and Lobster's
+//! farthest-next-reuse — runs in O(log n) per operation.
+//!
+//! The eviction *mechanism* lives here; the eviction *policy decisions*
+//! (what priority to assign, what to pin, what to proactively drop) are made
+//! by the loader policies in `lobster-core`.
+
+use lobster_data::SampleId;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap};
+
+/// How victims are ordered when space is needed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EvictOrder {
+    /// Evict the entry with the *smallest* priority key first. Priorities
+    /// are assigned by the caller:
+    /// * LRU: key = last-access stamp (stale first);
+    /// * FIFO: key = insertion stamp;
+    /// * farthest-reuse: key = `u64::MAX − next_use_iteration`, so samples
+    ///   never reused (key 0) go first and near-future samples go last.
+    SmallestKeyFirst,
+    /// Never evict: inserts fail when the cache is full (MinIO baseline:
+    /// "once data samples are cached, they are never evicted").
+    NeverEvict,
+}
+
+/// Counters exposed for the evaluation's cache-efficiency metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    pub inserts: u64,
+    pub evictions: u64,
+    /// Inserts rejected (full + unevictable, or sample larger than capacity).
+    pub rejected: u64,
+    /// Explicit removals by policy (reuse-count / reuse-distance evictions).
+    pub proactive_evictions: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    bytes: u64,
+    key: u64,
+    pinned: bool,
+}
+
+/// A capacity-bounded cache of samples with a priority-indexed victim order.
+///
+/// ```
+/// use lobster_cache::{EvictOrder, NodeCache};
+/// use lobster_data::SampleId;
+///
+/// let mut cache = NodeCache::new(250, EvictOrder::SmallestKeyFirst);
+/// cache.insert(SampleId(1), 100, 10); // key 10: evicted first
+/// cache.insert(SampleId(2), 100, 20);
+/// let out = cache.insert(SampleId(3), 100, 30); // needs room
+/// assert_eq!(out.evicted, vec![SampleId(1)]);
+/// assert!(cache.used_bytes() <= 250);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NodeCache {
+    capacity: u64,
+    used: u64,
+    order: EvictOrder,
+    entries: HashMap<u32, Entry>,
+    /// Victim index: (key, sample). Pinned entries stay in the index and are
+    /// skipped during the victim scan (pinning is rare and short-lived).
+    index: BTreeSet<(u64, u32)>,
+    stats: CacheStats,
+}
+
+/// Result of an insert attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InsertOutcome {
+    /// True if the sample now resides in the cache.
+    pub inserted: bool,
+    /// Samples evicted to make room (empty unless `inserted`).
+    pub evicted: Vec<SampleId>,
+}
+
+impl NodeCache {
+    pub fn new(capacity_bytes: u64, order: EvictOrder) -> NodeCache {
+        NodeCache {
+            capacity: capacity_bytes,
+            used: 0,
+            order,
+            entries: HashMap::new(),
+            index: BTreeSet::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    #[inline]
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity
+    }
+
+    #[inline]
+    pub fn used_bytes(&self) -> u64 {
+        self.used
+    }
+
+    #[inline]
+    pub fn free_bytes(&self) -> u64 {
+        self.capacity - self.used
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    #[inline]
+    pub fn contains(&self, s: SampleId) -> bool {
+        self.entries.contains_key(&s.0)
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Insert `s` with the given priority key, evicting as needed. If `s` is
+    /// already present this just updates its key. Returns what happened.
+    pub fn insert(&mut self, s: SampleId, bytes: u64, key: u64) -> InsertOutcome {
+        if self.entries.contains_key(&s.0) {
+            self.set_key(s, key);
+            return InsertOutcome { inserted: true, evicted: Vec::new() };
+        }
+        if bytes > self.capacity {
+            self.stats.rejected += 1;
+            return InsertOutcome { inserted: false, evicted: Vec::new() };
+        }
+        let mut evicted = Vec::new();
+        while self.used + bytes > self.capacity {
+            match self.order {
+                EvictOrder::NeverEvict => {
+                    self.stats.rejected += 1;
+                    return InsertOutcome { inserted: false, evicted };
+                }
+                EvictOrder::SmallestKeyFirst => match self.pick_victim() {
+                    Some(victim) => {
+                        self.remove_internal(victim);
+                        self.stats.evictions += 1;
+                        evicted.push(victim);
+                    }
+                    None => {
+                        // Everything remaining is pinned.
+                        self.stats.rejected += 1;
+                        return InsertOutcome { inserted: false, evicted };
+                    }
+                },
+            }
+        }
+        self.entries.insert(s.0, Entry { bytes, key, pinned: false });
+        self.index.insert((key, s.0));
+        self.used += bytes;
+        self.stats.inserts += 1;
+        InsertOutcome { inserted: true, evicted }
+    }
+
+    fn pick_victim(&self) -> Option<SampleId> {
+        self.index
+            .iter()
+            .find(|&&(_, id)| !self.entries.get(&id).map(|e| e.pinned).unwrap_or(false))
+            .map(|&(_, id)| SampleId(id))
+    }
+
+    /// The current would-be victim (without evicting).
+    pub fn peek_victim(&self) -> Option<SampleId> {
+        match self.order {
+            EvictOrder::NeverEvict => None,
+            EvictOrder::SmallestKeyFirst => self.pick_victim(),
+        }
+    }
+
+    /// Priority key of a resident sample.
+    pub fn key_of(&self, s: SampleId) -> Option<u64> {
+        self.entries.get(&s.0).map(|e| e.key)
+    }
+
+    /// Update the priority key of a resident sample (e.g. LRU touch, or a
+    /// new next-use distance after an access). No-op if absent.
+    pub fn set_key(&mut self, s: SampleId, key: u64) {
+        if let Some(e) = self.entries.get_mut(&s.0) {
+            if e.key != key {
+                self.index.remove(&(e.key, s.0));
+                e.key = key;
+                self.index.insert((key, s.0));
+            }
+        }
+    }
+
+    /// Pin a resident sample so capacity eviction skips it. No-op if absent.
+    pub fn pin(&mut self, s: SampleId) {
+        if let Some(e) = self.entries.get_mut(&s.0) {
+            e.pinned = true;
+        }
+    }
+
+    /// Unpin a sample. No-op if absent.
+    pub fn unpin(&mut self, s: SampleId) {
+        if let Some(e) = self.entries.get_mut(&s.0) {
+            e.pinned = false;
+        }
+    }
+
+    fn remove_internal(&mut self, s: SampleId) -> bool {
+        if let Some(e) = self.entries.remove(&s.0) {
+            self.index.remove(&(e.key, s.0));
+            self.used -= e.bytes;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Explicit (policy-driven) eviction; counts as proactive. Returns true
+    /// if the sample was resident.
+    pub fn evict(&mut self, s: SampleId) -> bool {
+        let removed = self.remove_internal(s);
+        if removed {
+            self.stats.proactive_evictions += 1;
+        }
+        removed
+    }
+
+    /// Iterate resident samples in victim order (smallest key first),
+    /// including pinned entries. Used by tests and diagnostics.
+    pub fn iter_victim_order(&self) -> impl Iterator<Item = (SampleId, u64)> + '_ {
+        self.index.iter().map(|&(k, id)| (SampleId(id), k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(i: u32) -> SampleId {
+        SampleId(i)
+    }
+
+    #[test]
+    fn insert_until_full_then_evict_smallest_key() {
+        let mut c = NodeCache::new(100, EvictOrder::SmallestKeyFirst);
+        assert!(c.insert(s(1), 40, 10).inserted);
+        assert!(c.insert(s(2), 40, 20).inserted);
+        // Needs 40, only 20 free → evicts key 10 (sample 1).
+        let out = c.insert(s(3), 40, 30);
+        assert!(out.inserted);
+        assert_eq!(out.evicted, vec![s(1)]);
+        assert!(!c.contains(s(1)));
+        assert!(c.contains(s(2)) && c.contains(s(3)));
+        assert_eq!(c.used_bytes(), 80);
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn never_evict_rejects_when_full() {
+        let mut c = NodeCache::new(100, EvictOrder::NeverEvict);
+        assert!(c.insert(s(1), 60, 0).inserted);
+        let out = c.insert(s(2), 60, 0);
+        assert!(!out.inserted);
+        assert!(out.evicted.is_empty());
+        assert_eq!(c.stats().rejected, 1);
+        assert!(c.contains(s(1)));
+    }
+
+    #[test]
+    fn oversized_sample_is_rejected_outright() {
+        let mut c = NodeCache::new(100, EvictOrder::SmallestKeyFirst);
+        assert!(!c.insert(s(1), 101, 0).inserted);
+        assert_eq!(c.stats().rejected, 1);
+    }
+
+    #[test]
+    fn pinned_entries_survive_eviction() {
+        let mut c = NodeCache::new(100, EvictOrder::SmallestKeyFirst);
+        c.insert(s(1), 50, 1); // smallest key → natural victim
+        c.insert(s(2), 50, 2);
+        c.pin(s(1));
+        let out = c.insert(s(3), 50, 3);
+        assert!(out.inserted);
+        assert_eq!(out.evicted, vec![s(2)], "pinned s1 must be skipped");
+        assert!(c.contains(s(1)));
+    }
+
+    #[test]
+    fn all_pinned_blocks_insert() {
+        let mut c = NodeCache::new(100, EvictOrder::SmallestKeyFirst);
+        c.insert(s(1), 100, 1);
+        c.pin(s(1));
+        let out = c.insert(s(2), 10, 2);
+        assert!(!out.inserted);
+        assert!(c.contains(s(1)));
+        c.unpin(s(1));
+        assert!(c.insert(s(2), 10, 2).inserted);
+    }
+
+    #[test]
+    fn set_key_reorders_victims() {
+        let mut c = NodeCache::new(100, EvictOrder::SmallestKeyFirst);
+        c.insert(s(1), 50, 1);
+        c.insert(s(2), 50, 2);
+        assert_eq!(c.peek_victim(), Some(s(1)));
+        c.set_key(s(1), 10); // LRU touch
+        assert_eq!(c.peek_victim(), Some(s(2)));
+        assert_eq!(c.key_of(s(1)), Some(10));
+    }
+
+    #[test]
+    fn reinserting_updates_key_without_duplication() {
+        let mut c = NodeCache::new(100, EvictOrder::SmallestKeyFirst);
+        c.insert(s(1), 50, 1);
+        let out = c.insert(s(1), 50, 9);
+        assert!(out.inserted);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.used_bytes(), 50);
+        assert_eq!(c.key_of(s(1)), Some(9));
+    }
+
+    #[test]
+    fn explicit_evict_counts_proactive() {
+        let mut c = NodeCache::new(100, EvictOrder::SmallestKeyFirst);
+        c.insert(s(1), 50, 1);
+        assert!(c.evict(s(1)));
+        assert!(!c.evict(s(1)));
+        assert_eq!(c.stats().proactive_evictions, 1);
+        assert_eq!(c.used_bytes(), 0);
+    }
+
+    #[test]
+    fn multi_eviction_frees_enough_space() {
+        let mut c = NodeCache::new(100, EvictOrder::SmallestKeyFirst);
+        for i in 0..10 {
+            c.insert(s(i), 10, i as u64);
+        }
+        let out = c.insert(s(99), 35, 100);
+        assert!(out.inserted);
+        assert_eq!(out.evicted, vec![s(0), s(1), s(2), s(3)]);
+        assert_eq!(c.used_bytes(), 95);
+    }
+
+    #[test]
+    fn victim_order_iterates_ascending_keys() {
+        let mut c = NodeCache::new(100, EvictOrder::SmallestKeyFirst);
+        c.insert(s(3), 10, 30);
+        c.insert(s(1), 10, 10);
+        c.insert(s(2), 10, 20);
+        let order: Vec<u64> = c.iter_victim_order().map(|(_, k)| k).collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+}

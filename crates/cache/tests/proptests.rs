@@ -1,0 +1,155 @@
+//! Property tests for cache invariants: capacity is never exceeded, pinned
+//! entries survive, the directory never loses replicas it was told about.
+
+use lobster_cache::{Directory, EvictOrder, NodeCache};
+use lobster_data::SampleId;
+use proptest::prelude::*;
+
+/// Operations a fuzzer can drive the cache with.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { id: u32, bytes: u64, key: u64 },
+    Evict { id: u32 },
+    SetKey { id: u32, key: u64 },
+    Pin { id: u32 },
+    Unpin { id: u32 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u32..64, 1u64..5_000, any::<u64>())
+            .prop_map(|(id, bytes, key)| Op::Insert { id, bytes, key }),
+        (0u32..64).prop_map(|id| Op::Evict { id }),
+        (0u32..64, any::<u64>()).prop_map(|(id, key)| Op::SetKey { id, key }),
+        (0u32..64).prop_map(|id| Op::Pin { id }),
+        (0u32..64).prop_map(|id| Op::Unpin { id }),
+    ]
+}
+
+proptest! {
+    /// Under arbitrary operation sequences the cache never exceeds its
+    /// capacity and its byte accounting matches a shadow model.
+    #[test]
+    fn cache_capacity_and_accounting_hold(
+        capacity in 1_000u64..50_000,
+        ops in proptest::collection::vec(op_strategy(), 1..256),
+    ) {
+        let mut cache = NodeCache::new(capacity, EvictOrder::SmallestKeyFirst);
+        let mut shadow: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+        for op in ops {
+            match op {
+                Op::Insert { id, bytes, key } => {
+                    let was_present = shadow.contains_key(&id);
+                    let out = cache.insert(SampleId(id), bytes, key);
+                    for v in &out.evicted {
+                        shadow.remove(&v.0);
+                    }
+                    if out.inserted && !was_present {
+                        shadow.insert(id, bytes);
+                    }
+                    if !out.inserted {
+                        prop_assert!(!shadow.contains_key(&id));
+                    }
+                }
+                Op::Evict { id } => {
+                    let was = cache.evict(SampleId(id));
+                    prop_assert_eq!(was, shadow.remove(&id).is_some());
+                }
+                Op::SetKey { id, key } => cache.set_key(SampleId(id), key),
+                Op::Pin { id } => cache.pin(SampleId(id)),
+                Op::Unpin { id } => cache.unpin(SampleId(id)),
+            }
+            let shadow_bytes: u64 = shadow.values().sum();
+            prop_assert_eq!(cache.used_bytes(), shadow_bytes);
+            prop_assert!(cache.used_bytes() <= capacity);
+            prop_assert_eq!(cache.len(), shadow.len());
+        }
+    }
+
+    /// Pinned entries are never chosen as capacity victims.
+    #[test]
+    fn pinned_entries_survive_arbitrary_pressure(
+        inserts in proptest::collection::vec((0u32..256, 100u64..2_000), 8..128),
+    ) {
+        let mut cache = NodeCache::new(10_000, EvictOrder::SmallestKeyFirst);
+        // Pin the first insert.
+        cache.insert(SampleId(9999), 1_000, 0); // minimal key: natural victim
+        cache.pin(SampleId(9999));
+        for (i, (id, bytes)) in inserts.into_iter().enumerate() {
+            cache.insert(SampleId(id), bytes, i as u64 + 1);
+            prop_assert!(cache.contains(SampleId(9999)), "pinned entry evicted");
+        }
+    }
+
+    /// Victim order is exactly ascending key order among unpinned entries.
+    #[test]
+    fn victim_order_is_key_order(
+        keys in proptest::collection::hash_set(any::<u64>(), 2..32),
+    ) {
+        let mut cache = NodeCache::new(u64::MAX, EvictOrder::SmallestKeyFirst);
+        for (i, &k) in keys.iter().enumerate() {
+            cache.insert(SampleId(i as u32), 1, k);
+        }
+        let order: Vec<u64> = cache.iter_victim_order().map(|(_, k)| k).collect();
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(order, sorted);
+        let mut expect: Vec<u64> = keys.into_iter().collect();
+        expect.sort_unstable();
+        let got: Vec<u64> = cache.iter_victim_order().map(|(_, k)| k).collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Directory: adds/removes over random nodes keep replica counts exact.
+    #[test]
+    fn directory_replica_counts_are_exact(
+        events in proptest::collection::vec((0u32..32, 0usize..8, any::<bool>()), 1..256),
+    ) {
+        let mut dir = Directory::new(8);
+        let mut shadow: std::collections::HashMap<u32, std::collections::HashSet<usize>> =
+            std::collections::HashMap::new();
+        for (id, node, add) in events {
+            if add {
+                dir.add(SampleId(id), node);
+                shadow.entry(id).or_default().insert(node);
+            } else {
+                dir.remove(SampleId(id), node);
+                if let Some(s) = shadow.get_mut(&id) {
+                    s.remove(&node);
+                    if s.is_empty() {
+                        shadow.remove(&id);
+                    }
+                }
+            }
+            for (&sid, nodes) in &shadow {
+                prop_assert_eq!(dir.replica_count(SampleId(sid)) as usize, nodes.len());
+                for &n in nodes {
+                    prop_assert!(dir.holds(SampleId(sid), n));
+                }
+            }
+        }
+    }
+
+    /// pick_remote never returns the asker, always returns a real holder.
+    #[test]
+    fn pick_remote_is_sound(
+        holders in proptest::collection::hash_set(0usize..8, 1..8),
+        asker in 0usize..8,
+        id in any::<u32>(),
+    ) {
+        let mut dir = Directory::new(8);
+        for &n in &holders {
+            dir.add(SampleId(id), n);
+        }
+        match dir.pick_remote(SampleId(id), asker) {
+            Some(n) => {
+                prop_assert_ne!(n, asker);
+                prop_assert!(holders.contains(&n));
+            }
+            None => {
+                // Only possible if the asker is the sole holder.
+                prop_assert!(holders.len() == 1 && holders.contains(&asker));
+            }
+        }
+    }
+}

@@ -1,0 +1,316 @@
+//! Algorithm 1: the heuristic thread-assignment search (§4.4).
+//!
+//! Solving Equations 2–3 exactly is an ILP ("NP-complete … not tractable"),
+//! so Lobster runs, per GPU, a binary search over its data-loading thread
+//! count, driving the signed stage gap `T_dif = T_train − (T_L + T_P)`
+//! toward zero. A bounded history window `W` (length `T_L`, the node's
+//! maximum loading threads) detects non-convergence; when it fills with
+//! non-improving entries the search stops and the thread count with the
+//! minimum `|T_dif|` seen so far is chosen.
+//!
+//! The gap is monotone non-increasing in the thread count (more threads
+//! never slow loading), so the binary-search direction is: gap negative
+//! (pipeline is the bottleneck) → raise `ℓ_min`; gap positive (slack) →
+//! lower `ℓ_max`.
+
+use serde::{Deserialize, Serialize};
+
+/// Tunables of Algorithm 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Algorithm1Params {
+    /// τ: the load-balance threshold, in seconds. Gaps smaller than this are
+    /// considered balanced ("can be fine-tuned as needed to prune the
+    /// search space").
+    pub tau_s: f64,
+    /// `T_L`: the maximum number of data-loading threads on the node; also
+    /// the capacity of the history window `W`.
+    pub max_threads: u32,
+}
+
+impl Algorithm1Params {
+    pub fn new(tau_s: f64, max_threads: u32) -> Algorithm1Params {
+        assert!(tau_s > 0.0, "τ must be positive");
+        assert!(max_threads >= 1);
+        Algorithm1Params { tau_s, max_threads }
+    }
+}
+
+/// Outcome of one per-GPU search, for diagnostics and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SearchOutcome {
+    /// Chosen thread count.
+    pub threads: u32,
+    /// Signed gap at the chosen count.
+    pub gap_s: f64,
+    /// Gap evaluations performed.
+    pub evals: u32,
+    /// True if the search ended via the window-full stagnation rule rather
+    /// than converging below τ or exhausting the bisection range.
+    pub stopped_by_window: bool,
+}
+
+/// `IsConsistent(W)`: the window shows no progress — the recent `|T_dif|`
+/// values are non-improving.
+fn is_consistent(window: &[f64]) -> bool {
+    if window.len() < 2 {
+        return false;
+    }
+    let tail = &window[window.len().saturating_sub(3)..];
+    tail.windows(2).all(|w| w[1].abs() + 1e-12 >= w[0].abs())
+}
+
+/// Run the per-GPU binary search. `gap(threads)` evaluates
+/// `T_train − (T_L(threads) + T_P)` for this GPU's pending mini-batch.
+pub fn search_one_gpu<F>(params: &Algorithm1Params, initial: u32, mut gap: F) -> SearchOutcome
+where
+    F: FnMut(u32) -> f64,
+{
+    let mut l_min = 0u32;
+    let mut l_max = params.max_threads;
+    let mut k = initial.min(l_max);
+    let mut t = gap(k);
+    let mut evals = 1u32;
+    let mut best = (t.abs(), k, t);
+    let mut stopped_by_window = false;
+
+    if t.abs() >= params.tau_s {
+        let mut window: Vec<f64> = Vec::with_capacity(params.max_threads as usize + 1);
+        while t.abs() >= params.tau_s {
+            window.push(t);
+            if window.len() > params.max_threads as usize && is_consistent(&window) {
+                stopped_by_window = true;
+                break;
+            }
+            if t < 0.0 {
+                l_min = k; // bottleneck: need more threads
+            } else {
+                l_max = k; // slack: release threads
+            }
+            // Ceil midpoint so the search can reach `l_max` itself when the
+            // gap stays negative all the way up.
+            let next = l_min + (l_max - l_min).div_ceil(2);
+            if next == k {
+                break; // bisection range collapsed
+            }
+            k = next;
+            t = gap(k);
+            evals += 1;
+            // Strictly better gap wins; on (near-)ties prefer fewer threads —
+            // they are a shared resource.
+            if t.abs() < best.0 - 1e-12 || (t.abs() <= best.0 + 1e-12 && k < best.1) {
+                best = (t.abs(), k, t);
+            }
+        }
+        // "choose the solution that has the minimum T_dif among all those
+        // recorded": keep the best point seen.
+        let (_, bk, bt) = best;
+        k = bk;
+        t = bt;
+    }
+    SearchOutcome { threads: k, gap_s: t, evals, stopped_by_window }
+}
+
+/// Run Algorithm 1 across all co-located GPUs: `initial` is the
+/// queue-proportional allocation `L_th`; `gap(gpu, threads)` evaluates the
+/// stage gap. Returns the per-GPU assignment `L_final`.
+///
+/// ```
+/// use lobster_core::{assign_threads, Algorithm1Params};
+/// // Two GPUs: GPU 0 needs ~720ms of single-thread loading, GPU 1 ~90ms;
+/// // training takes 200ms and preprocessing 20ms.
+/// let work_ms = [720.0, 90.0];
+/// let params = Algorithm1Params::new(0.005, 32);
+/// let threads = assign_threads(&params, &[4, 4], |g, k| {
+///     let load = if k == 0 { f64::INFINITY } else { work_ms[g] / k as f64 };
+///     (200.0 - (load + 20.0)) / 1e3
+/// });
+/// assert!(threads[0] > threads[1], "the loaded GPU gets more threads");
+/// ```
+pub fn assign_threads<F>(params: &Algorithm1Params, initial: &[u32], mut gap: F) -> Vec<u32>
+where
+    F: FnMut(usize, u32) -> f64,
+{
+    initial
+        .iter()
+        .enumerate()
+        .map(|(i, &init)| search_one_gpu(params, init, |k| gap(i, k)).threads)
+        .collect()
+}
+
+/// Scale a per-GPU allocation down to `budget` total threads if it exceeds
+/// it, proportionally, never dropping a non-zero share below 1. (The paper's
+/// per-GPU searches each range over the full `T_L`; the shared pool enforces
+/// the node budget.)
+pub fn normalize_to_budget(alloc: &mut [u32], budget: u32) {
+    let total: u32 = alloc.iter().sum();
+    if total <= budget || total == 0 {
+        return;
+    }
+    let original: Vec<u32> = alloc.to_vec();
+    let mut assigned = 0u32;
+    let n = alloc.len();
+    for a in alloc.iter_mut() {
+        let share = ((*a as u64 * budget as u64) / total as u64) as u32;
+        *a = if *a > 0 { share.max(1) } else { 0 };
+        assigned += *a;
+    }
+    // Trim overflow from the largest shares; among equal shares trim the
+    // one with the *smaller* original request so the relative ordering of
+    // the input is never inverted.
+    let mut guard = 0;
+    while assigned > budget && guard < 10_000 {
+        if let Some(max_idx) =
+            (0..n).max_by_key(|&i| (alloc[i], std::cmp::Reverse(original[i])))
+        {
+            if alloc[max_idx] > 1 {
+                alloc[max_idx] -= 1;
+                assigned -= 1;
+            } else {
+                break; // all at 1: accept the minimal overshoot
+            }
+        }
+        guard += 1;
+    }
+}
+
+/// Queue-proportional initial allocation (§4.2: "the number of threads
+/// assigned to the request queue is proportional to the size of the
+/// queue"). Zero-load GPUs get zero threads; non-zero loads get at least 1.
+pub fn proportional_allocation(queue_bytes: &[f64], budget: u32) -> Vec<u32> {
+    let total: f64 = queue_bytes.iter().sum();
+    if total <= 0.0 {
+        // Idle queues: spread evenly.
+        let n = queue_bytes.len().max(1) as u32;
+        return queue_bytes.iter().map(|_| (budget / n).max(1)).collect();
+    }
+    let mut alloc: Vec<u32> = queue_bytes
+        .iter()
+        .map(|&q| {
+            if q <= 0.0 {
+                0
+            } else {
+                ((q / total * budget as f64).round() as u32).max(1)
+            }
+        })
+        .collect();
+    normalize_to_budget(&mut alloc, budget);
+    alloc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic gap: training 200 ms, loading `work / threads`, prep 20 ms.
+    fn make_gap(work_ms: f64) -> impl Fn(u32) -> f64 {
+        move |threads: u32| {
+            let load = if threads == 0 { f64::INFINITY } else { work_ms / threads as f64 };
+            (200.0 - (load + 20.0)) / 1e3
+        }
+    }
+
+    fn params() -> Algorithm1Params {
+        Algorithm1Params::new(0.005, 32)
+    }
+
+    #[test]
+    fn converges_to_balanced_thread_count() {
+        // work = 720 ms → gap zero at 4 threads (720/4 = 180; 180+20 = 200).
+        let out = search_one_gpu(&params(), 1, make_gap(720.0));
+        assert_eq!(out.threads, 4);
+        assert!(out.gap_s.abs() < 0.005);
+        assert!(!out.stopped_by_window);
+    }
+
+    #[test]
+    fn balanced_initial_allocation_is_kept() {
+        let out = search_one_gpu(&params(), 4, make_gap(720.0));
+        assert_eq!(out.threads, 4);
+        assert_eq!(out.evals, 1, "no search needed below τ");
+    }
+
+    #[test]
+    fn releases_threads_when_over_provisioned() {
+        // Tiny load: even 1 thread has huge slack; search walks down and
+        // picks the minimum-|gap| point (1 thread; 0 is worse: ∞ load).
+        let out = search_one_gpu(&params(), 16, make_gap(10.0));
+        assert!(out.threads <= 2, "got {}", out.threads);
+    }
+
+    #[test]
+    fn demands_many_threads_when_loading_heavy() {
+        // work = 5600 ms: needs ≥ ~31 threads to balance (5600/31 ≈ 180).
+        let out = search_one_gpu(&params(), 2, make_gap(5600.0));
+        assert!(out.threads >= 28, "got {}", out.threads);
+    }
+
+    #[test]
+    fn impossible_balance_returns_best_effort_max() {
+        // Even T_L = 32 threads can't hide this load; best is max threads.
+        let out = search_one_gpu(&params(), 1, make_gap(100_000.0));
+        assert_eq!(out.threads, 32);
+        assert!(out.gap_s < 0.0);
+    }
+
+    #[test]
+    fn window_detects_flat_gap() {
+        // Gap independent of threads (e.g. loading fully tier-saturated):
+        // window fills with identical values → stagnation stop, not a hang.
+        let out = search_one_gpu(&params(), 8, |_k| -0.5);
+        assert_eq!(out.gap_s, -0.5);
+        // Either the range collapsed or the window fired; both are bounded.
+        assert!(out.evals <= 40);
+    }
+
+    #[test]
+    fn assign_threads_handles_mixed_gpus() {
+        let work = [720.0, 180.0, 3600.0, 0.0];
+        let got = assign_threads(&params(), &[4, 4, 4, 4], |g, k| make_gap(work[g])(k));
+        assert_eq!(got[0], 4);
+        assert!(got[1] <= 2);
+        assert!(got[2] >= 18);
+        assert!(got[3] <= 1);
+    }
+
+    #[test]
+    fn proportional_allocation_tracks_queue_sizes() {
+        let alloc = proportional_allocation(&[100.0, 300.0, 0.0, 100.0], 10);
+        assert_eq!(alloc[2], 0);
+        assert!(alloc[1] > alloc[0]);
+        assert!(alloc.iter().sum::<u32>() <= 10);
+        assert!(alloc[0] >= 1 && alloc[3] >= 1);
+    }
+
+    #[test]
+    fn proportional_allocation_idle_spreads_evenly() {
+        let alloc = proportional_allocation(&[0.0, 0.0], 8);
+        assert_eq!(alloc, vec![4, 4]);
+    }
+
+    #[test]
+    fn normalize_caps_total() {
+        let mut a = vec![10, 20, 30];
+        normalize_to_budget(&mut a, 12);
+        assert!(a.iter().sum::<u32>() <= 12);
+        assert!(a.iter().all(|&x| x >= 1));
+        // Ordering is preserved.
+        assert!(a[2] >= a[1] && a[1] >= a[0]);
+    }
+
+    #[test]
+    fn normalize_noop_when_within_budget() {
+        let mut a = vec![1, 2, 3];
+        normalize_to_budget(&mut a, 10);
+        assert_eq!(a, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn search_cost_is_logarithmic() {
+        let out = search_one_gpu(&Algorithm1Params::new(0.005, 1024), 1, {
+            let g = make_gap(7200.0);
+            move |k| g(k)
+        });
+        // Bisection over 1024 → ≤ ~12 evals (plus initial).
+        assert!(out.evals <= 14, "evals {}", out.evals);
+    }
+}

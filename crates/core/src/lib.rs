@@ -1,0 +1,48 @@
+//! # lobster-core
+//!
+//! The paper's contribution, implemented as a library:
+//!
+//! * [`model`] — the holistic performance model of §4.3 (Table 1 notation,
+//!   Equations 1–3).
+//! * [`regression`] — piece-wise linear regression (segmented least
+//!   squares) and the per-sample-size model portfolio of §4.1.
+//! * [`preproc`] — the preprocessing throughput model (Observation 3 /
+//!   Figure 6) and the thread governor that picks the minimum thread count
+//!   reaching peak throughput.
+//! * [`algorithm1`] — the heuristic binary-search thread assignment of
+//!   §4.4 (Algorithm 1), queue-proportional initial allocation, and budget
+//!   normalization.
+//! * [`policy`] — the [`policy::LoaderPolicy`] interface, caching
+//!   strategies, and the reuse-distance eviction engine of §4.4.
+//! * [`policies`] — PyTorch DataLoader, DALI, NoPFS, Lobster, and the two
+//!   §5.6 ablations, each as a policy.
+//! * [`models`] — the six DNN workloads of §5.1 as `T_train` profiles.
+//!
+//! The cluster these policies drive is simulated by `lobster-pipeline`
+//! (iteration-level executor) and exercised live by `lobster-runtime`
+//! (real threads).
+
+pub mod algorithm1;
+pub mod model;
+pub mod models;
+pub mod policies;
+pub mod policy;
+pub mod preproc;
+pub mod regression;
+
+pub use algorithm1::{
+    assign_threads, normalize_to_budget, proportional_allocation, Algorithm1Params, SearchOutcome,
+};
+pub use model::{
+    imbalance_gap_secs, load_time_secs, stage_gap_secs, ClusterSpec, ThreadAlloc, TierBreakdown,
+};
+pub use models::{all_models, model_by_name, ModelProfile};
+pub use policies::{
+    all_baselines, policy_by_name, DaliPolicy, LobsterOptions, LobsterPolicy, MinIoPolicy,
+    NoPfsPolicy, PyTorchPolicy,
+};
+pub use policy::{
+    CachingStrategy, EvictReport, LoaderPolicy, NodePlan, PlanContext, ReuseAwareEvictor,
+};
+pub use preproc::{PreprocGovernor, PreprocModel};
+pub use regression::{ModelPortfolio, PiecewiseLinear, Segment};

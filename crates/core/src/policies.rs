@@ -1,0 +1,520 @@
+//! The concrete loader policies under evaluation (§5.1 baselines, §5.6
+//! ablations).
+
+use crate::algorithm1::{
+    assign_threads, normalize_to_budget, proportional_allocation, Algorithm1Params,
+};
+use crate::policy::{CachingStrategy, LoaderPolicy, NodePlan, PlanContext};
+
+/// Split `total` loading threads evenly across `gpus` (the "serve all GPUs
+/// equally" scheme the paper criticizes in §4.2).
+fn even_split(total: u32, gpus: usize) -> Vec<u32> {
+    let g = gpus as u32;
+    (0..g).map(|i| total / g + u32::from(i < total % g)).collect()
+}
+
+/// PyTorch DataLoader: "a constant number of threads for data loading and
+/// another constant number of threads for preprocessing".
+#[derive(Debug, Clone)]
+pub struct PyTorchPolicy {
+    /// Loading threads per GPU (DataLoader workers per rank).
+    pub load_per_gpu: u32,
+    /// Preprocessing threads for the whole node.
+    pub preproc_threads: u32,
+}
+
+impl Default for PyTorchPolicy {
+    fn default() -> Self {
+        PyTorchPolicy { load_per_gpu: 2, preproc_threads: 16 }
+    }
+}
+
+impl LoaderPolicy for PyTorchPolicy {
+    fn name(&self) -> &'static str {
+        "pytorch"
+    }
+
+    fn caching(&self) -> CachingStrategy {
+        CachingStrategy::Lru
+    }
+
+    fn plan(&mut self, ctx: &PlanContext<'_>) -> NodePlan {
+        let gpus = ctx.gpus();
+        let load_total = (self.load_per_gpu * gpus as u32).min(ctx.total_threads.saturating_sub(1));
+        let preproc = self.preproc_threads.min(ctx.total_threads - load_total).max(1);
+        NodePlan {
+            preproc_threads: preproc,
+            load_threads: even_split(load_total, gpus),
+            prefetch: false,
+            prefetch_lookahead: 0,
+        }
+    }
+
+    fn loading_efficiency(&self) -> f64 {
+        // Python DataLoader workers: interpreter + IPC overhead per sample.
+        0.65
+    }
+}
+
+/// NVIDIA DALI: "three threads for data loading by default and leaves other
+/// threads for preprocessing". No fine-grained thread-level coordination.
+#[derive(Debug, Clone)]
+pub struct DaliPolicy {
+    /// Loading threads for the whole node (DALI default: 3).
+    pub load_threads: u32,
+}
+
+impl Default for DaliPolicy {
+    fn default() -> Self {
+        DaliPolicy { load_threads: 3 }
+    }
+}
+
+impl LoaderPolicy for DaliPolicy {
+    fn name(&self) -> &'static str {
+        "dali"
+    }
+
+    fn caching(&self) -> CachingStrategy {
+        // DALI double-buffers the next batches it already knows from the
+        // sampler stream (read-ahead, not clairvoyance), over an LRU cache.
+        CachingStrategy::PrefetchLru
+    }
+
+    fn plan(&mut self, ctx: &PlanContext<'_>) -> NodePlan {
+        let gpus = ctx.gpus();
+        let load_total = self.load_threads.min(ctx.total_threads.saturating_sub(1)).max(1);
+        let preproc = (ctx.total_threads - load_total).max(1);
+        NodePlan {
+            preproc_threads: preproc,
+            load_threads: even_split(load_total, gpus),
+            prefetch: true,
+            // Double buffering: the pipeline holds ~2 batches in flight.
+            prefetch_lookahead: 2,
+        }
+    }
+
+    fn distributed_cache(&self) -> bool {
+        // DALI has no cross-node cache: misses always go to the PFS.
+        false
+    }
+}
+
+/// NoPFS: deterministic prefetching over a distributed cache; "the thread
+/// management for NoPFS is the same as that with PyTorch I/O".
+#[derive(Debug, Clone, Default)]
+pub struct NoPfsPolicy {
+    inner: PyTorchPolicy,
+}
+
+impl NoPfsPolicy {
+    pub fn new() -> NoPfsPolicy {
+        NoPfsPolicy::default()
+    }
+}
+
+impl LoaderPolicy for NoPfsPolicy {
+    fn name(&self) -> &'static str {
+        "nopfs"
+    }
+
+    fn caching(&self) -> CachingStrategy {
+        CachingStrategy::PrefetchLru
+    }
+
+    fn plan(&mut self, ctx: &PlanContext<'_>) -> NodePlan {
+        let mut plan = self.inner.plan(ctx);
+        plan.prefetch = true;
+        // NoPFS's staging buffers hold the next couple of mini-batches per
+        // GPU; its prefetcher cannot reach deeper without evicting what the
+        // buffers still need.
+        plan.prefetch_lookahead = 8;
+        plan
+    }
+
+    fn loading_efficiency(&self) -> f64 {
+        // NoPFS plugs into PyTorch, but its I/O engine (fetch, staging,
+        // distributed cache) is native C++; only the hand-off pays the
+        // Python tax.
+        0.85
+    }
+}
+
+/// MinIO (related work, §6): PyTorch-style static threads over a cache that
+/// never evicts — "for MinIO, once data samples are cached, they are never
+/// evicted out of the cache". Included as an extension baseline: it shows
+/// why *which* fraction of the dataset is pinned matters more than *that* a
+/// fraction is pinned.
+#[derive(Debug, Clone, Default)]
+pub struct MinIoPolicy {
+    inner: PyTorchPolicy,
+}
+
+impl MinIoPolicy {
+    pub fn new() -> MinIoPolicy {
+        MinIoPolicy::default()
+    }
+}
+
+impl LoaderPolicy for MinIoPolicy {
+    fn name(&self) -> &'static str {
+        "minio"
+    }
+
+    fn caching(&self) -> CachingStrategy {
+        CachingStrategy::InsertOnly
+    }
+
+    fn plan(&mut self, ctx: &PlanContext<'_>) -> NodePlan {
+        self.inner.plan(ctx)
+    }
+
+    fn loading_efficiency(&self) -> f64 {
+        // MinIO (CoorDL) is a native DataLoader replacement.
+        0.85
+    }
+
+    fn distributed_cache(&self) -> bool {
+        false
+    }
+}
+
+/// Which halves of Lobster are active — `full()` is the paper's system,
+/// the other two are the §5.6 ablations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LobsterOptions {
+    /// §4.1/§4.2/§4.4 thread management (preproc governor + multi-queue +
+    /// Algorithm 1 + thread stealing).
+    pub thread_management: bool,
+    /// §4.4 reuse-distance eviction coordinated with prefetching.
+    pub reuse_eviction: bool,
+}
+
+/// The Lobster runtime.
+#[derive(Debug, Clone)]
+pub struct LobsterPolicy {
+    options: LobsterOptions,
+    /// τ as a fraction of `T_train` (the gap below which a GPU is balanced).
+    pub tau_fraction: f64,
+    /// Static fallback used when thread management is ablated away
+    /// (Lobster_evict keeps DALI-style static threads).
+    fallback: DaliPolicy,
+}
+
+impl LobsterPolicy {
+    /// The full system.
+    pub fn full() -> LobsterPolicy {
+        LobsterPolicy::with_options(LobsterOptions { thread_management: true, reuse_eviction: true })
+    }
+
+    /// Ablation *Lobster_th*: "includes thread management but excludes cache
+    /// eviction based on reuse distance".
+    pub fn thread_management_only() -> LobsterPolicy {
+        LobsterPolicy::with_options(LobsterOptions { thread_management: true, reuse_eviction: false })
+    }
+
+    /// Ablation *Lobster_evict*: "the precise opposite".
+    pub fn eviction_only() -> LobsterPolicy {
+        LobsterPolicy::with_options(LobsterOptions { thread_management: false, reuse_eviction: true })
+    }
+
+    pub fn with_options(options: LobsterOptions) -> LobsterPolicy {
+        LobsterPolicy { options, tau_fraction: 0.05, fallback: DaliPolicy::default() }
+    }
+
+    pub fn options(&self) -> LobsterOptions {
+        self.options
+    }
+
+    /// The full planning pipeline of §4: (1) preprocessing threads from the
+    /// governor; (2) queue-proportional loading threads; (3) Algorithm 1 on
+    /// predicted stragglers; then §4.1 Step 2's thread stealing.
+    fn plan_managed(&self, ctx: &PlanContext<'_>) -> NodePlan {
+        let gpus = ctx.gpus();
+        let tau = (self.tau_fraction * ctx.t_train_s).max(1e-6);
+
+        // (1) Minimum preprocessing threads reaching peak throughput,
+        // leaving at least one loading thread per GPU.
+        let p_opt = ctx.governor.optimal_threads(ctx.mean_sample_bytes);
+        let mut p = p_opt.min(ctx.total_threads.saturating_sub(gpus as u32)).max(1);
+        let budget = ctx.total_threads - p;
+
+        // (2) Multi-queue allocation proportional to loading intensity
+        // (§4.2): predicted single-thread load cost, not raw bytes.
+        let queues = ctx.queue_cost_secs();
+        let mut alloc = proportional_allocation(&queues, budget);
+
+        // (3) Straggler predicted (pipeline cannot hide behind training)?
+        // Run Algorithm 1.
+        let straggler = (0..gpus).any(|g| ctx.gap_secs(g, alloc[g].max(1), p) <= -tau);
+        if straggler {
+            let params = Algorithm1Params::new(tau, budget.max(1));
+            alloc = assign_threads(&params, &alloc, |g, k| ctx.gap_secs(g, k, p));
+            normalize_to_budget(&mut alloc, budget);
+        }
+
+        // §4.1 Step 2: while some GPU's pipeline still cannot hide behind
+        // training and preprocessing has slack, move one thread over.
+        let mut guard = 0u32;
+        while guard < ctx.total_threads {
+            guard += 1;
+            let (worst, gap) = (0..gpus)
+                .map(|g| (g, ctx.gap_secs(g, alloc[g], p)))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite gaps"))
+                .expect("at least one GPU");
+            if gap >= -tau || p <= 1 {
+                break;
+            }
+            // Would preprocessing become the bottleneck with one fewer
+            // thread? Then stop stealing.
+            if ctx.preproc_secs(p - 1) >= ctx.t_train_s {
+                break;
+            }
+            p -= 1;
+            alloc[worst] += 1;
+        }
+
+        NodePlan {
+            preproc_threads: p,
+            load_threads: alloc,
+            prefetch: true,
+            // Reuse-distance coordination makes deep lookahead safe.
+            prefetch_lookahead: 64,
+        }
+    }
+}
+
+impl LoaderPolicy for LobsterPolicy {
+    fn name(&self) -> &'static str {
+        match (self.options.thread_management, self.options.reuse_eviction) {
+            (true, true) => "lobster",
+            (true, false) => "lobster_th",
+            (false, true) => "lobster_evict",
+            (false, false) => "lobster_none",
+        }
+    }
+
+    fn caching(&self) -> CachingStrategy {
+        if self.options.reuse_eviction {
+            CachingStrategy::ReuseAware
+        } else {
+            CachingStrategy::PrefetchLru
+        }
+    }
+
+    fn plan(&mut self, ctx: &PlanContext<'_>) -> NodePlan {
+        if self.options.thread_management {
+            self.plan_managed(ctx)
+        } else {
+            let mut plan = self.fallback.plan(ctx);
+            plan.prefetch = true;
+            plan.prefetch_lookahead = 64;
+            plan
+        }
+    }
+}
+
+/// Every system compared in the paper's evaluation, in presentation order.
+pub fn all_baselines() -> Vec<Box<dyn LoaderPolicy>> {
+    vec![
+        Box::new(PyTorchPolicy::default()),
+        Box::new(DaliPolicy::default()),
+        Box::new(NoPfsPolicy::new()),
+        Box::new(LobsterPolicy::full()),
+    ]
+}
+
+/// Factory by report name.
+pub fn policy_by_name(name: &str) -> Option<Box<dyn LoaderPolicy>> {
+    match name {
+        "pytorch" => Some(Box::new(PyTorchPolicy::default())),
+        "dali" => Some(Box::new(DaliPolicy::default())),
+        "nopfs" => Some(Box::new(NoPfsPolicy::new())),
+        "lobster" => Some(Box::new(LobsterPolicy::full())),
+        "lobster_th" => Some(Box::new(LobsterPolicy::thread_management_only())),
+        "lobster_evict" => Some(Box::new(LobsterPolicy::eviction_only())),
+        "minio" => Some(Box::new(MinIoPolicy::new())),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::TierBreakdown;
+    use crate::preproc::{PreprocGovernor, PreprocModel};
+    use lobster_storage::thetagpu;
+
+    fn governor() -> PreprocGovernor {
+        let truth = PreprocModel::default_imagenet();
+        PreprocGovernor::calibrate(&[100_000], 16, 1e-9, |b, t| truth.per_sample_secs(b, t))
+    }
+
+    fn split(local_mb: f64, pfs_mb: f64, n: u64) -> TierBreakdown {
+        TierBreakdown {
+            local_bytes: local_mb * 1e6,
+            remote_bytes: 0.0,
+            pfs_bytes: pfs_mb * 1e6,
+            local_count: if local_mb > 0.0 { n } else { 0 },
+            remote_count: 0,
+            pfs_count: if pfs_mb > 0.0 { n } else { 0 },
+        }
+    }
+
+    fn ctx<'a>(
+        storage: &'a lobster_storage::StorageModel,
+        gov: &'a PreprocGovernor,
+        splits: &'a [TierBreakdown],
+    ) -> PlanContext<'a> {
+        PlanContext {
+            node: 0,
+            iter_in_epoch: 10,
+            iters_per_epoch: 1000,
+            t_train_s: 0.115,
+            storage,
+            splits,
+            total_threads: 32,
+            reading_nodes: 1,
+            batch_samples: 32,
+            mean_sample_bytes: 100_000,
+            governor: gov,
+        }
+    }
+
+    #[test]
+    fn pytorch_splits_evenly_and_never_prefetches() {
+        let storage = thetagpu();
+        let gov = governor();
+        let splits = vec![split(3.2, 0.0, 32); 4];
+        let plan = PyTorchPolicy::default().plan(&ctx(&storage, &gov, &splits));
+        assert_eq!(plan.load_threads, vec![2, 2, 2, 2]);
+        assert!(!plan.prefetch);
+        assert!(plan.total_threads() <= 32);
+    }
+
+    #[test]
+    fn dali_uses_three_loading_threads() {
+        let storage = thetagpu();
+        let gov = governor();
+        let splits = vec![split(3.2, 0.0, 32); 8];
+        let plan = DaliPolicy::default().plan(&ctx(&storage, &gov, &splits));
+        assert_eq!(plan.load_threads.iter().sum::<u32>(), 3);
+        assert_eq!(plan.preproc_threads, 29);
+    }
+
+    #[test]
+    fn nopfs_is_pytorch_with_prefetching() {
+        let storage = thetagpu();
+        let gov = governor();
+        let splits = vec![split(3.2, 0.0, 32); 4];
+        let mut nopfs = NoPfsPolicy::new();
+        let plan = nopfs.plan(&ctx(&storage, &gov, &splits));
+        assert_eq!(plan.load_threads, vec![2, 2, 2, 2]);
+        assert!(plan.prefetch);
+        assert_eq!(nopfs.caching(), CachingStrategy::PrefetchLru);
+    }
+
+    #[test]
+    fn lobster_gives_straggler_more_threads() {
+        let storage = thetagpu();
+        let gov = governor();
+        // GPU 2 must fetch everything from the PFS; the rest are local.
+        let splits = vec![
+            split(3.2, 0.0, 32),
+            split(3.2, 0.0, 32),
+            split(0.0, 3.2, 32),
+            split(3.2, 0.0, 32),
+        ];
+        let plan = LobsterPolicy::full().plan(&ctx(&storage, &gov, &splits));
+        let max = *plan.load_threads.iter().max().unwrap();
+        assert_eq!(
+            plan.load_threads[2], max,
+            "the PFS-bound GPU should get the most threads: {:?}",
+            plan.load_threads
+        );
+        assert!(plan.load_threads[2] > plan.load_threads[0]);
+        assert!(plan.prefetch);
+        assert!(plan.total_threads() <= 32 + 3, "≈budget: {:?}", plan);
+    }
+
+    #[test]
+    fn lobster_balanced_load_uses_proportional_shares() {
+        let storage = thetagpu();
+        let gov = governor();
+        let splits = vec![split(3.2, 0.0, 32); 4];
+        let plan = LobsterPolicy::full().plan(&ctx(&storage, &gov, &splits));
+        let min = plan.load_threads.iter().min().unwrap();
+        let max = plan.load_threads.iter().max().unwrap();
+        assert!(max - min <= 1, "equal queues → near-equal threads: {:?}", plan.load_threads);
+    }
+
+    #[test]
+    fn lobster_preproc_threads_near_the_knee() {
+        let storage = thetagpu();
+        let gov = governor();
+        let splits = vec![split(3.2, 0.0, 32); 4];
+        let plan = LobsterPolicy::full().plan(&ctx(&storage, &gov, &splits));
+        assert!(
+            (4..=8).contains(&plan.preproc_threads),
+            "preproc threads {} should sit at the Figure-6 knee",
+            plan.preproc_threads
+        );
+    }
+
+    #[test]
+    fn lobster_steals_from_preprocessing_under_io_pressure() {
+        let storage = thetagpu();
+        let gov = governor();
+        // Every GPU hammers the PFS: loading cannot hide behind training, so
+        // Step 2 must pull preprocessing down toward 1.
+        let splits = vec![split(0.0, 6.4, 64); 8];
+        let plan = LobsterPolicy::full().plan(&ctx(&storage, &gov, &splits));
+        let p_opt = gov.optimal_threads(100_000);
+        assert!(
+            plan.preproc_threads < p_opt,
+            "should steal below the knee ({}): got {}",
+            p_opt,
+            plan.preproc_threads
+        );
+    }
+
+    #[test]
+    fn ablation_names_and_strategies() {
+        assert_eq!(LobsterPolicy::full().name(), "lobster");
+        assert_eq!(LobsterPolicy::thread_management_only().name(), "lobster_th");
+        assert_eq!(LobsterPolicy::eviction_only().name(), "lobster_evict");
+        assert_eq!(LobsterPolicy::full().caching(), CachingStrategy::ReuseAware);
+        assert_eq!(
+            LobsterPolicy::thread_management_only().caching(),
+            CachingStrategy::PrefetchLru
+        );
+        assert_eq!(LobsterPolicy::eviction_only().caching(), CachingStrategy::ReuseAware);
+    }
+
+    #[test]
+    fn eviction_only_uses_static_threads() {
+        let storage = thetagpu();
+        let gov = governor();
+        let splits = vec![split(0.0, 6.4, 64); 8];
+        let plan = LobsterPolicy::eviction_only().plan(&ctx(&storage, &gov, &splits));
+        // DALI-style static: 3 loading threads total, regardless of load.
+        assert_eq!(plan.load_threads.iter().sum::<u32>(), 3);
+        assert!(plan.prefetch);
+    }
+
+    #[test]
+    fn factory_covers_all_names() {
+        for name in ["pytorch", "dali", "nopfs", "lobster", "lobster_th", "lobster_evict", "minio"] {
+            let p = policy_by_name(name).expect(name);
+            assert_eq!(p.name(), name);
+        }
+        assert!(policy_by_name("bogus").is_none());
+        assert_eq!(all_baselines().len(), 4);
+    }
+
+    #[test]
+    fn even_split_distributes_remainder() {
+        assert_eq!(even_split(7, 3), vec![3, 2, 2]);
+        assert_eq!(even_split(3, 8), vec![1, 1, 1, 0, 0, 0, 0, 0]);
+    }
+}

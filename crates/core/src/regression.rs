@@ -1,0 +1,339 @@
+//! Piece-wise linear regression (§4.1).
+//!
+//! Lobster predicts preprocessing performance with "a piece-wise linear
+//! regression model that takes the number of threads as input and predicts
+//! the execution time of processing one training sample", keeping "a
+//! portfolio of models, each of which corresponds to a training sample
+//! size". This module implements both: optimal segmented least squares via
+//! the classic Bellman dynamic program, and the closest-size portfolio
+//! lookup.
+
+use serde::{Deserialize, Serialize};
+
+/// One linear segment `y = a·x + b` valid on `[x_lo, x_hi]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    pub x_lo: f64,
+    pub x_hi: f64,
+    pub slope: f64,
+    pub intercept: f64,
+}
+
+impl Segment {
+    pub fn eval(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+/// A fitted piecewise-linear model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PiecewiseLinear {
+    segments: Vec<Segment>,
+    /// Total sum of squared residuals of the fit.
+    pub sse: f64,
+}
+
+/// Ordinary least squares over a point slice; returns `(slope, intercept,
+/// sse)`. A single point yields a flat line through it.
+fn fit_line(points: &[(f64, f64)]) -> (f64, f64, f64) {
+    let n = points.len() as f64;
+    if points.len() == 1 {
+        return (0.0, points[0].1, 0.0);
+    }
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    let (a, b) = if denom.abs() < 1e-12 {
+        // All x equal: flat line through the mean.
+        (0.0, sy / n)
+    } else {
+        let a = (n * sxy - sx * sy) / denom;
+        (a, (sy - a * sx) / n)
+    };
+    let sse: f64 = points.iter().map(|&(x, y)| (y - (a * x + b)) * (y - (a * x + b))).sum();
+    (a, b, sse)
+}
+
+impl PiecewiseLinear {
+    /// Fit by segmented least squares: minimizes
+    /// `Σ segment SSE + penalty × #segments` over all segmentations
+    /// (Bellman's O(n²) DP with precomputed segment fits). Points must be
+    /// sorted by x (they are thread counts in practice). `penalty > 0`
+    /// controls the bias toward fewer segments.
+    ///
+    /// ```
+    /// use lobster_core::PiecewiseLinear;
+    /// // Per-sample time falls to a knee at 4 threads, then flattens.
+    /// let pts: Vec<(f64, f64)> = (1..=8)
+    ///     .map(|t| (t as f64, if t <= 4 { 8.0 / t as f64 } else { 2.0 }))
+    ///     .collect();
+    /// let model = PiecewiseLinear::fit(&pts, 0.1);
+    /// let (knee, _) = model.argmin_int(1, 8);
+    /// assert!((3..=5).contains(&knee));
+    /// ```
+    pub fn fit(points: &[(f64, f64)], penalty: f64) -> PiecewiseLinear {
+        assert!(!points.is_empty(), "cannot fit zero points");
+        assert!(penalty > 0.0, "penalty must be positive (0 ⇒ one segment per pair)");
+        for w in points.windows(2) {
+            assert!(w[0].0 <= w[1].0, "points must be sorted by x");
+        }
+        let n = points.len();
+        // err[i][j] = SSE of one line through points[i..=j].
+        let mut err = vec![vec![0.0f64; n]; n];
+        let mut coef = vec![vec![(0.0f64, 0.0f64); n]; n];
+        for i in 0..n {
+            for j in i..n {
+                let (a, b, sse) = fit_line(&points[i..=j]);
+                err[i][j] = sse;
+                coef[i][j] = (a, b);
+            }
+        }
+        // opt[j] = best cost covering points[0..=j-1]; back[j] = start of the
+        // last segment.
+        let mut opt = vec![0.0f64; n + 1];
+        let mut back = vec![0usize; n + 1];
+        for j in 1..=n {
+            let mut best = f64::INFINITY;
+            let mut arg = 0;
+            for i in 0..j {
+                let c = opt[i] + err[i][j - 1] + penalty;
+                if c < best {
+                    best = c;
+                    arg = i;
+                }
+            }
+            opt[j] = best;
+            back[j] = arg;
+        }
+        // Reconstruct.
+        let mut segments = Vec::new();
+        let mut sse = 0.0;
+        let mut j = n;
+        while j > 0 {
+            let i = back[j];
+            let (a, b) = coef[i][j - 1];
+            segments.push(Segment {
+                x_lo: points[i].0,
+                x_hi: points[j - 1].0,
+                slope: a,
+                intercept: b,
+            });
+            sse += err[i][j - 1];
+            j = i;
+        }
+        segments.reverse();
+        PiecewiseLinear { segments, sse }
+    }
+
+    /// Number of fitted segments.
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// The fitted segments, in x order.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Predict `y` at `x`. Inside a segment: that segment's line. Between
+    /// segments / outside the fitted range: nearest segment extended.
+    pub fn predict(&self, x: f64) -> f64 {
+        let first = &self.segments[0];
+        if x <= first.x_lo {
+            return first.eval(x);
+        }
+        for s in &self.segments {
+            if x <= s.x_hi {
+                return s.eval(x);
+            }
+        }
+        self.segments.last().unwrap().eval(x)
+    }
+
+    /// Argmin of the prediction over integer x in `[lo, hi]`, ties broken
+    /// toward smaller x. (Used to find the thread count minimizing
+    /// per-sample time, i.e. the throughput peak.)
+    pub fn argmin_int(&self, lo: u32, hi: u32) -> (u32, f64) {
+        assert!(lo <= hi);
+        let mut best = (lo, self.predict(lo as f64));
+        for x in lo + 1..=hi {
+            let y = self.predict(x as f64);
+            if y < best.1 - 1e-12 {
+                best = (x, y);
+            }
+        }
+        best
+    }
+}
+
+/// The per-sample-size model portfolio of §4.1: "if the sample size does not
+/// have a corresponding model in the portfolio, we choose the model whose
+/// sample size is closest".
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ModelPortfolio {
+    /// `(sample_bytes, model)` sorted by size.
+    entries: Vec<(u64, PiecewiseLinear)>,
+}
+
+impl ModelPortfolio {
+    pub fn new() -> ModelPortfolio {
+        ModelPortfolio::default()
+    }
+
+    /// Register a model for a sample size.
+    pub fn insert(&mut self, sample_bytes: u64, model: PiecewiseLinear) {
+        match self.entries.binary_search_by_key(&sample_bytes, |e| e.0) {
+            Ok(i) => self.entries[i].1 = model,
+            Err(i) => self.entries.insert(i, (sample_bytes, model)),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The model whose sample size is closest to `sample_bytes` (ties go to
+    /// the smaller size). `None` on an empty portfolio.
+    pub fn closest(&self, sample_bytes: u64) -> Option<&PiecewiseLinear> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let i = match self.entries.binary_search_by_key(&sample_bytes, |e| e.0) {
+            Ok(i) => i,
+            Err(i) => {
+                if i == 0 {
+                    0
+                } else if i == self.entries.len() {
+                    i - 1
+                } else {
+                    let below = sample_bytes - self.entries[i - 1].0;
+                    let above = self.entries[i].0 - sample_bytes;
+                    if below <= above {
+                        i - 1
+                    } else {
+                        i
+                    }
+                }
+            }
+        };
+        Some(&self.entries[i].1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_line_data_fits_one_segment() {
+        let pts: Vec<(f64, f64)> = (1..=10).map(|x| (x as f64, 2.0 * x as f64 + 1.0)).collect();
+        let m = PiecewiseLinear::fit(&pts, 0.1);
+        assert_eq!(m.num_segments(), 1);
+        assert!(m.sse < 1e-9);
+        assert!((m.predict(5.0) - 11.0).abs() < 1e-9);
+        // Extrapolation continues the line.
+        assert!((m.predict(20.0) - 41.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn elbow_data_fits_two_segments() {
+        // y falls steeply then flattens: the Figure 6 shape (per-sample time
+        // vs threads).
+        let mut pts = Vec::new();
+        for x in 1..=6 {
+            pts.push((x as f64, 12.0 - 2.0 * x as f64)); // 10, 8, 6, 4, 2, 0
+        }
+        for x in 7..=12 {
+            pts.push((x as f64, 0.0));
+        }
+        let m = PiecewiseLinear::fit(&pts, 0.5);
+        assert_eq!(m.num_segments(), 2, "segments: {:?}", m.segments());
+        assert!(m.sse < 1e-9);
+        assert!((m.predict(2.0) - 8.0).abs() < 1e-6);
+        assert!(m.predict(10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn penalty_trades_segments_for_fit() {
+        // Noisy quadratic: high penalty → few segments, low penalty → many.
+        let pts: Vec<(f64, f64)> =
+            (1..=20).map(|x| (x as f64, (x as f64 - 10.0).powi(2))).collect();
+        let coarse = PiecewiseLinear::fit(&pts, 1e6);
+        let fine = PiecewiseLinear::fit(&pts, 1.0);
+        assert!(coarse.num_segments() <= fine.num_segments());
+        assert!(coarse.sse >= fine.sse);
+    }
+
+    #[test]
+    fn argmin_finds_the_knee() {
+        // Per-sample time: decreasing to x=6, then slightly increasing —
+        // exactly Observation 3's shape. The governor must pick 6.
+        let mut pts = Vec::new();
+        for x in 1..=6 {
+            pts.push((x as f64, 10.0 / x as f64));
+        }
+        for x in 7..=16 {
+            pts.push((x as f64, 10.0 / 6.0 + 0.05 * (x - 6) as f64));
+        }
+        let m = PiecewiseLinear::fit(&pts, 0.05);
+        let (x, _) = m.argmin_int(1, 16);
+        assert!((5..=7).contains(&x), "knee at {x}, expected ≈6");
+    }
+
+    #[test]
+    fn flat_data_fits_flat_line() {
+        let pts: Vec<(f64, f64)> = (1..=5).map(|x| (x as f64, 3.0)).collect();
+        let m = PiecewiseLinear::fit(&pts, 0.1);
+        assert_eq!(m.num_segments(), 1);
+        assert!((m.predict(100.0) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_point_fit_is_constant() {
+        let m = PiecewiseLinear::fit(&[(4.0, 7.0)], 1.0);
+        assert_eq!(m.predict(1.0), 7.0);
+        assert_eq!(m.predict(9.0), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_points_panic() {
+        PiecewiseLinear::fit(&[(2.0, 1.0), (1.0, 1.0)], 1.0);
+    }
+
+    #[test]
+    fn portfolio_picks_closest_size() {
+        let mut p = ModelPortfolio::new();
+        let flat = |v: f64| PiecewiseLinear::fit(&[(1.0, v), (2.0, v)], 1.0);
+        p.insert(10_000, flat(1.0));
+        p.insert(100_000, flat(2.0));
+        p.insert(1_000_000, flat(3.0));
+        assert_eq!(p.closest(10_000).unwrap().predict(1.0), 1.0);
+        assert_eq!(p.closest(40_000).unwrap().predict(1.0), 1.0);
+        assert_eq!(p.closest(90_000).unwrap().predict(1.0), 2.0);
+        assert_eq!(p.closest(5_000_000).unwrap().predict(1.0), 3.0);
+        assert_eq!(p.closest(1).unwrap().predict(1.0), 1.0);
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn portfolio_insert_replaces_same_size() {
+        let mut p = ModelPortfolio::new();
+        let flat = |v: f64| PiecewiseLinear::fit(&[(1.0, v), (2.0, v)], 1.0);
+        p.insert(100, flat(1.0));
+        p.insert(100, flat(9.0));
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.closest(100).unwrap().predict(1.5), 9.0);
+    }
+
+    #[test]
+    fn empty_portfolio_returns_none() {
+        assert!(ModelPortfolio::new().closest(5).is_none());
+    }
+}

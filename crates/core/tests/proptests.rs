@@ -1,0 +1,144 @@
+//! Property tests for the paper's algorithms: Algorithm 1 stays within
+//! bounds and respects monotonicity, the regression fit is well-formed, and
+//! the performance model behaves like a cost function should.
+
+use lobster_core::{
+    assign_threads, load_time_secs, normalize_to_budget, proportional_allocation,
+    Algorithm1Params, PiecewiseLinear, ThreadAlloc, TierBreakdown,
+};
+use lobster_storage::thetagpu;
+use proptest::prelude::*;
+
+proptest! {
+    /// Algorithm 1 never assigns more than T_L threads to a GPU, and its
+    /// result's |gap| is no worse than the initial allocation's.
+    #[test]
+    fn algorithm1_bounded_and_never_worse(
+        work_ms in proptest::collection::vec(0.0f64..10_000.0, 1..8),
+        initial in 1u32..16,
+        max_threads in 4u32..64,
+        tau_ms in 1.0f64..50.0,
+    ) {
+        let params = Algorithm1Params::new(tau_ms / 1e3, max_threads);
+        let gap = |g: usize, k: u32| {
+            let load = if k == 0 { f64::INFINITY } else { work_ms[g] / k as f64 };
+            (200.0 - (load + 20.0)) / 1e3
+        };
+        let init: Vec<u32> = vec![initial.min(max_threads); work_ms.len()];
+        let got = assign_threads(&params, &init, gap);
+        prop_assert_eq!(got.len(), work_ms.len());
+        for (g, &k) in got.iter().enumerate() {
+            prop_assert!(k <= max_threads, "gpu {g} got {k} > {max_threads}");
+            // Not worse than the starting point.
+            let before = gap(g, init[g]).abs();
+            let after = gap(g, k).abs();
+            prop_assert!(
+                after <= before + 1e-9,
+                "gpu {g}: |gap| worsened {before} -> {after}"
+            );
+        }
+    }
+
+    /// The stage gap is monotone non-decreasing in the thread count
+    /// (more threads never make loading slower), which is the property the
+    /// bisection relies on.
+    #[test]
+    fn load_time_is_monotone_in_threads(
+        local_mb in 0.0f64..64.0,
+        remote_mb in 0.0f64..64.0,
+        pfs_mb in 0.0f64..64.0,
+        count in 1u64..64,
+    ) {
+        let storage = thetagpu();
+        let split = TierBreakdown {
+            local_bytes: local_mb * 1e6,
+            remote_bytes: remote_mb * 1e6,
+            pfs_bytes: pfs_mb * 1e6,
+            local_count: count,
+            remote_count: count,
+            pfs_count: count,
+        };
+        let mut prev = f64::INFINITY;
+        for k in 1..=32u32 {
+            let t = load_time_secs(&storage, &split, ThreadAlloc::uniform(k), 4);
+            prop_assert!(t <= prev + 1e-12, "threads {k}: {t} > {prev}");
+            prop_assert!(t >= 0.0);
+            prev = t;
+        }
+    }
+
+    /// Proportional allocation: never exceeds the budget (beyond per-queue
+    /// minimums), gives zero to empty queues, at least 1 to non-empty ones.
+    #[test]
+    fn proportional_allocation_invariants(
+        queues in proptest::collection::vec(0.0f64..1000.0, 1..12),
+        budget in 1u32..64,
+    ) {
+        let alloc = proportional_allocation(&queues, budget);
+        prop_assert_eq!(alloc.len(), queues.len());
+        let nonzero = queues.iter().filter(|&&q| q > 0.0).count() as u32;
+        for (q, &a) in queues.iter().zip(&alloc) {
+            if *q <= 0.0 && queues.iter().any(|&x| x > 0.0) {
+                prop_assert_eq!(a, 0, "idle queue got threads");
+            }
+            if *q > 0.0 {
+                prop_assert!(a >= 1, "active queue starved");
+            }
+        }
+        // Budget respected up to the at-least-one floor.
+        prop_assert!(alloc.iter().sum::<u32>() <= budget.max(nonzero));
+    }
+
+    /// normalize_to_budget preserves relative order and never zeroes a
+    /// non-zero share.
+    #[test]
+    fn normalize_preserves_order(
+        mut alloc in proptest::collection::vec(0u32..100, 1..12),
+        budget in 1u32..64,
+    ) {
+        let before = alloc.clone();
+        normalize_to_budget(&mut alloc, budget);
+        for (b, a) in before.iter().zip(&alloc) {
+            prop_assert!(*a <= *b || before.iter().sum::<u32>() <= budget);
+            if *b > 0 {
+                prop_assert!(*a >= 1, "non-zero share zeroed");
+            } else {
+                prop_assert_eq!(*a, 0);
+            }
+        }
+        // Relative ordering preserved.
+        for i in 0..alloc.len() {
+            for j in 0..alloc.len() {
+                if before[i] > before[j] {
+                    prop_assert!(alloc[i] >= alloc[j], "order inverted at {i},{j}");
+                }
+            }
+        }
+    }
+
+    /// Segmented least squares: segments tile the x-range in order, and the
+    /// fit's SSE never increases when the penalty decreases.
+    #[test]
+    fn regression_fit_is_well_formed(
+        ys in proptest::collection::vec(0.0f64..100.0, 2..24),
+    ) {
+        let pts: Vec<(f64, f64)> =
+            ys.iter().enumerate().map(|(i, &y)| (i as f64 + 1.0, y)).collect();
+        let coarse = PiecewiseLinear::fit(&pts, 1e6);
+        let fine = PiecewiseLinear::fit(&pts, 1e-3);
+        prop_assert!(fine.sse <= coarse.sse + 1e-9);
+        for m in [&coarse, &fine] {
+            let segs = m.segments();
+            prop_assert!(!segs.is_empty());
+            for w in segs.windows(2) {
+                prop_assert!(w[0].x_hi <= w[1].x_lo + 1e-12, "segments out of order");
+            }
+            prop_assert!((segs[0].x_lo - 1.0).abs() < 1e-12);
+            prop_assert!((segs.last().unwrap().x_hi - pts.len() as f64) < 1e-9);
+            // Prediction is finite everywhere in range.
+            for x in 1..=pts.len() {
+                prop_assert!(m.predict(x as f64).is_finite());
+            }
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Synthetic training-dataset models.
+//!
+//! The paper trains on ImageNet-1K (1,281,167 samples, 135 GB) and
+//! ImageNet-22K (14,197,103 samples, 1.3 TB). Neither dataset is available
+//! here — and neither is needed: every quantity the I/O pipeline cares about
+//! is a function of the *number* of samples, their *sizes*, and the *access
+//! order*. This module generates size tables that match the papers' reported
+//! cardinalities, total sizes, and size ranges, deterministically from a
+//! seed.
+
+use lobster_sim::Xoshiro256StarStar;
+use serde::{Deserialize, Serialize};
+
+/// Index of a training sample within its dataset. Dense, starting at 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SampleId(pub u32);
+
+impl SampleId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Distribution of per-sample sizes in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SizeDistribution {
+    /// Every sample has the same size.
+    Constant { bytes: u64 },
+    /// Uniform in `[lo, hi)`.
+    Uniform { lo: u64, hi: u64 },
+    /// Log-normal with the given parameters of the underlying normal
+    /// (sizes in bytes), clamped to `[min, max]`. JPEG-compressed image
+    /// sizes are classically log-normal.
+    LogNormal { mu: f64, sigma: f64, min: u64, max: u64 },
+}
+
+impl SizeDistribution {
+    /// Draw one size.
+    pub fn sample(&self, rng: &mut Xoshiro256StarStar) -> u64 {
+        match *self {
+            SizeDistribution::Constant { bytes } => bytes,
+            SizeDistribution::Uniform { lo, hi } => rng.range_u64(lo, hi.max(lo + 1)),
+            SizeDistribution::LogNormal { mu, sigma, min, max } => {
+                let v = rng.lognormal(mu, sigma);
+                (v as u64).clamp(min, max)
+            }
+        }
+    }
+}
+
+/// Static description of a dataset: how many samples and how big each one is.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Human-readable name used in reports ("imagenet-1k" etc.).
+    pub name: String,
+    /// Per-sample sizes in bytes, indexed by [`SampleId`].
+    sizes: Vec<u32>,
+    /// Cached sum of `sizes`.
+    total_bytes: u64,
+}
+
+impl Dataset {
+    /// Generate a dataset of `n` samples with the given size distribution,
+    /// deterministically from `seed`.
+    pub fn generate(name: &str, n: usize, dist: SizeDistribution, seed: u64) -> Dataset {
+        assert!(n > 0, "a dataset needs at least one sample");
+        assert!(n <= u32::MAX as usize, "sample ids are u32");
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let mut sizes = Vec::with_capacity(n);
+        let mut total = 0u64;
+        for _ in 0..n {
+            let s = dist.sample(&mut rng).min(u32::MAX as u64) as u32;
+            // Zero-byte samples break nothing but are physically meaningless.
+            let s = s.max(1);
+            sizes.push(s);
+            total += s as u64;
+        }
+        Dataset { name: name.to_string(), sizes, total_bytes: total }
+    }
+
+    /// Number of samples `|D|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.sizes.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.sizes.is_empty()
+    }
+
+    /// Size in bytes of sample `id` (`s_i` in the paper's notation).
+    #[inline]
+    pub fn size_of(&self, id: SampleId) -> u64 {
+        self.sizes[id.index()] as u64
+    }
+
+    /// Total dataset size `S = Σ s_i`.
+    #[inline]
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Mean sample size in bytes.
+    pub fn mean_sample_bytes(&self) -> f64 {
+        self.total_bytes as f64 / self.len() as f64
+    }
+
+    /// Sum of sizes of a batch of samples.
+    pub fn batch_bytes(&self, batch: &[SampleId]) -> u64 {
+        batch.iter().map(|&s| self.size_of(s)).sum()
+    }
+}
+
+/// Preset matching ImageNet-1K (1.28 M samples, ≈135 GB, ≈105 KB mean,
+/// log-normal sizes). `scale` divides the sample count: `scale = 1` is the
+/// paper's full dataset; experiments on small machines use e.g. `scale = 16`
+/// with the cache scaled by the same factor, which preserves every ratio the
+/// policies see.
+pub fn imagenet_1k(scale: u32, seed: u64) -> Dataset {
+    let n = (1_281_167 / scale.max(1) as usize).max(1);
+    // median ≈ 90 KB, sigma 0.55 → mean ≈ 105 KB → total ≈ 135 GB at scale 1.
+    let dist = SizeDistribution::LogNormal {
+        mu: (90_000f64).ln(),
+        sigma: 0.55,
+        min: 4_096,
+        max: 4_000_000,
+    };
+    Dataset::generate(&format!("imagenet-1k/{scale}"), n, dist, seed)
+}
+
+/// Preset matching ImageNet-22K (14.2 M samples, ≈1.3 TB; the paper reports
+/// "most" samples between 10 KB and 50 KB with a heavy tail giving a ≈92 KB
+/// mean). See [`imagenet_1k`] for the meaning of `scale`.
+pub fn imagenet_22k(scale: u32, seed: u64) -> Dataset {
+    let n = (14_197_103 / scale.max(1) as usize).max(1);
+    // median 30 KB, sigma 1.5 → mean ≈ 92 KB → total ≈ 1.3 TB at scale 1.
+    let dist = SizeDistribution::LogNormal {
+        mu: (30_000f64).ln(),
+        sigma: 1.5,
+        min: 2_048,
+        max: 8_000_000,
+    };
+    Dataset::generate(&format!("imagenet-22k/{scale}"), n, dist, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_is_deterministic() {
+        let a = Dataset::generate("t", 1000, SizeDistribution::Uniform { lo: 10, hi: 20 }, 1);
+        let b = Dataset::generate("t", 1000, SizeDistribution::Uniform { lo: 10, hi: 20 }, 1);
+        let c = Dataset::generate("t", 1000, SizeDistribution::Uniform { lo: 10, hi: 20 }, 2);
+        assert_eq!(a.total_bytes(), b.total_bytes());
+        assert_ne!(a.total_bytes(), c.total_bytes());
+        for i in 0..1000 {
+            assert_eq!(a.size_of(SampleId(i)), b.size_of(SampleId(i)));
+        }
+    }
+
+    #[test]
+    fn constant_distribution_is_exact() {
+        let d = Dataset::generate("c", 100, SizeDistribution::Constant { bytes: 1234 }, 0);
+        assert_eq!(d.total_bytes(), 123_400);
+        assert_eq!(d.mean_sample_bytes(), 1234.0);
+        assert_eq!(d.size_of(SampleId(99)), 1234);
+    }
+
+    #[test]
+    fn uniform_sizes_in_bounds() {
+        let d = Dataset::generate("u", 10_000, SizeDistribution::Uniform { lo: 100, hi: 200 }, 7);
+        for i in 0..10_000u32 {
+            let s = d.size_of(SampleId(i));
+            assert!((100..200).contains(&s), "size {s} out of range");
+        }
+    }
+
+    #[test]
+    fn imagenet_1k_preset_matches_paper_statistics() {
+        // Scaled 1/64 to keep the test fast; statistics are scale-free.
+        let d = imagenet_1k(64, 42);
+        assert_eq!(d.len(), 1_281_167 / 64);
+        let mean = d.mean_sample_bytes();
+        // Paper: 135 GB / 1.28 M ≈ 105 KB. Accept ±15%.
+        assert!((90_000.0..125_000.0).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn imagenet_22k_preset_matches_paper_statistics() {
+        let d = imagenet_22k(256, 42);
+        assert_eq!(d.len(), 14_197_103 / 256);
+        let mean = d.mean_sample_bytes();
+        // Paper: 1.3 TB / 14.2 M ≈ 92 KB. Heavy-tailed, so accept ±25%.
+        assert!((69_000.0..115_000.0).contains(&mean), "mean {mean}");
+        // "most with an image size of between 10 KB and 50 KB": the median
+        // must sit in that range even though the mean is pulled up.
+        let mut sizes: Vec<u64> = (0..d.len() as u32).map(|i| d.size_of(SampleId(i))).collect();
+        sizes.sort_unstable();
+        let median = sizes[sizes.len() / 2];
+        assert!((10_000..50_000).contains(&median), "median {median}");
+    }
+
+    #[test]
+    fn batch_bytes_sums_members() {
+        let d = Dataset::generate("b", 10, SizeDistribution::Constant { bytes: 5 }, 0);
+        let batch = [SampleId(0), SampleId(3), SampleId(9)];
+        assert_eq!(d.batch_bytes(&batch), 15);
+    }
+
+    #[test]
+    fn sizes_never_zero() {
+        let d = Dataset::generate(
+            "z",
+            1000,
+            SizeDistribution::LogNormal { mu: 0.0, sigma: 0.1, min: 0, max: 10 },
+            3,
+        );
+        for i in 0..1000u32 {
+            assert!(d.size_of(SampleId(i)) >= 1);
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! # lobster-data
+//!
+//! Synthetic datasets, deterministic distributed shuffling, and the
+//! future-access oracle for the Lobster reproduction.
+//!
+//! * [`dataset`] — sample-size tables matching ImageNet-1K/22K statistics.
+//! * [`schedule`] — seeded per-epoch shuffles with PyTorch
+//!   `DistributedSampler` partitioning (the deterministic access pattern
+//!   both NoPFS and Lobster exploit).
+//! * [`oracle`] — per-node reuse-distance / reuse-count oracle over a
+//!   sliding window of epochs (paper §4.4).
+
+pub mod dataset;
+pub mod oracle;
+pub mod partition;
+pub mod schedule;
+
+pub use dataset::{imagenet_1k, imagenet_22k, Dataset, SampleId, SizeDistribution};
+pub use oracle::{FutureUse, NodeOracle};
+pub use partition::{generate_node_local, PartitionScheme};
+pub use schedule::{EpochSchedule, ScheduleSpec};

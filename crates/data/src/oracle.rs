@@ -1,0 +1,334 @@
+//! The future-access oracle: reuse distances and reuse counts.
+//!
+//! Because the shuffle is seeded, "we can determine, at each moment during
+//! training, (1) how many times each training sample will be reused by all
+//! GPUs until the end of training; (2) the minimum reuse distance of each
+//! training sample across all GPUs" (paper §4.4). This module materializes
+//! exactly that knowledge for one node over a sliding window of upcoming
+//! epochs.
+//!
+//! The representation is the classic compact one: the node's access stream
+//! (all its GPUs' batches, iteration by iteration) plus a `next_use_pos`
+//! array computed with one reverse sweep, and a live map from sample to its
+//! next stream position that is advanced as iterations complete. Memory is
+//! O(window accesses), not O(|D| × epochs).
+
+use crate::dataset::SampleId;
+use crate::schedule::EpochSchedule;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+const NONE: u32 = u32::MAX;
+
+/// Statistics of one sample's future, as seen from the oracle's cursor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FutureUse {
+    /// Global iteration index of the next access on this node.
+    pub next_iteration: u64,
+    /// Number of accesses remaining within the oracle window (the paper's
+    /// "reuse count until the end of training", bounded by the window).
+    pub remaining_uses: u32,
+}
+
+/// Future-access oracle for a single node.
+#[derive(Debug, Clone)]
+pub struct NodeOracle {
+    node: usize,
+    /// Concatenated access stream over the window, grouped by iteration.
+    stream: Vec<SampleId>,
+    /// CSR offsets: iteration `k` (window-relative) owns
+    /// `stream[iter_offsets[k]..iter_offsets[k+1]]`.
+    iter_offsets: Vec<u32>,
+    /// For each stream position, the next position of the same sample
+    /// (or `NONE`).
+    next_use_pos: Vec<u32>,
+    /// Live view: sample → its next unconsumed stream position.
+    next_of: HashMap<u32, u32>,
+    /// Live view: sample → accesses remaining in the window.
+    remaining: HashMap<u32, u32>,
+    /// Window-relative index of the first unconsumed iteration.
+    cursor: usize,
+    /// Global iteration index corresponding to window-relative 0.
+    base_iteration: u64,
+}
+
+impl NodeOracle {
+    /// Build an oracle for `node` over `window` (consecutive epochs, in
+    /// order). `base_iteration` is the global index of the window's first
+    /// iteration.
+    pub fn build(node: usize, window: &[&EpochSchedule], base_iteration: u64) -> NodeOracle {
+        assert!(!window.is_empty(), "oracle needs at least one epoch");
+        let spec = window[0].spec();
+        let per_iter = spec.gpus_per_node * spec.batch_size;
+        let total_iters: usize = window.iter().map(|e| e.iterations()).sum();
+        let mut stream = Vec::with_capacity(total_iters * per_iter);
+        let mut iter_offsets = Vec::with_capacity(total_iters + 1);
+        iter_offsets.push(0u32);
+        for epoch in window {
+            debug_assert_eq!(epoch.spec(), spec, "window epochs must share a spec");
+            for h in 0..epoch.iterations() {
+                stream.extend_from_slice(epoch.node_iteration(h, node));
+                iter_offsets.push(stream.len() as u32);
+            }
+        }
+
+        // Reverse sweep: next occurrence of each sample after each position.
+        let mut next_use_pos = vec![NONE; stream.len()];
+        let mut last_seen: HashMap<u32, u32> = HashMap::new();
+        for p in (0..stream.len()).rev() {
+            let s = stream[p].0;
+            let e = last_seen.entry(s).or_insert(NONE);
+            next_use_pos[p] = *e;
+            *e = p as u32;
+        }
+        // After the sweep, `last_seen` maps each sample to its *first*
+        // occurrence: exactly the initial live view.
+        let next_of = last_seen;
+
+        let mut remaining: HashMap<u32, u32> = HashMap::with_capacity(next_of.len());
+        for s in &stream {
+            *remaining.entry(s.0).or_insert(0) += 1;
+        }
+
+        NodeOracle {
+            node,
+            stream,
+            iter_offsets,
+            next_use_pos,
+            next_of,
+            remaining,
+            cursor: 0,
+            base_iteration,
+        }
+    }
+
+    /// Which node this oracle describes.
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// Global iteration index of the first unconsumed iteration.
+    pub fn current_iteration(&self) -> u64 {
+        self.base_iteration + self.cursor as u64
+    }
+
+    /// Number of iterations covered by the window.
+    pub fn window_iterations(&self) -> usize {
+        self.iter_offsets.len() - 1
+    }
+
+    /// True once every iteration in the window has been consumed.
+    pub fn exhausted(&self) -> bool {
+        self.cursor >= self.window_iterations()
+    }
+
+    /// Window-relative iteration containing stream position `p`.
+    fn iter_of_pos(&self, p: u32) -> usize {
+        // partition_point returns the count of offsets ≤ p, i.e. the
+        // iteration index + 1.
+        self.iter_offsets.partition_point(|&off| off <= p) - 1
+    }
+
+    /// The future of `sample` as seen from the cursor, or `None` if it is
+    /// not accessed again on this node within the window.
+    pub fn future_of(&self, sample: SampleId) -> Option<FutureUse> {
+        let &pos = self.next_of.get(&sample.0)?;
+        if pos == NONE {
+            return None;
+        }
+        let next_iteration = self.base_iteration + self.iter_of_pos(pos) as u64;
+        let remaining_uses = self.remaining.get(&sample.0).copied().unwrap_or(0);
+        Some(FutureUse { next_iteration, remaining_uses })
+    }
+
+    /// Reuse distance of `sample` measured from global iteration `from`:
+    /// `next_iteration − from`, or `None` if never reused in the window.
+    pub fn reuse_distance_from(&self, sample: SampleId, from: u64) -> Option<u64> {
+        self.future_of(sample).map(|f| f.next_iteration.saturating_sub(from))
+    }
+
+    /// Samples accessed by this node during the window-relative iteration
+    /// that is `lookahead` iterations past the cursor (0 = next to run).
+    pub fn upcoming_iteration(&self, lookahead: usize) -> &[SampleId] {
+        let k = self.cursor + lookahead;
+        if k >= self.window_iterations() {
+            return &[];
+        }
+        let a = self.iter_offsets[k] as usize;
+        let b = self.iter_offsets[k + 1] as usize;
+        &self.stream[a..b]
+    }
+
+    /// Consume the next iteration: updates every touched sample's next-use
+    /// position and remaining count. Returns the consumed slice bounds.
+    pub fn advance(&mut self) {
+        assert!(!self.exhausted(), "advancing an exhausted oracle");
+        let a = self.iter_offsets[self.cursor] as usize;
+        let b = self.iter_offsets[self.cursor + 1] as usize;
+        for p in a..b {
+            let s = self.stream[p].0;
+            let next = self.next_use_pos[p];
+            if next == NONE {
+                self.next_of.remove(&s);
+            } else {
+                self.next_of.insert(s, next);
+            }
+            if let Some(c) = self.remaining.get_mut(&s) {
+                *c -= 1;
+                if *c == 0 {
+                    self.remaining.remove(&s);
+                }
+            }
+        }
+        self.cursor += 1;
+    }
+
+    /// All reuse distances observed in the window (gap in iterations between
+    /// consecutive accesses of the same sample on this node). This is the
+    /// data behind the paper's Figure 4 histogram.
+    pub fn reuse_distances(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        for p in 0..self.stream.len() {
+            let next = self.next_use_pos[p];
+            if next != NONE {
+                let d = self.iter_of_pos(next) as u64 - self.iter_of_pos(p as u32) as u64;
+                out.push(d);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::ScheduleSpec;
+
+    fn spec(dataset_len: usize) -> ScheduleSpec {
+        ScheduleSpec { nodes: 2, gpus_per_node: 2, batch_size: 2, dataset_len, seed: 77 }
+    }
+
+    fn two_epoch_oracle(dataset_len: usize, node: usize) -> (NodeOracle, Vec<EpochSchedule>) {
+        let s = spec(dataset_len);
+        let e0 = EpochSchedule::generate(s, 0);
+        let e1 = EpochSchedule::generate(s, 1);
+        let oracle = NodeOracle::build(node, &[&e0, &e1], 0);
+        (oracle, vec![e0, e1])
+    }
+
+    /// Naive recomputation of the next use of `sample` at cursor `from_iter`.
+    fn naive_next_use(
+        epochs: &[EpochSchedule],
+        node: usize,
+        sample: SampleId,
+        from_iter: usize,
+    ) -> Option<usize> {
+        let iters = epochs[0].iterations();
+        let mut global = 0usize;
+        for e in epochs {
+            for h in 0..iters {
+                if global >= from_iter && e.node_iteration(h, node).contains(&sample) {
+                    return Some(global);
+                }
+                global += 1;
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn future_matches_naive_recomputation_at_start() {
+        let (oracle, epochs) = two_epoch_oracle(64, 0);
+        for id in 0..64u32 {
+            let s = SampleId(id);
+            let got = oracle.future_of(s).map(|f| f.next_iteration as usize);
+            let want = naive_next_use(&epochs, 0, s, 0);
+            assert_eq!(got, want, "sample {id}");
+        }
+    }
+
+    #[test]
+    fn future_matches_naive_after_advancing() {
+        let (mut oracle, epochs) = two_epoch_oracle(64, 1);
+        for step in 0..oracle.window_iterations() {
+            for id in 0..64u32 {
+                let s = SampleId(id);
+                let got = oracle.future_of(s).map(|f| f.next_iteration as usize);
+                let want = naive_next_use(&epochs, 1, s, step);
+                assert_eq!(got, want, "sample {id} at step {step}");
+            }
+            oracle.advance();
+        }
+        assert!(oracle.exhausted());
+    }
+
+    #[test]
+    fn remaining_uses_counts_down() {
+        let (mut oracle, _eps) = two_epoch_oracle(32, 0);
+        // Each sample lands on a node once per epoch at most; with 2 epochs,
+        // remaining_uses starts at ≤ 2 and strictly decreases on access.
+        let sample = oracle.upcoming_iteration(0)[0];
+        let before = oracle.future_of(sample).unwrap().remaining_uses;
+        assert!(before >= 1);
+        oracle.advance();
+        let after = oracle.future_of(sample).map(|f| f.remaining_uses).unwrap_or(0);
+        assert_eq!(after, before - 1);
+    }
+
+    #[test]
+    fn upcoming_iteration_matches_schedule() {
+        let s = spec(64);
+        let e0 = EpochSchedule::generate(s, 0);
+        let e1 = EpochSchedule::generate(s, 1);
+        let mut oracle = NodeOracle::build(0, &[&e0, &e1], 0);
+        let iters = e0.iterations();
+        for h in 0..iters {
+            assert_eq!(oracle.upcoming_iteration(0), e0.node_iteration(h, 0));
+            oracle.advance();
+        }
+        // Cursor now at epoch 1.
+        assert_eq!(oracle.upcoming_iteration(0), e1.node_iteration(0, 0));
+        assert_eq!(oracle.current_iteration(), iters as u64);
+    }
+
+    #[test]
+    fn lookahead_beyond_window_is_empty() {
+        let (oracle, _eps) = two_epoch_oracle(32, 0);
+        assert!(oracle.upcoming_iteration(10_000).is_empty());
+    }
+
+    #[test]
+    fn reuse_distances_are_positive_and_bounded() {
+        let (oracle, _eps) = two_epoch_oracle(128, 0);
+        let dists = oracle.reuse_distances();
+        assert!(!dists.is_empty(), "two epochs must create reuse");
+        let max_iters = oracle.window_iterations() as u64;
+        for d in dists {
+            assert!(d >= 1 && d < max_iters, "distance {d} out of range");
+        }
+    }
+
+    #[test]
+    fn base_iteration_offsets_global_indices() {
+        let s = spec(64);
+        let e0 = EpochSchedule::generate(s, 5);
+        let oracle = NodeOracle::build(0, &[&e0], 500);
+        assert_eq!(oracle.current_iteration(), 500);
+        let sample = oracle.upcoming_iteration(0)[0];
+        assert_eq!(oracle.future_of(sample).unwrap().next_iteration, 500);
+        assert_eq!(oracle.reuse_distance_from(sample, 500), Some(0));
+    }
+
+    #[test]
+    fn single_epoch_samples_used_once_have_no_future_after_advance() {
+        let s = spec(32);
+        let e0 = EpochSchedule::generate(s, 0);
+        let mut oracle = NodeOracle::build(0, &[&e0], 0);
+        let first = oracle.upcoming_iteration(0).to_vec();
+        oracle.advance();
+        for sm in first {
+            // Within one epoch each sample is accessed exactly once.
+            assert!(oracle.future_of(sm).is_none(), "{sm:?} should be done");
+        }
+    }
+}

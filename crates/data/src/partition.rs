@@ -1,0 +1,160 @@
+//! Sampling-partition schemes.
+//!
+//! The paper's environment shuffles globally (PyTorch `DistributedSampler`
+//! semantics — every sample may land on any rank each epoch), and notes
+//! that determinism can be arranged "by fixing the pseudorandom number
+//! generator seed of each node such that it is a function of a fixed seed
+//! and the node id". Large-scale practice also uses **node-local
+//! shuffling**: the dataset is sharded across nodes once, and each node
+//! reshuffles only its own shard each epoch. The two schemes put very
+//! different pressure on the cache — under local shuffling a sample's
+//! on-node reuse distance is exactly one epoch, so even a recency cache
+//! covering the shard achieves near-perfect hits — at the cost of
+//! statistical mixing.
+//!
+//! [`EpochSchedule::generate`](crate::schedule::EpochSchedule::generate) is
+//! the global scheme; [`generate_node_local`] is the sharded scheme, with
+//! the same `(iteration, node, gpu) → batch` interface.
+
+use crate::dataset::SampleId;
+use crate::schedule::{EpochSchedule, ScheduleSpec};
+use lobster_sim::{derive_seed, Xoshiro256StarStar};
+
+/// How an epoch's samples are assigned to ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionScheme {
+    /// One global shuffle per epoch, strided across ranks (PyTorch
+    /// `DistributedSampler`; the paper's setting).
+    GlobalShuffle,
+    /// Static shard per node, reshuffled locally each epoch with a
+    /// node-specific seed (`derive_seed(seed ⊕ node, epoch)`).
+    NodeLocalShuffle,
+}
+
+/// Generate an epoch schedule under the chosen scheme.
+pub fn generate(spec: ScheduleSpec, epoch: u64, scheme: PartitionScheme) -> EpochSchedule {
+    match scheme {
+        PartitionScheme::GlobalShuffle => EpochSchedule::generate(spec, epoch),
+        PartitionScheme::NodeLocalShuffle => generate_node_local(spec, epoch),
+    }
+}
+
+/// Node-local shuffling: node `i` permanently owns the contiguous shard
+/// `[i·⌈|D|/N⌉, …)` and reshuffles it with its own per-epoch seed. The
+/// result is repackaged through the standard [`EpochSchedule`] layout so
+/// all consumers (oracle, executor) work unchanged.
+pub fn generate_node_local(spec: ScheduleSpec, epoch: u64) -> EpochSchedule {
+    let nodes = spec.nodes;
+    let shard = spec.dataset_len.div_ceil(nodes);
+    let iters = spec.iterations_per_epoch();
+    assert!(iters > 0, "dataset too small for even one iteration");
+    let per_node_iter = spec.gpus_per_node * spec.batch_size;
+
+    // Per-node shuffled shard streams.
+    let mut streams: Vec<Vec<SampleId>> = Vec::with_capacity(nodes);
+    for node in 0..nodes {
+        let lo = (node * shard).min(spec.dataset_len);
+        let hi = ((node + 1) * shard).min(spec.dataset_len);
+        let mut ids: Vec<SampleId> = (lo as u32..hi as u32).map(SampleId).collect();
+        let node_seed = derive_seed(spec.seed ^ (node as u64).wrapping_mul(0x9E3779B97F4A7C15), epoch);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(node_seed);
+        rng.shuffle(&mut ids);
+        assert!(
+            ids.len() >= iters * per_node_iter,
+            "shard of node {node} too small: {} < {}",
+            ids.len(),
+            iters * per_node_iter
+        );
+        streams.push(ids);
+    }
+
+    // Repackage into the standard layout: iteration h, node i, gpu j gets
+    // the next |B| samples of node i's stream.
+    let mut order = Vec::with_capacity(iters * per_node_iter * nodes);
+    for h in 0..iters {
+        for stream in &streams {
+            let base = h * per_node_iter;
+            order.extend_from_slice(&stream[base..base + per_node_iter]);
+        }
+    }
+    EpochSchedule::from_order(spec, epoch, order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn spec() -> ScheduleSpec {
+        ScheduleSpec { nodes: 2, gpus_per_node: 2, batch_size: 4, dataset_len: 128, seed: 5 }
+    }
+
+    #[test]
+    fn node_local_keeps_samples_on_their_shard() {
+        let s = generate_node_local(spec(), 3);
+        let shard = 64u32; // 128 / 2
+        for h in 0..s.iterations() {
+            for &id in s.node_iteration(h, 0) {
+                assert!(id.0 < shard, "node 0 saw foreign sample {id:?}");
+            }
+            for &id in s.node_iteration(h, 1) {
+                assert!(id.0 >= shard, "node 1 saw foreign sample {id:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn node_local_is_duplicate_free_per_epoch() {
+        let s = generate_node_local(spec(), 0);
+        let seen: HashSet<_> = s.all_accesses().iter().copied().collect();
+        assert_eq!(seen.len(), s.all_accesses().len());
+    }
+
+    #[test]
+    fn node_local_reshuffles_between_epochs_but_keeps_shards() {
+        let a = generate_node_local(spec(), 0);
+        let b = generate_node_local(spec(), 1);
+        assert_ne!(a.all_accesses(), b.all_accesses(), "epochs must differ");
+        // But each node's *set* of samples is identical across epochs.
+        for node in 0..2 {
+            let set = |s: &EpochSchedule| -> HashSet<SampleId> {
+                (0..s.iterations()).flat_map(|h| s.node_iteration(h, node).to_vec()).collect()
+            };
+            assert_eq!(set(&a), set(&b), "node {node} shard changed across epochs");
+        }
+    }
+
+    #[test]
+    fn global_shuffle_moves_samples_across_nodes() {
+        let a = generate(spec(), 0, PartitionScheme::GlobalShuffle);
+        let b = generate(spec(), 1, PartitionScheme::GlobalShuffle);
+        let node0 = |s: &EpochSchedule| -> HashSet<SampleId> {
+            (0..s.iterations()).flat_map(|h| s.node_iteration(h, 0).to_vec()).collect()
+        };
+        assert_ne!(node0(&a), node0(&b), "global shuffle must migrate samples across epochs");
+    }
+
+    #[test]
+    fn both_schemes_share_the_layout_contract() {
+        for scheme in [PartitionScheme::GlobalShuffle, PartitionScheme::NodeLocalShuffle] {
+            let s = generate(spec(), 2, scheme);
+            for h in 0..s.iterations() {
+                for node in 0..2 {
+                    let mut cat = Vec::new();
+                    for gpu in 0..2 {
+                        assert_eq!(s.batch(h, node, gpu).len(), 4);
+                        cat.extend_from_slice(s.batch(h, node, gpu));
+                    }
+                    assert_eq!(s.node_iteration(h, node), cat.as_slice());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn node_local_is_deterministic() {
+        let a = generate_node_local(spec(), 7);
+        let b = generate_node_local(spec(), 7);
+        assert_eq!(a.all_accesses(), b.all_accesses());
+    }
+}

@@ -1,0 +1,247 @@
+//! Deterministic distributed sampling schedule.
+//!
+//! Data-parallel training shuffles the full sample index list once per epoch
+//! with a seeded PRNG and partitions it across ranks (paper §2: "the seed of
+//! the pseudo-random number generator is known in advance [so] the I/O
+//! access pattern ... can be made fully deterministic"). We mirror PyTorch's
+//! `DistributedSampler` semantics: rank `r` of `W` takes indices
+//! `perm[r], perm[r+W], perm[r+2W], …` and groups consecutive ones into
+//! mini-batches of `|B|`.
+
+use crate::dataset::SampleId;
+use lobster_sim::{derive_seed, Xoshiro256StarStar};
+use serde::{Deserialize, Serialize};
+
+/// Topology and sampling parameters for one training job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScheduleSpec {
+    /// Number of compute nodes `N`.
+    pub nodes: usize,
+    /// GPUs per node `M`.
+    pub gpus_per_node: usize,
+    /// Mini-batch size per GPU `|B|`.
+    pub batch_size: usize,
+    /// Number of samples in the dataset `|D|`.
+    pub dataset_len: usize,
+    /// Base shuffle seed; epoch `e` uses `derive_seed(seed, e)`.
+    pub seed: u64,
+}
+
+impl ScheduleSpec {
+    /// Total number of ranks (GPUs) `N × M`.
+    #[inline]
+    pub fn world_size(&self) -> usize {
+        self.nodes * self.gpus_per_node
+    }
+
+    /// Iterations per epoch `I = ⌊|D| / (|B|·N·M)⌋` (the trailing partial
+    /// iteration is dropped, as the paper's formulation allows).
+    #[inline]
+    pub fn iterations_per_epoch(&self) -> usize {
+        self.dataset_len / (self.batch_size * self.world_size())
+    }
+
+    /// Global rank of GPU `g` on node `n`.
+    #[inline]
+    pub fn rank(&self, node: usize, gpu: usize) -> usize {
+        debug_assert!(node < self.nodes && gpu < self.gpus_per_node);
+        node * self.gpus_per_node + gpu
+    }
+
+    /// Samples consumed per iteration across the whole cluster.
+    #[inline]
+    pub fn samples_per_iteration(&self) -> usize {
+        self.batch_size * self.world_size()
+    }
+}
+
+/// The fully materialized access schedule for one epoch: who reads which
+/// sample at which iteration. This is the "foreknowledge" that deterministic
+/// prefetching (NoPFS, Lobster) exploits.
+#[derive(Debug, Clone)]
+pub struct EpochSchedule {
+    spec: ScheduleSpec,
+    epoch: u64,
+    /// The shuffled permutation, truncated to `I × |B| × W` entries and laid
+    /// out so that rank `r`, iteration `h` is the contiguous slice
+    /// `[(h·W + r)·|B| .. (h·W + r + 1)·|B|)`... see `batch()` for the exact
+    /// indexing. Contiguity makes batch access allocation-free.
+    order: Vec<SampleId>,
+}
+
+impl EpochSchedule {
+    /// Build a schedule from a pre-laid-out access order (used by the
+    /// alternative partition schemes in [`crate::partition`]). `order` must
+    /// follow the standard layout:
+    /// `order[(h·W + rank)·|B| + b]` is rank `rank`'s `b`-th sample of
+    /// iteration `h`.
+    pub fn from_order(spec: ScheduleSpec, epoch: u64, order: Vec<SampleId>) -> EpochSchedule {
+        let expect = spec.iterations_per_epoch() * spec.batch_size * spec.world_size();
+        assert_eq!(order.len(), expect, "order length must match the layout");
+        EpochSchedule { spec, epoch, order }
+    }
+
+    /// Build the schedule for `epoch` by shuffling `0..|D|` with the epoch
+    /// seed and partitioning across ranks.
+    pub fn generate(spec: ScheduleSpec, epoch: u64) -> EpochSchedule {
+        let world = spec.world_size();
+        assert!(world > 0 && spec.batch_size > 0, "degenerate schedule spec");
+        let iters = spec.iterations_per_epoch();
+        assert!(iters > 0, "dataset too small for even one iteration");
+        let mut perm: Vec<u32> = (0..spec.dataset_len as u32).collect();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(derive_seed(spec.seed, epoch));
+        rng.shuffle(&mut perm);
+
+        // DistributedSampler semantics: rank r's k-th sample is
+        // perm[k*W + r]. Re-lay it out batch-contiguously:
+        // order[((h*W)+r)*B + b] = perm[(h*B + b)*W + r].
+        let used = iters * spec.batch_size * world;
+        let mut order = Vec::with_capacity(used);
+        for h in 0..iters {
+            for r in 0..world {
+                for b in 0..spec.batch_size {
+                    let k = h * spec.batch_size + b; // rank-local position
+                    order.push(SampleId(perm[k * world + r]));
+                }
+            }
+        }
+        EpochSchedule { spec, epoch, order }
+    }
+
+    /// The spec this schedule was generated from.
+    #[inline]
+    pub fn spec(&self) -> &ScheduleSpec {
+        &self.spec
+    }
+
+    /// Epoch number this schedule covers.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Iterations in this epoch.
+    #[inline]
+    pub fn iterations(&self) -> usize {
+        self.spec.iterations_per_epoch()
+    }
+
+    /// Mini-batch `B^{h,i,j}` for iteration `h`, node `i`, GPU `j`.
+    pub fn batch(&self, iteration: usize, node: usize, gpu: usize) -> &[SampleId] {
+        let r = self.spec.rank(node, gpu);
+        let w = self.spec.world_size();
+        let b = self.spec.batch_size;
+        let start = (iteration * w + r) * b;
+        &self.order[start..start + b]
+    }
+
+    /// All samples accessed by any GPU of `node` during `iteration`
+    /// (`B^{h}` restricted to node `i`): the concatenation of its GPUs'
+    /// batches, in GPU order.
+    pub fn node_iteration(&self, iteration: usize, node: usize) -> &[SampleId] {
+        let w = self.spec.world_size();
+        let b = self.spec.batch_size;
+        let first_rank = self.spec.rank(node, 0);
+        let start = (iteration * w + first_rank) * b;
+        let len = self.spec.gpus_per_node * b;
+        &self.order[start..start + len]
+    }
+
+    /// Every access in the epoch in (iteration, rank, batch-position) order.
+    pub fn all_accesses(&self) -> &[SampleId] {
+        &self.order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ScheduleSpec {
+        ScheduleSpec { nodes: 2, gpus_per_node: 2, batch_size: 4, dataset_len: 103, seed: 9 }
+    }
+
+    #[test]
+    fn iterations_drop_partial_batch() {
+        let s = spec();
+        // 103 / (4 * 4) = 6 full iterations, 7 samples dropped.
+        assert_eq!(s.iterations_per_epoch(), 6);
+        assert_eq!(s.samples_per_iteration(), 16);
+    }
+
+    #[test]
+    fn schedule_is_deterministic_per_epoch() {
+        let a = EpochSchedule::generate(spec(), 0);
+        let b = EpochSchedule::generate(spec(), 0);
+        let c = EpochSchedule::generate(spec(), 1);
+        assert_eq!(a.all_accesses(), b.all_accesses());
+        assert_ne!(a.all_accesses(), c.all_accesses());
+    }
+
+    #[test]
+    fn no_sample_repeats_within_an_epoch() {
+        let s = EpochSchedule::generate(spec(), 3);
+        let mut seen = std::collections::HashSet::new();
+        for &id in s.all_accesses() {
+            assert!(seen.insert(id), "sample {id:?} scheduled twice in one epoch");
+        }
+        assert_eq!(seen.len(), 96); // 6 iters × 16 samples
+    }
+
+    #[test]
+    fn batches_partition_each_iteration() {
+        let s = EpochSchedule::generate(spec(), 0);
+        for h in 0..s.iterations() {
+            let mut via_batches: Vec<SampleId> = Vec::new();
+            for n in 0..2 {
+                for g in 0..2 {
+                    via_batches.extend_from_slice(s.batch(h, n, g));
+                }
+            }
+            let direct: Vec<SampleId> =
+                s.all_accesses()[h * 16..(h + 1) * 16].to_vec();
+            assert_eq!(via_batches, direct);
+        }
+    }
+
+    #[test]
+    fn node_iteration_concatenates_gpu_batches() {
+        let s = EpochSchedule::generate(spec(), 0);
+        for h in 0..s.iterations() {
+            for n in 0..2 {
+                let mut cat: Vec<SampleId> = Vec::new();
+                cat.extend_from_slice(s.batch(h, n, 0));
+                cat.extend_from_slice(s.batch(h, n, 1));
+                assert_eq!(s.node_iteration(h, n), cat.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn rank_layout_matches_distributed_sampler() {
+        // With batch 1 the k-th batch of rank r must be perm[k*W + r]:
+        // verify rank-striding by reconstructing the permutation prefix.
+        let spec = ScheduleSpec { nodes: 1, gpus_per_node: 4, batch_size: 1, dataset_len: 16, seed: 5 };
+        let s = EpochSchedule::generate(spec, 0);
+        // Iteration h's union across ranks must equal perm[h*4..(h+1)*4].
+        let mut perm: Vec<u32> = (0..16).collect();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(derive_seed(5, 0));
+        rng.shuffle(&mut perm);
+        for h in 0..4 {
+            let got: Vec<u32> = (0..4).map(|g| s.batch(h, 0, g)[0].0).collect();
+            assert_eq!(got, perm[h * 4..(h + 1) * 4].to_vec());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut s1 = spec();
+        s1.seed = 1;
+        let mut s2 = spec();
+        s2.seed = 2;
+        assert_ne!(
+            EpochSchedule::generate(s1, 0).all_accesses(),
+            EpochSchedule::generate(s2, 0).all_accesses()
+        );
+    }
+}

@@ -1,0 +1,132 @@
+//! Property tests for the data substrate: schedules are permutation
+//! partitions, the oracle matches a naive recomputation on arbitrary
+//! topologies, and dataset statistics behave.
+
+use lobster_data::{Dataset, EpochSchedule, NodeOracle, SampleId, ScheduleSpec, SizeDistribution};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn spec_strategy() -> impl Strategy<Value = ScheduleSpec> {
+    (1usize..4, 1usize..4, 1usize..8, 64usize..512, any::<u64>()).prop_map(
+        |(nodes, gpus, batch, len, seed)| ScheduleSpec {
+            nodes,
+            gpus_per_node: gpus,
+            batch_size: batch,
+            dataset_len: len,
+            seed,
+        },
+    )
+}
+
+proptest! {
+    /// Every epoch schedule is a duplicate-free sub-permutation of the
+    /// dataset covering exactly I × |B| × W samples.
+    #[test]
+    fn schedule_is_duplicate_free_partition(spec in spec_strategy(), epoch in 0u64..4) {
+        prop_assume!(spec.iterations_per_epoch() > 0);
+        let s = EpochSchedule::generate(spec, epoch);
+        let all = s.all_accesses();
+        prop_assert_eq!(
+            all.len(),
+            spec.iterations_per_epoch() * spec.batch_size * spec.world_size()
+        );
+        let distinct: HashSet<SampleId> = all.iter().copied().collect();
+        prop_assert_eq!(distinct.len(), all.len(), "duplicate sample within an epoch");
+        for &id in all {
+            prop_assert!((id.0 as usize) < spec.dataset_len);
+        }
+    }
+
+    /// Batches and node views are consistent slices of the same layout.
+    #[test]
+    fn batches_tile_node_iterations(spec in spec_strategy()) {
+        prop_assume!(spec.iterations_per_epoch() > 0);
+        let s = EpochSchedule::generate(spec, 1);
+        for h in 0..s.iterations().min(4) {
+            for node in 0..spec.nodes {
+                let mut cat = Vec::new();
+                for gpu in 0..spec.gpus_per_node {
+                    cat.extend_from_slice(s.batch(h, node, gpu));
+                }
+                prop_assert_eq!(s.node_iteration(h, node), cat.as_slice());
+            }
+        }
+    }
+
+    /// The oracle's next-use answer equals a naive scan of the schedule, at
+    /// every cursor position, for arbitrary topologies.
+    #[test]
+    fn oracle_matches_naive_scan(spec in spec_strategy(), node_pick in any::<usize>()) {
+        prop_assume!(spec.iterations_per_epoch() > 0);
+        let node = node_pick % spec.nodes;
+        let e0 = EpochSchedule::generate(spec, 0);
+        let e1 = EpochSchedule::generate(spec, 1);
+        let mut oracle = NodeOracle::build(node, &[&e0, &e1], 0);
+        let iters = e0.iterations();
+
+        // Probe a handful of samples at a handful of cursor positions.
+        let probes: Vec<SampleId> =
+            (0..spec.dataset_len.min(16)).map(|i| SampleId(i as u32)).collect();
+        for step in 0..(2 * iters).min(12) {
+            for &p in &probes {
+                let naive = {
+                    let mut found = None;
+                    'scan: for (gi, e) in [(0usize, &e0), (1, &e1)] {
+                        for h in 0..iters {
+                            let global = gi * iters + h;
+                            if global >= step && e.node_iteration(h, node).contains(&p) {
+                                found = Some(global as u64);
+                                break 'scan;
+                            }
+                        }
+                    }
+                    found
+                };
+                let got = oracle.future_of(p).map(|f| f.next_iteration);
+                prop_assert_eq!(got, naive, "sample {:?} at step {}", p, step);
+            }
+            oracle.advance();
+        }
+    }
+
+    /// Remaining-use counts equal the number of future occurrences.
+    #[test]
+    fn oracle_remaining_counts_match(spec in spec_strategy()) {
+        prop_assume!(spec.iterations_per_epoch() > 0);
+        let e0 = EpochSchedule::generate(spec, 0);
+        let e1 = EpochSchedule::generate(spec, 1);
+        let oracle = NodeOracle::build(0, &[&e0, &e1], 0);
+        let iters = e0.iterations();
+        for i in 0..spec.dataset_len.min(24) {
+            let p = SampleId(i as u32);
+            let naive: u32 = [&e0, &e1]
+                .iter()
+                .map(|e| {
+                    (0..iters)
+                        .filter(|&h| e.node_iteration(h, 0).contains(&p))
+                        .count() as u32
+                })
+                .sum();
+            let got = oracle.future_of(p).map(|f| f.remaining_uses).unwrap_or(0);
+            prop_assert_eq!(got, naive);
+        }
+    }
+
+    /// Dataset generation: totals equal the sum of parts; sizes respect
+    /// distribution bounds.
+    #[test]
+    fn dataset_totals_are_consistent(
+        n in 1usize..2_000,
+        lo in 1u64..1_000,
+        span in 1u64..1_000,
+        seed in any::<u64>(),
+    ) {
+        let d = Dataset::generate("p", n, SizeDistribution::Uniform { lo, hi: lo + span }, seed);
+        let sum: u64 = (0..n as u32).map(|i| d.size_of(SampleId(i))).sum();
+        prop_assert_eq!(sum, d.total_bytes());
+        for i in 0..n as u32 {
+            let s = d.size_of(SampleId(i));
+            prop_assert!(s >= lo && s < lo + span.max(1) + 1);
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Histograms for reuse distances and batch-time distributions.
+
+use serde::{Deserialize, Serialize};
+
+/// A power-of-two bucketed histogram over `u64` values, suitable for the
+/// paper's Figure 4 (reuse distance spans 1 .. >100k iterations).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogHistogram {
+    /// `buckets[k]` counts values `v` with `2^(k-1) < v ≤ 2^k` (bucket 0
+    /// counts zeros and ones).
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    pub fn new() -> LogHistogram {
+        LogHistogram { buckets: vec![0; 65], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    fn bucket_of(v: u64) -> usize {
+        if v <= 1 {
+            0
+        } else {
+            (64 - (v - 1).leading_zeros()) as usize
+        }
+    }
+
+    /// Record one value.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Record many values.
+    pub fn record_all<I: IntoIterator<Item = u64>>(&mut self, vs: I) {
+        for v in vs {
+            self.record(v);
+        }
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Fraction of recorded values strictly greater than `threshold`.
+    /// (Figure 4's claim: "80% of the training samples have the reuse
+    /// distance larger than 1,000 iterations".)
+    pub fn fraction_above(&self, threshold: u64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        // Conservative: count whole buckets strictly above the threshold's
+        // bucket, assuming the threshold bucket itself is below. Exact for
+        // power-of-two thresholds.
+        let tb = Self::bucket_of(threshold);
+        let above: u64 = self.buckets[tb + 1..].iter().sum();
+        above as f64 / self.count as f64
+    }
+
+    /// Non-empty buckets as `(upper_bound, count)` pairs for plotting.
+    pub fn non_empty_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(k, &c)| (if k >= 64 { u64::MAX } else { 1u64 << k }, c))
+            .collect()
+    }
+}
+
+/// A fixed-width linear histogram over `f64` values (batch-time
+/// distributions, Figure 8c).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearHistogram {
+    lo: f64,
+    hi: f64,
+    buckets: Vec<u64>,
+    below: u64,
+    above: u64,
+    count: u64,
+}
+
+impl LinearHistogram {
+    /// `n` equal-width buckets spanning `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, n: usize) -> LinearHistogram {
+        assert!(hi > lo && n > 0, "degenerate histogram bounds");
+        LinearHistogram { lo, hi, buckets: vec![0; n], below: 0, above: 0, count: 0 }
+    }
+
+    pub fn record(&mut self, v: f64) {
+        self.count += 1;
+        if v < self.lo {
+            self.below += 1;
+        } else if v >= self.hi {
+            self.above += 1;
+        } else {
+            let n = self.buckets.len();
+            let k = ((v - self.lo) / (self.hi - self.lo) * n as f64) as usize;
+            self.buckets[k.min(n - 1)] += 1;
+        }
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Buckets as `(center, count)` pairs, plus under/overflow counts.
+    pub fn buckets(&self) -> (Vec<(f64, u64)>, u64, u64) {
+        let w = (self.hi - self.lo) / self.buckets.len() as f64;
+        let centers = self
+            .buckets
+            .iter()
+            .enumerate()
+            .map(|(k, &c)| (self.lo + (k as f64 + 0.5) * w, c))
+            .collect();
+        (centers, self.below, self.above)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_buckets_are_powers_of_two() {
+        let mut h = LogHistogram::new();
+        h.record_all([0, 1, 2, 3, 4, 5, 8, 9, 1024]);
+        let b = h.non_empty_buckets();
+        // 0,1 → bucket 0 (bound 1); 2 → bound 2; 3,4 → bound 4; 5,8 → bound 8;
+        // 9 → bound 16; 1024 → bound 1024.
+        assert_eq!(b, vec![(1, 2), (2, 1), (4, 2), (8, 2), (16, 1), (1024, 1)]);
+        assert_eq!(h.count(), 9);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(1024));
+    }
+
+    #[test]
+    fn fraction_above_power_of_two_threshold_is_exact() {
+        let mut h = LogHistogram::new();
+        // 4 values ≤ 1024 (in buckets up to 2^10), 6 values > 1024.
+        h.record_all([1, 10, 100, 1024, 2000, 3000, 5000, 10_000, 100_000, 1_000_000]);
+        assert!((h.fraction_above(1024) - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_mean_is_exact() {
+        let mut h = LogHistogram::new();
+        h.record_all([2, 4, 6]);
+        assert_eq!(h.mean(), Some(4.0));
+    }
+
+    #[test]
+    fn empty_log_histogram_is_well_behaved() {
+        let h = LogHistogram::new();
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.fraction_above(10), 0.0);
+        assert!(h.non_empty_buckets().is_empty());
+    }
+
+    #[test]
+    fn linear_histogram_places_values() {
+        let mut h = LinearHistogram::new(0.0, 10.0, 10);
+        h.record(-1.0);
+        h.record(0.0);
+        h.record(5.5);
+        h.record(9.999);
+        h.record(10.0);
+        let (buckets, below, above) = h.buckets();
+        assert_eq!(below, 1);
+        assert_eq!(above, 1);
+        assert_eq!(buckets[0], (0.5, 1));
+        assert_eq!(buckets[5], (5.5, 1));
+        assert_eq!(buckets[9], (9.5, 1));
+        assert_eq!(h.count(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn linear_histogram_rejects_bad_bounds() {
+        LinearHistogram::new(5.0, 5.0, 10);
+    }
+}

@@ -1,0 +1,16 @@
+//! # lobster-metrics
+//!
+//! Measurement plumbing shared by the simulator, the live runtime, and the
+//! bench harness: histograms ([`histogram`]), streaming summaries and EWMAs
+//! ([`summary`]), plain-text tables ([`table`]), and result persistence
+//! ([`report`]).
+
+pub mod histogram;
+pub mod report;
+pub mod summary;
+pub mod table;
+
+pub use histogram::{LinearHistogram, LogHistogram};
+pub use report::ResultSink;
+pub use summary::{Ewma, Summary};
+pub use table::{fmt_bytes, fmt_pct, fmt_secs, fmt_speedup, Table};

@@ -1,0 +1,96 @@
+//! Result persistence: every experiment binary writes its series to
+//! `results/<name>.json` (machine-readable) and `.csv` (plot-friendly) so
+//! EXPERIMENTS.md can cite the exact numbers a run produced.
+
+use serde::Serialize;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Where experiment outputs land (created on demand).
+#[derive(Debug, Clone)]
+pub struct ResultSink {
+    dir: PathBuf,
+}
+
+impl ResultSink {
+    pub fn new<P: AsRef<Path>>(dir: P) -> ResultSink {
+        ResultSink { dir: dir.as_ref().to_path_buf() }
+    }
+
+    /// Default sink: `results/` under the workspace root (or cwd).
+    pub fn default_location() -> ResultSink {
+        ResultSink::new("results")
+    }
+
+    fn ensure_dir(&self) -> std::io::Result<()> {
+        fs::create_dir_all(&self.dir)
+    }
+
+    /// Serialize `value` as pretty JSON to `<dir>/<name>.json`.
+    pub fn write_json<T: Serialize>(&self, name: &str, value: &T) -> std::io::Result<PathBuf> {
+        self.ensure_dir()?;
+        let path = self.dir.join(format!("{name}.json"));
+        let json = serde_json::to_string_pretty(value).expect("experiment results serialize");
+        fs::write(&path, json)?;
+        Ok(path)
+    }
+
+    /// Write rows of `(column -> value)` as CSV to `<dir>/<name>.csv`.
+    /// `header` fixes the column order.
+    pub fn write_csv(
+        &self,
+        name: &str,
+        header: &[&str],
+        rows: &[Vec<String>],
+    ) -> std::io::Result<PathBuf> {
+        self.ensure_dir()?;
+        let path = self.dir.join(format!("{name}.csv"));
+        let mut f = fs::File::create(&path)?;
+        writeln!(f, "{}", header.join(","))?;
+        for row in rows {
+            debug_assert_eq!(row.len(), header.len(), "CSV row width mismatch");
+            writeln!(f, "{}", row.join(","))?;
+        }
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Serialize;
+
+    #[derive(Serialize)]
+    struct Demo {
+        x: u32,
+        y: Vec<f64>,
+    }
+
+    #[test]
+    fn json_roundtrip_via_disk() {
+        let dir = std::env::temp_dir().join(format!("lobster-report-{}", std::process::id()));
+        let sink = ResultSink::new(&dir);
+        let path = sink.write_json("demo", &Demo { x: 7, y: vec![1.0, 2.5] }).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"x\": 7"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let dir = std::env::temp_dir().join(format!("lobster-report-csv-{}", std::process::id()));
+        let sink = ResultSink::new(&dir);
+        let path = sink
+            .write_csv(
+                "demo",
+                &["loader", "time_s"],
+                &[vec!["pytorch".into(), "12.0".into()], vec!["lobster".into(), "6.0".into()]],
+            )
+            .unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines, vec!["loader,time_s", "pytorch,12.0", "lobster,6.0"]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,132 @@
+//! Plain-text table rendering for experiment reports.
+//!
+//! The bench binaries print the same rows the paper's tables/figures report;
+//! this keeps the output aligned and diff-friendly without pulling in a
+//! terminal UI dependency.
+
+/// A simple left-aligned-first-column, right-aligned-rest ASCII table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Table {
+        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row width must match header");
+        self.rows.push(cells);
+        self
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render to a string with a separator under the header.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i == 0 {
+                    line.push_str(&format!("{:<width$}", c, width = widths[0]));
+                } else {
+                    line.push_str(&format!("  {:>width$}", c, width = widths[i]));
+                }
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+/// Format seconds with automatic unit choice.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.2}s")
+    } else if s >= 1e-3 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{:.1}us", s * 1e6)
+    }
+}
+
+/// Format a ratio as "1.53x".
+pub fn fmt_speedup(r: f64) -> String {
+    format!("{r:.2}x")
+}
+
+/// Format a fraction as a percentage.
+pub fn fmt_pct(f: f64) -> String {
+    format!("{:.1}%", f * 100.0)
+}
+
+/// Format a byte count with binary units.
+pub fn fmt_bytes(b: f64) -> String {
+    const UNITS: [&str; 6] = ["B", "KiB", "MiB", "GiB", "TiB", "PiB"];
+    let mut v = b;
+    let mut u = 0;
+    while v >= 1024.0 && u < UNITS.len() - 1 {
+        v /= 1024.0;
+        u += 1;
+    }
+    format!("{v:.1}{}", UNITS[u])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut t = Table::new(["loader", "epoch", "speedup"]);
+        t.row(["pytorch", "12.00s", "1.00x"]);
+        t.row(["lobster", "6.10s", "1.97x"]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("loader"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // All data lines have equal length.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn formatters_pick_units() {
+        assert_eq!(fmt_secs(2.5), "2.50s");
+        assert_eq!(fmt_secs(0.0025), "2.50ms");
+        assert_eq!(fmt_secs(2.5e-6), "2.5us");
+        assert_eq!(fmt_speedup(1.534), "1.53x");
+        assert_eq!(fmt_pct(0.632), "63.2%");
+        assert_eq!(fmt_bytes(1536.0), "1.5KiB");
+        assert_eq!(fmt_bytes(40e9), "37.3GiB");
+        assert_eq!(fmt_bytes(12.0), "12.0B");
+    }
+}

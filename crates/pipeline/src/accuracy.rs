@@ -1,0 +1,125 @@
+//! The Figure 9 accuracy-invariance experiment.
+//!
+//! "Lobster does not change the randomness of data accessing during the
+//! distributed training", so the learning curve must match the baseline's
+//! "although with some slight variation due to different random seeds for
+//! network parameters". We model the top-1 accuracy trajectory of
+//! SGD-trained image classifiers with the standard saturating-exponential
+//! learning curve plus seed-dependent jitter. The *data order* seed is the
+//! same for both loaders (they sample identically); only the weight-init
+//! seed differs — exactly the paper's setup.
+
+use lobster_core::ModelProfile;
+use lobster_sim::{derive_seed, Xoshiro256StarStar};
+use serde::{Deserialize, Serialize};
+
+/// One simulated training trajectory.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AccuracyCurve {
+    /// Loader/run label.
+    pub label: String,
+    /// Top-1 validation accuracy at the end of each epoch.
+    pub per_epoch: Vec<f64>,
+}
+
+impl AccuracyCurve {
+    /// First epoch (1-based) at which accuracy reaches `target`, if any.
+    pub fn epochs_to_reach(&self, target: f64) -> Option<usize> {
+        self.per_epoch.iter().position(|&a| a >= target).map(|i| i + 1)
+    }
+
+    /// Final accuracy.
+    pub fn final_accuracy(&self) -> f64 {
+        self.per_epoch.last().copied().unwrap_or(0.0)
+    }
+}
+
+/// Simulate `epochs` of training for `model`. `data_seed` drives the shared
+/// mini-batch order (identical across loaders); `weight_seed` the network
+/// initialization (differs per run).
+pub fn simulate_accuracy(
+    label: &str,
+    model: &ModelProfile,
+    epochs: usize,
+    data_seed: u64,
+    weight_seed: u64,
+) -> AccuracyCurve {
+    // Rate constant: reach 99% of target at `convergence_epochs`.
+    let k = -((1.0f64 - 0.99).ln()) / model.convergence_epochs;
+    // The *data* stream contributes shared noise (identical for both
+    // loaders); the weight seed contributes independent noise.
+    let mut data_rng = Xoshiro256StarStar::seed_from_u64(derive_seed(data_seed, 0xDA7A));
+    let mut weight_rng = Xoshiro256StarStar::seed_from_u64(derive_seed(weight_seed, 0x1217));
+    let mut per_epoch = Vec::with_capacity(epochs);
+    for e in 1..=epochs {
+        let base = model.target_accuracy * (1.0 - (-k * e as f64).exp());
+        // Noise shrinks as training converges.
+        let envelope = 0.02 * (1.0 - base / model.target_accuracy) + 0.002;
+        let shared = envelope * (data_rng.next_f64() - 0.5);
+        let own = envelope * 0.5 * (weight_rng.next_f64() - 0.5);
+        per_epoch.push((base + shared + own).clamp(0.0, 1.0));
+    }
+    AccuracyCurve { label: label.to_string(), per_epoch }
+}
+
+/// Maximum absolute per-epoch gap between two curves.
+pub fn max_gap(a: &AccuracyCurve, b: &AccuracyCurve) -> f64 {
+    a.per_epoch
+        .iter()
+        .zip(&b.per_epoch)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lobster_core::models::resnet50;
+
+    #[test]
+    fn resnet50_converges_near_forty_epochs() {
+        let c = simulate_accuracy("pytorch", &resnet50(), 60, 42, 1);
+        // Paper: "converges to the target accuracy of 76.0% in around 40
+        // epochs".
+        let reach = c.epochs_to_reach(0.75).expect("should converge");
+        assert!((30..=50).contains(&reach), "converged at epoch {reach}");
+        assert!(c.final_accuracy() > 0.74);
+    }
+
+    #[test]
+    fn same_data_seed_gives_similar_curves() {
+        let m = resnet50();
+        let a = simulate_accuracy("pytorch", &m, 60, 42, 1);
+        let b = simulate_accuracy("lobster", &m, 60, 42, 2);
+        // Same sampling order, different weight seeds: small gap only.
+        assert!(max_gap(&a, &b) < 0.03, "gap {}", max_gap(&a, &b));
+        // But not bit-identical (different weight seeds).
+        assert!(max_gap(&a, &b) > 0.0);
+    }
+
+    #[test]
+    fn accuracy_is_monotone_in_trend() {
+        let c = simulate_accuracy("x", &resnet50(), 60, 7, 7);
+        // Compare 5-epoch means to smooth the jitter.
+        let early: f64 = c.per_epoch[0..5].iter().sum::<f64>() / 5.0;
+        let mid: f64 = c.per_epoch[20..25].iter().sum::<f64>() / 5.0;
+        let late: f64 = c.per_epoch[55..60].iter().sum::<f64>() / 5.0;
+        assert!(early < mid && mid < late);
+    }
+
+    #[test]
+    fn curves_are_deterministic() {
+        let m = resnet50();
+        let a = simulate_accuracy("a", &m, 30, 5, 9);
+        let b = simulate_accuracy("a", &m, 30, 5, 9);
+        assert_eq!(a.per_epoch, b.per_epoch);
+    }
+
+    #[test]
+    fn accuracy_stays_in_unit_range() {
+        let c = simulate_accuracy("x", &resnet50(), 200, 3, 3);
+        for &a in &c.per_epoch {
+            assert!((0.0..=1.0).contains(&a));
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Experiment configuration: everything needed to reproduce one evaluation
+//! run (cluster topology, storage model, dataset, DNN workload, seeds).
+
+use lobster_core::{ClusterSpec, ModelProfile, PreprocGovernor, PreprocModel};
+use lobster_data::{Dataset, PartitionScheme, ScheduleSpec};
+use lobster_storage::StorageModel;
+
+/// One training-run configuration.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Topology and per-node resources.
+    pub cluster: ClusterSpec,
+    /// Storage-tier throughput curves.
+    pub storage: StorageModel,
+    /// Ground-truth preprocessing cost model (what the cluster "actually"
+    /// does; the governor only ever sees measurements of it).
+    pub preproc: PreprocModel,
+    /// The DNN workload (supplies `T_train`).
+    pub model: ModelProfile,
+    /// The training dataset.
+    pub dataset: Dataset,
+    /// Epochs to simulate.
+    pub epochs: u64,
+    /// Base shuffle seed.
+    pub seed: u64,
+    /// Gradient-allreduce cost added to every iteration barrier, seconds.
+    pub allreduce_s: f64,
+    /// An iteration "exhibits load imbalance" when the spread of per-GPU
+    /// pipeline times exceeds this fraction of `T_train` (Figure 8's
+    /// counting rule).
+    pub imbalance_fraction: f64,
+    /// How many iterations ahead the deterministic prefetcher may look.
+    pub prefetch_lookahead: usize,
+    /// Fault injection: per-node I/O slowdown multipliers applied to every
+    /// load time on that node (missing entries = 1.0). DESIGN.md §8.
+    pub node_slowdown: Vec<f64>,
+    /// Distributed-cache topology extension (§2 mentions "alternatives to
+    /// distributed caching like for example KV-stores"): when true, each
+    /// sample has a hash-owner node and fetched samples are cached at their
+    /// owner instead of locally (Cerebro/DeepIO-style partitioning).
+    pub kv_partitioned: bool,
+    /// How epochs are partitioned across ranks (global shuffle — the
+    /// paper's setting — or node-local shard shuffling).
+    pub partition: PartitionScheme,
+}
+
+impl ExperimentConfig {
+    /// The schedule spec implied by this configuration.
+    pub fn schedule_spec(&self) -> ScheduleSpec {
+        ScheduleSpec {
+            nodes: self.cluster.nodes,
+            gpus_per_node: self.cluster.gpus_per_node,
+            batch_size: self.cluster.batch_size,
+            dataset_len: self.dataset.len(),
+            seed: self.seed,
+        }
+    }
+
+    /// Iterations per epoch `I`.
+    pub fn iterations_per_epoch(&self) -> usize {
+        self.cluster.iterations_per_epoch(self.dataset.len())
+    }
+
+    /// Calibrate a preprocessing governor against the ground-truth model —
+    /// the paper's offline profiling phase. The portfolio covers the size
+    /// range of both ImageNet variants.
+    pub fn calibrated_governor(&self) -> PreprocGovernor {
+        let sizes = [10_000u64, 30_000, 60_000, 105_000, 200_000, 500_000];
+        let max_threads = self.cluster.pipeline_threads.clamp(8, 16);
+        let truth = self.preproc.clone();
+        PreprocGovernor::calibrate(&sizes, max_threads, 1e-9, |b, t| truth.per_sample_secs(b, t))
+    }
+}
+
+/// Builder with the paper's defaults; experiments override what they sweep.
+#[derive(Debug, Clone)]
+pub struct ConfigBuilder {
+    nodes: usize,
+    gpus_per_node: usize,
+    cache_bytes: u64,
+    pipeline_threads: u32,
+    batch_size: usize,
+    model: ModelProfile,
+    dataset: Option<Dataset>,
+    epochs: u64,
+    seed: u64,
+    node_slowdown: Vec<f64>,
+    kv_partitioned: bool,
+    partition: PartitionScheme,
+}
+
+impl ConfigBuilder {
+    /// Paper defaults: 1 node × 8 GPUs, 40 GB cache, 32 pipeline threads,
+    /// batch 32, ResNet-50.
+    pub fn new() -> ConfigBuilder {
+        ConfigBuilder {
+            nodes: 1,
+            gpus_per_node: 8,
+            cache_bytes: 40 << 30,
+            pipeline_threads: 32,
+            batch_size: 32,
+            model: lobster_core::models::resnet50(),
+            dataset: None,
+            epochs: 3,
+            seed: 42,
+            node_slowdown: Vec::new(),
+            kv_partitioned: false,
+            partition: PartitionScheme::GlobalShuffle,
+        }
+    }
+
+    pub fn nodes(mut self, n: usize) -> Self {
+        self.nodes = n;
+        self
+    }
+
+    pub fn gpus_per_node(mut self, m: usize) -> Self {
+        self.gpus_per_node = m;
+        self
+    }
+
+    pub fn cache_bytes(mut self, b: u64) -> Self {
+        self.cache_bytes = b;
+        self
+    }
+
+    pub fn pipeline_threads(mut self, t: u32) -> Self {
+        self.pipeline_threads = t;
+        self
+    }
+
+    pub fn batch_size(mut self, b: usize) -> Self {
+        self.batch_size = b;
+        self
+    }
+
+    pub fn model(mut self, m: ModelProfile) -> Self {
+        self.model = m;
+        self
+    }
+
+    pub fn dataset(mut self, d: Dataset) -> Self {
+        self.dataset = Some(d);
+        self
+    }
+
+    pub fn epochs(mut self, e: u64) -> Self {
+        self.epochs = e;
+        self
+    }
+
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    /// Inject an I/O slowdown on one node (1.0 = nominal; 2.0 = half speed).
+    pub fn slow_node(mut self, node: usize, factor: f64) -> Self {
+        assert!(factor >= 1.0, "slowdown factors are ≥ 1");
+        if self.node_slowdown.len() <= node {
+            self.node_slowdown.resize(node + 1, 1.0);
+        }
+        self.node_slowdown[node] = factor;
+        self
+    }
+
+    /// Switch the distributed cache to KV-partitioned placement.
+    pub fn kv_partitioned(mut self, on: bool) -> Self {
+        self.kv_partitioned = on;
+        self
+    }
+
+    /// Choose the epoch partition scheme (default: global shuffle).
+    pub fn partition(mut self, scheme: PartitionScheme) -> Self {
+        self.partition = scheme;
+        self
+    }
+
+    pub fn build(self) -> ExperimentConfig {
+        let dataset = self
+            .dataset
+            .expect("ConfigBuilder::dataset must be set (use lobster_data::imagenet_1k etc.)");
+        ExperimentConfig {
+            cluster: ClusterSpec {
+                nodes: self.nodes,
+                gpus_per_node: self.gpus_per_node,
+                cache_bytes: self.cache_bytes,
+                pipeline_threads: self.pipeline_threads,
+                batch_size: self.batch_size,
+            },
+            storage: lobster_storage::thetagpu(),
+            preproc: PreprocModel::default_imagenet(),
+            model: self.model,
+            dataset,
+            epochs: self.epochs,
+            seed: self.seed,
+            allreduce_s: 2e-3,
+            imbalance_fraction: 0.25,
+            prefetch_lookahead: 64,
+            node_slowdown: self.node_slowdown,
+            kv_partitioned: self.kv_partitioned,
+            partition: self.partition,
+        }
+    }
+}
+
+impl Default for ConfigBuilder {
+    fn default() -> Self {
+        ConfigBuilder::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lobster_data::{Dataset, SizeDistribution};
+
+    fn tiny_dataset() -> Dataset {
+        Dataset::generate("tiny", 4096, SizeDistribution::Constant { bytes: 100_000 }, 1)
+    }
+
+    #[test]
+    fn builder_produces_consistent_config() {
+        let cfg = ConfigBuilder::new().dataset(tiny_dataset()).nodes(2).gpus_per_node(4).build();
+        assert_eq!(cfg.cluster.world_size(), 8);
+        assert_eq!(cfg.iterations_per_epoch(), 4096 / (32 * 8));
+        let spec = cfg.schedule_spec();
+        assert_eq!(spec.world_size(), 8);
+        assert_eq!(spec.dataset_len, 4096);
+    }
+
+    #[test]
+    fn governor_calibration_finds_the_knee() {
+        let cfg = ConfigBuilder::new().dataset(tiny_dataset()).build();
+        let gov = cfg.calibrated_governor();
+        let opt = gov.optimal_threads(105_000);
+        assert!((5..=7).contains(&opt), "knee at {opt}");
+    }
+
+    #[test]
+    #[should_panic(expected = "dataset must be set")]
+    fn missing_dataset_panics() {
+        ConfigBuilder::new().build();
+    }
+}

@@ -1,0 +1,260 @@
+//! Event-driven cross-validation of the pipeline-overlap timing.
+//!
+//! The executor advances time with a closed-form recurrence (see
+//! [`crate::executor`]); this module implements the *same* semantics as a
+//! discrete-event simulation on the `lobster-sim` kernel — batch-ready,
+//! train-start (a join of barrier and data readiness), train-done, and
+//! barrier events — and the test suite proves the two implementations agree
+//! on every barrier time for arbitrary stage durations. Two independent
+//! derivations of the timing model guard the reproduction's most
+//! load-bearing arithmetic.
+
+use lobster_sim::{run, Scheduler, SimDuration, SimTime, SimWorld};
+
+/// Events of the data-parallel training pipeline.
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// GPU `g`'s mini-batch for iteration `h` finished loading+preprocessing.
+    BatchReady { g: usize, h: usize },
+    /// A GPU finished the forward+backward pass of iteration `h`.
+    TrainDone { h: usize },
+    /// The gradient allreduce of iteration `h` completed.
+    BarrierDone { h: usize },
+}
+
+struct PipelineWorld {
+    gpus: usize,
+    iterations: usize,
+    /// `pipe[h][g]`: loading + preprocessing duration of GPU `g`'s batch
+    /// for iteration `h`.
+    pipe: Vec<Vec<SimDuration>>,
+    t_train: SimDuration,
+    allreduce: SimDuration,
+    /// Per GPU: is the current iteration's batch staged?
+    batch_ready: Vec<bool>,
+    /// Per GPU: which iteration it is currently waiting on / training.
+    waiting_iter: Vec<usize>,
+    /// Has the previous iteration's barrier completed (per iteration)?
+    barrier_passed: Vec<bool>,
+    /// TrainDone count per iteration.
+    done_count: Vec<usize>,
+    /// Output: barrier completion times.
+    pub barrier_times: Vec<SimTime>,
+}
+
+impl PipelineWorld {
+    fn new(pipe: Vec<Vec<SimDuration>>, gpus: usize, t_train: SimDuration, allreduce: SimDuration) -> Self {
+        let iterations = pipe.len();
+        PipelineWorld {
+            gpus,
+            iterations,
+            pipe,
+            t_train,
+            allreduce,
+            batch_ready: vec![false; gpus],
+            waiting_iter: vec![0; gpus],
+            barrier_passed: vec![false; iterations + 1],
+            done_count: vec![0; iterations],
+            barrier_times: Vec::with_capacity(iterations),
+        }
+    }
+
+    /// Start training iteration `h` on GPU `g` at `now`: emit TrainDone and
+    /// begin loading the *next* batch (pipeline overlap).
+    fn start_training(&mut self, g: usize, h: usize, now: SimTime, sched: &mut Scheduler<Ev>) {
+        sched.at(now + self.t_train, Ev::TrainDone { h });
+        if h + 1 < self.iterations {
+            sched.at(now + self.pipe[h + 1][g], Ev::BatchReady { g, h: h + 1 });
+        }
+    }
+}
+
+impl SimWorld for PipelineWorld {
+    type Event = Ev;
+
+    fn handle(&mut self, ev: Ev, sched: &mut Scheduler<Ev>) {
+        let now = sched.now();
+        match ev {
+            Ev::BatchReady { g, h } => {
+                debug_assert_eq!(self.waiting_iter[g], h, "batches arrive in order per GPU");
+                self.batch_ready[g] = true;
+                // Join: training starts when BOTH the previous barrier and
+                // this GPU's data are ready; whichever event is later fires
+                // the start.
+                let barrier_ok = h == 0 || self.barrier_passed[h];
+                if barrier_ok {
+                    self.batch_ready[g] = false;
+                    self.waiting_iter[g] = h + 1;
+                    self.start_training(g, h, now, sched);
+                }
+            }
+            Ev::TrainDone { h } => {
+                self.done_count[h] += 1;
+                if self.done_count[h] == self.gpus {
+                    sched.at(now + self.allreduce, Ev::BarrierDone { h });
+                }
+            }
+            Ev::BarrierDone { h } => {
+                self.barrier_times.push(now);
+                self.barrier_passed[h + 1] = true;
+                // Release every GPU whose next batch was already staged.
+                for g in 0..self.gpus {
+                    if self.waiting_iter[g] == h + 1 && self.batch_ready[g] {
+                        self.batch_ready[g] = false;
+                        self.waiting_iter[g] = h + 2;
+                        self.start_training(g, h + 1, now, sched);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Simulate the pipeline event-by-event; returns the barrier completion
+/// time of every iteration, in seconds. `pipe_s[h][g]` is the
+/// loading+preprocessing duration of GPU `g`'s batch at iteration `h`.
+pub fn des_barriers(pipe_s: &[Vec<f64>], t_train_s: f64, allreduce_s: f64) -> Vec<f64> {
+    assert!(!pipe_s.is_empty());
+    let gpus = pipe_s[0].len();
+    assert!(gpus > 0);
+    let pipe: Vec<Vec<SimDuration>> = pipe_s
+        .iter()
+        .map(|row| {
+            assert_eq!(row.len(), gpus, "ragged pipe matrix");
+            row.iter().map(|&s| SimDuration::from_secs_f64(s)).collect()
+        })
+        .collect();
+    let mut world = PipelineWorld::new(
+        pipe,
+        gpus,
+        SimDuration::from_secs_f64(t_train_s),
+        SimDuration::from_secs_f64(allreduce_s),
+    );
+    let mut sched = Scheduler::new();
+    for g in 0..gpus {
+        sched.at(SimTime::ZERO + world.pipe[0][g], Ev::BatchReady { g, h: 0 });
+    }
+    let stats = run(&mut world, &mut sched, None, 10_000_000);
+    assert!(!stats.truncated, "pipeline DES exceeded its event budget");
+    assert_eq!(world.barrier_times.len(), pipe_s.len(), "every iteration must complete");
+    world.barrier_times.iter().map(|t| t.as_secs_f64()).collect()
+}
+
+/// The executor's closed-form recurrence, reproduced here as the reference:
+///
+/// ```text
+/// ready[g][h] = start[g][h−1] + pipe[h][g]
+/// start[g][h] = max(barrier[h−1], ready[g][h])
+/// barrier[h]  = max_g(start[g][h] + T_train) + T_allreduce
+/// ```
+pub fn analytic_barriers(pipe_s: &[Vec<f64>], t_train_s: f64, allreduce_s: f64) -> Vec<f64> {
+    let gpus = pipe_s[0].len();
+    let mut barrier = 0.0f64;
+    let mut start_prev = vec![0.0f64; gpus];
+    let mut out = Vec::with_capacity(pipe_s.len());
+    for row in pipe_s {
+        let mut max_done = 0.0f64;
+        let mut starts = vec![0.0; gpus];
+        for g in 0..gpus {
+            let ready = start_prev[g] + row[g];
+            let start = barrier.max(ready);
+            starts[g] = start;
+            max_done = max_done.max(start + t_train_s);
+        }
+        barrier = max_done + allreduce_s;
+        start_prev = starts;
+        out.push(barrier);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lobster_sim::Xoshiro256StarStar;
+
+    fn assert_close(a: &[f64], b: &[f64]) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() < 1e-6, "iteration {i}: des {x} vs analytic {y}");
+        }
+    }
+
+    #[test]
+    fn fully_hidden_pipeline_runs_at_train_speed() {
+        // Loading always faster than training: every iteration costs
+        // t_train + allreduce after the initial fill.
+        let pipe = vec![vec![0.01, 0.02]; 5];
+        let des = des_barriers(&pipe, 0.1, 0.002);
+        let analytic = analytic_barriers(&pipe, 0.1, 0.002);
+        assert_close(&des, &analytic);
+        // Steady-state batch time = t_train + allreduce.
+        let d = des[4] - des[3];
+        assert!((d - 0.102).abs() < 1e-9, "batch time {d}");
+    }
+
+    #[test]
+    fn one_straggler_delays_every_gpu() {
+        // GPU 1's pipeline takes 3× training: it gates the barrier.
+        let pipe = vec![vec![0.01, 0.3]; 4];
+        let des = des_barriers(&pipe, 0.1, 0.0);
+        let analytic = analytic_barriers(&pipe, 0.1, 0.0);
+        assert_close(&des, &analytic);
+        let d = des[3] - des[2];
+        assert!((d - 0.3).abs() < 1e-6, "straggler sets the pace: {d}");
+    }
+
+    #[test]
+    fn bursty_loading_matches_analytic() {
+        // Alternating cheap/expensive iterations (the paper's Observation 2
+        // bottleneck shifting).
+        let mut pipe = Vec::new();
+        for h in 0..10 {
+            if h % 3 == 0 {
+                pipe.push(vec![0.25, 0.01, 0.05]);
+            } else {
+                pipe.push(vec![0.02, 0.03, 0.01]);
+            }
+        }
+        assert_close(&des_barriers(&pipe, 0.08, 0.001), &analytic_barriers(&pipe, 0.08, 0.001));
+    }
+
+    #[test]
+    fn des_equals_analytic_on_random_inputs() {
+        // 200 random pipelines: the two independent implementations must
+        // agree everywhere.
+        let mut rng = Xoshiro256StarStar::seed_from_u64(31);
+        for case in 0..200 {
+            let gpus = 1 + rng.below_usize(6);
+            let iters = 1 + rng.below_usize(12);
+            let pipe: Vec<Vec<f64>> = (0..iters)
+                .map(|_| (0..gpus).map(|_| rng.range_f64(0.0, 0.4)).collect())
+                .collect();
+            let t_train = rng.range_f64(0.01, 0.2);
+            let allreduce = rng.range_f64(0.0, 0.01);
+            let des = des_barriers(&pipe, t_train, allreduce);
+            let analytic = analytic_barriers(&pipe, t_train, allreduce);
+            for (i, (x, y)) in des.iter().zip(&analytic).enumerate() {
+                assert!(
+                    (x - y).abs() < 1e-6,
+                    "case {case}, iteration {i}: des {x} vs analytic {y} (pipe {pipe:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_gpu_single_iteration() {
+        let pipe = vec![vec![0.05]];
+        let des = des_barriers(&pipe, 0.1, 0.002);
+        assert!((des[0] - 0.152).abs() < 1e-9);
+        assert_close(&des, &analytic_barriers(&pipe, 0.1, 0.002));
+    }
+
+    #[test]
+    fn zero_cost_pipeline_is_pure_training() {
+        let pipe = vec![vec![0.0, 0.0]; 3];
+        let des = des_barriers(&pipe, 0.1, 0.0);
+        assert!((des[2] - 0.3).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,597 @@
+//! The cluster training-pipeline executor.
+//!
+//! Simulates data-parallel training at iteration granularity: per iteration,
+//! each GPU's mini-batch is classified against the cache/directory state
+//! (giving the Eq. 1 tier split), the policy under evaluation plans thread
+//! allocations, the fetches mutate the caches, and the pipeline-overlap
+//! recurrence advances time:
+//!
+//! ```text
+//! ready[g][h]   = start[g][h−1] + T_L[g][h] + T_P[g][h]   (stages overlap
+//!                                                          previous training)
+//! start[g][h]   = max(barrier[h−1], ready[g][h])
+//! barrier[h]    = max_g(start[g][h] + T_train) + T_allreduce
+//! ```
+//!
+//! The barrier is the gradient averaging of data-parallel training — the
+//! mechanism by which one straggler GPU idles every other GPU (Observation
+//! 1). The executor is exact given the stage-duration models and fully
+//! deterministic.
+
+use crate::config::ExperimentConfig;
+use crate::trace::{IterationRecord, TraceCollector};
+use lobster_cache::{Directory, EvictOrder, NodeCache};
+use lobster_core::model::load_time_parts;
+use lobster_core::{
+    CachingStrategy, EvictReport, LoaderPolicy, NodePlan, PlanContext, PreprocGovernor,
+    ReuseAwareEvictor, ThreadAlloc, TierBreakdown,
+};
+use lobster_data::{EpochSchedule, NodeOracle, SampleId};
+use lobster_metrics::Summary;
+use lobster_storage::Tier;
+use serde::{Deserialize, Serialize};
+
+/// Aggregated results for one epoch.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EpochReport {
+    pub epoch: u64,
+    /// Wall-clock span of the epoch, seconds.
+    pub wall_s: f64,
+    /// Demand accesses served from the local cache.
+    pub local_hits: u64,
+    /// Demand accesses served from a remote node's cache.
+    pub remote_hits: u64,
+    /// Demand accesses that went to the PFS.
+    pub misses: u64,
+    /// Samples prefetched ahead of use.
+    pub prefetched: u64,
+    /// Iterations whose per-GPU pipeline-time spread exceeded the threshold.
+    pub imbalanced_iterations: u64,
+    /// Total iterations.
+    pub iterations: u64,
+    /// Mean/stddev/percentiles of per-iteration wall time.
+    pub batch_times: Summary,
+    /// Proactive evictions (reuse-count + reuse-distance policies).
+    pub evict: EvictReport,
+    /// Mean GPU utilization: training time over wall time.
+    pub gpu_utilization: f64,
+    /// Mean per-iteration straggler spread (Eq. 3's |T_max − T_min| over
+    /// effective per-GPU iteration times), seconds. Differentiates loaders
+    /// even when the imbalanced-iteration count saturates.
+    pub mean_spread_s: f64,
+}
+
+impl EpochReport {
+    /// Local-cache hit ratio over demand accesses (the §5.5 metric).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.local_hits + self.remote_hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.local_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Results of a full run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    pub policy: String,
+    pub model: String,
+    pub dataset: String,
+    pub epochs: Vec<EpochReport>,
+    /// Total simulated wall time, seconds.
+    pub total_wall_s: f64,
+}
+
+impl RunReport {
+    /// Epochs after warm-up (the paper always "omits the first epoch").
+    pub fn steady_epochs(&self) -> &[EpochReport] {
+        if self.epochs.len() > 1 {
+            &self.epochs[1..]
+        } else {
+            &self.epochs
+        }
+    }
+
+    /// Mean steady-state epoch time, seconds.
+    pub fn mean_epoch_s(&self) -> f64 {
+        let e = self.steady_epochs();
+        e.iter().map(|r| r.wall_s).sum::<f64>() / e.len() as f64
+    }
+
+    /// Mean steady-state local hit ratio.
+    pub fn mean_hit_ratio(&self) -> f64 {
+        let e = self.steady_epochs();
+        e.iter().map(|r| r.hit_ratio()).sum::<f64>() / e.len() as f64
+    }
+
+    /// Mean steady-state GPU utilization.
+    pub fn mean_gpu_utilization(&self) -> f64 {
+        let e = self.steady_epochs();
+        e.iter().map(|r| r.gpu_utilization).sum::<f64>() / e.len() as f64
+    }
+
+    /// Fraction of steady-state iterations with load imbalance.
+    pub fn imbalance_fraction(&self) -> f64 {
+        let e = self.steady_epochs();
+        let bad: u64 = e.iter().map(|r| r.imbalanced_iterations).sum();
+        let all: u64 = e.iter().map(|r| r.iterations).sum();
+        if all == 0 {
+            0.0
+        } else {
+            bad as f64 / all as f64
+        }
+    }
+}
+
+/// The executor itself. Owns all cluster state; `run` consumes it.
+pub struct ClusterSim {
+    cfg: ExperimentConfig,
+    policy: Box<dyn LoaderPolicy>,
+    governor: PreprocGovernor,
+    caches: Vec<NodeCache>,
+    directory: Directory,
+    oracles: Vec<Option<NodeOracle>>,
+    /// Per-node LRU clock for recency keys.
+    clocks: Vec<u64>,
+    /// Absolute time of the last completed barrier.
+    barrier_s: f64,
+    /// Per global GPU: when its previous training stage started.
+    start_prev_s: Vec<f64>,
+    evictor: ReuseAwareEvictor,
+    /// Whether the policy's runtime shares caches across nodes.
+    distributed: bool,
+    trace: Option<TraceCollector>,
+}
+
+impl ClusterSim {
+    pub fn new(cfg: ExperimentConfig, policy: Box<dyn LoaderPolicy>) -> ClusterSim {
+        let n = cfg.cluster.nodes;
+        let order = if policy.caching().evicts() {
+            EvictOrder::SmallestKeyFirst
+        } else {
+            EvictOrder::NeverEvict
+        };
+        let caches = (0..n).map(|_| NodeCache::new(cfg.cluster.cache_bytes, order)).collect();
+        let governor = cfg.calibrated_governor();
+        let world = cfg.cluster.world_size();
+        let distributed = policy.distributed_cache();
+        ClusterSim {
+            policy,
+            governor,
+            caches,
+            directory: Directory::new(n),
+            oracles: (0..n).map(|_| None).collect(),
+            clocks: vec![0; n],
+            barrier_s: 0.0,
+            start_prev_s: vec![0.0; world],
+            evictor: ReuseAwareEvictor,
+            distributed,
+            trace: None,
+            cfg,
+        }
+    }
+
+    /// Attach a trace collector (Figure 3 style per-iteration records).
+    pub fn with_trace(mut self, trace: TraceCollector) -> ClusterSim {
+        self.trace = Some(trace);
+        self
+    }
+
+    fn classify(&self, node: usize, s: SampleId) -> Tier {
+        if self.caches[node].contains(s) {
+            Tier::LocalCache
+        } else if self.distributed && self.directory.held_elsewhere(s, node) {
+            Tier::RemoteCache
+        } else {
+            Tier::Pfs
+        }
+    }
+
+    fn bump_clock(&mut self, node: usize) -> u64 {
+        self.clocks[node] += 1;
+        self.clocks[node]
+    }
+
+    /// Priority key for a freshly-inserted/touched sample under the active
+    /// caching strategy.
+    fn insert_key(&mut self, node: usize, s: SampleId, strategy: CachingStrategy) -> u64 {
+        match strategy {
+            CachingStrategy::Lru | CachingStrategy::PrefetchLru | CachingStrategy::InsertOnly => {
+                self.bump_clock(node)
+            }
+            CachingStrategy::ReuseAware => {
+                let next = self.oracles[node]
+                    .as_ref()
+                    .and_then(|o| o.future_of(s))
+                    .map(|f| f.next_iteration);
+                ReuseAwareEvictor::priority_key(next)
+            }
+        }
+    }
+
+    /// Hash-owner of a sample under KV partitioning.
+    fn kv_owner(&self, s: SampleId) -> usize {
+        (lobster_sim::derive_seed(0x4B56, s.0 as u64) % self.cfg.cluster.nodes as u64) as usize
+    }
+
+    fn insert_sample(&mut self, node: usize, s: SampleId, strategy: CachingStrategy) {
+        // KV-partitioned topology: the fetched sample is cached at its
+        // hash-owner node (write-through over the interconnect), not where
+        // it was consumed.
+        let home = if self.cfg.kv_partitioned && self.distributed {
+            self.kv_owner(s)
+        } else {
+            node
+        };
+        let bytes = self.cfg.dataset.size_of(s);
+        let key = self.insert_key(home, s, strategy);
+        let outcome = self.caches[home].insert(s, bytes, key);
+        if outcome.inserted {
+            self.directory.add(s, home);
+        }
+        for victim in outcome.evicted {
+            self.directory.remove(victim, home);
+        }
+    }
+
+    /// Execute the demand fetches of one node's iteration: update caches,
+    /// the directory, and hit counters.
+    fn demand_fetch(
+        &mut self,
+        node: usize,
+        samples: &[SampleId],
+        strategy: CachingStrategy,
+        hits: &mut (u64, u64, u64),
+    ) {
+        for &s in samples {
+            match self.classify(node, s) {
+                Tier::LocalCache => {
+                    hits.0 += 1;
+                    let key = self.insert_key(node, s, strategy);
+                    self.caches[node].set_key(s, key);
+                }
+                Tier::RemoteCache => {
+                    hits.1 += 1;
+                    self.insert_sample(node, s, strategy);
+                }
+                Tier::Pfs => {
+                    hits.2 += 1;
+                    self.insert_sample(node, s, strategy);
+                }
+            }
+        }
+    }
+
+    /// Deterministic prefetching with the spare loader capacity of one
+    /// iteration (§4.4 "coordination with prefetching").
+    fn prefetch(
+        &mut self,
+        node: usize,
+        plan: &NodePlan,
+        spare_s: f64,
+        strategy: CachingStrategy,
+        reading_nodes: usize,
+    ) -> u64 {
+        let Some(oracle) = self.oracles[node].as_ref() else {
+            return 0;
+        };
+        let threads: u32 = plan.load_threads.iter().sum::<u32>().max(1);
+        let mut budget = spare_s;
+        let mut fetched = 0u64;
+        let mut to_fetch: Vec<SampleId> = Vec::new();
+        let lookahead = plan.prefetch_lookahead.min(self.cfg.prefetch_lookahead).max(1);
+
+        let batch = self.cfg.cluster.batch_size;
+        'outer: for la in 0..lookahead {
+            let upcoming = oracle.upcoming_iteration(la);
+            if upcoming.is_empty() {
+                break;
+            }
+            // Interleave across GPUs (each GPU's staging buffer fills in
+            // step) instead of finishing GPU 0's batch before touching
+            // GPU 7's — a GPU-ordered walk starves the later GPUs whenever
+            // the budget runs out mid-iteration.
+            let gpus_here = upcoming.len() / batch.max(1);
+            let interleaved = (0..batch)
+                .flat_map(|k| (0..gpus_here).map(move |gpu| gpu * batch + k))
+                .map(|idx| upcoming[idx]);
+            for s in interleaved {
+                if self.caches[node].contains(s) {
+                    continue;
+                }
+                let bytes = self.cfg.dataset.size_of(s) as f64;
+                let cost = if self.distributed && self.directory.held_elsewhere(s, node) {
+                    self.cfg.storage.read_secs(Tier::RemoteCache, bytes, 1, threads, 1)
+                } else {
+                    self.cfg.storage.read_secs(Tier::Pfs, bytes, 1, threads, reading_nodes)
+                };
+                if cost > budget {
+                    break 'outer;
+                }
+                // Lobster's coordination: do not displace a sample that is
+                // needed *sooner* than the one being prefetched.
+                if strategy == CachingStrategy::ReuseAware {
+                    let new_key = ReuseAwareEvictor::priority_key(
+                        oracle.future_of(s).map(|f| f.next_iteration),
+                    );
+                    if self.caches[node].free_bytes() < bytes as u64 {
+                        match self.caches[node]
+                            .peek_victim()
+                            .and_then(|v| self.caches[node].key_of(v))
+                        {
+                            Some(victim_key) if victim_key >= new_key => break 'outer,
+                            None => break 'outer,
+                            _ => {}
+                        }
+                    }
+                }
+                budget -= cost;
+                to_fetch.push(s);
+                fetched += 1;
+                // Bound per-iteration prefetch volume to keep the sweep
+                // honest even with huge spare budgets.
+                if to_fetch.len() >= 4 * self.cfg.cluster.batch_size * self.cfg.cluster.gpus_per_node
+                {
+                    break 'outer;
+                }
+            }
+        }
+        for s in to_fetch {
+            self.insert_sample(node, s, strategy);
+        }
+        fetched
+    }
+
+    /// Run the configured number of epochs.
+    // Index-based loops are kept deliberately: the body indexes several
+    // parallel arrays by the same node/gpu coordinates (and their flattened
+    // combination), which iterators would obscure.
+    #[allow(clippy::needless_range_loop)]
+    pub fn run(mut self) -> (RunReport, Option<TraceCollector>) {
+        let spec = self.cfg.schedule_spec();
+        let iters = self.cfg.iterations_per_epoch();
+        let world = self.cfg.cluster.world_size();
+        let nodes = self.cfg.cluster.nodes;
+        let gpus = self.cfg.cluster.gpus_per_node;
+        let strategy = self.policy.caching();
+        let t_train = self.cfg.model.t_train_s;
+        let efficiency = self.policy.loading_efficiency();
+        let mean_bytes = self.cfg.dataset.mean_sample_bytes() as u64;
+
+        let mut epochs = Vec::with_capacity(self.cfg.epochs as usize);
+        let mut next_schedule: Option<EpochSchedule> = None;
+
+        for epoch in 0..self.cfg.epochs {
+            let sched = next_schedule
+                .take()
+                .unwrap_or_else(|| lobster_data::partition::generate(spec, epoch, self.cfg.partition));
+            let upcoming = lobster_data::partition::generate(spec, epoch + 1, self.cfg.partition);
+            if strategy.uses_oracle() {
+                for node in 0..nodes {
+                    self.oracles[node] =
+                        Some(NodeOracle::build(node, &[&sched, &upcoming], epoch * iters as u64));
+                }
+            }
+
+            let mut hits = (0u64, 0u64, 0u64);
+            let mut prefetched = 0u64;
+            let mut imbalanced = 0u64;
+            let mut spread_sum = 0.0f64;
+            let mut batch_times = Summary::new();
+            let mut evict_total = EvictReport::default();
+            let epoch_start_s = self.barrier_s;
+
+            for h in 0..iters {
+                let global_iter = epoch * iters as u64 + h as u64;
+
+                // Pass 1: tier splits for every GPU, before any mutation.
+                let mut splits: Vec<Vec<TierBreakdown>> = Vec::with_capacity(nodes);
+                for node in 0..nodes {
+                    let mut per_gpu = Vec::with_capacity(gpus);
+                    for gpu in 0..gpus {
+                        let mut split = TierBreakdown::default();
+                        for &s in sched.batch(h, node, gpu) {
+                            split.add(self.classify(node, s), self.cfg.dataset.size_of(s));
+                        }
+                        per_gpu.push(split);
+                    }
+                    splits.push(per_gpu);
+                }
+                let reading_nodes =
+                    splits.iter().filter(|per| per.iter().any(|s| s.pfs_count > 0)).count().max(1);
+
+                // Pass 2: plan, fetch, account — per node.
+                let mut pipe_s = vec![0.0f64; world]; // T_L + T_P per GPU
+                let mut load_s = vec![0.0f64; world];
+                let mut prep_s = vec![0.0f64; world];
+                for node in 0..nodes {
+                    let ctx = PlanContext {
+                        node,
+                        iter_in_epoch: h,
+                        iters_per_epoch: iters,
+                        t_train_s: t_train,
+                        storage: &self.cfg.storage,
+                        splits: &splits[node],
+                        total_threads: self.cfg.cluster.pipeline_threads,
+                        reading_nodes,
+                        batch_samples: self.cfg.cluster.batch_size,
+                        mean_sample_bytes: mean_bytes,
+                        governor: &self.governor,
+                    };
+                    let plan = self.policy.plan(&ctx);
+                    debug_assert_eq!(plan.load_threads.len(), gpus);
+
+                    // Ground-truth preprocessing time for the node's batches
+                    // with the planned threads (shared stage: every GPU's
+                    // batch streams through together).
+                    let node_bytes: f64 =
+                        splits[node].iter().map(TierBreakdown::total_bytes).sum();
+                    let t_prep =
+                        self.cfg.preproc.batch_secs(node_bytes, plan.preproc_threads);
+
+                    // Intra-node overcommit: the per-GPU model (Eq. 1)
+                    // assumes each GPU's threads get the full tier curve,
+                    // but the node's NIC/PFS client saturates at the curve
+                    // knee. When the GPUs' combined tier threads exceed it,
+                    // everyone slows proportionally.
+                    let knee_r = self.cfg.storage.curve(Tier::RemoteCache).peak().0;
+                    let knee_p = self.cfg.storage.curve(Tier::Pfs).peak().0;
+                    let mut total_r = 0u32;
+                    let mut total_p = 0u32;
+                    for gpu in 0..gpus {
+                        let threads = plan.load_threads[gpu].max(1);
+                        if splits[node][gpu].remote_count > 0 {
+                            total_r += threads;
+                        }
+                        if splits[node][gpu].pfs_count > 0 {
+                            total_p += threads;
+                        }
+                    }
+                    let oc_r = (total_r as f64 / knee_r as f64).max(1.0);
+                    let oc_p = (total_p as f64 / knee_p as f64).max(1.0);
+
+                    let mut node_pipe_max = 0.0f64;
+                    for gpu in 0..gpus {
+                        let g = node * gpus + gpu;
+                        let threads = plan.load_threads[gpu].max(1);
+                        let parts = load_time_parts(
+                            &self.cfg.storage,
+                            &splits[node][gpu],
+                            ThreadAlloc::uniform(threads),
+                            reading_nodes,
+                        );
+                        let t_load = parts.total_with_overcommit(oc_r, oc_p) / efficiency
+                            * self.cfg.node_slowdown.get(node).copied().unwrap_or(1.0);
+                        load_s[g] = t_load;
+                        prep_s[g] = t_prep;
+                        pipe_s[g] = t_load + t_prep;
+                        node_pipe_max = node_pipe_max.max(pipe_s[g]);
+                    }
+
+                    // State updates: demand fetches for every GPU's batch.
+                    let node_samples: Vec<SampleId> = sched.node_iteration(h, node).to_vec();
+                    self.demand_fetch(node, &node_samples, strategy, &mut hits);
+
+                    // The oracle moves past iteration h before eviction and
+                    // prefetch reason about "the future".
+                    if let Some(oracle) = self.oracles[node].as_mut() {
+                        oracle.advance();
+                    }
+
+                    if strategy == CachingStrategy::ReuseAware {
+                        // Split borrows: take the oracle out during the sweep.
+                        if let Some(oracle) = self.oracles[node].take() {
+                            let rep = self.evictor.after_iteration(
+                                &mut self.caches[node],
+                                &mut self.directory,
+                                &oracle,
+                                node,
+                                &node_samples,
+                                h,
+                                iters,
+                                global_iter,
+                            );
+                            evict_total.by_reuse_count += rep.by_reuse_count;
+                            evict_total.by_reuse_distance += rep.by_reuse_distance;
+                            evict_total.kept_last_copy += rep.kept_last_copy;
+                            self.oracles[node] = Some(oracle);
+                        }
+                    }
+
+                    if plan.prefetch {
+                        // Spare loader-thread time this iteration: the wall
+                        // window is max(T_train, slowest pipeline); each
+                        // GPU's loading threads idle once its own batch is
+                        // staged, contributing in proportion to their share
+                        // of the pool.
+                        let window = t_train.max(node_pipe_max);
+                        let total_threads: u32 =
+                            plan.load_threads.iter().map(|&t| t.max(1)).sum();
+                        let mut spare = 0.0;
+                        for gpu in 0..gpus {
+                            let g = node * gpus + gpu;
+                            let share =
+                                plan.load_threads[gpu].max(1) as f64 / total_threads as f64;
+                            // Loading threads idle once their own demand
+                            // fetch is staged (preprocessing runs on the
+                            // other pool).
+                            spare += (window - load_s[g]).max(0.0) * share;
+                        }
+                        prefetched += self.prefetch(node, &plan, spare, strategy, reading_nodes);
+                    }
+                }
+
+                // Timing recurrence.
+                let mut max_done = 0.0f64;
+                let mut starts = vec![0.0f64; world];
+                for g in 0..world {
+                    let ready = self.start_prev_s[g] + pipe_s[g];
+                    let start = self.barrier_s.max(ready);
+                    starts[g] = start;
+                    max_done = max_done.max(start + t_train);
+                }
+                let new_barrier = max_done + self.cfg.allreduce_s;
+                let batch_time = new_barrier - self.barrier_s;
+                batch_times.record(batch_time);
+
+                // Imbalance: pipeline-time spread across the cluster's GPUs
+                // (uniform slowness is a bottleneck, not imbalance).
+                let eff: Vec<f64> = pipe_s.iter().map(|&p| p.max(t_train)).collect();
+                let spread = lobster_core::imbalance_gap_secs(&eff);
+                spread_sum += spread;
+                if spread > self.cfg.imbalance_fraction * t_train {
+                    imbalanced += 1;
+                }
+
+                if let Some(trace) = self.trace.as_mut() {
+                    for g in 0..world {
+                        trace.record(IterationRecord {
+                            epoch,
+                            iteration: h as u64,
+                            node: g / gpus,
+                            gpu: g % gpus,
+                            load_s: load_s[g],
+                            preproc_s: prep_s[g],
+                            train_s: t_train,
+                            wait_data_s: starts[g] - self.barrier_s,
+                            wait_stragglers_s: new_barrier
+                                - self.cfg.allreduce_s
+                                - (starts[g] + t_train),
+                        });
+                    }
+                }
+
+                self.start_prev_s.copy_from_slice(&starts);
+                self.barrier_s = new_barrier;
+            }
+
+            let wall = self.barrier_s - epoch_start_s;
+            epochs.push(EpochReport {
+                epoch,
+                wall_s: wall,
+                local_hits: hits.0,
+                remote_hits: hits.1,
+                misses: hits.2,
+                prefetched,
+                imbalanced_iterations: imbalanced,
+                iterations: iters as u64,
+                gpu_utilization: (iters as f64 * t_train) / wall,
+                mean_spread_s: spread_sum / iters.max(1) as f64,
+                batch_times,
+                evict: evict_total,
+            });
+            next_schedule = Some(upcoming);
+        }
+
+        let report = RunReport {
+            policy: self.policy.name().to_string(),
+            model: self.cfg.model.name.clone(),
+            dataset: self.cfg.dataset.name.clone(),
+            total_wall_s: self.barrier_s,
+            epochs,
+        };
+        (report, self.trace)
+    }
+}

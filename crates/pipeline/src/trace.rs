@@ -1,0 +1,137 @@
+//! Per-iteration, per-GPU traces — the data behind Figure 3's execution-time
+//! breakdown.
+
+use serde::{Deserialize, Serialize};
+
+/// One GPU's view of one iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IterationRecord {
+    pub epoch: u64,
+    pub iteration: u64,
+    pub node: usize,
+    pub gpu: usize,
+    /// Data-loading stage duration (overlapped with previous training).
+    pub load_s: f64,
+    /// Preprocessing stage duration.
+    pub preproc_s: f64,
+    /// Training stage duration.
+    pub train_s: f64,
+    /// Idle before training started: waiting for this GPU's own data.
+    pub wait_data_s: f64,
+    /// Idle after training: waiting for straggler GPUs at the allreduce.
+    pub wait_stragglers_s: f64,
+}
+
+impl IterationRecord {
+    /// Was this GPU's pipeline the iteration's bottleneck (its stages did
+    /// not hide behind training)?
+    pub fn pipeline_bound(&self) -> bool {
+        self.load_s + self.preproc_s > self.train_s
+    }
+}
+
+/// Collects records for a bounded window of iterations.
+#[derive(Debug, Clone)]
+pub struct TraceCollector {
+    /// Only iterations with `epoch == target_epoch` and `iteration` in one
+    /// of the ranges are kept.
+    target_epoch: u64,
+    ranges: Vec<(u64, u64)>,
+    records: Vec<IterationRecord>,
+}
+
+impl TraceCollector {
+    /// Record iterations of `epoch` falling in any of `ranges`
+    /// (half-open `[lo, hi)`).
+    pub fn for_epoch(epoch: u64, ranges: Vec<(u64, u64)>) -> TraceCollector {
+        TraceCollector { target_epoch: epoch, ranges, records: Vec::new() }
+    }
+
+    /// The paper's Figure 3 sampling: "eight each in the beginning, middle,
+    /// and end" of the second epoch.
+    pub fn figure3(iters_per_epoch: u64) -> TraceCollector {
+        let i = iters_per_epoch;
+        let mid = i / 2;
+        TraceCollector::for_epoch(1, vec![(0, 8.min(i)), (mid, (mid + 8).min(i)), (i.saturating_sub(8), i)])
+    }
+
+    pub fn record(&mut self, r: IterationRecord) {
+        if r.epoch == self.target_epoch
+            && self.ranges.iter().any(|&(lo, hi)| r.iteration >= lo && r.iteration < hi)
+        {
+            self.records.push(r);
+        }
+    }
+
+    pub fn records(&self) -> &[IterationRecord] {
+        &self.records
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Records for one specific GPU, in iteration order.
+    pub fn for_gpu(&self, node: usize, gpu: usize) -> Vec<IterationRecord> {
+        self.records.iter().filter(|r| r.node == node && r.gpu == gpu).copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(epoch: u64, iteration: u64, node: usize, gpu: usize) -> IterationRecord {
+        IterationRecord {
+            epoch,
+            iteration,
+            node,
+            gpu,
+            load_s: 0.01,
+            preproc_s: 0.02,
+            train_s: 0.1,
+            wait_data_s: 0.0,
+            wait_stragglers_s: 0.005,
+        }
+    }
+
+    #[test]
+    fn collector_filters_epoch_and_ranges() {
+        let mut t = TraceCollector::for_epoch(1, vec![(0, 2), (10, 12)]);
+        t.record(rec(0, 0, 0, 0)); // wrong epoch
+        t.record(rec(1, 0, 0, 0)); // kept
+        t.record(rec(1, 5, 0, 0)); // outside ranges
+        t.record(rec(1, 11, 0, 1)); // kept
+        assert_eq!(t.records().len(), 2);
+        assert_eq!(t.for_gpu(0, 1).len(), 1);
+    }
+
+    #[test]
+    fn figure3_sampling_covers_three_windows() {
+        let t = TraceCollector::figure3(562);
+        let mut probe = t.clone();
+        for it in 0..562 {
+            probe.record(rec(1, it, 0, 0));
+        }
+        assert_eq!(probe.records().len(), 24, "8 + 8 + 8 iterations");
+    }
+
+    #[test]
+    fn figure3_handles_short_epochs() {
+        let t = TraceCollector::figure3(10);
+        let mut probe = t.clone();
+        for it in 0..10 {
+            probe.record(rec(1, it, 0, 0));
+        }
+        // Windows overlap on short epochs; no panic, records bounded.
+        assert!(probe.records().len() <= 30);
+    }
+
+    #[test]
+    fn pipeline_bound_detection() {
+        let mut r = rec(0, 0, 0, 0);
+        assert!(!r.pipeline_bound());
+        r.load_s = 0.2;
+        assert!(r.pipeline_bound());
+    }
+}

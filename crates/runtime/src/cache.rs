@@ -1,0 +1,172 @@
+//! A thread-safe byte cache for the live runtime: `lobster-cache`'s
+//! priority-indexed eviction mechanics plus actual payload storage, behind
+//! one lock. Lock hold times are short (metadata + `Vec` moves); payload
+//! generation and simulated I/O happen outside the lock.
+
+use lobster_cache::{EvictOrder, NodeCache};
+use lobster_data::SampleId;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared, capacity-bounded sample cache.
+pub struct ShardCache {
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+struct Inner {
+    meta: NodeCache,
+    payload: HashMap<u32, Arc<Vec<u8>>>,
+}
+
+impl ShardCache {
+    pub fn new(capacity_bytes: u64) -> ShardCache {
+        ShardCache {
+            inner: Mutex::new(Inner {
+                meta: NodeCache::new(capacity_bytes, EvictOrder::SmallestKeyFirst),
+                payload: HashMap::new(),
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Look up a sample; counts a hit or miss. On hit the priority key is
+    /// refreshed to `touch_key`.
+    pub fn get(&self, id: SampleId, touch_key: u64) -> Option<Arc<Vec<u8>>> {
+        let mut inner = self.inner.lock();
+        if let Some(bytes) = inner.payload.get(&id.0).cloned() {
+            inner.meta.set_key(id, touch_key);
+            drop(inner);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            Some(bytes)
+        } else {
+            drop(inner);
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Residency check without stats or key refresh.
+    pub fn contains(&self, id: SampleId) -> bool {
+        self.inner.lock().meta.contains(id)
+    }
+
+    /// Insert a sample with a priority key; evicted payloads are dropped.
+    /// Returns false if the sample could not be admitted.
+    pub fn insert(&self, id: SampleId, bytes: Arc<Vec<u8>>, key: u64) -> bool {
+        let mut inner = self.inner.lock();
+        let outcome = inner.meta.insert(id, bytes.len() as u64, key);
+        for victim in &outcome.evicted {
+            inner.payload.remove(&victim.0);
+        }
+        if outcome.inserted {
+            inner.payload.insert(id.0, bytes);
+        }
+        outcome.inserted
+    }
+
+    /// Explicitly evict (policy-driven). Returns true if resident.
+    pub fn evict(&self, id: SampleId) -> bool {
+        let mut inner = self.inner.lock();
+        let was = inner.meta.evict(id);
+        if was {
+            inner.payload.remove(&id.0);
+        }
+        was
+    }
+
+    pub fn used_bytes(&self) -> u64 {
+        self.inner.lock().meta.used_bytes()
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().meta.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn hit_count(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    pub fn miss_count(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    pub fn hit_ratio(&self) -> f64 {
+        let h = self.hit_count();
+        let m = self.miss_count();
+        if h + m == 0 {
+            0.0
+        } else {
+            h as f64 / (h + m) as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(n: usize) -> Arc<Vec<u8>> {
+        Arc::new(vec![0xAB; n])
+    }
+
+    #[test]
+    fn get_counts_hits_and_misses() {
+        let c = ShardCache::new(1000);
+        assert!(c.get(SampleId(1), 0).is_none());
+        c.insert(SampleId(1), payload(100), 1);
+        assert!(c.get(SampleId(1), 2).is_some());
+        assert_eq!(c.hit_count(), 1);
+        assert_eq!(c.miss_count(), 1);
+        assert_eq!(c.hit_ratio(), 0.5);
+    }
+
+    #[test]
+    fn eviction_drops_payload_and_capacity_is_respected() {
+        let c = ShardCache::new(250);
+        c.insert(SampleId(1), payload(100), 1);
+        c.insert(SampleId(2), payload(100), 2);
+        // Needs an eviction: key 1 goes.
+        assert!(c.insert(SampleId(3), payload(100), 3));
+        assert!(!c.contains(SampleId(1)));
+        assert!(c.used_bytes() <= 250);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn explicit_evict_roundtrip() {
+        let c = ShardCache::new(1000);
+        c.insert(SampleId(9), payload(10), 0);
+        assert!(c.evict(SampleId(9)));
+        assert!(!c.evict(SampleId(9)));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn concurrent_access_is_safe_and_consistent() {
+        let c = Arc::new(ShardCache::new(100_000));
+        let mut handles = Vec::new();
+        for t in 0..4u32 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200u32 {
+                    let id = SampleId(t * 1000 + i);
+                    c.insert(id, Arc::new(vec![t as u8; 50]), i as u64);
+                    assert!(c.get(id, i as u64).is_some() || !c.contains(id));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(c.used_bytes() <= 100_000);
+    }
+}

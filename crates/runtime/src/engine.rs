@@ -1,0 +1,555 @@
+//! The live data-loading engine: real threads, real queues, real timings.
+//!
+//! This is the reproduction's analog of the paper's online C++ runtime: a
+//! multi-queue loading stage (one request queue per consumer, §4.2), a
+//! preprocessing worker pool, a shared capacity-bounded cache, and consumer
+//! threads standing in for GPUs (they assemble mini-batches, "train" for a
+//! fixed duration, and synchronize on a barrier like a gradient allreduce).
+//! An optional adaptive controller re-assigns loader workers to queues in
+//! proportion to measured queue pressure — Lobster's multi-queue thread
+//! assignment, driven by live measurements instead of the model.
+
+use crate::cache::ShardCache;
+use crate::store::{sample_checksum, SyntheticStore};
+use crate::transform::{invert, preprocess};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use lobster_data::{Dataset, EpochSchedule, SampleId, ScheduleSpec};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Consumer ("GPU") threads.
+    pub consumers: usize,
+    /// Samples per consumer per iteration.
+    pub batch_size: usize,
+    /// Loader worker threads.
+    pub loader_threads: usize,
+    /// Preprocessing worker threads.
+    pub preproc_threads: usize,
+    /// Cache capacity in bytes.
+    pub cache_bytes: u64,
+    /// Preprocessing work factor (mixing passes per sample).
+    pub work_factor: u32,
+    /// Simulated training duration per iteration.
+    pub train: Duration,
+    /// Adaptive multi-queue assignment (Lobster) vs static round-robin
+    /// (PyTorch/DALI-style fixed pools).
+    pub adaptive: bool,
+    /// Epochs to run.
+    pub epochs: u64,
+    /// Shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            consumers: 2,
+            batch_size: 8,
+            loader_threads: 2,
+            preproc_threads: 2,
+            cache_bytes: 64 << 20,
+            work_factor: 1,
+            train: Duration::from_millis(2),
+            adaptive: true,
+            epochs: 2,
+            seed: 42,
+        }
+    }
+}
+
+/// What the engine measured.
+#[derive(Debug, Clone)]
+pub struct EngineReport {
+    /// Iterations executed (across all epochs).
+    pub iterations: u64,
+    /// Wall time of each iteration (barrier to barrier), seconds.
+    pub iteration_secs: Vec<f64>,
+    /// Cache hit ratio over all demand lookups.
+    pub hit_ratio: f64,
+    /// Backing-store fetches (misses reaching the "PFS").
+    pub store_fetches: u64,
+    /// Samples delivered to consumers.
+    pub delivered: u64,
+    /// XOR of all delivered samples' canonical checksums: an end-to-end
+    /// integrity fingerprint that is a pure function of the schedule.
+    pub integrity: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Req {
+    iter: u64,
+    consumer: usize,
+    sample: SampleId,
+}
+
+struct Raw {
+    req: Req,
+    bytes: Arc<Vec<u8>>,
+}
+
+struct Cooked {
+    iter: u64,
+    bytes: Vec<u8>,
+}
+
+/// Pure helper: distribute `workers` loader threads across queues in
+/// proportion to their pending *cost* — queue depth weighted by the
+/// measured per-request service time (§4.2's "data loading intensity",
+/// driven by live measurements instead of the model). `costs_per_req` may
+/// be empty or zero-filled, in which case depths alone decide. Returns a
+/// queue index per worker.
+pub fn compute_weighted_assignment(
+    depths: &[usize],
+    costs_per_req: &[f64],
+    workers: usize,
+) -> Vec<usize> {
+    let costs: Vec<f64> = depths
+        .iter()
+        .enumerate()
+        .map(|(q, &d)| {
+            let unit = costs_per_req.get(q).copied().unwrap_or(0.0);
+            d as f64 * if unit > 0.0 { unit } else { 1.0 }
+        })
+        .collect();
+    let alloc = lobster_core::proportional_allocation(&costs, workers as u32);
+    assignment_from_alloc(&alloc, depths.len(), workers)
+}
+
+/// Distribute `workers` loader threads across queues in proportion to
+/// their pending depths alone.
+pub fn compute_assignment(depths: &[usize], workers: usize) -> Vec<usize> {
+    let costs: Vec<f64> = depths.iter().map(|&d| d as f64).collect();
+    let alloc = lobster_core::proportional_allocation(&costs, workers as u32);
+    assignment_from_alloc(&alloc, depths.len(), workers)
+}
+
+fn assignment_from_alloc(alloc: &[u32], queues: usize, workers: usize) -> Vec<usize> {
+    let mut out = Vec::with_capacity(workers);
+    for (queue, &count) in alloc.iter().enumerate() {
+        for _ in 0..count {
+            if out.len() < workers {
+                out.push(queue);
+            }
+        }
+    }
+    // Any leftover workers (rounding) go round-robin.
+    let mut q = 0;
+    while out.len() < workers {
+        out.push(q % queues.max(1));
+        q += 1;
+    }
+    out
+}
+
+/// The canonical integrity fingerprint of a full run: XOR of every
+/// scheduled sample's canonical checksum (order-independent). Tests compare
+/// the engine's delivered fingerprint against this.
+pub fn expected_integrity(dataset: &Dataset, cfg: &EngineConfig) -> u64 {
+    let spec = schedule_spec(dataset, cfg);
+    let mut acc = 0u64;
+    for epoch in 0..cfg.epochs {
+        let sched = EpochSchedule::generate(spec, epoch);
+        for &s in sched.all_accesses() {
+            let bytes = crate::store::sample_bytes(s, dataset.size_of(s) as usize);
+            acc ^= sample_checksum(&bytes);
+        }
+    }
+    acc
+}
+
+fn schedule_spec(dataset: &Dataset, cfg: &EngineConfig) -> ScheduleSpec {
+    ScheduleSpec {
+        nodes: 1,
+        gpus_per_node: cfg.consumers,
+        batch_size: cfg.batch_size,
+        dataset_len: dataset.len(),
+        seed: cfg.seed,
+    }
+}
+
+/// Run the engine to completion and report.
+pub fn run(store: Arc<SyntheticStore>, cfg: EngineConfig) -> EngineReport {
+    assert!(cfg.consumers > 0 && cfg.batch_size > 0);
+    assert!(cfg.loader_threads > 0 && cfg.preproc_threads > 0);
+    let spec = schedule_spec(store.dataset(), &cfg);
+    let iters_per_epoch = spec.iterations_per_epoch();
+    assert!(iters_per_epoch > 0, "dataset too small for one iteration");
+    let total_iters = iters_per_epoch as u64 * cfg.epochs;
+
+    let cache = Arc::new(ShardCache::new(cfg.cache_bytes));
+    let clock = Arc::new(AtomicU64::new(0));
+
+    // Per-consumer request queues (the §4.2 multi-queue) and cooked-sample
+    // delivery channels.
+    let mut req_tx: Vec<Sender<Req>> = Vec::new();
+    let mut req_rx: Vec<Receiver<Req>> = Vec::new();
+    let mut cooked_tx: Vec<Sender<Cooked>> = Vec::new();
+    let mut cooked_rx: Vec<Receiver<Cooked>> = Vec::new();
+    for _ in 0..cfg.consumers {
+        let (tx, rx) = bounded::<Req>(2 * cfg.batch_size);
+        req_tx.push(tx);
+        req_rx.push(rx);
+        // Unbounded so a preprocessing worker can never block on one
+        // consumer's channel while other consumers starve behind it
+        // (deadlock via the barrier); total in-flight work is bounded by
+        // the feeder's credit pacing, not by this channel.
+        let (tx, rx) = unbounded::<Cooked>();
+        cooked_tx.push(tx);
+        cooked_rx.push(rx);
+    }
+    let (raw_tx, raw_rx) = bounded::<Raw>(4 * cfg.batch_size * cfg.consumers);
+
+    // Loader→queue assignment, rewritten by the controller.
+    let assignment: Arc<Vec<AtomicUsize>> =
+        Arc::new((0..cfg.loader_threads).map(|w| AtomicUsize::new(w % cfg.consumers)).collect());
+    // Measured per-queue service cost in nanoseconds (EWMA, α = 1/4),
+    // updated by the loaders and consumed by the controller.
+    let service_ns: Arc<Vec<AtomicU64>> =
+        Arc::new((0..cfg.consumers).map(|_| AtomicU64::new(0)).collect());
+    let done = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(cfg.consumers));
+    let delivered = Arc::new(AtomicU64::new(0));
+    let integrity = Arc::new(AtomicU64::new(0));
+    // Credit pacing: at most `inflight_limit` samples per consumer between
+    // the feeder and the consumer's consumption counter.
+    let consumed: Arc<Vec<AtomicU64>> =
+        Arc::new((0..cfg.consumers).map(|_| AtomicU64::new(0)).collect());
+    let inflight_limit = (4 * cfg.batch_size) as u64;
+    let iter_times: Arc<parking_lot::Mutex<Vec<f64>>> =
+        Arc::new(parking_lot::Mutex::new(Vec::with_capacity(total_iters as usize)));
+
+    crossbeam::scope(|scope| {
+        // ---- Feeder: streams every request in schedule order. ----
+        {
+            let req_tx = req_tx.clone();
+            let cfg = cfg.clone();
+            let consumed = Arc::clone(&consumed);
+            scope.spawn(move |_| {
+                let mut sent = vec![0u64; cfg.consumers];
+                for epoch in 0..cfg.epochs {
+                    let sched = EpochSchedule::generate(spec, epoch);
+                    for h in 0..iters_per_epoch {
+                        let iter = epoch * iters_per_epoch as u64 + h as u64;
+                        for consumer in 0..cfg.consumers {
+                            for &sample in sched.batch(h, 0, consumer) {
+                                // Credit pacing bounds total in-flight work
+                                // per consumer regardless of queue sizes.
+                                while sent[consumer]
+                                    - consumed[consumer].load(Ordering::Relaxed)
+                                    >= inflight_limit
+                                {
+                                    std::thread::sleep(Duration::from_micros(50));
+                                }
+                                req_tx[consumer]
+                                    .send(Req { iter, consumer, sample })
+                                    .expect("loader side alive");
+                                sent[consumer] += 1;
+                            }
+                        }
+                    }
+                }
+                // Senders drop here: loaders drain and exit.
+            });
+        }
+        drop(req_tx); // feeder holds the only request senders now
+
+        // ---- Loader workers. ----
+        for w in 0..cfg.loader_threads {
+            let req_rx = req_rx.clone();
+            let raw_tx = raw_tx.clone();
+            let cache = Arc::clone(&cache);
+            let clock = Arc::clone(&clock);
+            let store = Arc::clone(&store);
+            let assignment = Arc::clone(&assignment);
+            let service_ns = Arc::clone(&service_ns);
+            scope.spawn(move |_| loop {
+                // Serve the assigned queue first, then steal from the rest.
+                let primary = assignment[w].load(Ordering::Relaxed) % req_rx.len();
+                let mut got = None;
+                let mut all_disconnected = true;
+                let n = req_rx.len();
+                for offset in 0..n {
+                    let q = (primary + offset) % n;
+                    match req_rx[q].try_recv() {
+                        Ok(r) => {
+                            got = Some(r);
+                            all_disconnected = false;
+                            break;
+                        }
+                        Err(crossbeam::channel::TryRecvError::Empty) => all_disconnected = false,
+                        Err(crossbeam::channel::TryRecvError::Disconnected) => {}
+                    }
+                }
+                match got {
+                    Some(req) => {
+                        let t0 = Instant::now();
+                        let key = clock.fetch_add(1, Ordering::Relaxed);
+                        let bytes = match cache.get(req.sample, key) {
+                            Some(b) => b,
+                            None => {
+                                let fetched = Arc::new(store.fetch(req.sample));
+                                cache.insert(req.sample, Arc::clone(&fetched), key);
+                                fetched
+                            }
+                        };
+                        // EWMA (α = 1/4) of this queue's service cost.
+                        let obs = t0.elapsed().as_nanos() as u64;
+                        let cell = &service_ns[req.consumer];
+                        let prev = cell.load(Ordering::Relaxed);
+                        let next = if prev == 0 { obs } else { prev - prev / 4 + obs / 4 };
+                        cell.store(next, Ordering::Relaxed);
+                        if raw_tx.send(Raw { req, bytes }).is_err() {
+                            break;
+                        }
+                    }
+                    None if all_disconnected => break,
+                    None => std::thread::sleep(Duration::from_micros(100)),
+                }
+            });
+        }
+        drop(raw_tx);
+
+        // ---- Preprocessing workers. ----
+        for _ in 0..cfg.preproc_threads {
+            let raw_rx = raw_rx.clone();
+            let cooked_tx = cooked_tx.clone();
+            let wf = cfg.work_factor;
+            scope.spawn(move |_| {
+                for raw in raw_rx.iter() {
+                    let cooked = preprocess(&raw.bytes, wf);
+                    if cooked_tx[raw.req.consumer]
+                        .send(Cooked { iter: raw.req.iter, bytes: cooked })
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(cooked_tx);
+        drop(raw_rx);
+
+        // ---- Controller (adaptive multi-queue assignment). ----
+        if cfg.adaptive {
+            let req_rx = req_rx.clone();
+            let assignment = Arc::clone(&assignment);
+            let service_ns = Arc::clone(&service_ns);
+            let done = Arc::clone(&done);
+            scope.spawn(move |_| {
+                while !done.load(Ordering::Relaxed) {
+                    let depths: Vec<usize> = req_rx.iter().map(|rx| rx.len()).collect();
+                    let costs: Vec<f64> = service_ns
+                        .iter()
+                        .map(|c| c.load(Ordering::Relaxed) as f64 / 1e9)
+                        .collect();
+                    let plan =
+                        compute_weighted_assignment(&depths, &costs, assignment.len());
+                    for (w, &q) in plan.iter().enumerate() {
+                        assignment[w].store(q, Ordering::Relaxed);
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            });
+        }
+
+        // ---- Consumers ("GPUs"). ----
+        let remaining = Arc::new(AtomicUsize::new(cfg.consumers));
+        for consumer in 0..cfg.consumers {
+            let rx = cooked_rx[consumer].clone();
+            let cfg2 = cfg.clone();
+            let barrier = Arc::clone(&barrier);
+            let delivered = Arc::clone(&delivered);
+            let integrity = Arc::clone(&integrity);
+            let iter_times = Arc::clone(&iter_times);
+            let done = Arc::clone(&done);
+            let remaining = Arc::clone(&remaining);
+            let consumed = Arc::clone(&consumed);
+            scope.spawn(move |_| {
+                // Samples may arrive slightly out of iteration order when
+                // several workers serve one queue; stash early arrivals.
+                let mut stash: std::collections::HashMap<u64, Vec<Cooked>> =
+                    std::collections::HashMap::new();
+                let mut t0 = Instant::now();
+                for iter in 0..total_iters {
+                    let mut have = stash.remove(&iter).unwrap_or_default();
+                    while have.len() < cfg2.batch_size {
+                        let c = rx.recv().expect("pipeline alive until consumers finish");
+                        if c.iter == iter {
+                            have.push(c);
+                        } else {
+                            stash.entry(c.iter).or_default().push(c);
+                        }
+                    }
+                    // End-to-end integrity: un-mix and fingerprint.
+                    let mut acc = 0u64;
+                    for c in &have {
+                        let original = invert(&c.bytes, cfg2.work_factor);
+                        acc ^= sample_checksum(&original);
+                    }
+                    integrity.fetch_xor(acc, Ordering::Relaxed);
+                    delivered.fetch_add(have.len() as u64, Ordering::Relaxed);
+                    consumed[consumer].fetch_add(have.len() as u64, Ordering::Relaxed);
+                    // "Training".
+                    std::thread::sleep(cfg2.train);
+                    // Gradient-allreduce stand-in.
+                    barrier.wait();
+                    if consumer == 0 {
+                        iter_times.lock().push(t0.elapsed().as_secs_f64());
+                        t0 = Instant::now();
+                    }
+                }
+                if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    done.store(true, Ordering::Relaxed);
+                }
+            });
+        }
+        drop(cooked_rx);
+        drop(req_rx);
+    })
+    .expect("engine threads must not panic");
+
+    let iteration_secs = iter_times.lock().clone();
+    EngineReport {
+        iterations: total_iters,
+        iteration_secs,
+        hit_ratio: cache.hit_ratio(),
+        store_fetches: store.fetch_count(),
+        delivered: delivered.load(Ordering::Relaxed),
+        integrity: integrity.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lobster_data::{Dataset, SizeDistribution};
+
+    fn small_store(samples: usize, latency_us: u64) -> Arc<SyntheticStore> {
+        let ds = Dataset::generate(
+            "engine-test",
+            samples,
+            SizeDistribution::Constant { bytes: 2_000 },
+            9,
+        );
+        Arc::new(SyntheticStore::new(ds, Duration::from_micros(latency_us), 0.0))
+    }
+
+    fn fast_cfg() -> EngineConfig {
+        EngineConfig {
+            consumers: 2,
+            batch_size: 4,
+            loader_threads: 2,
+            preproc_threads: 2,
+            cache_bytes: 16 << 20,
+            work_factor: 1,
+            train: Duration::from_micros(200),
+            adaptive: true,
+            epochs: 2,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn engine_delivers_every_sample_with_integrity() {
+        let store = small_store(64, 0);
+        let cfg = fast_cfg();
+        let expected = expected_integrity(store.dataset(), &cfg);
+        let report = run(Arc::clone(&store), cfg);
+        // 64 samples / (4 × 2) = 8 iterations per epoch × 2 epochs.
+        assert_eq!(report.iterations, 16);
+        assert_eq!(report.delivered, 128);
+        assert_eq!(report.integrity, expected, "payloads must survive the pipeline intact");
+        assert_eq!(report.iteration_secs.len(), 16);
+    }
+
+    #[test]
+    fn warm_cache_eliminates_store_refetches() {
+        let store = small_store(32, 0);
+        let mut cfg = fast_cfg();
+        cfg.epochs = 3;
+        // Cache far larger than the dataset: epoch 2+ must be all hits.
+        let report = run(Arc::clone(&store), cfg);
+        assert_eq!(report.store_fetches, 32, "each sample fetched exactly once");
+        assert!(report.hit_ratio > 0.6, "hit ratio {}", report.hit_ratio);
+    }
+
+    #[test]
+    fn static_assignment_also_completes() {
+        let store = small_store(64, 50);
+        let mut cfg = fast_cfg();
+        cfg.adaptive = false;
+        let expected = expected_integrity(store.dataset(), &cfg);
+        let report = run(store, cfg);
+        assert_eq!(report.integrity, expected);
+    }
+
+    #[test]
+    fn single_consumer_single_worker_degenerate_case() {
+        let store = small_store(16, 0);
+        let cfg = EngineConfig {
+            consumers: 1,
+            batch_size: 4,
+            loader_threads: 1,
+            preproc_threads: 1,
+            epochs: 1,
+            ..fast_cfg()
+        };
+        let report = run(store, cfg);
+        assert_eq!(report.iterations, 4);
+        assert_eq!(report.delivered, 16);
+    }
+
+    #[test]
+    fn compute_assignment_tracks_queue_depths() {
+        // Queue 1 is ten times deeper: it must get most workers.
+        let a = compute_assignment(&[10, 100, 10], 6);
+        assert_eq!(a.len(), 6);
+        let q1 = a.iter().filter(|&&q| q == 1).count();
+        assert!(q1 >= 3, "deep queue got {q1} of 6 workers: {a:?}");
+        // Every index is a valid queue.
+        assert!(a.iter().all(|&q| q < 3));
+    }
+
+    #[test]
+    fn weighted_assignment_prefers_expensive_queues() {
+        // Equal depths, but queue 0's requests cost 10× more: it should
+        // receive the majority of workers.
+        let a = compute_weighted_assignment(&[50, 50], &[10e-3, 1e-3], 6);
+        let q0 = a.iter().filter(|&&q| q == 0).count();
+        assert!(q0 >= 4, "expensive queue got {q0} of 6: {a:?}");
+    }
+
+    #[test]
+    fn weighted_assignment_without_costs_equals_plain() {
+        let depths = [10usize, 100, 10];
+        assert_eq!(
+            compute_weighted_assignment(&depths, &[], 6),
+            compute_assignment(&depths, 6)
+        );
+        assert_eq!(
+            compute_weighted_assignment(&depths, &[0.0, 0.0, 0.0], 6),
+            compute_assignment(&depths, 6)
+        );
+    }
+
+    #[test]
+    fn compute_assignment_handles_idle_queues() {
+        let a = compute_assignment(&[0, 0], 4);
+        assert_eq!(a.len(), 4);
+        assert!(a.iter().all(|&q| q < 2));
+    }
+
+    #[test]
+    fn run_is_data_deterministic() {
+        // Timings vary; delivered data must not.
+        let cfg = fast_cfg();
+        let r1 = run(small_store(48, 0), cfg.clone());
+        let r2 = run(small_store(48, 0), cfg);
+        assert_eq!(r1.integrity, r2.integrity);
+        assert_eq!(r1.delivered, r2.delivered);
+    }
+}

@@ -1,0 +1,29 @@
+//! # lobster-runtime
+//!
+//! A real multi-threaded data-loading runtime applying the Lobster policies
+//! live — the reproduction's analog of the paper's online C++/DALI
+//! component. Unlike `lobster-pipeline` (which *models* stage durations),
+//! this crate moves actual bytes through actual threads:
+//!
+//! * [`store`] — deterministic synthetic samples behind a simulated-PFS
+//!   fetch cost.
+//! * [`cache`] — a thread-safe, capacity-bounded byte cache with
+//!   priority-indexed eviction (shared with the simulator's mechanics).
+//! * [`transform`] — an invertible CPU-proportional preprocessing stand-in,
+//!   so end-to-end integrity is checkable.
+//! * [`engine`] — multi-queue loaders, preprocessing pool, consumer
+//!   ("GPU") threads with a barrier, and an adaptive controller that
+//!   re-assigns loader workers to queues by measured pressure (§4.2 live).
+
+pub mod cache;
+pub mod engine;
+pub mod store;
+pub mod transform;
+
+pub use cache::ShardCache;
+pub use engine::{
+    compute_assignment, compute_weighted_assignment, expected_integrity, run, EngineConfig,
+    EngineReport,
+};
+pub use store::{sample_bytes, sample_checksum, SyntheticStore};
+pub use transform::{invert, preprocess};

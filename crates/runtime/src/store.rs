@@ -1,0 +1,137 @@
+//! Synthetic sample storage for the live runtime.
+//!
+//! The paper's online component reads JPEG files from Lustre; here a
+//! [`SyntheticStore`] generates each sample's bytes deterministically from
+//! its id (so correctness is checkable end-to-end) and charges a simulated
+//! fetch cost — a per-request latency plus bytes/bandwidth delay — standing
+//! in for the PFS. The delay is real wall-clock time, so the engine's
+//! measured timings and the adaptive controller's decisions are exercised
+//! for real.
+
+use lobster_data::{Dataset, SampleId};
+use lobster_sim::SplitMix64;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Generate the canonical bytes of a sample: a SplitMix64 stream seeded by
+/// the sample id. Cheap, deterministic, and incompressible enough to defeat
+/// accidental shortcuts.
+pub fn sample_bytes(id: SampleId, len: usize) -> Vec<u8> {
+    let mut rng = SplitMix64::new(0x5A4D_0000_0000_0000 ^ id.0 as u64);
+    let mut out = Vec::with_capacity(len);
+    while out.len() < len {
+        out.extend_from_slice(&rng.next_u64().to_le_bytes());
+    }
+    out.truncate(len);
+    out
+}
+
+/// Reference checksum of a sample's canonical bytes (FNV-1a), used by tests
+/// and the preprocessing transform to verify integrity end-to-end.
+pub fn sample_checksum(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// A backing store with simulated fetch cost.
+pub struct SyntheticStore {
+    dataset: Dataset,
+    /// Per-request latency.
+    latency: Duration,
+    /// Simulated bandwidth in bytes/second (0 = infinite).
+    bytes_per_sec: f64,
+    fetches: AtomicU64,
+    bytes_fetched: AtomicU64,
+}
+
+impl SyntheticStore {
+    pub fn new(dataset: Dataset, latency: Duration, bytes_per_sec: f64) -> SyntheticStore {
+        SyntheticStore {
+            dataset,
+            latency,
+            bytes_per_sec,
+            fetches: AtomicU64::new(0),
+            bytes_fetched: AtomicU64::new(0),
+        }
+    }
+
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// Fetch a sample's bytes, sleeping for the simulated transfer time.
+    pub fn fetch(&self, id: SampleId) -> Vec<u8> {
+        let len = self.dataset.size_of(id) as usize;
+        let mut wait = self.latency;
+        if self.bytes_per_sec > 0.0 {
+            wait += Duration::from_secs_f64(len as f64 / self.bytes_per_sec);
+        }
+        if !wait.is_zero() {
+            std::thread::sleep(wait);
+        }
+        self.fetches.fetch_add(1, Ordering::Relaxed);
+        self.bytes_fetched.fetch_add(len as u64, Ordering::Relaxed);
+        sample_bytes(id, len)
+    }
+
+    /// Total fetches served (for hit-ratio accounting).
+    pub fn fetch_count(&self) -> u64 {
+        self.fetches.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes served.
+    pub fn bytes_served(&self) -> u64 {
+        self.bytes_fetched.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lobster_data::SizeDistribution;
+
+    fn dataset() -> Dataset {
+        Dataset::generate("rt", 64, SizeDistribution::Uniform { lo: 100, hi: 1000 }, 5)
+    }
+
+    #[test]
+    fn sample_bytes_are_deterministic_and_sized() {
+        let a = sample_bytes(SampleId(7), 333);
+        let b = sample_bytes(SampleId(7), 333);
+        let c = sample_bytes(SampleId(8), 333);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 333);
+    }
+
+    #[test]
+    fn checksum_detects_corruption() {
+        let mut v = sample_bytes(SampleId(1), 128);
+        let h = sample_checksum(&v);
+        v[5] ^= 0xFF;
+        assert_ne!(h, sample_checksum(&v));
+    }
+
+    #[test]
+    fn store_fetch_returns_canonical_bytes_and_counts() {
+        let ds = dataset();
+        let want_len = ds.size_of(SampleId(3)) as usize;
+        let store = SyntheticStore::new(ds, Duration::ZERO, 0.0);
+        let got = store.fetch(SampleId(3));
+        assert_eq!(got, sample_bytes(SampleId(3), want_len));
+        assert_eq!(store.fetch_count(), 1);
+        assert_eq!(store.bytes_served(), want_len as u64);
+    }
+
+    #[test]
+    fn store_latency_is_charged() {
+        let store = SyntheticStore::new(dataset(), Duration::from_millis(5), 0.0);
+        let t0 = std::time::Instant::now();
+        store.fetch(SampleId(0));
+        assert!(t0.elapsed() >= Duration::from_millis(5));
+    }
+}

@@ -1,0 +1,78 @@
+//! The preprocessing transform of the live runtime.
+//!
+//! Stands in for JPEG decode + augmentation: an invertible byte-mixing pass
+//! whose CPU cost is proportional to the sample size (times a configurable
+//! work factor), so preprocessing-thread decisions have real, measurable
+//! consequences. Invertibility gives tests an exact end-to-end integrity
+//! check: applying the same passes again restores the canonical bytes.
+
+/// Preprocess `input`, producing the "decoded" sample. `work_factor`
+/// repeats the mixing pass (with a per-pass key) to emulate heavier
+/// augmentation pipelines.
+pub fn preprocess(input: &[u8], work_factor: u32) -> Vec<u8> {
+    let mut out = input.to_vec();
+    for pass in 0..work_factor.max(1) {
+        mix(&mut out, pass);
+    }
+    out
+}
+
+/// One in-place mixing pass: XOR with a position- and pass-keyed stream.
+/// XOR passes are self-inverse and commute, so applying the same set of
+/// passes again restores the input.
+fn mix(buf: &mut [u8], pass: u32) {
+    let mut key = 0x9E37u16 ^ (pass as u16).wrapping_mul(0x58F1);
+    for (i, b) in buf.iter_mut().enumerate() {
+        key = key.rotate_left(3) ^ (i as u16).wrapping_mul(0x2545);
+        *b ^= (key >> 4) as u8;
+    }
+}
+
+/// Invert [`preprocess`] (tests only — consumers never need it).
+pub fn invert(output: &[u8], work_factor: u32) -> Vec<u8> {
+    preprocess(output, work_factor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::sample_bytes;
+    use lobster_data::SampleId;
+
+    #[test]
+    fn transform_is_invertible() {
+        let original = sample_bytes(SampleId(42), 1024);
+        for wf in [1u32, 2, 5] {
+            let cooked = preprocess(&original, wf);
+            let restored = invert(&cooked, wf);
+            assert_eq!(restored, original, "work_factor {wf}");
+        }
+    }
+
+    #[test]
+    fn transform_changes_the_bytes() {
+        let original = sample_bytes(SampleId(7), 512);
+        for wf in [1u32, 2, 3] {
+            let cooked = preprocess(&original, wf);
+            assert_ne!(cooked, original, "work_factor {wf} must not be identity");
+            assert_eq!(cooked.len(), original.len());
+        }
+    }
+
+    #[test]
+    fn transform_is_deterministic() {
+        let original = sample_bytes(SampleId(9), 256);
+        assert_eq!(preprocess(&original, 3), preprocess(&original, 3));
+    }
+
+    #[test]
+    fn zero_work_factor_clamps_to_one() {
+        let original = sample_bytes(SampleId(1), 64);
+        assert_eq!(preprocess(&original, 0), preprocess(&original, 1));
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        assert!(preprocess(&[], 3).is_empty());
+    }
+}

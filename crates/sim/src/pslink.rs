@@ -1,0 +1,295 @@
+//! A processor-sharing (fluid) bandwidth link.
+//!
+//! Models a shared medium — here, the parallel file system's aggregate
+//! bandwidth — where `n` concurrent transfers each progress at `capacity / n`
+//! (optionally degraded further by a congestion factor). This is the classic
+//! fluid approximation used by flow-level network simulators.
+//!
+//! The link is driven externally: the owner asks [`PsLink::next_completion`]
+//! for the earliest finishing flow, schedules a DES event at that time, and
+//! calls [`PsLink::advance`]/[`PsLink::complete`] when it fires. Any state
+//! change (flow arrival or departure) changes every flow's rate, so progress
+//! is settled lazily via `advance` before each mutation.
+
+use crate::time::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// Identifier of an in-flight transfer on the link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlowId(pub u64);
+
+#[derive(Debug, Clone)]
+struct Flow {
+    remaining_bytes: f64,
+}
+
+/// Congestion shaping: effective per-flow fair share may be further reduced
+/// when many flows compete (e.g. Lustre's random small reads degrade beyond
+/// raw fair sharing).
+pub type CongestionFn = fn(active_flows: usize) -> f64;
+
+fn no_congestion(_: usize) -> f64 {
+    1.0
+}
+
+/// A processor-sharing link with fixed aggregate capacity.
+#[derive(Debug, Clone)]
+pub struct PsLink {
+    capacity_bytes_per_sec: f64,
+    flows: BTreeMap<FlowId, Flow>,
+    next_id: u64,
+    last_update: SimTime,
+    congestion: CongestionFn,
+    /// Total bytes fully delivered since construction (for accounting tests).
+    pub delivered_bytes: f64,
+}
+
+impl PsLink {
+    /// Create a link with the given aggregate capacity.
+    pub fn new(capacity_bytes_per_sec: f64) -> Self {
+        assert!(capacity_bytes_per_sec > 0.0, "link capacity must be positive");
+        PsLink {
+            capacity_bytes_per_sec,
+            flows: BTreeMap::new(),
+            next_id: 0,
+            last_update: SimTime::ZERO,
+            congestion: no_congestion,
+            delivered_bytes: 0.0,
+        }
+    }
+
+    /// Replace the congestion function (default: pure fair sharing).
+    pub fn with_congestion(mut self, f: CongestionFn) -> Self {
+        self.congestion = f;
+        self
+    }
+
+    /// Number of active flows.
+    pub fn active(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Aggregate configured capacity in bytes/second.
+    pub fn capacity(&self) -> f64 {
+        self.capacity_bytes_per_sec
+    }
+
+    /// Current per-flow rate in bytes/second.
+    pub fn per_flow_rate(&self) -> f64 {
+        let n = self.flows.len();
+        if n == 0 {
+            return 0.0;
+        }
+        self.capacity_bytes_per_sec * (self.congestion)(n) / n as f64
+    }
+
+    /// Settle all flows' progress up to `now`. Must be called (and is called
+    /// internally) before any state change.
+    pub fn advance(&mut self, now: SimTime) {
+        debug_assert!(now >= self.last_update, "time went backwards");
+        if now <= self.last_update || self.flows.is_empty() {
+            self.last_update = self.last_update.max(now);
+            return;
+        }
+        let dt = (now - self.last_update).as_secs_f64();
+        let rate = self.per_flow_rate();
+        let drained = rate * dt;
+        for flow in self.flows.values_mut() {
+            let d = drained.min(flow.remaining_bytes);
+            flow.remaining_bytes -= d;
+            self.delivered_bytes += d;
+        }
+        self.last_update = now;
+    }
+
+    /// Begin a transfer of `bytes` at time `now`; returns its id.
+    pub fn start_flow(&mut self, now: SimTime, bytes: f64) -> FlowId {
+        assert!(bytes >= 0.0 && bytes.is_finite(), "flow size must be finite and non-negative");
+        self.advance(now);
+        let id = FlowId(self.next_id);
+        self.next_id += 1;
+        self.flows.insert(id, Flow { remaining_bytes: bytes });
+        id
+    }
+
+    /// Earliest time at which some flow finishes, given no further arrivals.
+    /// Returns `None` when the link is idle.
+    pub fn next_completion(&self, now: SimTime) -> Option<SimTime> {
+        let min_remaining = self
+            .flows
+            .values()
+            .map(|f| f.remaining_bytes)
+            .fold(f64::INFINITY, f64::min);
+        if !min_remaining.is_finite() {
+            return None;
+        }
+        let rate = self.per_flow_rate();
+        if rate <= 0.0 {
+            return None;
+        }
+        let dt = min_remaining / rate;
+        // Round up to 1ns so a completion strictly after `last_update` never
+        // lands before it; the subsequent `complete` call tolerates epsilon.
+        Some(now.max(self.last_update) + SimDuration::from_secs_f64(dt).max(SimDuration(1)))
+    }
+
+    /// Remove and return all flows finished by `now` (within a 1-byte
+    /// tolerance to absorb nanosecond rounding).
+    pub fn complete(&mut self, now: SimTime) -> Vec<FlowId> {
+        self.advance(now);
+        let done: Vec<FlowId> = self
+            .flows
+            .iter()
+            .filter(|(_, f)| f.remaining_bytes <= 1.0)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in &done {
+            if let Some(f) = self.flows.remove(id) {
+                self.delivered_bytes += f.remaining_bytes;
+            }
+        }
+        done
+    }
+
+    /// Forcibly cancel a flow (e.g. aborted prefetch); returns remaining bytes.
+    pub fn cancel(&mut self, now: SimTime, id: FlowId) -> Option<f64> {
+        self.advance(now);
+        self.flows.remove(&id).map(|f| f.remaining_bytes)
+    }
+
+    /// Remaining bytes of a flow, if it is still active.
+    pub fn remaining(&self, id: FlowId) -> Option<f64> {
+        self.flows.get(&id).map(|f| f.remaining_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: f64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs_f64(s)
+    }
+
+    #[test]
+    fn single_flow_finishes_at_bytes_over_capacity() {
+        let mut link = PsLink::new(100.0); // 100 B/s
+        let id = link.start_flow(SimTime::ZERO, 50.0);
+        let done_at = link.next_completion(SimTime::ZERO).unwrap();
+        assert!((done_at.as_secs_f64() - 0.5).abs() < 1e-6, "{done_at}");
+        let done = link.complete(done_at);
+        assert_eq!(done, vec![id]);
+        assert_eq!(link.active(), 0);
+    }
+
+    #[test]
+    fn two_flows_share_capacity_equally() {
+        let mut link = PsLink::new(100.0);
+        let a = link.start_flow(SimTime::ZERO, 100.0);
+        let b = link.start_flow(SimTime::ZERO, 100.0);
+        // Each proceeds at 50 B/s → both done at t=2s.
+        let t = link.next_completion(SimTime::ZERO).unwrap();
+        assert!((t.as_secs_f64() - 2.0).abs() < 1e-6);
+        let mut done = link.complete(t);
+        done.sort();
+        assert_eq!(done, vec![a, b]);
+    }
+
+    #[test]
+    fn late_arrival_slows_existing_flow() {
+        let mut link = PsLink::new(100.0);
+        let a = link.start_flow(SimTime::ZERO, 100.0);
+        // At t=0.5s, a has 50 bytes left; b arrives with 100 bytes.
+        let b = link.start_flow(secs(0.5), 100.0);
+        // Both at 50 B/s: a finishes after another 1.0s → t=1.5s.
+        let t = link.next_completion(secs(0.5)).unwrap();
+        assert!((t.as_secs_f64() - 1.5).abs() < 1e-6, "{t}");
+        assert_eq!(link.complete(t), vec![a]);
+        // b has 50 bytes left, now alone at 100 B/s → done at t=2.0s.
+        let t2 = link.next_completion(t).unwrap();
+        assert!((t2.as_secs_f64() - 2.0).abs() < 1e-5, "{t2}");
+        assert_eq!(link.complete(t2), vec![b]);
+    }
+
+    #[test]
+    fn departure_speeds_up_remaining_flow() {
+        let mut link = PsLink::new(100.0);
+        let _a = link.start_flow(SimTime::ZERO, 10.0);
+        let b = link.start_flow(SimTime::ZERO, 100.0);
+        // a done at t=0.2s (50 B/s each); b then has 90 left at 100 B/s.
+        let t1 = link.next_completion(SimTime::ZERO).unwrap();
+        assert!((t1.as_secs_f64() - 0.2).abs() < 1e-6);
+        link.complete(t1);
+        let t2 = link.next_completion(t1).unwrap();
+        assert!((t2.as_secs_f64() - 1.1).abs() < 1e-5, "{t2}");
+        assert_eq!(link.complete(t2), vec![b]);
+    }
+
+    #[test]
+    fn congestion_function_degrades_throughput() {
+        fn half_when_shared(n: usize) -> f64 {
+            if n > 1 {
+                0.5
+            } else {
+                1.0
+            }
+        }
+        let mut link = PsLink::new(100.0).with_congestion(half_when_shared);
+        link.start_flow(SimTime::ZERO, 100.0);
+        link.start_flow(SimTime::ZERO, 100.0);
+        // Effective aggregate 50 B/s → 25 B/s each → done at t=4s.
+        let t = link.next_completion(SimTime::ZERO).unwrap();
+        assert!((t.as_secs_f64() - 4.0).abs() < 1e-6, "{t}");
+    }
+
+    #[test]
+    fn bytes_are_conserved() {
+        let mut link = PsLink::new(1000.0);
+        let mut total = 0.0;
+        let mut now = SimTime::ZERO;
+        // Start staggered flows, then drain everything.
+        for i in 0..10 {
+            let bytes = 100.0 * (i + 1) as f64;
+            total += bytes;
+            link.start_flow(now, bytes);
+            now += SimDuration::from_millis(50);
+        }
+        link.advance(now);
+        while link.active() > 0 {
+            let t = link.next_completion(now).unwrap();
+            now = t;
+            link.complete(now);
+        }
+        assert!(
+            (link.delivered_bytes - total).abs() < 1.0,
+            "delivered {} vs {}",
+            link.delivered_bytes,
+            total
+        );
+    }
+
+    #[test]
+    fn cancel_removes_flow_and_reports_remaining() {
+        let mut link = PsLink::new(100.0);
+        let a = link.start_flow(SimTime::ZERO, 100.0);
+        let rem = link.cancel(secs(0.5), a).unwrap();
+        assert!((rem - 50.0).abs() < 1e-6);
+        assert_eq!(link.active(), 0);
+        assert!(link.next_completion(secs(0.5)).is_none());
+    }
+
+    #[test]
+    fn idle_link_reports_no_completion() {
+        let link = PsLink::new(10.0);
+        assert!(link.next_completion(SimTime::ZERO).is_none());
+        assert_eq!(link.per_flow_rate(), 0.0);
+    }
+
+    #[test]
+    fn zero_byte_flow_completes_immediately() {
+        let mut link = PsLink::new(10.0);
+        let id = link.start_flow(SimTime::ZERO, 0.0);
+        let t = link.next_completion(SimTime::ZERO).unwrap();
+        assert_eq!(link.complete(t), vec![id]);
+    }
+}

@@ -1,0 +1,164 @@
+//! A deterministic FCFS multi-server queue.
+//!
+//! Models a pool of `k` identical servers (threads) serving jobs in arrival
+//! order: each submitted job is assigned to the earliest-free server and its
+//! completion time is returned immediately. This is exact for FCFS with
+//! known service times and needs no event traffic of its own — the caller
+//! schedules one DES event at the returned completion time.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A pool of identical FCFS servers.
+#[derive(Debug, Clone)]
+pub struct ServerPool {
+    /// Min-heap of times at which each server becomes free.
+    free_at: BinaryHeap<Reverse<SimTime>>,
+    servers: usize,
+    /// Total busy time accumulated across all servers (utilization metric).
+    busy: SimDuration,
+    /// Total jobs served.
+    jobs: u64,
+}
+
+impl ServerPool {
+    /// Create a pool with `servers` servers, all free at t=0.
+    pub fn new(servers: usize) -> Self {
+        assert!(servers > 0, "a server pool needs at least one server");
+        let mut free_at = BinaryHeap::with_capacity(servers);
+        for _ in 0..servers {
+            free_at.push(Reverse(SimTime::ZERO));
+        }
+        ServerPool { free_at, servers, busy: SimDuration::ZERO, jobs: 0 }
+    }
+
+    /// Number of servers in the pool.
+    pub fn servers(&self) -> usize {
+        self.servers
+    }
+
+    /// Resize the pool at time `now`. Growing adds servers free at `now`;
+    /// shrinking removes the *earliest-free* servers first (a busy server
+    /// finishes its current job before disappearing, which matches how a
+    /// thread pool drains on reconfiguration).
+    pub fn resize(&mut self, now: SimTime, servers: usize) {
+        assert!(servers > 0, "a server pool needs at least one server");
+        while self.servers < servers {
+            self.free_at.push(Reverse(now));
+            self.servers += 1;
+        }
+        while self.servers > servers {
+            self.free_at.pop();
+            self.servers -= 1;
+        }
+    }
+
+    /// Submit a job arriving at `now` with the given service time; returns
+    /// its completion time under FCFS.
+    pub fn submit(&mut self, now: SimTime, service: SimDuration) -> SimTime {
+        let Reverse(free) = self.free_at.pop().expect("pool has at least one server");
+        let start = free.max(now);
+        let done = start + service;
+        self.free_at.push(Reverse(done));
+        self.busy += service;
+        self.jobs += 1;
+        done
+    }
+
+    /// Earliest time a new job could start service.
+    pub fn earliest_start(&self, now: SimTime) -> SimTime {
+        self.free_at.peek().map(|Reverse(t)| (*t).max(now)).unwrap_or(now)
+    }
+
+    /// Time by which all currently queued work completes.
+    pub fn drained_at(&self) -> SimTime {
+        self.free_at.iter().map(|Reverse(t)| *t).max().unwrap_or(SimTime::ZERO)
+    }
+
+    /// Aggregate busy time (for utilization accounting).
+    pub fn total_busy(&self) -> SimDuration {
+        self.busy
+    }
+
+    /// Jobs served so far.
+    pub fn jobs_served(&self) -> u64 {
+        self.jobs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_server_serializes_jobs() {
+        let mut p = ServerPool::new(1);
+        let d = SimDuration::from_millis(10);
+        let t1 = p.submit(SimTime::ZERO, d);
+        let t2 = p.submit(SimTime::ZERO, d);
+        let t3 = p.submit(SimTime::ZERO, d);
+        assert_eq!(t1, SimTime(10_000_000));
+        assert_eq!(t2, SimTime(20_000_000));
+        assert_eq!(t3, SimTime(30_000_000));
+    }
+
+    #[test]
+    fn two_servers_run_jobs_in_parallel() {
+        let mut p = ServerPool::new(2);
+        let d = SimDuration::from_millis(10);
+        let t1 = p.submit(SimTime::ZERO, d);
+        let t2 = p.submit(SimTime::ZERO, d);
+        let t3 = p.submit(SimTime::ZERO, d);
+        assert_eq!(t1, SimTime(10_000_000));
+        assert_eq!(t2, SimTime(10_000_000));
+        assert_eq!(t3, SimTime(20_000_000));
+    }
+
+    #[test]
+    fn idle_server_starts_at_arrival_time() {
+        let mut p = ServerPool::new(1);
+        let t = p.submit(SimTime(5_000), SimDuration::from_nanos(100));
+        assert_eq!(t, SimTime(5_100));
+    }
+
+    #[test]
+    fn grow_adds_capacity_immediately() {
+        let mut p = ServerPool::new(1);
+        let d = SimDuration::from_millis(10);
+        p.submit(SimTime::ZERO, d); // busy until 10ms
+        p.resize(SimTime::ZERO, 2);
+        let t = p.submit(SimTime::ZERO, d);
+        assert_eq!(t, SimTime(10_000_000), "new server takes the job at once");
+    }
+
+    #[test]
+    fn shrink_removes_idle_servers_first() {
+        let mut p = ServerPool::new(2);
+        let d = SimDuration::from_millis(10);
+        p.submit(SimTime::ZERO, d); // one server busy until 10ms
+        p.resize(SimTime::ZERO, 1);
+        // The remaining server is the busy one; next job queues behind it.
+        let t = p.submit(SimTime::ZERO, d);
+        assert_eq!(t, SimTime(20_000_000));
+    }
+
+    #[test]
+    fn utilization_accounting_accumulates() {
+        let mut p = ServerPool::new(4);
+        for _ in 0..8 {
+            p.submit(SimTime::ZERO, SimDuration::from_millis(5));
+        }
+        assert_eq!(p.total_busy(), SimDuration::from_millis(40));
+        assert_eq!(p.jobs_served(), 8);
+        assert_eq!(p.drained_at(), SimTime(10_000_000));
+    }
+
+    #[test]
+    fn earliest_start_reflects_backlog() {
+        let mut p = ServerPool::new(1);
+        assert_eq!(p.earliest_start(SimTime(7)), SimTime(7));
+        p.submit(SimTime::ZERO, SimDuration::from_millis(1));
+        assert_eq!(p.earliest_start(SimTime::ZERO), SimTime(1_000_000));
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests for the simulation kernel invariants.
+
+use lobster_sim::{PsLink, Scheduler, ServerPool, SimDuration, SimTime, SimWorld, Xoshiro256StarStar};
+use proptest::prelude::*;
+
+proptest! {
+    /// Fisher–Yates shuffle always yields a permutation of its input.
+    #[test]
+    fn shuffle_is_permutation(seed in any::<u64>(), len in 0usize..512) {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let mut v: Vec<usize> = (0..len).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..len).collect::<Vec<_>>());
+    }
+
+    /// `below(bound)` is always strictly below its bound.
+    #[test]
+    fn below_respects_bound(seed in any::<u64>(), bound in 1u64..u64::MAX) {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        for _ in 0..64 {
+            prop_assert!(rng.below(bound) < bound);
+        }
+    }
+
+    /// Same seed ⇒ same stream; the generator is pure state.
+    #[test]
+    fn rng_reproducible(seed in any::<u64>()) {
+        let mut a = Xoshiro256StarStar::seed_from_u64(seed);
+        let mut b = Xoshiro256StarStar::seed_from_u64(seed);
+        for _ in 0..32 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    /// FCFS pool: completions never precede arrival + service, total busy
+    /// time is the sum of service times, and jobs on one server never
+    /// complete earlier than an earlier-submitted job would allow.
+    #[test]
+    fn server_pool_fcfs_invariants(
+        servers in 1usize..8,
+        jobs in proptest::collection::vec((0u64..1_000_000, 1u64..1_000_000), 1..64),
+    ) {
+        let mut pool = ServerPool::new(servers);
+        let mut now = SimTime::ZERO;
+        let mut total_service = 0u64;
+        let mut completions = Vec::new();
+        for (gap, service) in jobs {
+            now += SimDuration::from_nanos(gap);
+            let done = pool.submit(now, SimDuration::from_nanos(service));
+            prop_assert!(done >= now + SimDuration::from_nanos(service));
+            completions.push(done);
+            total_service += service;
+        }
+        prop_assert_eq!(pool.total_busy(), SimDuration::from_nanos(total_service));
+        prop_assert_eq!(pool.drained_at(), *completions.iter().max().unwrap());
+    }
+
+    /// PS link conserves bytes: everything started is eventually delivered.
+    #[test]
+    fn pslink_conserves_bytes(
+        capacity in 1.0f64..1e6,
+        flows in proptest::collection::vec((0u64..1_000_000, 0.0f64..1e6), 1..32),
+    ) {
+        let mut link = PsLink::new(capacity);
+        let mut now = SimTime::ZERO;
+        let mut total = 0.0;
+        for (gap, bytes) in flows {
+            now += SimDuration::from_nanos(gap);
+            link.start_flow(now, bytes);
+            total += bytes;
+        }
+        let mut guard = 0;
+        while link.active() > 0 {
+            let t = link.next_completion(now).expect("active link must complete");
+            prop_assert!(t >= now);
+            now = t;
+            link.complete(now);
+            guard += 1;
+            prop_assert!(guard < 10_000, "completion loop did not converge");
+        }
+        // 1-byte tolerance per flow for nanosecond rounding.
+        prop_assert!((link.delivered_bytes - total).abs() <= 32.0,
+            "delivered {} vs started {}", link.delivered_bytes, total);
+    }
+}
+
+/// Events with identical timestamps fire in submission order no matter how
+/// they were interleaved with earlier/later times.
+#[derive(Default)]
+struct OrderWorld {
+    fired: Vec<u32>,
+}
+
+impl SimWorld for OrderWorld {
+    type Event = u32;
+    fn handle(&mut self, e: u32, _s: &mut Scheduler<u32>) {
+        self.fired.push(e);
+    }
+}
+
+proptest! {
+    #[test]
+    fn same_time_events_fire_fifo(times in proptest::collection::vec(0u64..100, 1..128)) {
+        let mut sched = Scheduler::new();
+        for (i, &t) in times.iter().enumerate() {
+            sched.at(SimTime(t), i as u32);
+        }
+        let mut world = OrderWorld::default();
+        lobster_sim::run(&mut world, &mut sched, None, 1_000_000);
+        // Expected order: stable sort by time.
+        let mut expected: Vec<(u64, u32)> =
+            times.iter().enumerate().map(|(i, &t)| (t, i as u32)).collect();
+        expected.sort_by_key(|&(t, _)| t);
+        let expected: Vec<u32> = expected.into_iter().map(|(_, i)| i).collect();
+        prop_assert_eq!(world.fired, expected);
+    }
+}

@@ -1,0 +1,193 @@
+//! Piecewise-linear throughput-vs-threads curves.
+//!
+//! The paper's performance model (§4.3, Table 1) abstracts each storage tier
+//! as a throughput function of its thread count: `T_l(α)` for local memory,
+//! `T_r(β)` for inter-node reads, `T_PFS(γ)` for the parallel file system.
+//! Real tiers scale nearly linearly at low concurrency, saturate, and can
+//! degrade slightly past saturation (memory-bandwidth contention — the same
+//! effect the paper's Figure 6 shows for preprocessing). A piecewise-linear
+//! curve over integer knot points captures all three regimes and is what the
+//! paper's own piece-wise linear regression produces.
+
+use serde::{Deserialize, Serialize};
+
+/// Aggregate throughput (bytes/second) as a piecewise-linear function of the
+/// number of concurrent threads.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputCurve {
+    /// Knots `(threads, bytes_per_sec)`, strictly increasing in threads,
+    /// starting at 1 thread. Throughput at 0 threads is 0; beyond the last
+    /// knot the curve is flat.
+    knots: Vec<(u32, f64)>,
+}
+
+impl ThroughputCurve {
+    /// Build from knot points. Panics on empty/unsorted/non-positive input —
+    /// curves are configuration, so failing fast is right.
+    pub fn new(knots: Vec<(u32, f64)>) -> ThroughputCurve {
+        assert!(!knots.is_empty(), "curve needs at least one knot");
+        assert!(knots[0].0 >= 1, "first knot must be at ≥ 1 thread");
+        for w in knots.windows(2) {
+            assert!(w[0].0 < w[1].0, "knots must be strictly increasing in threads");
+        }
+        for &(_, t) in &knots {
+            assert!(t > 0.0 && t.is_finite(), "throughput must be positive and finite");
+        }
+        ThroughputCurve { knots }
+    }
+
+    /// A curve that scales linearly at `per_thread` bytes/s/thread up to
+    /// `saturation_threads`, then stays flat: the common shape for
+    /// bandwidth-limited tiers.
+    pub fn saturating(per_thread: f64, saturation_threads: u32) -> ThroughputCurve {
+        assert!(saturation_threads >= 1);
+        ThroughputCurve::new(vec![
+            (1, per_thread),
+            (saturation_threads, per_thread * saturation_threads as f64),
+        ])
+    }
+
+    /// Like [`saturating`](Self::saturating) but with a linear decline after
+    /// the peak, reaching `tail_fraction × peak` at `tail_threads` (models
+    /// memory-bandwidth thrashing past the sweet spot, Figure 6's shape).
+    pub fn peaked(
+        per_thread: f64,
+        peak_threads: u32,
+        tail_threads: u32,
+        tail_fraction: f64,
+    ) -> ThroughputCurve {
+        assert!(peak_threads >= 1 && tail_threads > peak_threads);
+        assert!((0.0..=1.0).contains(&tail_fraction));
+        let peak = per_thread * peak_threads as f64;
+        ThroughputCurve::new(vec![
+            (1, per_thread),
+            (peak_threads, peak),
+            (tail_threads, peak * tail_fraction.max(1e-9)),
+        ])
+    }
+
+    /// Aggregate throughput with `threads` concurrent threads, in bytes/s.
+    /// Zero threads yield zero throughput.
+    pub fn at(&self, threads: u32) -> f64 {
+        if threads == 0 {
+            return 0.0;
+        }
+        let first = self.knots[0];
+        if threads <= first.0 {
+            // Scale down proportionally below the first knot.
+            return first.1 * threads as f64 / first.0 as f64;
+        }
+        for w in self.knots.windows(2) {
+            let (x0, y0) = w[0];
+            let (x1, y1) = w[1];
+            if threads <= x1 {
+                let f = (threads - x0) as f64 / (x1 - x0) as f64;
+                return y0 + f * (y1 - y0);
+            }
+        }
+        self.knots.last().unwrap().1
+    }
+
+    /// The thread count at which throughput peaks, and the peak value.
+    /// Among equal-throughput counts the smallest is returned — the paper's
+    /// goal is "the minimum number of threads needed to reach the peak".
+    pub fn peak(&self) -> (u32, f64) {
+        let mut best = (self.knots[0].0, self.knots[0].1);
+        for &(x, y) in &self.knots {
+            if y > best.1 + 1e-9 {
+                best = (x, y);
+            }
+        }
+        best
+    }
+
+    /// Smallest thread count whose throughput is at least `fraction` of the
+    /// peak. `fraction = 1.0` gives the knee itself.
+    pub fn threads_for_fraction_of_peak(&self, fraction: f64) -> u32 {
+        let (_, peak) = self.peak();
+        let target = peak * fraction;
+        let max_knot = self.knots.last().unwrap().0;
+        for t in 1..=max_knot {
+            if self.at(t) + 1e-9 >= target {
+                return t;
+            }
+        }
+        max_knot
+    }
+
+    /// Seconds to move `bytes` with `threads` threads; `None` if zero
+    /// throughput (zero threads).
+    pub fn duration_secs(&self, bytes: f64, threads: u32) -> Option<f64> {
+        let t = self.at(threads);
+        if t <= 0.0 {
+            None
+        } else {
+            Some(bytes / t)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturating_curve_scales_then_flattens() {
+        let c = ThroughputCurve::saturating(100.0, 4);
+        assert_eq!(c.at(0), 0.0);
+        assert_eq!(c.at(1), 100.0);
+        assert_eq!(c.at(2), 200.0);
+        assert_eq!(c.at(4), 400.0);
+        assert_eq!(c.at(16), 400.0);
+    }
+
+    #[test]
+    fn peaked_curve_declines_past_peak() {
+        let c = ThroughputCurve::peaked(100.0, 6, 16, 0.95);
+        assert_eq!(c.at(6), 600.0);
+        assert!(c.at(16) < 600.0);
+        assert!((c.at(16) - 570.0).abs() < 1e-9);
+        // Interpolated decline at 11 threads: halfway between 600 and 570.
+        assert!((c.at(11) - 585.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn peak_prefers_smallest_thread_count() {
+        let c = ThroughputCurve::new(vec![(1, 100.0), (6, 600.0), (16, 600.0)]);
+        assert_eq!(c.peak(), (6, 600.0));
+    }
+
+    #[test]
+    fn threads_for_fraction_of_peak_finds_knee() {
+        let c = ThroughputCurve::saturating(100.0, 8);
+        assert_eq!(c.threads_for_fraction_of_peak(1.0), 8);
+        assert_eq!(c.threads_for_fraction_of_peak(0.5), 4);
+        assert_eq!(c.threads_for_fraction_of_peak(0.95), 8);
+    }
+
+    #[test]
+    fn below_first_knot_scales_proportionally() {
+        let c = ThroughputCurve::new(vec![(2, 200.0), (4, 300.0)]);
+        assert_eq!(c.at(1), 100.0);
+    }
+
+    #[test]
+    fn duration_inverts_throughput() {
+        let c = ThroughputCurve::saturating(1e6, 4);
+        assert_eq!(c.duration_secs(2e6, 1), Some(2.0));
+        assert_eq!(c.duration_secs(2e6, 2), Some(1.0));
+        assert_eq!(c.duration_secs(2e6, 0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_knots_panic() {
+        ThroughputCurve::new(vec![(4, 1.0), (2, 2.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_throughput_panics() {
+        ThroughputCurve::new(vec![(1, 0.0)]);
+    }
+}

@@ -1,0 +1,15 @@
+//! # lobster-storage
+//!
+//! Storage-hierarchy models for the Lobster reproduction: piecewise-linear
+//! throughput-vs-threads curves ([`curve`]) and the three-tier hierarchy —
+//! local cache / remote cache / PFS — with latency and congestion ([`tiers`]).
+//!
+//! These are the `T_l(α)`, `T_r(β)`, `T_PFS(γ)` functions of the paper's
+//! Table 1, substituting for the ThetaGPU hardware that is not available in
+//! this environment.
+
+pub mod curve;
+pub mod tiers;
+
+pub use curve::ThroughputCurve;
+pub use tiers::{thetagpu, StorageModel, Tier};

@@ -1,0 +1,46 @@
+//! Quickstart: compare Lobster against the three baselines on a small
+//! single-node configuration and print the paper's headline metrics.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use lobster_repro::core::{policy_by_name, models};
+use lobster_repro::data::imagenet_1k;
+use lobster_repro::metrics::{fmt_pct, fmt_secs, fmt_speedup, Table};
+use lobster_repro::pipeline::{ClusterSim, ConfigBuilder};
+
+fn main() {
+    // 1/256 of ImageNet-1K with a proportionally scaled 40 GB/256 cache:
+    // every ratio the policies see matches the paper's environment.
+    let scale = 256u32;
+    let cache = (40u64 << 30) / scale as u64;
+
+    println!("Lobster quickstart — ResNet-50, 1 node x 8 GPUs, ImageNet-1K (1/{scale})\n");
+
+    let mut table = Table::new(["loader", "epoch time", "speedup", "hit ratio", "gpu util"]);
+    let mut pytorch_epoch = None;
+    for name in ["pytorch", "dali", "nopfs", "lobster"] {
+        let cfg = ConfigBuilder::new()
+            .nodes(1)
+            .gpus_per_node(8)
+            .cache_bytes(cache)
+            .model(models::resnet50())
+            .epochs(3)
+            .dataset(imagenet_1k(scale, 42))
+            .build();
+        let policy = policy_by_name(name).expect("known policy");
+        let (report, _) = ClusterSim::new(cfg, policy).run();
+        let epoch = report.mean_epoch_s();
+        let base = *pytorch_epoch.get_or_insert(epoch);
+        table.row([
+            name.to_string(),
+            fmt_secs(epoch),
+            fmt_speedup(base / epoch),
+            fmt_pct(report.mean_hit_ratio()),
+            fmt_pct(report.mean_gpu_utilization()),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("\nPaper shape: PyTorch < DALI < NoPFS < Lobster on every column.");
+}

@@ -1,0 +1,100 @@
+//! Accounting identities the executor must satisfy for any configuration:
+//! every scheduled access is classified exactly once, epoch walls add up,
+//! and caches never exceed capacity (checked indirectly through hit-count
+//! bounds).
+
+use lobster_repro::core::policy_by_name;
+use lobster_repro::data::{Dataset, SizeDistribution};
+use lobster_repro::pipeline::{ClusterSim, ConfigBuilder};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For arbitrary small topologies, policies, and cache sizes: the run
+    /// completes, access accounting balances, and wall times are positive
+    /// and additive.
+    #[test]
+    fn executor_accounting_balances(
+        nodes in 1usize..3,
+        gpus in 1usize..3,
+        batch in 4usize..12,
+        cache_div in 1u64..20,
+        policy_idx in 0usize..6,
+        seed in 0u64..1000,
+    ) {
+        let names = ["pytorch", "dali", "nopfs", "lobster", "lobster_th", "lobster_evict"];
+        let dataset = Dataset::generate(
+            "prop",
+            2048,
+            SizeDistribution::Uniform { lo: 10_000, hi: 120_000 },
+            seed,
+        );
+        let cache = (dataset.total_bytes() / cache_div).max(200_000);
+        let cfg = ConfigBuilder::new()
+            .nodes(nodes)
+            .gpus_per_node(gpus)
+            .batch_size(batch)
+            .cache_bytes(cache)
+            .epochs(2)
+            .seed(seed)
+            .dataset(dataset)
+            .build();
+        let iters = cfg.iterations_per_epoch();
+        prop_assume!(iters > 0);
+        let per_epoch = (iters * batch * nodes * gpus) as u64;
+
+        let (report, _) = ClusterSim::new(cfg, policy_by_name(names[policy_idx]).unwrap()).run();
+
+        for e in &report.epochs {
+            prop_assert_eq!(e.local_hits + e.remote_hits + e.misses, per_epoch);
+            prop_assert!(e.wall_s > 0.0);
+            prop_assert!(e.gpu_utilization > 0.0 && e.gpu_utilization <= 1.0);
+            prop_assert!(e.imbalanced_iterations <= e.iterations);
+            prop_assert_eq!(e.iterations, iters as u64);
+        }
+        let sum: f64 = report.epochs.iter().map(|e| e.wall_s).sum();
+        prop_assert!((sum - report.total_wall_s).abs() < 1e-6);
+        // Single-node runs can never have remote hits.
+        if nodes == 1 {
+            prop_assert!(report.epochs.iter().all(|e| e.remote_hits == 0));
+        }
+    }
+
+    /// First-epoch, first-touch accesses are always misses: local hits in
+    /// epoch 0 can never exceed the reuse opportunities within the epoch
+    /// (which are zero — a sample appears once per epoch), except through
+    /// prefetching, which only moves *future* accesses into the cache.
+    #[test]
+    fn epoch_zero_hits_come_only_from_prefetch(
+        policy_idx in 0usize..4,
+        seed in 0u64..100,
+    ) {
+        let names = ["pytorch", "dali", "nopfs", "lobster"];
+        let dataset = Dataset::generate(
+            "prop0",
+            1024,
+            SizeDistribution::Constant { bytes: 50_000 },
+            seed,
+        );
+        let cfg = ConfigBuilder::new()
+            .nodes(1)
+            .gpus_per_node(2)
+            .batch_size(8)
+            .cache_bytes(dataset.total_bytes())
+            .epochs(1)
+            .seed(seed)
+            .dataset(dataset)
+            .build();
+        let (report, _) =
+            ClusterSim::new(cfg, policy_by_name(names[policy_idx]).unwrap()).run();
+        let e0 = &report.epochs[0];
+        // Without prefetching, zero epoch-0 hits; with it, hits ≤ prefetched.
+        prop_assert!(
+            e0.local_hits <= e0.prefetched,
+            "epoch-0 hits {} must be explained by prefetches {}",
+            e0.local_hits,
+            e0.prefetched
+        );
+    }
+}

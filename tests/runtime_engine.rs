@@ -1,0 +1,118 @@
+//! End-to-end tests of the live multi-threaded engine: integrity under
+//! contention, skewed stores, and deadlock-freedom at awkward sizes.
+
+use lobster_repro::data::{Dataset, SizeDistribution};
+use lobster_repro::runtime::{expected_integrity, run, EngineConfig, SyntheticStore};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn store(samples: usize, latency: Duration) -> Arc<SyntheticStore> {
+    let ds = Dataset::generate(
+        "it-engine",
+        samples,
+        SizeDistribution::Uniform { lo: 1_000, hi: 20_000 },
+        21,
+    );
+    Arc::new(SyntheticStore::new(ds, latency, 0.0))
+}
+
+#[test]
+fn many_consumers_complete_with_integrity() {
+    let cfg = EngineConfig {
+        consumers: 6,
+        batch_size: 4,
+        loader_threads: 3,
+        preproc_threads: 2,
+        cache_bytes: 64 << 20,
+        work_factor: 1,
+        train: Duration::from_micros(300),
+        adaptive: true,
+        epochs: 2,
+        seed: 5,
+    };
+    let s = store(240, Duration::from_micros(100));
+    let expected = expected_integrity(s.dataset(), &cfg);
+    let report = run(s, cfg);
+    assert_eq!(report.iterations, 20); // 240/(6×4)=10 per epoch × 2
+    assert_eq!(report.integrity, expected);
+}
+
+#[test]
+fn more_loaders_than_consumers_is_fine() {
+    let cfg = EngineConfig {
+        consumers: 2,
+        batch_size: 4,
+        loader_threads: 6,
+        preproc_threads: 3,
+        adaptive: true,
+        epochs: 1,
+        ..EngineConfig::default()
+    };
+    let s = store(64, Duration::ZERO);
+    let expected = expected_integrity(s.dataset(), &cfg);
+    let report = run(s, cfg);
+    assert_eq!(report.integrity, expected);
+}
+
+#[test]
+fn tiny_cache_still_delivers_correct_bytes() {
+    // Cache fits almost nothing: constant churn, but never corruption.
+    let cfg = EngineConfig {
+        consumers: 2,
+        batch_size: 4,
+        loader_threads: 2,
+        preproc_threads: 2,
+        cache_bytes: 30_000,
+        work_factor: 1,
+        train: Duration::from_micros(100),
+        adaptive: true,
+        epochs: 2,
+        seed: 9,
+    };
+    let s = store(96, Duration::ZERO);
+    let expected = expected_integrity(s.dataset(), &cfg);
+    let report = run(Arc::clone(&s), cfg);
+    assert_eq!(report.integrity, expected);
+    // With a ~2-sample cache the store must be hit a lot.
+    assert!(report.store_fetches > 96, "fetches {}", report.store_fetches);
+}
+
+#[test]
+fn slow_store_does_not_deadlock_the_barrier() {
+    // The regression this pins: preprocessing blocked on one consumer's
+    // full channel while that consumer waited at the barrier. With credit
+    // pacing + unbounded delivery this must finish promptly.
+    let cfg = EngineConfig {
+        consumers: 4,
+        batch_size: 8,
+        loader_threads: 4,
+        preproc_threads: 2,
+        cache_bytes: 32 << 20,
+        work_factor: 2,
+        train: Duration::from_millis(1),
+        adaptive: true,
+        epochs: 2,
+        seed: 42,
+    };
+    let ds = Dataset::generate(
+        "deadlock",
+        512,
+        SizeDistribution::Uniform { lo: 8_000, hi: 64_000 },
+        11,
+    );
+    let s = Arc::new(SyntheticStore::new(ds, Duration::from_micros(300), 100e6));
+    let t0 = std::time::Instant::now();
+    let report = run(s, cfg);
+    assert_eq!(report.delivered, 1024);
+    assert!(t0.elapsed() < Duration::from_secs(60), "took {:?}", t0.elapsed());
+}
+
+#[test]
+fn iteration_times_are_recorded_for_every_iteration() {
+    let cfg = EngineConfig { epochs: 3, ..EngineConfig::default() };
+    let s = store(64, Duration::ZERO);
+    let report = run(s, cfg.clone());
+    let iters_per_epoch = 64 / (cfg.consumers * cfg.batch_size);
+    assert_eq!(report.iteration_secs.len(), iters_per_epoch * cfg.epochs as usize);
+    assert!(report.iteration_secs.iter().all(|&t| t > 0.0));
+}
