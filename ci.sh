@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Local CI gate — the same steps .github/workflows/ci.yml runs.
+# Usage: ./ci.sh
+set -eu
+
+echo "== fmt =="
+cargo fmt --all -- --check
+
+echo "== clippy =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== build (release) =="
+cargo build --workspace --release
+
+echo "== test =="
+cargo test -q --workspace
+
+echo "CI OK"

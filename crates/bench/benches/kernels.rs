@@ -80,7 +80,11 @@ fn bench_algorithm1(c: &mut Criterion) {
         let work = [720.0, 180.0, 3600.0, 90.0, 1500.0, 400.0, 2000.0, 60.0];
         b.iter(|| {
             black_box(assign_threads(&params, &[4; 8], |g, k| {
-                let load = if k == 0 { f64::INFINITY } else { work[g] / k as f64 };
+                let load = if k == 0 {
+                    f64::INFINITY
+                } else {
+                    work[g] / k as f64
+                };
                 (200.0 - (load + 20.0)) / 1e3
             }))
         })
@@ -91,7 +95,14 @@ fn bench_regression(c: &mut Criterion) {
     let pts: Vec<(f64, f64)> = (1..=32)
         .map(|x| {
             let x = x as f64;
-            (x, if x <= 6.0 { 10.0 / x } else { 10.0 / 6.0 + 0.05 * (x - 6.0) })
+            (
+                x,
+                if x <= 6.0 {
+                    10.0 / x
+                } else {
+                    10.0 / 6.0 + 0.05 * (x - 6.0)
+                },
+            )
         })
         .collect();
     c.bench_function("regression/segmented_fit_32pts", |b| {

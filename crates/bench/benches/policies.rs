@@ -34,7 +34,14 @@ fn sim_config(seed: u64) -> ExperimentConfig {
 
 fn bench_policy_epochs(c: &mut Criterion) {
     let mut group = c.benchmark_group("executor");
-    for name in ["pytorch", "dali", "nopfs", "lobster", "lobster_th", "lobster_evict"] {
+    for name in [
+        "pytorch",
+        "dali",
+        "nopfs",
+        "lobster",
+        "lobster_th",
+        "lobster_evict",
+    ] {
         group.bench_function(format!("two_epochs/{name}"), |b| {
             b.iter(|| {
                 let sim = ClusterSim::new(sim_config(42), policy_by_name(name).unwrap());

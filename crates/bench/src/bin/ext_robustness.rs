@@ -28,9 +28,21 @@ struct ExtResult {
 }
 
 fn main() {
-    let params = params_from_args(BenchParams { scale: 64, epochs: 4, seed: 42 });
-    println!("Extensions — robustness & cache topology (scale 1/{})\n", params.scale);
-    let mut result = ExtResult { params, slow_node: vec![], kv: vec![], minio: vec![] };
+    let params = params_from_args(BenchParams {
+        scale: 64,
+        epochs: 4,
+        seed: 42,
+    });
+    println!(
+        "Extensions — robustness & cache topology (scale 1/{})\n",
+        params.scale
+    );
+    let mut result = ExtResult {
+        params,
+        slow_node: vec![],
+        kv: vec![],
+        minio: vec![],
+    };
 
     // ---- 1. Slow node. ----
     println!("-- slow node: node 2 of 4 at half I/O speed, ImageNet-22K --");
@@ -51,7 +63,9 @@ fn main() {
             fmt_secs(degraded),
             fmt_speedup(factor),
         ]);
-        result.slow_node.push((name.to_string(), nominal, degraded, factor));
+        result
+            .slow_node
+            .push((name.to_string(), nominal, degraded, factor));
     }
     print!("{}", t.render());
     println!();
@@ -101,7 +115,12 @@ fn main() {
                 fmt_secs(report.mean_epoch_s()),
                 fmt_pct(report.mean_hit_ratio()),
             ]);
-            result.minio.push((name.to_string(), scale, report.mean_epoch_s(), report.mean_hit_ratio()));
+            result.minio.push((
+                name.to_string(),
+                scale,
+                report.mean_epoch_s(),
+                report.mean_hit_ratio(),
+            ));
         }
     }
     print!("{}", t.render());

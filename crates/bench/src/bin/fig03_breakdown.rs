@@ -5,7 +5,10 @@
 //! caused by *other* GPUs' loading (Obs. 1) and the bottleneck shifting
 //! between stages across iterations (Obs. 2).
 
-use lobster_bench::{paper_config, params_from_args, BenchParams, DatasetKind};
+use lobster_bench::{
+    observability_from_args, paper_config, params_from_args, write_observability, BenchParams,
+    DatasetKind,
+};
 use lobster_core::models::resnet50;
 use lobster_core::policy_by_name;
 use lobster_metrics::{ResultSink, Table};
@@ -20,7 +23,12 @@ struct Fig3Result {
 }
 
 fn main() {
-    let params = params_from_args(BenchParams { scale: 64, epochs: 2, seed: 42 });
+    let params = params_from_args(BenchParams {
+        scale: 64,
+        epochs: 2,
+        seed: 42,
+    });
+    let (ins, trace_out) = observability_from_args();
     println!(
         "Figure 3 — pipeline breakdown, DALI, 8 nodes x 8 GPUs, ImageNet-1K (1/{} scale)\n",
         params.scale
@@ -28,7 +36,8 @@ fn main() {
     let cfg = paper_config(DatasetKind::ImageNet1k, 8, resnet50(), params);
     let iters = cfg.iterations_per_epoch() as u64;
     let sim = ClusterSim::new(cfg, policy_by_name("dali").unwrap())
-        .with_trace(TraceCollector::figure3(iters));
+        .with_trace(TraceCollector::figure3(iters))
+        .with_instruments(ins.clone());
     let (report, trace) = sim.run();
     let trace = trace.expect("trace requested");
 
@@ -36,8 +45,14 @@ fn main() {
     let mut records = Vec::new();
     for (node, gpu) in [(1usize, 0usize), (1, 1), (2, 0)] {
         println!("-- Node{node} GPU{gpu} --");
-        let mut t =
-            Table::new(["iter", "load(ms)", "preproc(ms)", "train(ms)", "wait-data", "wait-strag"]);
+        let mut t = Table::new([
+            "iter",
+            "load(ms)",
+            "preproc(ms)",
+            "train(ms)",
+            "wait-data",
+            "wait-strag",
+        ]);
         for r in trace.for_gpu(node, gpu) {
             t.row([
                 r.iteration.to_string(),
@@ -53,16 +68,21 @@ fn main() {
         println!();
     }
 
-    let frac = report.epochs[1].imbalanced_iterations as f64
-        / report.epochs[1].iterations.max(1) as f64;
+    let frac =
+        report.epochs[1].imbalanced_iterations as f64 / report.epochs[1].iterations.max(1) as f64;
     println!(
         "iterations with load imbalance in epoch 2: {:.1}% (paper reports 65.3% for the baseline)",
         frac * 100.0
     );
 
-    let result = Fig3Result { params, records, imbalanced_fraction_epoch1: frac };
+    let result = Fig3Result {
+        params,
+        records,
+        imbalanced_fraction_epoch1: frac,
+    };
     let path = ResultSink::default_location()
         .write_json("fig03_breakdown", &result)
         .expect("write results");
     println!("results -> {}", path.display());
+    write_observability(&ins, trace_out.as_deref());
 }

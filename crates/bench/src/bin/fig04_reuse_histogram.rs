@@ -22,7 +22,11 @@ fn main() {
     // A wide epoch window matters here: on-node reuse gaps are geometric
     // with mean ≈ #nodes epochs, so a short window censors the long tail
     // the figure is about.
-    let params = params_from_args(BenchParams { scale: 16, epochs: 12, seed: 42 });
+    let params = params_from_args(BenchParams {
+        scale: 16,
+        epochs: 12,
+        seed: 42,
+    });
     let dataset = DatasetKind::ImageNet1k.dataset(params.scale, params.seed);
     let spec = ScheduleSpec {
         nodes: 8,
@@ -38,8 +42,9 @@ fn main() {
 
     // Distances measured over a window of epochs, exactly as the oracle
     // sees them during training.
-    let epochs: Vec<EpochSchedule> =
-        (0..params.epochs).map(|e| EpochSchedule::generate(spec, e)).collect();
+    let epochs: Vec<EpochSchedule> = (0..params.epochs)
+        .map(|e| EpochSchedule::generate(spec, e))
+        .collect();
     let refs: Vec<&EpochSchedule> = epochs.iter().collect();
     let oracle = NodeOracle::build(1, &refs, 0);
     let mut hist = LogHistogram::new();

@@ -42,8 +42,15 @@ fn print_rows(title: &str, rows: &[PolicyRow]) {
 }
 
 fn main() {
-    let params = params_from_args(BenchParams { scale: 64, epochs: 4, seed: 42 });
-    println!("Figure 7 — I/O performance (scale 1/{}, {} epochs)\n", params.scale, params.epochs);
+    let params = params_from_args(BenchParams {
+        scale: 64,
+        epochs: 4,
+        seed: 42,
+    });
+    println!(
+        "Figure 7 — I/O performance (scale 1/{}, {} epochs)\n",
+        params.scale, params.epochs
+    );
 
     let single_node_1k = compare_policies(
         || paper_config(DatasetKind::ImageNet1k, 1, resnet50(), params),
@@ -82,10 +89,17 @@ fn main() {
     }
     print!("{}", t.render());
 
-    let result =
-        Fig7Result { params, single_node_1k, single_node_22k, multi_node_22k, scalability };
+    let result = Fig7Result {
+        params,
+        single_node_1k,
+        single_node_22k,
+        multi_node_22k,
+        scalability,
+    };
     let sink = ResultSink::default_location();
-    let path = sink.write_json("fig07_io_performance", &result).expect("write results");
+    let path = sink
+        .write_json("fig07_io_performance", &result)
+        .expect("write results");
 
     // Plot-friendly CSV: one row per (config, loader).
     let mut rows: Vec<Vec<String>> = Vec::new();
@@ -111,7 +125,15 @@ fn main() {
     let csv = sink
         .write_csv(
             "fig07_io_performance",
-            &["config", "nodes", "loader", "epoch_s", "speedup", "hit_ratio", "gpu_util"],
+            &[
+                "config",
+                "nodes",
+                "loader",
+                "epoch_s",
+                "speedup",
+                "hit_ratio",
+                "gpu_util",
+            ],
             &rows,
         )
         .expect("write csv");

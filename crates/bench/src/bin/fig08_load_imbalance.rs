@@ -11,11 +11,12 @@
 //! batch times are shorter with less variance.
 
 use lobster_bench::{
-    paper_config, params_from_args, run_policy, BenchParams, DatasetKind, BASELINE_NAMES,
+    observability_from_args, paper_config, params_from_args, run_policy_with, write_observability,
+    BenchParams, DatasetKind, BASELINE_NAMES,
 };
 use lobster_core::models::resnet50;
 use lobster_core::policy_by_name;
-use lobster_metrics::{fmt_pct, ResultSink, Table};
+use lobster_metrics::{fmt_pct, Instruments, ResultSink, Table};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -46,12 +47,25 @@ struct Fig8Result {
     batch_times_1k: Vec<BatchTimeRow>,
 }
 
-fn imbalance_sweep(kind: DatasetKind, nodes: usize, params: BenchParams) -> Vec<ImbalanceRow> {
+fn imbalance_sweep(
+    kind: DatasetKind,
+    nodes: usize,
+    params: BenchParams,
+    ins: &Instruments,
+) -> Vec<ImbalanceRow> {
     let mut rows = Vec::new();
-    let mut t = Table::new(["loader", "imbalanced iterations", "mean spread", "per-epoch counts"]);
+    let mut t = Table::new([
+        "loader",
+        "imbalanced iterations",
+        "mean spread",
+        "per-epoch counts",
+    ]);
     for name in BASELINE_NAMES {
-        let report =
-            run_policy(paper_config(kind, nodes, resnet50(), params), policy_by_name(name).unwrap());
+        let report = run_policy_with(
+            paper_config(kind, nodes, resnet50(), params),
+            policy_by_name(name).unwrap(),
+            ins,
+        );
         let steady = report.steady_epochs();
         let per_epoch: Vec<u64> = steady.iter().map(|e| e.imbalanced_iterations).collect();
         let spread_ms =
@@ -75,22 +89,31 @@ fn imbalance_sweep(kind: DatasetKind, nodes: usize, params: BenchParams) -> Vec<
 }
 
 fn main() {
-    let params = params_from_args(BenchParams { scale: 64, epochs: 6, seed: 42 });
-    println!("Figure 8 — load imbalance (scale 1/{}, {} epochs)\n", params.scale, params.epochs);
+    let params = params_from_args(BenchParams {
+        scale: 64,
+        epochs: 6,
+        seed: 42,
+    });
+    let (ins, trace_out) = observability_from_args();
+    println!(
+        "Figure 8 — load imbalance (scale 1/{}, {} epochs)\n",
+        params.scale, params.epochs
+    );
 
     println!("-- (a) 1 node x 8 GPUs, ImageNet-22K --");
-    let single_node = imbalance_sweep(DatasetKind::ImageNet22k, 1, params);
+    let single_node = imbalance_sweep(DatasetKind::ImageNet22k, 1, params, &ins);
 
     println!("-- (b) 8 nodes x 8 GPUs, ImageNet-22K --");
-    let multi_node = imbalance_sweep(DatasetKind::ImageNet22k, 8, params);
+    let multi_node = imbalance_sweep(DatasetKind::ImageNet22k, 8, params, &ins);
 
     println!("-- (c) batch-time distribution, 1 node x 8 GPUs, ImageNet-1K --");
     let mut batch_rows = Vec::new();
     let mut t = Table::new(["loader", "mean", "p50", "p95", "p99", "cov"]);
     for name in BASELINE_NAMES {
-        let report = run_policy(
+        let report = run_policy_with(
             paper_config(DatasetKind::ImageNet1k, 1, resnet50(), params),
             policy_by_name(name).unwrap(),
+            &ins,
         );
         // Pool steady-state batch times.
         let mut all = lobster_metrics::Summary::new();
@@ -117,9 +140,15 @@ fn main() {
     }
     print!("{}", t.render());
 
-    let result = Fig8Result { params, single_node, multi_node, batch_times_1k: batch_rows };
+    let result = Fig8Result {
+        params,
+        single_node,
+        multi_node,
+        batch_times_1k: batch_rows,
+    };
     let path = ResultSink::default_location()
         .write_json("fig08_load_imbalance", &result)
         .expect("write results");
     println!("\nresults -> {}", path.display());
+    write_observability(&ins, trace_out.as_deref());
 }

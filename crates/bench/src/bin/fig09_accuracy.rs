@@ -21,10 +21,17 @@ struct Fig9Result {
 }
 
 fn main() {
-    let params = params_from_args(BenchParams { scale: 1, epochs: 60, seed: 42 });
+    let params = params_from_args(BenchParams {
+        scale: 1,
+        epochs: 60,
+        seed: 42,
+    });
     let epochs = params.epochs as usize;
     let model = lobster_core::models::resnet50();
-    println!("Figure 9 — accuracy curves, ResNet-50 / ImageNet-1K, {} epochs\n", epochs);
+    println!(
+        "Figure 9 — accuracy curves, ResNet-50 / ImageNet-1K, {} epochs\n",
+        epochs
+    );
 
     // Identical data seed (shared sampling), different weight seeds.
     let pytorch = simulate_accuracy("pytorch", &model, epochs, params.seed, 1001);
@@ -43,8 +50,14 @@ fn main() {
     let gap = max_gap(&pytorch, &lobster);
     let pt_conv = pytorch.epochs_to_reach(0.755);
     let lb_conv = lobster.epochs_to_reach(0.755);
-    println!("\nmax per-epoch gap between loaders: {:.2} points", gap * 100.0);
-    println!("epochs to 75.5%: pytorch {:?}, lobster {:?} (paper: ~40 for both)", pt_conv, lb_conv);
+    println!(
+        "\nmax per-epoch gap between loaders: {:.2} points",
+        gap * 100.0
+    );
+    println!(
+        "epochs to 75.5%: pytorch {:?}, lobster {:?} (paper: ~40 for both)",
+        pt_conv, lb_conv
+    );
 
     let result = Fig9Result {
         epochs,
@@ -54,7 +67,8 @@ fn main() {
         pytorch_converged_epoch: pt_conv,
         lobster_converged_epoch: lb_conv,
     };
-    let path =
-        ResultSink::default_location().write_json("fig09_accuracy", &result).expect("write results");
+    let path = ResultSink::default_location()
+        .write_json("fig09_accuracy", &result)
+        .expect("write results");
     println!("results -> {}", path.display());
 }

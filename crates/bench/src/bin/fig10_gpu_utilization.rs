@@ -20,7 +20,11 @@ struct Fig10Result {
 }
 
 fn main() {
-    let params = params_from_args(BenchParams { scale: 64, epochs: 4, seed: 42 });
+    let params = params_from_args(BenchParams {
+        scale: 64,
+        epochs: 4,
+        seed: 42,
+    });
     println!(
         "Figure 10 — GPU utilization, 1 node x 8 GPUs, ImageNet-1K (1/{} scale)\n",
         params.scale

@@ -24,7 +24,11 @@ struct Fig11Result {
 }
 
 fn main() {
-    let params = params_from_args(BenchParams { scale: 64, epochs: 4, seed: 42 });
+    let params = params_from_args(BenchParams {
+        scale: 64,
+        epochs: 4,
+        seed: 42,
+    });
     println!(
         "Figure 11 — ablation vs DALI, 1 node x 8 GPUs, ImageNet-1K (1/{} scale)\n",
         params.scale
@@ -57,7 +61,8 @@ fn main() {
     print!("{}", t.render());
 
     let result = Fig11Result { params, rows };
-    let path =
-        ResultSink::default_location().write_json("fig11_ablation", &result).expect("write results");
+    let path = ResultSink::default_location()
+        .write_json("fig11_ablation", &result)
+        .expect("write results");
     println!("\nresults -> {}", path.display());
 }

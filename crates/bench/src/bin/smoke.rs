@@ -7,9 +7,17 @@ use lobster_core::models::resnet50;
 use lobster_metrics::{fmt_pct, fmt_secs, fmt_speedup, Table};
 
 fn main() {
-    let params = BenchParams { scale: 64, epochs: 3, seed: 42 };
+    let params = BenchParams {
+        scale: 64,
+        epochs: 3,
+        seed: 42,
+    };
     for kind in [DatasetKind::ImageNet1k, DatasetKind::ImageNet22k] {
-        println!("== single node, 8 GPUs, {} (1/{} scale) ==", kind.label(), params.scale);
+        println!(
+            "== single node, 8 GPUs, {} (1/{} scale) ==",
+            kind.label(),
+            params.scale
+        );
         let rows = compare_policies(
             || paper_config(kind, 1, resnet50(), params),
             &BASELINE_NAMES,

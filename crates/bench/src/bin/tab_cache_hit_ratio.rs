@@ -5,7 +5,8 @@
 //! headline cache number) are the reproduction targets.
 
 use lobster_bench::{
-    paper_config, params_from_args, run_policy, BenchParams, DatasetKind, BASELINE_NAMES,
+    observability_from_args, paper_config, params_from_args, run_policy_with, write_observability,
+    BenchParams, DatasetKind, BASELINE_NAMES,
 };
 use lobster_core::models::resnet50;
 use lobster_core::policy_by_name;
@@ -29,24 +30,37 @@ struct TabResult {
 }
 
 fn main() {
-    let params = params_from_args(BenchParams { scale: 64, epochs: 6, seed: 42 });
+    let params = params_from_args(BenchParams {
+        scale: 64,
+        epochs: 6,
+        seed: 42,
+    });
+    let (ins, trace_out) = observability_from_args();
     println!(
         "§5.5 table — cache hit ratio, ResNet-50 / ImageNet-1K, 1 node x 8 GPUs (1/{} scale)\n",
         params.scale
     );
 
-    let paper = [("pytorch", 0.245), ("dali", 0.326), ("nopfs", 0.489), ("lobster", 0.632)];
+    let paper = [
+        ("pytorch", 0.245),
+        ("dali", 0.326),
+        ("nopfs", 0.489),
+        ("lobster", 0.632),
+    ];
     let mut rows = Vec::new();
     let mut t = Table::new(["loader", "hit ratio", "remote hits", "prefetched", "paper"]);
     for (i, name) in BASELINE_NAMES.iter().enumerate() {
-        let report = run_policy(
+        let report = run_policy_with(
             paper_config(DatasetKind::ImageNet1k, 1, resnet50(), params),
             policy_by_name(name).unwrap(),
+            &ins,
         );
         let steady = report.steady_epochs();
         let remote: u64 = steady.iter().map(|e| e.remote_hits).sum();
-        let total: u64 =
-            steady.iter().map(|e| e.local_hits + e.remote_hits + e.misses).sum();
+        let total: u64 = steady
+            .iter()
+            .map(|e| e.local_hits + e.remote_hits + e.misses)
+            .sum();
         let prefetched: u64 = steady.iter().map(|e| e.prefetched).sum();
         let row = HitRow {
             policy: name.to_string(),
@@ -72,9 +86,14 @@ fn main() {
         gap * 100.0
     );
 
-    let result = TabResult { params, rows, lobster_minus_nopfs_points: gap };
+    let result = TabResult {
+        params,
+        rows,
+        lobster_minus_nopfs_points: gap,
+    };
     let path = ResultSink::default_location()
         .write_json("tab_cache_hit_ratio", &result)
         .expect("write results");
     println!("results -> {}", path.display());
+    write_observability(&ins, trace_out.as_deref());
 }

@@ -10,8 +10,10 @@
 
 use lobster_core::{LoaderPolicy, ModelProfile};
 use lobster_data::Dataset;
+use lobster_metrics::Instruments;
 use lobster_pipeline::{ClusterSim, ConfigBuilder, ExperimentConfig, RunReport};
 use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
 
 /// Which paper dataset an experiment uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -50,7 +52,11 @@ pub struct BenchParams {
 
 impl Default for BenchParams {
     fn default() -> Self {
-        BenchParams { scale: 16, epochs: 4, seed: 42 }
+        BenchParams {
+            scale: 16,
+            epochs: 4,
+            seed: 42,
+        }
     }
 }
 
@@ -81,7 +87,20 @@ pub fn paper_config(
 
 /// Run one policy on one config.
 pub fn run_policy(cfg: ExperimentConfig, policy: Box<dyn LoaderPolicy>) -> RunReport {
-    ClusterSim::new(cfg, policy).run().0
+    run_policy_with(cfg, policy, &Instruments::disabled())
+}
+
+/// Run one policy with an observability bundle attached; trace events,
+/// metrics, and controller decisions from the run land in `ins`.
+pub fn run_policy_with(
+    cfg: ExperimentConfig,
+    policy: Box<dyn LoaderPolicy>,
+    ins: &Instruments,
+) -> RunReport {
+    ClusterSim::new(cfg, policy)
+        .with_instruments(ins.clone())
+        .run()
+        .0
 }
 
 /// A labelled comparison row: one policy's steady-state metrics.
@@ -119,7 +138,11 @@ pub fn compare_policies(
             }
         })
         .collect();
-    if let Some(base) = rows.iter().find(|r| r.policy == "pytorch").map(|r| r.mean_epoch_s) {
+    if let Some(base) = rows
+        .iter()
+        .find(|r| r.policy == "pytorch")
+        .map(|r| r.mean_epoch_s)
+    {
         for r in &mut rows {
             r.speedup_vs_pytorch = base / r.mean_epoch_s;
         }
@@ -152,6 +175,56 @@ pub fn params_from_args(default: BenchParams) -> BenchParams {
     params
 }
 
+/// Observability CLI: `--trace-out <path>` turns instrumentation on and
+/// names the Chrome trace-event JSON output file. Without the flag the
+/// returned bundle is disabled and every instrumentation site is a no-op.
+pub fn observability_from_args() -> (Instruments, Option<PathBuf>) {
+    let args: Vec<String> = std::env::args().collect();
+    let path = args
+        .windows(2)
+        .find(|w| w[0] == "--trace-out")
+        .map(|w| PathBuf::from(&w[1]));
+    if path.is_none() && args.iter().any(|a| a == "--trace-out") {
+        eprintln!("error: --trace-out requires a path argument");
+        std::process::exit(2);
+    }
+    let ins = if path.is_some() {
+        Instruments::enabled()
+    } else {
+        Instruments::disabled()
+    };
+    (ins, path)
+}
+
+/// End-of-run observability output: print the metrics snapshot and the
+/// decision count, and write the Chrome trace (Perfetto-viewable) to
+/// `trace_out` if given. A disabled bundle prints and writes nothing.
+pub fn write_observability(ins: &Instruments, trace_out: Option<&Path>) {
+    if !ins.is_enabled() {
+        return;
+    }
+    let snapshot = ins.metrics_snapshot();
+    println!("\n-- metrics snapshot --");
+    print!("{}", snapshot.to_text());
+    println!("controller decisions logged: {}", ins.decisions().len());
+    if ins.trace_dropped() > 0 {
+        println!(
+            "trace events dropped (buffer full): {}",
+            ins.trace_dropped()
+        );
+    }
+    if let Some(path) = trace_out {
+        let json = ins.chrome_trace_json().expect("enabled bundle has a trace");
+        match std::fs::write(path, json) {
+            Ok(()) => println!("trace -> {}", path.display()),
+            Err(e) => {
+                eprintln!("error: cannot write trace to {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,7 +238,11 @@ mod tests {
 
     #[test]
     fn paper_config_preserves_ratio_across_scales() {
-        let p = BenchParams { scale: 64, epochs: 2, seed: 1 };
+        let p = BenchParams {
+            scale: 64,
+            epochs: 2,
+            seed: 1,
+        };
         let cfg = paper_config(DatasetKind::ImageNet1k, 1, resnet50(), p);
         let frac = cfg.cluster.cache_bytes as f64 / cfg.dataset.total_bytes() as f64;
         // Paper scale: 40 GB / 135 GB ≈ 0.30. Scaled must match within the
@@ -175,7 +252,11 @@ mod tests {
 
     #[test]
     fn compare_policies_computes_speedups() {
-        let p = BenchParams { scale: 512, epochs: 2, seed: 3 };
+        let p = BenchParams {
+            scale: 512,
+            epochs: 2,
+            seed: 3,
+        };
         let rows = compare_policies(
             || paper_config(DatasetKind::ImageNet1k, 1, resnet50(), p),
             &["pytorch", "lobster"],

@@ -8,6 +8,7 @@
 pub mod harness;
 
 pub use harness::{
-    compare_policies, paper_config, params_from_args, run_policy, scaled_cache_bytes, BenchParams,
-    DatasetKind, PolicyRow, BASELINE_NAMES,
+    compare_policies, observability_from_args, paper_config, params_from_args, run_policy,
+    run_policy_with, scaled_cache_bytes, write_observability, BenchParams, DatasetKind, PolicyRow,
+    BASELINE_NAMES,
 };

@@ -24,8 +24,13 @@ pub struct Directory {
 
 impl Directory {
     pub fn new(nodes: usize) -> Directory {
-        assert!((1..=MAX_NODES).contains(&nodes), "directory supports 1..=64 nodes");
-        Directory { holders: HashMap::new() }
+        assert!(
+            (1..=MAX_NODES).contains(&nodes),
+            "directory supports 1..=64 nodes"
+        );
+        Directory {
+            holders: HashMap::new(),
+        }
     }
 
     /// Record that `node` now holds `s`.
@@ -47,7 +52,10 @@ impl Directory {
 
     /// Does `node` hold `s`?
     pub fn holds(&self, s: SampleId, node: usize) -> bool {
-        self.holders.get(&s.0).map(|m| m & (1u64 << node) != 0).unwrap_or(false)
+        self.holders
+            .get(&s.0)
+            .map(|m| m & (1u64 << node) != 0)
+            .unwrap_or(false)
     }
 
     /// Number of nodes holding `s`.
@@ -143,7 +151,10 @@ mod tests {
             .iter()
             .map(|&i| d.pick_remote(s(i), 0).unwrap())
             .collect();
-        assert!(picks.len() > 1, "rotation should use multiple replicas: {picks:?}");
+        assert!(
+            picks.len() > 1,
+            "rotation should use multiple replicas: {picks:?}"
+        );
     }
 
     #[test]

@@ -132,18 +132,27 @@ impl NodeCache {
     pub fn insert(&mut self, s: SampleId, bytes: u64, key: u64) -> InsertOutcome {
         if self.entries.contains_key(&s.0) {
             self.set_key(s, key);
-            return InsertOutcome { inserted: true, evicted: Vec::new() };
+            return InsertOutcome {
+                inserted: true,
+                evicted: Vec::new(),
+            };
         }
         if bytes > self.capacity {
             self.stats.rejected += 1;
-            return InsertOutcome { inserted: false, evicted: Vec::new() };
+            return InsertOutcome {
+                inserted: false,
+                evicted: Vec::new(),
+            };
         }
         let mut evicted = Vec::new();
         while self.used + bytes > self.capacity {
             match self.order {
                 EvictOrder::NeverEvict => {
                     self.stats.rejected += 1;
-                    return InsertOutcome { inserted: false, evicted };
+                    return InsertOutcome {
+                        inserted: false,
+                        evicted,
+                    };
                 }
                 EvictOrder::SmallestKeyFirst => match self.pick_victim() {
                     Some(victim) => {
@@ -154,16 +163,29 @@ impl NodeCache {
                     None => {
                         // Everything remaining is pinned.
                         self.stats.rejected += 1;
-                        return InsertOutcome { inserted: false, evicted };
+                        return InsertOutcome {
+                            inserted: false,
+                            evicted,
+                        };
                     }
                 },
             }
         }
-        self.entries.insert(s.0, Entry { bytes, key, pinned: false });
+        self.entries.insert(
+            s.0,
+            Entry {
+                bytes,
+                key,
+                pinned: false,
+            },
+        );
         self.index.insert((key, s.0));
         self.used += bytes;
         self.stats.inserts += 1;
-        InsertOutcome { inserted: true, evicted }
+        InsertOutcome {
+            inserted: true,
+            evicted,
+        }
     }
 
     fn pick_victim(&self) -> Option<SampleId> {

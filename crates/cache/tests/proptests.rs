@@ -17,8 +17,11 @@ enum Op {
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (0u32..64, 1u64..5_000, any::<u64>())
-            .prop_map(|(id, bytes, key)| Op::Insert { id, bytes, key }),
+        (0u32..64, 1u64..5_000, any::<u64>()).prop_map(|(id, bytes, key)| Op::Insert {
+            id,
+            bytes,
+            key
+        }),
         (0u32..64).prop_map(|id| Op::Evict { id }),
         (0u32..64, any::<u64>()).prop_map(|(id, key)| Op::SetKey { id, key }),
         (0u32..64).prop_map(|id| Op::Pin { id }),

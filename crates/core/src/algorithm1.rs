@@ -107,7 +107,12 @@ where
         k = bk;
         t = bt;
     }
-    SearchOutcome { threads: k, gap_s: t, evals, stopped_by_window }
+    SearchOutcome {
+        threads: k,
+        gap_s: t,
+        evals,
+        stopped_by_window,
+    }
 }
 
 /// Run Algorithm 1 across all co-located GPUs: `initial` is the
@@ -126,14 +131,30 @@ where
 /// });
 /// assert!(threads[0] > threads[1], "the loaded GPU gets more threads");
 /// ```
-pub fn assign_threads<F>(params: &Algorithm1Params, initial: &[u32], mut gap: F) -> Vec<u32>
+pub fn assign_threads<F>(params: &Algorithm1Params, initial: &[u32], gap: F) -> Vec<u32>
+where
+    F: FnMut(usize, u32) -> f64,
+{
+    assign_threads_detailed(params, initial, gap)
+        .iter()
+        .map(|o| o.threads)
+        .collect()
+}
+
+/// Like [`assign_threads`], but returns the full per-GPU [`SearchOutcome`]s
+/// (gap, evaluation count, stop reason) so callers can log the solve.
+pub fn assign_threads_detailed<F>(
+    params: &Algorithm1Params,
+    initial: &[u32],
+    mut gap: F,
+) -> Vec<SearchOutcome>
 where
     F: FnMut(usize, u32) -> f64,
 {
     initial
         .iter()
         .enumerate()
-        .map(|(i, &init)| search_one_gpu(params, init, |k| gap(i, k)).threads)
+        .map(|(i, &init)| search_one_gpu(params, init, |k| gap(i, k)))
         .collect()
 }
 
@@ -159,9 +180,7 @@ pub fn normalize_to_budget(alloc: &mut [u32], budget: u32) {
     // the input is never inverted.
     let mut guard = 0;
     while assigned > budget && guard < 10_000 {
-        if let Some(max_idx) =
-            (0..n).max_by_key(|&i| (alloc[i], std::cmp::Reverse(original[i])))
-        {
+        if let Some(max_idx) = (0..n).max_by_key(|&i| (alloc[i], std::cmp::Reverse(original[i]))) {
             if alloc[max_idx] > 1 {
                 alloc[max_idx] -= 1;
                 assigned -= 1;
@@ -204,7 +223,11 @@ mod tests {
     /// A synthetic gap: training 200 ms, loading `work / threads`, prep 20 ms.
     fn make_gap(work_ms: f64) -> impl Fn(u32) -> f64 {
         move |threads: u32| {
-            let load = if threads == 0 { f64::INFINITY } else { work_ms / threads as f64 };
+            let load = if threads == 0 {
+                f64::INFINITY
+            } else {
+                work_ms / threads as f64
+            };
             (200.0 - (load + 20.0)) / 1e3
         }
     }

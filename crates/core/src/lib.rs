@@ -21,6 +21,26 @@
 //! The cluster these policies drive is simulated by `lobster-pipeline`
 //! (iteration-level executor) and exercised live by `lobster-runtime`
 //! (real threads).
+//!
+//! ## Similarly named module pairs
+//!
+//! Two pairs of modules have deceptively close names; the split is
+//! deliberate and each name has one canonical meaning:
+//!
+//! * [`model`] (singular) is the *performance* model — the Table 1
+//!   equations predicting load/preprocess/train timing. [`models`]
+//!   (plural) is the catalogue of *DNN workloads* (ResNet-50 & co.) used
+//!   as `T_train` profiles in the evaluation. They share no types.
+//! * [`policy`] (singular) defines the *interface*: the
+//!   [`policy::LoaderPolicy`] trait, [`policy::NodePlan`],
+//!   [`policy::PlanContext`], caching strategies, and the eviction engine.
+//!   [`policies`] (plural) holds the *implementations*: PyTorch, DALI,
+//!   NoPFS, MinIO, Lobster and its ablations.
+//!
+//! Prefer the crate-root re-exports below (`lobster_core::LoaderPolicy`,
+//! `lobster_core::LobsterPolicy`, …) over spelling out the module paths;
+//! each item is re-exported from exactly one module, so the root is
+//! unambiguous even where the module names are not.
 
 pub mod algorithm1;
 pub mod model;
@@ -31,7 +51,8 @@ pub mod preproc;
 pub mod regression;
 
 pub use algorithm1::{
-    assign_threads, normalize_to_budget, proportional_allocation, Algorithm1Params, SearchOutcome,
+    assign_threads, assign_threads_detailed, normalize_to_budget, proportional_allocation,
+    Algorithm1Params, SearchOutcome,
 };
 pub use model::{
     imbalance_gap_secs, load_time_secs, stage_gap_secs, ClusterSpec, ThreadAlloc, TierBreakdown,
@@ -42,7 +63,8 @@ pub use policies::{
     NoPfsPolicy, PyTorchPolicy,
 };
 pub use policy::{
-    CachingStrategy, EvictReport, LoaderPolicy, NodePlan, PlanContext, ReuseAwareEvictor,
+    CachingStrategy, EvictReport, LoaderPolicy, NodePlan, PlanContext, PlanDecision,
+    ReuseAwareEvictor,
 };
 pub use preproc::{PreprocGovernor, PreprocModel};
 pub use regression::{ModelPortfolio, PiecewiseLinear, Segment};

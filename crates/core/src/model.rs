@@ -114,7 +114,11 @@ impl ThreadAlloc {
     /// All three tiers served by the same `threads` threads — the common
     /// case where a GPU's loading threads pull from wherever the sample is.
     pub fn uniform(threads: u32) -> ThreadAlloc {
-        ThreadAlloc { alpha: threads, beta: threads, gamma: threads }
+        ThreadAlloc {
+            alpha: threads,
+            beta: threads,
+            gamma: threads,
+        }
     }
 
     /// The largest of the three allocations (the GPU's effective thread
@@ -235,8 +239,14 @@ pub fn imbalance_gap_secs(per_gpu_iter_secs: &[f64]) -> f64 {
     if per_gpu_iter_secs.is_empty() {
         return 0.0;
     }
-    let max = per_gpu_iter_secs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    let min = per_gpu_iter_secs.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = per_gpu_iter_secs
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max);
+    let min = per_gpu_iter_secs
+        .iter()
+        .copied()
+        .fold(f64::INFINITY, f64::min);
     max - min
 }
 
@@ -328,12 +338,19 @@ mod tests {
     #[test]
     fn empty_split_loads_instantly() {
         let m = thetagpu();
-        assert_eq!(load_time_secs(&m, &TierBreakdown::default(), ThreadAlloc::uniform(4), 1), 0.0);
+        assert_eq!(
+            load_time_secs(&m, &TierBreakdown::default(), ThreadAlloc::uniform(4), 1),
+            0.0
+        );
     }
 
     #[test]
     fn thread_alloc_footprint() {
-        let a = ThreadAlloc { alpha: 2, beta: 5, gamma: 3 };
+        let a = ThreadAlloc {
+            alpha: 2,
+            beta: 5,
+            gamma: 3,
+        };
         assert_eq!(a.footprint(), 5);
         assert_eq!(ThreadAlloc::uniform(4).footprint(), 4);
     }

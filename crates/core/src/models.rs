@@ -69,7 +69,14 @@ pub fn vgg11() -> ModelProfile {
 
 /// All six benchmark models, in the paper's listing order.
 pub fn all_models() -> Vec<ModelProfile> {
-    vec![resnet50(), resnet32(), shufflenet(), alexnet(), squeezenet(), vgg11()]
+    vec![
+        resnet50(),
+        resnet32(),
+        shufflenet(),
+        alexnet(),
+        squeezenet(),
+        vgg11(),
+    ]
 }
 
 /// Look a model up by its report name.

@@ -2,15 +2,17 @@
 //! ablations).
 
 use crate::algorithm1::{
-    assign_threads, normalize_to_budget, proportional_allocation, Algorithm1Params,
+    assign_threads_detailed, normalize_to_budget, proportional_allocation, Algorithm1Params,
 };
-use crate::policy::{CachingStrategy, LoaderPolicy, NodePlan, PlanContext};
+use crate::policy::{CachingStrategy, LoaderPolicy, NodePlan, PlanContext, PlanDecision};
 
 /// Split `total` loading threads evenly across `gpus` (the "serve all GPUs
 /// equally" scheme the paper criticizes in §4.2).
 fn even_split(total: u32, gpus: usize) -> Vec<u32> {
     let g = gpus as u32;
-    (0..g).map(|i| total / g + u32::from(i < total % g)).collect()
+    (0..g)
+        .map(|i| total / g + u32::from(i < total % g))
+        .collect()
 }
 
 /// PyTorch DataLoader: "a constant number of threads for data loading and
@@ -25,7 +27,10 @@ pub struct PyTorchPolicy {
 
 impl Default for PyTorchPolicy {
     fn default() -> Self {
-        PyTorchPolicy { load_per_gpu: 2, preproc_threads: 16 }
+        PyTorchPolicy {
+            load_per_gpu: 2,
+            preproc_threads: 16,
+        }
     }
 }
 
@@ -41,7 +46,10 @@ impl LoaderPolicy for PyTorchPolicy {
     fn plan(&mut self, ctx: &PlanContext<'_>) -> NodePlan {
         let gpus = ctx.gpus();
         let load_total = (self.load_per_gpu * gpus as u32).min(ctx.total_threads.saturating_sub(1));
-        let preproc = self.preproc_threads.min(ctx.total_threads - load_total).max(1);
+        let preproc = self
+            .preproc_threads
+            .min(ctx.total_threads - load_total)
+            .max(1);
         NodePlan {
             preproc_threads: preproc,
             load_threads: even_split(load_total, gpus),
@@ -83,7 +91,10 @@ impl LoaderPolicy for DaliPolicy {
 
     fn plan(&mut self, ctx: &PlanContext<'_>) -> NodePlan {
         let gpus = ctx.gpus();
-        let load_total = self.load_threads.min(ctx.total_threads.saturating_sub(1)).max(1);
+        let load_total = self
+            .load_threads
+            .min(ctx.total_threads.saturating_sub(1))
+            .max(1);
         let preproc = (ctx.total_threads - load_total).max(1);
         NodePlan {
             preproc_threads: preproc,
@@ -199,27 +210,43 @@ pub struct LobsterPolicy {
     /// Static fallback used when thread management is ablated away
     /// (Lobster_evict keeps DALI-style static threads).
     fallback: DaliPolicy,
+    /// Algorithm 1 solves since the last [`LoaderPolicy::drain_decisions`].
+    pending_decisions: Vec<PlanDecision>,
 }
 
 impl LobsterPolicy {
     /// The full system.
     pub fn full() -> LobsterPolicy {
-        LobsterPolicy::with_options(LobsterOptions { thread_management: true, reuse_eviction: true })
+        LobsterPolicy::with_options(LobsterOptions {
+            thread_management: true,
+            reuse_eviction: true,
+        })
     }
 
     /// Ablation *Lobster_th*: "includes thread management but excludes cache
     /// eviction based on reuse distance".
     pub fn thread_management_only() -> LobsterPolicy {
-        LobsterPolicy::with_options(LobsterOptions { thread_management: true, reuse_eviction: false })
+        LobsterPolicy::with_options(LobsterOptions {
+            thread_management: true,
+            reuse_eviction: false,
+        })
     }
 
     /// Ablation *Lobster_evict*: "the precise opposite".
     pub fn eviction_only() -> LobsterPolicy {
-        LobsterPolicy::with_options(LobsterOptions { thread_management: false, reuse_eviction: true })
+        LobsterPolicy::with_options(LobsterOptions {
+            thread_management: false,
+            reuse_eviction: true,
+        })
     }
 
     pub fn with_options(options: LobsterOptions) -> LobsterPolicy {
-        LobsterPolicy { options, tau_fraction: 0.05, fallback: DaliPolicy::default() }
+        LobsterPolicy {
+            options,
+            tau_fraction: 0.05,
+            fallback: DaliPolicy::default(),
+            pending_decisions: Vec::new(),
+        }
     }
 
     pub fn options(&self) -> LobsterOptions {
@@ -229,14 +256,16 @@ impl LobsterPolicy {
     /// The full planning pipeline of §4: (1) preprocessing threads from the
     /// governor; (2) queue-proportional loading threads; (3) Algorithm 1 on
     /// predicted stragglers; then §4.1 Step 2's thread stealing.
-    fn plan_managed(&self, ctx: &PlanContext<'_>) -> NodePlan {
+    fn plan_managed(&mut self, ctx: &PlanContext<'_>) -> NodePlan {
         let gpus = ctx.gpus();
         let tau = (self.tau_fraction * ctx.t_train_s).max(1e-6);
 
         // (1) Minimum preprocessing threads reaching peak throughput,
         // leaving at least one loading thread per GPU.
         let p_opt = ctx.governor.optimal_threads(ctx.mean_sample_bytes);
-        let mut p = p_opt.min(ctx.total_threads.saturating_sub(gpus as u32)).max(1);
+        let mut p = p_opt
+            .min(ctx.total_threads.saturating_sub(gpus as u32))
+            .max(1);
         let budget = ctx.total_threads - p;
 
         // (2) Multi-queue allocation proportional to loading intensity
@@ -249,7 +278,21 @@ impl LobsterPolicy {
         let straggler = (0..gpus).any(|g| ctx.gap_secs(g, alloc[g].max(1), p) <= -tau);
         if straggler {
             let params = Algorithm1Params::new(tau, budget.max(1));
-            alloc = assign_threads(&params, &alloc, |g, k| ctx.gap_secs(g, k, p));
+            let before = alloc.clone();
+            let outcomes = assign_threads_detailed(&params, &alloc, |g, k| ctx.gap_secs(g, k, p));
+            alloc = outcomes.iter().map(|o| o.threads).collect();
+            self.pending_decisions.push(PlanDecision {
+                queue_loads: queues.clone(),
+                predicted_cost: outcomes.iter().map(|o| o.gap_s).collect(),
+                threads_before: before,
+                threads_after: alloc.clone(),
+                gap_s: outcomes
+                    .iter()
+                    .map(|o| o.gap_s)
+                    .fold(f64::INFINITY, f64::min),
+                evals: outcomes.iter().map(|o| o.evals).sum(),
+                converged: outcomes.iter().all(|o| !o.stopped_by_window),
+            });
             normalize_to_budget(&mut alloc, budget);
         }
 
@@ -311,6 +354,10 @@ impl LoaderPolicy for LobsterPolicy {
             plan.prefetch_lookahead = 64;
             plan
         }
+    }
+
+    fn drain_decisions(&mut self) -> Vec<PlanDecision> {
+        std::mem::take(&mut self.pending_decisions)
     }
 }
 
@@ -445,7 +492,11 @@ mod tests {
         let plan = LobsterPolicy::full().plan(&ctx(&storage, &gov, &splits));
         let min = plan.load_threads.iter().min().unwrap();
         let max = plan.load_threads.iter().max().unwrap();
-        assert!(max - min <= 1, "equal queues → near-equal threads: {:?}", plan.load_threads);
+        assert!(
+            max - min <= 1,
+            "equal queues → near-equal threads: {:?}",
+            plan.load_threads
+        );
     }
 
     #[test]
@@ -488,7 +539,10 @@ mod tests {
             LobsterPolicy::thread_management_only().caching(),
             CachingStrategy::PrefetchLru
         );
-        assert_eq!(LobsterPolicy::eviction_only().caching(), CachingStrategy::ReuseAware);
+        assert_eq!(
+            LobsterPolicy::eviction_only().caching(),
+            CachingStrategy::ReuseAware
+        );
     }
 
     #[test]
@@ -504,7 +558,15 @@ mod tests {
 
     #[test]
     fn factory_covers_all_names() {
-        for name in ["pytorch", "dali", "nopfs", "lobster", "lobster_th", "lobster_evict", "minio"] {
+        for name in [
+            "pytorch",
+            "dali",
+            "nopfs",
+            "lobster",
+            "lobster_th",
+            "lobster_evict",
+            "minio",
+        ] {
             let p = policy_by_name(name).expect(name);
             assert_eq!(p.name(), name);
         }

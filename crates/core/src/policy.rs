@@ -38,7 +38,10 @@ pub enum CachingStrategy {
 impl CachingStrategy {
     /// Whether this strategy exploits the deterministic access order.
     pub fn uses_oracle(self) -> bool {
-        matches!(self, CachingStrategy::PrefetchLru | CachingStrategy::ReuseAware)
+        matches!(
+            self,
+            CachingStrategy::PrefetchLru | CachingStrategy::ReuseAware
+        )
     }
 
     /// Whether inserts may displace resident samples.
@@ -84,7 +87,10 @@ impl PlanContext<'_> {
     /// Pending load bytes per GPU (the raw "queue size" of §4.2's
     /// multi-queue).
     pub fn queue_bytes(&self) -> Vec<f64> {
-        self.splits.iter().map(|s| s.remote_bytes + s.pfs_bytes + s.local_bytes).collect()
+        self.splits
+            .iter()
+            .map(|s| s.remote_bytes + s.pfs_bytes + s.local_bytes)
+            .collect()
     }
 
     /// Per-GPU *data loading intensity* (§4.2): the predicted single-thread
@@ -101,19 +107,29 @@ impl PlanContext<'_> {
     /// per-GPU completion uses the node's whole sample load.
     pub fn preproc_secs(&self, p: u32) -> f64 {
         let total_samples = self.batch_samples * self.gpus();
-        self.governor.predict_batch_secs(self.mean_sample_bytes, total_samples, p)
+        self.governor
+            .predict_batch_secs(self.mean_sample_bytes, total_samples, p)
     }
 
     /// Predicted load time of GPU `g`'s next batch with `threads` loading
     /// threads (Eq. 1).
     pub fn load_secs(&self, gpu: usize, threads: u32) -> f64 {
-        load_time_secs(self.storage, &self.splits[gpu], ThreadAlloc::uniform(threads), self.reading_nodes)
+        load_time_secs(
+            self.storage,
+            &self.splits[gpu],
+            ThreadAlloc::uniform(threads),
+            self.reading_nodes,
+        )
     }
 
     /// Signed stage gap (Eq. 2 orientation) for GPU `g` with `threads`
     /// loading threads and `p` preprocessing threads.
     pub fn gap_secs(&self, gpu: usize, threads: u32, p: u32) -> f64 {
-        stage_gap_secs(self.load_secs(gpu, threads), self.preproc_secs(p), self.t_train_s)
+        stage_gap_secs(
+            self.load_secs(gpu, threads),
+            self.preproc_secs(p),
+            self.t_train_s,
+        )
     }
 }
 
@@ -140,6 +156,33 @@ impl NodePlan {
 }
 
 /// A data-loading runtime under evaluation.
+/// One adaptive thread-assignment decision made inside a policy's
+/// [`LoaderPolicy::plan`] call — recorded when Lobster runs Algorithm 1.
+/// `lobster-core` has no dependency on the metrics crate, so the executor
+/// collects these via [`LoaderPolicy::drain_decisions`] and converts them
+/// into observability records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanDecision {
+    /// Input: per-queue load the policy saw (predicted single-thread load
+    /// seconds per GPU queue).
+    pub queue_loads: Vec<f64>,
+    /// Input: model-predicted per-queue cost at the chosen allocation, in
+    /// seconds.
+    pub predicted_cost: Vec<f64>,
+    /// Thread vector before the solve (the proportional allocation).
+    pub threads_before: Vec<u32>,
+    /// Output: thread vector after the solve (before budget normalization
+    /// and thread stealing).
+    pub threads_after: Vec<u32>,
+    /// Worst remaining signed gap across GPUs, in seconds.
+    pub gap_s: f64,
+    /// Total model evaluations the per-GPU searches spent.
+    pub evals: u32,
+    /// False if any per-GPU search stopped via the stagnation window
+    /// instead of converging below τ.
+    pub converged: bool,
+}
+
 pub trait LoaderPolicy: Send {
     /// Short name used in reports ("pytorch", "dali", "nopfs", "lobster",
     /// "lobster_th", "lobster_evict").
@@ -166,6 +209,13 @@ pub trait LoaderPolicy: Send {
     /// so every non-local sample goes to the PFS).
     fn distributed_cache(&self) -> bool {
         self.caching().uses_oracle()
+    }
+
+    /// Take (and clear) the adaptive decisions made since the last drain.
+    /// Policies without an adaptive controller return nothing; Lobster
+    /// returns one [`PlanDecision`] per Algorithm 1 solve.
+    fn drain_decisions(&mut self) -> Vec<PlanDecision> {
+        Vec::new()
     }
 }
 
@@ -319,7 +369,10 @@ mod tests {
             evicted_total += rep.by_reuse_count;
             assert_eq!(rep.kept_last_copy, 0);
         }
-        assert!(evicted_total > 0, "samples ending their reuse must be dropped");
+        assert!(
+            evicted_total > 0,
+            "samples ending their reuse must be dropped"
+        );
     }
 
     #[test]
@@ -372,9 +425,7 @@ mod tests {
         }
         oracle.advance();
         let h = 2 * i - 1; // horizon = 2I − h = 1 iteration
-        let rep = evictor.after_iteration(
-            &mut cache, &mut dir, &oracle, 0, &batch, h, i, 0,
-        );
+        let rep = evictor.after_iteration(&mut cache, &mut dir, &oracle, 0, &batch, h, i, 0);
         // With a 1-iteration horizon, any sample reused later than the very
         // next iteration gets evicted by distance.
         let survivors = batch.iter().filter(|&&s| cache.contains(s)).count();
@@ -397,7 +448,16 @@ mod tests {
             dir.add(s, 1);
         }
         oracle.advance();
-        evictor.after_iteration(&mut cache, &mut dir, &oracle, 0, &batch, 0, e0.iterations(), 0);
+        evictor.after_iteration(
+            &mut cache,
+            &mut dir,
+            &oracle,
+            0,
+            &batch,
+            0,
+            e0.iterations(),
+            0,
+        );
         for &s in &batch {
             if let Some(fut) = oracle.future_of(s) {
                 if cache.contains(s) {

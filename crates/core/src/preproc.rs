@@ -39,7 +39,9 @@ impl PreprocModel {
     /// not become a bottleneck by itself" (Observation 2) but loses its
     /// headroom if over- or under-threaded.
     pub fn default_imagenet() -> PreprocModel {
-        PreprocModel { curve: ThroughputCurve::peaked(60e6, 6, 16, 0.95) }
+        PreprocModel {
+            curve: ThroughputCurve::peaked(60e6, 6, 16, 0.95),
+        }
     }
 
     /// Bytes/second with `threads` preprocessing threads.
@@ -100,14 +102,22 @@ impl PreprocGovernor {
         F: FnMut(u64, u32) -> f64,
     {
         assert!(max_threads >= 1);
-        assert!(!sample_sizes.is_empty(), "calibration needs at least one sample size");
+        assert!(
+            !sample_sizes.is_empty(),
+            "calibration needs at least one sample size"
+        );
         let mut portfolio = ModelPortfolio::new();
         for &bytes in sample_sizes {
-            let points: Vec<(f64, f64)> =
-                (1..=max_threads).map(|t| (t as f64, measure(bytes, t))).collect();
+            let points: Vec<(f64, f64)> = (1..=max_threads)
+                .map(|t| (t as f64, measure(bytes, t)))
+                .collect();
             portfolio.insert(bytes, PiecewiseLinear::fit(&points, penalty));
         }
-        PreprocGovernor { portfolio, max_threads, tolerance: 0.02 }
+        PreprocGovernor {
+            portfolio,
+            max_threads,
+            tolerance: 0.02,
+        }
     }
 
     /// Maximum thread count the governor was calibrated over.
@@ -118,7 +128,10 @@ impl PreprocGovernor {
     /// Predicted per-sample preprocessing seconds for `sample_bytes` with
     /// `threads` threads, from the closest model in the portfolio.
     pub fn predict_per_sample_secs(&self, sample_bytes: u64, threads: u32) -> f64 {
-        let model = self.portfolio.closest(sample_bytes).expect("calibrated governor");
+        let model = self
+            .portfolio
+            .closest(sample_bytes)
+            .expect("calibrated governor");
         model.predict(threads.max(1) as f64).max(1e-12)
     }
 
@@ -134,7 +147,10 @@ impl PreprocGovernor {
     /// §4.1 Step 1: the minimum thread count reaching (within tolerance) the
     /// peak predicted throughput for this sample size.
     pub fn optimal_threads(&self, sample_bytes: u64) -> u32 {
-        let model = self.portfolio.closest(sample_bytes).expect("calibrated governor");
+        let model = self
+            .portfolio
+            .closest(sample_bytes)
+            .expect("calibrated governor");
         let (_, best) = model.argmin_int(1, self.max_threads);
         for t in 1..=self.max_threads {
             if model.predict(t as f64) <= best * (1.0 + self.tolerance) {

@@ -52,7 +52,10 @@ fn fit_line(points: &[(f64, f64)]) -> (f64, f64, f64) {
         let a = (n * sxy - sx * sy) / denom;
         (a, (sy - a * sx) / n)
     };
-    let sse: f64 = points.iter().map(|&(x, y)| (y - (a * x + b)) * (y - (a * x + b))).sum();
+    let sse: f64 = points
+        .iter()
+        .map(|&(x, y)| (y - (a * x + b)) * (y - (a * x + b)))
+        .sum();
     (a, b, sse)
 }
 
@@ -75,7 +78,10 @@ impl PiecewiseLinear {
     /// ```
     pub fn fit(points: &[(f64, f64)], penalty: f64) -> PiecewiseLinear {
         assert!(!points.is_empty(), "cannot fit zero points");
-        assert!(penalty > 0.0, "penalty must be positive (0 ⇒ one segment per pair)");
+        assert!(
+            penalty > 0.0,
+            "penalty must be positive (0 ⇒ one segment per pair)"
+        );
         for w in points.windows(2) {
             assert!(w[0].0 <= w[1].0, "points must be sorted by x");
         }
@@ -262,8 +268,9 @@ mod tests {
     #[test]
     fn penalty_trades_segments_for_fit() {
         // Noisy quadratic: high penalty → few segments, low penalty → many.
-        let pts: Vec<(f64, f64)> =
-            (1..=20).map(|x| (x as f64, (x as f64 - 10.0).powi(2))).collect();
+        let pts: Vec<(f64, f64)> = (1..=20)
+            .map(|x| (x as f64, (x as f64 - 10.0).powi(2)))
+            .collect();
         let coarse = PiecewiseLinear::fit(&pts, 1e6);
         let fine = PiecewiseLinear::fit(&pts, 1.0);
         assert!(coarse.num_segments() <= fine.num_segments());

@@ -3,8 +3,8 @@
 //! the performance model behaves like a cost function should.
 
 use lobster_core::{
-    assign_threads, load_time_secs, normalize_to_budget, proportional_allocation,
-    Algorithm1Params, PiecewiseLinear, ThreadAlloc, TierBreakdown,
+    assign_threads, load_time_secs, normalize_to_budget, proportional_allocation, Algorithm1Params,
+    PiecewiseLinear, ThreadAlloc, TierBreakdown,
 };
 use lobster_storage::thetagpu;
 use proptest::prelude::*;

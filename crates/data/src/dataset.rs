@@ -32,7 +32,12 @@ pub enum SizeDistribution {
     /// Log-normal with the given parameters of the underlying normal
     /// (sizes in bytes), clamped to `[min, max]`. JPEG-compressed image
     /// sizes are classically log-normal.
-    LogNormal { mu: f64, sigma: f64, min: u64, max: u64 },
+    LogNormal {
+        mu: f64,
+        sigma: f64,
+        min: u64,
+        max: u64,
+    },
 }
 
 impl SizeDistribution {
@@ -41,7 +46,12 @@ impl SizeDistribution {
         match *self {
             SizeDistribution::Constant { bytes } => bytes,
             SizeDistribution::Uniform { lo, hi } => rng.range_u64(lo, hi.max(lo + 1)),
-            SizeDistribution::LogNormal { mu, sigma, min, max } => {
+            SizeDistribution::LogNormal {
+                mu,
+                sigma,
+                min,
+                max,
+            } => {
                 let v = rng.lognormal(mu, sigma);
                 (v as u64).clamp(min, max)
             }
@@ -76,7 +86,11 @@ impl Dataset {
             sizes.push(s);
             total += s as u64;
         }
-        Dataset { name: name.to_string(), sizes, total_bytes: total }
+        Dataset {
+            name: name.to_string(),
+            sizes,
+            total_bytes: total,
+        }
     }
 
     /// Number of samples `|D|`.
@@ -171,7 +185,12 @@ mod tests {
 
     #[test]
     fn uniform_sizes_in_bounds() {
-        let d = Dataset::generate("u", 10_000, SizeDistribution::Uniform { lo: 100, hi: 200 }, 7);
+        let d = Dataset::generate(
+            "u",
+            10_000,
+            SizeDistribution::Uniform { lo: 100, hi: 200 },
+            7,
+        );
         for i in 0..10_000u32 {
             let s = d.size_of(SampleId(i));
             assert!((100..200).contains(&s), "size {s} out of range");
@@ -197,7 +216,9 @@ mod tests {
         assert!((69_000.0..115_000.0).contains(&mean), "mean {mean}");
         // "most with an image size of between 10 KB and 50 KB": the median
         // must sit in that range even though the mean is pulled up.
-        let mut sizes: Vec<u64> = (0..d.len() as u32).map(|i| d.size_of(SampleId(i))).collect();
+        let mut sizes: Vec<u64> = (0..d.len() as u32)
+            .map(|i| d.size_of(SampleId(i)))
+            .collect();
         sizes.sort_unstable();
         let median = sizes[sizes.len() / 2];
         assert!((10_000..50_000).contains(&median), "median {median}");
@@ -215,7 +236,12 @@ mod tests {
         let d = Dataset::generate(
             "z",
             1000,
-            SizeDistribution::LogNormal { mu: 0.0, sigma: 0.1, min: 0, max: 10 },
+            SizeDistribution::LogNormal {
+                mu: 0.0,
+                sigma: 0.1,
+                min: 0,
+                max: 10,
+            },
             3,
         );
         for i in 0..1000u32 {

@@ -138,13 +138,17 @@ impl NodeOracle {
         }
         let next_iteration = self.base_iteration + self.iter_of_pos(pos) as u64;
         let remaining_uses = self.remaining.get(&sample.0).copied().unwrap_or(0);
-        Some(FutureUse { next_iteration, remaining_uses })
+        Some(FutureUse {
+            next_iteration,
+            remaining_uses,
+        })
     }
 
     /// Reuse distance of `sample` measured from global iteration `from`:
     /// `next_iteration − from`, or `None` if never reused in the window.
     pub fn reuse_distance_from(&self, sample: SampleId, from: u64) -> Option<u64> {
-        self.future_of(sample).map(|f| f.next_iteration.saturating_sub(from))
+        self.future_of(sample)
+            .map(|f| f.next_iteration.saturating_sub(from))
     }
 
     /// Samples accessed by this node during the window-relative iteration
@@ -205,7 +209,13 @@ mod tests {
     use crate::schedule::ScheduleSpec;
 
     fn spec(dataset_len: usize) -> ScheduleSpec {
-        ScheduleSpec { nodes: 2, gpus_per_node: 2, batch_size: 2, dataset_len, seed: 77 }
+        ScheduleSpec {
+            nodes: 2,
+            gpus_per_node: 2,
+            batch_size: 2,
+            dataset_len,
+            seed: 77,
+        }
     }
 
     fn two_epoch_oracle(dataset_len: usize, node: usize) -> (NodeOracle, Vec<EpochSchedule>) {
@@ -271,7 +281,10 @@ mod tests {
         let before = oracle.future_of(sample).unwrap().remaining_uses;
         assert!(before >= 1);
         oracle.advance();
-        let after = oracle.future_of(sample).map(|f| f.remaining_uses).unwrap_or(0);
+        let after = oracle
+            .future_of(sample)
+            .map(|f| f.remaining_uses)
+            .unwrap_or(0);
         assert_eq!(after, before - 1);
     }
 

@@ -56,7 +56,10 @@ pub fn generate_node_local(spec: ScheduleSpec, epoch: u64) -> EpochSchedule {
         let lo = (node * shard).min(spec.dataset_len);
         let hi = ((node + 1) * shard).min(spec.dataset_len);
         let mut ids: Vec<SampleId> = (lo as u32..hi as u32).map(SampleId).collect();
-        let node_seed = derive_seed(spec.seed ^ (node as u64).wrapping_mul(0x9E3779B97F4A7C15), epoch);
+        let node_seed = derive_seed(
+            spec.seed ^ (node as u64).wrapping_mul(0x9E3779B97F4A7C15),
+            epoch,
+        );
         let mut rng = Xoshiro256StarStar::seed_from_u64(node_seed);
         rng.shuffle(&mut ids);
         assert!(
@@ -86,7 +89,13 @@ mod tests {
     use std::collections::HashSet;
 
     fn spec() -> ScheduleSpec {
-        ScheduleSpec { nodes: 2, gpus_per_node: 2, batch_size: 4, dataset_len: 128, seed: 5 }
+        ScheduleSpec {
+            nodes: 2,
+            gpus_per_node: 2,
+            batch_size: 4,
+            dataset_len: 128,
+            seed: 5,
+        }
     }
 
     #[test]
@@ -118,7 +127,9 @@ mod tests {
         // But each node's *set* of samples is identical across epochs.
         for node in 0..2 {
             let set = |s: &EpochSchedule| -> HashSet<SampleId> {
-                (0..s.iterations()).flat_map(|h| s.node_iteration(h, node).to_vec()).collect()
+                (0..s.iterations())
+                    .flat_map(|h| s.node_iteration(h, node).to_vec())
+                    .collect()
             };
             assert_eq!(set(&a), set(&b), "node {node} shard changed across epochs");
         }
@@ -129,14 +140,23 @@ mod tests {
         let a = generate(spec(), 0, PartitionScheme::GlobalShuffle);
         let b = generate(spec(), 1, PartitionScheme::GlobalShuffle);
         let node0 = |s: &EpochSchedule| -> HashSet<SampleId> {
-            (0..s.iterations()).flat_map(|h| s.node_iteration(h, 0).to_vec()).collect()
+            (0..s.iterations())
+                .flat_map(|h| s.node_iteration(h, 0).to_vec())
+                .collect()
         };
-        assert_ne!(node0(&a), node0(&b), "global shuffle must migrate samples across epochs");
+        assert_ne!(
+            node0(&a),
+            node0(&b),
+            "global shuffle must migrate samples across epochs"
+        );
     }
 
     #[test]
     fn both_schemes_share_the_layout_contract() {
-        for scheme in [PartitionScheme::GlobalShuffle, PartitionScheme::NodeLocalShuffle] {
+        for scheme in [
+            PartitionScheme::GlobalShuffle,
+            PartitionScheme::NodeLocalShuffle,
+        ] {
             let s = generate(spec(), 2, scheme);
             for h in 0..s.iterations() {
                 for node in 0..2 {

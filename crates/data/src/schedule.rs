@@ -158,7 +158,13 @@ mod tests {
     use super::*;
 
     fn spec() -> ScheduleSpec {
-        ScheduleSpec { nodes: 2, gpus_per_node: 2, batch_size: 4, dataset_len: 103, seed: 9 }
+        ScheduleSpec {
+            nodes: 2,
+            gpus_per_node: 2,
+            batch_size: 4,
+            dataset_len: 103,
+            seed: 9,
+        }
     }
 
     #[test]
@@ -183,7 +189,10 @@ mod tests {
         let s = EpochSchedule::generate(spec(), 3);
         let mut seen = std::collections::HashSet::new();
         for &id in s.all_accesses() {
-            assert!(seen.insert(id), "sample {id:?} scheduled twice in one epoch");
+            assert!(
+                seen.insert(id),
+                "sample {id:?} scheduled twice in one epoch"
+            );
         }
         assert_eq!(seen.len(), 96); // 6 iters × 16 samples
     }
@@ -198,8 +207,7 @@ mod tests {
                     via_batches.extend_from_slice(s.batch(h, n, g));
                 }
             }
-            let direct: Vec<SampleId> =
-                s.all_accesses()[h * 16..(h + 1) * 16].to_vec();
+            let direct: Vec<SampleId> = s.all_accesses()[h * 16..(h + 1) * 16].to_vec();
             assert_eq!(via_batches, direct);
         }
     }
@@ -221,7 +229,13 @@ mod tests {
     fn rank_layout_matches_distributed_sampler() {
         // With batch 1 the k-th batch of rank r must be perm[k*W + r]:
         // verify rank-striding by reconstructing the permutation prefix.
-        let spec = ScheduleSpec { nodes: 1, gpus_per_node: 4, batch_size: 1, dataset_len: 16, seed: 5 };
+        let spec = ScheduleSpec {
+            nodes: 1,
+            gpus_per_node: 4,
+            batch_size: 1,
+            dataset_len: 16,
+            seed: 5,
+        };
         let s = EpochSchedule::generate(spec, 0);
         // Iteration h's union across ranks must equal perm[h*4..(h+1)*4].
         let mut perm: Vec<u32> = (0..16).collect();

@@ -23,7 +23,13 @@ impl Default for LogHistogram {
 
 impl LogHistogram {
     pub fn new() -> LogHistogram {
-        LogHistogram { buckets: vec![0; 65], count: 0, sum: 0, min: u64::MAX, max: 0 }
+        LogHistogram {
+            buckets: vec![0; 65],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
     }
 
     fn bucket_of(v: u64) -> usize {
@@ -108,7 +114,14 @@ impl LinearHistogram {
     /// `n` equal-width buckets spanning `[lo, hi)`.
     pub fn new(lo: f64, hi: f64, n: usize) -> LinearHistogram {
         assert!(hi > lo && n > 0, "degenerate histogram bounds");
-        LinearHistogram { lo, hi, buckets: vec![0; n], below: 0, above: 0, count: 0 }
+        LinearHistogram {
+            lo,
+            hi,
+            buckets: vec![0; n],
+            below: 0,
+            above: 0,
+            count: 0,
+        }
     }
 
     pub fn record(&mut self, v: f64) {
@@ -162,7 +175,9 @@ mod tests {
     fn fraction_above_power_of_two_threshold_is_exact() {
         let mut h = LogHistogram::new();
         // 4 values ≤ 1024 (in buckets up to 2^10), 6 values > 1024.
-        h.record_all([1, 10, 100, 1024, 2000, 3000, 5000, 10_000, 100_000, 1_000_000]);
+        h.record_all([
+            1, 10, 100, 1024, 2000, 3000, 5000, 10_000, 100_000, 1_000_000,
+        ]);
         assert!((h.fraction_above(1024) - 0.6).abs() < 1e-9);
     }
 

@@ -1,0 +1,196 @@
+//! The [`Instruments`] bundle: one handle carrying the trace buffer, the
+//! metric registry, and the controller decision log through a run.
+//!
+//! Everything in the workspace that can be observed takes an `Instruments`
+//! value. The default ([`Instruments::disabled`]) holds nothing: trace
+//! closures never run, counter handles are unregistered no-op cells, and
+//! decision records are dropped — so un-instrumented runs pay one branch
+//! per site. [`Instruments::enabled`] allocates the three stores and turns
+//! every site on.
+
+use std::sync::Arc;
+
+use crate::decisions::{DecisionLog, DecisionRecord};
+use crate::registry::{Counter, Gauge, MetricRegistry, MetricsSnapshot};
+use crate::trace::{TraceBuffer, TraceEvent, Tracer};
+
+struct Inner {
+    buffer: Arc<TraceBuffer>,
+    registry: MetricRegistry,
+    decisions: DecisionLog,
+}
+
+/// Cloneable observability handle; `None` inside means fully disabled.
+#[derive(Clone, Default)]
+pub struct Instruments {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Instruments {
+    /// The no-op bundle: nothing is recorded anywhere.
+    pub fn disabled() -> Instruments {
+        Instruments { inner: None }
+    }
+
+    /// A live bundle with a fresh trace buffer, registry, and decision log.
+    pub fn enabled() -> Instruments {
+        Instruments {
+            inner: Some(Arc::new(Inner {
+                buffer: Arc::new(TraceBuffer::new()),
+                registry: MetricRegistry::new(),
+                decisions: DecisionLog::new(),
+            })),
+        }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// A [`Tracer`] recording into this bundle's buffer (or disabled).
+    pub fn tracer(&self) -> Tracer {
+        match &self.inner {
+            Some(inner) => Tracer::with_buffer(Arc::clone(&inner.buffer)),
+            None => Tracer::disabled(),
+        }
+    }
+
+    /// Record the event produced by `make`; the closure only runs when
+    /// enabled.
+    #[inline]
+    pub fn trace<F: FnOnce() -> TraceEvent>(&self, make: F) {
+        if let Some(inner) = &self.inner {
+            inner.buffer.push(make());
+        }
+    }
+
+    /// Microseconds since the trace origin; 0 when disabled.
+    #[inline]
+    pub fn now_us(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.buffer.now_us())
+    }
+
+    /// Counter handle for `name`. Disabled bundles hand out a free-floating
+    /// cell that is never snapshotted, so call sites can increment
+    /// unconditionally.
+    pub fn counter(&self, name: &str) -> Counter {
+        match &self.inner {
+            Some(inner) => inner.registry.counter(name),
+            None => Counter::new(),
+        }
+    }
+
+    /// Gauge handle for `name`; free-floating when disabled.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match &self.inner {
+            Some(inner) => inner.registry.gauge(name),
+            None => Gauge::new(),
+        }
+    }
+
+    /// Log a controller decision. Also emits a `controller_decision`
+    /// instant into the trace so decisions appear on the same timeline as
+    /// the I/O events they react to.
+    pub fn record_decision(&self, record: DecisionRecord) {
+        if let Some(inner) = &self.inner {
+            inner.buffer.push(
+                TraceEvent::instant("controller_decision", "control", record.ts_us)
+                    .pid(record.node)
+                    .arg_u(
+                        "threads",
+                        record.threads_after.iter().map(|&t| t as u64).sum(),
+                    )
+                    .arg_u("evals", record.evals as u64)
+                    .arg_u("converged", record.converged as u64),
+            );
+            inner.decisions.push(record);
+        }
+    }
+
+    /// Decisions logged so far (empty when disabled).
+    pub fn decisions(&self) -> Vec<DecisionRecord> {
+        self.inner
+            .as_ref()
+            .map(|i| i.decisions.snapshot())
+            .unwrap_or_default()
+    }
+
+    /// Point-in-time metric values (empty when disabled).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.inner
+            .as_ref()
+            .map(|i| i.registry.snapshot())
+            .unwrap_or_default()
+    }
+
+    /// Chrome trace-event JSON document; `None` when disabled.
+    pub fn chrome_trace_json(&self) -> Option<String> {
+        self.inner.as_ref().map(|i| i.buffer.chrome_trace_json())
+    }
+
+    /// Decision log as JSONL; `None` when disabled.
+    pub fn decisions_jsonl(&self) -> Option<String> {
+        self.inner.as_ref().map(|i| i.decisions.jsonl())
+    }
+
+    /// Trace events dropped due to buffer bounds (0 when disabled).
+    pub fn trace_dropped(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.buffer.dropped())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decisions::DecisionSource;
+
+    #[test]
+    fn disabled_bundle_records_nothing() {
+        let ins = Instruments::disabled();
+        let mut built = false;
+        ins.trace(|| {
+            built = true;
+            TraceEvent::instant("x", "t", 0)
+        });
+        ins.counter("engine.fetches").inc();
+        assert!(!built);
+        assert!(!ins.is_enabled());
+        assert!(ins.metrics_snapshot().is_empty());
+        assert!(ins.chrome_trace_json().is_none());
+    }
+
+    #[test]
+    fn clones_share_stores() {
+        let ins = Instruments::enabled();
+        let other = ins.clone();
+        other.counter("x.n").add(3);
+        other.trace(|| TraceEvent::instant("e", "t", 1));
+        assert_eq!(ins.metrics_snapshot().get("x.n"), Some(3));
+        let trace = ins.chrome_trace_json().unwrap();
+        assert!(trace.contains("\"e\""));
+    }
+
+    #[test]
+    fn decision_also_lands_in_trace() {
+        let ins = Instruments::enabled();
+        ins.record_decision(DecisionRecord {
+            ts_us: 5,
+            source: DecisionSource::EngineController,
+            node: 0,
+            queue_loads: vec![2.0],
+            predicted_cost: vec![0.1],
+            threads_before: vec![1],
+            threads_after: vec![2],
+            gap_s: None,
+            evals: 1,
+            converged: true,
+        });
+        assert_eq!(ins.decisions().len(), 1);
+        let doc: serde_json::Value =
+            serde_json::from_str(&ins.chrome_trace_json().unwrap()).unwrap();
+        let events = doc["traceEvents"].as_array().unwrap();
+        assert!(events
+            .iter()
+            .any(|e| e["name"].as_str() == Some("controller_decision")));
+    }
+}

@@ -4,13 +4,32 @@
 //! bench harness: histograms ([`histogram`]), streaming summaries and EWMAs
 //! ([`summary`]), plain-text tables ([`table`]), and result persistence
 //! ([`report`]).
+//!
+//! The observability layer lives here too:
+//!
+//! * [`trace`] — low-overhead event tracing (fetch/preprocess spans, queue
+//!   and cache instants) with Chrome trace-event / JSONL export;
+//! * [`registry`] — named atomic counters and gauges with snapshots;
+//! * [`decisions`] — the controller decision log (engine reassignment
+//!   ticks and Algorithm 1 solves);
+//! * [`instruments`] — the [`Instruments`] bundle threading all three
+//!   through the runtime, the simulator, and the bench harness. The
+//!   default is fully disabled and costs one branch per site.
 
+pub mod decisions;
 pub mod histogram;
+pub mod instruments;
+pub mod registry;
 pub mod report;
 pub mod summary;
 pub mod table;
+pub mod trace;
 
+pub use decisions::{DecisionLog, DecisionRecord, DecisionSource};
 pub use histogram::{LinearHistogram, LogHistogram};
+pub use instruments::Instruments;
+pub use registry::{Counter, Gauge, MetricRegistry, MetricsSnapshot};
 pub use report::ResultSink;
 pub use summary::{Ewma, Summary};
 pub use table::{fmt_bytes, fmt_pct, fmt_secs, fmt_speedup, Table};
+pub use trace::{ArgValue, EventKind, TraceBuffer, TraceEvent, Tracer};

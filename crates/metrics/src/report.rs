@@ -15,7 +15,9 @@ pub struct ResultSink {
 
 impl ResultSink {
     pub fn new<P: AsRef<Path>>(dir: P) -> ResultSink {
-        ResultSink { dir: dir.as_ref().to_path_buf() }
+        ResultSink {
+            dir: dir.as_ref().to_path_buf(),
+        }
     }
 
     /// Default sink: `results/` under the workspace root (or cwd).
@@ -71,7 +73,15 @@ mod tests {
     fn json_roundtrip_via_disk() {
         let dir = std::env::temp_dir().join(format!("lobster-report-{}", std::process::id()));
         let sink = ResultSink::new(&dir);
-        let path = sink.write_json("demo", &Demo { x: 7, y: vec![1.0, 2.5] }).unwrap();
+        let path = sink
+            .write_json(
+                "demo",
+                &Demo {
+                    x: 7,
+                    y: vec![1.0, 2.5],
+                },
+            )
+            .unwrap();
         let body = std::fs::read_to_string(&path).unwrap();
         assert!(body.contains("\"x\": 7"));
         let _ = std::fs::remove_dir_all(&dir);
@@ -85,7 +95,10 @@ mod tests {
             .write_csv(
                 "demo",
                 &["loader", "time_s"],
-                &[vec!["pytorch".into(), "12.0".into()], vec!["lobster".into(), "6.0".into()]],
+                &[
+                    vec!["pytorch".into(), "12.0".into()],
+                    vec!["lobster".into(), "6.0".into()],
+                ],
             )
             .unwrap();
         let body = std::fs::read_to_string(&path).unwrap();

@@ -52,8 +52,8 @@ impl Summary {
             return 0.0;
         }
         let m = self.mean();
-        let var = self.values.iter().map(|v| (v - m) * (v - m)).sum::<f64>()
-            / self.values.len() as f64;
+        let var =
+            self.values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / self.values.len() as f64;
         var.sqrt()
     }
 
@@ -62,7 +62,10 @@ impl Summary {
     }
 
     pub fn max(&self) -> f64 {
-        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Exact percentile via nearest-rank on the sorted data; `p` in `[0,100]`.
@@ -72,7 +75,8 @@ impl Summary {
             return 0.0;
         }
         if !self.sorted {
-            self.values.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+            self.values
+                .sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
             self.sorted = true;
         }
         let rank = ((p / 100.0) * (self.values.len() as f64 - 1.0)).round() as usize;

@@ -25,7 +25,10 @@ pub struct AccuracyCurve {
 impl AccuracyCurve {
     /// First epoch (1-based) at which accuracy reaches `target`, if any.
     pub fn epochs_to_reach(&self, target: f64) -> Option<usize> {
-        self.per_epoch.iter().position(|&a| a >= target).map(|i| i + 1)
+        self.per_epoch
+            .iter()
+            .position(|&a| a >= target)
+            .map(|i| i + 1)
     }
 
     /// Final accuracy.
@@ -59,7 +62,10 @@ pub fn simulate_accuracy(
         let own = envelope * 0.5 * (weight_rng.next_f64() - 0.5);
         per_epoch.push((base + shared + own).clamp(0.0, 1.0));
     }
-    AccuracyCurve { label: label.to_string(), per_epoch }
+    AccuracyCurve {
+        label: label.to_string(),
+        per_epoch,
+    }
 }
 
 /// Maximum absolute per-epoch gap between two curves.

@@ -68,7 +68,9 @@ impl ExperimentConfig {
         let sizes = [10_000u64, 30_000, 60_000, 105_000, 200_000, 500_000];
         let max_threads = self.cluster.pipeline_threads.clamp(8, 16);
         let truth = self.preproc.clone();
-        PreprocGovernor::calibrate(&sizes, max_threads, 1e-9, |b, t| truth.per_sample_secs(b, t))
+        PreprocGovernor::calibrate(&sizes, max_threads, 1e-9, |b, t| {
+            truth.per_sample_secs(b, t)
+        })
     }
 }
 
@@ -216,12 +218,21 @@ mod tests {
     use lobster_data::{Dataset, SizeDistribution};
 
     fn tiny_dataset() -> Dataset {
-        Dataset::generate("tiny", 4096, SizeDistribution::Constant { bytes: 100_000 }, 1)
+        Dataset::generate(
+            "tiny",
+            4096,
+            SizeDistribution::Constant { bytes: 100_000 },
+            1,
+        )
     }
 
     #[test]
     fn builder_produces_consistent_config() {
-        let cfg = ConfigBuilder::new().dataset(tiny_dataset()).nodes(2).gpus_per_node(4).build();
+        let cfg = ConfigBuilder::new()
+            .dataset(tiny_dataset())
+            .nodes(2)
+            .gpus_per_node(4)
+            .build();
         assert_eq!(cfg.cluster.world_size(), 8);
         assert_eq!(cfg.iterations_per_epoch(), 4096 / (32 * 8));
         let spec = cfg.schedule_spec();

@@ -43,7 +43,12 @@ struct PipelineWorld {
 }
 
 impl PipelineWorld {
-    fn new(pipe: Vec<Vec<SimDuration>>, gpus: usize, t_train: SimDuration, allreduce: SimDuration) -> Self {
+    fn new(
+        pipe: Vec<Vec<SimDuration>>,
+        gpus: usize,
+        t_train: SimDuration,
+        allreduce: SimDuration,
+    ) -> Self {
         let iterations = pipe.len();
         PipelineWorld {
             gpus,
@@ -136,8 +141,16 @@ pub fn des_barriers(pipe_s: &[Vec<f64>], t_train_s: f64, allreduce_s: f64) -> Ve
     }
     let stats = run(&mut world, &mut sched, None, 10_000_000);
     assert!(!stats.truncated, "pipeline DES exceeded its event budget");
-    assert_eq!(world.barrier_times.len(), pipe_s.len(), "every iteration must complete");
-    world.barrier_times.iter().map(|t| t.as_secs_f64()).collect()
+    assert_eq!(
+        world.barrier_times.len(),
+        pipe_s.len(),
+        "every iteration must complete"
+    );
+    world
+        .barrier_times
+        .iter()
+        .map(|t| t.as_secs_f64())
+        .collect()
 }
 
 /// The executor's closed-form recurrence, reproduced here as the reference:
@@ -176,7 +189,10 @@ mod tests {
     fn assert_close(a: &[f64], b: &[f64]) {
         assert_eq!(a.len(), b.len());
         for (i, (x, y)) in a.iter().zip(b).enumerate() {
-            assert!((x - y).abs() < 1e-6, "iteration {i}: des {x} vs analytic {y}");
+            assert!(
+                (x - y).abs() < 1e-6,
+                "iteration {i}: des {x} vs analytic {y}"
+            );
         }
     }
 
@@ -216,7 +232,10 @@ mod tests {
                 pipe.push(vec![0.02, 0.03, 0.01]);
             }
         }
-        assert_close(&des_barriers(&pipe, 0.08, 0.001), &analytic_barriers(&pipe, 0.08, 0.001));
+        assert_close(
+            &des_barriers(&pipe, 0.08, 0.001),
+            &analytic_barriers(&pipe, 0.08, 0.001),
+        );
     }
 
     #[test]

@@ -27,7 +27,7 @@ use lobster_core::{
     ReuseAwareEvictor, ThreadAlloc, TierBreakdown,
 };
 use lobster_data::{EpochSchedule, NodeOracle, SampleId};
-use lobster_metrics::Summary;
+use lobster_metrics::{DecisionRecord, DecisionSource, Instruments, Summary, TraceEvent};
 use lobster_storage::Tier;
 use serde::{Deserialize, Serialize};
 
@@ -143,6 +143,12 @@ pub struct ClusterSim {
     /// Whether the policy's runtime shares caches across nodes.
     distributed: bool,
     trace: Option<TraceCollector>,
+    instruments: Instruments,
+}
+
+/// Simulated seconds → trace microseconds.
+fn sim_us(s: f64) -> u64 {
+    (s.max(0.0) * 1e6) as u64
 }
 
 impl ClusterSim {
@@ -153,7 +159,9 @@ impl ClusterSim {
         } else {
             EvictOrder::NeverEvict
         };
-        let caches = (0..n).map(|_| NodeCache::new(cfg.cluster.cache_bytes, order)).collect();
+        let caches = (0..n)
+            .map(|_| NodeCache::new(cfg.cluster.cache_bytes, order))
+            .collect();
         let governor = cfg.calibrated_governor();
         let world = cfg.cluster.world_size();
         let distributed = policy.distributed_cache();
@@ -169,6 +177,7 @@ impl ClusterSim {
             evictor: ReuseAwareEvictor,
             distributed,
             trace: None,
+            instruments: Instruments::disabled(),
             cfg,
         }
     }
@@ -176,6 +185,16 @@ impl ClusterSim {
     /// Attach a trace collector (Figure 3 style per-iteration records).
     pub fn with_trace(mut self, trace: TraceCollector) -> ClusterSim {
         self.trace = Some(trace);
+        self
+    }
+
+    /// Attach an observability bundle. The simulator then emits its DES
+    /// timeline as trace events — per-GPU `fetch`/`preprocess`/`train`/
+    /// `barrier_wait` spans and `queue_depth`/`cache`/`evict` instants,
+    /// all stamped in *simulated* microseconds — plus `sim.*` counters and
+    /// one decision record per Algorithm 1 solve inside the policy.
+    pub fn with_instruments(mut self, instruments: Instruments) -> ClusterSim {
+        self.instruments = instruments;
         self
     }
 
@@ -281,7 +300,10 @@ impl ClusterSim {
         let mut budget = spare_s;
         let mut fetched = 0u64;
         let mut to_fetch: Vec<SampleId> = Vec::new();
-        let lookahead = plan.prefetch_lookahead.min(self.cfg.prefetch_lookahead).max(1);
+        let lookahead = plan
+            .prefetch_lookahead
+            .min(self.cfg.prefetch_lookahead)
+            .max(1);
 
         let batch = self.cfg.cluster.batch_size;
         'outer: for la in 0..lookahead {
@@ -303,9 +325,13 @@ impl ClusterSim {
                 }
                 let bytes = self.cfg.dataset.size_of(s) as f64;
                 let cost = if self.distributed && self.directory.held_elsewhere(s, node) {
-                    self.cfg.storage.read_secs(Tier::RemoteCache, bytes, 1, threads, 1)
+                    self.cfg
+                        .storage
+                        .read_secs(Tier::RemoteCache, bytes, 1, threads, 1)
                 } else {
-                    self.cfg.storage.read_secs(Tier::Pfs, bytes, 1, threads, reading_nodes)
+                    self.cfg
+                        .storage
+                        .read_secs(Tier::Pfs, bytes, 1, threads, reading_nodes)
                 };
                 if cost > budget {
                     break 'outer;
@@ -332,7 +358,8 @@ impl ClusterSim {
                 fetched += 1;
                 // Bound per-iteration prefetch volume to keep the sweep
                 // honest even with huge spare budgets.
-                if to_fetch.len() >= 4 * self.cfg.cluster.batch_size * self.cfg.cluster.gpus_per_node
+                if to_fetch.len()
+                    >= 4 * self.cfg.cluster.batch_size * self.cfg.cluster.gpus_per_node
                 {
                     break 'outer;
                 }
@@ -360,18 +387,29 @@ impl ClusterSim {
         let efficiency = self.policy.loading_efficiency();
         let mean_bytes = self.cfg.dataset.mean_sample_bytes() as u64;
 
+        let ins = self.instruments.clone();
+        let local_m = ins.counter("sim.local_hits");
+        let remote_m = ins.counter("sim.remote_hits");
+        let miss_m = ins.counter("sim.misses");
+        let prefetch_m = ins.counter("sim.prefetched");
+        let evict_m = ins.counter("sim.evictions");
+        let decisions_m = ins.counter("sim.controller_decisions");
+
         let mut epochs = Vec::with_capacity(self.cfg.epochs as usize);
         let mut next_schedule: Option<EpochSchedule> = None;
 
         for epoch in 0..self.cfg.epochs {
-            let sched = next_schedule
-                .take()
-                .unwrap_or_else(|| lobster_data::partition::generate(spec, epoch, self.cfg.partition));
+            let sched = next_schedule.take().unwrap_or_else(|| {
+                lobster_data::partition::generate(spec, epoch, self.cfg.partition)
+            });
             let upcoming = lobster_data::partition::generate(spec, epoch + 1, self.cfg.partition);
             if strategy.uses_oracle() {
                 for node in 0..nodes {
-                    self.oracles[node] =
-                        Some(NodeOracle::build(node, &[&sched, &upcoming], epoch * iters as u64));
+                    self.oracles[node] = Some(NodeOracle::build(
+                        node,
+                        &[&sched, &upcoming],
+                        epoch * iters as u64,
+                    ));
                 }
             }
 
@@ -399,8 +437,11 @@ impl ClusterSim {
                     }
                     splits.push(per_gpu);
                 }
-                let reading_nodes =
-                    splits.iter().filter(|per| per.iter().any(|s| s.pfs_count > 0)).count().max(1);
+                let reading_nodes = splits
+                    .iter()
+                    .filter(|per| per.iter().any(|s| s.pfs_count > 0))
+                    .count()
+                    .max(1);
 
                 // Pass 2: plan, fetch, account — per node.
                 let mut pipe_s = vec![0.0f64; world]; // T_L + T_P per GPU
@@ -422,14 +463,32 @@ impl ClusterSim {
                     };
                     let plan = self.policy.plan(&ctx);
                     debug_assert_eq!(plan.load_threads.len(), gpus);
+                    if ins.is_enabled() {
+                        for d in self.policy.drain_decisions() {
+                            decisions_m.inc();
+                            ins.record_decision(DecisionRecord {
+                                ts_us: sim_us(self.barrier_s),
+                                source: DecisionSource::Algorithm1,
+                                node: node as u32,
+                                queue_loads: d.queue_loads,
+                                predicted_cost: d.predicted_cost,
+                                threads_before: d.threads_before,
+                                threads_after: d.threads_after,
+                                gap_s: Some(d.gap_s),
+                                evals: d.evals,
+                                converged: d.converged,
+                            });
+                        }
+                    }
 
                     // Ground-truth preprocessing time for the node's batches
                     // with the planned threads (shared stage: every GPU's
                     // batch streams through together).
-                    let node_bytes: f64 =
-                        splits[node].iter().map(TierBreakdown::total_bytes).sum();
-                    let t_prep =
-                        self.cfg.preproc.batch_secs(node_bytes, plan.preproc_threads);
+                    let node_bytes: f64 = splits[node].iter().map(TierBreakdown::total_bytes).sum();
+                    let t_prep = self
+                        .cfg
+                        .preproc
+                        .batch_secs(node_bytes, plan.preproc_threads);
 
                     // Intra-node overcommit: the per-GPU model (Eq. 1)
                     // assumes each GPU's threads get the full tier curve,
@@ -468,11 +527,61 @@ impl ClusterSim {
                         prep_s[g] = t_prep;
                         pipe_s[g] = t_load + t_prep;
                         node_pipe_max = node_pipe_max.max(pipe_s[g]);
+
+                        // Loading overlaps the GPU's previous training, so
+                        // its span starts at that training's start time.
+                        let split = &splits[node][gpu];
+                        ins.trace(|| {
+                            TraceEvent::instant("queue_depth", "queue", sim_us(self.barrier_s))
+                                .pid(node as u32)
+                                .tid(gpu as u32)
+                                .arg_f("pending_bytes", split.total_bytes())
+                                .arg_u("pending_samples", split.total_count())
+                        });
+                        ins.trace(|| {
+                            TraceEvent::span(
+                                "fetch",
+                                "io",
+                                sim_us(self.start_prev_s[g]),
+                                sim_us(t_load),
+                            )
+                            .pid(node as u32)
+                            .tid(gpu as u32)
+                            .arg_u("local", split.local_count)
+                            .arg_u("remote", split.remote_count)
+                            .arg_u("pfs", split.pfs_count)
+                            .arg_f("bytes", split.total_bytes())
+                        });
+                        ins.trace(|| {
+                            TraceEvent::span(
+                                "preprocess",
+                                "compute",
+                                sim_us(self.start_prev_s[g] + t_load),
+                                sim_us(t_prep),
+                            )
+                            .pid(node as u32)
+                            .tid(gpu as u32)
+                            .arg_u("threads", plan.preproc_threads as u64)
+                        });
                     }
 
                     // State updates: demand fetches for every GPU's batch.
                     let node_samples: Vec<SampleId> = sched.node_iteration(h, node).to_vec();
                     self.demand_fetch(node, &node_samples, strategy, &mut hits);
+                    ins.trace(|| {
+                        let (l, r, p) = splits[node].iter().fold((0, 0, 0), |acc, s| {
+                            (
+                                acc.0 + s.local_count,
+                                acc.1 + s.remote_count,
+                                acc.2 + s.pfs_count,
+                            )
+                        });
+                        TraceEvent::instant("cache", "cache", sim_us(self.barrier_s))
+                            .pid(node as u32)
+                            .arg_u("local_hits", l)
+                            .arg_u("remote_hits", r)
+                            .arg_u("misses", p)
+                    });
 
                     // The oracle moves past iteration h before eviction and
                     // prefetch reason about "the future".
@@ -496,6 +605,15 @@ impl ClusterSim {
                             evict_total.by_reuse_count += rep.by_reuse_count;
                             evict_total.by_reuse_distance += rep.by_reuse_distance;
                             evict_total.kept_last_copy += rep.kept_last_copy;
+                            let victims = rep.by_reuse_count + rep.by_reuse_distance;
+                            if victims > 0 {
+                                ins.trace(|| {
+                                    TraceEvent::instant("evict", "cache", sim_us(self.barrier_s))
+                                        .pid(node as u32)
+                                        .arg_u("victims", victims)
+                                        .arg_u("kept_last_copy", rep.kept_last_copy)
+                                });
+                            }
                             self.oracles[node] = Some(oracle);
                         }
                     }
@@ -507,13 +625,11 @@ impl ClusterSim {
                         // staged, contributing in proportion to their share
                         // of the pool.
                         let window = t_train.max(node_pipe_max);
-                        let total_threads: u32 =
-                            plan.load_threads.iter().map(|&t| t.max(1)).sum();
+                        let total_threads: u32 = plan.load_threads.iter().map(|&t| t.max(1)).sum();
                         let mut spare = 0.0;
                         for gpu in 0..gpus {
                             let g = node * gpus + gpu;
-                            let share =
-                                plan.load_threads[gpu].max(1) as f64 / total_threads as f64;
+                            let share = plan.load_threads[gpu].max(1) as f64 / total_threads as f64;
                             // Loading threads idle once their own demand
                             // fetch is staged (preprocessing runs on the
                             // other pool).
@@ -545,6 +661,29 @@ impl ClusterSim {
                     imbalanced += 1;
                 }
 
+                if ins.is_enabled() {
+                    for g in 0..world {
+                        let wait = new_barrier - self.cfg.allreduce_s - (starts[g] + t_train);
+                        ins.trace(|| {
+                            TraceEvent::span("train", "compute", sim_us(starts[g]), sim_us(t_train))
+                                .pid((g / gpus) as u32)
+                                .tid((g % gpus) as u32)
+                                .arg_u("iter", global_iter)
+                        });
+                        ins.trace(|| {
+                            TraceEvent::span(
+                                "barrier_wait",
+                                "sync",
+                                sim_us(starts[g] + t_train),
+                                sim_us(wait),
+                            )
+                            .pid((g / gpus) as u32)
+                            .tid((g % gpus) as u32)
+                            .arg_u("iter", global_iter)
+                        });
+                    }
+                }
+
                 if let Some(trace) = self.trace.as_mut() {
                     for g in 0..world {
                         trace.record(IterationRecord {
@@ -568,6 +707,11 @@ impl ClusterSim {
             }
 
             let wall = self.barrier_s - epoch_start_s;
+            local_m.add(hits.0);
+            remote_m.add(hits.1);
+            miss_m.add(hits.2);
+            prefetch_m.add(prefetched);
+            evict_m.add(evict_total.by_reuse_count + evict_total.by_reuse_distance);
             epochs.push(EpochReport {
                 epoch,
                 wall_s: wall,

@@ -34,8 +34,12 @@ mod tests {
     /// A small but non-trivial config: 2 nodes × 2 GPUs, cache holds ~25% of
     /// the dataset, so every tier gets exercised.
     fn small_cfg(epochs: u64) -> ExperimentConfig {
-        let dataset =
-            Dataset::generate("unit", 8_192, SizeDistribution::Constant { bytes: 100_000 }, 7);
+        let dataset = Dataset::generate(
+            "unit",
+            8_192,
+            SizeDistribution::Constant { bytes: 100_000 },
+            7,
+        );
         let total = dataset.total_bytes();
         ConfigBuilder::new()
             .nodes(2)
@@ -54,7 +58,10 @@ mod tests {
         let (b, _) = ClusterSim::new(small_cfg(2), Box::new(PyTorchPolicy::default())).run();
         assert_eq!(a.total_wall_s, b.total_wall_s);
         assert_eq!(a.epochs[1].local_hits, b.epochs[1].local_hits);
-        assert_eq!(a.epochs[1].imbalanced_iterations, b.epochs[1].imbalanced_iterations);
+        assert_eq!(
+            a.epochs[1].imbalanced_iterations,
+            b.epochs[1].imbalanced_iterations
+        );
     }
 
     #[test]
@@ -147,6 +154,10 @@ mod tests {
             .iter()
             .map(|e| e.evict.by_reuse_count + e.evict.by_reuse_distance)
             .sum();
-        assert!(total > 0, "Lobster must proactively evict: {:?}", r.epochs[1].evict);
+        assert!(
+            total > 0,
+            "Lobster must proactively evict: {:?}",
+            r.epochs[1].evict
+        );
     }
 }

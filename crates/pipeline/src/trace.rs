@@ -44,7 +44,11 @@ impl TraceCollector {
     /// Record iterations of `epoch` falling in any of `ranges`
     /// (half-open `[lo, hi)`).
     pub fn for_epoch(epoch: u64, ranges: Vec<(u64, u64)>) -> TraceCollector {
-        TraceCollector { target_epoch: epoch, ranges, records: Vec::new() }
+        TraceCollector {
+            target_epoch: epoch,
+            ranges,
+            records: Vec::new(),
+        }
     }
 
     /// The paper's Figure 3 sampling: "eight each in the beginning, middle,
@@ -52,12 +56,22 @@ impl TraceCollector {
     pub fn figure3(iters_per_epoch: u64) -> TraceCollector {
         let i = iters_per_epoch;
         let mid = i / 2;
-        TraceCollector::for_epoch(1, vec![(0, 8.min(i)), (mid, (mid + 8).min(i)), (i.saturating_sub(8), i)])
+        TraceCollector::for_epoch(
+            1,
+            vec![
+                (0, 8.min(i)),
+                (mid, (mid + 8).min(i)),
+                (i.saturating_sub(8), i),
+            ],
+        )
     }
 
     pub fn record(&mut self, r: IterationRecord) {
         if r.epoch == self.target_epoch
-            && self.ranges.iter().any(|&(lo, hi)| r.iteration >= lo && r.iteration < hi)
+            && self
+                .ranges
+                .iter()
+                .any(|&(lo, hi)| r.iteration >= lo && r.iteration < hi)
         {
             self.records.push(r);
         }
@@ -73,7 +87,11 @@ impl TraceCollector {
 
     /// Records for one specific GPU, in iteration order.
     pub fn for_gpu(&self, node: usize, gpu: usize) -> Vec<IterationRecord> {
-        self.records.iter().filter(|r| r.node == node && r.gpu == gpu).copied().collect()
+        self.records
+            .iter()
+            .filter(|r| r.node == node && r.gpu == gpu)
+            .copied()
+            .collect()
     }
 }
 

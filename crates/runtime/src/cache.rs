@@ -5,6 +5,7 @@
 
 use lobster_cache::{EvictOrder, NodeCache};
 use lobster_data::SampleId;
+use lobster_metrics::{Counter, Instruments, TraceEvent};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -15,6 +16,10 @@ pub struct ShardCache {
     inner: Mutex<Inner>,
     hits: AtomicU64,
     misses: AtomicU64,
+    instruments: Instruments,
+    hits_m: Counter,
+    misses_m: Counter,
+    evictions_m: Counter,
 }
 
 struct Inner {
@@ -24,6 +29,14 @@ struct Inner {
 
 impl ShardCache {
     pub fn new(capacity_bytes: u64) -> ShardCache {
+        ShardCache::with_instruments(capacity_bytes, Instruments::disabled())
+    }
+
+    /// A cache that also feeds the observability layer: `engine.cache_hits`
+    /// / `engine.cache_misses` / `engine.cache_evictions` counters and
+    /// `evict` trace instants. With a disabled bundle this is identical to
+    /// [`ShardCache::new`].
+    pub fn with_instruments(capacity_bytes: u64, instruments: Instruments) -> ShardCache {
         ShardCache {
             inner: Mutex::new(Inner {
                 meta: NodeCache::new(capacity_bytes, EvictOrder::SmallestKeyFirst),
@@ -31,6 +44,10 @@ impl ShardCache {
             }),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            hits_m: instruments.counter("engine.cache_hits"),
+            misses_m: instruments.counter("engine.cache_misses"),
+            evictions_m: instruments.counter("engine.cache_evictions"),
+            instruments,
         }
     }
 
@@ -42,10 +59,12 @@ impl ShardCache {
             inner.meta.set_key(id, touch_key);
             drop(inner);
             self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits_m.inc();
             Some(bytes)
         } else {
             drop(inner);
             self.misses.fetch_add(1, Ordering::Relaxed);
+            self.misses_m.inc();
             None
         }
     }
@@ -66,6 +85,15 @@ impl ShardCache {
         if outcome.inserted {
             inner.payload.insert(id.0, bytes);
         }
+        drop(inner);
+        if !outcome.evicted.is_empty() {
+            self.evictions_m.add(outcome.evicted.len() as u64);
+            self.instruments.trace(|| {
+                TraceEvent::instant("evict", "cache", self.instruments.now_us())
+                    .arg_u("victims", outcome.evicted.len() as u64)
+                    .arg_s("reason", "capacity")
+            });
+        }
         outcome.inserted
     }
 
@@ -75,6 +103,15 @@ impl ShardCache {
         let was = inner.meta.evict(id);
         if was {
             inner.payload.remove(&id.0);
+        }
+        drop(inner);
+        if was {
+            self.evictions_m.inc();
+            self.instruments.trace(|| {
+                TraceEvent::instant("evict", "cache", self.instruments.now_us())
+                    .arg_u("sample", id.0 as u64)
+                    .arg_s("reason", "policy")
+            });
         }
         was
     }

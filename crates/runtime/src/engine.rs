@@ -14,6 +14,7 @@ use crate::store::{sample_checksum, SyntheticStore};
 use crate::transform::{invert, preprocess};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use lobster_data::{Dataset, EpochSchedule, SampleId, ScheduleSpec};
+use lobster_metrics::{DecisionRecord, DecisionSource, Instruments, TraceEvent};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
@@ -173,6 +174,16 @@ fn schedule_spec(dataset: &Dataset, cfg: &EngineConfig) -> ScheduleSpec {
 
 /// Run the engine to completion and report.
 pub fn run(store: Arc<SyntheticStore>, cfg: EngineConfig) -> EngineReport {
+    run_with(store, cfg, Instruments::disabled())
+}
+
+/// Run the engine with an observability bundle attached. Every pipeline
+/// stage is instrumented — fetch spans (with storage tier), queue
+/// enqueue/dequeue instants (with depth), preprocess spans, barrier-wait
+/// spans, cache hit/miss/evict counters, and one [`DecisionRecord`] per
+/// adaptive controller tick. With [`Instruments::disabled`] this is
+/// exactly [`run`].
+pub fn run_with(store: Arc<SyntheticStore>, cfg: EngineConfig, ins: Instruments) -> EngineReport {
     assert!(cfg.consumers > 0 && cfg.batch_size > 0);
     assert!(cfg.loader_threads > 0 && cfg.preproc_threads > 0);
     let spec = schedule_spec(store.dataset(), &cfg);
@@ -180,8 +191,12 @@ pub fn run(store: Arc<SyntheticStore>, cfg: EngineConfig) -> EngineReport {
     assert!(iters_per_epoch > 0, "dataset too small for one iteration");
     let total_iters = iters_per_epoch as u64 * cfg.epochs;
 
-    let cache = Arc::new(ShardCache::new(cfg.cache_bytes));
+    let cache = Arc::new(ShardCache::with_instruments(cfg.cache_bytes, ins.clone()));
     let clock = Arc::new(AtomicU64::new(0));
+    let fetches_m = ins.counter("engine.fetches");
+    let delivered_m = ins.counter("engine.delivered");
+    let decisions_m = ins.counter("engine.controller_decisions");
+    let barrier_m = ins.counter("engine.barrier_waits");
 
     // Per-consumer request queues (the §4.2 multi-queue) and cooked-sample
     // delivery channels.
@@ -204,8 +219,11 @@ pub fn run(store: Arc<SyntheticStore>, cfg: EngineConfig) -> EngineReport {
     let (raw_tx, raw_rx) = bounded::<Raw>(4 * cfg.batch_size * cfg.consumers);
 
     // Loader→queue assignment, rewritten by the controller.
-    let assignment: Arc<Vec<AtomicUsize>> =
-        Arc::new((0..cfg.loader_threads).map(|w| AtomicUsize::new(w % cfg.consumers)).collect());
+    let assignment: Arc<Vec<AtomicUsize>> = Arc::new(
+        (0..cfg.loader_threads)
+            .map(|w| AtomicUsize::new(w % cfg.consumers))
+            .collect(),
+    );
     // Measured per-queue service cost in nanoseconds (EWMA, α = 1/4),
     // updated by the loaders and consumed by the controller.
     let service_ns: Arc<Vec<AtomicU64>> =
@@ -219,8 +237,9 @@ pub fn run(store: Arc<SyntheticStore>, cfg: EngineConfig) -> EngineReport {
     let consumed: Arc<Vec<AtomicU64>> =
         Arc::new((0..cfg.consumers).map(|_| AtomicU64::new(0)).collect());
     let inflight_limit = (4 * cfg.batch_size) as u64;
-    let iter_times: Arc<parking_lot::Mutex<Vec<f64>>> =
-        Arc::new(parking_lot::Mutex::new(Vec::with_capacity(total_iters as usize)));
+    let iter_times: Arc<parking_lot::Mutex<Vec<f64>>> = Arc::new(parking_lot::Mutex::new(
+        Vec::with_capacity(total_iters as usize),
+    ));
 
     crossbeam::scope(|scope| {
         // ---- Feeder: streams every request in schedule order. ----
@@ -228,6 +247,7 @@ pub fn run(store: Arc<SyntheticStore>, cfg: EngineConfig) -> EngineReport {
             let req_tx = req_tx.clone();
             let cfg = cfg.clone();
             let consumed = Arc::clone(&consumed);
+            let ins = ins.clone();
             scope.spawn(move |_| {
                 let mut sent = vec![0u64; cfg.consumers];
                 for epoch in 0..cfg.epochs {
@@ -238,16 +258,25 @@ pub fn run(store: Arc<SyntheticStore>, cfg: EngineConfig) -> EngineReport {
                             for &sample in sched.batch(h, 0, consumer) {
                                 // Credit pacing bounds total in-flight work
                                 // per consumer regardless of queue sizes.
-                                while sent[consumer]
-                                    - consumed[consumer].load(Ordering::Relaxed)
+                                while sent[consumer] - consumed[consumer].load(Ordering::Relaxed)
                                     >= inflight_limit
                                 {
                                     std::thread::sleep(Duration::from_micros(50));
                                 }
                                 req_tx[consumer]
-                                    .send(Req { iter, consumer, sample })
+                                    .send(Req {
+                                        iter,
+                                        consumer,
+                                        sample,
+                                    })
                                     .expect("loader side alive");
                                 sent[consumer] += 1;
+                                ins.trace(|| {
+                                    TraceEvent::instant("queue_enqueue", "queue", ins.now_us())
+                                        .tid(consumer as u32)
+                                        .arg_u("depth", req_tx[consumer].len() as u64)
+                                        .arg_u("sample", sample.0 as u64)
+                                });
                             }
                         }
                     }
@@ -266,6 +295,8 @@ pub fn run(store: Arc<SyntheticStore>, cfg: EngineConfig) -> EngineReport {
             let store = Arc::clone(&store);
             let assignment = Arc::clone(&assignment);
             let service_ns = Arc::clone(&service_ns);
+            let ins = ins.clone();
+            let fetches_m = fetches_m.clone();
             scope.spawn(move |_| loop {
                 // Serve the assigned queue first, then steal from the rest.
                 let primary = assignment[w].load(Ordering::Relaxed) % req_rx.len();
@@ -286,21 +317,40 @@ pub fn run(store: Arc<SyntheticStore>, cfg: EngineConfig) -> EngineReport {
                 }
                 match got {
                     Some(req) => {
+                        ins.trace(|| {
+                            TraceEvent::instant("queue_dequeue", "queue", ins.now_us())
+                                .tid(req.consumer as u32)
+                                .arg_u("depth", req_rx[req.consumer].len() as u64)
+                                .arg_u("worker", w as u64)
+                        });
                         let t0 = Instant::now();
+                        let ts_us = ins.now_us();
                         let key = clock.fetch_add(1, Ordering::Relaxed);
-                        let bytes = match cache.get(req.sample, key) {
-                            Some(b) => b,
+                        fetches_m.inc();
+                        let (bytes, tier) = match cache.get(req.sample, key) {
+                            Some(b) => (b, "cache"),
                             None => {
                                 let fetched = Arc::new(store.fetch(req.sample));
                                 cache.insert(req.sample, Arc::clone(&fetched), key);
-                                fetched
+                                (fetched, "store")
                             }
                         };
+                        ins.trace(|| {
+                            TraceEvent::span("fetch", "io", ts_us, ins.now_us() - ts_us)
+                                .tid(w as u32)
+                                .arg_s("tier", tier)
+                                .arg_u("sample", req.sample.0 as u64)
+                                .arg_u("bytes", bytes.len() as u64)
+                        });
                         // EWMA (α = 1/4) of this queue's service cost.
                         let obs = t0.elapsed().as_nanos() as u64;
                         let cell = &service_ns[req.consumer];
                         let prev = cell.load(Ordering::Relaxed);
-                        let next = if prev == 0 { obs } else { prev - prev / 4 + obs / 4 };
+                        let next = if prev == 0 {
+                            obs
+                        } else {
+                            prev - prev / 4 + obs / 4
+                        };
                         cell.store(next, Ordering::Relaxed);
                         if raw_tx.send(Raw { req, bytes }).is_err() {
                             break;
@@ -314,15 +364,26 @@ pub fn run(store: Arc<SyntheticStore>, cfg: EngineConfig) -> EngineReport {
         drop(raw_tx);
 
         // ---- Preprocessing workers. ----
-        for _ in 0..cfg.preproc_threads {
+        for p in 0..cfg.preproc_threads {
             let raw_rx = raw_rx.clone();
             let cooked_tx = cooked_tx.clone();
             let wf = cfg.work_factor;
+            let ins = ins.clone();
             scope.spawn(move |_| {
                 for raw in raw_rx.iter() {
+                    let ts_us = ins.now_us();
                     let cooked = preprocess(&raw.bytes, wf);
+                    ins.trace(|| {
+                        TraceEvent::span("preprocess", "compute", ts_us, ins.now_us() - ts_us)
+                            .tid(p as u32)
+                            .arg_u("consumer", raw.req.consumer as u64)
+                            .arg_u("bytes", raw.bytes.len() as u64)
+                    });
                     if cooked_tx[raw.req.consumer]
-                        .send(Cooked { iter: raw.req.iter, bytes: cooked })
+                        .send(Cooked {
+                            iter: raw.req.iter,
+                            bytes: cooked,
+                        })
                         .is_err()
                     {
                         break;
@@ -339,6 +400,9 @@ pub fn run(store: Arc<SyntheticStore>, cfg: EngineConfig) -> EngineReport {
             let assignment = Arc::clone(&assignment);
             let service_ns = Arc::clone(&service_ns);
             let done = Arc::clone(&done);
+            let ins = ins.clone();
+            let decisions_m = decisions_m.clone();
+            let consumers = cfg.consumers;
             scope.spawn(move |_| {
                 while !done.load(Ordering::Relaxed) {
                     let depths: Vec<usize> = req_rx.iter().map(|rx| rx.len()).collect();
@@ -346,8 +410,33 @@ pub fn run(store: Arc<SyntheticStore>, cfg: EngineConfig) -> EngineReport {
                         .iter()
                         .map(|c| c.load(Ordering::Relaxed) as f64 / 1e9)
                         .collect();
-                    let plan =
-                        compute_weighted_assignment(&depths, &costs, assignment.len());
+                    let plan = compute_weighted_assignment(&depths, &costs, assignment.len());
+                    if ins.is_enabled() {
+                        // Per-queue worker counts before and after this tick.
+                        let count = |qs: &mut dyn Iterator<Item = usize>| {
+                            let mut per_queue = vec![0u32; consumers];
+                            for q in qs {
+                                per_queue[q % consumers] += 1;
+                            }
+                            per_queue
+                        };
+                        let before =
+                            count(&mut assignment.iter().map(|a| a.load(Ordering::Relaxed)));
+                        let after = count(&mut plan.iter().copied());
+                        decisions_m.inc();
+                        ins.record_decision(DecisionRecord {
+                            ts_us: ins.now_us(),
+                            source: DecisionSource::EngineController,
+                            node: 0,
+                            queue_loads: depths.iter().map(|&d| d as f64).collect(),
+                            predicted_cost: costs.clone(),
+                            threads_before: before,
+                            threads_after: after,
+                            gap_s: None,
+                            evals: 1,
+                            converged: true,
+                        });
+                    }
                     for (w, &q) in plan.iter().enumerate() {
                         assignment[w].store(q, Ordering::Relaxed);
                     }
@@ -368,6 +457,9 @@ pub fn run(store: Arc<SyntheticStore>, cfg: EngineConfig) -> EngineReport {
             let done = Arc::clone(&done);
             let remaining = Arc::clone(&remaining);
             let consumed = Arc::clone(&consumed);
+            let ins = ins.clone();
+            let delivered_m = delivered_m.clone();
+            let barrier_m = barrier_m.clone();
             scope.spawn(move |_| {
                 // Samples may arrive slightly out of iteration order when
                 // several workers serve one queue; stash early arrivals.
@@ -392,11 +484,19 @@ pub fn run(store: Arc<SyntheticStore>, cfg: EngineConfig) -> EngineReport {
                     }
                     integrity.fetch_xor(acc, Ordering::Relaxed);
                     delivered.fetch_add(have.len() as u64, Ordering::Relaxed);
+                    delivered_m.add(have.len() as u64);
                     consumed[consumer].fetch_add(have.len() as u64, Ordering::Relaxed);
                     // "Training".
                     std::thread::sleep(cfg2.train);
                     // Gradient-allreduce stand-in.
+                    let wait_ts = ins.now_us();
                     barrier.wait();
+                    barrier_m.inc();
+                    ins.trace(|| {
+                        TraceEvent::span("barrier_wait", "sync", wait_ts, ins.now_us() - wait_ts)
+                            .tid(consumer as u32)
+                            .arg_u("iter", iter)
+                    });
                     if consumer == 0 {
                         iter_times.lock().push(t0.elapsed().as_secs_f64());
                         t0 = Instant::now();
@@ -435,7 +535,11 @@ mod tests {
             SizeDistribution::Constant { bytes: 2_000 },
             9,
         );
-        Arc::new(SyntheticStore::new(ds, Duration::from_micros(latency_us), 0.0))
+        Arc::new(SyntheticStore::new(
+            ds,
+            Duration::from_micros(latency_us),
+            0.0,
+        ))
     }
 
     fn fast_cfg() -> EngineConfig {
@@ -462,7 +566,10 @@ mod tests {
         // 64 samples / (4 × 2) = 8 iterations per epoch × 2 epochs.
         assert_eq!(report.iterations, 16);
         assert_eq!(report.delivered, 128);
-        assert_eq!(report.integrity, expected, "payloads must survive the pipeline intact");
+        assert_eq!(
+            report.integrity, expected,
+            "payloads must survive the pipeline intact"
+        );
         assert_eq!(report.iteration_secs.len(), 16);
     }
 

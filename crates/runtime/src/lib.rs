@@ -22,8 +22,8 @@ pub mod transform;
 
 pub use cache::ShardCache;
 pub use engine::{
-    compute_assignment, compute_weighted_assignment, expected_integrity, run, EngineConfig,
-    EngineReport,
+    compute_assignment, compute_weighted_assignment, expected_integrity, run, run_with,
+    EngineConfig, EngineReport,
 };
 pub use store::{sample_bytes, sample_checksum, SyntheticStore};
 pub use transform::{invert, preprocess};

@@ -52,7 +52,11 @@ impl<E> Default for Scheduler<E> {
 
 impl<E> Scheduler<E> {
     pub fn new() -> Self {
-        Scheduler { heap: BinaryHeap::new(), seq: 0, now: SimTime::ZERO }
+        Scheduler {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+        }
     }
 
     /// Current simulated time (the firing time of the event being handled).
@@ -65,17 +69,29 @@ impl<E> Scheduler<E> {
     /// logic error; we clamp to `now` so the event still fires (and order is
     /// preserved), but debug builds assert.
     pub fn at(&mut self, at: SimTime, event: E) {
-        debug_assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < {}",
+            self.now
+        );
         let at = at.max(self.now);
         self.seq += 1;
-        self.heap.push(Reverse(Scheduled { at, seq: self.seq, event }));
+        self.heap.push(Reverse(Scheduled {
+            at,
+            seq: self.seq,
+            event,
+        }));
     }
 
     /// Schedule `event` after a delay relative to the current time.
     pub fn after(&mut self, delay: SimDuration, event: E) {
         let at = self.now + delay;
         self.seq += 1;
-        self.heap.push(Reverse(Scheduled { at, seq: self.seq, event }));
+        self.heap.push(Reverse(Scheduled {
+            at,
+            seq: self.seq,
+            event,
+        }));
     }
 
     /// Number of pending events.
@@ -131,13 +147,21 @@ pub fn run<W: SimWorld>(
             }
         }
         if events >= max_events {
-            return RunStats { events, end_time: sched.now, truncated: true };
+            return RunStats {
+                events,
+                end_time: sched.now,
+                truncated: true,
+            };
         }
         let s = sched.pop().expect("peeked event vanished");
         world.handle(s.event, sched);
         events += 1;
     }
-    RunStats { events, end_time: sched.now, truncated: false }
+    RunStats {
+        events,
+        end_time: sched.now,
+        truncated: false,
+    }
 }
 
 #[cfg(test)]
@@ -173,7 +197,10 @@ mod tests {
 
     #[test]
     fn events_fire_in_time_order_with_fifo_ties() {
-        let mut w = Recorder { fired: vec![], chain_left: 0 };
+        let mut w = Recorder {
+            fired: vec![],
+            chain_left: 0,
+        };
         let mut s = Scheduler::new();
         s.at(SimTime(30), Ev::Tag(3));
         s.at(SimTime(10), Ev::Tag(1));
@@ -189,7 +216,10 @@ mod tests {
 
     #[test]
     fn chained_events_advance_time() {
-        let mut w = Recorder { fired: vec![], chain_left: 5 };
+        let mut w = Recorder {
+            fired: vec![],
+            chain_left: 5,
+        };
         let mut s = Scheduler::new();
         s.at(SimTime::ZERO, Ev::Chain);
         let stats = run(&mut w, &mut s, None, 1000);
@@ -199,7 +229,10 @@ mod tests {
 
     #[test]
     fn until_bound_stops_early_but_keeps_queue() {
-        let mut w = Recorder { fired: vec![], chain_left: 0 };
+        let mut w = Recorder {
+            fired: vec![],
+            chain_left: 0,
+        };
         let mut s = Scheduler::new();
         for i in 0..10 {
             s.at(SimTime(i * 100), Ev::Tag(i as u32));
@@ -215,7 +248,10 @@ mod tests {
 
     #[test]
     fn max_events_truncates_runaway_models() {
-        let mut w = Recorder { fired: vec![], chain_left: u32::MAX };
+        let mut w = Recorder {
+            fired: vec![],
+            chain_left: u32::MAX,
+        };
         let mut s = Scheduler::new();
         s.at(SimTime::ZERO, Ev::Chain);
         let stats = run(&mut w, &mut s, None, 100);
@@ -249,7 +285,9 @@ mod tests {
                 }
             }
         }
-        let mut w = PastWorld { second_fired_at: None };
+        let mut w = PastWorld {
+            second_fired_at: None,
+        };
         let mut s = Scheduler::new();
         s.at(SimTime(100), E2::First);
         run(&mut w, &mut s, None, 10);

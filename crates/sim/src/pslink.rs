@@ -47,7 +47,10 @@ pub struct PsLink {
 impl PsLink {
     /// Create a link with the given aggregate capacity.
     pub fn new(capacity_bytes_per_sec: f64) -> Self {
-        assert!(capacity_bytes_per_sec > 0.0, "link capacity must be positive");
+        assert!(
+            capacity_bytes_per_sec > 0.0,
+            "link capacity must be positive"
+        );
         PsLink {
             capacity_bytes_per_sec,
             flows: BTreeMap::new(),
@@ -104,11 +107,19 @@ impl PsLink {
 
     /// Begin a transfer of `bytes` at time `now`; returns its id.
     pub fn start_flow(&mut self, now: SimTime, bytes: f64) -> FlowId {
-        assert!(bytes >= 0.0 && bytes.is_finite(), "flow size must be finite and non-negative");
+        assert!(
+            bytes >= 0.0 && bytes.is_finite(),
+            "flow size must be finite and non-negative"
+        );
         self.advance(now);
         let id = FlowId(self.next_id);
         self.next_id += 1;
-        self.flows.insert(id, Flow { remaining_bytes: bytes });
+        self.flows.insert(
+            id,
+            Flow {
+                remaining_bytes: bytes,
+            },
+        );
         id
     }
 

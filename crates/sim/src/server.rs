@@ -30,7 +30,12 @@ impl ServerPool {
         for _ in 0..servers {
             free_at.push(Reverse(SimTime::ZERO));
         }
-        ServerPool { free_at, servers, busy: SimDuration::ZERO, jobs: 0 }
+        ServerPool {
+            free_at,
+            servers,
+            busy: SimDuration::ZERO,
+            jobs: 0,
+        }
     }
 
     /// Number of servers in the pool.
@@ -68,12 +73,19 @@ impl ServerPool {
 
     /// Earliest time a new job could start service.
     pub fn earliest_start(&self, now: SimTime) -> SimTime {
-        self.free_at.peek().map(|Reverse(t)| (*t).max(now)).unwrap_or(now)
+        self.free_at
+            .peek()
+            .map(|Reverse(t)| (*t).max(now))
+            .unwrap_or(now)
     }
 
     /// Time by which all currently queued work completes.
     pub fn drained_at(&self) -> SimTime {
-        self.free_at.iter().map(|Reverse(t)| *t).max().unwrap_or(SimTime::ZERO)
+        self.free_at
+            .iter()
+            .map(|Reverse(t)| *t)
+            .max()
+            .unwrap_or(SimTime::ZERO)
     }
 
     /// Aggregate busy time (for utilization accounting).

@@ -10,11 +10,15 @@ use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Sub};
 
 /// An absolute point in simulated time, in nanoseconds since simulation start.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(pub u64);
 
 /// A span of simulated time, in nanoseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(pub u64);
 
 impl SimTime {
@@ -261,7 +265,10 @@ mod tests {
     fn saturating_ops_do_not_wrap() {
         let big = SimTime(u64::MAX - 1);
         assert_eq!(big + SimDuration::from_secs(10), SimTime::MAX);
-        assert_eq!(SimDuration(3).saturating_sub(SimDuration(5)), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration(3).saturating_sub(SimDuration(5)),
+            SimDuration::ZERO
+        );
         assert_eq!(SimDuration(u64::MAX) * 2, SimDuration::MAX);
     }
 

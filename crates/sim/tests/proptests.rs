@@ -1,6 +1,8 @@
 //! Property-based tests for the simulation kernel invariants.
 
-use lobster_sim::{PsLink, Scheduler, ServerPool, SimDuration, SimTime, SimWorld, Xoshiro256StarStar};
+use lobster_sim::{
+    PsLink, Scheduler, ServerPool, SimDuration, SimTime, SimWorld, Xoshiro256StarStar,
+};
 use proptest::prelude::*;
 
 proptest! {

@@ -28,10 +28,16 @@ impl ThroughputCurve {
         assert!(!knots.is_empty(), "curve needs at least one knot");
         assert!(knots[0].0 >= 1, "first knot must be at ≥ 1 thread");
         for w in knots.windows(2) {
-            assert!(w[0].0 < w[1].0, "knots must be strictly increasing in threads");
+            assert!(
+                w[0].0 < w[1].0,
+                "knots must be strictly increasing in threads"
+            );
         }
         for &(_, t) in &knots {
-            assert!(t > 0.0 && t.is_finite(), "throughput must be positive and finite");
+            assert!(
+                t > 0.0 && t.is_finite(),
+                "throughput must be positive and finite"
+            );
         }
         ThroughputCurve { knots }
     }

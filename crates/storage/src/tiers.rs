@@ -188,7 +188,10 @@ mod tests {
         let m = thetagpu();
         let alone = m.read_secs(Tier::Pfs, 1e9, 0, 4, 1);
         let crowded = m.read_secs(Tier::Pfs, 1e9, 0, 4, 8);
-        assert!(crowded > alone * 1.5, "8-node congestion should bite: {alone} vs {crowded}");
+        assert!(
+            crowded > alone * 1.5,
+            "8-node congestion should bite: {alone} vs {crowded}"
+        );
         let r_alone = m.read_secs(Tier::RemoteCache, 1e9, 0, 4, 1);
         let r_crowded = m.read_secs(Tier::RemoteCache, 1e9, 0, 4, 8);
         assert_eq!(r_alone, r_crowded);

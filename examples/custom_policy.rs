@@ -41,7 +41,12 @@ impl LoaderPolicy for GreedyPolicy {
         // One thread each so nobody starves; the rest pile onto the worst.
         let mut load = vec![1u32; gpus];
         load[worst] = budget.saturating_sub(gpus as u32 - 1).max(1);
-        NodePlan { preproc_threads: preproc, load_threads: load, prefetch: true, prefetch_lookahead: 64 }
+        NodePlan {
+            preproc_threads: preproc,
+            load_threads: load,
+            prefetch: true,
+            prefetch_lookahead: 64,
+        }
     }
 }
 
@@ -61,7 +66,10 @@ fn main() {
     };
 
     let mut table = Table::new(["policy", "epoch", "imbalanced", "hit ratio"]);
-    for report in [run(Box::new(GreedyPolicy)), run(policy_by_name("lobster").unwrap())] {
+    for report in [
+        run(Box::new(GreedyPolicy)),
+        run(policy_by_name("lobster").unwrap()),
+    ] {
         table.row([
             report.policy.clone(),
             fmt_secs(report.mean_epoch_s()),

@@ -19,8 +19,14 @@ fn main() {
 
     for nodes in [1usize, 2, 4, 8] {
         println!("== {nodes} node(s), {} GPUs ==", nodes * 8);
-        let mut table =
-            Table::new(["loader", "epoch", "local hits", "remote hits", "miss", "imbalanced"]);
+        let mut table = Table::new([
+            "loader",
+            "epoch",
+            "local hits",
+            "remote hits",
+            "miss",
+            "imbalanced",
+        ]);
         for name in ["pytorch", "nopfs", "lobster"] {
             let cfg = ConfigBuilder::new()
                 .nodes(nodes)

@@ -8,8 +8,8 @@
 //! ```
 
 use lobster_repro::data::{Dataset, SizeDistribution};
-use lobster_repro::metrics::{fmt_pct, Summary, Table};
-use lobster_repro::runtime::{expected_integrity, run, EngineConfig, SyntheticStore};
+use lobster_repro::metrics::{fmt_pct, Instruments, Summary, Table};
+use lobster_repro::runtime::{expected_integrity, run_with, EngineConfig, SyntheticStore};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -17,17 +17,31 @@ fn store() -> Arc<SyntheticStore> {
     let dataset = Dataset::generate(
         "live-demo",
         512,
-        SizeDistribution::Uniform { lo: 8_000, hi: 64_000 },
+        SizeDistribution::Uniform {
+            lo: 8_000,
+            hi: 64_000,
+        },
         11,
     );
     // Simulated PFS: 300µs/request + 100 MB/s.
-    Arc::new(SyntheticStore::new(dataset, Duration::from_micros(300), 100e6))
+    Arc::new(SyntheticStore::new(
+        dataset,
+        Duration::from_micros(300),
+        100e6,
+    ))
 }
 
 fn main() {
     println!("Live engine — 4 consumers, 4 loaders, 2 preprocessing workers, 2 epochs\n");
-    let mut table =
-        Table::new(["mode", "p50 iter", "p95 iter", "hit ratio", "fetches", "integrity"]);
+    let mut table = Table::new([
+        "mode",
+        "p50 iter",
+        "p95 iter",
+        "hit ratio",
+        "fetches",
+        "integrity",
+    ]);
+    let mut adaptive_ins = None;
     for adaptive in [false, true] {
         let cfg = EngineConfig {
             consumers: 4,
@@ -43,18 +57,54 @@ fn main() {
         };
         let s = store();
         let expected = expected_integrity(s.dataset(), &cfg);
-        let report = run(s, cfg);
+        // Observe the adaptive run: trace buffer + counters + decision log.
+        let ins = if adaptive {
+            Instruments::enabled()
+        } else {
+            Instruments::disabled()
+        };
+        let report = run_with(s, cfg, ins.clone());
+        if adaptive {
+            adaptive_ins = Some(ins);
+        }
         let mut iters = Summary::new();
         iters.record_all(report.iteration_secs.iter().copied());
         table.row([
-            if adaptive { "adaptive (lobster)" } else { "static pools" }.to_string(),
+            if adaptive {
+                "adaptive (lobster)"
+            } else {
+                "static pools"
+            }
+            .to_string(),
             format!("{:.1}ms", iters.percentile(50.0) * 1e3),
             format!("{:.1}ms", iters.percentile(95.0) * 1e3),
             fmt_pct(report.hit_ratio),
             report.store_fetches.to_string(),
-            if report.integrity == expected { "ok".into() } else { "CORRUPT".to_string() },
+            if report.integrity == expected {
+                "ok".into()
+            } else {
+                "CORRUPT".to_string()
+            },
         ]);
     }
     print!("{}", table.render());
     println!("\nEvery delivered byte is verified against the canonical sample stream.");
+
+    let ins = adaptive_ins.expect("adaptive run instruments");
+    println!("\n-- adaptive run, metrics snapshot --");
+    print!("{}", ins.metrics_snapshot().to_text());
+    println!(
+        "controller decisions: {} (trace events: {})",
+        ins.decisions().len(),
+        ins.tracer().buffer().map_or(0, |b| b.len()),
+    );
+    let path = std::env::temp_dir().join("live_engine_trace.json");
+    if let Some(json) = ins.chrome_trace_json() {
+        if std::fs::write(&path, json).is_ok() {
+            println!(
+                "trace -> {} (open in https://ui.perfetto.dev)",
+                path.display()
+            );
+        }
+    }
 }

@@ -37,7 +37,8 @@ fn main() {
     );
 
     // Online component: interpret the plan.
-    let (replayed, _) = ClusterSim::new(make_cfg(), Box::new(PlannedPolicy::new(plan.clone()))).run();
+    let (replayed, _) =
+        ClusterSim::new(make_cfg(), Box::new(PlannedPolicy::new(plan.clone()))).run();
 
     // Perturbed cluster: node 1 loses half its I/O speed after planning.
     let perturb = || {
@@ -49,10 +50,19 @@ fn main() {
     let (adaptive, _) = ClusterSim::new(perturb(), Box::new(LobsterPolicy::full())).run();
 
     let mut t = Table::new(["run", "epoch time"]);
-    t.row(["planned (offline prediction)", &fmt_secs(predicted.mean_epoch_s())]);
+    t.row([
+        "planned (offline prediction)",
+        &fmt_secs(predicted.mean_epoch_s()),
+    ]);
     t.row(["replayed online", &fmt_secs(replayed.mean_epoch_s())]);
-    t.row(["frozen plan, degraded node", &fmt_secs(frozen.mean_epoch_s())]);
-    t.row(["adaptive re-planning, degraded node", &fmt_secs(adaptive.mean_epoch_s())]);
+    t.row([
+        "frozen plan, degraded node",
+        &fmt_secs(frozen.mean_epoch_s()),
+    ]);
+    t.row([
+        "adaptive re-planning, degraded node",
+        &fmt_secs(adaptive.mean_epoch_s()),
+    ]);
     print!("{}", t.render());
     println!("\nThe replay matches the prediction exactly (deterministic environment).");
     println!("Under perturbation both degrade; the adaptive policy re-plans every iteration");

@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use lobster_repro::core::{policy_by_name, models};
+use lobster_repro::core::{models, policy_by_name};
 use lobster_repro::data::imagenet_1k;
 use lobster_repro::metrics::{fmt_pct, fmt_secs, fmt_speedup, Table};
 use lobster_repro::pipeline::{ClusterSim, ConfigBuilder};

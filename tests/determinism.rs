@@ -6,13 +6,17 @@ use lobster_repro::data::{Dataset, SizeDistribution};
 use lobster_repro::pipeline::{ClusterSim, ConfigBuilder, ExperimentConfig, RunReport};
 
 fn config(seed: u64) -> ExperimentConfig {
-    let dataset =
-        Dataset::generate("det", 4096, SizeDistribution::LogNormal {
+    let dataset = Dataset::generate(
+        "det",
+        4096,
+        SizeDistribution::LogNormal {
             mu: (30_000f64).ln(),
             sigma: 0.8,
             min: 1_000,
             max: 500_000,
-        }, seed);
+        },
+        seed,
+    );
     let cache = dataset.total_bytes() / 5;
     ConfigBuilder::new()
         .nodes(2)
@@ -31,7 +35,14 @@ fn run(seed: u64, policy: Box<dyn LoaderPolicy>) -> RunReport {
 
 #[test]
 fn identical_seeds_produce_identical_reports() {
-    for name in ["pytorch", "dali", "nopfs", "lobster", "lobster_th", "lobster_evict"] {
+    for name in [
+        "pytorch",
+        "dali",
+        "nopfs",
+        "lobster",
+        "lobster_th",
+        "lobster_evict",
+    ] {
         let a = run(7, policy_by_name(name).unwrap());
         let b = run(7, policy_by_name(name).unwrap());
         let ja = serde_json::to_string(&a).unwrap();
@@ -63,7 +74,13 @@ fn dataset_generation_is_seed_stable_across_calls() {
 #[test]
 fn schedule_and_oracle_agree_across_crate_boundaries() {
     use lobster_repro::data::{EpochSchedule, NodeOracle, ScheduleSpec};
-    let spec = ScheduleSpec { nodes: 2, gpus_per_node: 2, batch_size: 8, dataset_len: 512, seed: 3 };
+    let spec = ScheduleSpec {
+        nodes: 2,
+        gpus_per_node: 2,
+        batch_size: 8,
+        dataset_len: 512,
+        seed: 3,
+    };
     let e0 = EpochSchedule::generate(spec, 0);
     let e1 = EpochSchedule::generate(spec, 1);
     let mut oracle = NodeOracle::build(0, &[&e0, &e1], 0);

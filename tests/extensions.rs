@@ -19,19 +19,23 @@ fn base_cfg(nodes: usize) -> ExperimentConfig {
 
 #[test]
 fn slow_node_costs_time_and_adaptive_absorbs_part_of_it() {
-    let nominal_pt =
-        ClusterSim::new(base_cfg(4), policy_by_name("pytorch").unwrap()).run().0;
-    let nominal_lb =
-        ClusterSim::new(base_cfg(4), policy_by_name("lobster").unwrap()).run().0;
+    let nominal_pt = ClusterSim::new(base_cfg(4), policy_by_name("pytorch").unwrap())
+        .run()
+        .0;
+    let nominal_lb = ClusterSim::new(base_cfg(4), policy_by_name("lobster").unwrap())
+        .run()
+        .0;
 
     let slow = |mut c: ExperimentConfig| {
         c.node_slowdown = vec![1.0, 1.0, 2.5, 1.0];
         c
     };
-    let slow_pt =
-        ClusterSim::new(slow(base_cfg(4)), policy_by_name("pytorch").unwrap()).run().0;
-    let slow_lb =
-        ClusterSim::new(slow(base_cfg(4)), policy_by_name("lobster").unwrap()).run().0;
+    let slow_pt = ClusterSim::new(slow(base_cfg(4)), policy_by_name("pytorch").unwrap())
+        .run()
+        .0;
+    let slow_lb = ClusterSim::new(slow(base_cfg(4)), policy_by_name("lobster").unwrap())
+        .run()
+        .0;
 
     // The fault costs everyone something…
     assert!(slow_pt.mean_epoch_s() > nominal_pt.mean_epoch_s());
@@ -46,10 +50,14 @@ fn slow_node_costs_time_and_adaptive_absorbs_part_of_it() {
 
 #[test]
 fn kv_partitioning_trades_local_hits_for_remote_hits() {
-    let rep = ClusterSim::new(base_cfg(4), policy_by_name("lobster").unwrap()).run().0;
+    let rep = ClusterSim::new(base_cfg(4), policy_by_name("lobster").unwrap())
+        .run()
+        .0;
     let mut cfg = base_cfg(4);
     cfg.kv_partitioned = true;
-    let kv = ClusterSim::new(cfg, policy_by_name("lobster").unwrap()).run().0;
+    let kv = ClusterSim::new(cfg, policy_by_name("lobster").unwrap())
+        .run()
+        .0;
 
     // Accounting still balances under KV placement.
     for e in &kv.epochs {
@@ -68,9 +76,15 @@ fn kv_partitioning_trades_local_hits_for_remote_hits() {
 
 #[test]
 fn minio_beats_lru_but_not_reuse_aware_eviction() {
-    let pt = ClusterSim::new(base_cfg(1), policy_by_name("pytorch").unwrap()).run().0;
-    let minio = ClusterSim::new(base_cfg(1), policy_by_name("minio").unwrap()).run().0;
-    let lobster = ClusterSim::new(base_cfg(1), policy_by_name("lobster").unwrap()).run().0;
+    let pt = ClusterSim::new(base_cfg(1), policy_by_name("pytorch").unwrap())
+        .run()
+        .0;
+    let minio = ClusterSim::new(base_cfg(1), policy_by_name("minio").unwrap())
+        .run()
+        .0;
+    let lobster = ClusterSim::new(base_cfg(1), policy_by_name("lobster").unwrap())
+        .run()
+        .0;
     // Pinning a static subset beats pure LRU churn on permutation streams…
     assert!(
         minio.mean_hit_ratio() > pt.mean_hit_ratio(),
@@ -90,7 +104,9 @@ fn node_local_shuffle_with_fitting_shard_is_near_perfect_for_everyone() {
     cfg.partition = PartitionScheme::NodeLocalShuffle;
     // Cache sized to hold a full shard comfortably.
     cfg.cluster.cache_bytes = cfg.dataset.total_bytes() / 3;
-    let pt = ClusterSim::new(cfg, policy_by_name("pytorch").unwrap()).run().0;
+    let pt = ClusterSim::new(cfg, policy_by_name("pytorch").unwrap())
+        .run()
+        .0;
     assert!(
         pt.mean_hit_ratio() > 0.9,
         "local shuffle with fitting shard should hit ~100%: {}",
@@ -106,8 +122,12 @@ fn global_shuffle_is_the_harder_regime() {
     let mut global_cfg = base_cfg(4);
     global_cfg.cluster.cache_bytes = global_cfg.dataset.total_bytes() / 3;
 
-    let local = ClusterSim::new(local_cfg, policy_by_name("pytorch").unwrap()).run().0;
-    let global = ClusterSim::new(global_cfg, policy_by_name("pytorch").unwrap()).run().0;
+    let local = ClusterSim::new(local_cfg, policy_by_name("pytorch").unwrap())
+        .run()
+        .0;
+    let global = ClusterSim::new(global_cfg, policy_by_name("pytorch").unwrap())
+        .run()
+        .0;
     assert!(
         global.mean_hit_ratio() < local.mean_hit_ratio(),
         "global shuffle must be harder on the cache: {} vs {}",

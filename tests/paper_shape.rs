@@ -7,7 +7,11 @@ use lobster_repro::bench::{paper_config, run_policy, BenchParams, DatasetKind};
 use lobster_repro::core::{models, policy_by_name};
 use lobster_repro::pipeline::RunReport;
 
-const PARAMS: BenchParams = BenchParams { scale: 512, epochs: 3, seed: 42 };
+const PARAMS: BenchParams = BenchParams {
+    scale: 512,
+    epochs: 3,
+    seed: 42,
+};
 
 fn run_1k(nodes: usize, name: &str) -> RunReport {
     run_policy(
@@ -24,7 +28,10 @@ fn figure7_lobster_beats_every_baseline() {
     let lobster = run_1k(1, "lobster");
     // Lobster fastest, 1.3–2.0× over PyTorch (paper's overall claim).
     let speedup = pt.mean_epoch_s() / lobster.mean_epoch_s();
-    assert!(speedup > 1.3 && speedup < 2.5, "Lobster vs PyTorch: {speedup:.2}x");
+    assert!(
+        speedup > 1.3 && speedup < 2.5,
+        "Lobster vs PyTorch: {speedup:.2}x"
+    );
     assert!(lobster.mean_epoch_s() < dali.mean_epoch_s());
     assert!(lobster.mean_epoch_s() < nopfs.mean_epoch_s());
     // NoPFS is the strongest baseline.
@@ -43,7 +50,10 @@ fn figure7c_multi_node_widens_the_gap() {
         policy_by_name("lobster").unwrap(),
     );
     let speedup = pt.mean_epoch_s() / lobster.mean_epoch_s();
-    assert!(speedup > 1.4, "multi-node speedup {speedup:.2}x should approach the paper's 2.0x");
+    assert!(
+        speedup > 1.4,
+        "multi-node speedup {speedup:.2}x should approach the paper's 2.0x"
+    );
 }
 
 #[test]
@@ -54,20 +64,33 @@ fn section55_hit_ratio_ordering() {
     assert!(dali <= nopfs + 1e-9, "dali {dali} vs nopfs {nopfs}");
     assert!(nopfs < lobster, "nopfs {nopfs} vs lobster {lobster}");
     // The abstract's headline: Lobster improves on NoPFS by >10 points.
-    assert!(lobster - nopfs > 0.10, "gap {:.1} points", (lobster - nopfs) * 100.0);
+    assert!(
+        lobster - nopfs > 0.10,
+        "gap {:.1} points",
+        (lobster - nopfs) * 100.0
+    );
 }
 
 #[test]
 fn figure8_lobster_minimizes_imbalance() {
     let imb = |name: &str| run_1k(1, name).imbalance_fraction();
     let lobster = imb("lobster");
-    let baselines: Vec<f64> = ["pytorch", "dali", "nopfs"].iter().map(|n| imb(n)).collect();
+    let baselines: Vec<f64> = ["pytorch", "dali", "nopfs"]
+        .iter()
+        .map(|n| imb(n))
+        .collect();
     // No baseline does better, and the worst baseline is strictly worse.
     for (name, &other) in ["pytorch", "dali", "nopfs"].iter().zip(&baselines) {
-        assert!(lobster <= other, "lobster {lobster} must not lose to {name} {other}");
+        assert!(
+            lobster <= other,
+            "lobster {lobster} must not lose to {name} {other}"
+        );
     }
     let worst = baselines.iter().copied().fold(0.0, f64::max);
-    assert!(lobster < worst, "lobster {lobster} vs worst baseline {worst}");
+    assert!(
+        lobster < worst,
+        "lobster {lobster} vs worst baseline {worst}"
+    );
 }
 
 #[test]
@@ -90,7 +113,10 @@ fn figure11_ablation_shape() {
     // system is at least as good as either half.
     assert!(th < dali, "lobster_th {th} vs dali {dali}");
     assert!(evict < dali, "lobster_evict {evict} vs dali {dali}");
-    assert!(th <= evict, "thread management ({th}) should contribute more than eviction ({evict})");
+    assert!(
+        th <= evict,
+        "thread management ({th}) should contribute more than eviction ({evict})"
+    );
     assert!(full <= th * 1.02, "full lobster {full} vs th {th}");
 }
 
@@ -121,7 +147,11 @@ fn figure9_loaders_share_the_learning_curve() {
     let model = models::resnet50();
     let a = simulate_accuracy("pytorch", &model, 60, 42, 1);
     let b = simulate_accuracy("lobster", &model, 60, 42, 2);
-    assert!(max_gap(&a, &b) < 0.03, "curves must track: gap {}", max_gap(&a, &b));
+    assert!(
+        max_gap(&a, &b) < 0.03,
+        "curves must track: gap {}",
+        max_gap(&a, &b)
+    );
     assert!(a.epochs_to_reach(0.74).is_some());
     assert!(b.epochs_to_reach(0.74).is_some());
 }

@@ -2,7 +2,8 @@
 //! contention, skewed stores, and deadlock-freedom at awkward sizes.
 
 use lobster_repro::data::{Dataset, SizeDistribution};
-use lobster_repro::runtime::{expected_integrity, run, EngineConfig, SyntheticStore};
+use lobster_repro::metrics::Instruments;
+use lobster_repro::runtime::{expected_integrity, run, run_with, EngineConfig, SyntheticStore};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -10,7 +11,10 @@ fn store(samples: usize, latency: Duration) -> Arc<SyntheticStore> {
     let ds = Dataset::generate(
         "it-engine",
         samples,
-        SizeDistribution::Uniform { lo: 1_000, hi: 20_000 },
+        SizeDistribution::Uniform {
+            lo: 1_000,
+            hi: 20_000,
+        },
         21,
     );
     Arc::new(SyntheticStore::new(ds, latency, 0.0))
@@ -74,7 +78,11 @@ fn tiny_cache_still_delivers_correct_bytes() {
     let report = run(Arc::clone(&s), cfg);
     assert_eq!(report.integrity, expected);
     // With a ~2-sample cache the store must be hit a lot.
-    assert!(report.store_fetches > 96, "fetches {}", report.store_fetches);
+    assert!(
+        report.store_fetches > 96,
+        "fetches {}",
+        report.store_fetches
+    );
 }
 
 #[test]
@@ -97,22 +105,110 @@ fn slow_store_does_not_deadlock_the_barrier() {
     let ds = Dataset::generate(
         "deadlock",
         512,
-        SizeDistribution::Uniform { lo: 8_000, hi: 64_000 },
+        SizeDistribution::Uniform {
+            lo: 8_000,
+            hi: 64_000,
+        },
         11,
     );
     let s = Arc::new(SyntheticStore::new(ds, Duration::from_micros(300), 100e6));
     let t0 = std::time::Instant::now();
     let report = run(s, cfg);
     assert_eq!(report.delivered, 1024);
-    assert!(t0.elapsed() < Duration::from_secs(60), "took {:?}", t0.elapsed());
+    assert!(
+        t0.elapsed() < Duration::from_secs(60),
+        "took {:?}",
+        t0.elapsed()
+    );
+}
+
+#[test]
+fn instrumented_adaptive_run_logs_decisions_and_balanced_cache_counters() {
+    let cfg = EngineConfig {
+        consumers: 4,
+        batch_size: 8,
+        loader_threads: 4,
+        preproc_threads: 2,
+        cache_bytes: 8 << 20,
+        work_factor: 1,
+        train: Duration::from_millis(1),
+        adaptive: true,
+        epochs: 2,
+        seed: 3,
+    };
+    let s = store(256, Duration::from_micros(50));
+    let expected = expected_integrity(s.dataset(), &cfg);
+    let ins = Instruments::enabled();
+    let report = run_with(s, cfg, ins.clone());
+    assert_eq!(
+        report.integrity, expected,
+        "instrumentation must not disturb the data path"
+    );
+
+    // The adaptive controller ran: at least one decision was recorded, and
+    // each landed in the trace as a controller_decision instant.
+    let decisions = ins.decisions();
+    assert!(
+        !decisions.is_empty(),
+        "adaptive run must log at least one controller decision"
+    );
+    assert!(decisions.iter().all(|d| d.threads_after.len() == 4));
+    let trace = ins.chrome_trace_json().expect("enabled bundle has a trace");
+    let doc: serde_json::Value = serde_json::from_str(&trace).unwrap();
+    let events = doc["traceEvents"].as_array().unwrap();
+    let n_decision_events = events
+        .iter()
+        .filter(|e| e["name"].as_str() == Some("controller_decision"))
+        .count();
+    assert_eq!(n_decision_events, decisions.len());
+
+    // Accounting invariant: the cache is consulted exactly once per fetch
+    // request, so hits + misses must equal the fetch count.
+    let snap = ins.metrics_snapshot();
+    let hits = snap.get("engine.cache_hits").unwrap();
+    let misses = snap.get("engine.cache_misses").unwrap();
+    let fetches = snap.get("engine.fetches").unwrap();
+    assert_eq!(
+        hits + misses,
+        fetches,
+        "hits {hits} + misses {misses} != fetches {fetches}"
+    );
+    // Every scheduled sample triggers exactly one fetch request.
+    assert_eq!(fetches as u64, report.delivered);
+    assert_eq!(
+        snap.get("engine.delivered").unwrap() as u64,
+        report.delivered
+    );
+}
+
+#[test]
+fn disabled_instruments_change_nothing() {
+    let cfg = EngineConfig {
+        epochs: 1,
+        ..EngineConfig::default()
+    };
+    let s = store(64, Duration::ZERO);
+    let expected = expected_integrity(s.dataset(), &cfg);
+    let ins = Instruments::disabled();
+    let report = run_with(s, cfg, ins.clone());
+    assert_eq!(report.integrity, expected);
+    assert!(ins.metrics_snapshot().is_empty());
+    assert!(ins.decisions().is_empty());
+    assert!(ins.chrome_trace_json().is_none());
 }
 
 #[test]
 fn iteration_times_are_recorded_for_every_iteration() {
-    let cfg = EngineConfig { epochs: 3, ..EngineConfig::default() };
+    let cfg = EngineConfig {
+        epochs: 3,
+        ..EngineConfig::default()
+    };
     let s = store(64, Duration::ZERO);
     let report = run(s, cfg.clone());
     let iters_per_epoch = 64 / (cfg.consumers * cfg.batch_size);
-    assert_eq!(report.iteration_secs.len(), iters_per_epoch * cfg.epochs as usize);
+    assert_eq!(
+        report.iteration_secs.len(),
+        iters_per_epoch * cfg.epochs as usize
+    );
     assert!(report.iteration_secs.iter().all(|&t| t > 0.0));
 }

@@ -1,0 +1,297 @@
+//! MPMC channels with crossbeam's API and disconnection semantics.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+
+struct Inner<T> {
+    queue: VecDeque<T>,
+    cap: Option<usize>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Shared<T> {
+    inner: Mutex<Inner<T>>,
+    /// Signalled when a message arrives or the last sender drops.
+    not_empty: Condvar,
+    /// Signalled when space frees up or the last receiver drops.
+    not_full: Condvar,
+}
+
+/// Error returned by [`Sender::send`] when every receiver has dropped.
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and every
+/// sender has dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty, disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// Nothing queued right now, but senders remain.
+    Empty,
+    /// Nothing queued and every sender has dropped.
+    Disconnected,
+}
+
+/// The sending half; clonable.
+pub struct Sender<T>(Arc<Shared<T>>);
+
+/// The receiving half; clonable (each message goes to exactly one receiver).
+pub struct Receiver<T>(Arc<Shared<T>>);
+
+/// Create a channel holding at most `cap` in-flight messages (a zero cap is
+/// treated as one: this shim does not implement rendezvous channels).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    with_cap(Some(cap.max(1)))
+}
+
+/// Create a channel with no capacity bound.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    with_cap(None)
+}
+
+fn with_cap<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        inner: Mutex::new(Inner {
+            queue: VecDeque::new(),
+            cap,
+            senders: 1,
+            receivers: 1,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (Sender(Arc::clone(&shared)), Receiver(shared))
+}
+
+fn lock<T>(shared: &Shared<T>) -> std::sync::MutexGuard<'_, Inner<T>> {
+    shared.inner.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl<T> Sender<T> {
+    /// Send `value`, blocking while the channel is full. Fails only when
+    /// every receiver has dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut inner = lock(&self.0);
+        loop {
+            if inner.receivers == 0 {
+                return Err(SendError(value));
+            }
+            let full = inner.cap.is_some_and(|c| inner.queue.len() >= c);
+            if !full {
+                inner.queue.push_back(value);
+                drop(inner);
+                self.0.not_empty.notify_one();
+                return Ok(());
+            }
+            inner = self
+                .0
+                .not_full
+                .wait(inner)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Messages currently queued.
+    pub fn len(&self) -> usize {
+        lock(&self.0).queue.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Sender<T> {
+        lock(&self.0).senders += 1;
+        Sender(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut inner = lock(&self.0);
+        inner.senders -= 1;
+        let disconnected = inner.senders == 0;
+        drop(inner);
+        if disconnected {
+            // Wake blocked receivers so they can observe disconnection.
+            self.0.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Receive, blocking until a message arrives or every sender drops.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut inner = lock(&self.0);
+        loop {
+            if let Some(v) = inner.queue.pop_front() {
+                drop(inner);
+                self.0.not_full.notify_one();
+                return Ok(v);
+            }
+            if inner.senders == 0 {
+                return Err(RecvError);
+            }
+            inner = self
+                .0
+                .not_empty
+                .wait(inner)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut inner = lock(&self.0);
+        if let Some(v) = inner.queue.pop_front() {
+            drop(inner);
+            self.0.not_full.notify_one();
+            Ok(v)
+        } else if inner.senders == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// Messages currently queued.
+    pub fn len(&self) -> usize {
+        lock(&self.0).queue.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Blocking iterator: yields until the channel is empty *and* every
+    /// sender has dropped.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { rx: self }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Receiver<T> {
+        lock(&self.0).receivers += 1;
+        Receiver(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut inner = lock(&self.0);
+        inner.receivers -= 1;
+        let disconnected = inner.receivers == 0;
+        drop(inner);
+        if disconnected {
+            // Wake blocked senders so they can observe disconnection.
+            self.0.not_full.notify_all();
+        }
+    }
+}
+
+/// Blocking iterator over received messages.
+pub struct Iter<'a, T> {
+    rx: &'a Receiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.rx.recv().ok()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Receiver<T> {
+    type Item = T;
+    type IntoIter = Iter<'a, T>;
+
+    fn into_iter(self) -> Iter<'a, T> {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_len() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.len(), 2);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn drop_of_all_senders_disconnects() {
+        let (tx, rx) = unbounded::<u32>();
+        let tx2 = tx.clone();
+        tx.send(7).unwrap();
+        drop(tx);
+        drop(tx2);
+        assert_eq!(rx.recv(), Ok(7), "queued messages drain after disconnect");
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn drop_of_all_receivers_fails_send() {
+        let (tx, rx) = bounded(2);
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn bounded_blocks_until_space() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let t = std::thread::spawn(move || tx.send(2).map_err(|_| ()));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        t.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn multi_consumer_partitions_messages() {
+        let (tx, rx) = unbounded();
+        let rx2 = rx.clone();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let h = std::thread::spawn(move || rx2.iter().count());
+        let mine = rx.iter().count();
+        let theirs = h.join().unwrap();
+        assert_eq!(mine + theirs, 100);
+    }
+}

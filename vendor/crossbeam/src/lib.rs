@@ -1,0 +1,18 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The build environment has no network access, so the real crate cannot
+//! be fetched. This shim implements the two pieces the workspace uses:
+//!
+//! * [`channel`] — multi-producer **multi-consumer** channels (`bounded`,
+//!   `unbounded`) with `try_recv`, blocking `recv`/`send`, `len`, `iter`,
+//!   clonable `Sender`/`Receiver`, and crossbeam's disconnection
+//!   semantics (receive drains remaining messages after the last sender
+//!   drops; send fails once the last receiver drops).
+//! * [`scope`] — scoped threads over `std::thread::scope`. Child panics
+//!   propagate when the scope joins, which preserves the fail-loud
+//!   behaviour callers rely on via `.expect(...)`.
+
+pub mod channel;
+pub mod thread;
+
+pub use thread::{scope, Scope, ScopedJoinHandle};

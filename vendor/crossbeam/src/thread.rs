@@ -1,0 +1,89 @@
+//! Scoped threads with crossbeam's `scope(|s| ...)` shape, backed by
+//! `std::thread::scope`.
+
+use std::any::Any;
+use std::marker::PhantomData;
+
+/// Handle passed to the scope closure; `spawn` borrows from the enclosing
+/// environment like crossbeam's scope does.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+// Manual Copy/Clone: derive would bound them on the lifetimes' types.
+impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+/// Join handle of a scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+    _marker: PhantomData<&'scope ()>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    pub fn join(self) -> std::thread::Result<T> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a thread scoped to the enclosing [`scope`] call. The closure
+    /// receives the scope handle (crossbeam's signature) so nested spawns
+    /// are possible.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let scope = *self;
+        ScopedJoinHandle {
+            inner: self.inner.spawn(move || f(&scope)),
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// Run `f` with a scope handle; all spawned threads are joined before this
+/// returns. A child panic propagates as a panic when the scope joins (the
+/// `Result` is kept for API compatibility and is always `Ok`), so callers'
+/// `.expect(...)` still fail loudly.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn scope_joins_all_threads() {
+        let sum = AtomicU64::new(0);
+        super::scope(|s| {
+            for i in 1..=10u64 {
+                let sum = &sum;
+                s.spawn(move |_| sum.fetch_add(i, Ordering::Relaxed));
+            }
+        })
+        .unwrap();
+        assert_eq!(sum.load(Ordering::Relaxed), 55);
+    }
+
+    #[test]
+    fn nested_spawn_through_handle() {
+        let hits = AtomicU64::new(0);
+        super::scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| hits.fetch_add(1, Ordering::Relaxed));
+            });
+        })
+        .unwrap();
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+}

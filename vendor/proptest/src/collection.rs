@@ -1,0 +1,103 @@
+//! Collection strategies: `vec` and `hash_set` with a size range.
+
+use crate::runner::TestRng;
+use crate::strategy::Strategy;
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::ops::Range;
+
+/// `Vec` of `size` elements drawn from `element`, `size` uniform in the
+/// given half-open range.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "empty vec size range");
+    VecStrategy { element, size }
+}
+
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.end - self.size.start) as u64;
+        let len = self.size.start + rng.below(span) as usize;
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// `HashSet` of distinct elements; sampling retries duplicates, so the
+/// element strategy's domain must comfortably exceed the requested size.
+pub fn hash_set<S>(element: S, size: Range<usize>) -> HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Hash + Eq,
+{
+    assert!(size.start < size.end, "empty hash_set size range");
+    HashSetStrategy { element, size }
+}
+
+pub struct HashSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S> Strategy for HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Hash + Eq,
+{
+    type Value = HashSet<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+        let span = (self.size.end - self.size.start) as u64;
+        let target = self.size.start + rng.below(span) as usize;
+        let mut set = HashSet::new();
+        let mut attempts = 0usize;
+        // Duplicates are retried; the cap keeps a too-narrow element domain
+        // from looping forever (the set is returned smaller instead).
+        while set.len() < target && attempts < 100 * (target + 1) {
+            set.insert(self.element.sample(rng));
+            attempts += 1;
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::any;
+
+    #[test]
+    fn vec_len_in_range() {
+        let s = vec(0u32..100, 3..9);
+        let mut rng = TestRng::seeded(1);
+        for _ in 0..100 {
+            let v = s.sample(&mut rng);
+            assert!((3..9).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn hash_set_is_distinct_and_sized() {
+        let s = hash_set(any::<u64>(), 2..32);
+        let mut rng = TestRng::seeded(2);
+        for _ in 0..50 {
+            let set = s.sample(&mut rng);
+            assert!((2..32).contains(&set.len()));
+        }
+    }
+
+    #[test]
+    fn hash_set_saturates_small_domains() {
+        let s = hash_set(0usize..8, 1..8);
+        let mut rng = TestRng::seeded(3);
+        for _ in 0..50 {
+            let set = s.sample(&mut rng);
+            assert!(!set.is_empty() && set.len() < 8);
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so the real crate cannot be
+//! fetched. This shim keeps the workspace's property tests running with the
+//! same syntax: the `proptest!` macro, range/tuple/`any` strategies,
+//! `prop_map`, `prop_oneof!`, `proptest::collection::{vec, hash_set}`,
+//! `prop_assume!`, and the `prop_assert*` family.
+//!
+//! Differences from real proptest, deliberately accepted:
+//! * cases are generated from a *deterministic* RNG seeded by the test
+//!   name, so runs are reproducible without a regressions file;
+//! * failing cases are **not shrunk** — the panic message carries the case
+//!   number and the failing assertion instead;
+//! * `.proptest-regressions` files are ignored.
+
+pub mod collection;
+pub mod runner;
+pub mod strategy;
+
+/// Everything the tests import via `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::runner::ProptestConfig;
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+pub use strategy::{any, Strategy};
+
+/// The entry macro: expands each `fn name(pat in strategy, ...) { body }`
+/// into a `#[test]`-able function that samples the strategies `cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { cfg = $crate::runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat_param in $strategy:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::runner::ProptestConfig = $cfg;
+            $crate::runner::run_cases(config, stringify!($name), |__proptest_rng| {
+                $(let $pat = $crate::strategy::Strategy::sample(&($strategy), __proptest_rng);)+
+                $body
+                Ok(())
+            });
+        }
+    )*};
+}
+
+/// Skip this case (and sample a fresh one) when `cond` does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err($crate::runner::Reject);
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_eq!($left, $right, $($fmt)+)
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_ne!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_ne!($left, $right, $($fmt)+)
+    };
+}
+
+/// Choose uniformly among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}

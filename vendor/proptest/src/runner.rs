@@ -1,0 +1,156 @@
+//! Case runner and deterministic RNG.
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Returned by `prop_assume!` to discard the current case.
+pub struct Reject;
+
+/// Deterministic generator (splitmix64): every run of a given test samples
+/// the same cases, so failures are reproducible without a regressions file.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn seeded(seed: u64) -> TestRng {
+        TestRng {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn fnv1a(text: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Prints which case was executing if the test body panics, since this
+/// shim does not shrink failures.
+struct CaseReporter<'a> {
+    test: &'a str,
+    case: u32,
+    attempt: u64,
+}
+
+impl Drop for CaseReporter<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "proptest shim: test `{}` failed on case {} (attempt seed offset {}); \
+                 cases are deterministic, rerun to reproduce",
+                self.test, self.case, self.attempt
+            );
+        }
+    }
+}
+
+/// Run `body` for `config.cases` generated cases. `Err(Reject)` (from
+/// `prop_assume!`) discards the case and samples a fresh one, up to a
+/// bounded number of attempts.
+pub fn run_cases<F>(config: ProptestConfig, test_name: &str, mut body: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), Reject>,
+{
+    let base = fnv1a(test_name);
+    for case in 0..config.cases {
+        let mut accepted = false;
+        for attempt in 0..1_000u64 {
+            let seed = base
+                .wrapping_add((case as u64).wrapping_mul(0x2545_f491_4f6c_dd1d))
+                .wrapping_add(attempt.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            let mut rng = TestRng::seeded(seed);
+            let reporter = CaseReporter {
+                test: test_name,
+                case,
+                attempt,
+            };
+            let result = body(&mut rng);
+            std::mem::forget(reporter);
+            if result.is_ok() {
+                accepted = true;
+                break;
+            }
+        }
+        if !accepted {
+            panic!(
+                "proptest shim: test `{test_name}` rejected 1000 consecutive cases \
+                 (prop_assume! condition too strict?)"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::seeded(7);
+        let mut b = TestRng::seeded(7);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn unit_f64_in_range() {
+        let mut rng = TestRng::seeded(3);
+        for _ in 0..1_000 {
+            let x = rng.unit_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn rejects_are_retried() {
+        let mut calls = 0;
+        run_cases(ProptestConfig::with_cases(4), "retry", |_| {
+            calls += 1;
+            if calls % 2 == 1 {
+                Err(Reject)
+            } else {
+                Ok(())
+            }
+        });
+        assert_eq!(calls, 8);
+    }
+}

@@ -1,0 +1,341 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no network access, so the real serde cannot be
+//! fetched. This shim keeps the workspace's `#[derive(Serialize,
+//! Deserialize)]` + `serde_json` surface working by replacing serde's
+//! visitor architecture with a much simpler *value-tree* model:
+//!
+//! * [`Serialize`] converts a type into a [`value::Value`] tree;
+//! * [`Deserialize`] reconstructs a type from a `Value` tree;
+//! * the companion `serde_json` shim renders/parses `Value` as JSON.
+//!
+//! The derive macros (re-exported from `serde_derive`) cover the shapes this
+//! workspace uses: named-field structs, tuple/newtype structs, and enums
+//! with unit, newtype, and struct variants (externally tagged, like real
+//! serde). `#[serde(...)]` field attributes are not supported — the
+//! workspace does not use any.
+//!
+//! Object maps preserve insertion order, so serialization is deterministic:
+//! two runs producing equal values render to byte-identical JSON (the
+//! determinism tests compare strings).
+
+pub mod value;
+
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::{DeError, Map, Number, Value};
+
+/// Convert `self` into a [`Value`] tree.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstruct `Self` from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+
+    /// Called when a struct field is missing from the input map. The default
+    /// is an error; `Option<T>` overrides it to produce `None` so optional
+    /// fields behave like real serde's `#[serde(default)]`-free `Option`.
+    fn absent() -> Result<Self, DeError> {
+        Err(DeError::new("missing required field"))
+    }
+}
+
+/// Look up `name` in `map` and deserialize it, falling back to
+/// [`Deserialize::absent`] when the key is not present. Used by the derive
+/// macro for struct fields.
+pub fn field<T: Deserialize>(map: &Map, name: &str) -> Result<T, DeError> {
+    match map.get(name) {
+        Some(v) => T::from_value(v).map_err(|e| e.in_field(name)),
+        None => T::absent().map_err(|e| e.in_field(name)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for primitives and std containers.
+// ---------------------------------------------------------------------------
+
+macro_rules! ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::U(*self as u64))
+            }
+        }
+    )*};
+}
+ser_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::I(*self as i64))
+            }
+        }
+    )*};
+}
+ser_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for u128 {
+    fn to_value(&self) -> Value {
+        // Matches real serde_json's arbitrary-precision-free behaviour
+        // closely enough for this workspace: values beyond u64 would lose
+        // precision anyway, and the histogram sums it serializes stay far
+        // below the u64 ceiling.
+        match u64::try_from(*self) {
+            Ok(u) => Value::Number(Number::U(u)),
+            Err(_) => Value::String(self.to_string()),
+        }
+    }
+}
+
+impl Serialize for i128 {
+    fn to_value(&self) -> Value {
+        match i64::try_from(*self) {
+            Ok(i) => Value::Number(Number::I(i)),
+            Err(_) => Value::String(self.to_string()),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::F(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::F(*self as f64))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let arr = v.as_array().ok_or_else(|| DeError::expected("array", v))?;
+                let expected = [$($idx),+].len();
+                if arr.len() != expected {
+                    return Err(DeError::new(format!(
+                        "expected tuple of {expected}, got array of {}",
+                        arr.len()
+                    )));
+                }
+                Ok(($($name::from_value(&arr[$idx])?,)+))
+            }
+        }
+    )*};
+}
+tuple_impls! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+impl<T: Serialize> Serialize for std::collections::BTreeMap<String, T> {
+    fn to_value(&self) -> Value {
+        let mut map = Map::new();
+        for (k, v) in self {
+            map.insert(k.clone(), v.to_value());
+        }
+        Value::Object(map)
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls.
+// ---------------------------------------------------------------------------
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = v
+                    .as_number()
+                    .ok_or_else(|| DeError::expected("number", v))?;
+                n.to_i128()
+                    .and_then(|w| <$t>::try_from(w).ok())
+                    .ok_or_else(|| {
+                        DeError::new(concat!("number out of range for ", stringify!($t)))
+                    })
+            }
+        }
+    )*};
+}
+de_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Deserialize for u128 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        if let Some(s) = v.as_str() {
+            return s.parse().map_err(|_| DeError::new("invalid u128 string"));
+        }
+        let n = v
+            .as_number()
+            .ok_or_else(|| DeError::expected("number", v))?;
+        n.to_i128()
+            .and_then(|w| u128::try_from(w).ok())
+            .ok_or_else(|| DeError::new("number out of range for u128"))
+    }
+}
+
+impl Deserialize for i128 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        if let Some(s) = v.as_str() {
+            return s.parse().map_err(|_| DeError::new("invalid i128 string"));
+        }
+        let n = v
+            .as_number()
+            .ok_or_else(|| DeError::expected("number", v))?;
+        n.to_i128()
+            .ok_or_else(|| DeError::new("expected integer for i128"))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64().ok_or_else(|| DeError::expected("number", v))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_bool().ok_or_else(|| DeError::expected("bool", v))
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::expected("string", v))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn absent() -> Result<Self, DeError> {
+        Ok(None)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_array()
+            .ok_or_else(|| DeError::expected("array", v))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::collections::BTreeMap<String, T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let map = v.as_object().ok_or_else(|| DeError::expected("map", v))?;
+        map.iter()
+            .map(|(k, v)| T::from_value(v).map(|t| (k.clone(), t)))
+            .collect()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_absent_is_none() {
+        assert_eq!(<Option<u32>>::absent().unwrap(), None);
+        assert!(u32::absent().is_err());
+    }
+
+    #[test]
+    fn int_roundtrip_and_range_check() {
+        let v = 300u64.to_value();
+        assert_eq!(u64::from_value(&v).unwrap(), 300);
+        assert!(u8::from_value(&v).is_err());
+    }
+
+    #[test]
+    fn float_accepts_integer_numbers() {
+        assert_eq!(f64::from_value(&Value::Number(Number::U(3))).unwrap(), 3.0);
+    }
+}

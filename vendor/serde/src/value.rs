@@ -1,0 +1,262 @@
+//! The value tree: a JSON-shaped data model with order-preserving maps.
+
+use std::fmt;
+
+/// A JSON-shaped value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    Object(Map),
+}
+
+/// A number, kept in its source representation so integers never pick up a
+/// trailing `.0` and `u64::MAX` survives untruncated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    U(u64),
+    I(i64),
+    F(f64),
+}
+
+impl Number {
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Number::U(u) => u as f64,
+            Number::I(i) => i as f64,
+            Number::F(f) => f,
+        }
+    }
+
+    /// Integral view, if this number is an integer (floats with zero
+    /// fractional part included, so `3.0` deserializes into integer fields).
+    pub fn to_i128(self) -> Option<i128> {
+        match self {
+            Number::U(u) => Some(u as i128),
+            Number::I(i) => Some(i as i128),
+            Number::F(f) if f.fract() == 0.0 && f.abs() < 9.0e18 => Some(f as i128),
+            Number::F(_) => None,
+        }
+    }
+}
+
+/// An insertion-ordered string-keyed map, so serialization output is
+/// deterministic and mirrors field declaration order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    pub fn new() -> Map {
+        Map::default()
+    }
+
+    /// Insert or replace `key`.
+    pub fn insert(&mut self, key: String, value: Value) {
+        match self.entries.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, v)) => *v = value,
+            None => self.entries.push((key, value)),
+        }
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    pub fn keys(&self) -> impl Iterator<Item = &String> {
+        self.entries.iter().map(|(k, _)| k)
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_number(&self) -> Option<Number> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        self.as_number()
+            .and_then(|n| n.to_i128())
+            .and_then(|i| u64::try_from(i).ok())
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        self.as_number()
+            .and_then(|n| n.to_i128())
+            .and_then(|i| i64::try_from(i).ok())
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        self.as_number().map(Number::as_f64)
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// `Some(&value)` for a present object key or in-bounds array index.
+    pub fn get<I: ValueIndex>(&self, index: I) -> Option<&Value> {
+        index.lookup(self)
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Index into a [`Value`] by object key or array position.
+pub trait ValueIndex {
+    fn lookup<'a>(&self, v: &'a Value) -> Option<&'a Value>;
+}
+
+impl ValueIndex for &str {
+    fn lookup<'a>(&self, v: &'a Value) -> Option<&'a Value> {
+        v.as_object().and_then(|m| m.get(self))
+    }
+}
+
+impl ValueIndex for usize {
+    fn lookup<'a>(&self, v: &'a Value) -> Option<&'a Value> {
+        v.as_array().and_then(|a| a.get(*self))
+    }
+}
+
+impl<I: ValueIndex> std::ops::Index<I> for Value {
+    type Output = Value;
+
+    /// Missing keys/indices yield `Value::Null`, like serde_json.
+    fn index(&self, index: I) -> &Value {
+        index.lookup(self).unwrap_or(&NULL)
+    }
+}
+
+/// Deserialization error: a message plus the field path it occurred under.
+#[derive(Debug, Clone)]
+pub struct DeError {
+    message: String,
+    path: Vec<String>,
+}
+
+impl DeError {
+    pub fn new(message: impl Into<String>) -> DeError {
+        DeError {
+            message: message.into(),
+            path: Vec::new(),
+        }
+    }
+
+    pub fn expected(what: &str, got: &Value) -> DeError {
+        DeError::new(format!("expected {what}, got {}", got.kind()))
+    }
+
+    pub fn unknown_variant(variant: &str, ty: &str) -> DeError {
+        DeError::new(format!("unknown variant `{variant}` for {ty}"))
+    }
+
+    /// Prefix the error's path with the field it occurred in.
+    pub fn in_field(mut self, name: &str) -> DeError {
+        self.path.insert(0, name.to_string());
+        self
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.path.is_empty() {
+            write!(f, "{}", self.message)
+        } else {
+            write!(f, "{}: {}", self.path.join("."), self.message)
+        }
+    }
+}
+
+impl std::error::Error for DeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_insertion_order() {
+        let mut m = Map::new();
+        m.insert("z".into(), Value::Null);
+        m.insert("a".into(), Value::Bool(true));
+        m.insert("z".into(), Value::Bool(false));
+        let keys: Vec<_> = m.keys().cloned().collect();
+        assert_eq!(keys, ["z", "a"]);
+        assert_eq!(m.get("z"), Some(&Value::Bool(false)));
+    }
+
+    #[test]
+    fn index_falls_back_to_null() {
+        let v = Value::Object(Map::new());
+        assert!(v["nope"].is_null());
+        assert!(v["nope"]["deeper"].is_null());
+    }
+
+    #[test]
+    fn number_integral_views() {
+        assert_eq!(Number::F(3.0).to_i128(), Some(3));
+        assert_eq!(Number::F(3.5).to_i128(), None);
+        assert_eq!(Number::U(u64::MAX).to_i128(), Some(u64::MAX as i128));
+    }
+}

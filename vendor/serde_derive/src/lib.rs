@@ -1,0 +1,369 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline serde stand-in.
+//!
+//! Implemented directly on `proc_macro::TokenStream` — the build
+//! environment cannot fetch `syn`/`quote`, so the input is parsed with a
+//! small hand-rolled scanner and the impls are emitted as source strings.
+//!
+//! Supported shapes (everything this workspace derives on):
+//! * structs with named fields                  → JSON object;
+//! * newtype structs (`struct SimTime(pub u64)`) → the inner value;
+//! * tuple structs with 2+ fields               → JSON array;
+//! * enums with unit variants                   → `"Variant"`;
+//! * enums with newtype variants                → `{"Variant": value}`;
+//! * enums with struct variants                 → `{"Variant": {..fields}}`.
+//!
+//! Not supported (and unused in this workspace): generics, `#[serde(...)]`
+//! attributes, tuple variants with 2+ fields. Unsupported input panics at
+//! macro-expansion time with a clear message rather than miscompiling.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// A minimal shape model.
+// ---------------------------------------------------------------------------
+
+enum Item {
+    /// `struct Name { a: T, b: U }`
+    Struct { name: String, fields: Vec<String> },
+    /// `struct Name(T, U);` — arity only; types are recovered by inference.
+    TupleStruct { name: String, arity: usize },
+    /// `enum Name { Unit, Newtype(T), Struct { a: T } }`
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Newtype,
+    Struct(Vec<String>),
+}
+
+// ---------------------------------------------------------------------------
+// Parsing.
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    skip_attrs_and_vis(&tokens, &mut pos);
+
+    let kind = expect_ident(&tokens, &mut pos);
+    let name = expect_ident(&tokens, &mut pos);
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stand-in derive: generic type `{name}` is not supported");
+    }
+
+    match (kind.as_str(), tokens.get(pos)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Item::Struct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            }
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Item::TupleStruct {
+                name,
+                arity: split_top_level(g.stream()).len(),
+            }
+        }
+        ("struct", _) => panic!("serde stand-in derive: unit struct `{name}` is not supported"),
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => Item::Enum {
+            name,
+            variants: parse_variants(g.stream()),
+        },
+        _ => panic!("serde stand-in derive: cannot parse item `{name}`"),
+    }
+}
+
+/// Skip any number of `#[...]` attributes followed by an optional
+/// `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 2; // '#' + the bracketed group
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                *pos += 1;
+                if matches!(tokens.get(*pos), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *pos += 1; // pub(crate) etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> String {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(i)) => {
+            *pos += 1;
+            i.to_string()
+        }
+        other => panic!("serde stand-in derive: expected identifier, got {other:?}"),
+    }
+}
+
+/// Split a token stream on top-level commas. Commas inside groups are
+/// already hidden by tokenization; commas inside generic angle brackets
+/// (`HashMap<K, V>`) are excluded by tracking `<`/`>` punct depth.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0i32;
+    for tok in stream {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    chunks.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(tok);
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+/// Field names of `{ a: T, pub b: U }` (attributes and visibility skipped).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|chunk| {
+            let mut pos = 0;
+            skip_attrs_and_vis(&chunk, &mut pos);
+            expect_ident(&chunk, &mut pos)
+        })
+        .collect()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|chunk| {
+            let mut pos = 0;
+            skip_attrs_and_vis(&chunk, &mut pos);
+            let name = expect_ident(&chunk, &mut pos);
+            let shape = match chunk.get(pos) {
+                None => VariantShape::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantShape::Struct(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let arity = split_top_level(g.stream()).len();
+                    if arity != 1 {
+                        panic!(
+                            "serde stand-in derive: tuple variant `{name}` with {arity} \
+                             fields is not supported"
+                        );
+                    }
+                    VariantShape::Newtype
+                }
+                Some(other) => {
+                    panic!("serde stand-in derive: cannot parse variant `{name}`: {other:?}")
+                }
+            };
+            Variant { name, shape }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (source strings, then `.parse()` back into tokens).
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let mut body = String::from("let mut map = ::serde::value::Map::new();\n");
+            for f in fields {
+                body.push_str(&format!(
+                    "map.insert(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}));\n"
+                ));
+            }
+            body.push_str("::serde::value::Value::Object(map)");
+            impl_serialize(name, &body)
+        }
+        Item::TupleStruct { name, arity: 1 } => {
+            impl_serialize(name, "::serde::Serialize::to_value(&self.0)")
+        }
+        Item::TupleStruct { name, arity } => {
+            let elems: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            impl_serialize(
+                name,
+                &format!("::serde::value::Value::Array(vec![{}])", elems.join(", ")),
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::value::Value::String(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantShape::Newtype => arms.push_str(&format!(
+                        "{name}::{vn}(inner) => {{\n\
+                         let mut outer = ::serde::value::Map::new();\n\
+                         outer.insert(\"{vn}\".to_string(), \
+                         ::serde::Serialize::to_value(inner));\n\
+                         ::serde::value::Value::Object(outer)\n}}\n"
+                    )),
+                    VariantShape::Struct(fields) => {
+                        let pats = fields.join(", ");
+                        let mut inserts = String::new();
+                        for f in fields {
+                            inserts.push_str(&format!(
+                                "inner.insert(\"{f}\".to_string(), \
+                                 ::serde::Serialize::to_value({f}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {pats} }} => {{\n\
+                             let mut inner = ::serde::value::Map::new();\n\
+                             {inserts}\
+                             let mut outer = ::serde::value::Map::new();\n\
+                             outer.insert(\"{vn}\".to_string(), \
+                             ::serde::value::Value::Object(inner));\n\
+                             ::serde::value::Value::Object(outer)\n}}\n"
+                        ));
+                    }
+                }
+            }
+            impl_serialize(name, &format!("match self {{\n{arms}}}"))
+        }
+    }
+}
+
+fn impl_serialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::value::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let mut body = format!(
+                "let map = v.as_object().ok_or_else(|| \
+                 ::serde::value::DeError::expected(\"map for {name}\", v))?;\n\
+                 Ok({name} {{\n"
+            );
+            for f in fields {
+                body.push_str(&format!("{f}: ::serde::field(map, \"{f}\")?,\n"));
+            }
+            body.push_str("})");
+            impl_deserialize(name, &body)
+        }
+        Item::TupleStruct { name, arity: 1 } => impl_deserialize(
+            name,
+            &format!("Ok({name}(::serde::Deserialize::from_value(v)?))"),
+        ),
+        Item::TupleStruct { name, arity } => {
+            let mut body = format!(
+                "let arr = v.as_array().ok_or_else(|| \
+                 ::serde::value::DeError::expected(\"array for {name}\", v))?;\n\
+                 if arr.len() != {arity} {{\n\
+                 return Err(::serde::value::DeError::new(\
+                 \"wrong tuple length for {name}\"));\n}}\n\
+                 Ok({name}(\n"
+            );
+            for i in 0..*arity {
+                body.push_str(&format!("::serde::Deserialize::from_value(&arr[{i}])?,\n"));
+            }
+            body.push_str("))");
+            impl_deserialize(name, &body)
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut keyed_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => return Ok({name}::{vn}),\n"));
+                    }
+                    VariantShape::Newtype => keyed_arms.push_str(&format!(
+                        "if let Some(inner) = map.get(\"{vn}\") {{\n\
+                         return Ok({name}::{vn}(\
+                         ::serde::Deserialize::from_value(inner)?));\n}}\n"
+                    )),
+                    VariantShape::Struct(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            inits.push_str(&format!("{f}: ::serde::field(fm, \"{f}\")?,\n"));
+                        }
+                        keyed_arms.push_str(&format!(
+                            "if let Some(inner) = map.get(\"{vn}\") {{\n\
+                             let fm = inner.as_object().ok_or_else(|| \
+                             ::serde::value::DeError::expected(\
+                             \"map for {name}::{vn}\", inner))?;\n\
+                             return Ok({name}::{vn} {{\n{inits}}});\n}}\n"
+                        ));
+                    }
+                }
+            }
+            // Omit the object probe entirely for all-unit enums so the
+            // generated code has no unused `map` binding.
+            let object_block = if keyed_arms.is_empty() {
+                String::new()
+            } else {
+                format!("if let Some(map) = v.as_object() {{\n{keyed_arms}}}\n")
+            };
+            let body = format!(
+                "if let Some(s) = v.as_str() {{\n\
+                 match s {{\n{unit_arms}\
+                 other => return Err(::serde::value::DeError::unknown_variant(other, \
+                 \"{name}\")),\n}}\n}}\n\
+                 {object_block}\
+                 Err(::serde::value::DeError::expected(\"variant of {name}\", v))"
+            );
+            impl_deserialize(name, &body)
+        }
+    }
+}
+
+fn impl_deserialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::value::Value) \
+         -> ::std::result::Result<Self, ::serde::value::DeError> {{\n{body}\n}}\n}}\n"
+    )
+}
