@@ -15,4 +15,9 @@ cargo build --workspace --release
 echo "== test =="
 cargo test -q --workspace
 
+echo "== fault smoke =="
+# Small fixed-seed fault-matrix run against the live engine and simulator;
+# the hard timeout turns a deadlock into a fast failure.
+timeout 120 cargo run -q --release -p lobster-bench --bin fault_smoke
+
 echo "CI OK"

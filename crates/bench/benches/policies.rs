@@ -73,6 +73,7 @@ fn bench_live_engine(c: &mut Criterion) {
                 adaptive: true,
                 epochs: 1,
                 seed: 3,
+                retry: Default::default(),
             };
             black_box(engine_run(store, cfg).delivered)
         })

@@ -1,0 +1,138 @@
+//! Fast fault-matrix smoke check for CI (DESIGN.md §8).
+//!
+//! Runs the *live* engine at a small, fixed scale under every fault class
+//! at once — transient errors, payload corruption, stalls, worker-poisoning
+//! panics, and a mid-run step slowdown — and verifies that the run
+//! completes (no hang, no abort) with the exact schedule-determined
+//! integrity fingerprint and non-zero recovery counters. Then replays a
+//! tiny simulator config with a time-varying straggler to cover the
+//! modelled path. Exits non-zero on any violation; CI wraps it in a hard
+//! timeout so a deadlock fails fast instead of stalling the pipeline.
+//!
+//! ```sh
+//! cargo run --release --bin fault_smoke          # defaults
+//! cargo run --release --bin fault_smoke -- --faults transient=0.2,seed=7
+//! ```
+
+use lobster_bench::faults_from_args;
+use lobster_core::policy_by_name;
+use lobster_metrics::Instruments;
+use lobster_pipeline::ConfigBuilder;
+use lobster_runtime::{expected_integrity, run_with, EngineConfig, SyntheticStore};
+use lobster_storage::{FaultSpec, SlowdownProfile};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("FAULT SMOKE FAILED: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let t0 = Instant::now();
+
+    // ---- Live engine under the full fault matrix. ----
+    let spec = faults_from_args(
+        FaultSpec::parse(
+            "transient=0.08,corrupt=0.03,stall=0.03,stall-ms=2,poison=0.01,seed=20220822,\
+             slow=0:step:2:0.2",
+        )
+        .expect("default smoke spec parses"),
+    );
+    println!("fault smoke: engine spec {spec:?}");
+    let dataset = lobster_data::Dataset::generate(
+        "fault-smoke",
+        128,
+        lobster_data::SizeDistribution::Constant { bytes: 4_000 },
+        5,
+    );
+    let cfg = EngineConfig {
+        consumers: 2,
+        batch_size: 8,
+        loader_threads: 2,
+        preproc_threads: 2,
+        epochs: 2,
+        seed: 20220822,
+        train: Duration::from_micros(200),
+        ..EngineConfig::default()
+    };
+    let expected = expected_integrity(&dataset, &cfg);
+    let plan = match spec.compile() {
+        Ok(p) => p,
+        Err(e) => fail(&format!("fault spec rejected: {e}")),
+    };
+    let injecting = !plan.is_noop();
+    let store = Arc::new(SyntheticStore::with_faults(
+        dataset,
+        Duration::from_micros(50),
+        500e6,
+        plan,
+    ));
+    let ins = Instruments::enabled();
+    let report = run_with(Arc::clone(&store), cfg, ins.clone());
+    println!(
+        "engine: delivered={} retries={} corruptions={} deadlines={} panics={} aborted={}",
+        report.delivered,
+        report.retries,
+        report.corruptions_detected,
+        report.deadline_exceeded,
+        report.worker_panics,
+        report.aborted,
+    );
+    if report.aborted {
+        fail("engine aborted instead of healing");
+    }
+    if report.integrity != expected {
+        fail(&format!(
+            "integrity fingerprint {:#x} != schedule-determined {:#x}",
+            report.integrity, expected
+        ));
+    }
+    if injecting {
+        let injected = store.injected();
+        if injected.transients > 0 && report.retries == 0 {
+            fail("transient faults injected but zero retries recorded");
+        }
+        if injected.corruptions > 0 && report.corruptions_detected != injected.corruptions {
+            fail("corrupted payloads escaped checksum verification");
+        }
+        if injected.poisons > 0 && report.worker_panics != injected.poisons {
+            fail("poisoned workers were not all contained");
+        }
+        let snap = ins.metrics_snapshot();
+        if injected.transients > 0 && snap.get("engine.retries").unwrap_or(0) == 0 {
+            fail("engine.retries counter not exported");
+        }
+    }
+
+    // ---- Simulator with a time-varying straggler. ----
+    let dataset = lobster_data::imagenet_1k(512, 3);
+    let cfg = ConfigBuilder::new()
+        .nodes(2)
+        .gpus_per_node(4)
+        .cache_bytes(dataset.total_bytes() / 4)
+        .epochs(2)
+        .dataset(dataset)
+        .try_slow_node_profile(
+            1,
+            SlowdownProfile::Flap {
+                period_s: 5.0,
+                lo: 1.0,
+                hi: 2.0,
+            },
+        )
+        .expect("valid profile")
+        .build();
+    let sim_report = lobster_pipeline::ClusterSim::new(cfg, policy_by_name("lobster").unwrap())
+        .run()
+        .0;
+    if sim_report.mean_epoch_s() <= 0.0 {
+        fail("simulator run under flapping straggler produced no epochs");
+    }
+    println!(
+        "sim: mean epoch {:.3}s under flapping node-1 straggler",
+        sim_report.mean_epoch_s()
+    );
+
+    println!("fault smoke passed in {:.2?}", t0.elapsed());
+}

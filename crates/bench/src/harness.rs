@@ -12,6 +12,7 @@ use lobster_core::{LoaderPolicy, ModelProfile};
 use lobster_data::Dataset;
 use lobster_metrics::Instruments;
 use lobster_pipeline::{ClusterSim, ConfigBuilder, ExperimentConfig, RunReport};
+use lobster_storage::FaultSpec;
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
 
@@ -173,6 +174,33 @@ pub fn params_from_args(default: BenchParams) -> BenchParams {
         i += 2;
     }
     params
+}
+
+/// Fault-injection CLI: `--faults <spec>` parses a seeded fault
+/// specification (see [`FaultSpec::parse`]), e.g.
+///
+/// ```text
+/// --faults transient=0.05,corrupt=0.01,stall=0.02,stall-ms=50,seed=9,slow=0:step:2.5:40
+/// ```
+///
+/// Returns `default` (typically [`FaultSpec::default`], a no-op) when the
+/// flag is absent; an unparsable spec is a usage error (exit 2).
+pub fn faults_from_args(default: FaultSpec) -> FaultSpec {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(w) = args.windows(2).find(|w| w[0] == "--faults") {
+        match FaultSpec::parse(&w[1]) {
+            Ok(spec) => return spec,
+            Err(e) => {
+                eprintln!("error: invalid --faults spec: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if args.last().map(String::as_str) == Some("--faults") {
+        eprintln!("error: --faults requires a spec argument");
+        std::process::exit(2);
+    }
+    default
 }
 
 /// Observability CLI: `--trace-out <path>` turns instrumentation on and

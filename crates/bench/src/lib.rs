@@ -8,7 +8,7 @@
 pub mod harness;
 
 pub use harness::{
-    compare_policies, observability_from_args, paper_config, params_from_args, run_policy,
-    run_policy_with, scaled_cache_bytes, write_observability, BenchParams, DatasetKind, PolicyRow,
-    BASELINE_NAMES,
+    compare_policies, faults_from_args, observability_from_args, paper_config, params_from_args,
+    run_policy, run_policy_with, scaled_cache_bytes, write_observability, BenchParams, DatasetKind,
+    PolicyRow, BASELINE_NAMES,
 };

@@ -3,7 +3,7 @@
 
 use lobster_core::{ClusterSpec, ModelProfile, PreprocGovernor, PreprocModel};
 use lobster_data::{Dataset, PartitionScheme, ScheduleSpec};
-use lobster_storage::StorageModel;
+use lobster_storage::{FaultConfigError, SlowdownProfile, StorageModel};
 
 /// One training-run configuration.
 #[derive(Debug, Clone)]
@@ -31,9 +31,15 @@ pub struct ExperimentConfig {
     pub imbalance_fraction: f64,
     /// How many iterations ahead the deterministic prefetcher may look.
     pub prefetch_lookahead: usize,
-    /// Fault injection: per-node I/O slowdown multipliers applied to every
-    /// load time on that node (missing entries = 1.0). DESIGN.md §8.
-    pub node_slowdown: Vec<f64>,
+    /// Fault injection: per-node, time-varying I/O slowdown profiles
+    /// applied to every load time on that node (missing entries = nominal).
+    /// Evaluated at the simulator's current time, so a node can degrade
+    /// mid-run (step), oscillate (flap), or drift (ramp). DESIGN.md §8.
+    pub node_slowdown: Vec<SlowdownProfile>,
+    /// Non-fatal configuration problems the builder repaired (e.g. a
+    /// slowdown factor < 1 clamped to nominal). Surfaced so runs are not
+    /// silently different from what the caller asked for.
+    pub config_warnings: Vec<String>,
     /// Distributed-cache topology extension (§2 mentions "alternatives to
     /// distributed caching like for example KV-stores"): when true, each
     /// sample has a hash-owner node and fetched samples are cached at their
@@ -45,6 +51,22 @@ pub struct ExperimentConfig {
 }
 
 impl ExperimentConfig {
+    /// The I/O slowdown multiplier for `node` at simulated time `t_s`
+    /// (1.0 = nominal for nodes without a profile).
+    pub fn slowdown_at(&self, node: usize, t_s: f64) -> f64 {
+        self.node_slowdown
+            .get(node)
+            .map_or(1.0, |p| p.factor_at(t_s))
+    }
+
+    /// The worst-case slowdown any node ever reaches (≥ 1.0).
+    pub fn peak_slowdown(&self) -> f64 {
+        self.node_slowdown
+            .iter()
+            .map(SlowdownProfile::peak)
+            .fold(1.0, f64::max)
+    }
+
     /// The schedule spec implied by this configuration.
     pub fn schedule_spec(&self) -> ScheduleSpec {
         ScheduleSpec {
@@ -86,7 +108,8 @@ pub struct ConfigBuilder {
     dataset: Option<Dataset>,
     epochs: u64,
     seed: u64,
-    node_slowdown: Vec<f64>,
+    node_slowdown: Vec<SlowdownProfile>,
+    warnings: Vec<String>,
     kv_partitioned: bool,
     partition: PartitionScheme,
 }
@@ -106,6 +129,7 @@ impl ConfigBuilder {
             epochs: 3,
             seed: 42,
             node_slowdown: Vec::new(),
+            warnings: Vec::new(),
             kv_partitioned: false,
             partition: PartitionScheme::GlobalShuffle,
         }
@@ -156,13 +180,47 @@ impl ConfigBuilder {
         self
     }
 
-    /// Inject an I/O slowdown on one node (1.0 = nominal; 2.0 = half speed).
+    /// Inject a constant I/O slowdown on one node (1.0 = nominal; 2.0 =
+    /// half speed). An invalid factor (< 1, NaN, infinite) is *clamped to
+    /// nominal* and recorded as a configuration warning instead of
+    /// panicking — the strict variant is [`try_slow_node`].
+    ///
+    /// [`try_slow_node`]: ConfigBuilder::try_slow_node
     pub fn slow_node(mut self, node: usize, factor: f64) -> Self {
-        assert!(factor >= 1.0, "slowdown factors are ≥ 1");
-        if self.node_slowdown.len() <= node {
-            self.node_slowdown.resize(node + 1, 1.0);
+        let profile = SlowdownProfile::Constant(factor);
+        if profile.validate().is_err() {
+            self.warnings.push(format!(
+                "slow_node({node}, {factor}): factor must be a finite value ≥ 1; \
+                 clamped to nominal (1.0)"
+            ));
+            return self.set_profile(node, SlowdownProfile::NOMINAL);
         }
-        self.node_slowdown[node] = factor;
+        self.set_profile(node, profile)
+    }
+
+    /// Like [`slow_node`](ConfigBuilder::slow_node) but an invalid factor
+    /// is an error instead of a clamp.
+    pub fn try_slow_node(self, node: usize, factor: f64) -> Result<Self, FaultConfigError> {
+        self.try_slow_node_profile(node, SlowdownProfile::Constant(factor))
+    }
+
+    /// Attach a time-varying slowdown profile (step, flap, ramp, …) to one
+    /// node, validating it first.
+    pub fn try_slow_node_profile(
+        self,
+        node: usize,
+        profile: SlowdownProfile,
+    ) -> Result<Self, FaultConfigError> {
+        profile.validate()?;
+        Ok(self.set_profile(node, profile))
+    }
+
+    fn set_profile(mut self, node: usize, profile: SlowdownProfile) -> Self {
+        if self.node_slowdown.len() <= node {
+            self.node_slowdown
+                .resize(node + 1, SlowdownProfile::NOMINAL);
+        }
+        self.node_slowdown[node] = profile;
         self
     }
 
@@ -200,6 +258,7 @@ impl ConfigBuilder {
             imbalance_fraction: 0.25,
             prefetch_lookahead: 64,
             node_slowdown: self.node_slowdown,
+            config_warnings: self.warnings,
             kv_partitioned: self.kv_partitioned,
             partition: self.partition,
         }
@@ -252,5 +311,63 @@ mod tests {
     #[should_panic(expected = "dataset must be set")]
     fn missing_dataset_panics() {
         ConfigBuilder::new().build();
+    }
+
+    #[test]
+    fn slow_node_accepts_valid_factor() {
+        let cfg = ConfigBuilder::new()
+            .dataset(tiny_dataset())
+            .nodes(4)
+            .slow_node(2, 2.5)
+            .build();
+        assert!(cfg.config_warnings.is_empty());
+        assert_eq!(cfg.slowdown_at(2, 0.0), 2.5);
+        assert_eq!(cfg.slowdown_at(2, 1e6), 2.5);
+        assert_eq!(cfg.slowdown_at(0, 0.0), 1.0, "unprofiled nodes are nominal");
+        assert_eq!(cfg.peak_slowdown(), 2.5);
+    }
+
+    #[test]
+    fn slow_node_clamps_invalid_factor_with_warning() {
+        // The old builder panicked here (assert!(factor >= 1.0)); now the
+        // run proceeds at nominal speed and the repair is recorded.
+        for bad in [0.5, -3.0, f64::NAN, f64::INFINITY] {
+            let cfg = ConfigBuilder::new()
+                .dataset(tiny_dataset())
+                .slow_node(0, bad)
+                .build();
+            assert_eq!(cfg.config_warnings.len(), 1, "factor {bad}");
+            assert!(cfg.config_warnings[0].contains("clamped"));
+            assert_eq!(cfg.slowdown_at(0, 0.0), 1.0);
+        }
+    }
+
+    #[test]
+    fn try_slow_node_rejects_invalid_and_accepts_valid() {
+        assert!(ConfigBuilder::new().try_slow_node(0, 0.5).is_err());
+        assert!(ConfigBuilder::new().try_slow_node(0, f64::NAN).is_err());
+        let b = ConfigBuilder::new().try_slow_node(1, 3.0).unwrap();
+        let cfg = b.dataset(tiny_dataset()).build();
+        assert!(cfg.config_warnings.is_empty());
+        assert_eq!(cfg.slowdown_at(1, 0.0), 3.0);
+    }
+
+    #[test]
+    fn time_varying_profiles_evaluate_at_sim_time() {
+        let cfg = ConfigBuilder::new()
+            .dataset(tiny_dataset())
+            .nodes(2)
+            .try_slow_node_profile(
+                1,
+                SlowdownProfile::Step {
+                    at_s: 10.0,
+                    factor: 4.0,
+                },
+            )
+            .unwrap()
+            .build();
+        assert_eq!(cfg.slowdown_at(1, 5.0), 1.0, "before the step");
+        assert_eq!(cfg.slowdown_at(1, 15.0), 4.0, "after the step");
+        assert_eq!(cfg.peak_slowdown(), 4.0);
     }
 }

@@ -388,6 +388,15 @@ impl ClusterSim {
         let mean_bytes = self.cfg.dataset.mean_sample_bytes() as u64;
 
         let ins = self.instruments.clone();
+        // Surface builder-repaired configuration (clamped slowdown factors
+        // etc.) in the trace so a run is never silently different from what
+        // was asked for; the full text lives in `cfg.config_warnings`.
+        for (i, _warning) in self.cfg.config_warnings.iter().enumerate() {
+            ins.trace(|| {
+                TraceEvent::instant("config_warning", "config", sim_us(0.0))
+                    .arg_u("index", i as u64)
+            });
+        }
         let local_m = ins.counter("sim.local_hits");
         let remote_m = ins.counter("sim.remote_hits");
         let miss_m = ins.counter("sim.misses");
@@ -522,7 +531,7 @@ impl ClusterSim {
                             reading_nodes,
                         );
                         let t_load = parts.total_with_overcommit(oc_r, oc_p) / efficiency
-                            * self.cfg.node_slowdown.get(node).copied().unwrap_or(1.0);
+                            * self.cfg.slowdown_at(node, self.barrier_s);
                         load_s[g] = t_load;
                         prep_s[g] = t_prep;
                         pipe_s[g] = t_load + t_prep;

@@ -8,15 +8,28 @@
 //! An optional adaptive controller re-assigns loader workers to queues in
 //! proportion to measured queue pressure — Lobster's multi-queue thread
 //! assignment, driven by live measurements instead of the model.
+//!
+//! All store I/O goes through the self-healing [`ResilientStore`] path:
+//! transient errors are retried with backoff + jitter, stalls are bounded
+//! by per-fetch deadlines, corrupted payloads are detected by checksum and
+//! refetched, and a loader worker that *panics* (an injected
+//! poison fault) is contained — the panic is caught, counted, and the
+//! request re-executed — so no fault class can wedge the consumer barrier.
+//! Teardown is defensive end to end: channel disconnections unwind each
+//! stage instead of panicking, and an [`AbortableBarrier`] plus the store's
+//! cancel flag let the engine drain cleanly even if a consumer dies.
 
 use crate::cache::ShardCache;
-use crate::store::{sample_checksum, SyntheticStore};
+use crate::resilient::ResilientStore;
+use crate::store::{sample_checksum, FetchError, SyntheticStore};
+use crate::sync::AbortableBarrier;
 use crate::transform::{invert, preprocess};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use lobster_data::{Dataset, EpochSchedule, SampleId, ScheduleSpec};
 use lobster_metrics::{DecisionRecord, DecisionSource, Instruments, TraceEvent};
+use lobster_storage::faults::RetryPolicy;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Barrier};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Engine configuration.
@@ -43,6 +56,8 @@ pub struct EngineConfig {
     pub epochs: u64,
     /// Shuffle seed.
     pub seed: u64,
+    /// Retry/backoff/deadline parameters for the resilient fetch path.
+    pub retry: RetryPolicy,
 }
 
 impl Default for EngineConfig {
@@ -58,6 +73,7 @@ impl Default for EngineConfig {
             adaptive: true,
             epochs: 2,
             seed: 42,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -78,6 +94,18 @@ pub struct EngineReport {
     /// XOR of all delivered samples' canonical checksums: an end-to-end
     /// integrity fingerprint that is a pure function of the schedule.
     pub integrity: u64,
+    /// Fetch attempts beyond the first (transient retries + corrupt
+    /// refetches), from the resilient fetch path.
+    pub retries: u64,
+    /// Corrupted payloads caught by checksum verification and refetched.
+    pub corruptions_detected: u64,
+    /// Fetch rounds abandoned at the per-fetch deadline.
+    pub deadline_exceeded: u64,
+    /// Loader-worker panics contained (request re-executed).
+    pub worker_panics: u64,
+    /// True if the run was aborted (a consumer died) rather than draining
+    /// the full schedule. All counts above still reflect work done.
+    pub aborted: bool,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -148,7 +176,9 @@ fn assignment_from_alloc(alloc: &[u32], queues: usize, workers: usize) -> Vec<us
 
 /// The canonical integrity fingerprint of a full run: XOR of every
 /// scheduled sample's canonical checksum (order-independent). Tests compare
-/// the engine's delivered fingerprint against this.
+/// the engine's delivered fingerprint against this — it depends only on the
+/// schedule, so a fault-injected run must produce the same value as a
+/// fault-free one.
 pub fn expected_integrity(dataset: &Dataset, cfg: &EngineConfig) -> u64 {
     let spec = schedule_spec(dataset, cfg);
     let mut acc = 0u64;
@@ -180,9 +210,9 @@ pub fn run(store: Arc<SyntheticStore>, cfg: EngineConfig) -> EngineReport {
 /// Run the engine with an observability bundle attached. Every pipeline
 /// stage is instrumented — fetch spans (with storage tier), queue
 /// enqueue/dequeue instants (with depth), preprocess spans, barrier-wait
-/// spans, cache hit/miss/evict counters, and one [`DecisionRecord`] per
-/// adaptive controller tick. With [`Instruments::disabled`] this is
-/// exactly [`run`].
+/// spans, cache hit/miss/evict counters, fault/recovery instants, and one
+/// [`DecisionRecord`] per adaptive controller tick. With
+/// [`Instruments::disabled`] this is exactly [`run`].
 pub fn run_with(store: Arc<SyntheticStore>, cfg: EngineConfig, ins: Instruments) -> EngineReport {
     assert!(cfg.consumers > 0 && cfg.batch_size > 0);
     assert!(cfg.loader_threads > 0 && cfg.preproc_threads > 0);
@@ -197,6 +227,16 @@ pub fn run_with(store: Arc<SyntheticStore>, cfg: EngineConfig, ins: Instruments)
     let delivered_m = ins.counter("engine.delivered");
     let decisions_m = ins.counter("engine.controller_decisions");
     let barrier_m = ins.counter("engine.barrier_waits");
+    let panics_m = ins.counter("engine.worker_panics");
+
+    // The self-healing fetch path every loader goes through.
+    let cancel = store.cancel_handle();
+    let rstore = Arc::new(ResilientStore::new(
+        Arc::clone(&store),
+        cfg.retry,
+        ins.clone(),
+    ));
+    let worker_panics = Arc::new(AtomicU64::new(0));
 
     // Per-consumer request queues (the §4.2 multi-queue) and cooked-sample
     // delivery channels.
@@ -229,7 +269,8 @@ pub fn run_with(store: Arc<SyntheticStore>, cfg: EngineConfig, ins: Instruments)
     let service_ns: Arc<Vec<AtomicU64>> =
         Arc::new((0..cfg.consumers).map(|_| AtomicU64::new(0)).collect());
     let done = Arc::new(AtomicBool::new(false));
-    let barrier = Arc::new(Barrier::new(cfg.consumers));
+    let aborted = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(AbortableBarrier::new(cfg.consumers));
     let delivered = Arc::new(AtomicU64::new(0));
     let integrity = Arc::new(AtomicU64::new(0));
     // Credit pacing: at most `inflight_limit` samples per consumer between
@@ -247,6 +288,7 @@ pub fn run_with(store: Arc<SyntheticStore>, cfg: EngineConfig, ins: Instruments)
             let req_tx = req_tx.clone();
             let cfg = cfg.clone();
             let consumed = Arc::clone(&consumed);
+            let done = Arc::clone(&done);
             let ins = ins.clone();
             scope.spawn(move |_| {
                 let mut sent = vec![0u64; cfg.consumers];
@@ -261,15 +303,26 @@ pub fn run_with(store: Arc<SyntheticStore>, cfg: EngineConfig, ins: Instruments)
                                 while sent[consumer] - consumed[consumer].load(Ordering::Relaxed)
                                     >= inflight_limit
                                 {
+                                    if done.load(Ordering::Relaxed) {
+                                        // Aborted mid-run: nobody will ever
+                                        // consume again; stop feeding.
+                                        return;
+                                    }
                                     std::thread::sleep(Duration::from_micros(50));
                                 }
-                                req_tx[consumer]
+                                // A disconnected queue means the loaders are
+                                // gone (engine unwinding): stop feeding
+                                // instead of panicking mid-teardown.
+                                if req_tx[consumer]
                                     .send(Req {
                                         iter,
                                         consumer,
                                         sample,
                                     })
-                                    .expect("loader side alive");
+                                    .is_err()
+                                {
+                                    return;
+                                }
                                 sent[consumer] += 1;
                                 ins.trace(|| {
                                     TraceEvent::instant("queue_enqueue", "queue", ins.now_us())
@@ -292,12 +345,14 @@ pub fn run_with(store: Arc<SyntheticStore>, cfg: EngineConfig, ins: Instruments)
             let raw_tx = raw_tx.clone();
             let cache = Arc::clone(&cache);
             let clock = Arc::clone(&clock);
-            let store = Arc::clone(&store);
+            let rstore = Arc::clone(&rstore);
             let assignment = Arc::clone(&assignment);
             let service_ns = Arc::clone(&service_ns);
+            let worker_panics = Arc::clone(&worker_panics);
             let ins = ins.clone();
             let fetches_m = fetches_m.clone();
-            scope.spawn(move |_| loop {
+            let panics_m = panics_m.clone();
+            scope.spawn(move |_| 'serve: loop {
                 // Serve the assigned queue first, then steal from the rest.
                 let primary = assignment[w].load(Ordering::Relaxed) % req_rx.len();
                 let mut got = None;
@@ -330,7 +385,34 @@ pub fn run_with(store: Arc<SyntheticStore>, cfg: EngineConfig, ins: Instruments)
                         let (bytes, tier) = match cache.get(req.sample, key) {
                             Some(b) => (b, "cache"),
                             None => {
-                                let fetched = Arc::new(store.fetch(req.sample));
+                                // Poisoned-worker containment: an injected
+                                // poison fault panics inside the fetch. The
+                                // panic is caught here (no locks are held
+                                // across the fetch), logged, and the request
+                                // re-executed — the worker "restarts" instead
+                                // of taking the whole scope down.
+                                let fetched = loop {
+                                    let attempt = std::panic::catch_unwind(
+                                        std::panic::AssertUnwindSafe(|| rstore.fetch(req.sample)),
+                                    );
+                                    match attempt {
+                                        Ok(Ok(bytes)) => break Arc::new(bytes),
+                                        Ok(Err(FetchError::Cancelled)) => break 'serve,
+                                        Ok(Err(_)) => {
+                                            unreachable!("ResilientStore absorbs non-cancel errors")
+                                        }
+                                        Err(_) => {
+                                            worker_panics.fetch_add(1, Ordering::Relaxed);
+                                            panics_m.inc();
+                                            let ts = ins.now_us();
+                                            ins.trace(|| {
+                                                TraceEvent::instant("worker_panic", "fault", ts)
+                                                    .tid(w as u32)
+                                                    .arg_u("sample", req.sample.0 as u64)
+                                            });
+                                        }
+                                    }
+                                };
                                 cache.insert(req.sample, Arc::clone(&fetched), key);
                                 (fetched, "store")
                             }
@@ -455,6 +537,8 @@ pub fn run_with(store: Arc<SyntheticStore>, cfg: EngineConfig, ins: Instruments)
             let integrity = Arc::clone(&integrity);
             let iter_times = Arc::clone(&iter_times);
             let done = Arc::clone(&done);
+            let aborted = Arc::clone(&aborted);
+            let cancel = Arc::clone(&cancel);
             let remaining = Arc::clone(&remaining);
             let consumed = Arc::clone(&consumed);
             let ins = ins.clone();
@@ -466,14 +550,25 @@ pub fn run_with(store: Arc<SyntheticStore>, cfg: EngineConfig, ins: Instruments)
                 let mut stash: std::collections::HashMap<u64, Vec<Cooked>> =
                     std::collections::HashMap::new();
                 let mut t0 = Instant::now();
-                for iter in 0..total_iters {
+                'iters: for iter in 0..total_iters {
                     let mut have = stash.remove(&iter).unwrap_or_default();
                     while have.len() < cfg2.batch_size {
-                        let c = rx.recv().expect("pipeline alive until consumers finish");
-                        if c.iter == iter {
-                            have.push(c);
-                        } else {
-                            stash.entry(c.iter).or_default().push(c);
+                        match rx.recv() {
+                            Ok(c) if c.iter == iter => have.push(c),
+                            Ok(c) => {
+                                stash.entry(c.iter).or_default().push(c);
+                            }
+                            Err(_) => {
+                                // The upstream pipeline died. Abort the run:
+                                // wake the other consumers off the barrier,
+                                // cancel in-flight simulated transfers, and
+                                // drain instead of deadlocking.
+                                aborted.store(true, Ordering::Relaxed);
+                                done.store(true, Ordering::Relaxed);
+                                cancel.store(true, Ordering::Relaxed);
+                                barrier.abort();
+                                break 'iters;
+                            }
                         }
                     }
                     // End-to-end integrity: un-mix and fingerprint.
@@ -490,7 +585,10 @@ pub fn run_with(store: Arc<SyntheticStore>, cfg: EngineConfig, ins: Instruments)
                     std::thread::sleep(cfg2.train);
                     // Gradient-allreduce stand-in.
                     let wait_ts = ins.now_us();
-                    barrier.wait();
+                    if barrier.wait().is_err() {
+                        // Another consumer aborted the run.
+                        break 'iters;
+                    }
                     barrier_m.inc();
                     ins.trace(|| {
                         TraceEvent::span("barrier_wait", "sync", wait_ts, ins.now_us() - wait_ts)
@@ -512,6 +610,7 @@ pub fn run_with(store: Arc<SyntheticStore>, cfg: EngineConfig, ins: Instruments)
     })
     .expect("engine threads must not panic");
 
+    let stats = rstore.stats();
     let iteration_secs = iter_times.lock().clone();
     EngineReport {
         iterations: total_iters,
@@ -520,6 +619,11 @@ pub fn run_with(store: Arc<SyntheticStore>, cfg: EngineConfig, ins: Instruments)
         store_fetches: store.fetch_count(),
         delivered: delivered.load(Ordering::Relaxed),
         integrity: integrity.load(Ordering::Relaxed),
+        retries: stats.retries,
+        corruptions_detected: stats.corruptions_detected,
+        deadline_exceeded: stats.deadline_exceeded,
+        worker_panics: worker_panics.load(Ordering::Relaxed),
+        aborted: aborted.load(Ordering::Relaxed),
     }
 }
 
@@ -527,6 +631,7 @@ pub fn run_with(store: Arc<SyntheticStore>, cfg: EngineConfig, ins: Instruments)
 mod tests {
     use super::*;
     use lobster_data::{Dataset, SizeDistribution};
+    use lobster_storage::faults::FaultSpec;
 
     fn small_store(samples: usize, latency_us: u64) -> Arc<SyntheticStore> {
         let ds = Dataset::generate(
@@ -554,6 +659,7 @@ mod tests {
             adaptive: true,
             epochs: 2,
             seed: 7,
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -571,6 +677,9 @@ mod tests {
             "payloads must survive the pipeline intact"
         );
         assert_eq!(report.iteration_secs.len(), 16);
+        assert!(!report.aborted);
+        assert_eq!(report.retries, 0);
+        assert_eq!(report.worker_panics, 0);
     }
 
     #[test]
@@ -658,5 +767,59 @@ mod tests {
         let r2 = run(small_store(48, 0), cfg);
         assert_eq!(r1.integrity, r2.integrity);
         assert_eq!(r1.delivered, r2.delivered);
+    }
+
+    #[test]
+    fn engine_heals_through_transients_and_corruption() {
+        let plan = FaultSpec {
+            transient_rate: 0.10,
+            corrupt_rate: 0.05,
+            seed: 77,
+            ..FaultSpec::default()
+        }
+        .compile()
+        .unwrap();
+        let ds = Dataset::generate(
+            "engine-faults",
+            64,
+            SizeDistribution::Constant { bytes: 2_000 },
+            9,
+        );
+        let store = Arc::new(SyntheticStore::with_faults(ds, Duration::ZERO, 0.0, plan));
+        let cfg = fast_cfg();
+        let expected = expected_integrity(store.dataset(), &cfg);
+        let report = run(Arc::clone(&store), cfg);
+        assert!(!report.aborted);
+        assert_eq!(report.delivered, 128);
+        assert_eq!(
+            report.integrity, expected,
+            "faults must be absorbed, never delivered"
+        );
+        assert!(report.retries > 0, "10% transients must trigger retries");
+    }
+
+    #[test]
+    fn engine_contains_poisoned_workers() {
+        let plan = FaultSpec {
+            poison_rate: 0.05,
+            seed: 1234,
+            ..FaultSpec::default()
+        }
+        .compile()
+        .unwrap();
+        let ds = Dataset::generate(
+            "engine-poison",
+            64,
+            SizeDistribution::Constant { bytes: 2_000 },
+            9,
+        );
+        let store = Arc::new(SyntheticStore::with_faults(ds, Duration::ZERO, 0.0, plan));
+        let cfg = fast_cfg();
+        let expected = expected_integrity(store.dataset(), &cfg);
+        let report = run(Arc::clone(&store), cfg);
+        assert!(!report.aborted, "poison faults must not abort the run");
+        assert_eq!(report.integrity, expected);
+        assert_eq!(report.worker_panics, store.injected().poisons);
+        assert!(report.worker_panics > 0, "5% poison over 64+ fetches");
     }
 }

@@ -14,10 +14,16 @@
 //! * [`engine`] — multi-queue loaders, preprocessing pool, consumer
 //!   ("GPU") threads with a barrier, and an adaptive controller that
 //!   re-assigns loader workers to queues by measured pressure (§4.2 live).
+//! * [`resilient`] — the self-healing fetch path: retries with
+//!   backoff + jitter, per-fetch deadlines, checksum-verified refetch.
+//! * [`sync`] — abort-aware barrier so a failed worker can never deadlock
+//!   the consumer rendezvous.
 
 pub mod cache;
 pub mod engine;
+pub mod resilient;
 pub mod store;
+pub mod sync;
 pub mod transform;
 
 pub use cache::ShardCache;
@@ -25,5 +31,7 @@ pub use engine::{
     compute_assignment, compute_weighted_assignment, expected_integrity, run, run_with,
     EngineConfig, EngineReport,
 };
-pub use store::{sample_bytes, sample_checksum, SyntheticStore};
+pub use resilient::{RecoveryStats, ResilientStore};
+pub use store::{sample_bytes, sample_checksum, FetchError, InjectedFaults, SyntheticStore};
+pub use sync::{AbortableBarrier, BarrierAborted};
 pub use transform::{invert, preprocess};

@@ -7,11 +7,22 @@
 //! in for the PFS. The delay is real wall-clock time, so the engine's
 //! measured timings and the adaptive controller's decisions are exercised
 //! for real.
+//!
+//! A store may carry a [`FaultPlan`]: each fetch attempt then consults the
+//! seeded schedule and may fail transiently, stall, corrupt its payload, or
+//! panic ([`FaultAction::Poison`]), and all transfer waits are multiplied
+//! by the plan's time-varying node slowdown. [`SyntheticStore::try_fetch`]
+//! is the fallible/deadline-aware entry point the resilient fetch path
+//! uses; the simulated-transfer sleep is chunked against a cancel flag so
+//! engine shutdown never blocks on a multi-second simulated PFS read.
 
 use lobster_data::{Dataset, SampleId};
 use lobster_sim::SplitMix64;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+use lobster_storage::faults::{FaultAction, FaultPlan};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Generate the canonical bytes of a sample: a SplitMix64 stream seeded by
 /// the sample id. Cheap, deterministic, and incompressible enough to defeat
@@ -37,7 +48,81 @@ pub fn sample_checksum(bytes: &[u8]) -> u64 {
     h
 }
 
-/// A backing store with simulated fetch cost.
+/// Why a [`SyntheticStore::try_fetch`] attempt did not return bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FetchError {
+    /// An injected transient failure; a retry may succeed.
+    Transient { fetch_index: u64 },
+    /// The fetch (including any injected stall) did not finish within the
+    /// caller's deadline.
+    DeadlineExceeded { fetch_index: u64 },
+    /// The store's cancel flag was raised mid-transfer (engine shutdown).
+    Cancelled,
+}
+
+impl fmt::Display for FetchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FetchError::Transient { fetch_index } => {
+                write!(f, "transient fetch error (attempt #{fetch_index})")
+            }
+            FetchError::DeadlineExceeded { fetch_index } => {
+                write!(f, "fetch deadline exceeded (attempt #{fetch_index})")
+            }
+            FetchError::Cancelled => write!(f, "fetch cancelled by shutdown"),
+        }
+    }
+}
+
+impl std::error::Error for FetchError {}
+
+/// Counts of injected faults, for reports and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InjectedFaults {
+    pub transients: u64,
+    pub stalls: u64,
+    pub corruptions: u64,
+    pub poisons: u64,
+}
+
+/// Granularity of the interruptible simulated-transfer sleep: long waits
+/// are chunked so a raised cancel flag or an expiring deadline is noticed
+/// within this window instead of after the full simulated read.
+const SLEEP_CHUNK: Duration = Duration::from_millis(2);
+
+enum SleepOutcome {
+    Completed,
+    Cancelled,
+    DeadlinePassed,
+}
+
+/// Sleep `total`, checking the cancel flag and deadline every
+/// [`SLEEP_CHUNK`]. `elapsed` is how much of the deadline budget the fetch
+/// had already spent when the sleep started.
+fn interruptible_sleep(
+    total: Duration,
+    cancel: &AtomicBool,
+    started: Instant,
+    deadline: Option<Duration>,
+) -> SleepOutcome {
+    let mut slept = Duration::ZERO;
+    while slept < total {
+        if cancel.load(Ordering::Relaxed) {
+            return SleepOutcome::Cancelled;
+        }
+        if let Some(d) = deadline {
+            if started.elapsed() >= d {
+                return SleepOutcome::DeadlinePassed;
+            }
+        }
+        let chunk = SLEEP_CHUNK.min(total - slept);
+        std::thread::sleep(chunk);
+        slept += chunk;
+    }
+    SleepOutcome::Completed
+}
+
+/// A backing store with simulated fetch cost and optional fault injection.
 pub struct SyntheticStore {
     dataset: Dataset,
     /// Per-request latency.
@@ -46,6 +131,20 @@ pub struct SyntheticStore {
     bytes_per_sec: f64,
     fetches: AtomicU64,
     bytes_fetched: AtomicU64,
+    /// Compiled fault schedule; `None` = the infallible store of PR 1.
+    faults: Option<FaultPlan>,
+    /// Which node this store represents in the fault plan.
+    node: usize,
+    /// Monotone per-attempt index into the fault schedule.
+    fault_index: AtomicU64,
+    /// Wall-clock origin for time-varying slowdown profiles.
+    epoch: Instant,
+    /// Raised by the engine on shutdown; cuts simulated transfers short.
+    cancel: Arc<AtomicBool>,
+    injected_transients: AtomicU64,
+    injected_stalls: AtomicU64,
+    injected_corruptions: AtomicU64,
+    injected_poisons: AtomicU64,
 }
 
 impl SyntheticStore {
@@ -56,26 +155,144 @@ impl SyntheticStore {
             bytes_per_sec,
             fetches: AtomicU64::new(0),
             bytes_fetched: AtomicU64::new(0),
+            faults: None,
+            node: 0,
+            fault_index: AtomicU64::new(0),
+            epoch: Instant::now(),
+            cancel: Arc::new(AtomicBool::new(false)),
+            injected_transients: AtomicU64::new(0),
+            injected_stalls: AtomicU64::new(0),
+            injected_corruptions: AtomicU64::new(0),
+            injected_poisons: AtomicU64::new(0),
         }
+    }
+
+    /// A store whose fetches follow the given fault plan (as node 0).
+    pub fn with_faults(
+        dataset: Dataset,
+        latency: Duration,
+        bytes_per_sec: f64,
+        plan: FaultPlan,
+    ) -> SyntheticStore {
+        let mut store = SyntheticStore::new(dataset, latency, bytes_per_sec);
+        if !plan.is_noop() {
+            store.faults = Some(plan);
+        }
+        store
     }
 
     pub fn dataset(&self) -> &Dataset {
         &self.dataset
     }
 
-    /// Fetch a sample's bytes, sleeping for the simulated transfer time.
-    pub fn fetch(&self, id: SampleId) -> Vec<u8> {
+    /// The fault plan attached to this store, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
+    /// The shutdown flag: raising it makes in-flight simulated transfers
+    /// return [`FetchError::Cancelled`] within one sleep chunk, so teardown
+    /// never waits out a multi-second simulated PFS read.
+    pub fn cancel_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.cancel)
+    }
+
+    /// One fetch attempt. Consults the fault schedule (when present),
+    /// charges the simulated transfer time — scaled by the plan's
+    /// time-varying slowdown and cut short by cancellation or `deadline` —
+    /// and returns the payload, which an injected corruption may have
+    /// damaged (callers verify via [`sample_checksum`]).
+    ///
+    /// # Panics
+    /// An injected [`FaultAction::Poison`] panics deliberately, modelling a
+    /// crashed loader worker; the engine's containment path catches it.
+    pub fn try_fetch(
+        &self,
+        id: SampleId,
+        deadline: Option<Duration>,
+    ) -> Result<Vec<u8>, FetchError> {
+        let started = Instant::now();
         let len = self.dataset.size_of(id) as usize;
+        let (action, fetch_index) = match &self.faults {
+            Some(plan) => {
+                let idx = self.fault_index.fetch_add(1, Ordering::Relaxed);
+                (plan.action(self.node, idx), idx)
+            }
+            None => (FaultAction::None, 0),
+        };
+
+        if action == FaultAction::Poison {
+            self.injected_poisons.fetch_add(1, Ordering::Relaxed);
+            panic!("injected poison fault: loader worker crash on fetch #{fetch_index}");
+        }
+
         let mut wait = self.latency;
         if self.bytes_per_sec > 0.0 {
             wait += Duration::from_secs_f64(len as f64 / self.bytes_per_sec);
         }
-        if !wait.is_zero() {
-            std::thread::sleep(wait);
+        if let Some(plan) = &self.faults {
+            let factor = plan.slowdown(self.node, self.epoch.elapsed().as_secs_f64());
+            if factor > 1.0 {
+                wait = wait.mul_f64(factor);
+            }
         }
+        if action == FaultAction::TransientError {
+            // A dropped request fails after the round trip, not the full
+            // transfer: charge the latency only.
+            self.injected_transients.fetch_add(1, Ordering::Relaxed);
+            match interruptible_sleep(self.latency, &self.cancel, started, deadline) {
+                SleepOutcome::Cancelled => return Err(FetchError::Cancelled),
+                _ => return Err(FetchError::Transient { fetch_index }),
+            }
+        }
+        if let FaultAction::Stall(extra) = action {
+            self.injected_stalls.fetch_add(1, Ordering::Relaxed);
+            wait += extra;
+        }
+        if !wait.is_zero() {
+            match interruptible_sleep(wait, &self.cancel, started, deadline) {
+                SleepOutcome::Completed => {}
+                SleepOutcome::Cancelled => return Err(FetchError::Cancelled),
+                SleepOutcome::DeadlinePassed => {
+                    return Err(FetchError::DeadlineExceeded { fetch_index })
+                }
+            }
+        }
+
         self.fetches.fetch_add(1, Ordering::Relaxed);
         self.bytes_fetched.fetch_add(len as u64, Ordering::Relaxed);
-        sample_bytes(id, len)
+        let mut bytes = sample_bytes(id, len);
+        if action == FaultAction::Corrupt {
+            self.injected_corruptions.fetch_add(1, Ordering::Relaxed);
+            if let Some(plan) = &self.faults {
+                let pos = plan.corrupt_position(self.node, fetch_index, len);
+                if let Some(b) = bytes.get_mut(pos) {
+                    *b ^= 0xFF;
+                }
+            }
+        }
+        Ok(bytes)
+    }
+
+    /// Fetch a sample's bytes, sleeping for the simulated transfer time.
+    ///
+    /// The infallible legacy path: on a fault-free store this is exactly
+    /// the PR-1 behaviour. On a fault-injected store it retries transient
+    /// errors inline and may return a *corrupted* payload — resilient
+    /// callers should go through `ResilientStore` instead, which verifies
+    /// checksums and enforces deadlines.
+    pub fn fetch(&self, id: SampleId) -> Vec<u8> {
+        loop {
+            match self.try_fetch(id, None) {
+                Ok(bytes) => return bytes,
+                Err(FetchError::Cancelled) => {
+                    // Shutdown: serve canonical bytes without charging the
+                    // remaining simulated transfer so teardown stays prompt.
+                    return sample_bytes(id, self.dataset.size_of(id) as usize);
+                }
+                Err(_) => continue,
+            }
+        }
     }
 
     /// Total fetches served (for hit-ratio accounting).
@@ -87,12 +304,23 @@ impl SyntheticStore {
     pub fn bytes_served(&self) -> u64 {
         self.bytes_fetched.load(Ordering::Relaxed)
     }
+
+    /// Faults injected so far.
+    pub fn injected(&self) -> InjectedFaults {
+        InjectedFaults {
+            transients: self.injected_transients.load(Ordering::Relaxed),
+            stalls: self.injected_stalls.load(Ordering::Relaxed),
+            corruptions: self.injected_corruptions.load(Ordering::Relaxed),
+            poisons: self.injected_poisons.load(Ordering::Relaxed),
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use lobster_data::SizeDistribution;
+    use lobster_storage::faults::FaultSpec;
 
     fn dataset() -> Dataset {
         Dataset::generate("rt", 64, SizeDistribution::Uniform { lo: 100, hi: 1000 }, 5)
@@ -133,5 +361,103 @@ mod tests {
         let t0 = std::time::Instant::now();
         store.fetch(SampleId(0));
         assert!(t0.elapsed() >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn cancel_cuts_a_long_simulated_transfer_short() {
+        // 10 bytes/s on a >=100-byte sample: a ~10 s simulated read.
+        let store = Arc::new(SyntheticStore::new(dataset(), Duration::ZERO, 10.0));
+        let cancel = store.cancel_handle();
+        let s2 = Arc::clone(&store);
+        let t0 = Instant::now();
+        let worker = std::thread::spawn(move || s2.try_fetch(SampleId(0), None));
+        std::thread::sleep(Duration::from_millis(20));
+        cancel.store(true, Ordering::Relaxed);
+        let result = worker.join().unwrap();
+        assert_eq!(result, Err(FetchError::Cancelled));
+        assert!(
+            t0.elapsed() < Duration::from_secs(2),
+            "cancel took {:?}",
+            t0.elapsed()
+        );
+    }
+
+    #[test]
+    fn deadline_bounds_a_stalled_fetch() {
+        let plan = FaultSpec {
+            stall_rate: 0.999_999, // rates must be < 1; this fires every time
+            stall: Duration::from_secs(5),
+            seed: 1,
+            ..FaultSpec::default()
+        }
+        .compile()
+        .unwrap();
+        let store = SyntheticStore::with_faults(dataset(), Duration::ZERO, 0.0, plan);
+        let t0 = Instant::now();
+        let err = store
+            .try_fetch(SampleId(0), Some(Duration::from_millis(20)))
+            .unwrap_err();
+        assert!(matches!(err, FetchError::DeadlineExceeded { .. }));
+        assert!(t0.elapsed() < Duration::from_secs(1), "{:?}", t0.elapsed());
+        assert_eq!(store.injected().stalls, 1);
+    }
+
+    #[test]
+    fn transient_errors_follow_the_plan_and_legacy_fetch_retries() {
+        let plan = FaultSpec {
+            transient_rate: 0.5,
+            seed: 9,
+            ..FaultSpec::default()
+        }
+        .compile()
+        .unwrap();
+        let ds = dataset();
+        let want = sample_bytes(SampleId(2), ds.size_of(SampleId(2)) as usize);
+        let store = SyntheticStore::with_faults(ds, Duration::ZERO, 0.0, plan);
+        // The legacy path retries transients inline and still delivers
+        // canonical bytes.
+        for _ in 0..32 {
+            assert_eq!(store.fetch(SampleId(2)), want);
+        }
+        assert!(
+            store.injected().transients > 0,
+            "rate 0.5 over many attempts"
+        );
+    }
+
+    #[test]
+    fn corruption_damages_exactly_one_byte() {
+        let plan = FaultSpec {
+            corrupt_rate: 0.999_999,
+            seed: 3,
+            ..FaultSpec::default()
+        }
+        .compile()
+        .unwrap();
+        let ds = dataset();
+        let want = sample_bytes(SampleId(5), ds.size_of(SampleId(5)) as usize);
+        let store = SyntheticStore::with_faults(ds, Duration::ZERO, 0.0, plan);
+        let got = store.try_fetch(SampleId(5), None).unwrap();
+        assert_ne!(got, want, "payload must be corrupted");
+        let diff = got.iter().zip(&want).filter(|(a, b)| a != b).count();
+        assert_eq!(diff, 1);
+        assert_ne!(sample_checksum(&got), sample_checksum(&want));
+    }
+
+    #[test]
+    fn poison_panics_the_fetching_thread() {
+        let plan = FaultSpec {
+            poison_rate: 0.999_999,
+            seed: 4,
+            ..FaultSpec::default()
+        }
+        .compile()
+        .unwrap();
+        let store = SyntheticStore::with_faults(dataset(), Duration::ZERO, 0.0, plan);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            store.try_fetch(SampleId(0), None)
+        }));
+        assert!(r.is_err());
+        assert_eq!(store.injected().poisons, 1);
     }
 }

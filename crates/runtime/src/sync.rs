@@ -1,0 +1,129 @@
+//! Abort-aware synchronization primitives for the live engine.
+//!
+//! `std::sync::Barrier` has no escape hatch: if one consumer exits early
+//! (poisoned worker, disconnected pipeline), every other consumer blocks on
+//! the barrier forever and the engine deadlocks at teardown. The
+//! [`AbortableBarrier`] below is a generation-counted barrier whose
+//! [`abort`](AbortableBarrier::abort) wakes all waiters immediately and
+//! makes every future `wait` return [`BarrierAborted`] — so the engine
+//! drains cleanly instead of hanging.
+
+use std::sync::{Condvar, Mutex};
+
+/// Returned by [`AbortableBarrier::wait`] when the barrier was aborted; the
+/// caller should stop iterating and unwind its pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BarrierAborted;
+
+struct BarrierState {
+    /// Threads still expected in the current generation.
+    remaining: usize,
+    /// Bumped each time a generation completes; waiters key off it.
+    generation: u64,
+    aborted: bool,
+}
+
+/// A reusable barrier for `parties` threads that can be aborted.
+pub struct AbortableBarrier {
+    parties: usize,
+    state: Mutex<BarrierState>,
+    cv: Condvar,
+}
+
+impl AbortableBarrier {
+    pub fn new(parties: usize) -> AbortableBarrier {
+        AbortableBarrier {
+            parties: parties.max(1),
+            state: Mutex::new(BarrierState {
+                remaining: parties.max(1),
+                generation: 0,
+                aborted: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Block until all parties arrive (Ok) or the barrier is aborted (Err).
+    pub fn wait(&self) -> Result<(), BarrierAborted> {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if s.aborted {
+            return Err(BarrierAborted);
+        }
+        s.remaining -= 1;
+        if s.remaining == 0 {
+            // Last arrival: open the next generation and release everyone.
+            s.remaining = self.parties;
+            s.generation += 1;
+            self.cv.notify_all();
+            return Ok(());
+        }
+        let gen = s.generation;
+        loop {
+            s = self.cv.wait(s).unwrap_or_else(|e| e.into_inner());
+            if s.aborted {
+                return Err(BarrierAborted);
+            }
+            if s.generation != gen {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Abort the barrier: all current waiters wake with `Err`, and every
+    /// later `wait` fails fast. Idempotent.
+    pub fn abort(&self) {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        s.aborted = true;
+        self.cv.notify_all();
+    }
+
+    /// Whether [`abort`](AbortableBarrier::abort) has been called.
+    pub fn is_aborted(&self) -> bool {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).aborted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn barrier_synchronizes_generations() {
+        let b = Arc::new(AbortableBarrier::new(3));
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let b = Arc::clone(&b);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..10 {
+                    b.wait().unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn abort_releases_stuck_waiters() {
+        let b = Arc::new(AbortableBarrier::new(2));
+        let b2 = Arc::clone(&b);
+        let waiter = std::thread::spawn(move || b2.wait());
+        std::thread::sleep(Duration::from_millis(20));
+        b.abort();
+        assert_eq!(waiter.join().unwrap(), Err(BarrierAborted));
+        // Future waits fail fast rather than blocking.
+        assert_eq!(b.wait(), Err(BarrierAborted));
+        assert!(b.is_aborted());
+    }
+
+    #[test]
+    fn single_party_barrier_never_blocks() {
+        let b = AbortableBarrier::new(1);
+        for _ in 0..5 {
+            b.wait().unwrap();
+        }
+    }
+}

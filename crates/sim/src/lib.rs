@@ -27,6 +27,6 @@ pub mod time;
 
 pub use engine::{run, RunStats, Scheduler, SimWorld};
 pub use pslink::{FlowId, PsLink};
-pub use rng::{derive_seed, SplitMix64, Xoshiro256StarStar};
+pub use rng::{derive_seed, derive_seed2, SplitMix64, Xoshiro256StarStar};
 pub use server::ServerPool;
 pub use time::{SimDuration, SimTime};

@@ -9,7 +9,12 @@
 //! this environment.
 
 pub mod curve;
+pub mod faults;
 pub mod tiers;
 
 pub use curve::ThroughputCurve;
+pub use faults::{
+    BackoffSchedule, FaultAction, FaultConfigError, FaultPlan, FaultSpec, RetryPolicy,
+    SlowdownProfile,
+};
 pub use tiers::{thetagpu, StorageModel, Tier};

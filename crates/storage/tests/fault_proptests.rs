@@ -1,0 +1,109 @@
+//! Property tests for the fault-injection subsystem: schedule determinism
+//! and retry-backoff deadline safety (ISSUE 2 satellite coverage).
+
+use lobster_storage::faults::{FaultPlan, FaultSpec, RetryPolicy, SlowdownProfile};
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn spec(transient: f64, stall: f64, corrupt: f64, poison: f64, seed: u64) -> FaultSpec {
+    FaultSpec {
+        transient_rate: transient,
+        stall_rate: stall,
+        corrupt_rate: corrupt,
+        poison_rate: poison,
+        seed,
+        ..FaultSpec::default()
+    }
+}
+
+proptest! {
+    /// (a) A `FaultPlan` schedule is a pure function of its seed: two
+    /// compilations of the same spec agree on every (node, index) draw and
+    /// on every slowdown evaluation.
+    #[test]
+    fn plan_schedule_is_pure_function_of_seed(
+        transient in 0.0f64..0.9,
+        stall in 0.0f64..0.5,
+        corrupt in 0.0f64..0.5,
+        poison in 0.0f64..0.2,
+        seed in any::<u64>(),
+        nodes in 1usize..6,
+    ) {
+        let s = spec(transient, stall, corrupt, poison, seed);
+        let a: FaultPlan = s.compile().unwrap();
+        let b: FaultPlan = s.compile().unwrap();
+        for node in 0..nodes {
+            for index in 0..256u64 {
+                prop_assert_eq!(a.action(node, index), b.action(node, index));
+            }
+        }
+        for t in [0.0, 0.5, 1.0, 17.3, 1e4] {
+            for node in 0..nodes {
+                prop_assert_eq!(a.slowdown(node, t), b.slowdown(node, t));
+            }
+        }
+    }
+
+    /// A different seed produces a different schedule (for any non-trivial
+    /// rate — comparing enough indices that a collision is implausible).
+    #[test]
+    fn different_seeds_diverge(seed in any::<u64>()) {
+        let a = spec(0.3, 0.0, 0.0, 0.0, seed).compile().unwrap();
+        let b = spec(0.3, 0.0, 0.0, 0.0, seed.wrapping_add(1)).compile().unwrap();
+        let fire = |p: &FaultPlan| (0..4096u64).map(|i| p.action(0, i)).collect::<Vec<_>>();
+        prop_assert_ne!(fire(&a), fire(&b));
+    }
+
+    /// (b) Retry-with-backoff never sleeps past the configured per-fetch
+    /// deadline, never exceeds the per-delay cap, and never yields more
+    /// than `max_attempts - 1` delays.
+    #[test]
+    fn backoff_never_exceeds_deadline(
+        max_attempts in 1u32..32,
+        base_us in 1u64..10_000,
+        cap_us in 1u64..1_000_000,
+        deadline_us in 1u64..5_000_000,
+        seed in any::<u64>(),
+    ) {
+        let policy = RetryPolicy {
+            max_attempts,
+            base: Duration::from_micros(base_us),
+            cap: Duration::from_micros(cap_us.max(base_us)),
+            deadline: Duration::from_micros(deadline_us),
+        };
+        let delays: Vec<Duration> = policy.backoff(seed).collect();
+        prop_assert!(delays.len() < max_attempts.max(1) as usize
+            || (max_attempts == 0 && delays.is_empty()));
+        let total: Duration = delays.iter().sum();
+        prop_assert!(total <= policy.deadline,
+            "cumulative backoff {total:?} exceeds deadline {:?}", policy.deadline);
+        for d in &delays {
+            prop_assert!(*d <= policy.cap);
+        }
+        // Replay identically from the same seed.
+        prop_assert_eq!(delays, policy.backoff(seed).collect::<Vec<_>>());
+    }
+
+    /// Every valid slowdown profile evaluates to a finite factor ≥ 1 at
+    /// all times, including far beyond its transition window.
+    #[test]
+    fn profiles_stay_at_least_nominal(
+        kind in 0usize..4,
+        f1 in 1.0f64..16.0,
+        f2 in 1.0f64..16.0,
+        t_cfg in 0.001f64..1e4,
+        t_eval in 0.0f64..1e6,
+    ) {
+        let profile = match kind {
+            0 => SlowdownProfile::Constant(f1),
+            1 => SlowdownProfile::Step { at_s: t_cfg, factor: f1 },
+            2 => SlowdownProfile::Flap { period_s: t_cfg, lo: f1.min(f2), hi: f1.max(f2) },
+            _ => SlowdownProfile::Ramp { from: f1, to: f2, over_s: t_cfg },
+        };
+        profile.validate().unwrap();
+        let factor = profile.factor_at(t_eval);
+        prop_assert!(factor.is_finite());
+        prop_assert!(factor >= 1.0, "{profile:?} at {t_eval} gave {factor}");
+        prop_assert!(factor <= profile.peak() + 1e-12);
+    }
+}

@@ -54,6 +54,7 @@ fn main() {
             adaptive,
             epochs: 2,
             seed: 42,
+            retry: Default::default(),
         };
         let s = store();
         let expected = expected_integrity(s.dataset(), &cfg);

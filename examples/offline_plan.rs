@@ -10,6 +10,7 @@ use lobster_repro::core::LobsterPolicy;
 use lobster_repro::data::imagenet_1k;
 use lobster_repro::metrics::{fmt_secs, Table};
 use lobster_repro::pipeline::{precompute_plan, ClusterSim, ConfigBuilder, PlannedPolicy};
+use lobster_repro::storage::SlowdownProfile;
 
 fn main() {
     let scale = 256u32;
@@ -43,7 +44,7 @@ fn main() {
     // Perturbed cluster: node 1 loses half its I/O speed after planning.
     let perturb = || {
         let mut c = make_cfg();
-        c.node_slowdown = vec![1.0, 2.0];
+        c.node_slowdown = SlowdownProfile::constants(&[1.0, 2.0]);
         c
     };
     let (frozen, _) = ClusterSim::new(perturb(), Box::new(PlannedPolicy::new(plan))).run();

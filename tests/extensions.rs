@@ -5,6 +5,7 @@
 use lobster_repro::core::policy_by_name;
 use lobster_repro::data::{imagenet_1k, PartitionScheme};
 use lobster_repro::pipeline::{ClusterSim, ConfigBuilder, ExperimentConfig};
+use lobster_repro::storage::SlowdownProfile;
 
 fn base_cfg(nodes: usize) -> ExperimentConfig {
     ConfigBuilder::new()
@@ -27,7 +28,7 @@ fn slow_node_costs_time_and_adaptive_absorbs_part_of_it() {
         .0;
 
     let slow = |mut c: ExperimentConfig| {
-        c.node_slowdown = vec![1.0, 1.0, 2.5, 1.0];
+        c.node_slowdown = SlowdownProfile::constants(&[1.0, 1.0, 2.5, 1.0]);
         c
     };
     let slow_pt = ClusterSim::new(slow(base_cfg(4)), policy_by_name("pytorch").unwrap())

@@ -4,6 +4,7 @@
 use lobster_repro::data::{Dataset, SizeDistribution};
 use lobster_repro::metrics::Instruments;
 use lobster_repro::runtime::{expected_integrity, run, run_with, EngineConfig, SyntheticStore};
+use lobster_repro::storage::RetryPolicy;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -33,6 +34,7 @@ fn many_consumers_complete_with_integrity() {
         adaptive: true,
         epochs: 2,
         seed: 5,
+        retry: RetryPolicy::default(),
     };
     let s = store(240, Duration::from_micros(100));
     let expected = expected_integrity(s.dataset(), &cfg);
@@ -72,6 +74,7 @@ fn tiny_cache_still_delivers_correct_bytes() {
         adaptive: true,
         epochs: 2,
         seed: 9,
+        retry: RetryPolicy::default(),
     };
     let s = store(96, Duration::ZERO);
     let expected = expected_integrity(s.dataset(), &cfg);
@@ -101,6 +104,7 @@ fn slow_store_does_not_deadlock_the_barrier() {
         adaptive: true,
         epochs: 2,
         seed: 42,
+        retry: RetryPolicy::default(),
     };
     let ds = Dataset::generate(
         "deadlock",
@@ -135,6 +139,7 @@ fn instrumented_adaptive_run_logs_decisions_and_balanced_cache_counters() {
         adaptive: true,
         epochs: 2,
         seed: 3,
+        retry: RetryPolicy::default(),
     };
     let s = store(256, Duration::from_micros(50));
     let expected = expected_integrity(s.dataset(), &cfg);

@@ -204,6 +204,17 @@ impl Serialize for Value {
     }
 }
 
+/// Mirrors real serde's representation of `Duration`: a struct with `secs`
+/// and `nanos` fields (lossless, unlike a float of seconds).
+impl Serialize for std::time::Duration {
+    fn to_value(&self) -> Value {
+        let mut map = Map::new();
+        map.insert("secs".to_string(), self.as_secs().to_value());
+        map.insert("nanos".to_string(), self.subsec_nanos().to_value());
+        Value::Object(map)
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Deserialize impls.
 // ---------------------------------------------------------------------------
@@ -317,6 +328,17 @@ impl Deserialize for Value {
     }
 }
 
+impl Deserialize for std::time::Duration {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let map = v
+            .as_object()
+            .ok_or_else(|| DeError::expected("{secs, nanos} map", v))?;
+        let secs: u64 = field(map, "secs")?;
+        let nanos: u32 = field(map, "nanos")?;
+        Ok(std::time::Duration::new(secs, nanos))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -337,5 +359,13 @@ mod tests {
     #[test]
     fn float_accepts_integer_numbers() {
         assert_eq!(f64::from_value(&Value::Number(Number::U(3))).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn duration_roundtrips_losslessly() {
+        let d = std::time::Duration::new(7, 123_456_789);
+        let v = d.to_value();
+        assert_eq!(std::time::Duration::from_value(&v).unwrap(), d);
+        assert!(std::time::Duration::from_value(&Value::Null).is_err());
     }
 }
