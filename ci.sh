@@ -20,4 +20,18 @@ echo "== fault smoke =="
 # the hard timeout turns a deadlock into a fast failure.
 timeout 120 cargo run -q --release -p lobster-bench --bin fault_smoke
 
+echo "== doctor smoke =="
+# Instrumented smoke run, then lobster_doctor over its trace + sidecars:
+# fails on non-zero exit (empty diagnosis included) or a hung run.
+obs_dir=$(mktemp -d)
+trap 'rm -rf "$obs_dir"' EXIT
+timeout 120 cargo run -q --release -p lobster-bench --bin smoke -- \
+    --scale 256 --epochs 2 --trace-out "$obs_dir/trace.json" > /dev/null
+timeout 120 cargo run -q --release -p lobster-bench --bin lobster_doctor -- \
+    "$obs_dir/trace.json" --out-dir "$obs_dir/results" | tee "$obs_dir/doctor.txt"
+grep -q "findings" "$obs_dir/doctor.txt" || {
+    echo "doctor produced no findings" >&2
+    exit 1
+}
+
 echo "CI OK"

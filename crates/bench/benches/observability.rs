@@ -1,0 +1,64 @@
+//! Overhead of the observability layer on the engine's hottest path.
+//!
+//! The fetch-span site — `ins.trace(..)` closure + counter increment +
+//! `now_us` — runs once per fetched batch. The contract (DESIGN.md §9) is
+//! that a fully-disabled [`Instruments`] bundle costs one branch per site:
+//! the `disabled` rows here must be in the low single-digit nanoseconds,
+//! orders of magnitude below the `enabled` rows. `tests/zero_cost.rs`
+//! asserts the stronger property that the disabled path never allocates.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lobster_metrics::{GpuIterSample, Instruments, TraceEvent};
+
+fn fetch_span_site(ins: &Instruments, counter: &lobster_metrics::Counter) {
+    let ts = ins.now_us();
+    ins.trace(|| {
+        TraceEvent::span("fetch", "io", ts, 10)
+            .pid(0)
+            .tid(black_box(3))
+            .arg_u("bytes", black_box(4096))
+            .arg_s("tier", "cache")
+    });
+    counter.inc();
+}
+
+fn bench_fetch_span_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fetch_span_path");
+    let disabled = Instruments::disabled();
+    let dctr = disabled.counter("engine.fetches");
+    g.bench_function("disabled", |b| b.iter(|| fetch_span_site(&disabled, &dctr)));
+    let enabled = Instruments::enabled();
+    let ectr = enabled.counter("engine.fetches");
+    g.bench_function("enabled", |b| b.iter(|| fetch_span_site(&enabled, &ectr)));
+    g.finish();
+}
+
+fn bench_observe_iteration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("observe_iteration");
+    let samples = || {
+        (0..8u32)
+            .map(|gpu| GpuIterSample {
+                node: 0,
+                gpu,
+                iter_s: 0.1 + f64::from(gpu) * 0.001,
+                stages: Default::default(),
+            })
+            .collect::<Vec<_>>()
+    };
+    let disabled = Instruments::disabled();
+    g.bench_function("disabled", |b| {
+        b.iter(|| disabled.observe_iteration(black_box(7), 0, samples))
+    });
+    let enabled = Instruments::enabled();
+    let mut iter = 0u64;
+    g.bench_function("enabled", |b| {
+        b.iter(|| {
+            iter += 1;
+            enabled.observe_iteration(black_box(iter), 0, samples)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fetch_span_path, bench_observe_iteration);
+criterion_main!(benches);

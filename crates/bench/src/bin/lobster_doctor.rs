@@ -1,0 +1,131 @@
+//! `lobster_doctor` — offline diagnosis of an instrumented run.
+//!
+//! ```text
+//! lobster_doctor <trace> [--metrics <file>] [--decisions <file>] [--out-dir <dir>]
+//! ```
+//!
+//! `<trace>` is a `--trace-out` export (Chrome trace-event document or
+//! JSONL). The sidecars written by the bench harness next to the trace
+//! (`<trace>.metrics.json`, `<trace>.decisions.jsonl`) are picked up
+//! automatically when present; `--metrics` / `--decisions` override.
+//!
+//! Prints the human-readable diagnosis and writes the machine-readable
+//! `results/doctor_<trace-stem>.json`. Exits 1 when the trace yields an
+//! empty diagnosis, 2 on usage or I/O errors.
+
+use lobster_bench::doctor::{diagnose, render};
+use lobster_bench::{decisions_sidecar, metrics_sidecar};
+use lobster_metrics::{DecisionRecord, MetricsSnapshot, ResultSink};
+use std::path::{Path, PathBuf};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: lobster_doctor <trace> [--metrics <file>] [--decisions <file>] [--out-dir <dir>]"
+    );
+    std::process::exit(2);
+}
+
+fn read_or_exit(path: &Path) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {}: {e}", path.display());
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut trace_path: Option<PathBuf> = None;
+    let mut metrics_path: Option<PathBuf> = None;
+    let mut decisions_path: Option<PathBuf> = None;
+    let mut out_dir: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--metrics" | "--decisions" | "--out-dir" => {
+                if i + 1 >= args.len() {
+                    usage();
+                }
+                let value = PathBuf::from(&args[i + 1]);
+                match args[i].as_str() {
+                    "--metrics" => metrics_path = Some(value),
+                    "--decisions" => decisions_path = Some(value),
+                    _ => out_dir = Some(value),
+                }
+                i += 2;
+            }
+            "--help" | "-h" => usage(),
+            arg if arg.starts_with("--") => usage(),
+            _ => {
+                if trace_path.replace(PathBuf::from(&args[i])).is_some() {
+                    usage();
+                }
+                i += 1;
+            }
+        }
+    }
+    let Some(trace_path) = trace_path else {
+        usage()
+    };
+
+    let trace_text = read_or_exit(&trace_path);
+
+    // Sidecar discovery: explicit flag, else the harness's conventional
+    // path next to the trace.
+    let metrics_path = metrics_path.or_else(|| {
+        let p = metrics_sidecar(&trace_path);
+        p.exists().then_some(p)
+    });
+    let metrics: Option<MetricsSnapshot> = metrics_path.map(|p| {
+        serde_json::from_str(&read_or_exit(&p)).unwrap_or_else(|e| {
+            eprintln!("error: malformed metrics snapshot {}: {e:?}", p.display());
+            std::process::exit(2);
+        })
+    });
+    let decisions_path = decisions_path.or_else(|| {
+        let p = decisions_sidecar(&trace_path);
+        p.exists().then_some(p)
+    });
+    let decisions: Vec<DecisionRecord> = decisions_path.map_or_else(Vec::new, |p| {
+        read_or_exit(&p)
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(|l| {
+                serde_json::from_str(l).unwrap_or_else(|e| {
+                    eprintln!("error: malformed decision line in {}: {e:?}", p.display());
+                    std::process::exit(2);
+                })
+            })
+            .collect()
+    });
+
+    let diagnosis = match diagnose(&trace_text, metrics.as_ref(), &decisions) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    if diagnosis.is_empty() {
+        eprintln!(
+            "error: empty diagnosis ({} events parsed but no iterations reconstructed)",
+            diagnosis.events
+        );
+        std::process::exit(1);
+    }
+
+    print!("{}", render(&diagnosis));
+
+    let stem = trace_path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("trace")
+        .replace(['.', '-'], "_");
+    let sink = out_dir.map_or_else(ResultSink::default_location, ResultSink::new);
+    match sink.write_json(&format!("doctor_{stem}"), &diagnosis) {
+        Ok(path) => println!("\ndiagnosis -> {}", path.display()),
+        Err(e) => {
+            eprintln!("error: cannot write diagnosis json: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,537 @@
+//! The `lobster_doctor` diagnosis engine: turn a `--trace-out` export plus
+//! its sidecars into an answer to "why was this run slow?".
+//!
+//! [`diagnose`] ingests a Chrome trace-event document or JSONL (either of
+//! the tracer's export forms), an optional metrics snapshot
+//! (`<trace>.metrics.json`) and an optional controller decision log
+//! (`<trace>.decisions.jsonl`), reconstructs the per-iteration, per-GPU
+//! timeline with [`lobster_metrics::timeline`], and runs the *same*
+//! [`BottleneckAnalyzer`] the engine runs online — so the offline diagnosis
+//! and the live gauges can never drift apart. On top it layers the
+//! run-phase split (warm-up / steady / tail thirds), per-tier fetch-latency
+//! percentiles, the cache-hit trajectory, the solver-convergence table, and
+//! the fault-recovery summary.
+//!
+//! The result is one [`Diagnosis`] value: [`render`] formats it for humans,
+//! and it serializes losslessly to `results/doctor_*.json` for machines
+//! (see the round-trip test).
+
+use lobster_metrics::timeline::{parse_trace, Timeline, TimelineError};
+use lobster_metrics::{
+    AnalysisConfig, AnalysisReport, BottleneckAnalyzer, DecisionRecord, MetricsSnapshot, Table,
+};
+use serde::{Deserialize, Serialize};
+
+/// Fetch-latency percentiles for one storage tier, microseconds.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TierLatency {
+    pub tier: String,
+    pub count: u64,
+    pub p50_us: f64,
+    pub p95_us: f64,
+    pub p99_us: f64,
+}
+
+/// Bottleneck verdict for one phase of the run (thirds by iteration).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PhaseDiagnosis {
+    pub phase: String,
+    pub iterations: u64,
+    /// Mean Eq.-3 gap over the phase, milliseconds.
+    pub mean_gap_ms: f64,
+    /// Dominant pipeline blame category ([`lobster_metrics::BlameCategory`]
+    /// label), if anything was blamed.
+    pub dominant: Option<String>,
+}
+
+/// Cache behaviour over the run, from `cache` instants (simulator) or
+/// per-fetch tier tags (engine).
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+pub struct CacheTrajectory {
+    pub points: u64,
+    pub first_hit_ratio: f64,
+    pub last_hit_ratio: f64,
+    pub local_hits: u64,
+    pub remote_hits: u64,
+    pub misses: u64,
+}
+
+/// One controller decision with the gap around it (when the decision log
+/// sidecar was available to join against).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SolverRow {
+    pub ts_us: u64,
+    pub evals: u64,
+    pub converged: bool,
+    pub gap_before_ms: Option<f64>,
+    pub gap_after_ms: Option<f64>,
+}
+
+/// One fault-family counter (trace `cat == "fault"` instants and the
+/// engine's exported fault counters).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FaultCount {
+    pub name: String,
+    pub count: u64,
+}
+
+/// The straggler call, when the attribution names one.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StragglerCall {
+    pub node: u32,
+    pub gpu: u32,
+    /// Dominant blame category label of the flagged episodes, if any.
+    pub dominant: Option<String>,
+    pub episodes: u64,
+}
+
+/// Everything `lobster_doctor` concluded about one run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Diagnosis {
+    /// Parsed trace events.
+    pub events: u64,
+    /// Reconstructed iterations.
+    pub iterations: u64,
+    /// The full offline analyzer report (same machinery as the online one).
+    pub analysis: AnalysisReport,
+    pub phases: Vec<PhaseDiagnosis>,
+    pub tiers: Vec<TierLatency>,
+    pub cache: CacheTrajectory,
+    pub solver: Vec<SolverRow>,
+    pub faults: Vec<FaultCount>,
+    /// Cluster-dominant pipeline bottleneck label.
+    pub top_bottleneck: Option<String>,
+    pub straggler: Option<StragglerCall>,
+    /// Human-readable findings, most important first.
+    pub verdicts: Vec<String>,
+}
+
+impl Diagnosis {
+    /// An empty diagnosis (no iterations reconstructed and no verdicts) is
+    /// a failed one: the doctor exits non-zero on it.
+    pub fn is_empty(&self) -> bool {
+        self.iterations == 0 || self.verdicts.is_empty()
+    }
+}
+
+fn phase_name(i: usize) -> &'static str {
+    ["warm-up", "steady", "tail"][i]
+}
+
+/// Diagnose a run from its trace text plus optional sidecars. The trace may
+/// be a `{"traceEvents": [...]}` document or JSONL.
+pub fn diagnose(
+    trace_text: &str,
+    metrics: Option<&MetricsSnapshot>,
+    decisions: &[DecisionRecord],
+) -> Result<Diagnosis, TimelineError> {
+    let events = parse_trace(trace_text)?;
+    let tl = Timeline::build(&events);
+
+    // Re-run the online analyzer over the reconstruction, interleaving the
+    // decision log by timestamp so solver efficacy (gap before/after each
+    // Algorithm-1 decision) is joined exactly as it was live.
+    let mut decisions = decisions.to_vec();
+    decisions.sort_by_key(|d| d.ts_us);
+    let mut next_decision = 0usize;
+    let mut analyzer = BottleneckAnalyzer::new(AnalysisConfig::default());
+    for slice in &tl.iterations {
+        while next_decision < decisions.len() && decisions[next_decision].ts_us < slice.end_us {
+            analyzer.note_decision(&decisions[next_decision]);
+            next_decision += 1;
+        }
+        analyzer.observe_iteration(slice.iter, &slice.per_gpu);
+    }
+    for d in &decisions[next_decision..] {
+        analyzer.note_decision(d);
+    }
+    let analysis = analyzer.report();
+
+    // Phase split: warm-up / steady / tail thirds of the iteration range,
+    // each attributed by its own analyzer pass.
+    let mut phases = Vec::new();
+    let n = tl.iterations.len();
+    if n > 0 {
+        let bounds = [(0, n / 3), (n / 3, 2 * n / 3), (2 * n / 3, n)];
+        for (i, &(lo, hi)) in bounds.iter().enumerate() {
+            if lo >= hi {
+                continue;
+            }
+            let mut pa = BottleneckAnalyzer::default();
+            for slice in &tl.iterations[lo..hi] {
+                pa.observe_iteration(slice.iter, &slice.per_gpu);
+            }
+            let r = pa.report();
+            phases.push(PhaseDiagnosis {
+                phase: phase_name(i).to_string(),
+                iterations: (hi - lo) as u64,
+                mean_gap_ms: r.mean_gap_s * 1e3,
+                dominant: r.dominant_category().map(|c| c.label().to_string()),
+            });
+        }
+    }
+
+    let tiers: Vec<TierLatency> = tl
+        .fetch_us_by_tier
+        .iter()
+        .map(|(tier, h)| TierLatency {
+            tier: tier.to_string(),
+            count: h.count(),
+            p50_us: h.percentile(50.0).unwrap_or(0.0),
+            p95_us: h.percentile(95.0).unwrap_or(0.0),
+            p99_us: h.percentile(99.0).unwrap_or(0.0),
+        })
+        .collect();
+
+    let (local, remote, miss) = tl.cache_totals();
+    let cache = CacheTrajectory {
+        points: tl.cache_points.len() as u64,
+        first_hit_ratio: tl.cache_points.first().map_or(0.0, |p| p.hit_ratio()),
+        last_hit_ratio: tl.cache_points.last().map_or(0.0, |p| p.hit_ratio()),
+        local_hits: local,
+        remote_hits: remote,
+        misses: miss,
+    };
+
+    // Solver table: joined efficacy rows when the sidecar was given,
+    // otherwise the bare `controller_decision` instants from the trace.
+    let solver: Vec<SolverRow> = if !decisions.is_empty() {
+        analysis
+            .solver
+            .iter()
+            .map(|s| SolverRow {
+                ts_us: s.ts_us,
+                evals: decisions
+                    .iter()
+                    .find(|d| d.ts_us == s.ts_us)
+                    .map_or(0, |d| d.evals as u64),
+                converged: s.converged,
+                gap_before_ms: Some(s.gap_before_s * 1e3),
+                gap_after_ms: s.gap_after_s.map(|g| g * 1e3),
+            })
+            .collect()
+    } else {
+        tl.decision_instants
+            .iter()
+            .map(|&(ts_us, evals, converged)| SolverRow {
+                ts_us,
+                evals,
+                converged,
+                gap_before_ms: None,
+                gap_after_ms: None,
+            })
+            .collect()
+    };
+
+    // Fault summary: trace instants plus the engine's exported counters
+    // (skipping their legacy aliases to avoid double counting).
+    let mut faults: Vec<FaultCount> = tl
+        .fault_counts
+        .iter()
+        .map(|(name, &count)| FaultCount {
+            name: format!("trace.{name}"),
+            count,
+        })
+        .collect();
+    if let Some(snap) = metrics {
+        for e in &snap.entries {
+            let fault_counter = matches!(
+                e.name.as_str(),
+                "engine.retries"
+                    | "engine.corruptions_detected"
+                    | "engine.deadline_exceeded"
+                    | "engine.worker_panics"
+            );
+            if fault_counter && e.kind != "alias" && e.value > 0 {
+                faults.push(FaultCount {
+                    name: e.name.clone(),
+                    count: e.value as u64,
+                });
+            }
+        }
+    }
+
+    let top_bottleneck = analysis.dominant_category().map(|c| c.label().to_string());
+    let straggler = analysis.top_straggler().map(|(node, gpu)| StragglerCall {
+        node,
+        gpu,
+        dominant: analysis
+            .episodes
+            .iter()
+            .rfind(|e| e.node == node && e.gpu == gpu)
+            .map(|e| e.dominant.label().to_string()),
+        episodes: analysis.episodes.len() as u64,
+    });
+
+    let mut verdicts = Vec::new();
+    if let Some(cat) = &top_bottleneck {
+        let share = lobster_metrics::BlameCategory::ALL
+            .iter()
+            .find(|c| c.label() == cat)
+            .map(|&c| analysis.cluster.get(c) / analysis.cluster.pipeline_s().max(1e-12))
+            .unwrap_or(0.0);
+        verdicts.push(format!(
+            "dominant pipeline bottleneck: {cat} ({:.0}% of blamed loading time)",
+            share * 100.0
+        ));
+    }
+    if let Some(s) = &straggler {
+        verdicts.push(match &s.dominant {
+            Some(d) => format!(
+                "straggler: node {} gpu {} ({} flagged episode(s), mostly {d})",
+                s.node, s.gpu, s.episodes
+            ),
+            None => format!(
+                "straggler: node {} gpu {} (never crossed the episode threshold)",
+                s.node, s.gpu
+            ),
+        });
+    }
+    if analysis.iterations > 0 {
+        verdicts.push(format!(
+            "Eq.-3 gap: first {:.1} ms, mean {:.1} ms, max {:.1} ms, final EWMA {:.1} ms",
+            analysis.first_gap_s * 1e3,
+            analysis.mean_gap_s * 1e3,
+            analysis.max_gap_s * 1e3,
+            analysis.ewma_gap_s * 1e3
+        ));
+    }
+    if let Some(ratio) = analysis.mean_solver_gap_ratio() {
+        verdicts.push(if ratio < 1.0 {
+            format!(
+                "solver efficacy: decisions shrank the gap to {:.0}% of its prior value on average",
+                ratio * 100.0
+            )
+        } else {
+            format!(
+                "solver efficacy: decisions did NOT shrink the gap (mean after/before {ratio:.2})"
+            )
+        });
+    } else if !solver.is_empty() {
+        verdicts.push(format!(
+            "{} controller decision(s) seen, but no gap join (run the producer with the decision sidecar)",
+            solver.len()
+        ));
+    }
+    if cache.points > 0 {
+        verdicts.push(format!(
+            "cache hit ratio moved {:.0}% -> {:.0}% over {} samples",
+            cache.first_hit_ratio * 100.0,
+            cache.last_hit_ratio * 100.0,
+            cache.points
+        ));
+    }
+    if !faults.is_empty() {
+        let total: u64 = faults.iter().map(|f| f.count).sum();
+        verdicts.push(format!(
+            "{total} fault event(s) recorded and recovered across {} families",
+            faults.len()
+        ));
+    }
+
+    Ok(Diagnosis {
+        events: events.len() as u64,
+        iterations: tl.iterations.len() as u64,
+        analysis,
+        phases,
+        tiers,
+        cache,
+        solver,
+        faults,
+        top_bottleneck,
+        straggler,
+        verdicts,
+    })
+}
+
+/// Human-readable report.
+pub fn render(d: &Diagnosis) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "lobster_doctor: {} events, {} iterations reconstructed\n\n",
+        d.events, d.iterations
+    ));
+    out.push_str("== findings ==\n");
+    for v in &d.verdicts {
+        out.push_str(&format!("  * {v}\n"));
+    }
+
+    if !d.phases.is_empty() {
+        out.push_str("\n== bottleneck by phase ==\n");
+        let mut t = Table::new(["phase", "iterations", "mean gap", "dominant"]);
+        for p in &d.phases {
+            t.row([
+                p.phase.clone(),
+                p.iterations.to_string(),
+                format!("{:.1}ms", p.mean_gap_ms),
+                p.dominant.clone().unwrap_or_else(|| "-".to_string()),
+            ]);
+        }
+        out.push_str(&t.render());
+    }
+
+    if !d.tiers.is_empty() {
+        out.push_str("\n== fetch latency by tier ==\n");
+        let mut t = Table::new(["tier", "fetches", "p50", "p95", "p99"]);
+        for tier in &d.tiers {
+            t.row([
+                tier.tier.clone(),
+                tier.count.to_string(),
+                format!("{:.0}us", tier.p50_us),
+                format!("{:.0}us", tier.p95_us),
+                format!("{:.0}us", tier.p99_us),
+            ]);
+        }
+        out.push_str(&t.render());
+    }
+
+    if d.cache.points > 0 {
+        out.push_str(&format!(
+            "\n== cache ==\nlocal {} / remote {} / miss {} (hit ratio {:.0}% -> {:.0}%)\n",
+            d.cache.local_hits,
+            d.cache.remote_hits,
+            d.cache.misses,
+            d.cache.first_hit_ratio * 100.0,
+            d.cache.last_hit_ratio * 100.0
+        ));
+    }
+
+    if !d.solver.is_empty() {
+        out.push_str("\n== solver convergence ==\n");
+        let mut t = Table::new(["ts", "evals", "converged", "gap before", "gap after"]);
+        for s in &d.solver {
+            let fmt_gap = |g: Option<f64>| {
+                g.map(|v| format!("{v:.1}ms"))
+                    .unwrap_or_else(|| "-".to_string())
+            };
+            t.row([
+                format!("{}us", s.ts_us),
+                s.evals.to_string(),
+                if s.converged { "yes" } else { "no" }.to_string(),
+                fmt_gap(s.gap_before_ms),
+                fmt_gap(s.gap_after_ms),
+            ]);
+        }
+        out.push_str(&t.render());
+    }
+
+    if !d.faults.is_empty() {
+        out.push_str("\n== faults ==\n");
+        for f in &d.faults {
+            out.push_str(&format!("  {}  {}\n", f.name, f.count));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lobster_metrics::{DecisionSource, TraceBuffer, TraceEvent};
+
+    /// Three iterations, two GPUs; GPU 1 straggles on PFS fetches and a
+    /// decision lands between iterations 1 and 2, after which the gap
+    /// narrows.
+    fn synthetic_trace() -> (String, Vec<DecisionRecord>) {
+        let buf = TraceBuffer::new();
+        let mut t0 = 0u64;
+        // (gpu0 pipe, gpu1 pipe) per iteration, µs; train 50 ms.
+        for (h, (p0, p1)) in [(10_000u64, 90_000u64), (10_000, 80_000), (10_000, 30_000)]
+            .into_iter()
+            .enumerate()
+        {
+            let h = h as u64;
+            for (gpu, pipe) in [(0u32, p0), (1u32, p1)] {
+                buf.push(
+                    TraceEvent::span("fetch", "io", t0, pipe)
+                        .pid(0)
+                        .tid(gpu)
+                        .arg_u("local", (gpu == 0) as u64)
+                        .arg_u("pfs", (gpu == 1) as u64),
+                );
+                buf.push(
+                    TraceEvent::span("train", "compute", t0 + pipe, 50_000)
+                        .pid(0)
+                        .tid(gpu)
+                        .arg_u("iter", h),
+                );
+                let arrival = t0 + pipe + 50_000;
+                let barrier_end = t0 + p0.max(p1) + 50_000;
+                buf.push(
+                    TraceEvent::span("barrier_wait", "sync", arrival, barrier_end - arrival)
+                        .pid(0)
+                        .tid(gpu)
+                        .arg_u("iter", h),
+                );
+            }
+            buf.push(
+                TraceEvent::instant("cache", "cache", t0)
+                    .pid(0)
+                    .arg_u("local_hits", 2 + h)
+                    .arg_u("misses", 2 - h.min(2)),
+            );
+            t0 += p0.max(p1) + 50_000;
+        }
+        buf.push(TraceEvent::instant("fault_transient", "fault", 1_000).pid(0));
+        let decision = DecisionRecord {
+            ts_us: 265_000, // between iteration 1's barrier and iteration 2's
+            source: DecisionSource::Algorithm1,
+            node: 0,
+            queue_loads: vec![1.0, 3.0],
+            predicted_cost: vec![0.05, 0.05],
+            threads_before: vec![2, 2],
+            threads_after: vec![1, 3],
+            gap_s: Some(0.02),
+            evals: 6,
+            converged: true,
+        };
+        (buf.chrome_trace_json(), vec![decision])
+    }
+
+    #[test]
+    fn diagnoses_the_synthetic_straggler_run() {
+        let (trace, decisions) = synthetic_trace();
+        let d = diagnose(&trace, None, &decisions).unwrap();
+        assert!(!d.is_empty());
+        assert_eq!(d.iterations, 3);
+        assert_eq!(d.top_bottleneck.as_deref(), Some("pfs_fetch"));
+        let s = d.straggler.as_ref().expect("straggler named");
+        assert_eq!((s.node, s.gpu), (0, 1));
+        // The decision joined against the gap on both sides and shrank it.
+        assert_eq!(d.solver.len(), 1);
+        assert_eq!(d.solver[0].evals, 6);
+        let before = d.solver[0].gap_before_ms.unwrap();
+        let after = d.solver[0].gap_after_ms.unwrap();
+        assert!(after < before, "gap {before} -> {after}");
+        assert_eq!(d.faults.len(), 1);
+        assert!(d.faults[0].name.contains("fault_transient"));
+        assert!(d.phases.len() == 3 && d.phases[0].phase == "warm-up");
+        let text = render(&d);
+        assert!(text.contains("straggler: node 0 gpu 1"));
+        assert!(text.contains("pfs_fetch"));
+        assert!(text.contains("solver convergence"));
+    }
+
+    #[test]
+    fn diagnosis_round_trips_through_json() {
+        let (trace, decisions) = synthetic_trace();
+        let d = diagnose(&trace, None, &decisions).unwrap();
+        let json = serde_json::to_string_pretty(&d).unwrap();
+        let back: Diagnosis = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.iterations, d.iterations);
+        assert_eq!(back.top_bottleneck, d.top_bottleneck);
+        assert_eq!(back.verdicts, d.verdicts);
+        assert_eq!(back.solver.len(), d.solver.len());
+        assert_eq!(
+            serde_json::to_string_pretty(&back).unwrap(),
+            json,
+            "serialize -> parse -> serialize is a fixed point"
+        );
+    }
+
+    #[test]
+    fn empty_or_garbage_traces_are_errors_not_empty_reports() {
+        assert!(diagnose("", None, &[]).is_err());
+        assert!(diagnose("no json here", None, &[]).is_err());
+    }
+}

@@ -123,12 +123,23 @@ pub fn compare_policies(
     make_cfg: impl Fn() -> ExperimentConfig,
     policy_names: &[&str],
 ) -> Vec<PolicyRow> {
+    compare_policies_with(make_cfg, policy_names, &Instruments::disabled())
+}
+
+/// As [`compare_policies`], with an observability bundle attached to every
+/// run (all policies share one bundle; the trace distinguishes them by
+/// time order).
+pub fn compare_policies_with(
+    make_cfg: impl Fn() -> ExperimentConfig,
+    policy_names: &[&str],
+    ins: &Instruments,
+) -> Vec<PolicyRow> {
     let mut rows: Vec<PolicyRow> = policy_names
         .iter()
         .map(|&name| {
             let policy = lobster_core::policy_by_name(name)
                 .unwrap_or_else(|| panic!("unknown policy {name}"));
-            let report = run_policy(make_cfg(), policy);
+            let report = run_policy_with(make_cfg(), policy, ins);
             PolicyRow {
                 policy: name.to_string(),
                 mean_epoch_s: report.mean_epoch_s(),
@@ -224,9 +235,23 @@ pub fn observability_from_args() -> (Instruments, Option<PathBuf>) {
     (ins, path)
 }
 
-/// End-of-run observability output: print the metrics snapshot and the
-/// decision count, and write the Chrome trace (Perfetto-viewable) to
-/// `trace_out` if given. A disabled bundle prints and writes nothing.
+/// Sidecar path `<trace>.metrics.json` next to a trace output file.
+pub fn metrics_sidecar(trace_out: &Path) -> PathBuf {
+    PathBuf::from(format!("{}.metrics.json", trace_out.display()))
+}
+
+/// Sidecar path `<trace>.decisions.jsonl` next to a trace output file.
+pub fn decisions_sidecar(trace_out: &Path) -> PathBuf {
+    PathBuf::from(format!("{}.decisions.jsonl", trace_out.display()))
+}
+
+/// End-of-run observability output: print the metrics snapshot, the
+/// decision count, and the online analyzer's conclusions, then write the
+/// Chrome trace (Perfetto-viewable) to `trace_out` if given, plus two
+/// sidecars `lobster_doctor` ingests alongside the trace:
+/// `<trace>.metrics.json` (the snapshot) and `<trace>.decisions.jsonl`
+/// (the controller decision log). A disabled bundle prints and writes
+/// nothing.
 pub fn write_observability(ins: &Instruments, trace_out: Option<&Path>) {
     if !ins.is_enabled() {
         return;
@@ -235,6 +260,28 @@ pub fn write_observability(ins: &Instruments, trace_out: Option<&Path>) {
     println!("\n-- metrics snapshot --");
     print!("{}", snapshot.to_text());
     println!("controller decisions logged: {}", ins.decisions().len());
+    if let Some(report) = ins.analysis_report().filter(|r| r.iterations > 0) {
+        println!("-- bottleneck analysis --");
+        println!(
+            "iterations {}  gap first {:.1}ms  ewma {:.1}ms  max {:.1}ms",
+            report.iterations,
+            report.first_gap_s * 1e3,
+            report.ewma_gap_s * 1e3,
+            report.max_gap_s * 1e3
+        );
+        if let Some(cat) = report.dominant_category() {
+            println!("dominant pipeline bottleneck: {}", cat.label());
+        }
+        if let Some((node, gpu)) = report.top_straggler() {
+            println!(
+                "top straggler: node {node} gpu {gpu} ({} episode(s) flagged)",
+                report.episodes.len()
+            );
+        }
+        if let Some(ratio) = report.mean_solver_gap_ratio() {
+            println!("solver efficacy: mean gap_after/gap_before = {ratio:.2}");
+        }
+    }
     if ins.trace_dropped() > 0 {
         println!(
             "trace events dropped (buffer full): {}",
@@ -242,12 +289,21 @@ pub fn write_observability(ins: &Instruments, trace_out: Option<&Path>) {
         );
     }
     if let Some(path) = trace_out {
-        let json = ins.chrome_trace_json().expect("enabled bundle has a trace");
-        match std::fs::write(path, json) {
-            Ok(()) => println!("trace -> {}", path.display()),
-            Err(e) => {
-                eprintln!("error: cannot write trace to {}: {e}", path.display());
-                std::process::exit(2);
+        let mut outputs = vec![(
+            path.to_path_buf(),
+            ins.chrome_trace_json().expect("enabled bundle has a trace"),
+        )];
+        outputs.push((metrics_sidecar(path), snapshot.to_json()));
+        if let Some(decisions) = ins.decisions_jsonl() {
+            outputs.push((decisions_sidecar(path), decisions));
+        }
+        for (out, contents) in outputs {
+            match std::fs::write(&out, contents) {
+                Ok(()) => println!("trace -> {}", out.display()),
+                Err(e) => {
+                    eprintln!("error: cannot write trace to {}: {e}", out.display());
+                    std::process::exit(2);
+                }
             }
         }
     }

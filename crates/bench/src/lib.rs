@@ -5,10 +5,11 @@
 //! holds the scaled paper configurations; each `src/bin/fig*.rs` binary
 //! reproduces one figure and writes `results/<name>.{json,csv}`.
 
+pub mod doctor;
 pub mod harness;
 
 pub use harness::{
-    compare_policies, faults_from_args, observability_from_args, paper_config, params_from_args,
-    run_policy, run_policy_with, scaled_cache_bytes, write_observability, BenchParams, DatasetKind,
-    PolicyRow, BASELINE_NAMES,
+    compare_policies, compare_policies_with, decisions_sidecar, faults_from_args, metrics_sidecar,
+    observability_from_args, paper_config, params_from_args, run_policy, run_policy_with,
+    scaled_cache_bytes, write_observability, BenchParams, DatasetKind, PolicyRow, BASELINE_NAMES,
 };

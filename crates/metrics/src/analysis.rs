@@ -1,0 +1,737 @@
+//! Online bottleneck attribution: who is the straggler, and why?
+//!
+//! Lobster's objective (Eq. 3) is minimizing the per-iteration gap between
+//! the slowest and fastest GPU. The raw observability layer ([`crate::trace`],
+//! [`crate::registry`], [`crate::decisions`]) records *events*; this module
+//! turns them into *answers*, while the run is still going:
+//!
+//! 1. **Critical-path attribution** — each GPU-iteration's time is blamed
+//!    to a [`BlameCategory`]: local-cache / remote-cache / PFS fetch,
+//!    preprocessing, queue wait, barrier wait, training, or unattributed
+//!    remainder. Blame rule: a stage's seconds go to its own category; a
+//!    mixed fetch is blamed per tier when the producer can split it (the
+//!    simulator can, via `LoadTimeParts`) and otherwise on the slowest tier
+//!    present in the span.
+//! 2. **The live Eq.-3 gap** — `T_max − T_min` over the per-GPU effective
+//!    iteration times, with an EWMA trend so a transient blip is
+//!    distinguishable from a persistent imbalance.
+//! 3. **Straggler detection** — a GPU whose share of the cluster's blamed
+//!    overage exceeds [`AnalysisConfig::straggler_share`] for
+//!    [`AnalysisConfig::straggler_consecutive`] consecutive iterations is
+//!    flagged as a straggler episode (emitted by [`crate::Instruments`] as a
+//!    `straggler_detected` trace instant and an `analysis.straggler_gpu`
+//!    gauge).
+//! 4. **Solver efficacy** — every controller decision is joined against the
+//!    gap observed immediately before and after it, so "did Algorithm 1
+//!    actually close the gap?" is a table, not an archaeology project.
+//!
+//! The analyzer is deliberately storage-light: per-GPU accumulators, a
+//! bounded gap series, and bounded episode/efficacy tables — it is meant to
+//! run *inside* the engine's iteration loop.
+
+use serde::{Deserialize, Serialize};
+
+use crate::decisions::{DecisionRecord, DecisionSource};
+
+/// Where one GPU-iteration's wall time went.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BlameCategory {
+    /// Fetch served by the node-local cache.
+    LocalFetch,
+    /// Fetch served by a remote node's cache.
+    RemoteFetch,
+    /// Fetch that reached the PFS.
+    PfsFetch,
+    /// Sample preprocessing (decode / augment stand-in).
+    Preprocess,
+    /// Waiting for work to arrive in a request queue.
+    QueueWait,
+    /// Waiting on the gradient-allreduce barrier for stragglers.
+    Barrier,
+    /// The training compute itself.
+    Train,
+    /// Remainder the producer could not attribute.
+    Other,
+}
+
+impl BlameCategory {
+    pub const ALL: [BlameCategory; 8] = [
+        BlameCategory::LocalFetch,
+        BlameCategory::RemoteFetch,
+        BlameCategory::PfsFetch,
+        BlameCategory::Preprocess,
+        BlameCategory::QueueWait,
+        BlameCategory::Barrier,
+        BlameCategory::Train,
+        BlameCategory::Other,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            BlameCategory::LocalFetch => "local_fetch",
+            BlameCategory::RemoteFetch => "remote_fetch",
+            BlameCategory::PfsFetch => "pfs_fetch",
+            BlameCategory::Preprocess => "preprocess",
+            BlameCategory::QueueWait => "queue_wait",
+            BlameCategory::Barrier => "barrier",
+            BlameCategory::Train => "train",
+            BlameCategory::Other => "other",
+        }
+    }
+
+    /// The storage tier name this category maps to, if it is a fetch.
+    pub fn tier(self) -> Option<&'static str> {
+        match self {
+            BlameCategory::LocalFetch => Some("local"),
+            BlameCategory::RemoteFetch => Some("remote"),
+            BlameCategory::PfsFetch => Some("pfs"),
+            _ => None,
+        }
+    }
+}
+
+/// Seconds blamed to each category for one GPU-iteration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct StageSample {
+    pub local_fetch_s: f64,
+    pub remote_fetch_s: f64,
+    pub pfs_fetch_s: f64,
+    pub preprocess_s: f64,
+    pub queue_wait_s: f64,
+    pub barrier_s: f64,
+    pub train_s: f64,
+    pub other_s: f64,
+}
+
+impl StageSample {
+    pub fn get(&self, cat: BlameCategory) -> f64 {
+        match cat {
+            BlameCategory::LocalFetch => self.local_fetch_s,
+            BlameCategory::RemoteFetch => self.remote_fetch_s,
+            BlameCategory::PfsFetch => self.pfs_fetch_s,
+            BlameCategory::Preprocess => self.preprocess_s,
+            BlameCategory::QueueWait => self.queue_wait_s,
+            BlameCategory::Barrier => self.barrier_s,
+            BlameCategory::Train => self.train_s,
+            BlameCategory::Other => self.other_s,
+        }
+    }
+
+    pub fn add(&mut self, cat: BlameCategory, secs: f64) {
+        let slot = match cat {
+            BlameCategory::LocalFetch => &mut self.local_fetch_s,
+            BlameCategory::RemoteFetch => &mut self.remote_fetch_s,
+            BlameCategory::PfsFetch => &mut self.pfs_fetch_s,
+            BlameCategory::Preprocess => &mut self.preprocess_s,
+            BlameCategory::QueueWait => &mut self.queue_wait_s,
+            BlameCategory::Barrier => &mut self.barrier_s,
+            BlameCategory::Train => &mut self.train_s,
+            BlameCategory::Other => &mut self.other_s,
+        };
+        *slot += secs.max(0.0);
+    }
+
+    pub fn merge(&mut self, other: &StageSample) {
+        for cat in BlameCategory::ALL {
+            self.add(cat, other.get(cat));
+        }
+    }
+
+    pub fn total_s(&self) -> f64 {
+        BlameCategory::ALL.iter().map(|&c| self.get(c)).sum()
+    }
+
+    /// Seconds not spent training or idling at the barrier — the loading
+    /// critical path this GPU contributed (what Algorithm 1 can shrink).
+    pub fn pipeline_s(&self) -> f64 {
+        self.local_fetch_s
+            + self.remote_fetch_s
+            + self.pfs_fetch_s
+            + self.preprocess_s
+            + self.queue_wait_s
+            + self.other_s
+    }
+
+    /// The category with the most blamed seconds among the pipeline (non
+    /// train/barrier) categories; `None` when nothing was blamed.
+    pub fn dominant_pipeline_category(&self) -> Option<BlameCategory> {
+        BlameCategory::ALL
+            .iter()
+            .copied()
+            .filter(|c| !matches!(c, BlameCategory::Train | BlameCategory::Barrier))
+            .filter(|&c| self.get(c) > 0.0)
+            .max_by(|&a, &b| {
+                self.get(a)
+                    .partial_cmp(&self.get(b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+    }
+}
+
+/// One GPU's observation for one iteration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct GpuIterSample {
+    /// Node id (Chrome `pid`).
+    pub node: u32,
+    /// GPU / consumer id within the node (Chrome `tid`).
+    pub gpu: u32,
+    /// Effective iteration seconds for the Eq.-3 gap: the per-GPU pipeline
+    /// time floored by training (a uniformly slow cluster is a bottleneck,
+    /// not an imbalance).
+    pub iter_s: f64,
+    /// Where the time went.
+    pub stages: StageSample,
+}
+
+/// Tunables for straggler detection and trend smoothing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AnalysisConfig {
+    /// A GPU is straggling while its share of the cluster's summed per-GPU
+    /// overage (`iter_s − T_min`) exceeds this fraction. With `G` GPUs a
+    /// perfectly balanced cluster gives every GPU a share of `1/G`.
+    pub straggler_share: f64,
+    /// Consecutive iterations over the share threshold before an episode is
+    /// flagged.
+    pub straggler_consecutive: u32,
+    /// EWMA weight of the newest gap observation.
+    pub ewma_alpha: f64,
+    /// Bound on stored gap-series points / episodes / efficacy rows.
+    pub max_records: usize,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> AnalysisConfig {
+        AnalysisConfig {
+            straggler_share: 0.5,
+            straggler_consecutive: 3,
+            ewma_alpha: 0.2,
+            max_records: 64 * 1024,
+        }
+    }
+}
+
+/// A flagged straggler episode: `gpu` on `node` held more than the
+/// configured blame share from `from_iter` for `iters` iterations.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StragglerEpisode {
+    pub node: u32,
+    pub gpu: u32,
+    pub from_iter: u64,
+    pub iters: u64,
+    /// Mean blame share over the episode.
+    pub mean_share: f64,
+    /// Dominant pipeline category over the episode, by blamed seconds.
+    pub dominant: BlameCategory,
+}
+
+/// One controller decision joined with the Eq.-3 gap around it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SolverEfficacy {
+    pub ts_us: u64,
+    pub source: DecisionSource,
+    pub node: u32,
+    /// Gap observed in the last iteration before the decision.
+    pub gap_before_s: f64,
+    /// Gap observed in the first iteration after the decision, once known.
+    pub gap_after_s: Option<f64>,
+    /// The solver's own predicted residual gap, if it reported one.
+    pub predicted_gap_s: Option<f64>,
+    pub converged: bool,
+}
+
+/// What [`BottleneckAnalyzer::observe_iteration`] concluded about one
+/// iteration — the caller (normally [`crate::Instruments`]) mirrors this
+/// into gauges and trace instants.
+#[derive(Debug, Clone)]
+pub struct IterationAnalysis {
+    pub iter: u64,
+    /// Eq.-3 gap of this iteration, seconds.
+    pub gap_s: f64,
+    /// EWMA-smoothed gap trend, seconds.
+    pub ewma_gap_s: f64,
+    /// Straggler episode that *completed the threshold* this iteration, if
+    /// any (one instant per episode, not per iteration).
+    pub flagged: Option<StragglerEpisode>,
+    /// Current worst GPU `(node, gpu, share)` of this iteration's overage.
+    pub worst: Option<(u32, u32, f64)>,
+}
+
+/// Per-GPU running totals.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GpuBlame {
+    pub node: u32,
+    pub gpu: u32,
+    pub iterations: u64,
+    pub stages: StageSample,
+    /// Iterations in which this GPU was the slowest (arg-max of `iter_s`).
+    pub slowest_count: u64,
+    /// Summed `iter_s − T_min` overage, seconds.
+    pub overage_s: f64,
+}
+
+/// Everything the analyzer learned, serializable for `lobster_doctor`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AnalysisReport {
+    pub config: AnalysisConfig,
+    pub iterations: u64,
+    /// Cluster-level blame totals (all GPUs merged).
+    pub cluster: StageSample,
+    pub per_gpu: Vec<GpuBlame>,
+    /// First observed gap, seconds (warm-up imbalance).
+    pub first_gap_s: f64,
+    /// Final EWMA gap, seconds.
+    pub ewma_gap_s: f64,
+    /// Mean gap over all iterations, seconds.
+    pub mean_gap_s: f64,
+    /// Largest single-iteration gap, seconds.
+    pub max_gap_s: f64,
+    pub episodes: Vec<StragglerEpisode>,
+    pub solver: Vec<SolverEfficacy>,
+}
+
+impl AnalysisReport {
+    /// The GPU carrying the most summed overage, `(node, gpu)`.
+    pub fn top_straggler(&self) -> Option<(u32, u32)> {
+        self.per_gpu
+            .iter()
+            .max_by(|a, b| {
+                a.overage_s
+                    .partial_cmp(&b.overage_s)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|g| (g.node, g.gpu))
+    }
+
+    /// Cluster-dominant pipeline category.
+    pub fn dominant_category(&self) -> Option<BlameCategory> {
+        self.cluster.dominant_pipeline_category()
+    }
+
+    /// Mean `gap_after / gap_before` over decisions with both sides
+    /// observed; `None` when no decision was joined. Below 1.0 means the
+    /// solver shrank the gap on average.
+    pub fn mean_solver_gap_ratio(&self) -> Option<f64> {
+        let joined: Vec<(f64, f64)> = self
+            .solver
+            .iter()
+            .filter_map(|s| s.gap_after_s.map(|a| (s.gap_before_s, a)))
+            .filter(|&(b, _)| b > 0.0)
+            .collect();
+        if joined.is_empty() {
+            return None;
+        }
+        Some(joined.iter().map(|&(b, a)| a / b).sum::<f64>() / joined.len() as f64)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct RunState {
+    node: u32,
+    gpu: u32,
+    /// Consecutive iterations over the share threshold.
+    streak: u32,
+    streak_start: u64,
+    share_sum: f64,
+    stages: StageSample,
+    /// Episode currently being extended (index into `episodes`), if the
+    /// streak already crossed the threshold.
+    open_episode: Option<usize>,
+}
+
+/// The online analyzer. Single-writer by design — wrap it in a `Mutex` (as
+/// [`crate::Instruments`] does) to share across threads.
+#[derive(Debug, Clone)]
+pub struct BottleneckAnalyzer {
+    cfg: AnalysisConfig,
+    iterations: u64,
+    cluster: StageSample,
+    per_gpu: Vec<GpuBlame>,
+    first_gap_s: Option<f64>,
+    ewma_gap_s: Option<f64>,
+    gap_sum_s: f64,
+    max_gap_s: f64,
+    streak: Option<RunState>,
+    episodes: Vec<StragglerEpisode>,
+    solver: Vec<SolverEfficacy>,
+    /// Decisions awaiting their first post-decision gap observation.
+    pending_after: Vec<usize>,
+    last_gap_s: f64,
+}
+
+impl Default for BottleneckAnalyzer {
+    fn default() -> BottleneckAnalyzer {
+        BottleneckAnalyzer::new(AnalysisConfig::default())
+    }
+}
+
+impl BottleneckAnalyzer {
+    pub fn new(cfg: AnalysisConfig) -> BottleneckAnalyzer {
+        BottleneckAnalyzer {
+            cfg,
+            iterations: 0,
+            cluster: StageSample::default(),
+            per_gpu: Vec::new(),
+            first_gap_s: None,
+            ewma_gap_s: None,
+            gap_sum_s: 0.0,
+            max_gap_s: 0.0,
+            streak: None,
+            episodes: Vec::new(),
+            solver: Vec::new(),
+            pending_after: Vec::new(),
+            last_gap_s: 0.0,
+        }
+    }
+
+    pub fn config(&self) -> AnalysisConfig {
+        self.cfg
+    }
+
+    fn gpu_slot(&mut self, node: u32, gpu: u32) -> &mut GpuBlame {
+        if let Some(i) = self
+            .per_gpu
+            .iter()
+            .position(|g| g.node == node && g.gpu == gpu)
+        {
+            return &mut self.per_gpu[i];
+        }
+        self.per_gpu.push(GpuBlame {
+            node,
+            gpu,
+            ..GpuBlame::default()
+        });
+        self.per_gpu.last_mut().expect("just pushed")
+    }
+
+    /// Feed one iteration's per-GPU samples. Samples may come from the live
+    /// engine (measured nanoseconds) or the simulator (modelled seconds);
+    /// the analyzer does not care which.
+    pub fn observe_iteration(&mut self, iter: u64, samples: &[GpuIterSample]) -> IterationAnalysis {
+        self.iterations += 1;
+        let mut t_min = f64::INFINITY;
+        let mut t_max = f64::NEG_INFINITY;
+        let mut worst: Option<(u32, u32, f64)> = None;
+        for s in samples {
+            t_min = t_min.min(s.iter_s);
+            t_max = t_max.max(s.iter_s);
+        }
+        if samples.is_empty() {
+            t_min = 0.0;
+            t_max = 0.0;
+        }
+        let gap = (t_max - t_min).max(0.0);
+
+        // Per-GPU accounting.
+        let overage_total: f64 = samples.iter().map(|s| (s.iter_s - t_min).max(0.0)).sum();
+        let mut slowest: Option<(u32, u32)> = None;
+        for s in samples {
+            let slot = self.gpu_slot(s.node, s.gpu);
+            slot.iterations += 1;
+            slot.stages.merge(&s.stages);
+            slot.overage_s += (s.iter_s - t_min).max(0.0);
+            if s.iter_s >= t_max && slowest.is_none() && gap > 0.0 {
+                slowest = Some((s.node, s.gpu));
+            }
+            self.cluster.merge(&s.stages);
+        }
+        if let Some((n, g)) = slowest {
+            self.gpu_slot(n, g).slowest_count += 1;
+        }
+        if overage_total > 0.0 {
+            for s in samples {
+                let share = (s.iter_s - t_min).max(0.0) / overage_total;
+                if worst.is_none() || share > worst.expect("set").2 {
+                    worst = Some((s.node, s.gpu, share));
+                }
+            }
+        }
+
+        // Gap series.
+        if self.first_gap_s.is_none() {
+            self.first_gap_s = Some(gap);
+        }
+        self.gap_sum_s += gap;
+        self.max_gap_s = self.max_gap_s.max(gap);
+        let alpha = self.cfg.ewma_alpha;
+        self.ewma_gap_s = Some(match self.ewma_gap_s {
+            None => gap,
+            Some(prev) => alpha * gap + (1.0 - alpha) * prev,
+        });
+        self.last_gap_s = gap;
+
+        // Join the gap into any decision still waiting for its "after".
+        for &idx in &self.pending_after {
+            if let Some(s) = self.solver.get_mut(idx) {
+                s.gap_after_s = Some(gap);
+            }
+        }
+        self.pending_after.clear();
+
+        // Straggler streak tracking.
+        let flagged = self.update_streak(iter, samples, worst);
+
+        IterationAnalysis {
+            iter,
+            gap_s: gap,
+            ewma_gap_s: self.ewma_gap_s.unwrap_or(0.0),
+            flagged,
+            worst,
+        }
+    }
+
+    fn update_streak(
+        &mut self,
+        iter: u64,
+        samples: &[GpuIterSample],
+        worst: Option<(u32, u32, f64)>,
+    ) -> Option<StragglerEpisode> {
+        let over = worst.filter(|&(_, _, share)| share > self.cfg.straggler_share);
+        match (&mut self.streak, over) {
+            (state @ None, Some((node, gpu, share))) => {
+                let mut stages = StageSample::default();
+                if let Some(s) = samples.iter().find(|s| s.node == node && s.gpu == gpu) {
+                    stages = s.stages;
+                }
+                *state = Some(RunState {
+                    node,
+                    gpu,
+                    streak: 1,
+                    streak_start: iter,
+                    share_sum: share,
+                    stages,
+                    open_episode: None,
+                });
+            }
+            (Some(state), Some((node, gpu, share))) if state.node == node && state.gpu == gpu => {
+                state.streak += 1;
+                state.share_sum += share;
+                if let Some(s) = samples.iter().find(|s| s.node == node && s.gpu == gpu) {
+                    state.stages.merge(&s.stages);
+                }
+            }
+            (state, over) => {
+                // Streak broken (idle, or a different GPU is now worst):
+                // close any open episode, then maybe start a new streak.
+                *state = over.map(|(node, gpu, share)| {
+                    let mut stages = StageSample::default();
+                    if let Some(s) = samples.iter().find(|s| s.node == node && s.gpu == gpu) {
+                        stages = s.stages;
+                    }
+                    RunState {
+                        node,
+                        gpu,
+                        streak: 1,
+                        streak_start: iter,
+                        share_sum: share,
+                        stages,
+                        open_episode: None,
+                    }
+                });
+            }
+        }
+
+        let state = self.streak.as_mut()?;
+        if state.streak < self.cfg.straggler_consecutive {
+            return None;
+        }
+        let episode = StragglerEpisode {
+            node: state.node,
+            gpu: state.gpu,
+            from_iter: state.streak_start,
+            iters: state.streak as u64,
+            mean_share: state.share_sum / state.streak as f64,
+            dominant: state
+                .stages
+                .dominant_pipeline_category()
+                .unwrap_or(BlameCategory::Other),
+        };
+        match state.open_episode {
+            // The streak keeps extending one already-flagged episode.
+            Some(idx) => {
+                self.episodes[idx] = episode;
+                None
+            }
+            None if self.episodes.len() < self.cfg.max_records => {
+                self.episodes.push(episode.clone());
+                state.open_episode = Some(self.episodes.len() - 1);
+                // Flag only once, when the threshold is first crossed.
+                Some(episode)
+            }
+            None => None,
+        }
+    }
+
+    /// Join a controller decision into the gap series: records the gap of
+    /// the last iteration as "before"; the next observed iteration fills
+    /// "after".
+    pub fn note_decision(&mut self, record: &DecisionRecord) {
+        if self.solver.len() >= self.cfg.max_records {
+            return;
+        }
+        self.solver.push(SolverEfficacy {
+            ts_us: record.ts_us,
+            source: record.source,
+            node: record.node,
+            gap_before_s: self.last_gap_s,
+            gap_after_s: None,
+            predicted_gap_s: record.gap_s,
+            converged: record.converged,
+        });
+        self.pending_after.push(self.solver.len() - 1);
+    }
+
+    pub fn report(&self) -> AnalysisReport {
+        AnalysisReport {
+            config: self.cfg,
+            iterations: self.iterations,
+            cluster: self.cluster,
+            per_gpu: self.per_gpu.clone(),
+            first_gap_s: self.first_gap_s.unwrap_or(0.0),
+            ewma_gap_s: self.ewma_gap_s.unwrap_or(0.0),
+            mean_gap_s: if self.iterations == 0 {
+                0.0
+            } else {
+                self.gap_sum_s / self.iterations as f64
+            },
+            max_gap_s: self.max_gap_s,
+            episodes: self.episodes.clone(),
+            solver: self.solver.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(node: u32, gpu: u32, iter_s: f64, pfs_s: f64) -> GpuIterSample {
+        let mut stages = StageSample::default();
+        stages.add(BlameCategory::PfsFetch, pfs_s);
+        stages.add(BlameCategory::Train, iter_s - pfs_s);
+        GpuIterSample {
+            node,
+            gpu,
+            iter_s,
+            stages,
+        }
+    }
+
+    #[test]
+    fn gap_is_max_minus_min() {
+        let mut a = BottleneckAnalyzer::default();
+        let out = a.observe_iteration(0, &[sample(0, 0, 0.10, 0.0), sample(0, 1, 0.25, 0.15)]);
+        assert!((out.gap_s - 0.15).abs() < 1e-12);
+        assert_eq!(out.worst.map(|w| (w.0, w.1)), Some((0, 1)));
+        let r = a.report();
+        assert_eq!(r.iterations, 1);
+        assert!((r.first_gap_s - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn straggler_flagged_after_k_consecutive_iterations() {
+        let cfg = AnalysisConfig {
+            straggler_consecutive: 3,
+            ..AnalysisConfig::default()
+        };
+        let mut a = BottleneckAnalyzer::new(cfg);
+        for i in 0..2 {
+            let out = a.observe_iteration(i, &[sample(0, 0, 0.1, 0.0), sample(1, 0, 0.4, 0.3)]);
+            assert!(out.flagged.is_none(), "iteration {i} flagged too early");
+        }
+        let out = a.observe_iteration(2, &[sample(0, 0, 0.1, 0.0), sample(1, 0, 0.4, 0.3)]);
+        let ep = out.flagged.expect("third consecutive iteration flags");
+        assert_eq!((ep.node, ep.gpu), (1, 0));
+        assert_eq!(ep.from_iter, 0);
+        assert_eq!(ep.dominant, BlameCategory::PfsFetch);
+        // Extending the streak must not re-flag…
+        let out = a.observe_iteration(3, &[sample(0, 0, 0.1, 0.0), sample(1, 0, 0.4, 0.3)]);
+        assert!(out.flagged.is_none());
+        // …but the stored episode keeps growing.
+        let r = a.report();
+        assert_eq!(r.episodes.len(), 1);
+        assert_eq!(r.episodes[0].iters, 4);
+        assert_eq!(r.top_straggler(), Some((1, 0)));
+    }
+
+    #[test]
+    fn streak_resets_when_a_different_gpu_lags() {
+        let cfg = AnalysisConfig {
+            straggler_consecutive: 2,
+            ..AnalysisConfig::default()
+        };
+        let mut a = BottleneckAnalyzer::new(cfg);
+        a.observe_iteration(0, &[sample(0, 0, 0.1, 0.0), sample(0, 1, 0.4, 0.3)]);
+        // GPU 0 lags now: GPU 1's streak is broken.
+        a.observe_iteration(1, &[sample(0, 0, 0.4, 0.3), sample(0, 1, 0.1, 0.0)]);
+        let out = a.observe_iteration(2, &[sample(0, 0, 0.4, 0.3), sample(0, 1, 0.1, 0.0)]);
+        let ep = out.flagged.expect("gpu 0 flags after its own 2-streak");
+        assert_eq!((ep.node, ep.gpu), (0, 0));
+        assert_eq!(ep.from_iter, 1);
+    }
+
+    #[test]
+    fn solver_efficacy_joins_gap_before_and_after() {
+        let mut a = BottleneckAnalyzer::default();
+        a.observe_iteration(0, &[sample(0, 0, 0.1, 0.0), sample(0, 1, 0.5, 0.4)]);
+        a.note_decision(&DecisionRecord {
+            ts_us: 10,
+            source: DecisionSource::Algorithm1,
+            node: 0,
+            queue_loads: vec![],
+            predicted_cost: vec![],
+            threads_before: vec![],
+            threads_after: vec![],
+            gap_s: Some(0.05),
+            evals: 3,
+            converged: true,
+        });
+        a.observe_iteration(1, &[sample(0, 0, 0.1, 0.0), sample(0, 1, 0.2, 0.1)]);
+        let r = a.report();
+        assert_eq!(r.solver.len(), 1);
+        assert!((r.solver[0].gap_before_s - 0.4).abs() < 1e-12);
+        assert!((r.solver[0].gap_after_s.unwrap() - 0.1).abs() < 1e-12);
+        let ratio = r.mean_solver_gap_ratio().unwrap();
+        assert!((ratio - 0.25).abs() < 1e-12, "ratio {ratio}");
+    }
+
+    #[test]
+    fn ewma_tracks_the_gap_trend() {
+        let mut a = BottleneckAnalyzer::new(AnalysisConfig {
+            ewma_alpha: 0.5,
+            ..AnalysisConfig::default()
+        });
+        a.observe_iteration(0, &[sample(0, 0, 0.1, 0.0), sample(0, 1, 0.5, 0.4)]);
+        for i in 1..20 {
+            a.observe_iteration(i, &[sample(0, 0, 0.1, 0.0), sample(0, 1, 0.1, 0.0)]);
+        }
+        let r = a.report();
+        assert!((r.first_gap_s - 0.4).abs() < 1e-12);
+        assert!(r.ewma_gap_s < 0.01, "ewma {}", r.ewma_gap_s);
+        assert!(r.mean_gap_s < r.first_gap_s);
+    }
+
+    #[test]
+    fn empty_and_single_sample_iterations_are_harmless() {
+        let mut a = BottleneckAnalyzer::default();
+        let out = a.observe_iteration(0, &[]);
+        assert_eq!(out.gap_s, 0.0);
+        let out = a.observe_iteration(1, &[sample(0, 0, 0.2, 0.1)]);
+        assert_eq!(out.gap_s, 0.0, "one GPU has no imbalance gap");
+        assert!(out.flagged.is_none());
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let mut a = BottleneckAnalyzer::default();
+        for i in 0..4 {
+            a.observe_iteration(i, &[sample(0, 0, 0.1, 0.0), sample(1, 1, 0.4, 0.3)]);
+        }
+        let r = a.report();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: AnalysisReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.iterations, r.iterations);
+        assert_eq!(back.episodes.len(), r.episodes.len());
+        assert_eq!(back.top_straggler(), r.top_straggler());
+        assert!((back.ewma_gap_s - r.ewma_gap_s).abs() < 1e-12);
+    }
+}

@@ -10,10 +10,10 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// Which controller produced a decision.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum DecisionSource {
     /// The live runtime engine's periodic reassignment tick.
     EngineController,
@@ -22,7 +22,7 @@ pub enum DecisionSource {
 }
 
 /// One adaptive thread-reassignment decision.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DecisionRecord {
     /// Microseconds from the trace origin (wall clock for the runtime,
     /// simulated time for the DES).

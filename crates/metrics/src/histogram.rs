@@ -87,6 +87,40 @@ impl LogHistogram {
         above as f64 / self.count as f64
     }
 
+    /// Approximate percentile (`0.0 ≤ p ≤ 100.0`) by nearest rank over the
+    /// buckets, `None` when empty.
+    ///
+    /// The reported value is the *midpoint* of the bucket holding the rank,
+    /// clamped to the observed `[min, max]` — never the bucket's upper
+    /// edge. Consequences worth naming: a single-sample histogram reports
+    /// that sample exactly (the clamp collapses the bucket to the point),
+    /// and a histogram whose mass sits in one bucket reports the same
+    /// midpoint for every percentile instead of sweeping up to a power-of-
+    /// two edge no sample ever reached.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (k, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if c > 0 && seen >= rank {
+                let mid = if k == 0 {
+                    0.5
+                } else if k >= 64 {
+                    // No finite upper edge for the top bucket.
+                    self.max as f64
+                } else {
+                    ((1u64 << (k - 1)) as f64 + (1u64 << k) as f64) / 2.0
+                };
+                return Some(mid.clamp(self.min as f64, self.max as f64));
+            }
+        }
+        Some(self.max as f64)
+    }
+
     /// Non-empty buckets as `(upper_bound, count)` pairs for plotting.
     pub fn non_empty_buckets(&self) -> Vec<(u64, u64)> {
         self.buckets
@@ -195,6 +229,62 @@ mod tests {
         assert_eq!(h.min(), None);
         assert_eq!(h.fraction_above(10), 0.0);
         assert!(h.non_empty_buckets().is_empty());
+        assert_eq!(h.percentile(50.0), None);
+        assert_eq!(h.percentile(99.0), None);
+    }
+
+    #[test]
+    fn one_sample_percentile_is_exact() {
+        let mut h = LogHistogram::new();
+        h.record(100);
+        // 100 lands in the (64, 128] bucket whose midpoint is 96; the
+        // [min, max] clamp collapses it back to the sample.
+        for p in [0.0, 50.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(p), Some(100.0), "p{p}");
+        }
+    }
+
+    #[test]
+    fn single_bucket_p99_is_the_midpoint_not_the_upper_edge() {
+        let mut h = LogHistogram::new();
+        // All mass in the (512, 1024] bucket, spanning most of it.
+        h.record_all([600, 700, 768, 800, 900]);
+        let p99 = h.percentile(99.0).unwrap();
+        assert_eq!(p99, 768.0, "midpoint of (512, 1024], not the 1024 edge");
+        assert_eq!(h.percentile(50.0), h.percentile(99.0));
+    }
+
+    #[test]
+    fn percentile_walks_buckets_in_order() {
+        let mut h = LogHistogram::new();
+        // 90 small values, 10 large: p50 must sit low, p99 high.
+        for _ in 0..90 {
+            h.record(3);
+        }
+        for _ in 0..10 {
+            h.record(1_000_000);
+        }
+        let p50 = h.percentile(50.0).unwrap();
+        let p99 = h.percentile(99.0).unwrap();
+        assert_eq!(p50, 3.0, "(2, 4] midpoint");
+        assert!(p99 > 500_000.0, "p99 {p99} must reach the large bucket");
+        assert!(p99 <= 1_000_000.0, "clamped to the observed max");
+    }
+
+    #[test]
+    fn saturated_histogram_percentiles_stay_in_range() {
+        let mut h = LogHistogram::new();
+        h.record_all([0, 0, 1, u64::MAX, u64::MAX]);
+        for p in [0.0, 25.0, 50.0, 75.0, 99.0, 100.0] {
+            let v = h.percentile(p).unwrap();
+            assert!((0.0..=u64::MAX as f64).contains(&v), "p{p} = {v}");
+        }
+        assert_eq!(h.percentile(1.0), Some(0.5), "zeros bucket midpoint");
+        assert_eq!(
+            h.percentile(100.0),
+            Some(u64::MAX as f64),
+            "top bucket has no finite edge; reports the observed max"
+        );
     }
 
     #[test]

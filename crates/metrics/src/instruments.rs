@@ -1,15 +1,26 @@
 //! The [`Instruments`] bundle: one handle carrying the trace buffer, the
-//! metric registry, and the controller decision log through a run.
+//! metric registry, the controller decision log, and the online
+//! [`BottleneckAnalyzer`] through a run.
 //!
 //! Everything in the workspace that can be observed takes an `Instruments`
 //! value. The default ([`Instruments::disabled`]) holds nothing: trace
 //! closures never run, counter handles are unregistered no-op cells, and
 //! decision records are dropped — so un-instrumented runs pay one branch
-//! per site. [`Instruments::enabled`] allocates the three stores and turns
+//! per site. [`Instruments::enabled`] allocates the stores and turns
 //! every site on.
+//!
+//! The analysis facet ([`Instruments::observe_iteration`]) mirrors each
+//! iteration's conclusions outward: gauges `analysis.gap_us`,
+//! `analysis.ewma_gap_us`, and `analysis.straggler_gpu`, an `analysis_gap`
+//! trace instant per iteration, and a `straggler_detected` instant once per
+//! flagged episode — so the Eq.-3 gap trend is visible live in the registry
+//! and on the Perfetto timeline, not only in the final report.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
+use crate::analysis::{
+    AnalysisConfig, AnalysisReport, BottleneckAnalyzer, GpuIterSample, IterationAnalysis,
+};
 use crate::decisions::{DecisionLog, DecisionRecord};
 use crate::registry::{Counter, Gauge, MetricRegistry, MetricsSnapshot};
 use crate::trace::{TraceBuffer, TraceEvent, Tracer};
@@ -18,6 +29,7 @@ struct Inner {
     buffer: Arc<TraceBuffer>,
     registry: MetricRegistry,
     decisions: DecisionLog,
+    analysis: Mutex<BottleneckAnalyzer>,
 }
 
 /// Cloneable observability handle; `None` inside means fully disabled.
@@ -32,13 +44,21 @@ impl Instruments {
         Instruments { inner: None }
     }
 
-    /// A live bundle with a fresh trace buffer, registry, and decision log.
+    /// A live bundle with a fresh trace buffer, registry, decision log, and
+    /// analyzer using the default [`AnalysisConfig`].
     pub fn enabled() -> Instruments {
+        Instruments::enabled_with(AnalysisConfig::default())
+    }
+
+    /// A live bundle whose analyzer uses `cfg` (straggler thresholds, EWMA
+    /// weight).
+    pub fn enabled_with(cfg: AnalysisConfig) -> Instruments {
         Instruments {
             inner: Some(Arc::new(Inner {
                 buffer: Arc::new(TraceBuffer::new()),
                 registry: MetricRegistry::new(),
                 decisions: DecisionLog::new(),
+                analysis: Mutex::new(BottleneckAnalyzer::new(cfg)),
             })),
         }
     }
@@ -90,7 +110,8 @@ impl Instruments {
 
     /// Log a controller decision. Also emits a `controller_decision`
     /// instant into the trace so decisions appear on the same timeline as
-    /// the I/O events they react to.
+    /// the I/O events they react to, and joins the decision into the
+    /// analyzer's solver-efficacy table (gap before / gap after).
     pub fn record_decision(&self, record: DecisionRecord) {
         if let Some(inner) = &self.inner {
             inner.buffer.push(
@@ -103,7 +124,81 @@ impl Instruments {
                     .arg_u("evals", record.evals as u64)
                     .arg_u("converged", record.converged as u64),
             );
+            inner
+                .analysis
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .note_decision(&record);
             inner.decisions.push(record);
+        }
+    }
+
+    /// Feed one iteration's per-GPU samples into the online analyzer; the
+    /// closure only runs when the bundle is enabled. `ts_us` stamps the
+    /// mirrored trace instants (wall-clock µs for the runtime, simulated µs
+    /// for the DES). Returns what the analyzer concluded, or `None` when
+    /// disabled.
+    pub fn observe_iteration<F: FnOnce() -> Vec<GpuIterSample>>(
+        &self,
+        iter: u64,
+        ts_us: u64,
+        make: F,
+    ) -> Option<IterationAnalysis> {
+        let inner = self.inner.as_ref()?;
+        let samples = make();
+        let out = inner
+            .analysis
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .observe_iteration(iter, &samples);
+        inner
+            .registry
+            .gauge("analysis.gap_us")
+            .set((out.gap_s * 1e6) as i64);
+        inner
+            .registry
+            .gauge("analysis.ewma_gap_us")
+            .set((out.ewma_gap_s * 1e6) as i64);
+        inner.buffer.push(
+            TraceEvent::instant("analysis_gap", "analysis", ts_us)
+                .arg_u("iter", iter)
+                .arg_u("gap_us", (out.gap_s * 1e6) as u64)
+                .arg_u("ewma_gap_us", (out.ewma_gap_s * 1e6) as u64),
+        );
+        if let Some(ep) = &out.flagged {
+            inner.registry.counter("analysis.straggler_episodes").inc();
+            inner
+                .registry
+                .gauge("analysis.straggler_gpu")
+                .set(((ep.node as i64) << 16) | ep.gpu as i64);
+            inner.buffer.push(
+                TraceEvent::instant("straggler_detected", "analysis", ts_us)
+                    .pid(ep.node)
+                    .tid(ep.gpu)
+                    .arg_u("iter", iter)
+                    .arg_u("from_iter", ep.from_iter)
+                    .arg_f("mean_share", ep.mean_share)
+                    .arg_s("dominant", ep.dominant.label()),
+            );
+        }
+        Some(out)
+    }
+
+    /// Everything the online analyzer learned so far; `None` when disabled.
+    pub fn analysis_report(&self) -> Option<AnalysisReport> {
+        self.inner.as_ref().map(|i| {
+            i.analysis
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .report()
+        })
+    }
+
+    /// Register a legacy metric name as a snapshot alias of a canonical
+    /// one; no-op when disabled.
+    pub fn metric_alias(&self, legacy: &str, canonical: &str) {
+        if let Some(inner) = &self.inner {
+            inner.registry.alias(legacy, canonical);
         }
     }
 
@@ -168,6 +263,54 @@ mod tests {
         assert_eq!(ins.metrics_snapshot().get("x.n"), Some(3));
         let trace = ins.chrome_trace_json().unwrap();
         assert!(trace.contains("\"e\""));
+    }
+
+    #[test]
+    fn observe_iteration_mirrors_gap_and_straggler() {
+        use crate::analysis::{AnalysisConfig, BlameCategory, StageSample};
+        let ins = Instruments::enabled_with(AnalysisConfig {
+            straggler_consecutive: 1,
+            ..AnalysisConfig::default()
+        });
+        let samples = || {
+            let mut slow = StageSample::default();
+            slow.add(BlameCategory::PfsFetch, 0.3);
+            vec![
+                GpuIterSample {
+                    node: 0,
+                    gpu: 0,
+                    iter_s: 0.1,
+                    stages: StageSample::default(),
+                },
+                GpuIterSample {
+                    node: 0,
+                    gpu: 3,
+                    iter_s: 0.4,
+                    stages: slow,
+                },
+            ]
+        };
+        let out = ins.observe_iteration(0, 123, samples).expect("enabled");
+        assert!((out.gap_s - 0.3).abs() < 1e-12);
+        let snap = ins.metrics_snapshot();
+        assert_eq!(snap.get("analysis.gap_us"), Some(300_000));
+        assert_eq!(snap.get("analysis.straggler_gpu"), Some(3));
+        assert_eq!(snap.get("analysis.straggler_episodes"), Some(1));
+        let trace = ins.chrome_trace_json().unwrap();
+        assert!(trace.contains("straggler_detected"));
+        assert!(trace.contains("analysis_gap"));
+        let report = ins.analysis_report().unwrap();
+        assert_eq!(report.top_straggler(), Some((0, 3)));
+
+        // Disabled bundles never run the sample-building closure.
+        let off = Instruments::disabled();
+        let mut built = false;
+        let out = off.observe_iteration(0, 0, || {
+            built = true;
+            Vec::new()
+        });
+        assert!(out.is_none() && !built);
+        assert!(off.analysis_report().is_none());
     }
 
     #[test]

@@ -15,7 +15,28 @@
 //! * [`instruments`] — the [`Instruments`] bundle threading all three
 //!   through the runtime, the simulator, and the bench harness. The
 //!   default is fully disabled and costs one branch per site.
+//!
+//! On top of the raw streams sits the analysis layer:
+//!
+//! * [`analysis`] — the online [`BottleneckAnalyzer`]: per-GPU
+//!   critical-path blame, the live Eq.-3 imbalance gap with an EWMA trend,
+//!   straggler-episode detection, and solver efficacy (gap before/after
+//!   each Algorithm-1 decision);
+//! * [`timeline`] — offline reconstruction of the same structures from an
+//!   exported trace, powering the `lobster_doctor` diagnosis binary.
+//!
+//! ## Metric naming convention
+//!
+//! Every registry metric name is `snake_case.dotted`: one or more
+//! dot-separated lowercase `snake_case` segments, the first naming the
+//! subsystem — `engine.cache_hits`, `sim.evictions`, `analysis.gap_us`.
+//! No bare names (`worker_panics`), no camelCase, no uppercase. The
+//! registry debug-asserts [`registry::is_canonical_metric_name`] on every
+//! registration; renamed metrics keep their previous spelling for one
+//! release as snapshot aliases (kind `"alias"`) via
+//! [`MetricRegistry::alias`].
 
+pub mod analysis;
 pub mod decisions;
 pub mod histogram;
 pub mod instruments;
@@ -23,13 +44,19 @@ pub mod registry;
 pub mod report;
 pub mod summary;
 pub mod table;
+pub mod timeline;
 pub mod trace;
 
+pub use analysis::{
+    AnalysisConfig, AnalysisReport, BlameCategory, BottleneckAnalyzer, GpuIterSample,
+    IterationAnalysis, SolverEfficacy, StageSample, StragglerEpisode,
+};
 pub use decisions::{DecisionLog, DecisionRecord, DecisionSource};
 pub use histogram::{LinearHistogram, LogHistogram};
 pub use instruments::Instruments;
-pub use registry::{Counter, Gauge, MetricRegistry, MetricsSnapshot};
+pub use registry::{is_canonical_metric_name, Counter, Gauge, MetricRegistry, MetricsSnapshot};
 pub use report::ResultSink;
 pub use summary::{Ewma, Summary};
 pub use table::{fmt_bytes, fmt_pct, fmt_secs, fmt_speedup, Table};
+pub use timeline::{CachePoint, IterationSlice, ParsedEvent, Timeline, TimelineError};
 pub use trace::{ArgValue, EventKind, TraceBuffer, TraceEvent, Tracer};

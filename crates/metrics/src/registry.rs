@@ -6,14 +6,20 @@
 //! each handle is an `Arc<Atomic*>` shared with the registry, so a
 //! [`MetricsSnapshot`] always sees the latest values.
 //!
-//! Naming convention used across the workspace: `<subsystem>.<what>`,
-//! e.g. `engine.cache_hits`, `sim.evictions` (see the README's
-//! Observability section for the full list).
+//! Naming convention used across the workspace: `snake_case.dotted` — a
+//! lowercase `<subsystem>` prefix, a dot, and a lowercase `snake_case`
+//! metric name, e.g. `engine.cache_hits`, `sim.evictions`,
+//! `analysis.gap_us` (see the crate-root docs and the README's
+//! Observability section). [`is_canonical_metric_name`] is the machine
+//! check; the registry debug-asserts it on every registration. Renamed
+//! metrics keep their legacy spelling for one release via
+//! [`MetricRegistry::alias`], which mirrors the canonical value into
+//! snapshots under the old name with kind `"alias"`.
 
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// Monotonic counter. Cloning shares the underlying cell.
 #[derive(Clone, Default)]
@@ -72,11 +78,28 @@ enum Cell {
     Gauge(Gauge),
 }
 
+/// Whether `name` follows the workspace metric naming convention:
+/// dot-separated lowercase `snake_case` segments with a subsystem prefix
+/// (at least two segments), each starting with a letter —
+/// `engine.cache_hits` yes, `workerPanics`, `Engine.hits`, or a bare
+/// `worker_panics` no.
+pub fn is_canonical_metric_name(name: &str) -> bool {
+    name.contains('.')
+        && name.split('.').all(|seg| {
+            seg.chars().next().is_some_and(|c| c.is_ascii_lowercase())
+                && seg
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        })
+}
+
 /// Registry of named metrics. `counter`/`gauge` are get-or-create: two
 /// callers asking for the same name share one cell.
 #[derive(Default)]
 pub struct MetricRegistry {
     cells: Mutex<Vec<(String, Cell)>>,
+    /// `(legacy, canonical)` pairs mirrored into snapshots.
+    aliases: Mutex<Vec<(String, String)>>,
 }
 
 impl MetricRegistry {
@@ -84,9 +107,28 @@ impl MetricRegistry {
         MetricRegistry::default()
     }
 
+    /// Keep `legacy` visible in snapshots as an alias of `canonical` (one
+    /// release of grace for renamed metrics). The alias resolves at
+    /// snapshot time, so it works whether or not `canonical` is registered
+    /// yet; unresolved aliases are simply omitted.
+    pub fn alias(&self, legacy: &str, canonical: &str) {
+        debug_assert!(
+            is_canonical_metric_name(canonical),
+            "alias target {canonical:?} must itself be canonical"
+        );
+        let mut aliases = self.aliases.lock().unwrap_or_else(|e| e.into_inner());
+        if !aliases.iter().any(|(l, _)| l == legacy) {
+            aliases.push((legacy.to_string(), canonical.to_string()));
+        }
+    }
+
     /// Get or create the counter named `name`. Panics if `name` already
     /// names a gauge.
     pub fn counter(&self, name: &str) -> Counter {
+        debug_assert!(
+            is_canonical_metric_name(name),
+            "metric name {name:?} violates the snake_case.dotted convention"
+        );
         let mut cells = self.cells.lock().unwrap_or_else(|e| e.into_inner());
         for (n, c) in cells.iter() {
             if n == name {
@@ -104,6 +146,10 @@ impl MetricRegistry {
     /// Get or create the gauge named `name`. Panics if `name` already
     /// names a counter.
     pub fn gauge(&self, name: &str) -> Gauge {
+        debug_assert!(
+            is_canonical_metric_name(name),
+            "metric name {name:?} violates the snake_case.dotted convention"
+        );
         let mut cells = self.cells.lock().unwrap_or_else(|e| e.into_inner());
         for (n, c) in cells.iter() {
             if n == name {
@@ -146,13 +192,27 @@ impl MetricRegistry {
                 },
             })
             .collect();
+        let aliases = self.aliases.lock().unwrap_or_else(|e| e.into_inner());
+        for (legacy, canonical) in aliases.iter() {
+            let Some((_, cell)) = cells.iter().find(|(n, _)| n == canonical) else {
+                continue;
+            };
+            entries.push(MetricEntry {
+                name: legacy.clone(),
+                kind: "alias".to_string(),
+                value: match cell {
+                    Cell::Counter(c) => c.value() as i64,
+                    Cell::Gauge(g) => g.value(),
+                },
+            });
+        }
         entries.sort_by(|a, b| a.name.cmp(&b.name));
         MetricsSnapshot { entries }
     }
 }
 
 /// One metric in a snapshot.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MetricEntry {
     pub name: String,
     pub kind: String,
@@ -160,7 +220,7 @@ pub struct MetricEntry {
 }
 
 /// Immutable point-in-time view of a registry, sorted by metric name.
-#[derive(Debug, Clone, Serialize, Default)]
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
 pub struct MetricsSnapshot {
     pub entries: Vec<MetricEntry>,
 }
@@ -242,8 +302,51 @@ mod tests {
     #[should_panic(expected = "registered as a gauge")]
     fn name_collision_across_kinds_panics() {
         let reg = MetricRegistry::new();
-        reg.gauge("x");
-        reg.counter("x");
+        reg.gauge("x.v");
+        reg.counter("x.v");
+    }
+
+    #[test]
+    fn canonical_name_check_matches_the_convention() {
+        for good in [
+            "engine.cache_hits",
+            "sim.evictions",
+            "analysis.gap_us",
+            "a.b.c_2",
+        ] {
+            assert!(is_canonical_metric_name(good), "{good}");
+        }
+        for bad in [
+            "worker_panics",   // no subsystem prefix
+            "Engine.hits",     // uppercase
+            "engine.cacheHit", // camelCase
+            "engine..hits",    // empty segment
+            ".hits",
+            "engine.",
+            "",
+            "engine.2fast", // segment starts with a digit
+        ] {
+            assert!(!is_canonical_metric_name(bad), "{bad}");
+        }
+    }
+
+    #[test]
+    fn aliases_mirror_the_canonical_value_in_snapshots() {
+        let reg = MetricRegistry::new();
+        reg.counter("engine.worker_panics").add(4);
+        reg.alias("worker_panics", "engine.worker_panics");
+        reg.alias("ghost", "engine.never_registered");
+        let snap = reg.snapshot();
+        assert_eq!(snap.get("worker_panics"), Some(4));
+        assert_eq!(
+            snap.entries
+                .iter()
+                .find(|e| e.name == "worker_panics")
+                .map(|e| e.kind.as_str()),
+            Some("alias")
+        );
+        assert_eq!(snap.get("ghost"), None, "unresolved aliases are omitted");
+        assert_eq!(snap.get("engine.worker_panics"), Some(4));
     }
 
     #[test]

@@ -1,0 +1,502 @@
+//! Offline timeline reconstruction: Chrome trace events back into
+//! per-iteration, per-GPU stage attribution.
+//!
+//! The tracer exports Chrome trace-event JSON (one document or JSONL); this
+//! module parses either form back into [`ParsedEvent`]s and rebuilds the
+//! structures the online analyzer consumes, so `lobster_doctor` can run the
+//! exact same attribution pipeline on a file that [`crate::analysis`] runs
+//! live inside the engine.
+//!
+//! Reconstruction anchors on the two event families *every* instrumented
+//! producer emits with an `iter` argument — `train` spans and
+//! `barrier_wait` spans, keyed by `(pid, tid)` = (node, GPU):
+//!
+//! * a GPU's *arrival* at iteration `h` is its `barrier_wait` start (it
+//!   arrives when its own pipeline and training are done; the straggler is
+//!   the last arrival);
+//! * its effective iteration seconds are `arrival − iteration start`, where
+//!   the iteration starts at the previous iteration's latest barrier end
+//!   (iteration 0 starts at the trace origin).
+//!
+//! Fetch/preprocess spans carry no iteration id in general (the live
+//! engine's are emitted by worker threads); they are attributed to the
+//! iteration whose time window contains their start, and blamed per the
+//! rules in [`crate::analysis`]: a fetch span with per-tier counts (the
+//! simulator's) is blamed on the slowest tier present; a fetch span with a
+//! `tier` string (the engine's) maps `cache → local`, `store → pfs`.
+
+use std::collections::BTreeMap;
+
+use crate::analysis::{BlameCategory, GpuIterSample, StageSample};
+use crate::histogram::LogHistogram;
+
+/// An owned, parsed trace event (names are `String`s here; the recording
+/// side uses `&'static str` to stay allocation-free).
+#[derive(Debug, Clone)]
+pub struct ParsedEvent {
+    pub name: String,
+    pub cat: String,
+    pub ts_us: u64,
+    /// `Some` for spans (`ph == "X"`), `None` for instants.
+    pub dur_us: Option<u64>,
+    pub pid: u32,
+    pub tid: u32,
+    pub args: serde_json::Value,
+}
+
+impl ParsedEvent {
+    /// Numeric argument lookup (u64-valued args).
+    pub fn arg_u(&self, key: &str) -> Option<u64> {
+        self.args[key].as_u64()
+    }
+
+    /// String argument lookup.
+    pub fn arg_s(&self, key: &str) -> Option<&str> {
+        self.args[key].as_str()
+    }
+}
+
+/// Why a trace file could not be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TimelineError {
+    /// Input was neither a `{"traceEvents": []}` document nor JSONL.
+    Malformed(String),
+    /// Parsed fine but held zero events.
+    Empty,
+}
+
+impl std::fmt::Display for TimelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TimelineError::Malformed(m) => write!(f, "malformed trace: {m}"),
+            TimelineError::Empty => write!(f, "trace contains no events"),
+        }
+    }
+}
+
+impl std::error::Error for TimelineError {}
+
+fn event_from_value(v: &serde_json::Value) -> Option<ParsedEvent> {
+    let name = v["name"].as_str()?.to_string();
+    let cat = v["cat"].as_str().unwrap_or("").to_string();
+    let ts_us = v["ts"].as_u64()?;
+    let dur_us = match v["ph"].as_str()? {
+        "X" => Some(v["dur"].as_u64().unwrap_or(0)),
+        _ => None,
+    };
+    Some(ParsedEvent {
+        name,
+        cat,
+        ts_us,
+        dur_us,
+        pid: v["pid"].as_u64().unwrap_or(0) as u32,
+        tid: v["tid"].as_u64().unwrap_or(0) as u32,
+        args: v["args"].clone(),
+    })
+}
+
+/// Parse a trace in either export format: a Chrome trace-event document
+/// (`{"traceEvents": [...]}`) or JSONL (one event object per line). Events
+/// come back sorted by timestamp.
+pub fn parse_trace(text: &str) -> Result<Vec<ParsedEvent>, TimelineError> {
+    let trimmed = text.trim_start();
+    let mut events = Vec::new();
+    if trimmed.starts_with('{') && trimmed.contains("traceEvents") {
+        let doc: serde_json::Value = serde_json::from_str(text)
+            .map_err(|e| TimelineError::Malformed(format!("document: {e:?}")))?;
+        let list = doc["traceEvents"]
+            .as_array()
+            .ok_or_else(|| TimelineError::Malformed("traceEvents is not an array".into()))?;
+        for v in list {
+            if let Some(e) = event_from_value(v) {
+                events.push(e);
+            }
+        }
+    } else {
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let v: serde_json::Value = serde_json::from_str(line)
+                .map_err(|e| TimelineError::Malformed(format!("line {}: {e:?}", i + 1)))?;
+            if let Some(e) = event_from_value(&v) {
+                events.push(e);
+            }
+        }
+    }
+    if events.is_empty() {
+        return Err(TimelineError::Empty);
+    }
+    events.sort_by_key(|e| e.ts_us);
+    Ok(events)
+}
+
+/// One iteration reconstructed from a trace: the per-GPU samples the online
+/// analyzer would have seen.
+#[derive(Debug, Clone)]
+pub struct IterationSlice {
+    pub iter: u64,
+    pub per_gpu: Vec<GpuIterSample>,
+    /// Latest barrier-wait end across GPUs, µs (the iteration boundary).
+    pub end_us: u64,
+}
+
+/// Cache behaviour at one point of the run (from `cache` instants or, when
+/// absent, windows of engine fetch spans).
+#[derive(Debug, Clone, Copy)]
+pub struct CachePoint {
+    pub ts_us: u64,
+    pub local_hits: u64,
+    pub remote_hits: u64,
+    pub misses: u64,
+}
+
+impl CachePoint {
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.local_hits + self.remote_hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.local_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Everything the doctor needs, reconstructed from one trace.
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    pub iterations: Vec<IterationSlice>,
+    /// Fetch latency histograms (µs) keyed by blame tier label.
+    pub fetch_us_by_tier: BTreeMap<&'static str, LogHistogram>,
+    /// Cache hit trajectory in event order.
+    pub cache_points: Vec<CachePoint>,
+    /// Counts of `cat == "fault"` instants by event name.
+    pub fault_counts: BTreeMap<String, u64>,
+    /// `controller_decision` instants (ts, evals, converged).
+    pub decision_instants: Vec<(u64, u64, bool)>,
+    /// Straggler instants recorded by the online analyzer, if present.
+    pub straggler_instants: Vec<ParsedEvent>,
+    /// Events whose name the reconstruction does not interpret.
+    pub unrecognized: u64,
+}
+
+/// Blame tier of a fetch span, per the documented rules.
+fn fetch_blame(e: &ParsedEvent) -> BlameCategory {
+    // Simulator form: per-tier counts; blame the slowest tier present.
+    if e.arg_u("pfs").is_some() || e.arg_u("remote").is_some() || e.arg_u("local").is_some() {
+        if e.arg_u("pfs").unwrap_or(0) > 0 {
+            return BlameCategory::PfsFetch;
+        }
+        if e.arg_u("remote").unwrap_or(0) > 0 {
+            return BlameCategory::RemoteFetch;
+        }
+        return BlameCategory::LocalFetch;
+    }
+    // Engine form: a tier string.
+    match e.arg_s("tier") {
+        Some("cache") => BlameCategory::LocalFetch,
+        Some("remote") => BlameCategory::RemoteFetch,
+        _ => BlameCategory::PfsFetch,
+    }
+}
+
+struct GpuAccum {
+    /// iter -> (arrival ts, barrier end ts, train dur)
+    arrivals: BTreeMap<u64, (u64, u64, u64)>,
+    /// Uninterpreted stage spans: (start, category, dur).
+    stage_spans: Vec<(u64, BlameCategory, u64)>,
+}
+
+impl GpuAccum {
+    fn new() -> GpuAccum {
+        GpuAccum {
+            arrivals: BTreeMap::new(),
+            stage_spans: Vec::new(),
+        }
+    }
+}
+
+impl Timeline {
+    /// Rebuild the run's per-iteration structure from parsed events.
+    pub fn build(events: &[ParsedEvent]) -> Timeline {
+        let mut tl = Timeline::default();
+        let mut gpus: BTreeMap<(u32, u32), GpuAccum> = BTreeMap::new();
+
+        for e in events {
+            match e.name.as_str() {
+                "barrier_wait" => {
+                    let iter = e.arg_u("iter").unwrap_or(0);
+                    let end = e.ts_us + e.dur_us.unwrap_or(0);
+                    let slot = gpus
+                        .entry((e.pid, e.tid))
+                        .or_insert_with(GpuAccum::new)
+                        .arrivals
+                        .entry(iter)
+                        .or_insert((e.ts_us, end, 0));
+                    // Authoritative: a `train` placeholder may already be
+                    // here (sorted order puts training first).
+                    slot.0 = e.ts_us;
+                    slot.1 = end;
+                }
+                "train" => {
+                    let iter = e.arg_u("iter").unwrap_or(0);
+                    let dur = e.dur_us.unwrap_or(0);
+                    let acc = gpus.entry((e.pid, e.tid)).or_insert_with(GpuAccum::new);
+                    // Placeholder arrival = training end, for traces
+                    // lacking barrier events; overwritten by barrier_wait.
+                    let slot =
+                        acc.arrivals
+                            .entry(iter)
+                            .or_insert((e.ts_us + dur, e.ts_us + dur, 0));
+                    slot.2 = dur;
+                }
+                "fetch" => {
+                    let blame = fetch_blame(e);
+                    let dur = e.dur_us.unwrap_or(0);
+                    tl.fetch_us_by_tier
+                        .entry(blame.tier().unwrap_or("pfs"))
+                        .or_default()
+                        .record(dur);
+                    gpus.entry((e.pid, e.tid))
+                        .or_insert_with(GpuAccum::new)
+                        .stage_spans
+                        .push((e.ts_us, blame, dur));
+                    // Engine fetch spans double as cache-behaviour samples.
+                    if let Some(tier) = e.arg_s("tier") {
+                        let hit = tier == "cache";
+                        tl.cache_points.push(CachePoint {
+                            ts_us: e.ts_us,
+                            local_hits: hit as u64,
+                            remote_hits: 0,
+                            misses: !hit as u64,
+                        });
+                    }
+                }
+                "preprocess" => {
+                    gpus.entry((e.pid, e.tid))
+                        .or_insert_with(GpuAccum::new)
+                        .stage_spans
+                        .push((e.ts_us, BlameCategory::Preprocess, e.dur_us.unwrap_or(0)));
+                }
+                "cache" => {
+                    tl.cache_points.push(CachePoint {
+                        ts_us: e.ts_us,
+                        local_hits: e.arg_u("local_hits").unwrap_or(0),
+                        remote_hits: e.arg_u("remote_hits").unwrap_or(0),
+                        misses: e.arg_u("misses").unwrap_or(0),
+                    });
+                }
+                "controller_decision" => {
+                    tl.decision_instants.push((
+                        e.ts_us,
+                        e.arg_u("evals").unwrap_or(0),
+                        e.arg_u("converged").unwrap_or(0) != 0,
+                    ));
+                }
+                "straggler_detected" => tl.straggler_instants.push(e.clone()),
+                name if e.cat == "fault" => {
+                    *tl.fault_counts.entry(name.to_string()).or_insert(0) += 1;
+                }
+                "queue_enqueue" | "queue_dequeue" | "queue_depth" | "evict" | "config_warning"
+                | "analysis_gap" => {}
+                _ => tl.unrecognized += 1,
+            }
+        }
+
+        tl.build_iterations(&gpus);
+        tl
+    }
+
+    fn build_iterations(&mut self, gpus: &BTreeMap<(u32, u32), GpuAccum>) {
+        // Union of iteration ids across GPUs.
+        let mut iters: Vec<u64> = gpus
+            .values()
+            .flat_map(|g| g.arrivals.keys().copied())
+            .collect();
+        iters.sort_unstable();
+        iters.dedup();
+
+        let mut iter_start_us = 0u64;
+        for &h in &iters {
+            let mut per_gpu = Vec::new();
+            let mut end_us = iter_start_us;
+            for (&(pid, tid), acc) in gpus {
+                let Some(&(arrival, barrier_end, train_dur)) = acc.arrivals.get(&h) else {
+                    continue;
+                };
+                end_us = end_us.max(barrier_end);
+                // Stage spans inside this GPU's iteration window, which runs
+                // from the iteration start to this GPU's barrier arrival.
+                let mut stages = StageSample::default();
+                for &(start, cat, dur) in &acc.stage_spans {
+                    if start >= iter_start_us && start < arrival {
+                        stages.add(cat, dur as f64 / 1e6);
+                    }
+                }
+                stages.add(BlameCategory::Train, train_dur as f64 / 1e6);
+                let barrier_s = (barrier_end.saturating_sub(arrival)) as f64 / 1e6;
+                stages.add(BlameCategory::Barrier, barrier_s);
+                let iter_s = (arrival.saturating_sub(iter_start_us)) as f64 / 1e6;
+                per_gpu.push(GpuIterSample {
+                    node: pid,
+                    gpu: tid,
+                    iter_s,
+                    stages,
+                });
+            }
+            self.iterations.push(IterationSlice {
+                iter: h,
+                per_gpu,
+                end_us,
+            });
+            iter_start_us = end_us;
+        }
+    }
+
+    /// Total demand accesses seen by the cache trajectory.
+    pub fn cache_totals(&self) -> (u64, u64, u64) {
+        self.cache_points.iter().fold((0, 0, 0), |acc, p| {
+            (
+                acc.0 + p.local_hits,
+                acc.1 + p.remote_hits,
+                acc.2 + p.misses,
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{TraceBuffer, TraceEvent};
+
+    fn two_gpu_trace() -> TraceBuffer {
+        let buf = TraceBuffer::new();
+        // Iteration 0: GPU 1 is the straggler (PFS-heavy fetch).
+        buf.push(
+            TraceEvent::span("fetch", "io", 0, 10_000)
+                .pid(0)
+                .tid(0)
+                .arg_u("local", 4)
+                .arg_u("pfs", 0),
+        );
+        buf.push(
+            TraceEvent::span("fetch", "io", 0, 80_000)
+                .pid(0)
+                .tid(1)
+                .arg_u("local", 0)
+                .arg_u("pfs", 4),
+        );
+        buf.push(
+            TraceEvent::span("preprocess", "compute", 10_000, 5_000)
+                .pid(0)
+                .tid(0),
+        );
+        buf.push(
+            TraceEvent::span("preprocess", "compute", 80_000, 5_000)
+                .pid(0)
+                .tid(1),
+        );
+        buf.push(
+            TraceEvent::span("train", "compute", 15_000, 50_000)
+                .pid(0)
+                .tid(0)
+                .arg_u("iter", 0),
+        );
+        buf.push(
+            TraceEvent::span("train", "compute", 85_000, 50_000)
+                .pid(0)
+                .tid(1)
+                .arg_u("iter", 0),
+        );
+        buf.push(
+            TraceEvent::span("barrier_wait", "sync", 65_000, 70_000)
+                .pid(0)
+                .tid(0)
+                .arg_u("iter", 0),
+        );
+        buf.push(
+            TraceEvent::span("barrier_wait", "sync", 135_000, 0)
+                .pid(0)
+                .tid(1)
+                .arg_u("iter", 0),
+        );
+        buf.push(
+            TraceEvent::instant("cache", "cache", 0)
+                .pid(0)
+                .arg_u("local_hits", 4)
+                .arg_u("misses", 4),
+        );
+        buf
+    }
+
+    #[test]
+    fn parses_both_document_and_jsonl_forms() {
+        let buf = two_gpu_trace();
+        let from_doc = parse_trace(&buf.chrome_trace_json()).unwrap();
+        let from_jsonl = parse_trace(&buf.jsonl()).unwrap();
+        assert_eq!(from_doc.len(), from_jsonl.len());
+        assert_eq!(from_doc.len(), buf.len());
+        assert!(from_doc.windows(2).all(|w| w[0].ts_us <= w[1].ts_us));
+    }
+
+    #[test]
+    fn rejects_garbage_and_empty_traces() {
+        assert!(matches!(
+            parse_trace("not json at all"),
+            Err(TimelineError::Malformed(_))
+        ));
+        assert!(
+            matches!(
+                parse_trace("{\"traceEvents\": []}"),
+                Err(TimelineError::Empty)
+            ),
+            "empty document must be an explicit error"
+        );
+    }
+
+    #[test]
+    fn reconstructs_straggler_and_blame_from_spans() {
+        let events = parse_trace(&two_gpu_trace().chrome_trace_json()).unwrap();
+        let tl = Timeline::build(&events);
+        assert_eq!(tl.iterations.len(), 1);
+        let slice = &tl.iterations[0];
+        assert_eq!(slice.per_gpu.len(), 2);
+        let g0 = slice.per_gpu.iter().find(|g| g.gpu == 0).unwrap();
+        let g1 = slice.per_gpu.iter().find(|g| g.gpu == 1).unwrap();
+        // GPU 1 arrives at 135 ms, GPU 0 at 65 ms: GPU 1 is slower.
+        assert!(g1.iter_s > g0.iter_s);
+        assert!((g1.iter_s - 0.135).abs() < 1e-9, "iter_s {}", g1.iter_s);
+        // Blame: GPU 1's fetch seconds land on the PFS tier.
+        assert!(g1.stages.pfs_fetch_s > 0.07);
+        assert_eq!(g1.stages.local_fetch_s, 0.0);
+        assert!(g0.stages.local_fetch_s > 0.0);
+        // Barrier blame mirrors the wait: GPU 0 waited 70 ms.
+        assert!((g0.stages.barrier_s - 0.070).abs() < 1e-9);
+        // Histograms filled per tier.
+        assert_eq!(tl.fetch_us_by_tier["pfs"].count(), 1);
+        assert_eq!(tl.fetch_us_by_tier["local"].count(), 1);
+        // Cache instants became a trajectory point.
+        assert_eq!(tl.cache_totals(), (4, 0, 4));
+    }
+
+    #[test]
+    fn parse_eq_timeline_feeds_analyzer_consistently() {
+        use crate::analysis::BottleneckAnalyzer;
+        let events = parse_trace(&two_gpu_trace().chrome_trace_json()).unwrap();
+        let tl = Timeline::build(&events);
+        let mut analyzer = BottleneckAnalyzer::default();
+        for slice in &tl.iterations {
+            analyzer.observe_iteration(slice.iter, &slice.per_gpu);
+        }
+        let report = analyzer.report();
+        assert_eq!(report.top_straggler(), Some((0, 1)));
+        assert_eq!(
+            report.dominant_category().unwrap().label(),
+            "pfs_fetch",
+            "PFS fetch dominates the reconstructed pipeline blame"
+        );
+        assert!((report.first_gap_s - 0.070).abs() < 1e-9);
+    }
+}

@@ -9,6 +9,7 @@
 //! derivations of the timing model guard the reproduction's most
 //! load-bearing arithmetic.
 
+use lobster_metrics::{BlameCategory, GpuIterSample, Instruments, StageSample};
 use lobster_sim::{run, Scheduler, SimDuration, SimTime, SimWorld};
 
 /// Events of the data-parallel training pipeline.
@@ -40,6 +41,9 @@ struct PipelineWorld {
     done_count: Vec<usize>,
     /// Output: barrier completion times.
     pub barrier_times: Vec<SimTime>,
+    /// Output: `start_times[h][g]` = when GPU `g` began training iteration
+    /// `h` (the join of barrier and data readiness).
+    pub start_times: Vec<Vec<SimTime>>,
 }
 
 impl PipelineWorld {
@@ -61,12 +65,14 @@ impl PipelineWorld {
             barrier_passed: vec![false; iterations + 1],
             done_count: vec![0; iterations],
             barrier_times: Vec::with_capacity(iterations),
+            start_times: vec![vec![SimTime::ZERO; gpus]; iterations],
         }
     }
 
     /// Start training iteration `h` on GPU `g` at `now`: emit TrainDone and
     /// begin loading the *next* batch (pipeline overlap).
     fn start_training(&mut self, g: usize, h: usize, now: SimTime, sched: &mut Scheduler<Ev>) {
+        self.start_times[h][g] = now;
         sched.at(now + self.t_train, Ev::TrainDone { h });
         if h + 1 < self.iterations {
             sched.at(now + self.pipe[h + 1][g], Ev::BatchReady { g, h: h + 1 });
@@ -115,10 +121,7 @@ impl SimWorld for PipelineWorld {
     }
 }
 
-/// Simulate the pipeline event-by-event; returns the barrier completion
-/// time of every iteration, in seconds. `pipe_s[h][g]` is the
-/// loading+preprocessing duration of GPU `g`'s batch at iteration `h`.
-pub fn des_barriers(pipe_s: &[Vec<f64>], t_train_s: f64, allreduce_s: f64) -> Vec<f64> {
+fn run_des(pipe_s: &[Vec<f64>], t_train_s: f64, allreduce_s: f64) -> PipelineWorld {
     assert!(!pipe_s.is_empty());
     let gpus = pipe_s[0].len();
     assert!(gpus > 0);
@@ -147,10 +150,64 @@ pub fn des_barriers(pipe_s: &[Vec<f64>], t_train_s: f64, allreduce_s: f64) -> Ve
         "every iteration must complete"
     );
     world
+}
+
+/// Simulate the pipeline event-by-event; returns the barrier completion
+/// time of every iteration, in seconds. `pipe_s[h][g]` is the
+/// loading+preprocessing duration of GPU `g`'s batch at iteration `h`.
+pub fn des_barriers(pipe_s: &[Vec<f64>], t_train_s: f64, allreduce_s: f64) -> Vec<f64> {
+    run_des(pipe_s, t_train_s, allreduce_s)
         .barrier_times
         .iter()
         .map(|t| t.as_secs_f64())
         .collect()
+}
+
+/// As [`des_barriers`], but feeding each iteration's per-GPU effective
+/// times into `ins`' online [`BottleneckAnalyzer`]. The DES has no tier
+/// model — `pipe[h][g]` is opaque loading+preprocessing time — so the
+/// pipeline portion is blamed on [`BlameCategory::Other`]; train and
+/// barrier-wait are exact from the event times. A disabled bundle costs
+/// one branch and the run is bit-identical to [`des_barriers`].
+///
+/// [`BottleneckAnalyzer`]: lobster_metrics::BottleneckAnalyzer
+pub fn des_barriers_with(
+    pipe_s: &[Vec<f64>],
+    t_train_s: f64,
+    allreduce_s: f64,
+    ins: &Instruments,
+) -> Vec<f64> {
+    let world = run_des(pipe_s, t_train_s, allreduce_s);
+    let barriers: Vec<f64> = world
+        .barrier_times
+        .iter()
+        .map(|t| t.as_secs_f64())
+        .collect();
+    if ins.is_enabled() {
+        let mut prev_barrier = 0.0f64;
+        for (h, starts) in world.start_times.iter().enumerate() {
+            let samples: Vec<GpuIterSample> = starts
+                .iter()
+                .enumerate()
+                .map(|(g, start)| {
+                    let done = start.as_secs_f64() + t_train_s;
+                    let mut stages = StageSample::default();
+                    stages.add(BlameCategory::Other, pipe_s[h][g]);
+                    stages.add(BlameCategory::Train, t_train_s);
+                    stages.add(BlameCategory::Barrier, barriers[h] - done);
+                    GpuIterSample {
+                        node: 0,
+                        gpu: g as u32,
+                        iter_s: done - prev_barrier,
+                        stages,
+                    }
+                })
+                .collect();
+            ins.observe_iteration(h as u64, (barriers[h] * 1e6) as u64, || samples);
+            prev_barrier = barriers[h];
+        }
+    }
+    barriers
 }
 
 /// The executor's closed-form recurrence, reproduced here as the reference:
@@ -275,5 +332,36 @@ mod tests {
         let pipe = vec![vec![0.0, 0.0]; 3];
         let des = des_barriers(&pipe, 0.1, 0.0);
         assert!((des[2] - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn instrumented_des_feeds_the_analyzer() {
+        use lobster_metrics::AnalysisConfig;
+        // GPU 1's pipeline takes 3x training; in steady state it starts
+        // 0.2 s after GPU 0 every iteration.
+        let pipe = vec![vec![0.01, 0.3]; 6];
+        let ins = Instruments::enabled_with(AnalysisConfig {
+            straggler_consecutive: 2,
+            ..AnalysisConfig::default()
+        });
+        let with = des_barriers_with(&pipe, 0.1, 0.0, &ins);
+        assert_close(&with, &des_barriers(&pipe, 0.1, 0.0));
+        let report = ins.analysis_report().expect("enabled");
+        assert_eq!(report.iterations, 6);
+        assert_eq!(report.top_straggler(), Some((0, 1)));
+        assert!(!report.episodes.is_empty(), "straggler episode flagged");
+        // Steady-state gap = difference in start times = 0.3 - 0.1.
+        assert!(
+            (report.ewma_gap_s - 0.2).abs() < 0.05,
+            "ewma gap {}",
+            report.ewma_gap_s
+        );
+        let snap = ins.metrics_snapshot();
+        assert!(snap.get("analysis.gap_us").is_some());
+
+        // Disabled bundle: same barriers, nothing recorded.
+        let off = Instruments::disabled();
+        assert_close(&des_barriers_with(&pipe, 0.1, 0.0, &off), &with);
+        assert!(off.analysis_report().is_none());
     }
 }

@@ -456,6 +456,9 @@ impl ClusterSim {
                 let mut pipe_s = vec![0.0f64; world]; // T_L + T_P per GPU
                 let mut load_s = vec![0.0f64; world];
                 let mut prep_s = vec![0.0f64; world];
+                // Per-GPU [local, remote, pfs] seconds of `load_s`, exact
+                // from the Eq. 1 decomposition (filled when instrumented).
+                let mut tier_blame = vec![[0.0f64; 3]; world];
                 for node in 0..nodes {
                     let ctx = PlanContext {
                         node,
@@ -530,9 +533,20 @@ impl ClusterSim {
                             ThreadAlloc::uniform(threads),
                             reading_nodes,
                         );
-                        let t_load = parts.total_with_overcommit(oc_r, oc_p) / efficiency
-                            * self.cfg.slowdown_at(node, self.barrier_s);
+                        let slowdown = self.cfg.slowdown_at(node, self.barrier_s);
+                        let t_load =
+                            parts.total_with_overcommit(oc_r, oc_p) / efficiency * slowdown;
                         load_s[g] = t_load;
+                        if ins.is_enabled() {
+                            // Same scaling as `t_load`, split by tier, so
+                            // the three parts sum to it exactly.
+                            let k = slowdown / efficiency;
+                            tier_blame[g] = [
+                                (parts.local_bw_s + parts.local_lat_s) * k,
+                                (parts.remote_bw_s * oc_r + parts.remote_lat_s) * k,
+                                (parts.pfs_bw_s * oc_p + parts.pfs_lat_s) * k,
+                            ];
+                        }
                         prep_s[g] = t_prep;
                         pipe_s[g] = t_load + t_prep;
                         node_pipe_max = node_pipe_max.max(pipe_s[g]);
@@ -671,6 +685,7 @@ impl ClusterSim {
                 }
 
                 if ins.is_enabled() {
+                    let mut samples = Vec::with_capacity(world);
                     for g in 0..world {
                         let wait = new_barrier - self.cfg.allreduce_s - (starts[g] + t_train);
                         ins.trace(|| {
@@ -690,7 +705,26 @@ impl ClusterSim {
                             .tid((g % gpus) as u32)
                             .arg_u("iter", global_iter)
                         });
+                        // Feed the online analyzer the exact stage split:
+                        // `iter_s` uses the same `max(pipe, t_train)` floor
+                        // as the Eq.-3 spread above, so the live gap gauge
+                        // matches `mean_spread_s`.
+                        let mut stages = lobster_metrics::StageSample::default();
+                        use lobster_metrics::BlameCategory as B;
+                        stages.add(B::LocalFetch, tier_blame[g][0]);
+                        stages.add(B::RemoteFetch, tier_blame[g][1]);
+                        stages.add(B::PfsFetch, tier_blame[g][2]);
+                        stages.add(B::Preprocess, prep_s[g]);
+                        stages.add(B::Train, t_train);
+                        stages.add(B::Barrier, wait + self.cfg.allreduce_s);
+                        samples.push(lobster_metrics::GpuIterSample {
+                            node: (g / gpus) as u32,
+                            gpu: (g % gpus) as u32,
+                            iter_s: pipe_s[g].max(t_train),
+                            stages,
+                        });
                     }
+                    let _ = ins.observe_iteration(global_iter, sim_us(new_barrier), || samples);
                 }
 
                 if let Some(trace) = self.trace.as_mut() {

@@ -20,7 +20,7 @@ pub mod trace;
 
 pub use accuracy::{max_gap, simulate_accuracy, AccuracyCurve};
 pub use config::{ConfigBuilder, ExperimentConfig};
-pub use des::{analytic_barriers, des_barriers};
+pub use des::{analytic_barriers, des_barriers, des_barriers_with};
 pub use executor::{ClusterSim, EpochReport, RunReport};
 pub use planner::{precompute_plan, PlannedPolicy, TrainingPlan};
 pub use trace::{IterationRecord, TraceCollector};

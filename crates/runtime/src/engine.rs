@@ -113,6 +113,38 @@ struct Req {
     iter: u64,
     consumer: usize,
     sample: SampleId,
+    /// Enqueue timestamp (µs from the trace origin; 0 when uninstrumented)
+    /// so the dequeueing loader can attribute queue-wait time.
+    enq_us: u64,
+}
+
+/// Per-consumer stage-time accumulators feeding the online bottleneck
+/// analyzer. Workers add monotonically from their own threads; consumer 0
+/// snapshots deltas once per iteration after the barrier (the barrier
+/// orders every pre-arrival write before the read).
+struct StageAccum {
+    /// Fetch nanoseconds served by the local cache, per consumer.
+    fetch_local_ns: Vec<AtomicU64>,
+    /// Fetch nanoseconds that reached the backing store ("PFS"), per
+    /// consumer.
+    fetch_store_ns: Vec<AtomicU64>,
+    preproc_ns: Vec<AtomicU64>,
+    queue_wait_ns: Vec<AtomicU64>,
+    /// Barrier-arrival timestamp of each consumer this iteration, µs.
+    arrival_us: Vec<AtomicU64>,
+}
+
+impl StageAccum {
+    fn new(consumers: usize) -> StageAccum {
+        let cells = |n: usize| (0..n).map(|_| AtomicU64::new(0)).collect();
+        StageAccum {
+            fetch_local_ns: cells(consumers),
+            fetch_store_ns: cells(consumers),
+            preproc_ns: cells(consumers),
+            queue_wait_ns: cells(consumers),
+            arrival_us: cells(consumers),
+        }
+    }
 }
 
 struct Raw {
@@ -228,6 +260,16 @@ pub fn run_with(store: Arc<SyntheticStore>, cfg: EngineConfig, ins: Instruments)
     let decisions_m = ins.counter("engine.controller_decisions");
     let barrier_m = ins.counter("engine.barrier_waits");
     let panics_m = ins.counter("engine.worker_panics");
+    // One release of snapshot-alias grace for the pre-convention bare
+    // spellings of the fault counters (now `engine.*`).
+    for (legacy, canonical) in [
+        ("worker_panics", "engine.worker_panics"),
+        ("retries", "engine.retries"),
+        ("corruptions_detected", "engine.corruptions_detected"),
+        ("deadline_exceeded", "engine.deadline_exceeded"),
+    ] {
+        ins.metric_alias(legacy, canonical);
+    }
 
     // The self-healing fetch path every loader goes through.
     let cancel = store.cancel_handle();
@@ -281,6 +323,7 @@ pub fn run_with(store: Arc<SyntheticStore>, cfg: EngineConfig, ins: Instruments)
     let iter_times: Arc<parking_lot::Mutex<Vec<f64>>> = Arc::new(parking_lot::Mutex::new(
         Vec::with_capacity(total_iters as usize),
     ));
+    let stage_accum = Arc::new(StageAccum::new(cfg.consumers));
 
     crossbeam::scope(|scope| {
         // ---- Feeder: streams every request in schedule order. ----
@@ -318,6 +361,7 @@ pub fn run_with(store: Arc<SyntheticStore>, cfg: EngineConfig, ins: Instruments)
                                         iter,
                                         consumer,
                                         sample,
+                                        enq_us: ins.now_us(),
                                     })
                                     .is_err()
                                 {
@@ -349,6 +393,7 @@ pub fn run_with(store: Arc<SyntheticStore>, cfg: EngineConfig, ins: Instruments)
             let assignment = Arc::clone(&assignment);
             let service_ns = Arc::clone(&service_ns);
             let worker_panics = Arc::clone(&worker_panics);
+            let stage_accum = Arc::clone(&stage_accum);
             let ins = ins.clone();
             let fetches_m = fetches_m.clone();
             let panics_m = panics_m.clone();
@@ -380,6 +425,12 @@ pub fn run_with(store: Arc<SyntheticStore>, cfg: EngineConfig, ins: Instruments)
                         });
                         let t0 = Instant::now();
                         let ts_us = ins.now_us();
+                        if ins.is_enabled() {
+                            stage_accum.queue_wait_ns[req.consumer].fetch_add(
+                                ts_us.saturating_sub(req.enq_us) * 1_000,
+                                Ordering::Relaxed,
+                            );
+                        }
                         let key = clock.fetch_add(1, Ordering::Relaxed);
                         fetches_m.inc();
                         let (bytes, tier) = match cache.get(req.sample, key) {
@@ -424,6 +475,14 @@ pub fn run_with(store: Arc<SyntheticStore>, cfg: EngineConfig, ins: Instruments)
                                 .arg_u("sample", req.sample.0 as u64)
                                 .arg_u("bytes", bytes.len() as u64)
                         });
+                        if ins.is_enabled() {
+                            let cell = if tier == "cache" {
+                                &stage_accum.fetch_local_ns[req.consumer]
+                            } else {
+                                &stage_accum.fetch_store_ns[req.consumer]
+                            };
+                            cell.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        }
                         // EWMA (α = 1/4) of this queue's service cost.
                         let obs = t0.elapsed().as_nanos() as u64;
                         let cell = &service_ns[req.consumer];
@@ -450,10 +509,12 @@ pub fn run_with(store: Arc<SyntheticStore>, cfg: EngineConfig, ins: Instruments)
             let raw_rx = raw_rx.clone();
             let cooked_tx = cooked_tx.clone();
             let wf = cfg.work_factor;
+            let stage_accum = Arc::clone(&stage_accum);
             let ins = ins.clone();
             scope.spawn(move |_| {
                 for raw in raw_rx.iter() {
                     let ts_us = ins.now_us();
+                    let t0 = Instant::now();
                     let cooked = preprocess(&raw.bytes, wf);
                     ins.trace(|| {
                         TraceEvent::span("preprocess", "compute", ts_us, ins.now_us() - ts_us)
@@ -461,6 +522,10 @@ pub fn run_with(store: Arc<SyntheticStore>, cfg: EngineConfig, ins: Instruments)
                             .arg_u("consumer", raw.req.consumer as u64)
                             .arg_u("bytes", raw.bytes.len() as u64)
                     });
+                    if ins.is_enabled() {
+                        stage_accum.preproc_ns[raw.req.consumer]
+                            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    }
                     if cooked_tx[raw.req.consumer]
                         .send(Cooked {
                             iter: raw.req.iter,
@@ -541,6 +606,7 @@ pub fn run_with(store: Arc<SyntheticStore>, cfg: EngineConfig, ins: Instruments)
             let cancel = Arc::clone(&cancel);
             let remaining = Arc::clone(&remaining);
             let consumed = Arc::clone(&consumed);
+            let stage_accum = Arc::clone(&stage_accum);
             let ins = ins.clone();
             let delivered_m = delivered_m.clone();
             let barrier_m = barrier_m.clone();
@@ -550,6 +616,10 @@ pub fn run_with(store: Arc<SyntheticStore>, cfg: EngineConfig, ins: Instruments)
                 let mut stash: std::collections::HashMap<u64, Vec<Cooked>> =
                     std::collections::HashMap::new();
                 let mut t0 = Instant::now();
+                // Consumer 0's analyzer state: last cumulative stage totals
+                // per consumer and the previous iteration boundary.
+                let mut prev_stage = vec![[0u64; 4]; cfg2.consumers];
+                let mut iter_start_us = 0u64;
                 'iters: for iter in 0..total_iters {
                     let mut have = stash.remove(&iter).unwrap_or_default();
                     while have.len() < cfg2.batch_size {
@@ -585,6 +655,11 @@ pub fn run_with(store: Arc<SyntheticStore>, cfg: EngineConfig, ins: Instruments)
                     std::thread::sleep(cfg2.train);
                     // Gradient-allreduce stand-in.
                     let wait_ts = ins.now_us();
+                    if ins.is_enabled() {
+                        // Published before the barrier, so every arrival is
+                        // visible to consumer 0's post-barrier snapshot.
+                        stage_accum.arrival_us[consumer].store(wait_ts, Ordering::Relaxed);
+                    }
                     if barrier.wait().is_err() {
                         // Another consumer aborted the run.
                         break 'iters;
@@ -598,6 +673,44 @@ pub fn run_with(store: Arc<SyntheticStore>, cfg: EngineConfig, ins: Instruments)
                     if consumer == 0 {
                         iter_times.lock().push(t0.elapsed().as_secs_f64());
                         t0 = Instant::now();
+                        if ins.is_enabled() {
+                            let end_us = ins.now_us();
+                            let train_s = cfg2.train.as_secs_f64();
+                            let samples: Vec<lobster_metrics::GpuIterSample> = (0..cfg2.consumers)
+                                .map(|c| {
+                                    use lobster_metrics::analysis::BlameCategory as B;
+                                    let cur = [
+                                        stage_accum.fetch_local_ns[c].load(Ordering::Relaxed),
+                                        stage_accum.fetch_store_ns[c].load(Ordering::Relaxed),
+                                        stage_accum.preproc_ns[c].load(Ordering::Relaxed),
+                                        stage_accum.queue_wait_ns[c].load(Ordering::Relaxed),
+                                    ];
+                                    let mut stages = lobster_metrics::StageSample::default();
+                                    for (cat, (now, before)) in
+                                        [B::LocalFetch, B::PfsFetch, B::Preprocess, B::QueueWait]
+                                            .into_iter()
+                                            .zip(cur.into_iter().zip(prev_stage[c]))
+                                    {
+                                        stages.add(cat, now.saturating_sub(before) as f64 / 1e9);
+                                    }
+                                    prev_stage[c] = cur;
+                                    let arrival = stage_accum.arrival_us[c].load(Ordering::Relaxed);
+                                    stages.add(B::Train, train_s);
+                                    stages.add(
+                                        B::Barrier,
+                                        end_us.saturating_sub(arrival) as f64 / 1e6,
+                                    );
+                                    lobster_metrics::GpuIterSample {
+                                        node: 0,
+                                        gpu: c as u32,
+                                        iter_s: arrival.saturating_sub(iter_start_us) as f64 / 1e6,
+                                        stages,
+                                    }
+                                })
+                                .collect();
+                            iter_start_us = end_us;
+                            let _ = ins.observe_iteration(iter, end_us, || samples);
+                        }
                     }
                 }
                 if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
@@ -767,6 +880,29 @@ mod tests {
         let r2 = run(small_store(48, 0), cfg);
         assert_eq!(r1.integrity, r2.integrity);
         assert_eq!(r1.delivered, r2.delivered);
+    }
+
+    #[test]
+    fn instrumented_run_feeds_the_analyzer() {
+        let store = small_store(64, 0);
+        let ins = Instruments::enabled();
+        let report = run_with(store, fast_cfg(), ins.clone());
+        assert!(!report.aborted);
+        let analysis = ins.analysis_report().expect("enabled bundle");
+        assert_eq!(analysis.iterations, 16);
+        assert_eq!(analysis.per_gpu.len(), 2);
+        assert!(
+            analysis.cluster.train_s > 0.0,
+            "training time must be blamed"
+        );
+        let snap = ins.metrics_snapshot();
+        assert!(snap.get("analysis.gap_us").is_some(), "gap gauge mirrored");
+        assert!(snap.get("analysis.ewma_gap_us").is_some());
+        assert_eq!(
+            snap.get("worker_panics"),
+            snap.get("engine.worker_panics"),
+            "legacy alias mirrors the canonical counter"
+        );
     }
 
     #[test]

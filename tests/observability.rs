@@ -137,3 +137,134 @@ fn simulator_trace_matches_report() {
         "snapshot must be time-sorted"
     );
 }
+
+/// Deterministic straggler attribution, end to end: a simulated cluster
+/// with one node slowed 4x on I/O must be blamed — online and offline —
+/// on the right GPU *and* the right storage tier.
+///
+/// Golden expectations (fixed seed, fixed config): the straggler is
+/// node 1 / gpu 0, the dominant blame tier is the PFS, and the doctor's
+/// offline reconstruction of the exported trace reaches the same verdict
+/// as the online analyzer.
+#[test]
+fn forced_slow_node_is_attributed_to_gpu_and_tier() {
+    let dataset = Dataset::generate(
+        "obs-straggler",
+        4_096,
+        SizeDistribution::Constant { bytes: 1_000_000 },
+        7,
+    );
+    let cfg = ConfigBuilder::new()
+        .nodes(2)
+        .gpus_per_node(1)
+        .batch_size(16)
+        .cache_bytes(dataset.total_bytes() / 16)
+        .pipeline_threads(6)
+        .epochs(4)
+        .slow_node(1, 4.0)
+        .dataset(dataset)
+        .build();
+    let ins = Instruments::enabled();
+    let (_report, _) = ClusterSim::new(cfg, Box::new(LobsterPolicy::full()))
+        .with_instruments(ins.clone())
+        .run();
+
+    // Online: the analyzer names the injected straggler and its tier.
+    let online = ins.analysis_report().expect("enabled");
+    assert_eq!(online.top_straggler(), Some((1, 0)), "injected straggler");
+    assert!(!online.episodes.is_empty(), "episodes flagged");
+    for ep in &online.episodes {
+        assert_eq!((ep.node, ep.gpu), (1, 0));
+        assert_eq!(ep.dominant.tier(), Some("pfs"), "dominant tier per episode");
+    }
+    let straggler_blame = online
+        .per_gpu
+        .iter()
+        .find(|g| (g.node, g.gpu) == (1, 0))
+        .unwrap();
+    assert_eq!(
+        straggler_blame
+            .stages
+            .dominant_pipeline_category()
+            .unwrap()
+            .tier(),
+        Some("pfs"),
+        "the slow node's time goes to PFS fetches"
+    );
+    assert!(straggler_blame.slowest_count * 2 > online.iterations);
+
+    // Mirrored gauges: straggler_gpu encodes (node << 16) | gpu.
+    let snap = ins.metrics_snapshot();
+    assert_eq!(snap.get("analysis.straggler_gpu"), Some(1 << 16));
+    assert!(snap.get("analysis.straggler_episodes").unwrap() >= 1);
+    assert!(snap.get("analysis.gap_us").unwrap() > 0);
+
+    // Offline: the doctor reads the exported trace + sidecars and reaches
+    // the same verdict.
+    use lobster_repro::bench::doctor::{diagnose, render, Diagnosis};
+    let trace = ins.chrome_trace_json().unwrap();
+    assert_eq!(ins.trace_dropped(), 0, "run must fit the trace buffer");
+    let d = diagnose(&trace, Some(&snap), &ins.decisions()).unwrap();
+    assert!(!d.is_empty());
+    let call = d.straggler.as_ref().expect("doctor names a straggler");
+    assert_eq!((call.node, call.gpu), (1, 0));
+    assert_eq!(d.top_bottleneck.as_deref(), Some("pfs_fetch"));
+    assert!(!d.solver.is_empty(), "decision log joined");
+    assert!(d.tiers.iter().any(|t| t.tier == "pfs" && t.count > 0));
+    let text = render(&d);
+    assert!(text.contains("straggler: node 1 gpu 0"));
+    assert!(text.contains("pfs_fetch"));
+
+    // The doctor's machine-readable output round-trips losslessly.
+    let json = serde_json::to_string_pretty(&d).unwrap();
+    let back: Diagnosis = serde_json::from_str(&json).unwrap();
+    assert_eq!(serde_json::to_string_pretty(&back).unwrap(), json);
+    assert_eq!(back.straggler.map(|s| (s.node, s.gpu)), Some((1, 0)));
+}
+
+/// The acceptance criterion for the live gap gauge: in an adaptive run
+/// whose warm-up is heavily imbalanced, the Eq.-3 gap visibly shrinks
+/// after Algorithm-1 decisions land, and the decisions are joined with
+/// the gap on both sides.
+#[test]
+fn gap_shrinks_after_algorithm1_decisions() {
+    let dataset = Dataset::generate(
+        "obs-gap-trend",
+        4_096,
+        SizeDistribution::Constant { bytes: 1_000_000 },
+        7,
+    );
+    let cfg = ConfigBuilder::new()
+        .nodes(2)
+        .gpus_per_node(2)
+        .batch_size(16)
+        .cache_bytes(dataset.total_bytes() / 16)
+        .pipeline_threads(6)
+        .epochs(4)
+        .slow_node(1, 4.0)
+        .dataset(dataset)
+        .build();
+    let ins = Instruments::enabled();
+    let (_report, _) = ClusterSim::new(cfg, Box::new(LobsterPolicy::full()))
+        .with_instruments(ins.clone())
+        .run();
+
+    let report = ins.analysis_report().expect("enabled");
+    assert!(!report.solver.is_empty(), "Algorithm 1 made decisions");
+    assert!(
+        report.solver.iter().any(|s| s.gap_after_s.is_some()),
+        "decisions joined with the following iteration's gap"
+    );
+    assert!(
+        report.ewma_gap_s < report.first_gap_s / 2.0,
+        "gap must shrink: first {:.3}s, final EWMA {:.3}s",
+        report.first_gap_s,
+        report.ewma_gap_s
+    );
+
+    // The same trend is visible to a live observer through the gauges.
+    let snap = ins.metrics_snapshot();
+    let ewma_us = snap.get("analysis.ewma_gap_us").unwrap();
+    assert!((ewma_us as f64 - report.ewma_gap_s * 1e6).abs() < 1.0);
+    assert!((ewma_us as f64) < report.first_gap_s * 1e6 / 2.0);
+}
