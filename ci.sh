@@ -13,7 +13,42 @@ echo "== build (release) =="
 cargo build --workspace --release
 
 echo "== test =="
-cargo test -q --workspace
+# Hard timeout: a deadlocked test must fail the gate, not hang it. The
+# engine tests additionally carry their own in-process watchdogs (see
+# tests/runtime_engine.rs) so a single stuck run dies long before this.
+timeout 600 cargo test -q --workspace
+
+echo "== conformance smoke =="
+# Differential gate (DESIGN.md §10): seeded configs through the analytical
+# executor and the conformance DES, plus a live-engine delivery replay;
+# every invariant observable must agree (exit 0), within a 60 s budget.
+timeout 60 cargo run -q --release -p lobster-bench --bin conformance_smoke
+
+echo "== conformance canary =="
+# The harness proves it can catch a broken rule: every armed mutation must
+# be DETECTED. Exit 2 is the expected (deliberately non-zero) outcome;
+# anything else — agreement (0), a real divergence (1), a blind spot (3) —
+# fails the gate.
+set +e
+timeout 60 cargo run -q --release -p lobster-bench --bin conformance_smoke -- --canary
+canary_status=$?
+set -e
+if [ "$canary_status" -ne 2 ]; then
+    echo "conformance canary gate: expected exit 2 (all canaries detected), got $canary_status" >&2
+    exit 1
+fi
+
+echo "== proptest corpora =="
+# Every crate's regression corpus must exist and be tracked so recorded
+# counterexample seeds are never lost.
+for d in crates/*/ .; do
+    f="$d/proptest-regressions/seeds.txt"
+    case "$d" in vendor/*) continue ;; esac
+    if [ ! -f "$f" ]; then
+        echo "missing proptest regression corpus: $f" >&2
+        exit 1
+    fi
+done
 
 echo "== fault smoke =="
 # Small fixed-seed fault-matrix run against the live engine and simulator;

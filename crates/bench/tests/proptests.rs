@@ -1,0 +1,28 @@
+//! Property tests for the harness helpers the figure binaries depend on.
+
+use lobster_bench::{scaled_cache_bytes, BASELINE_NAMES};
+use lobster_core::policy_by_name;
+use proptest::prelude::*;
+
+#[test]
+fn every_baseline_name_resolves_to_a_policy() {
+    for name in BASELINE_NAMES {
+        assert!(
+            policy_by_name(name).is_some(),
+            "baseline {name:?} missing from the policy registry"
+        );
+    }
+}
+
+proptest! {
+    /// Cache scaling divides the paper's 40 GiB exactly, never rounds up,
+    /// and treats scale 0 as 1 (no division by zero, no zero-sized cache).
+    #[test]
+    fn scaled_cache_bytes_is_monotone_and_safe(scale in 0u32..100_000) {
+        let bytes = scaled_cache_bytes(scale);
+        prop_assert!(bytes > 0);
+        prop_assert!(bytes <= 40u64 << 30);
+        prop_assert_eq!(bytes, (40u64 << 30) / u64::from(scale.max(1)));
+        prop_assert!(scaled_cache_bytes(scale.saturating_add(1)) <= bytes);
+    }
+}

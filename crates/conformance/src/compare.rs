@@ -1,0 +1,384 @@
+//! Structured comparison of two [`RunObservables`] records.
+//!
+//! The comparison walks the record in execution order — per iteration:
+//! Algorithm-1 decisions, tier splits, eviction events, prefetch counts,
+//! then timing — and stops at the *first* divergence, reporting enough
+//! context (iteration, observable, location, both values) to localise the
+//! disagreement without re-running anything. Discrete observables must
+//! match exactly; timing observables carry a tolerance because one
+//! executor works in f64 seconds and the other in integer nanoseconds.
+
+use lobster_pipeline::observe::RunObservables;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Relative tolerance for Algorithm-1 decision floats (pure f64 math in
+/// both executors; only association order may differ).
+const DECISION_TOL: f64 = 1e-9;
+
+/// The first point where two execution models disagreed.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Divergence {
+    /// Name of the left execution model (e.g. `cluster-sim`).
+    pub lhs_model: String,
+    /// Name of the right execution model (e.g. `conformance-des`).
+    pub rhs_model: String,
+    /// Which invariant observable disagreed (e.g. `tier_counts`).
+    pub observable: String,
+    /// Global iteration index, when the observable is per-iteration.
+    pub iteration: Option<u64>,
+    /// Finer location within the observable (GPU, node, event index...).
+    pub location: String,
+    /// The left model's value, rendered.
+    pub lhs: String,
+    /// The right model's value, rendered.
+    pub rhs: String,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "conformance divergence")?;
+        writeln!(f, "  models:     {} vs {}", self.lhs_model, self.rhs_model)?;
+        writeln!(f, "  observable: {}", self.observable)?;
+        match self.iteration {
+            Some(h) => writeln!(f, "  iteration:  {h}")?,
+            None => writeln!(f, "  iteration:  (run-level)")?,
+        }
+        writeln!(f, "  location:   {}", self.location)?;
+        writeln!(f, "  {:<12}{}", format!("{}:", self.lhs_model), self.lhs)?;
+        write!(f, "  {:<12}{}", format!("{}:", self.rhs_model), self.rhs)
+    }
+}
+
+struct Cmp<'a> {
+    lhs_model: &'a str,
+    rhs_model: &'a str,
+    time_tol_s: f64,
+}
+
+impl<'a> Cmp<'a> {
+    fn diverge<L: fmt::Debug, R: fmt::Debug>(
+        &self,
+        observable: &str,
+        iteration: Option<u64>,
+        location: String,
+        lhs: L,
+        rhs: R,
+    ) -> Box<Divergence> {
+        Box::new(Divergence {
+            lhs_model: self.lhs_model.to_string(),
+            rhs_model: self.rhs_model.to_string(),
+            observable: observable.to_string(),
+            iteration,
+            location,
+            lhs: format!("{lhs:?}"),
+            rhs: format!("{rhs:?}"),
+        })
+    }
+
+    fn times_close(&self, a: f64, b: f64) -> bool {
+        (a - b).abs() <= self.time_tol_s
+    }
+}
+
+fn floats_close(a: f64, b: f64, rel: f64) -> bool {
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= rel * scale
+}
+
+/// Compare two observable records; `Err` carries the first divergence.
+///
+/// `time_tol_s` bounds the allowed absolute difference on the timing
+/// observables (`pipe_s`, `starts_s`, `barrier_s`); pass `0.0` to require
+/// bit-exact times (only meaningful between two f64 executors).
+pub fn compare_runs(
+    lhs_model: &str,
+    lhs: &RunObservables,
+    rhs_model: &str,
+    rhs: &RunObservables,
+    time_tol_s: f64,
+) -> Result<(), Box<Divergence>> {
+    let c = Cmp {
+        lhs_model,
+        rhs_model,
+        time_tol_s,
+    };
+
+    if lhs.iterations.len() != rhs.iterations.len() {
+        return Err(c.diverge(
+            "iteration_count",
+            None,
+            "run".into(),
+            lhs.iterations.len(),
+            rhs.iterations.len(),
+        ));
+    }
+
+    for (a, b) in lhs.iterations.iter().zip(&rhs.iterations) {
+        let h = a.iteration;
+        if a.iteration != b.iteration {
+            return Err(c.diverge(
+                "iteration_index",
+                Some(h),
+                "sequence".into(),
+                a.iteration,
+                b.iteration,
+            ));
+        }
+
+        // Algorithm-1 decision sequence.
+        if a.decisions.len() != b.decisions.len() {
+            return Err(c.diverge(
+                "decisions",
+                Some(h),
+                "count".into(),
+                a.decisions.len(),
+                b.decisions.len(),
+            ));
+        }
+        for (i, (da, db)) in a.decisions.iter().zip(&b.decisions).enumerate() {
+            let loc = |field: &str| format!("decision {i} node {} field {field}", da.node);
+            if da.node != db.node {
+                return Err(c.diverge("decisions", Some(h), loc("node"), da.node, db.node));
+            }
+            if da.threads_before != db.threads_before {
+                return Err(c.diverge(
+                    "decisions",
+                    Some(h),
+                    loc("threads_before"),
+                    &da.threads_before,
+                    &db.threads_before,
+                ));
+            }
+            if da.threads_after != db.threads_after {
+                return Err(c.diverge(
+                    "decisions",
+                    Some(h),
+                    loc("threads_after"),
+                    &da.threads_after,
+                    &db.threads_after,
+                ));
+            }
+            if da.evals != db.evals || da.converged != db.converged {
+                return Err(c.diverge(
+                    "decisions",
+                    Some(h),
+                    loc("evals/converged"),
+                    (da.evals, da.converged),
+                    (db.evals, db.converged),
+                ));
+            }
+            if !floats_close(da.gap_s, db.gap_s, DECISION_TOL) {
+                return Err(c.diverge("decisions", Some(h), loc("gap_s"), da.gap_s, db.gap_s));
+            }
+            let float_vecs = [
+                ("queue_loads", &da.queue_loads, &db.queue_loads),
+                ("predicted_cost", &da.predicted_cost, &db.predicted_cost),
+            ];
+            for (field, va, vb) in float_vecs {
+                if va.len() != vb.len()
+                    || va
+                        .iter()
+                        .zip(vb.iter())
+                        .any(|(x, y)| !floats_close(*x, *y, DECISION_TOL))
+                {
+                    return Err(c.diverge("decisions", Some(h), loc(field), va, vb));
+                }
+            }
+        }
+
+        // Per-GPU tier splits (local/remote/pfs fetch counts).
+        if a.tier_counts.len() != b.tier_counts.len() {
+            return Err(c.diverge(
+                "tier_counts",
+                Some(h),
+                "gpu count".into(),
+                a.tier_counts.len(),
+                b.tier_counts.len(),
+            ));
+        }
+        for (g, (ta, tb)) in a.tier_counts.iter().zip(&b.tier_counts).enumerate() {
+            if ta != tb {
+                return Err(c.diverge(
+                    "tier_counts",
+                    Some(h),
+                    format!("gpu {g} [local, remote, pfs]"),
+                    ta,
+                    tb,
+                ));
+            }
+        }
+
+        // Eviction-victim order (capacity + reuse-count + reuse-distance).
+        for (i, (ea, eb)) in a.evictions.iter().zip(&b.evictions).enumerate() {
+            if ea != eb {
+                return Err(c.diverge("evictions", Some(h), format!("event {i}"), ea, eb));
+            }
+        }
+        if a.evictions.len() != b.evictions.len() {
+            let i = a.evictions.len().min(b.evictions.len());
+            return Err(c.diverge(
+                "evictions",
+                Some(h),
+                format!("event {i} (extra)"),
+                a.evictions.get(i),
+                b.evictions.get(i),
+            ));
+        }
+
+        // Prefetch counts per node.
+        if a.prefetched != b.prefetched {
+            return Err(c.diverge(
+                "prefetched",
+                Some(h),
+                "per node".into(),
+                &a.prefetched,
+                &b.prefetched,
+            ));
+        }
+
+        // Timing: pipeline durations, training starts, barrier release.
+        for (field, va, vb) in [
+            ("pipe_s", &a.pipe_s, &b.pipe_s),
+            ("starts_s", &a.starts_s, &b.starts_s),
+        ] {
+            if va.len() != vb.len() {
+                return Err(c.diverge(field, Some(h), "gpu count".into(), va.len(), vb.len()));
+            }
+            for (g, (x, y)) in va.iter().zip(vb.iter()).enumerate() {
+                if !c.times_close(*x, *y) {
+                    return Err(c.diverge(field, Some(h), format!("gpu {g}"), x, y));
+                }
+            }
+        }
+        if !c.times_close(a.barrier_s, b.barrier_s) {
+            return Err(c.diverge(
+                "barrier_s",
+                Some(h),
+                "cluster".into(),
+                a.barrier_s,
+                b.barrier_s,
+            ));
+        }
+    }
+
+    // Delivered-sample multiset per epoch.
+    if lhs.delivered.len() != rhs.delivered.len() {
+        return Err(c.diverge(
+            "delivered",
+            None,
+            "epoch count".into(),
+            lhs.delivered.len(),
+            rhs.delivered.len(),
+        ));
+    }
+    for (e, (da, db)) in lhs.delivered.iter().zip(&rhs.delivered).enumerate() {
+        if da != db {
+            let i = da
+                .iter()
+                .zip(db.iter())
+                .position(|(x, y)| x != y)
+                .unwrap_or(da.len().min(db.len()));
+            return Err(c.diverge(
+                "delivered",
+                None,
+                format!("epoch {e}, first differing rank {i}"),
+                (da.len(), da.get(i)),
+                (db.len(), db.get(i)),
+            ));
+        }
+    }
+
+    // Run totals: hit/miss accounting and prefetch volume.
+    for (field, x, y) in [
+        ("local_hits", lhs.local_hits, rhs.local_hits),
+        ("remote_hits", lhs.remote_hits, rhs.remote_hits),
+        ("misses", lhs.misses, rhs.misses),
+        ("prefetched_total", lhs.prefetched, rhs.prefetched),
+    ] {
+        if x != y {
+            return Err(c.diverge(field, None, "run total".into(), x, y));
+        }
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lobster_pipeline::observe::{EvictReason, EvictionEvent, IterationObservables};
+
+    fn base() -> RunObservables {
+        RunObservables {
+            iterations: vec![IterationObservables {
+                iteration: 0,
+                tier_counts: vec![[1, 2, 3]],
+                evictions: vec![EvictionEvent {
+                    node: 0,
+                    sample: 7,
+                    reason: EvictReason::Capacity,
+                }],
+                decisions: Vec::new(),
+                prefetched: vec![4],
+                pipe_s: vec![0.5],
+                starts_s: vec![0.0],
+                barrier_s: 1.0,
+            }],
+            delivered: vec![vec![1, 2, 3]],
+            local_hits: 1,
+            remote_hits: 2,
+            misses: 3,
+            prefetched: 4,
+        }
+    }
+
+    #[test]
+    fn identical_records_agree() {
+        let a = base();
+        let b = base();
+        assert!(compare_runs("a", &a, "b", &b, 1e-6).is_ok());
+    }
+
+    #[test]
+    fn tier_count_mismatch_is_first_divergence() {
+        let a = base();
+        let mut b = base();
+        b.iterations[0].tier_counts[0] = [0, 3, 3];
+        b.iterations[0].barrier_s = 9.0; // later divergence must not win
+        let d = compare_runs("a", &a, "b", &b, 1e-6).unwrap_err();
+        assert_eq!(d.observable, "tier_counts");
+        assert_eq!(d.iteration, Some(0));
+        assert!(d.location.contains("gpu 0"), "{}", d.location);
+    }
+
+    #[test]
+    fn timing_within_tolerance_passes() {
+        let a = base();
+        let mut b = base();
+        b.iterations[0].barrier_s += 5e-7;
+        assert!(compare_runs("a", &a, "b", &b, 1e-6).is_ok());
+        assert!(compare_runs("a", &a, "b", &b, 1e-8).is_err());
+    }
+
+    #[test]
+    fn eviction_order_mismatch_reports_event_index() {
+        let a = base();
+        let mut b = base();
+        b.iterations[0].evictions[0].sample = 8;
+        let d = compare_runs("a", &a, "b", &b, 1e-6).unwrap_err();
+        assert_eq!(d.observable, "evictions");
+        assert_eq!(d.location, "event 0");
+    }
+
+    #[test]
+    fn delivered_multiset_mismatch_names_epoch() {
+        let a = base();
+        let mut b = base();
+        b.delivered[0][2] = 9;
+        let d = compare_runs("a", &a, "b", &b, 1e-6).unwrap_err();
+        assert_eq!(d.observable, "delivered");
+        assert!(d.location.contains("epoch 0"));
+        assert!(format!("{d}").contains("conformance divergence"));
+    }
+}

@@ -1,0 +1,598 @@
+//! An event-driven re-execution of the cluster pipeline semantics.
+//!
+//! [`DesCluster`] runs the same seeded [`ExperimentConfig`] as
+//! `lobster_pipeline::ClusterSim`, but on a different substrate: instead of
+//! the closed-form barrier recurrence, every stage boundary is a scheduled
+//! event on the `lobster-sim` discrete-event kernel (training starts,
+//! training completions, barrier releases), and the §4.4 cache rules —
+//! insert priorities, the reuse-count/reuse-distance sweeps, the
+//! prefetch-displacement guard — are re-implemented here from the paper's
+//! description rather than called from `lobster-core`. The two executors
+//! share only the stage-duration *models* (Eq. 1's `load_time_parts`, the
+//! preprocessing governor) and the policy planners, which are the model
+//! under test in both.
+//!
+//! A correct pair of implementations therefore produces identical
+//! [`RunObservables`]; any disagreement in the discrete observables is a
+//! bug in one of them, and the timing observables must agree to float
+//! round-off. The deliberate [`Mutation`] hooks flip exactly one rule here
+//! so the harness can prove it notices.
+
+use crate::mutation::Mutation;
+use lobster_cache::{Directory, EvictOrder, NodeCache};
+use lobster_core::model::load_time_parts;
+use lobster_core::{
+    CachingStrategy, LoaderPolicy, NodePlan, PlanContext, ThreadAlloc, TierBreakdown,
+};
+use lobster_data::{EpochSchedule, NodeOracle, SampleId};
+use lobster_pipeline::observe::{
+    DecisionObservable, EvictReason, EvictionEvent, IterationObservables, RunObservables,
+};
+use lobster_pipeline::ExperimentConfig;
+use lobster_sim::{derive_seed, SimDuration, SimTime, SimWorld};
+use lobster_storage::Tier;
+
+/// Result of a DES conformance run.
+#[derive(Debug)]
+pub struct DesRun {
+    pub observables: RunObservables,
+    /// Simulated wall time of the whole run, seconds.
+    pub total_wall_s: f64,
+    /// DES events processed.
+    pub events: u64,
+}
+
+/// DES event alphabet (public only because `SimWorld::Event` leaks it).
+#[derive(Debug)]
+pub enum Ev {
+    /// The previous barrier released; run iteration `h`'s semantics and
+    /// schedule its training stages.
+    StartIteration(u64),
+    /// One GPU finished training for iteration `h`.
+    TrainDone { iter: u64 },
+    /// Allreduce after iteration `h` completed.
+    BarrierDone(u64),
+}
+
+/// The event-driven cluster executor.
+pub struct DesCluster {
+    cfg: ExperimentConfig,
+    policy: Box<dyn LoaderPolicy>,
+    governor: lobster_core::PreprocGovernor,
+    caches: Vec<NodeCache>,
+    directory: Directory,
+    oracles: Vec<Option<NodeOracle>>,
+    clocks: Vec<u64>,
+    distributed: bool,
+    mutation: Mutation,
+
+    // Event-driven runtime state.
+    start_prev: Vec<SimTime>,
+    arrivals: usize,
+    sched_cur: Option<EpochSchedule>,
+    sched_next: Option<EpochSchedule>,
+
+    // Accounting.
+    obs: RunObservables,
+    epoch_hits: (u64, u64, u64),
+    epoch_prefetched: u64,
+    events_scratch: Vec<EvictionEvent>,
+}
+
+impl DesCluster {
+    pub fn new(cfg: ExperimentConfig, policy: Box<dyn LoaderPolicy>) -> DesCluster {
+        let n = cfg.cluster.nodes;
+        let order = if policy.caching().evicts() {
+            EvictOrder::SmallestKeyFirst
+        } else {
+            EvictOrder::NeverEvict
+        };
+        let caches = (0..n)
+            .map(|_| NodeCache::new(cfg.cluster.cache_bytes, order))
+            .collect();
+        let governor = cfg.calibrated_governor();
+        let world = cfg.cluster.world_size();
+        let distributed = policy.distributed_cache();
+        DesCluster {
+            governor,
+            caches,
+            directory: Directory::new(n),
+            oracles: (0..n).map(|_| None).collect(),
+            clocks: vec![0; n],
+            distributed,
+            mutation: Mutation::None,
+            start_prev: vec![SimTime::ZERO; world],
+            arrivals: 0,
+            sched_cur: None,
+            sched_next: None,
+            obs: RunObservables::default(),
+            epoch_hits: (0, 0, 0),
+            epoch_prefetched: 0,
+            events_scratch: Vec::new(),
+            policy,
+            cfg,
+        }
+    }
+
+    /// Arm a deliberate single-rule flip (canary mode).
+    pub fn with_mutation(mut self, mutation: Mutation) -> DesCluster {
+        self.mutation = mutation;
+        self
+    }
+
+    /// Drive the event loop to completion.
+    pub fn run(mut self) -> DesRun {
+        let iters = self.cfg.iterations_per_epoch() as u64;
+        let total = iters * self.cfg.epochs;
+        let mut sched = lobster_sim::Scheduler::new();
+        if total > 0 {
+            sched.at(SimTime::ZERO, Ev::StartIteration(0));
+        }
+        // Events per iteration: 1 start + world TrainDone + 1 barrier.
+        let budget = total * (self.cfg.cluster.world_size() as u64 + 2) + 16;
+        let stats = lobster_sim::run(&mut self, &mut sched, None, budget);
+        assert!(!stats.truncated, "conformance DES exceeded event budget");
+        DesRun {
+            total_wall_s: stats.end_time.as_secs_f64(),
+            events: stats.events,
+            observables: self.obs,
+        }
+    }
+
+    // ---- §4.4 rules, re-implemented (and mutation-hookable). ----
+
+    /// Victim-order key encoding shared with `NodeCache`: smaller is evicted
+    /// first. Never-reused samples take key 0; an earlier next use yields a
+    /// larger key.
+    fn reuse_key(next_use: Option<u64>) -> u64 {
+        match next_use {
+            None => 0,
+            Some(it) => u64::MAX - it,
+        }
+    }
+
+    fn bump_clock(&mut self, node: usize) -> u64 {
+        self.clocks[node] += 1;
+        self.clocks[node]
+    }
+
+    fn insert_key(&mut self, node: usize, s: SampleId, strategy: CachingStrategy) -> u64 {
+        match strategy {
+            CachingStrategy::Lru | CachingStrategy::PrefetchLru | CachingStrategy::InsertOnly => {
+                self.bump_clock(node)
+            }
+            CachingStrategy::ReuseAware => {
+                if self.mutation == Mutation::CapacityKeyLru {
+                    return self.bump_clock(node);
+                }
+                let next = self.oracles[node]
+                    .as_ref()
+                    .and_then(|o| o.future_of(s))
+                    .map(|f| f.next_iteration);
+                Self::reuse_key(next)
+            }
+        }
+    }
+
+    fn classify(&self, node: usize, s: SampleId) -> Tier {
+        if self.caches[node].contains(s) {
+            Tier::LocalCache
+        } else if self.distributed && self.directory.held_elsewhere(s, node) {
+            Tier::RemoteCache
+        } else {
+            Tier::Pfs
+        }
+    }
+
+    fn kv_owner(&self, s: SampleId) -> usize {
+        (derive_seed(0x4B56, s.0 as u64) % self.cfg.cluster.nodes as u64) as usize
+    }
+
+    fn insert_sample(&mut self, node: usize, s: SampleId, strategy: CachingStrategy) {
+        let home = if self.cfg.kv_partitioned && self.distributed {
+            self.kv_owner(s)
+        } else {
+            node
+        };
+        let bytes = self.cfg.dataset.size_of(s);
+        let key = self.insert_key(home, s, strategy);
+        let outcome = self.caches[home].insert(s, bytes, key);
+        if outcome.inserted {
+            self.directory.add(s, home);
+        }
+        for victim in outcome.evicted {
+            self.directory.remove(victim, home);
+            self.events_scratch.push(EvictionEvent {
+                node: home as u32,
+                sample: victim.0 as u64,
+                reason: EvictReason::Capacity,
+            });
+        }
+    }
+
+    fn demand_fetch(&mut self, node: usize, samples: &[SampleId], strategy: CachingStrategy) {
+        for &s in samples {
+            match self.classify(node, s) {
+                Tier::LocalCache => {
+                    self.epoch_hits.0 += 1;
+                    let key = self.insert_key(node, s, strategy);
+                    self.caches[node].set_key(s, key);
+                }
+                Tier::RemoteCache => {
+                    self.epoch_hits.1 += 1;
+                    self.insert_sample(node, s, strategy);
+                }
+                Tier::Pfs => {
+                    self.epoch_hits.2 += 1;
+                    self.insert_sample(node, s, strategy);
+                }
+            }
+        }
+    }
+
+    /// The paper's two proactive policies, applied to the batch the node
+    /// just consumed. Re-derived from §4.4: a sample with no remaining use
+    /// on the node leaves immediately (unless it is the last copy anywhere);
+    /// a sample whose next reuse lies beyond `2I − h` iterations "will not
+    /// be accessed by any GPUs on the node during the next epoch" and leaves
+    /// too; survivors get re-keyed by the nearness of their next use.
+    fn sweep(&mut self, node: usize, batch: &[SampleId], h: usize, iters: usize, now_iter: u64) {
+        let mut horizon = (2 * iters).saturating_sub(h) as u64;
+        if self.mutation == Mutation::HorizonOffByOne {
+            horizon = horizon.saturating_sub(1);
+        }
+        let oracle = self.oracles[node].take().expect("sweep requires an oracle");
+        for &s in batch {
+            if !self.caches[node].contains(s) {
+                continue;
+            }
+            match oracle.future_of(s) {
+                None => {
+                    let replicated = self.directory.held_elsewhere(s, node)
+                        || self.mutation == Mutation::SkipLastCopyGuard;
+                    if replicated {
+                        self.caches[node].evict(s);
+                        self.directory.remove(s, node);
+                        self.events_scratch.push(EvictionEvent {
+                            node: node as u32,
+                            sample: s.0 as u64,
+                            reason: EvictReason::ReuseCount,
+                        });
+                    } else {
+                        // Last copy anywhere: keep it as a cheap source, just
+                        // above the never-reused key.
+                        self.caches[node].set_key(s, Self::reuse_key(None) + 1);
+                    }
+                }
+                Some(fut) => {
+                    let distance = fut.next_iteration.saturating_sub(now_iter);
+                    if distance > horizon {
+                        self.caches[node].evict(s);
+                        self.directory.remove(s, node);
+                        self.events_scratch.push(EvictionEvent {
+                            node: node as u32,
+                            sample: s.0 as u64,
+                            reason: EvictReason::ReuseDistance,
+                        });
+                    } else {
+                        self.caches[node].set_key(s, Self::reuse_key(Some(fut.next_iteration)));
+                    }
+                }
+            }
+        }
+        self.oracles[node] = Some(oracle);
+    }
+
+    /// Deterministic prefetch with the iteration's spare loader seconds,
+    /// including Lobster's coordination guard: never displace a resident
+    /// needed sooner than the sample being brought in.
+    fn prefetch(
+        &mut self,
+        node: usize,
+        plan: &NodePlan,
+        spare_s: f64,
+        strategy: CachingStrategy,
+        reading_nodes: usize,
+    ) -> u64 {
+        let Some(oracle) = self.oracles[node].take() else {
+            return 0;
+        };
+        let threads: u32 = plan.load_threads.iter().sum::<u32>().max(1);
+        let mut budget = spare_s;
+        let mut fetched = 0u64;
+        let mut to_fetch: Vec<SampleId> = Vec::new();
+        let lookahead = plan
+            .prefetch_lookahead
+            .min(self.cfg.prefetch_lookahead)
+            .max(1);
+        let batch = self.cfg.cluster.batch_size;
+        let cap = 4 * batch * self.cfg.cluster.gpus_per_node;
+
+        'outer: for la in 0..lookahead {
+            let upcoming = oracle.upcoming_iteration(la);
+            if upcoming.is_empty() {
+                break;
+            }
+            // GPU-interleaved walk: fill every GPU's staging buffer in step.
+            let gpus_here = upcoming.len() / batch.max(1);
+            let interleaved = (0..batch)
+                .flat_map(|k| (0..gpus_here).map(move |gpu| gpu * batch + k))
+                .map(|idx| upcoming[idx]);
+            for s in interleaved {
+                if self.caches[node].contains(s) {
+                    continue;
+                }
+                let bytes = self.cfg.dataset.size_of(s) as f64;
+                let cost = if self.distributed && self.directory.held_elsewhere(s, node) {
+                    self.cfg
+                        .storage
+                        .read_secs(Tier::RemoteCache, bytes, 1, threads, 1)
+                } else {
+                    self.cfg
+                        .storage
+                        .read_secs(Tier::Pfs, bytes, 1, threads, reading_nodes)
+                };
+                if cost > budget {
+                    break 'outer;
+                }
+                if strategy == CachingStrategy::ReuseAware {
+                    let new_key = Self::reuse_key(oracle.future_of(s).map(|f| f.next_iteration));
+                    if self.caches[node].free_bytes() < bytes as u64 {
+                        let victim_key = self.caches[node]
+                            .peek_victim()
+                            .and_then(|v| self.caches[node].key_of(v));
+                        let stop = match (victim_key, self.mutation) {
+                            (None, _) => true,
+                            (Some(vk), Mutation::InvertPrefetchGuard) => vk < new_key,
+                            (Some(vk), _) => vk >= new_key,
+                        };
+                        if stop {
+                            break 'outer;
+                        }
+                    }
+                }
+                budget -= cost;
+                to_fetch.push(s);
+                fetched += 1;
+                if to_fetch.len() >= cap {
+                    break 'outer;
+                }
+            }
+        }
+        self.oracles[node] = Some(oracle);
+        for s in to_fetch {
+            self.insert_sample(node, s, strategy);
+        }
+        fetched
+    }
+
+    // ---- The per-iteration semantic step. ----
+
+    fn begin_epoch(&mut self, epoch: u64) {
+        let spec = self.cfg.schedule_spec();
+        let iters = self.cfg.iterations_per_epoch() as u64;
+        let sched = self
+            .sched_next
+            .take()
+            .unwrap_or_else(|| lobster_data::partition::generate(spec, epoch, self.cfg.partition));
+        let upcoming = lobster_data::partition::generate(spec, epoch + 1, self.cfg.partition);
+        if self.policy.caching().uses_oracle() {
+            for node in 0..self.cfg.cluster.nodes {
+                self.oracles[node] =
+                    Some(NodeOracle::build(node, &[&sched, &upcoming], epoch * iters));
+            }
+        }
+        self.sched_cur = Some(sched);
+        self.sched_next = Some(upcoming);
+        self.epoch_hits = (0, 0, 0);
+        self.epoch_prefetched = 0;
+    }
+
+    fn end_epoch(&mut self) {
+        let sched = self.sched_cur.as_ref().expect("epoch in progress");
+        let mut d: Vec<u64> = sched.all_accesses().iter().map(|s| s.0 as u64).collect();
+        d.sort_unstable();
+        self.obs.delivered.push(d);
+        self.obs.local_hits += self.epoch_hits.0;
+        self.obs.remote_hits += self.epoch_hits.1;
+        self.obs.misses += self.epoch_hits.2;
+        self.obs.prefetched += self.epoch_prefetched;
+    }
+
+    /// Run iteration `h_global`'s data-path semantics at barrier time `now`
+    /// and return the per-GPU pipeline durations (seconds).
+    #[allow(clippy::needless_range_loop)]
+    fn semantic_step(&mut self, h_global: u64, now: SimTime) -> Vec<f64> {
+        let iters = self.cfg.iterations_per_epoch();
+        let h = (h_global % iters as u64) as usize;
+        if h == 0 {
+            self.begin_epoch(h_global / iters as u64);
+        }
+        let sched = self.sched_cur.take().expect("epoch schedule present");
+        let nodes = self.cfg.cluster.nodes;
+        let gpus = self.cfg.cluster.gpus_per_node;
+        let world = self.cfg.cluster.world_size();
+        let strategy = self.policy.caching();
+        let t_train = self.cfg.model.t_train_s;
+        let efficiency = self.policy.loading_efficiency();
+        let mean_bytes = self.cfg.dataset.mean_sample_bytes() as u64;
+        let now_s = now.as_secs_f64();
+
+        // Pass 1: classify every GPU's batch before any mutation.
+        let mut splits: Vec<Vec<TierBreakdown>> = Vec::with_capacity(nodes);
+        for node in 0..nodes {
+            let mut per_gpu = Vec::with_capacity(gpus);
+            for gpu in 0..gpus {
+                let mut split = TierBreakdown::default();
+                for &s in sched.batch(h, node, gpu) {
+                    split.add(self.classify(node, s), self.cfg.dataset.size_of(s));
+                }
+                per_gpu.push(split);
+            }
+            splits.push(per_gpu);
+        }
+        let reading_nodes = splits
+            .iter()
+            .filter(|per| per.iter().any(|s| s.pfs_count > 0))
+            .count()
+            .max(1);
+        let tier_counts: Vec<[u64; 3]> = splits
+            .iter()
+            .flat_map(|per| {
+                per.iter()
+                    .map(|s| [s.local_count, s.remote_count, s.pfs_count])
+            })
+            .collect();
+
+        // Pass 2: plan, fetch, sweep, prefetch — node by node.
+        let mut decisions: Vec<DecisionObservable> = Vec::new();
+        let mut prefetched = vec![0u64; nodes];
+        let mut pipe_s = vec![0.0f64; world];
+        for node in 0..nodes {
+            let ctx = PlanContext {
+                node,
+                iter_in_epoch: h,
+                iters_per_epoch: iters,
+                t_train_s: t_train,
+                storage: &self.cfg.storage,
+                splits: &splits[node],
+                total_threads: self.cfg.cluster.pipeline_threads,
+                reading_nodes,
+                batch_samples: self.cfg.cluster.batch_size,
+                mean_sample_bytes: mean_bytes,
+                governor: &self.governor,
+            };
+            let plan = self.policy.plan(&ctx);
+            for d in self.policy.drain_decisions() {
+                decisions.push(DecisionObservable::from_plan(node, &d));
+            }
+
+            let node_bytes: f64 = splits[node].iter().map(TierBreakdown::total_bytes).sum();
+            let t_prep = self
+                .cfg
+                .preproc
+                .batch_secs(node_bytes, plan.preproc_threads);
+
+            // Intra-node overcommit at the tier-curve knees.
+            let knee_r = self.cfg.storage.curve(Tier::RemoteCache).peak().0;
+            let knee_p = self.cfg.storage.curve(Tier::Pfs).peak().0;
+            let mut total_r = 0u32;
+            let mut total_p = 0u32;
+            for gpu in 0..gpus {
+                let threads = plan.load_threads[gpu].max(1);
+                if splits[node][gpu].remote_count > 0 {
+                    total_r += threads;
+                }
+                if splits[node][gpu].pfs_count > 0 {
+                    total_p += threads;
+                }
+            }
+            let oc_r = (total_r as f64 / knee_r as f64).max(1.0);
+            let oc_p = (total_p as f64 / knee_p as f64).max(1.0);
+
+            let mut load_s = vec![0.0f64; gpus];
+            let mut node_pipe_max = 0.0f64;
+            for gpu in 0..gpus {
+                let g = node * gpus + gpu;
+                let threads = plan.load_threads[gpu].max(1);
+                let parts = load_time_parts(
+                    &self.cfg.storage,
+                    &splits[node][gpu],
+                    ThreadAlloc::uniform(threads),
+                    reading_nodes,
+                );
+                let slowdown = self.cfg.slowdown_at(node, now_s);
+                let t_load = parts.total_with_overcommit(oc_r, oc_p) / efficiency * slowdown;
+                load_s[gpu] = t_load;
+                pipe_s[g] = t_load + t_prep;
+                node_pipe_max = node_pipe_max.max(pipe_s[g]);
+            }
+
+            let node_samples: Vec<SampleId> = sched.node_iteration(h, node).to_vec();
+            self.demand_fetch(node, &node_samples, strategy);
+
+            if let Some(oracle) = self.oracles[node].as_mut() {
+                oracle.advance();
+            }
+            if strategy == CachingStrategy::ReuseAware {
+                self.sweep(node, &node_samples, h, iters, h_global);
+            }
+
+            if plan.prefetch {
+                // Spare loader time: the iteration window minus each GPU's
+                // own demand load, weighted by its share of the thread pool.
+                let window = t_train.max(node_pipe_max);
+                let total_threads: u32 = plan.load_threads.iter().map(|&t| t.max(1)).sum();
+                let mut spare = 0.0;
+                for gpu in 0..gpus {
+                    let share = plan.load_threads[gpu].max(1) as f64 / total_threads as f64;
+                    spare += (window - load_s[gpu]).max(0.0) * share;
+                }
+                let got = self.prefetch(node, &plan, spare, strategy, reading_nodes);
+                prefetched[node] = got;
+                self.epoch_prefetched += got;
+            }
+        }
+        self.sched_cur = Some(sched);
+
+        self.obs.iterations.push(IterationObservables {
+            iteration: h_global,
+            tier_counts,
+            evictions: std::mem::take(&mut self.events_scratch),
+            decisions,
+            prefetched,
+            pipe_s: pipe_s.clone(),
+            // Start times are filled as training stages get scheduled.
+            starts_s: Vec::with_capacity(world),
+            barrier_s: f64::NAN,
+        });
+        pipe_s
+    }
+}
+
+impl SimWorld for DesCluster {
+    type Event = Ev;
+
+    fn handle(&mut self, event: Ev, sched: &mut lobster_sim::Scheduler<Ev>) {
+        let iters = self.cfg.iterations_per_epoch() as u64;
+        let total = iters * self.cfg.epochs;
+        let t_train = SimDuration::from_secs_f64(self.cfg.model.t_train_s);
+        match event {
+            Ev::StartIteration(h) => {
+                let now = sched.now();
+                let pipe_s = self.semantic_step(h, now);
+                for (g, &p) in pipe_s.iter().enumerate() {
+                    // ready = start of previous training + pipeline time;
+                    // the stage overlaps the previous training stage.
+                    let ready = self.start_prev[g] + SimDuration::from_secs_f64(p);
+                    let start = now.max(ready);
+                    self.start_prev[g] = start;
+                    let rec = self.obs.iterations.last_mut().expect("step recorded");
+                    rec.starts_s.push(start.as_secs_f64());
+                    sched.at(start + t_train, Ev::TrainDone { iter: h });
+                }
+                self.arrivals = 0;
+            }
+            Ev::TrainDone { iter } => {
+                self.arrivals += 1;
+                if self.arrivals == self.cfg.cluster.world_size() {
+                    sched.after(
+                        SimDuration::from_secs_f64(self.cfg.allreduce_s),
+                        Ev::BarrierDone(iter),
+                    );
+                }
+            }
+            Ev::BarrierDone(h) => {
+                let now = sched.now();
+                let rec = self.obs.iterations.last_mut().expect("iteration open");
+                rec.barrier_s = now.as_secs_f64();
+                if (h + 1) % iters == 0 {
+                    self.end_epoch();
+                }
+                if h + 1 < total {
+                    sched.at(now, Ev::StartIteration(h + 1));
+                }
+            }
+        }
+    }
+}

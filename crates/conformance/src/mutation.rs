@@ -1,0 +1,79 @@
+//! Mutation canaries: deliberate single-rule flips in the conformance DES.
+//!
+//! A differential harness is only as good as its sensitivity. Each variant
+//! here flips exactly one §4.4 eviction/prefetch rule *inside the
+//! conformance executor only* (production code paths never see these), and
+//! the canary mode asserts the differential runner detects the flip as a
+//! divergence. A canary that goes undetected means the harness has a blind
+//! spot and the CI gate fails.
+
+use serde::{Deserialize, Serialize};
+
+/// Which single rule the DES deliberately gets wrong.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Mutation {
+    /// No mutation: the conformant executor.
+    None,
+    /// Drop the "unless no other node holds a copy" guard of the
+    /// reuse-count policy: dead samples are evicted even when they are the
+    /// last copy anywhere.
+    SkipLastCopyGuard,
+    /// Shrink the reuse-distance horizon from `2I − h` to `2I − h − 1`,
+    /// evicting samples whose next reuse sits exactly on the threshold.
+    HorizonOffByOne,
+    /// Invert the prefetch-coordination guard: prefetching displaces
+    /// *sooner*-needed residents instead of stopping for them.
+    InvertPrefetchGuard,
+    /// Use LRU clocks instead of reuse-distance priority keys on insert
+    /// under the ReuseAware strategy (wrong capacity-victim order).
+    CapacityKeyLru,
+}
+
+impl Mutation {
+    /// CLI / report name of the flipped rule.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mutation::None => "none",
+            Mutation::SkipLastCopyGuard => "skip-last-copy-guard",
+            Mutation::HorizonOffByOne => "horizon-off-by-one",
+            Mutation::InvertPrefetchGuard => "invert-prefetch-guard",
+            Mutation::CapacityKeyLru => "capacity-key-lru",
+        }
+    }
+
+    /// Parse a CLI name.
+    pub fn by_name(name: &str) -> Option<Mutation> {
+        Some(match name {
+            "none" => Mutation::None,
+            "skip-last-copy-guard" => Mutation::SkipLastCopyGuard,
+            "horizon-off-by-one" => Mutation::HorizonOffByOne,
+            "invert-prefetch-guard" => Mutation::InvertPrefetchGuard,
+            "capacity-key-lru" => Mutation::CapacityKeyLru,
+            _ => return None,
+        })
+    }
+
+    /// Every real mutation (excluding `None`).
+    pub fn all() -> [Mutation; 4] {
+        [
+            Mutation::SkipLastCopyGuard,
+            Mutation::HorizonOffByOne,
+            Mutation::InvertPrefetchGuard,
+            Mutation::CapacityKeyLru,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for m in Mutation::all() {
+            assert_eq!(Mutation::by_name(m.name()), Some(m));
+        }
+        assert_eq!(Mutation::by_name("none"), Some(Mutation::None));
+        assert_eq!(Mutation::by_name("bogus"), None);
+    }
+}

@@ -1,0 +1,93 @@
+//! Model-based cache checking driven by proptest (DESIGN.md §10): random
+//! access traces replayed through `NodeCache` and the naive [`RefCache`]
+//! reference in lockstep, with domain-level shrinking via [`shrink_trace`]
+//! when a disagreement is found (the vendored proptest shim does not
+//! shrink).
+
+use lobster_cache::EvictOrder;
+use lobster_conformance::{check_trace, shrink_trace, Op};
+use proptest::prelude::*;
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u32..48, 1u64..4_000, any::<u64>()).prop_map(|(id, bytes, key)| Op::Insert {
+            id,
+            bytes,
+            key
+        }),
+        (0u32..48, any::<u64>()).prop_map(|(id, key)| Op::SetKey { id, key }),
+        (0u32..48).prop_map(|id| Op::Evict { id }),
+        (0u32..48).prop_map(|id| Op::Pin { id }),
+        (0u32..48).prop_map(|id| Op::Unpin { id }),
+    ]
+}
+
+/// On disagreement, shrink to a locally minimal trace before failing so the
+/// counterexample that lands in the regression corpus report is readable.
+fn check_shrunk(capacity: u64, order: EvictOrder, ops: &[Op]) {
+    if let Err(first) = check_trace(capacity, order, ops) {
+        let minimal = shrink_trace(ops, |t| check_trace(capacity, order, t).is_err());
+        let err = check_trace(capacity, order, &minimal).unwrap_err();
+        panic!(
+            "cache model divergence (capacity {capacity}, {order:?})\n\
+             first failure: {first}\n\
+             minimal trace ({} of {} ops): {minimal:?}\n\
+             minimal failure: {err}",
+            minimal.len(),
+            ops.len()
+        );
+    }
+}
+
+proptest! {
+    /// `NodeCache` and the naive reference agree on every externally
+    /// visible behaviour under arbitrary traces and eviction pressure.
+    #[test]
+    fn node_cache_conforms_to_reference_model(
+        capacity in 1_000u64..20_000,
+        ops in proptest::collection::vec(op_strategy(), 1..200),
+    ) {
+        check_shrunk(capacity, EvictOrder::SmallestKeyFirst, &ops);
+    }
+
+    /// Same conformance under the never-evict order (rejection paths).
+    #[test]
+    fn never_evict_cache_conforms_to_reference_model(
+        capacity in 1_000u64..8_000,
+        ops in proptest::collection::vec(op_strategy(), 1..120),
+    ) {
+        check_shrunk(capacity, EvictOrder::NeverEvict, &ops);
+    }
+
+    /// The shrinker's contract: whatever it returns still fails, is no
+    /// longer than the input, and cannot drop any single op (local
+    /// minimality).
+    #[test]
+    fn shrink_trace_returns_minimal_failing_traces(
+        ops in proptest::collection::vec(op_strategy(), 1..60),
+        want in 0u32..48,
+    ) {
+        // A synthetic failure predicate: the trace still touches `want`.
+        let fails = |t: &[Op]| {
+            t.iter().any(|op| match *op {
+                Op::Insert { id, .. }
+                | Op::SetKey { id, .. }
+                | Op::Evict { id }
+                | Op::Pin { id }
+                | Op::Unpin { id } => id == want,
+            })
+        };
+        prop_assume!(fails(&ops));
+        let minimal = shrink_trace(&ops, fails);
+        prop_assert!(fails(&minimal));
+        prop_assert!(minimal.len() <= ops.len());
+        for i in 0..minimal.len() {
+            let mut without: Vec<Op> = minimal.clone();
+            without.remove(i);
+            prop_assert!(
+                without.is_empty() || !fails(&without),
+                "dropping op {i} still fails: not locally minimal"
+            );
+        }
+    }
+}

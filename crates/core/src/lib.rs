@@ -63,7 +63,7 @@ pub use policies::{
     NoPfsPolicy, PyTorchPolicy,
 };
 pub use policy::{
-    CachingStrategy, EvictReport, LoaderPolicy, NodePlan, PlanContext, PlanDecision,
+    CachingStrategy, EvictCause, EvictReport, LoaderPolicy, NodePlan, PlanContext, PlanDecision,
     ReuseAwareEvictor,
 };
 pub use preproc::{PreprocGovernor, PreprocModel};

@@ -230,6 +230,18 @@ pub struct EvictReport {
     pub kept_last_copy: u64,
 }
 
+/// Why a proactive-eviction sweep dropped a sample. Carried per victim by
+/// [`ReuseAwareEvictor::after_iteration_detailed`] so differential checkers
+/// can compare victim identity and cause across execution models, not just
+/// counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EvictCause {
+    /// No remaining uses on this node (and a replica exists elsewhere).
+    ReuseCount,
+    /// Next reuse farther than the `2I − h` horizon.
+    ReuseDistance,
+}
+
 /// Lobster's eviction policies (§4.4): reuse count, reuse distance, and the
 /// priority keys that coordinate capacity eviction with prefetching.
 #[derive(Debug, Clone, Copy, Default)]
@@ -268,6 +280,35 @@ impl ReuseAwareEvictor {
         iters_per_epoch: usize,
         current_iteration: u64,
     ) -> EvictReport {
+        let mut victims = Vec::new();
+        self.after_iteration_detailed(
+            cache,
+            directory,
+            oracle,
+            node,
+            batch,
+            h,
+            iters_per_epoch,
+            current_iteration,
+            &mut victims,
+        )
+    }
+
+    /// [`Self::after_iteration`], additionally appending every victim (in
+    /// sweep order, i.e. batch order) with its cause to `victims`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn after_iteration_detailed(
+        &self,
+        cache: &mut NodeCache,
+        directory: &mut Directory,
+        oracle: &NodeOracle,
+        node: usize,
+        batch: &[SampleId],
+        h: usize,
+        iters_per_epoch: usize,
+        current_iteration: u64,
+        victims: &mut Vec<(SampleId, EvictCause)>,
+    ) -> EvictReport {
         let mut report = EvictReport::default();
         let horizon = (2 * iters_per_epoch).saturating_sub(h) as u64;
         for &s in batch {
@@ -281,6 +322,7 @@ impl ReuseAwareEvictor {
                         cache.evict(s);
                         directory.remove(s, node);
                         report.by_reuse_count += 1;
+                        victims.push((s, EvictCause::ReuseCount));
                     } else {
                         report.kept_last_copy += 1;
                         // Last copy anywhere: make it the least-attractive
@@ -297,6 +339,7 @@ impl ReuseAwareEvictor {
                         cache.evict(s);
                         directory.remove(s, node);
                         report.by_reuse_distance += 1;
+                        victims.push((s, EvictCause::ReuseDistance));
                     } else {
                         cache.set_key(s, Self::priority_key(Some(fut.next_iteration)));
                     }

@@ -1,0 +1,49 @@
+//! Property tests for the metric primitives: registry counters/gauges are
+//! exact accumulators and `Summary` statistics stay within the recorded
+//! range.
+
+use lobster_metrics::{MetricRegistry, Summary};
+use proptest::prelude::*;
+
+proptest! {
+    /// A counter is an exact sum of its increments; a gauge an exact sum
+    /// of its deltas — both readable back through the snapshot.
+    #[test]
+    fn registry_accumulates_exactly(
+        adds in proptest::collection::vec(0u64..10_000, 1..64),
+        deltas in proptest::collection::vec(-5_000i64..5_000, 1..64),
+    ) {
+        let reg = MetricRegistry::new();
+        let counter = reg.counter("test.counter");
+        for &n in &adds {
+            counter.add(n);
+        }
+        let gauge = reg.gauge("test.gauge");
+        for &d in &deltas {
+            gauge.add(d);
+        }
+        let want_count: u64 = adds.iter().sum();
+        let want_gauge: i64 = deltas.iter().sum();
+        prop_assert_eq!(counter.value(), want_count);
+        prop_assert_eq!(gauge.value(), want_gauge);
+        let snap = reg.snapshot();
+        prop_assert_eq!(snap.get("test.counter"), Some(want_count as i64));
+        prop_assert_eq!(snap.get("test.gauge"), Some(want_gauge));
+    }
+
+    /// `Summary` invariants: count matches, and min ≤ mean ≤ max.
+    #[test]
+    fn summary_statistics_bound_each_other(
+        values in proptest::collection::vec(0.0f64..1.0e6, 1..256),
+    ) {
+        let mut s = Summary::new();
+        s.record_all(values.iter().copied());
+        prop_assert_eq!(s.count(), values.len());
+        prop_assert!(s.min() <= s.mean() + 1e-9);
+        prop_assert!(s.mean() <= s.max() + 1e-9);
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(s.min(), lo);
+        prop_assert_eq!(s.max(), hi);
+    }
+}

@@ -19,6 +19,9 @@
 //! deterministic.
 
 use crate::config::ExperimentConfig;
+use crate::observe::{
+    DecisionObservable, EvictReason, EvictionEvent, IterationObservables, RunObservables,
+};
 use crate::trace::{IterationRecord, TraceCollector};
 use lobster_cache::{Directory, EvictOrder, NodeCache};
 use lobster_core::model::load_time_parts;
@@ -144,6 +147,11 @@ pub struct ClusterSim {
     distributed: bool,
     trace: Option<TraceCollector>,
     instruments: Instruments,
+    /// When observing, capacity-eviction events accumulate here as inserts
+    /// displace residents; the run loop drains them into the iteration
+    /// record at well-defined points to preserve execution order.
+    observing: bool,
+    obs_events: Vec<EvictionEvent>,
 }
 
 /// Simulated seconds → trace microseconds.
@@ -178,6 +186,8 @@ impl ClusterSim {
             distributed,
             trace: None,
             instruments: Instruments::disabled(),
+            observing: false,
+            obs_events: Vec::new(),
             cfg,
         }
     }
@@ -252,6 +262,13 @@ impl ClusterSim {
         }
         for victim in outcome.evicted {
             self.directory.remove(victim, home);
+            if self.observing {
+                self.obs_events.push(EvictionEvent {
+                    node: home as u32,
+                    sample: victim.0 as u64,
+                    reason: EvictReason::Capacity,
+                });
+            }
         }
     }
 
@@ -372,11 +389,25 @@ impl ClusterSim {
     }
 
     /// Run the configured number of epochs.
+    pub fn run(self) -> (RunReport, Option<TraceCollector>) {
+        let (report, trace, _) = self.run_impl();
+        (report, trace)
+    }
+
+    /// Run while recording the full comparable-observable record
+    /// ([`RunObservables`]) for differential conformance checking against
+    /// the other execution models.
+    pub fn run_observed(mut self) -> (RunReport, RunObservables) {
+        self.observing = true;
+        let (report, _, obs) = self.run_impl();
+        (report, obs.expect("observing run collects observables"))
+    }
+
     // Index-based loops are kept deliberately: the body indexes several
     // parallel arrays by the same node/gpu coordinates (and their flattened
     // combination), which iterators would obscure.
     #[allow(clippy::needless_range_loop)]
-    pub fn run(mut self) -> (RunReport, Option<TraceCollector>) {
+    fn run_impl(mut self) -> (RunReport, Option<TraceCollector>, Option<RunObservables>) {
         let spec = self.cfg.schedule_spec();
         let iters = self.cfg.iterations_per_epoch();
         let world = self.cfg.cluster.world_size();
@@ -406,6 +437,7 @@ impl ClusterSim {
 
         let mut epochs = Vec::with_capacity(self.cfg.epochs as usize);
         let mut next_schedule: Option<EpochSchedule> = None;
+        let mut obs = self.observing.then(RunObservables::default);
 
         for epoch in 0..self.cfg.epochs {
             let sched = next_schedule.take().unwrap_or_else(|| {
@@ -452,6 +484,20 @@ impl ClusterSim {
                     .count()
                     .max(1);
 
+                let mut iter_decisions: Vec<DecisionObservable> = Vec::new();
+                let mut iter_prefetched = vec![0u64; nodes];
+                let tier_counts: Vec<[u64; 3]> = if self.observing {
+                    splits
+                        .iter()
+                        .flat_map(|per| {
+                            per.iter()
+                                .map(|s| [s.local_count, s.remote_count, s.pfs_count])
+                        })
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+
                 // Pass 2: plan, fetch, account — per node.
                 let mut pipe_s = vec![0.0f64; world]; // T_L + T_P per GPU
                 let mut load_s = vec![0.0f64; world];
@@ -475,8 +521,14 @@ impl ClusterSim {
                     };
                     let plan = self.policy.plan(&ctx);
                     debug_assert_eq!(plan.load_threads.len(), gpus);
-                    if ins.is_enabled() {
+                    if ins.is_enabled() || self.observing {
                         for d in self.policy.drain_decisions() {
+                            if self.observing {
+                                iter_decisions.push(DecisionObservable::from_plan(node, &d));
+                            }
+                            if !ins.is_enabled() {
+                                continue;
+                            }
                             decisions_m.inc();
                             ins.record_decision(DecisionRecord {
                                 ts_us: sim_us(self.barrier_s),
@@ -615,7 +667,8 @@ impl ClusterSim {
                     if strategy == CachingStrategy::ReuseAware {
                         // Split borrows: take the oracle out during the sweep.
                         if let Some(oracle) = self.oracles[node].take() {
-                            let rep = self.evictor.after_iteration(
+                            let mut victims = Vec::new();
+                            let rep = self.evictor.after_iteration_detailed(
                                 &mut self.caches[node],
                                 &mut self.directory,
                                 &oracle,
@@ -624,7 +677,16 @@ impl ClusterSim {
                                 h,
                                 iters,
                                 global_iter,
+                                &mut victims,
                             );
+                            if self.observing {
+                                self.obs_events
+                                    .extend(victims.into_iter().map(|(s, cause)| EvictionEvent {
+                                        node: node as u32,
+                                        sample: s.0 as u64,
+                                        reason: cause.into(),
+                                    }));
+                            }
                             evict_total.by_reuse_count += rep.by_reuse_count;
                             evict_total.by_reuse_distance += rep.by_reuse_distance;
                             evict_total.kept_last_copy += rep.kept_last_copy;
@@ -658,7 +720,9 @@ impl ClusterSim {
                             // other pool).
                             spare += (window - load_s[g]).max(0.0) * share;
                         }
-                        prefetched += self.prefetch(node, &plan, spare, strategy, reading_nodes);
+                        let got = self.prefetch(node, &plan, spare, strategy, reading_nodes);
+                        iter_prefetched[node] = got;
+                        prefetched += got;
                     }
                 }
 
@@ -745,8 +809,31 @@ impl ClusterSim {
                     }
                 }
 
+                if let Some(o) = obs.as_mut() {
+                    o.iterations.push(IterationObservables {
+                        iteration: global_iter,
+                        tier_counts,
+                        evictions: std::mem::take(&mut self.obs_events),
+                        decisions: iter_decisions,
+                        prefetched: iter_prefetched,
+                        pipe_s: pipe_s.clone(),
+                        starts_s: starts.clone(),
+                        barrier_s: new_barrier,
+                    });
+                }
+
                 self.start_prev_s.copy_from_slice(&starts);
                 self.barrier_s = new_barrier;
+            }
+
+            if let Some(o) = obs.as_mut() {
+                let mut d: Vec<u64> = sched.all_accesses().iter().map(|s| s.0 as u64).collect();
+                d.sort_unstable();
+                o.delivered.push(d);
+                o.local_hits += hits.0;
+                o.remote_hits += hits.1;
+                o.misses += hits.2;
+                o.prefetched += prefetched;
             }
 
             let wall = self.barrier_s - epoch_start_s;
@@ -779,6 +866,6 @@ impl ClusterSim {
             total_wall_s: self.barrier_s,
             epochs,
         };
-        (report, self.trace)
+        (report, self.trace, obs)
     }
 }

@@ -15,6 +15,7 @@ pub mod accuracy;
 pub mod config;
 pub mod des;
 pub mod executor;
+pub mod observe;
 pub mod planner;
 pub mod trace;
 
@@ -22,6 +23,9 @@ pub use accuracy::{max_gap, simulate_accuracy, AccuracyCurve};
 pub use config::{ConfigBuilder, ExperimentConfig};
 pub use des::{analytic_barriers, des_barriers, des_barriers_with};
 pub use executor::{ClusterSim, EpochReport, RunReport};
+pub use observe::{
+    DecisionObservable, EvictReason, EvictionEvent, IterationObservables, RunObservables,
+};
 pub use planner::{precompute_plan, PlannedPolicy, TrainingPlan};
 pub use trace::{IterationRecord, TraceCollector};
 

@@ -1,0 +1,168 @@
+//! Comparable observables of a pipeline execution.
+//!
+//! Three independent executions of the same Lobster semantics coexist in
+//! this repo — the analytical [`crate::ClusterSim`], the event-driven
+//! conformance DES, and the live threaded engine. This module defines the
+//! *invariant observables* they are all required to agree on: per-GPU tier
+//! splits, the eviction-victim sequence (with causes), Algorithm-1 decision
+//! records, prefetch volumes, the delivered-sample multiset per epoch, and
+//! the barrier timeline. The types are plain data so any executor can fill
+//! them and any checker can diff them; the comparison itself lives in
+//! `lobster-conformance`.
+
+use lobster_core::{EvictCause, PlanDecision};
+use serde::{Deserialize, Serialize};
+
+/// Why a sample left a cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EvictReason {
+    /// §4.4 reuse-count sweep: zero remaining uses on the node.
+    ReuseCount,
+    /// §4.4 reuse-distance sweep: next reuse beyond the `2I − h` horizon.
+    ReuseDistance,
+    /// Displaced by an insert into a full cache (demand or prefetch).
+    Capacity,
+}
+
+impl From<EvictCause> for EvictReason {
+    fn from(c: EvictCause) -> EvictReason {
+        match c {
+            EvictCause::ReuseCount => EvictReason::ReuseCount,
+            EvictCause::ReuseDistance => EvictReason::ReuseDistance,
+        }
+    }
+}
+
+/// One eviction, in execution order within its iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EvictionEvent {
+    /// Node whose cache dropped the sample.
+    pub node: u32,
+    /// The evicted sample id.
+    pub sample: u64,
+    pub reason: EvictReason,
+}
+
+/// One Algorithm-1 (or controller) solve, as an executor-neutral record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionObservable {
+    pub node: u32,
+    pub queue_loads: Vec<f64>,
+    pub predicted_cost: Vec<f64>,
+    pub threads_before: Vec<u32>,
+    pub threads_after: Vec<u32>,
+    pub gap_s: f64,
+    pub evals: u32,
+    pub converged: bool,
+}
+
+impl DecisionObservable {
+    pub fn from_plan(node: usize, d: &PlanDecision) -> DecisionObservable {
+        DecisionObservable {
+            node: node as u32,
+            queue_loads: d.queue_loads.clone(),
+            predicted_cost: d.predicted_cost.clone(),
+            threads_before: d.threads_before.clone(),
+            threads_after: d.threads_after.clone(),
+            gap_s: d.gap_s,
+            evals: d.evals,
+            converged: d.converged,
+        }
+    }
+}
+
+/// Everything observable about one cluster iteration.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct IterationObservables {
+    /// Global iteration index (across epochs).
+    pub iteration: u64,
+    /// Per global GPU: demand accesses by tier `[local, remote, pfs]`,
+    /// classified against the cache/directory state at iteration start.
+    pub tier_counts: Vec<[u64; 3]>,
+    /// Evictions in execution order: per node, demand-capacity victims,
+    /// then the §4.4 sweep victims, then prefetch-capacity victims.
+    pub evictions: Vec<EvictionEvent>,
+    /// Algorithm-1 decisions drained from the policy, in node order.
+    pub decisions: Vec<DecisionObservable>,
+    /// Samples prefetched this iteration, per node.
+    pub prefetched: Vec<u64>,
+    /// Per global GPU `T_L + T_P`, seconds.
+    pub pipe_s: Vec<f64>,
+    /// Per global GPU training-start time, absolute seconds.
+    pub starts_s: Vec<f64>,
+    /// Barrier-completion time of this iteration, absolute seconds.
+    pub barrier_s: f64,
+}
+
+/// Observables of a whole run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunObservables {
+    pub iterations: Vec<IterationObservables>,
+    /// Per epoch: the sorted multiset of delivered sample ids.
+    pub delivered: Vec<Vec<u64>>,
+    /// Demand accesses served by the local cache, whole run.
+    pub local_hits: u64,
+    /// Demand accesses served by a remote node's cache, whole run.
+    pub remote_hits: u64,
+    /// Demand accesses that reached the PFS, whole run.
+    pub misses: u64,
+    /// Samples prefetched ahead of use, whole run.
+    pub prefetched: u64,
+}
+
+impl RunObservables {
+    /// Total demand accesses (== fetches; hits + misses must account for
+    /// every one).
+    pub fn demand_accesses(&self) -> u64 {
+        self.local_hits + self.remote_hits + self.misses
+    }
+
+    /// Sum of per-GPU tier counts across all iterations, `[local, remote,
+    /// pfs]` — must equal the hit counters exactly.
+    pub fn tier_totals(&self) -> [u64; 3] {
+        let mut t = [0u64; 3];
+        for it in &self.iterations {
+            for gpu in &it.tier_counts {
+                for k in 0..3 {
+                    t[k] += gpu[k];
+                }
+            }
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tier_totals_sum_over_gpus_and_iterations() {
+        let obs = RunObservables {
+            iterations: vec![
+                IterationObservables {
+                    tier_counts: vec![[1, 2, 3], [4, 5, 6]],
+                    ..Default::default()
+                },
+                IterationObservables {
+                    tier_counts: vec![[10, 0, 0], [0, 10, 0]],
+                    ..Default::default()
+                },
+            ],
+            ..Default::default()
+        };
+        assert_eq!(obs.tier_totals(), [15, 17, 9]);
+    }
+
+    #[test]
+    fn evict_reason_maps_from_cause() {
+        assert_eq!(
+            EvictReason::from(EvictCause::ReuseCount),
+            EvictReason::ReuseCount
+        );
+        assert_eq!(
+            EvictReason::from(EvictCause::ReuseDistance),
+            EvictReason::ReuseDistance
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! Property tests for the cluster executor's observable invariants: for
+//! arbitrary seeds and small topologies, one `run_observed` must satisfy
+//! the accounting identities the conformance harness relies on.
+
+use lobster_core::policy_by_name;
+use lobster_data::{Dataset, SizeDistribution};
+use lobster_pipeline::{ClusterSim, ConfigBuilder};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every demand access is accounted exactly once — in the pass-1 tier
+    /// classification, in the fetch-time hit/miss counters, and in the
+    /// per-epoch reports — every epoch delivers a permutation-sized
+    /// multiset of distinct samples, and per-iteration records are
+    /// complete. (Pass-1 tier counts and fetch-time counters may *split*
+    /// differently: an insert during the node's fetch loop can evict a
+    /// later GPU's still-pending sample; only the totals are invariant.)
+    #[test]
+    fn observables_satisfy_accounting_identities(
+        seed in 0u64..1_000,
+        policy_idx in 0usize..3,
+    ) {
+        let policy_name = ["pytorch", "nopfs", "lobster"][policy_idx];
+        let dataset = Dataset::generate(
+            "pipeline-prop",
+            64,
+            SizeDistribution::Uniform { lo: 2_000, hi: 16_000 },
+            seed,
+        );
+        let cache_bytes = dataset.total_bytes() / 3;
+        let len = dataset.len();
+        let cfg = ConfigBuilder::new()
+            .nodes(2)
+            .gpus_per_node(2)
+            .batch_size(2)
+            .cache_bytes(cache_bytes)
+            .dataset(dataset)
+            .epochs(2)
+            .seed(seed)
+            .build();
+        let (report, obs) = ClusterSim::new(cfg, policy_by_name(policy_name).unwrap())
+            .run_observed();
+        prop_assert!(report.mean_epoch_s() > 0.0);
+
+        // Both accountings cover every demand access exactly once.
+        let accesses = (obs.iterations.len() as u64) * 4 * 2; // iters × W × |B|
+        let [local, remote, pfs] = obs.tier_totals();
+        prop_assert_eq!(local + remote + pfs, accesses);
+        prop_assert_eq!(obs.demand_accesses(), accesses);
+
+        // The per-epoch reports sum to the run totals.
+        let by_epoch = |f: fn(&lobster_pipeline::EpochReport) -> u64| -> u64 {
+            report.epochs.iter().map(f).sum()
+        };
+        prop_assert_eq!(by_epoch(|e| e.local_hits), obs.local_hits);
+        prop_assert_eq!(by_epoch(|e| e.remote_hits), obs.remote_hits);
+        prop_assert_eq!(by_epoch(|e| e.misses), obs.misses);
+        prop_assert_eq!(by_epoch(|e| e.prefetched), obs.prefetched);
+
+        // Every epoch delivers I × W × |B| distinct samples within range.
+        for (epoch, delivered) in obs.delivered.iter().enumerate() {
+            let iters = obs.iterations.len() / obs.delivered.len();
+            prop_assert_eq!(delivered.len(), iters * 4 * 2, "epoch {}", epoch);
+            let mut sorted = delivered.clone();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), delivered.len(), "duplicates in epoch {}", epoch);
+            prop_assert!(delivered.iter().all(|&id| (id as usize) < len));
+        }
+
+        // Iteration records are complete and in order.
+        for (i, rec) in obs.iterations.iter().enumerate() {
+            prop_assert_eq!(rec.iteration, i as u64);
+            prop_assert_eq!(rec.tier_counts.len(), 4);
+            prop_assert_eq!(rec.starts_s.len(), 4);
+            prop_assert!(rec.barrier_s.is_finite());
+        }
+    }
+}

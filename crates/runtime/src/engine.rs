@@ -106,6 +106,13 @@ pub struct EngineReport {
     /// True if the run was aborted (a consumer died) rather than draining
     /// the full schedule. All counts above still reflect work done.
     pub aborted: bool,
+    /// Exactly which samples each consumer received, per iteration:
+    /// `delivered_samples[consumer][iter]` is the sorted multiset of sample
+    /// ids delivered to that consumer in that iteration. Deterministic — a
+    /// pure function of the schedule — even though arrival *order* within
+    /// an iteration races. Conformance checking diffs this against the
+    /// scheduled batches and the simulators' delivery record.
+    pub delivered_samples: Vec<Vec<Vec<u64>>>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -154,6 +161,7 @@ struct Raw {
 
 struct Cooked {
     iter: u64,
+    sample: SampleId,
     bytes: Vec<u8>,
 }
 
@@ -224,7 +232,9 @@ pub fn expected_integrity(dataset: &Dataset, cfg: &EngineConfig) -> u64 {
     acc
 }
 
-fn schedule_spec(dataset: &Dataset, cfg: &EngineConfig) -> ScheduleSpec {
+/// The schedule the engine executes: one "node", one queue per consumer.
+/// Public so external checkers can regenerate the exact expected batches.
+pub fn schedule_spec(dataset: &Dataset, cfg: &EngineConfig) -> ScheduleSpec {
     ScheduleSpec {
         nodes: 1,
         gpus_per_node: cfg.consumers,
@@ -324,6 +334,9 @@ pub fn run_with(store: Arc<SyntheticStore>, cfg: EngineConfig, ins: Instruments)
         Vec::with_capacity(total_iters as usize),
     ));
     let stage_accum = Arc::new(StageAccum::new(cfg.consumers));
+    // Per-consumer delivery log, written once per consumer at thread exit.
+    let delivered_log: Arc<parking_lot::Mutex<Vec<Vec<Vec<u64>>>>> =
+        Arc::new(parking_lot::Mutex::new(vec![Vec::new(); cfg.consumers]));
 
     crossbeam::scope(|scope| {
         // ---- Feeder: streams every request in schedule order. ----
@@ -529,6 +542,7 @@ pub fn run_with(store: Arc<SyntheticStore>, cfg: EngineConfig, ins: Instruments)
                     if cooked_tx[raw.req.consumer]
                         .send(Cooked {
                             iter: raw.req.iter,
+                            sample: raw.req.sample,
                             bytes: cooked,
                         })
                         .is_err()
@@ -607,6 +621,7 @@ pub fn run_with(store: Arc<SyntheticStore>, cfg: EngineConfig, ins: Instruments)
             let remaining = Arc::clone(&remaining);
             let consumed = Arc::clone(&consumed);
             let stage_accum = Arc::clone(&stage_accum);
+            let delivered_log = Arc::clone(&delivered_log);
             let ins = ins.clone();
             let delivered_m = delivered_m.clone();
             let barrier_m = barrier_m.clone();
@@ -620,6 +635,7 @@ pub fn run_with(store: Arc<SyntheticStore>, cfg: EngineConfig, ins: Instruments)
                 // per consumer and the previous iteration boundary.
                 let mut prev_stage = vec![[0u64; 4]; cfg2.consumers];
                 let mut iter_start_us = 0u64;
+                let mut my_deliveries: Vec<Vec<u64>> = Vec::with_capacity(total_iters as usize);
                 'iters: for iter in 0..total_iters {
                     let mut have = stash.remove(&iter).unwrap_or_default();
                     while have.len() < cfg2.batch_size {
@@ -647,6 +663,9 @@ pub fn run_with(store: Arc<SyntheticStore>, cfg: EngineConfig, ins: Instruments)
                         let original = invert(&c.bytes, cfg2.work_factor);
                         acc ^= sample_checksum(&original);
                     }
+                    let mut ids: Vec<u64> = have.iter().map(|c| c.sample.0 as u64).collect();
+                    ids.sort_unstable();
+                    my_deliveries.push(ids);
                     integrity.fetch_xor(acc, Ordering::Relaxed);
                     delivered.fetch_add(have.len() as u64, Ordering::Relaxed);
                     delivered_m.add(have.len() as u64);
@@ -713,6 +732,7 @@ pub fn run_with(store: Arc<SyntheticStore>, cfg: EngineConfig, ins: Instruments)
                         }
                     }
                 }
+                delivered_log.lock()[consumer] = my_deliveries;
                 if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
                     done.store(true, Ordering::Relaxed);
                 }
@@ -725,6 +745,7 @@ pub fn run_with(store: Arc<SyntheticStore>, cfg: EngineConfig, ins: Instruments)
 
     let stats = rstore.stats();
     let iteration_secs = iter_times.lock().clone();
+    let delivered_samples = delivered_log.lock().clone();
     EngineReport {
         iterations: total_iters,
         iteration_secs,
@@ -737,6 +758,7 @@ pub fn run_with(store: Arc<SyntheticStore>, cfg: EngineConfig, ins: Instruments)
         deadline_exceeded: stats.deadline_exceeded,
         worker_panics: worker_panics.load(Ordering::Relaxed),
         aborted: aborted.load(Ordering::Relaxed),
+        delivered_samples,
     }
 }
 

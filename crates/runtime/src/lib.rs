@@ -29,7 +29,7 @@ pub mod transform;
 pub use cache::ShardCache;
 pub use engine::{
     compute_assignment, compute_weighted_assignment, expected_integrity, run, run_with,
-    EngineConfig, EngineReport,
+    schedule_spec, EngineConfig, EngineReport,
 };
 pub use resilient::{RecoveryStats, ResilientStore};
 pub use store::{sample_bytes, sample_checksum, FetchError, InjectedFaults, SyntheticStore};

@@ -1,0 +1,48 @@
+//! Property tests for the live engine: for arbitrary small topologies and
+//! seeds, a run must drain the full schedule with the exact
+//! schedule-determined integrity fingerprint.
+
+use lobster_data::{Dataset, SizeDistribution};
+use lobster_runtime::{expected_integrity, run, schedule_spec, EngineConfig, SyntheticStore};
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+proptest! {
+    // Each case spins up a real threaded engine; keep the sweep small.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn engine_drains_exactly_what_the_schedule_determines(
+        seed in 0u64..1_000,
+        consumers in 1usize..3,
+        batch_size in 1usize..4,
+        len in 16usize..48,
+    ) {
+        let dataset = Dataset::generate(
+            "runtime-prop",
+            len,
+            SizeDistribution::Uniform { lo: 500, hi: 4_000 },
+            seed,
+        );
+        let cfg = EngineConfig {
+            consumers,
+            batch_size,
+            loader_threads: 2,
+            preproc_threads: 1,
+            epochs: 2,
+            seed,
+            train: Duration::ZERO,
+            ..EngineConfig::default()
+        };
+        let spec = schedule_spec(&dataset, &cfg);
+        prop_assume!(spec.iterations_per_epoch() > 0);
+
+        let store = Arc::new(SyntheticStore::new(dataset.clone(), Duration::ZERO, 0.0));
+        let report = run(store, cfg.clone());
+        prop_assert!(!report.aborted);
+        let per_epoch = spec.iterations_per_epoch() * consumers * batch_size;
+        prop_assert_eq!(report.delivered, (per_epoch as u64) * cfg.epochs);
+        prop_assert_eq!(report.integrity, expected_integrity(&dataset, &cfg));
+    }
+}

@@ -22,6 +22,8 @@
 //! * [`runtime`] — a real multi-threaded loading engine applying the
 //!   policies live.
 //! * [`metrics`] — histograms, summaries, tables, result sinks.
+//! * [`conformance`] — differential conformance harness proving the
+//!   executors implement the same semantics (DESIGN.md §10).
 //!
 //! ```
 //! use lobster_repro::pipeline::{ClusterSim, ConfigBuilder};
@@ -41,6 +43,7 @@
 
 pub use lobster_bench as bench;
 pub use lobster_cache as cache;
+pub use lobster_conformance as conformance;
 pub use lobster_core as core;
 pub use lobster_data as data;
 pub use lobster_metrics as metrics;

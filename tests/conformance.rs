@@ -1,0 +1,426 @@
+//! Differential conformance suite (DESIGN.md §10): the analytical
+//! executor, the event-driven conformance DES, and the live engine must
+//! implement the same paper semantics.
+//!
+//! Three layers of evidence:
+//!
+//! 1. **Differential runs** — the same seeded `ExperimentConfig` through
+//!    `ClusterSim` and `DesCluster`, agreement demanded on every invariant
+//!    observable (tier splits, eviction order, Algorithm-1 decisions,
+//!    prefetch counts, delivered multisets, barrier timeline).
+//! 2. **Fault × conformance matrix** — the live engine under seeded
+//!    transient faults must still deliver exactly the schedule-determined
+//!    per-epoch sample multisets the simulators agree on.
+//! 3. **Mutation canaries** — every deliberate single-rule flip must be
+//!    detected, otherwise the harness itself is broken.
+
+use lobster_repro::cache::{Directory, EvictOrder, NodeCache};
+use lobster_repro::conformance::{
+    check_engine_delivery, check_sweep, conformance_config, engine_epoch_multisets,
+    horizon_boundary_fixture, naive_next_use, run_boundary_canary, run_canary, run_differential,
+    CanaryOutcome, Mutation,
+};
+use lobster_repro::core::{policy_by_name, EvictCause, ReuseAwareEvictor};
+use lobster_repro::data::{
+    Dataset, EpochSchedule, NodeOracle, SampleId, ScheduleSpec, SizeDistribution,
+};
+use lobster_repro::metrics::Instruments;
+use lobster_repro::pipeline::{ClusterSim, ConfigBuilder};
+use lobster_repro::runtime::{run_with, schedule_spec, EngineConfig, SyntheticStore};
+use lobster_repro::storage::FaultSpec;
+use std::sync::Arc;
+use std::time::Duration;
+
+// ---------------------------------------------------------------------
+// 1. Differential runs: ClusterSim vs the conformance DES.
+// ---------------------------------------------------------------------
+
+/// The ISSUE's acceptance matrix: ≥5 seeds × the four paper policies, all
+/// observables equal between the analytical executor and the DES.
+#[test]
+fn differential_agreement_across_seeds_and_policies() {
+    for seed in [3, 5, 7, 11, 13] {
+        let cfg = conformance_config(seed);
+        for policy in ["pytorch", "dali", "nopfs", "lobster"] {
+            let summary = run_differential(&cfg, policy)
+                .unwrap_or_else(|d| panic!("seed {seed} policy {policy} diverged:\n{d}"));
+            assert!(summary.iterations > 0);
+            assert!(
+                summary.demand_accesses > 0,
+                "seed {seed} {policy}: no demand traffic recorded"
+            );
+        }
+    }
+}
+
+/// The eviction-heavy ablation policies ride the same harness.
+#[test]
+fn differential_agreement_for_ablation_policies() {
+    let cfg = conformance_config(29);
+    for policy in ["lobster_th", "lobster_evict", "minio"] {
+        run_differential(&cfg, policy).unwrap_or_else(|d| panic!("policy {policy} diverged:\n{d}"));
+    }
+}
+
+/// Degenerate shuffle: a single-sample dataset still round-trips through
+/// both executors (every epoch is the identity permutation `[0]`).
+#[test]
+fn differential_agreement_on_single_sample_dataset() {
+    let dataset = Dataset::generate(
+        "conformance-degenerate",
+        1,
+        SizeDistribution::Constant { bytes: 10_000 },
+        5,
+    );
+    let cfg = ConfigBuilder::new()
+        .nodes(1)
+        .gpus_per_node(1)
+        .batch_size(1)
+        .cache_bytes(1 << 20)
+        .dataset(dataset)
+        .epochs(3)
+        .seed(5)
+        .build();
+    for policy in ["pytorch", "lobster"] {
+        let summary = run_differential(&cfg, policy)
+            .unwrap_or_else(|d| panic!("degenerate config diverged for {policy}:\n{d}"));
+        assert_eq!(summary.iterations, 3, "1 iteration per epoch × 3 epochs");
+    }
+}
+
+// ---------------------------------------------------------------------
+// 2. Fault × conformance matrix: live engine vs the simulators.
+// ---------------------------------------------------------------------
+
+fn matrix_dataset(seed: u64) -> Dataset {
+    Dataset::generate(
+        "conformance-matrix",
+        96,
+        SizeDistribution::Uniform {
+            lo: 1_000,
+            hi: 8_000,
+        },
+        seed,
+    )
+}
+
+fn matrix_engine_cfg(seed: u64) -> EngineConfig {
+    EngineConfig {
+        consumers: 4,
+        batch_size: 4,
+        loader_threads: 3,
+        preproc_threads: 2,
+        epochs: 2,
+        seed,
+        train: Duration::from_micros(100),
+        ..EngineConfig::default()
+    }
+}
+
+/// Delivered-sample multisets per epoch depend only on `(W, |B|, |D|,
+/// seed)`, not on node topology or timing — so a live 1×4 engine run is
+/// directly comparable to a simulated 2×2 cluster, fault injection and
+/// all. The engine must heal transients and stalls without changing *what*
+/// it delivers.
+#[test]
+fn faulty_engine_matches_simulator_delivered_multisets() {
+    let seed = 41;
+    let dataset = matrix_dataset(seed);
+    let ecfg = matrix_engine_cfg(seed);
+
+    // Simulator side: same W=4, |B|=4, dataset, and seed on a 2×2 cluster.
+    let sim_cfg = ConfigBuilder::new()
+        .nodes(2)
+        .gpus_per_node(2)
+        .batch_size(4)
+        .cache_bytes(dataset.total_bytes() / 3)
+        .dataset(dataset.clone())
+        .epochs(2)
+        .seed(seed)
+        .build();
+    let (_, sim_obs) = ClusterSim::new(sim_cfg, policy_by_name("lobster").unwrap()).run_observed();
+
+    let fault_specs = [
+        FaultSpec::default(), // clean row of the matrix
+        FaultSpec {
+            transient_rate: 0.10,
+            seed: 7,
+            ..FaultSpec::default()
+        },
+        FaultSpec {
+            transient_rate: 0.06,
+            stall_rate: 0.03,
+            stall: Duration::from_millis(1),
+            seed: 8,
+            ..FaultSpec::default()
+        },
+    ];
+    for (row, spec) in fault_specs.into_iter().enumerate() {
+        let plan = spec.compile().unwrap();
+        let store = Arc::new(SyntheticStore::with_faults(
+            dataset.clone(),
+            Duration::from_micros(10),
+            0.0,
+            plan,
+        ));
+        let ins = Instruments::enabled();
+        let report = run_with(store, ecfg.clone(), ins.clone());
+        assert!(!report.aborted, "matrix row {row}: faults must be healed");
+
+        // Exact delivery vs the seeded schedule (per consumer, per
+        // iteration) plus the cache-accounting invariant.
+        check_engine_delivery(&dataset, &ecfg, &report, &ins)
+            .unwrap_or_else(|d| panic!("matrix row {row}: engine vs schedule:\n{d}"));
+
+        // And the cross-executor comparison: per-epoch multisets equal to
+        // what the analytical executor delivered.
+        let iters = schedule_spec(&dataset, &ecfg).iterations_per_epoch();
+        let engine_epochs = engine_epoch_multisets(&report, &ecfg, iters);
+        assert_eq!(
+            engine_epochs, sim_obs.delivered,
+            "matrix row {row}: engine delivered different epoch multisets than the simulator"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// 3. Mutation canaries: the harness must detect every armed flip.
+// ---------------------------------------------------------------------
+
+/// Every mutation in the registry is detected — three by the differential
+/// runner, `horizon-off-by-one` by the model-based sweep checker (it is an
+/// equivalent mutant under the production 2-epoch oracle window).
+#[test]
+fn every_mutation_canary_is_detected() {
+    for m in Mutation::all() {
+        let outcome = if m == Mutation::HorizonOffByOne {
+            run_boundary_canary()
+        } else {
+            let cfg = conformance_config(11);
+            run_canary(&cfg, "lobster", m)
+        };
+        match outcome {
+            CanaryOutcome::Detected(d) => {
+                assert!(!d.observable.is_empty(), "{}: empty report", m.name());
+            }
+            CanaryOutcome::Undetected => {
+                panic!(
+                    "canary {} undetected: the harness has a blind spot",
+                    m.name()
+                )
+            }
+        }
+    }
+}
+
+/// The unmutated DES must, of course, not trip the canary machinery.
+#[test]
+fn unmutated_des_reports_no_divergence() {
+    let cfg = conformance_config(11);
+    match run_canary(&cfg, "lobster", Mutation::None) {
+        CanaryOutcome::Undetected => {}
+        CanaryOutcome::Detected(d) => panic!("false positive without any mutation:\n{d}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// 4. Oracle edge cases (§4.4 boundary semantics).
+// ---------------------------------------------------------------------
+
+/// Reuse that crosses an epoch boundary: a sample consumed in the last
+/// iteration of epoch 0 and reused in the first iteration of epoch 1 has
+/// distance 1 and must be kept with the nearest-reuse priority key.
+#[test]
+fn epoch_boundary_reuse_distance_is_kept() {
+    let spec = ScheduleSpec {
+        nodes: 2,
+        gpus_per_node: 1,
+        batch_size: 1,
+        dataset_len: 8,
+        seed: 0,
+    };
+    let ids = |v: [u32; 8]| v.into_iter().map(SampleId).collect::<Vec<_>>();
+    // Node 0 streams: epoch 0 [0, 1, 2, 3], epoch 1 [3, 0, 1, 2]: sample 3
+    // is consumed at global iteration 3 and reused at global 4.
+    let e0 = EpochSchedule::from_order(spec, 0, ids([0, 4, 1, 5, 2, 6, 3, 7]));
+    let e1 = EpochSchedule::from_order(spec, 1, ids([3, 4, 0, 5, 1, 6, 2, 7]));
+    let epochs = [&e0, &e1];
+    let iters = e0.iterations();
+    let node = 0;
+
+    let mut oracle = NodeOracle::build(node, &epochs, 0);
+    let mut cache = NodeCache::new(u64::MAX, EvictOrder::SmallestKeyFirst);
+    let mut directory = Directory::new(spec.nodes);
+    for h in 0..iters {
+        let batch: Vec<SampleId> = e0.node_iteration(h, node).to_vec();
+        for &s in &batch {
+            let key =
+                ReuseAwareEvictor::priority_key(oracle.future_of(s).map(|f| f.next_iteration));
+            if cache.insert(s, 1, key).inserted {
+                directory.add(s, node);
+            }
+        }
+        oracle.advance();
+        check_sweep(
+            &epochs, node, 0, &oracle, &cache, &directory, &batch, h, iters, h as u64,
+        )
+        .unwrap_or_else(|e| panic!("sweep disagreed at h={h}: {e}"));
+        let mut victims = Vec::new();
+        ReuseAwareEvictor.after_iteration_detailed(
+            &mut cache,
+            &mut directory,
+            &oracle,
+            node,
+            &batch,
+            h,
+            iters,
+            h as u64,
+            &mut victims,
+        );
+        if h == iters - 1 {
+            assert!(
+                victims.is_empty(),
+                "boundary reuse must not evict: {victims:?}"
+            );
+        }
+    }
+    // After the last epoch-0 sweep: sample 3's next use is global 4,
+    // distance 1, key = MAX − 4.
+    assert_eq!(
+        cache.key_of(SampleId(3)),
+        Some(u64::MAX - 4),
+        "epoch-boundary reuse must carry the nearest-reuse priority key"
+    );
+    assert_eq!(naive_next_use(&epochs, node, SampleId(3), 4), Some(4));
+}
+
+/// The `2I − h` threshold *exactly at equality*: the strict `>` of §4.4
+/// keeps a sample whose reuse distance equals the horizon. Unreachable
+/// under the production 2-epoch oracle window (max distance is
+/// `2I − h − 1`), hence the crafted 3-epoch fixture.
+#[test]
+fn horizon_threshold_equality_is_kept_and_beyond_is_evicted() {
+    let fx = horizon_boundary_fixture();
+    let iters = fx.epochs[0].iterations();
+
+    // Variant of epoch 2 with sample 0 one iteration later (global 9):
+    // distance 7 > horizon 6 ⇒ evicted by the reuse-distance rule.
+    let ids = |v: [u32; 8]| v.into_iter().map(SampleId).collect::<Vec<_>>();
+    let e2_late = EpochSchedule::from_order(fx.spec, 2, ids([1, 4, 0, 5, 2, 6, 3, 7]));
+
+    for (next_global, expect_evicted) in [(8u64, false), (9u64, true)] {
+        let epochs: Vec<&EpochSchedule> = if expect_evicted {
+            vec![&fx.epochs[0], &fx.epochs[1], &e2_late]
+        } else {
+            fx.epochs.iter().collect()
+        };
+        let mut oracle = NodeOracle::build(fx.node, &epochs, 0);
+        let mut cache = NodeCache::new(u64::MAX, EvictOrder::SmallestKeyFirst);
+        let mut directory = Directory::new(fx.spec.nodes);
+        for h in 0..=fx.h {
+            let batch: Vec<SampleId> = epochs[0].node_iteration(h, fx.node).to_vec();
+            for &s in &batch {
+                let key =
+                    ReuseAwareEvictor::priority_key(oracle.future_of(s).map(|f| f.next_iteration));
+                if cache.insert(s, 1, key).inserted {
+                    directory.add(s, fx.node);
+                }
+            }
+            oracle.advance();
+            check_sweep(
+                &epochs, fx.node, 0, &oracle, &cache, &directory, &batch, h, iters, h as u64,
+            )
+            .unwrap_or_else(|e| panic!("sweep disagreed at h={h}: {e}"));
+            let mut victims = Vec::new();
+            ReuseAwareEvictor.after_iteration_detailed(
+                &mut cache,
+                &mut directory,
+                &oracle,
+                fx.node,
+                &batch,
+                h,
+                iters,
+                h as u64,
+                &mut victims,
+            );
+            if h == fx.h {
+                if expect_evicted {
+                    assert_eq!(
+                        victims,
+                        vec![(fx.sample, EvictCause::ReuseDistance)],
+                        "distance {} > horizon must evict",
+                        next_global - fx.h as u64
+                    );
+                    assert!(!cache.contains(fx.sample));
+                } else {
+                    assert!(victims.is_empty(), "equality must keep: {victims:?}");
+                    assert_eq!(
+                        cache.key_of(fx.sample),
+                        Some(u64::MAX - next_global),
+                        "kept sample carries the nearest-reuse key"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Single-sample dataset: the shuffle of one element is the identity, the
+/// oracle sees it at every iteration, and it is never evicted (distance is
+/// always 1).
+#[test]
+fn single_sample_dataset_oracle_and_sweep_degenerate_cleanly() {
+    let spec = ScheduleSpec {
+        nodes: 1,
+        gpus_per_node: 1,
+        batch_size: 1,
+        dataset_len: 1,
+        seed: 99,
+    };
+    let e0 = EpochSchedule::generate(spec, 0);
+    let e1 = EpochSchedule::generate(spec, 1);
+    assert_eq!(e0.all_accesses(), &[SampleId(0)]);
+    assert_eq!(e1.all_accesses(), &[SampleId(0)]);
+
+    let epochs = [&e0, &e1];
+    let mut oracle = NodeOracle::build(0, &epochs, 0);
+    let fut = oracle.future_of(SampleId(0)).expect("seen in window");
+    assert_eq!(fut.next_iteration, 0);
+    assert_eq!(fut.remaining_uses, 2);
+
+    let mut cache = NodeCache::new(u64::MAX, EvictOrder::SmallestKeyFirst);
+    let mut directory = Directory::new(1);
+    cache.insert(SampleId(0), 1, 0);
+    directory.add(SampleId(0), 0);
+    oracle.advance();
+    check_sweep(
+        &epochs,
+        0,
+        0,
+        &oracle,
+        &cache,
+        &directory,
+        &[SampleId(0)],
+        0,
+        1,
+        0,
+    )
+    .unwrap();
+    let mut victims = Vec::new();
+    ReuseAwareEvictor.after_iteration_detailed(
+        &mut cache,
+        &mut directory,
+        &oracle,
+        0,
+        &[SampleId(0)],
+        0,
+        1,
+        0,
+        &mut victims,
+    );
+    assert!(
+        victims.is_empty(),
+        "the sole sample must survive: {victims:?}"
+    );
+    assert_eq!(cache.key_of(SampleId(0)), Some(u64::MAX - 1));
+}

@@ -8,10 +8,17 @@
 //!
 //! Differences from real proptest, deliberately accepted:
 //! * cases are generated from a *deterministic* RNG seeded by the test
-//!   name, so runs are reproducible without a regressions file;
+//!   name, so runs are reproducible even without a regressions file;
 //! * failing cases are **not shrunk** — the panic message carries the case
-//!   number and the failing assertion instead;
-//! * `.proptest-regressions` files are ignored.
+//!   number, the seed, and the failing assertion instead (callers that need
+//!   minimal counterexamples shrink at the domain level, e.g.
+//!   `lobster_conformance::shrink_trace`);
+//! * regression corpora live in `proptest-regressions/seeds.txt` of the
+//!   *using* crate (one `<test_name> 0x<seed-hex>` per line) instead of
+//!   per-test `.proptest-regressions` files. Recorded seeds are replayed
+//!   before the generation sweep on every run, and new failures are
+//!   appended automatically — commit the file so counterexamples are never
+//!   lost.
 
 pub mod collection;
 pub mod runner;
@@ -50,11 +57,18 @@ macro_rules! __proptest_body {
         $(#[$meta])*
         fn $name() {
             let config: $crate::runner::ProptestConfig = $cfg;
-            $crate::runner::run_cases(config, stringify!($name), |__proptest_rng| {
-                $(let $pat = $crate::strategy::Strategy::sample(&($strategy), __proptest_rng);)+
-                $body
-                Ok(())
-            });
+            // CARGO_MANIFEST_DIR resolves at the *use site*, so each crate's
+            // failures land in its own proptest-regressions/seeds.txt.
+            $crate::runner::run_cases_in(
+                config,
+                ::core::option_env!("CARGO_MANIFEST_DIR"),
+                stringify!($name),
+                |__proptest_rng| {
+                    $(let $pat = $crate::strategy::Strategy::sample(&($strategy), __proptest_rng);)+
+                    $body
+                    Ok(())
+                },
+            );
         }
     )*};
 }

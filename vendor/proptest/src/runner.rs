@@ -62,22 +62,95 @@ fn fnv1a(text: &str) -> u64 {
     h
 }
 
-/// Prints which case was executing if the test body panics, since this
-/// shim does not shrink failures.
+/// Path of the regression corpus for the crate at `manifest_dir`.
+fn seeds_path(manifest_dir: &str) -> std::path::PathBuf {
+    std::path::Path::new(manifest_dir)
+        .join("proptest-regressions")
+        .join("seeds.txt")
+}
+
+/// Parse the corpus: one `<test_name> 0x<seed-hex>` entry per line, `#`
+/// comments and blank lines ignored. Unparseable lines are skipped (the
+/// corpus is hand-editable).
+fn load_seeds(manifest_dir: &str, test: &str) -> Vec<u64> {
+    let Ok(text) = std::fs::read_to_string(seeds_path(manifest_dir)) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|line| {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                return None;
+            }
+            let (name, seed) = line.split_once(char::is_whitespace)?;
+            if name != test {
+                return None;
+            }
+            u64::from_str_radix(seed.trim().trim_start_matches("0x"), 16).ok()
+        })
+        .collect()
+}
+
+/// Append a failing seed to the corpus (best-effort: a test failure must
+/// never be masked by an I/O error here). Duplicates are skipped so
+/// repeated failing runs do not grow the file.
+fn record_seed(manifest_dir: &str, test: &str, seed: u64) {
+    if load_seeds(manifest_dir, test).contains(&seed) {
+        return;
+    }
+    let path = seeds_path(manifest_dir);
+    let Some(parent) = path.parent() else { return };
+    if std::fs::create_dir_all(parent).is_err() {
+        return;
+    }
+    use std::io::Write;
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        if writeln!(f, "{test} {seed:#018x}").is_ok() {
+            eprintln!(
+                "proptest shim: recorded failing seed {seed:#018x} for `{test}` in {} \
+                 — commit this file so the counterexample is replayed forever",
+                path.display()
+            );
+        }
+    }
+}
+
+/// Prints which case was executing if the test body panics (this shim does
+/// not shrink failures) and persists the failing seed to the crate's
+/// `proptest-regressions/seeds.txt`.
 struct CaseReporter<'a> {
     test: &'a str,
     case: u32,
     attempt: u64,
+    seed: u64,
+    manifest_dir: Option<&'a str>,
+    /// True while replaying an already-recorded corpus seed.
+    replay: bool,
 }
 
 impl Drop for CaseReporter<'_> {
     fn drop(&mut self) {
-        if std::thread::panicking() {
+        if !std::thread::panicking() {
+            return;
+        }
+        if self.replay {
             eprintln!(
-                "proptest shim: test `{}` failed on case {} (attempt seed offset {}); \
-                 cases are deterministic, rerun to reproduce",
-                self.test, self.case, self.attempt
+                "proptest shim: test `{}` failed replaying recorded regression seed {:#018x}",
+                self.test, self.seed
             );
+        } else {
+            eprintln!(
+                "proptest shim: test `{}` failed on case {} (attempt {}, seed {:#018x}); \
+                 cases are deterministic, rerun to reproduce",
+                self.test, self.case, self.attempt, self.seed
+            );
+            if let Some(dir) = self.manifest_dir {
+                record_seed(dir, self.test, self.seed);
+            }
         }
     }
 }
@@ -85,10 +158,43 @@ impl Drop for CaseReporter<'_> {
 /// Run `body` for `config.cases` generated cases. `Err(Reject)` (from
 /// `prop_assume!`) discards the case and samples a fresh one, up to a
 /// bounded number of attempts.
-pub fn run_cases<F>(config: ProptestConfig, test_name: &str, mut body: F)
+pub fn run_cases<F>(config: ProptestConfig, test_name: &str, body: F)
 where
     F: FnMut(&mut TestRng) -> Result<(), Reject>,
 {
+    run_cases_in(config, None, test_name, body)
+}
+
+/// [`run_cases`] with regression-seed persistence rooted at `manifest_dir`
+/// (the `proptest!` macro passes the use site's `CARGO_MANIFEST_DIR`).
+/// Recorded counterexample seeds from `proptest-regressions/seeds.txt` are
+/// replayed *before* the generation sweep, so a once-found failure is
+/// retried on every future run; new failures are appended to the file.
+pub fn run_cases_in<F>(
+    config: ProptestConfig,
+    manifest_dir: Option<&str>,
+    test_name: &str,
+    mut body: F,
+) where
+    F: FnMut(&mut TestRng) -> Result<(), Reject>,
+{
+    if let Some(dir) = manifest_dir {
+        for seed in load_seeds(dir, test_name) {
+            let mut rng = TestRng::seeded(seed);
+            let reporter = CaseReporter {
+                test: test_name,
+                case: 0,
+                attempt: 0,
+                seed,
+                manifest_dir: Some(dir),
+                replay: true,
+            };
+            // A rejected replay is fine: the prop_assume! path changed.
+            let _ = body(&mut rng);
+            std::mem::forget(reporter);
+        }
+    }
+
     let base = fnv1a(test_name);
     for case in 0..config.cases {
         let mut accepted = false;
@@ -101,6 +207,9 @@ where
                 test: test_name,
                 case,
                 attempt,
+                seed,
+                manifest_dir,
+                replay: false,
             };
             let result = body(&mut rng);
             std::mem::forget(reporter);
@@ -138,6 +247,53 @@ mod tests {
             let x = rng.unit_f64();
             assert!((0.0..1.0).contains(&x));
         }
+    }
+
+    #[test]
+    fn corpus_round_trips_and_skips_duplicates() {
+        let dir = std::env::temp_dir().join(format!("proptest-shim-corpus-{}", std::process::id()));
+        let dir = dir.to_str().unwrap().to_string();
+        let _ = std::fs::remove_dir_all(&dir);
+
+        assert!(load_seeds(&dir, "t").is_empty(), "missing file → no seeds");
+        record_seed(&dir, "t", 0xdead_beef);
+        record_seed(&dir, "t", 0xdead_beef); // duplicate: skipped
+        record_seed(&dir, "other", 0x42);
+        assert_eq!(load_seeds(&dir, "t"), vec![0xdead_beef]);
+        assert_eq!(load_seeds(&dir, "other"), vec![0x42]);
+
+        // Hand-edited content: comments, blanks, junk lines all tolerated.
+        std::fs::write(
+            seeds_path(&dir),
+            "# corpus\n\nt 0x10\nt 20\nbroken-line\nt not-hex\n",
+        )
+        .unwrap();
+        assert_eq!(load_seeds(&dir, "t"), vec![0x10, 0x20]);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recorded_seeds_are_replayed_before_generation() {
+        let dir = std::env::temp_dir().join(format!("proptest-shim-replay-{}", std::process::id()));
+        let dir = dir.to_str().unwrap().to_string();
+        let _ = std::fs::remove_dir_all(&dir);
+        record_seed(&dir, "replayed", 0x77);
+
+        let mut first_seed_draw = None;
+        run_cases_in(
+            ProptestConfig::with_cases(1),
+            Some(&dir),
+            "replayed",
+            |rng| {
+                first_seed_draw.get_or_insert(rng.next_u64());
+                Ok(())
+            },
+        );
+        // The first body invocation must have used the recorded seed.
+        assert_eq!(first_seed_draw, Some(TestRng::seeded(0x77).next_u64()));
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

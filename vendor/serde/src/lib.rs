@@ -156,6 +156,29 @@ impl<T: Serialize> Serialize for [T] {
     }
 }
 
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Copy + Default, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let arr = v.as_array().ok_or_else(|| DeError::expected("array", v))?;
+        if arr.len() != N {
+            return Err(DeError::new(format!(
+                "expected array of {N}, got array of {}",
+                arr.len()
+            )));
+        }
+        let mut out = [T::default(); N];
+        for (slot, item) in out.iter_mut().zip(arr) {
+            *slot = T::from_value(item)?;
+        }
+        Ok(out)
+    }
+}
+
 macro_rules! tuple_impls {
     ($(($($name:ident . $idx:tt),+))*) => {$(
         impl<$($name: Serialize),+> Serialize for ($($name,)+) {
