@@ -18,6 +18,14 @@ echo "== test =="
 # tests/runtime_engine.rs) so a single stuck run dies long before this.
 timeout 600 cargo test -q --workspace
 
+echo "== elastic stress =="
+# Elastic worker-pool soak (DESIGN.md §11): a 64-worker pool under seeded
+# faults with forced role churn every tick must deliver exact multisets
+# and conserve the pool across every flip. The hard timeout turns a
+# role-board deadlock into a fast failure; the tests carry their own
+# in-process watchdogs too.
+timeout 300 cargo test -q --release --test elastic_stress
+
 echo "== conformance smoke =="
 # Differential gate (DESIGN.md §10): seeded configs through the analytical
 # executor and the conformance DES, plus a live-engine delivery replay;

@@ -153,6 +153,53 @@ fn bench_dataset(c: &mut Criterion) {
     });
 }
 
+fn bench_role_flip(c: &mut Criterion) {
+    use lobster_core::elastic::{ElasticController, ElasticObservation, ElasticParams};
+
+    // Steady state: fit and loader plan memoized, no role changes — the
+    // per-iteration cost every elastic run pays on the tick path.
+    c.bench_function("elastic/tick_no_flip", |b| {
+        let mut ctl = ElasticController::new(ElasticParams::for_pool(64, 8), 16);
+        let mut t = 0u64;
+        ctl.tick(&ElasticObservation::for_iteration(t, 16_384.0, 1, 32, 2e-4));
+        b.iter(|| {
+            t += 1;
+            let obs = ElasticObservation::for_iteration(t, 16_384.0, 1, 32, 2e-4);
+            black_box(ctl.tick(&obs).preproc_after)
+        })
+    });
+
+    // Forced flip every tick: churn swaps a role pair and rebuilds the
+    // flip list, the upper bound on controller work at a boundary. The
+    // ISSUE budget is < 5 µs over the no-flip path.
+    c.bench_function("elastic/tick_with_flip", |b| {
+        let mut params = ElasticParams::for_pool(64, 8);
+        params.force_churn = true;
+        params.dwell_ticks = 0;
+        let mut ctl = ElasticController::new(params, 16);
+        let mut t = 0u64;
+        ctl.tick(&ElasticObservation::for_iteration(t, 16_384.0, 1, 32, 2e-4));
+        b.iter(|| {
+            t += 1;
+            let obs = ElasticObservation::for_iteration(t, 16_384.0, 1, 32, 2e-4);
+            black_box(ctl.tick(&obs).flipped.len())
+        })
+    });
+
+    // Workload swing: alternate the work factor so every other tick
+    // invalidates the regression memo and re-plans the loader split.
+    c.bench_function("elastic/tick_refit_swing", |b| {
+        let mut ctl = ElasticController::new(ElasticParams::for_pool(64, 8), 16);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            let wf = if t.is_multiple_of(2) { 1 } else { 8 };
+            let obs = ElasticObservation::for_iteration(t, 16_384.0, wf, 32, 2e-4);
+            black_box(ctl.tick(&obs).preproc_after)
+        })
+    });
+}
+
 criterion_group!(
     benches,
     bench_shuffle,
@@ -161,6 +208,7 @@ criterion_group!(
     bench_algorithm1,
     bench_regression,
     bench_pslink,
-    bench_dataset
+    bench_dataset,
+    bench_role_flip
 );
 criterion_main!(benches);

@@ -74,6 +74,7 @@ fn bench_live_engine(c: &mut Criterion) {
                 epochs: 1,
                 seed: 3,
                 retry: Default::default(),
+                ..EngineConfig::default()
             };
             black_box(engine_run(store, cfg).delivered)
         })

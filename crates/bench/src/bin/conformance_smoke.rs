@@ -25,8 +25,8 @@
 //! the harness has a blind spot.
 
 use lobster_conformance::{
-    check_engine_delivery, conformance_config, run_boundary_canary, run_canary, run_differential,
-    CanaryOutcome, Mutation,
+    check_engine_delivery, conformance_config, elastic_conformance_config, run_boundary_canary,
+    run_canary, run_differential, CanaryOutcome, Mutation,
 };
 use lobster_metrics::Instruments;
 use lobster_runtime::{run_with, EngineConfig, SyntheticStore};
@@ -107,6 +107,25 @@ fn main() {
         }
     }
 
+    // ---- Elastic differential runs: role-flip sequences must agree. ----
+    for &seed in &seeds {
+        let cfg = elastic_conformance_config(seed);
+        match run_differential(&cfg, "lobster") {
+            Ok(s) => {
+                runs += 1;
+                println!(
+                    "conformance: seed {seed} elastic pool: {} iterations — \
+                     role-flip sequences agree",
+                    s.iterations
+                );
+            }
+            Err(d) => {
+                eprintln!("{d}");
+                fail(&format!("seed {seed} elastic configuration diverged"));
+            }
+        }
+    }
+
     // ---- Live engine vs the seeded schedule. ----
     let dataset = lobster_data::Dataset::generate(
         "conformance-smoke",
@@ -168,7 +187,13 @@ fn run_canary_mode(seeds: &[u64], mutations: &[Mutation]) -> ! {
             // seed may simply never exercise the flipped rule.
             let mut found = None;
             for &seed in seeds {
-                let cfg = conformance_config(seed);
+                // `never-steal` freezes the elastic controller, so it is
+                // only observable on an elastic configuration.
+                let cfg = if m == Mutation::NeverSteal {
+                    elastic_conformance_config(seed)
+                } else {
+                    conformance_config(seed)
+                };
                 match run_canary(&cfg, "lobster", m) {
                     CanaryOutcome::Detected(d) => {
                         found = Some((format!("seed {seed}"), d));

@@ -187,6 +187,23 @@ pub fn compare_runs(
             }
         }
 
+        // Elastic role-flip decision sequence: pure integer/exact-f64
+        // outputs of the deterministic controller, compared exactly.
+        if a.role_flips.len() != b.role_flips.len() {
+            return Err(c.diverge(
+                "role_flips",
+                Some(h),
+                "count".into(),
+                a.role_flips.len(),
+                b.role_flips.len(),
+            ));
+        }
+        for (i, (ra, rb)) in a.role_flips.iter().zip(&b.role_flips).enumerate() {
+            if ra != rb {
+                return Err(c.diverge("role_flips", Some(h), format!("tick {i}"), ra, rb));
+            }
+        }
+
         // Per-GPU tier splits (local/remote/pfs fetch counts).
         if a.tier_counts.len() != b.tier_counts.len() {
             return Err(c.diverge(
@@ -321,6 +338,7 @@ mod tests {
                 }],
                 decisions: Vec::new(),
                 prefetched: vec![4],
+                role_flips: Vec::new(),
                 pipe_s: vec![0.5],
                 starts_s: vec![0.0],
                 barrier_s: 1.0,
@@ -369,6 +387,29 @@ mod tests {
         let d = compare_runs("a", &a, "b", &b, 1e-6).unwrap_err();
         assert_eq!(d.observable, "evictions");
         assert_eq!(d.location, "event 0");
+    }
+
+    #[test]
+    fn role_flip_mismatch_is_exact_and_reports_tick() {
+        use lobster_pipeline::observe::RoleFlipObservable;
+        let flip = RoleFlipObservable {
+            tick: 0,
+            preproc_before: 1,
+            preproc_after: 2,
+            loader_queues: vec![1, 1],
+            flipped: vec![3],
+        };
+        let mut a = base();
+        a.iterations[0].role_flips.push(flip.clone());
+        let mut b = base();
+        let mut frozen = flip;
+        frozen.preproc_after = 1;
+        frozen.flipped.clear();
+        b.iterations[0].role_flips.push(frozen);
+        let d = compare_runs("a", &a, "b", &b, 1e-6).unwrap_err();
+        assert_eq!(d.observable, "role_flips");
+        assert_eq!(d.iteration, Some(0));
+        assert_eq!(d.location, "tick 0");
     }
 
     #[test]

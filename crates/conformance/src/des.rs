@@ -20,13 +20,15 @@
 
 use crate::mutation::Mutation;
 use lobster_cache::{Directory, EvictOrder, NodeCache};
+use lobster_core::elastic::{ElasticController, ElasticObservation, ElasticParams};
 use lobster_core::model::load_time_parts;
 use lobster_core::{
     CachingStrategy, LoaderPolicy, NodePlan, PlanContext, ThreadAlloc, TierBreakdown,
 };
 use lobster_data::{EpochSchedule, NodeOracle, SampleId};
 use lobster_pipeline::observe::{
-    DecisionObservable, EvictReason, EvictionEvent, IterationObservables, RunObservables,
+    DecisionObservable, EvictReason, EvictionEvent, IterationObservables, RoleFlipObservable,
+    RunObservables,
 };
 use lobster_pipeline::ExperimentConfig;
 use lobster_sim::{derive_seed, SimDuration, SimTime, SimWorld};
@@ -65,6 +67,11 @@ pub struct DesCluster {
     clocks: Vec<u64>,
     distributed: bool,
     mutation: Mutation,
+    /// Elastic worker-pool controller (Some iff `cfg.elastic` is set) —
+    /// the same deterministic controller `ClusterSim` and the live engine
+    /// run, ticked once per iteration. [`Mutation::NeverSteal`] swaps it
+    /// for a frozen one that refuses to flip roles.
+    elastic_ctl: Option<ElasticController>,
 
     // Event-driven runtime state.
     start_prev: Vec<SimTime>,
@@ -93,6 +100,12 @@ impl DesCluster {
         let governor = cfg.calibrated_governor();
         let world = cfg.cluster.world_size();
         let distributed = policy.distributed_cache();
+        let elastic_ctl = cfg.elastic.as_ref().map(|e| {
+            let mut p = ElasticParams::for_pool(e.workers, cfg.cluster.gpus_per_node as u32);
+            p.force_churn = e.churn;
+            p.frozen = e.frozen;
+            ElasticController::new(p, e.initial_preproc)
+        });
         DesCluster {
             governor,
             caches,
@@ -101,6 +114,7 @@ impl DesCluster {
             clocks: vec![0; n],
             distributed,
             mutation: Mutation::None,
+            elastic_ctl,
             start_prev: vec![SimTime::ZERO; world],
             arrivals: 0,
             sched_cur: None,
@@ -117,6 +131,18 @@ impl DesCluster {
     /// Arm a deliberate single-rule flip (canary mode).
     pub fn with_mutation(mut self, mutation: Mutation) -> DesCluster {
         self.mutation = mutation;
+        if mutation == Mutation::NeverSteal {
+            // Replace the controller with one frozen at the initial split:
+            // it still ticks (so the decision sequence has the right
+            // length) but never flips a role.
+            if let Some(e) = self.cfg.elastic.as_ref() {
+                let mut p =
+                    ElasticParams::for_pool(e.workers, self.cfg.cluster.gpus_per_node as u32);
+                p.force_churn = e.churn;
+                p.frozen = true;
+                self.elastic_ctl = Some(ElasticController::new(p, e.initial_preproc));
+            }
+        }
         self
     }
 
@@ -444,6 +470,28 @@ impl DesCluster {
             })
             .collect();
 
+        // Elastic worker-pool tick (mirrors ClusterSim exactly): one
+        // cluster-wide controller decision per iteration from purely
+        // deterministic inputs, applied identically on every node.
+        let mean_sample_f = self.cfg.dataset.mean_sample_bytes();
+        let elastic_batch_samples = (gpus * self.cfg.cluster.batch_size) as u64;
+        let elastic_step = self.cfg.elastic.and_then(|e| {
+            let ctl = self.elastic_ctl.as_mut()?;
+            let wf = e.work_factor_at(h_global);
+            let eobs = ElasticObservation::for_iteration(
+                h_global,
+                mean_sample_f,
+                wf,
+                elastic_batch_samples,
+                t_train,
+            );
+            Some((ctl.tick(&eobs).clone(), wf))
+        });
+        let mut role_flips: Vec<RoleFlipObservable> = Vec::new();
+        if let Some((d, _)) = &elastic_step {
+            role_flips.push(RoleFlipObservable::from_decision(d));
+        }
+
         // Pass 2: plan, fetch, sweep, prefetch — node by node.
         let mut decisions: Vec<DecisionObservable> = Vec::new();
         let mut prefetched = vec![0u64; nodes];
@@ -462,16 +510,24 @@ impl DesCluster {
                 mean_sample_bytes: mean_bytes,
                 governor: &self.governor,
             };
-            let plan = self.policy.plan(&ctx);
+            let mut plan = self.policy.plan(&ctx);
+            if let Some((d, _)) = &elastic_step {
+                // The controller owns the split in elastic mode.
+                plan.preproc_threads = d.preproc_after;
+                plan.load_threads = d.loader_queues.clone();
+            }
             for d in self.policy.drain_decisions() {
                 decisions.push(DecisionObservable::from_plan(node, &d));
             }
 
             let node_bytes: f64 = splits[node].iter().map(TierBreakdown::total_bytes).sum();
+            // Work factor scales the preprocessing bytes (wf = 1 is exact
+            // identity, so non-elastic runs are untouched).
+            let elastic_wf = elastic_step.as_ref().map_or(1, |(_, wf)| *wf);
             let t_prep = self
                 .cfg
                 .preproc
-                .batch_secs(node_bytes, plan.preproc_threads);
+                .batch_secs(node_bytes * elastic_wf as f64, plan.preproc_threads);
 
             // Intra-node overcommit at the tier-curve knees.
             let knee_r = self.cfg.storage.curve(Tier::RemoteCache).peak().0;
@@ -541,6 +597,7 @@ impl DesCluster {
             evictions: std::mem::take(&mut self.events_scratch),
             decisions,
             prefetched,
+            role_flips,
             pipe_s: pipe_s.clone(),
             // Start times are filled as training stages get scheduled.
             starts_s: Vec::with_capacity(world),

@@ -27,6 +27,11 @@ pub enum Mutation {
     /// Use LRU clocks instead of reuse-distance priority keys on insert
     /// under the ReuseAware strategy (wrong capacity-victim order).
     CapacityKeyLru,
+    /// Freeze the elastic worker-pool controller at its initial split: a
+    /// controller that refuses to flip roles when the preprocessing work
+    /// factor steps up mid-run. Only observable on elastic configurations
+    /// (the role-flip decision sequence diverges at the step).
+    NeverSteal,
 }
 
 impl Mutation {
@@ -38,6 +43,7 @@ impl Mutation {
             Mutation::HorizonOffByOne => "horizon-off-by-one",
             Mutation::InvertPrefetchGuard => "invert-prefetch-guard",
             Mutation::CapacityKeyLru => "capacity-key-lru",
+            Mutation::NeverSteal => "never-steal",
         }
     }
 
@@ -49,17 +55,19 @@ impl Mutation {
             "horizon-off-by-one" => Mutation::HorizonOffByOne,
             "invert-prefetch-guard" => Mutation::InvertPrefetchGuard,
             "capacity-key-lru" => Mutation::CapacityKeyLru,
+            "never-steal" => Mutation::NeverSteal,
             _ => return None,
         })
     }
 
     /// Every real mutation (excluding `None`).
-    pub fn all() -> [Mutation; 4] {
+    pub fn all() -> [Mutation; 5] {
         [
             Mutation::SkipLastCopyGuard,
             Mutation::HorizonOffByOne,
             Mutation::InvertPrefetchGuard,
             Mutation::CapacityKeyLru,
+            Mutation::NeverSteal,
         ]
     }
 }

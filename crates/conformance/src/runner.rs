@@ -16,11 +16,12 @@ use crate::des::DesCluster;
 use crate::mutation::Mutation;
 use crate::refmodel::{check_sweep, horizon_boundary_fixture, naive_sweep_expectation};
 use lobster_cache::{Directory, EvictOrder, NodeCache};
+use lobster_core::ModelProfile;
 use lobster_core::{policy_by_name, ReuseAwareEvictor};
 use lobster_data::{Dataset, EpochSchedule, NodeOracle, SampleId, SizeDistribution};
 use lobster_metrics::Instruments;
 use lobster_pipeline::observe::RunObservables;
-use lobster_pipeline::{ClusterSim, ConfigBuilder, ExperimentConfig};
+use lobster_pipeline::{ClusterSim, ConfigBuilder, ElasticSimConfig, ExperimentConfig};
 use lobster_runtime::engine::{expected_integrity, schedule_spec, EngineConfig, EngineReport};
 
 /// Timing tolerance between the f64 executor and the nanosecond DES:
@@ -57,6 +58,44 @@ pub fn conformance_config(seed: u64) -> ExperimentConfig {
         .dataset(dataset)
         .epochs(2)
         .seed(seed)
+        .build()
+}
+
+/// The elastic conformance configuration: the standard small topology with
+/// the elastic worker-pool rule armed and a training time short enough
+/// (200 µs — a deliberately tiny probe model) that the mid-run
+/// preprocessing work-factor step forces the controller to steal loaders.
+/// The step lands at the start of epoch 2, so the conformant controller
+/// holds a steady split through epoch 1 (flips nothing) and must flip at
+/// the step — exactly what the `never-steal` canary refuses to do.
+pub fn elastic_conformance_config(seed: u64) -> ExperimentConfig {
+    let dataset = Dataset::generate(
+        "elastic-conformance",
+        192,
+        SizeDistribution::Constant { bytes: 16_384 },
+        seed,
+    );
+    let cache_bytes = dataset.total_bytes() / 3;
+    // 192 samples / (2 nodes × 2 GPUs × batch 4) = 12 iterations per epoch.
+    let step_iter = 12;
+    ConfigBuilder::new()
+        .nodes(2)
+        .gpus_per_node(2)
+        .batch_size(4)
+        .pipeline_threads(8)
+        .cache_bytes(cache_bytes)
+        .dataset(dataset)
+        .epochs(2)
+        .seed(seed)
+        .model(ModelProfile::new("elastic-probe", 2e-4, 0.7, 10.0))
+        .elastic(ElasticSimConfig {
+            workers: 8,
+            initial_preproc: 1,
+            work_factor: 1,
+            work_factor_step: Some((step_iter, 8)),
+            churn: false,
+            frozen: false,
+        })
         .build()
 }
 
@@ -376,6 +415,61 @@ mod tests {
         assert!(summary.iterations > 0);
         assert!(summary.demand_accesses > 0);
         assert!(summary.des_events > summary.iterations as u64);
+    }
+
+    #[test]
+    fn elastic_differential_agrees_and_flips_roles() {
+        let cfg = elastic_conformance_config(7);
+        let summary = run_differential(&cfg, "lobster").unwrap_or_else(|d| panic!("{d}"));
+        assert_eq!(summary.iterations, 24);
+        // The conformant controller must actually respond to the work-factor
+        // step: some tick after it carries a non-empty `flipped`.
+        let sim_policy = policy_by_name("lobster").unwrap();
+        let (_, obs) = ClusterSim::new(cfg, sim_policy).run_observed();
+        let flips: usize = obs
+            .iterations
+            .iter()
+            .flat_map(|it| it.role_flips.iter())
+            .map(|r| r.flipped.len())
+            .sum();
+        assert!(flips > 0, "work-factor step must force role flips");
+        for it in &obs.iterations {
+            assert_eq!(it.role_flips.len(), 1, "one controller tick per iteration");
+            let r = &it.role_flips[0];
+            assert_eq!(
+                r.loader_queues.iter().sum::<u32>() + r.preproc_after,
+                8,
+                "pool conserved at iteration {}",
+                it.iteration
+            );
+        }
+    }
+
+    #[test]
+    fn canary_never_steal_is_detected_on_elastic_config() {
+        let cfg = elastic_conformance_config(7);
+        match run_canary(&cfg, "lobster", Mutation::NeverSteal) {
+            CanaryOutcome::Detected(d) => {
+                assert_eq!(d.observable, "role_flips", "{d}");
+            }
+            CanaryOutcome::Undetected => {
+                panic!("harness missed the frozen elastic controller")
+            }
+        }
+    }
+
+    #[test]
+    fn never_steal_is_equivalent_on_non_elastic_config() {
+        // Documents the canary's blind spot without an elastic pool: the
+        // mutation only touches the controller, so a classic configuration
+        // cannot see it — which is why `elastic_conformance_config` exists.
+        let cfg = conformance_config(7);
+        match run_canary(&cfg, "lobster", Mutation::NeverSteal) {
+            CanaryOutcome::Undetected => {}
+            CanaryOutcome::Detected(d) => {
+                panic!("never-steal visible without an elastic pool: {d}")
+            }
+        }
     }
 
     #[test]

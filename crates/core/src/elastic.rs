@@ -1,0 +1,634 @@
+//! The elastic preproc↔loader role controller (§4.1 + §4.4, live).
+//!
+//! Lobster's central online mechanism: run "the minimum number of threads
+//! that reach the peak" preprocessing throughput (the knee of the §4.1
+//! piece-wise regression) and *steal* every remaining worker for data
+//! loading, re-assigning the stolen workers across per-consumer request
+//! queues with Algorithm 1. This module is the pure decision core shared by
+//! the live engine (`lobster-runtime`), the analytical executor
+//! (`lobster-pipeline`) and the conformance DES: one `tick` per iteration
+//! boundary maps an [`ElasticObservation`] to an [`ElasticDecision`].
+//!
+//! ## Why decisions come from a reference curve, not the wall clock
+//!
+//! The controller fits the regression over a *deterministic reference
+//! efficiency curve* ([`throughput_factor`]: linear speed-up to a
+//! saturation knee, then a mild decline — the Figure 6 shape) scaled by the
+//! iteration's preprocessing demand (`mean sample bytes × work factor`).
+//! Every input is a pure function of the schedule, so the engine, the
+//! executor and the DES produce bit-identical decision sequences and the
+//! differential harness can compare them exactly. Wall-clock `StageAccum`
+//! measurements still flow into every emitted `DecisionRecord` (and the
+//! [`ElasticController::calibrate`] hook lets a live deployment refit
+//! `unit_secs` from measured throughput), but they never steer a
+//! conformance-checked decision.
+//!
+//! ## Hysteresis
+//!
+//! Two guards keep roles from thrashing: the pool split may only change
+//! once per [`ElasticParams::dwell_ticks`] window and only when the
+//! predicted improvement clears [`ElasticParams::improve_frac`]; and each
+//! *worker* carries its own dwell stamp, so no individual worker flips
+//! twice within the window even under forced churn.
+
+use crate::algorithm1::{
+    assign_threads_detailed, normalize_to_budget, proportional_allocation, Algorithm1Params,
+};
+use crate::regression::PiecewiseLinear;
+use serde::{Deserialize, Serialize};
+
+/// Minimum ticks the pool split (and each worker) dwells in a role.
+pub const DEFAULT_DWELL_TICKS: u64 = 3;
+/// Relative predicted improvement required before the split moves.
+pub const DEFAULT_IMPROVE_FRAC: f64 = 0.10;
+/// Reference-curve saturation knee in threads (the Figure 6 shape).
+pub const DEFAULT_SAT_THREADS: u32 = 6;
+/// Reference seconds for one preprocessing pass over one byte, one thread.
+pub const DEFAULT_UNIT_SECS: f64 = 1.2e-9;
+/// Reference seconds to load one byte with one thread.
+pub const DEFAULT_LOAD_UNIT_SECS: f64 = 0.4e-9;
+/// Segmentation penalty as a fraction of the squared curve scale.
+pub const DEFAULT_PENALTY_FRAC: f64 = 1e-4;
+/// Predictions within this fraction of the minimum count as "at the peak";
+/// the knee is the smallest such thread count.
+pub const KNEE_TOL: f64 = 0.02;
+
+/// Reference efficiency curve: effective parallelism of `threads`
+/// preprocessing threads. Linear to `sat_threads`, then mildly declining
+/// (contention past the knee), never below half the peak.
+pub fn throughput_factor(threads: u32, sat_threads: u32) -> f64 {
+    let sat = sat_threads.max(1) as f64;
+    let k = threads.max(1) as f64;
+    if k <= sat {
+        k
+    } else {
+        (sat - 0.05 * (k - sat)).max(sat * 0.5)
+    }
+}
+
+/// Fit the §4.1 regression over `(threads, batch_secs)` points and return
+/// the knee: the smallest integer thread count whose prediction is within
+/// [`KNEE_TOL`] of the fitted minimum. Points must be sorted by x.
+pub fn knee_from_points(points: &[(f64, f64)], penalty: f64) -> u32 {
+    let model = PiecewiseLinear::fit(points, penalty);
+    let lo = points[0].0.ceil().max(1.0) as u32;
+    let hi = (points[points.len() - 1].0.floor() as u32).max(lo);
+    let (best_k, best_s) = model.argmin_int(lo, hi);
+    for k in lo..best_k {
+        if model.predict(k as f64) <= best_s * (1.0 + KNEE_TOL) {
+            return k;
+        }
+    }
+    best_k
+}
+
+/// A worker's current job in the elastic pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Role {
+    /// Serving per-consumer request queues (fetch + cache).
+    Loader,
+    /// Draining raw samples through the preprocessing transform.
+    Preproc,
+}
+
+/// Static tunables of the elastic controller.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ElasticParams {
+    /// Total pool size N (loaders + preprocessors, conserved).
+    pub workers: u32,
+    /// Per-consumer request queues the loader side covers.
+    pub queues: u32,
+    /// Floor on the loader side (≥ 1: the feed must never stall).
+    pub min_loaders: u32,
+    /// Floor on the preprocessing side (≥ 1: raw must always drain).
+    pub min_preproc: u32,
+    /// Minimum ticks between split changes, and per-worker re-flips.
+    pub dwell_ticks: u64,
+    /// Relative predicted improvement required to move the split.
+    pub improve_frac: f64,
+    /// Saturation knee of the reference curve, in threads.
+    pub sat_threads: u32,
+    /// Reference preprocessing seconds per byte per pass on one thread.
+    pub unit_secs: f64,
+    /// Reference loading seconds per byte on one thread.
+    pub load_unit_secs: f64,
+    /// Regression segmentation penalty, relative to the curve scale.
+    pub penalty_frac: f64,
+    /// Swap one eligible loader/preproc pair on every no-change tick
+    /// (stress-test mode: maximum role churn the dwell guard allows).
+    pub force_churn: bool,
+    /// Observe and predict but never flip (the `never-steal` mutation).
+    pub frozen: bool,
+}
+
+impl ElasticParams {
+    /// Paper defaults for a pool of `workers` covering `queues` queues.
+    pub fn for_pool(workers: u32, queues: u32) -> ElasticParams {
+        assert!(workers >= 2, "elastic pool needs ≥ 2 workers (1 per role)");
+        assert!(queues >= 1);
+        ElasticParams {
+            workers,
+            queues,
+            min_loaders: 1,
+            min_preproc: 1,
+            dwell_ticks: DEFAULT_DWELL_TICKS,
+            improve_frac: DEFAULT_IMPROVE_FRAC,
+            sat_threads: DEFAULT_SAT_THREADS,
+            unit_secs: DEFAULT_UNIT_SECS,
+            load_unit_secs: DEFAULT_LOAD_UNIT_SECS,
+            penalty_frac: DEFAULT_PENALTY_FRAC,
+            force_churn: false,
+            frozen: false,
+        }
+    }
+}
+
+/// Deterministic per-tick inputs. Every executor builds this through
+/// [`ElasticObservation::for_iteration`] so the f64 inputs are bit-equal
+/// across the engine, the analytical executor, and the DES.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ElasticObservation {
+    /// Tick index == global iteration index the decision applies to.
+    pub tick: u64,
+    /// Mean sample size of the dataset, bytes.
+    pub mean_sample_bytes: f64,
+    /// Preprocessing work factor in force at this iteration.
+    pub work_factor: u32,
+    /// Samples delivered per iteration across all queues (node batch).
+    pub batch_samples: u64,
+    /// Training time per iteration, seconds.
+    pub t_train_s: f64,
+}
+
+impl ElasticObservation {
+    /// The one constructor every executor must use (bit-equal inputs).
+    pub fn for_iteration(
+        tick: u64,
+        mean_sample_bytes: f64,
+        work_factor: u32,
+        batch_samples: u64,
+        t_train_s: f64,
+    ) -> ElasticObservation {
+        ElasticObservation {
+            tick,
+            mean_sample_bytes,
+            work_factor,
+            batch_samples,
+            t_train_s,
+        }
+    }
+}
+
+/// What one controller tick decided. Pure function of the observation
+/// sequence — the conformance harness compares these across executors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ElasticDecision {
+    /// Tick (global iteration) this decision applies to.
+    pub tick: u64,
+    /// Preprocessing workers before the tick.
+    pub preproc_before: u32,
+    /// Preprocessing workers after the tick (may trail `target_preproc`
+    /// when hysteresis or per-worker dwell blocked part of the move).
+    pub preproc_after: u32,
+    /// The clamped regression target the controller steered toward.
+    pub target_preproc: u32,
+    /// Knee of the fitted curve (minimum threads at peak throughput).
+    pub knee: u32,
+    /// Predicted preprocessing seconds per batch at `preproc_after`.
+    pub predicted_batch_secs: f64,
+    /// Per-queue loader assignment over the remainder (sums to N −
+    /// `preproc_after`), from Algorithm 1.
+    pub loader_queues: Vec<u32>,
+    /// Workers whose role flipped this tick, ascending.
+    pub flipped: Vec<u32>,
+    /// Algorithm 1 gap evaluations behind `loader_queues` (0 while the
+    /// memoized plan is reused).
+    pub evals: u32,
+    /// True when the pool reached the regression target this tick.
+    pub converged: bool,
+}
+
+/// The controller. One instance per run; `tick` once per iteration
+/// boundary. Steady-state ticks (same observation, no flip, no churn) are
+/// allocation-free: the fit and the loader plan are memoized on their
+/// inputs and the decision buffers are reused in place.
+#[derive(Debug, Clone)]
+pub struct ElasticController {
+    params: ElasticParams,
+    roles: Vec<Role>,
+    last_flip: Vec<Option<u64>>,
+    last_change: Option<u64>,
+    points: Vec<(f64, f64)>,
+    fit: Option<PiecewiseLinear>,
+    fit_key: Option<u64>,
+    loader_key: Option<(u32, u64, u64)>,
+    decision: ElasticDecision,
+}
+
+impl ElasticController {
+    /// Build a controller over `params.workers` workers, the first
+    /// `N − initial_preproc` holding [`Role::Loader`]. `initial_preproc`
+    /// is clamped into the feasible band.
+    pub fn new(params: ElasticParams, initial_preproc: u32) -> ElasticController {
+        assert!(
+            params.workers >= params.min_loaders.max(1) + params.min_preproc.max(1),
+            "pool of {} cannot satisfy min_loaders {} + min_preproc {}",
+            params.workers,
+            params.min_loaders,
+            params.min_preproc
+        );
+        let max_preproc = params.workers - params.min_loaders.max(1);
+        let p0 = initial_preproc.clamp(params.min_preproc.max(1), max_preproc);
+        let n = params.workers as usize;
+        let roles = (0..n)
+            .map(|w| {
+                if (w as u32) < params.workers - p0 {
+                    Role::Loader
+                } else {
+                    Role::Preproc
+                }
+            })
+            .collect();
+        ElasticController {
+            roles,
+            last_flip: vec![None; n],
+            last_change: None,
+            points: Vec::new(),
+            fit: None,
+            fit_key: None,
+            loader_key: None,
+            decision: ElasticDecision {
+                tick: 0,
+                preproc_before: p0,
+                preproc_after: p0,
+                target_preproc: p0,
+                knee: p0,
+                predicted_batch_secs: 0.0,
+                loader_queues: Vec::new(),
+                flipped: Vec::new(),
+                evals: 0,
+                converged: true,
+            },
+            params,
+        }
+    }
+
+    /// Current role of every worker, by index.
+    pub fn roles(&self) -> &[Role] {
+        &self.roles
+    }
+
+    pub fn params(&self) -> &ElasticParams {
+        &self.params
+    }
+
+    /// Workers currently preprocessing.
+    pub fn preproc_count(&self) -> u32 {
+        self.roles.iter().filter(|&&r| r == Role::Preproc).count() as u32
+    }
+
+    /// Workers currently loading.
+    pub fn loader_count(&self) -> u32 {
+        self.params.workers - self.preproc_count()
+    }
+
+    /// Refit the reference curve from a measured per-byte preprocessing
+    /// time (live calibration; never used on conformance-checked runs,
+    /// where decisions must stay a pure function of the schedule).
+    pub fn calibrate(&mut self, measured_unit_secs: f64) {
+        assert!(
+            measured_unit_secs > 0.0 && measured_unit_secs.is_finite(),
+            "unit_secs must be positive"
+        );
+        self.params.unit_secs = measured_unit_secs;
+        self.fit_key = None;
+        self.loader_key = None;
+    }
+
+    fn eligible(&self, w: usize, tick: u64) -> bool {
+        self.last_flip[w].is_none_or(|t| tick.saturating_sub(t) >= self.params.dwell_ticks)
+    }
+
+    /// One controller tick at an iteration boundary.
+    pub fn tick(&mut self, obs: &ElasticObservation) -> &ElasticDecision {
+        let max_preproc = self.params.workers - self.params.min_loaders.max(1);
+        let min_preproc = self.params.min_preproc.max(1);
+        let per1 = obs.mean_sample_bytes * obs.work_factor as f64 * self.params.unit_secs;
+        let per1_bits = per1.to_bits();
+        let cur = self.preproc_count();
+
+        // §4.1 fit, memoized on the preprocessing demand. Points are the
+        // predicted batch-preprocessing seconds at each feasible count.
+        if self.fit_key != Some(per1_bits) {
+            self.points.clear();
+            for k in 1..=max_preproc {
+                let secs =
+                    obs.batch_samples as f64 * per1 / throughput_factor(k, self.params.sat_threads);
+                self.points.push((k as f64, secs));
+            }
+            let scale = self.points[0].1;
+            let penalty = (scale * scale * self.params.penalty_frac).max(f64::MIN_POSITIVE);
+            self.fit = Some(PiecewiseLinear::fit(&self.points, penalty));
+            self.fit_key = Some(per1_bits);
+            self.loader_key = None;
+        }
+
+        let (knee, target, desired) = {
+            let model = self.fit.as_ref().expect("fit populated above");
+            let (best_k, best_s) = model.argmin_int(1, max_preproc);
+            // Knee: minimum threads at (tolerance of) peak throughput.
+            let mut knee = best_k;
+            for k in 1..best_k {
+                if model.predict(k as f64) <= best_s * (1.0 + KNEE_TOL) {
+                    knee = k;
+                    break;
+                }
+            }
+            // Fewest threads whose predicted batch time hides under the
+            // training time; the knee when none does.
+            let mut target = knee;
+            for k in 1..=knee {
+                if model.predict(k as f64) <= obs.t_train_s {
+                    target = k;
+                    break;
+                }
+            }
+            let target = target.clamp(min_preproc, max_preproc);
+            // Hysteresis: dwell window plus improvement threshold.
+            let mut desired = cur;
+            if !self.params.frozen && target != cur {
+                let dwell_ok = self
+                    .last_change
+                    .is_none_or(|t| obs.tick.saturating_sub(t) >= self.params.dwell_ticks);
+                if dwell_ok {
+                    let cur_s = model.predict(cur as f64);
+                    let new_s = model.predict(target as f64);
+                    if target > cur {
+                        if cur_s > 0.0 && (cur_s - new_s) / cur_s >= self.params.improve_frac {
+                            desired = target;
+                        }
+                    } else if new_s <= obs.t_train_s * (1.0 - self.params.improve_frac) {
+                        // Give threads back to loading only when the slower
+                        // preprocessing still hides comfortably.
+                        desired = target;
+                    }
+                }
+            }
+            (knee, target, desired)
+        };
+
+        self.decision.flipped.clear();
+        let mut achieved = cur;
+        if desired != cur {
+            let to_preproc = desired > cur;
+            let need = desired.abs_diff(cur);
+            let (from, to) = if to_preproc {
+                (Role::Loader, Role::Preproc)
+            } else {
+                (Role::Preproc, Role::Loader)
+            };
+            let mut flips = 0u32;
+            for w in 0..self.roles.len() {
+                if flips == need {
+                    break;
+                }
+                if self.roles[w] == from && self.eligible(w, obs.tick) {
+                    self.roles[w] = to;
+                    self.last_flip[w] = Some(obs.tick);
+                    self.decision.flipped.push(w as u32);
+                    flips += 1;
+                }
+            }
+            if flips > 0 {
+                achieved = if to_preproc { cur + flips } else { cur - flips };
+                self.last_change = Some(obs.tick);
+            }
+        } else if self.params.force_churn && !self.params.frozen {
+            // Stress mode: swap the lowest-index eligible pair so roles
+            // churn while the split (and the dwell guarantee) holds.
+            let l = (0..self.roles.len())
+                .find(|&w| self.roles[w] == Role::Loader && self.eligible(w, obs.tick));
+            let p = (0..self.roles.len())
+                .find(|&w| self.roles[w] == Role::Preproc && self.eligible(w, obs.tick));
+            if let (Some(l), Some(p)) = (l, p) {
+                self.roles[l] = Role::Preproc;
+                self.roles[p] = Role::Loader;
+                self.last_flip[l] = Some(obs.tick);
+                self.last_flip[p] = Some(obs.tick);
+                let (a, b) = if l < p { (l, p) } else { (p, l) };
+                self.decision.flipped.push(a as u32);
+                self.decision.flipped.push(b as u32);
+            }
+        }
+
+        // Algorithm 1 over the loader remainder, memoized on its inputs.
+        let loaders = self.params.workers - achieved;
+        let lq_key = (loaders, per1_bits, obs.t_train_s.to_bits());
+        if self.loader_key != Some(lq_key) {
+            let nq = self.params.queues as usize;
+            let q_cost = obs.batch_samples as f64 / self.params.queues as f64
+                * obs.mean_sample_bytes
+                * self.params.load_unit_secs;
+            let costs = vec![q_cost; nq];
+            let initial = proportional_allocation(&costs, loaders);
+            let a1 = Algorithm1Params::new((obs.t_train_s * 0.05).max(1e-9), loaders.max(1));
+            let outcomes = assign_threads_detailed(&a1, &initial, |q, k| {
+                let load = if k == 0 {
+                    f64::INFINITY
+                } else {
+                    costs[q] / k as f64
+                };
+                obs.t_train_s - load
+            });
+            let mut alloc: Vec<u32> = outcomes.iter().map(|o| o.threads).collect();
+            normalize_to_budget(&mut alloc, loaders);
+            // The role board hands out exactly `loaders` workers: pad
+            // round-robin, trim from the back, so the counts sum exactly.
+            let mut sum: u32 = alloc.iter().sum();
+            let mut i = 0usize;
+            while sum < loaders {
+                alloc[i % nq] += 1;
+                sum += 1;
+                i += 1;
+            }
+            let mut j = nq;
+            while sum > loaders {
+                j = if j == 0 { nq - 1 } else { j - 1 };
+                if alloc[j] > 0 {
+                    alloc[j] -= 1;
+                    sum -= 1;
+                }
+            }
+            self.decision.loader_queues.clear();
+            self.decision.loader_queues.extend_from_slice(&alloc);
+            self.decision.evals = outcomes.iter().map(|o| o.evals).sum();
+            self.loader_key = Some(lq_key);
+        }
+
+        let predicted = self
+            .fit
+            .as_ref()
+            .expect("fit populated above")
+            .predict(achieved as f64);
+        let d = &mut self.decision;
+        d.tick = obs.tick;
+        d.preproc_before = cur;
+        d.preproc_after = achieved;
+        d.target_preproc = target;
+        d.knee = knee;
+        d.predicted_batch_secs = predicted;
+        d.converged = achieved == target;
+        &self.decision
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(tick: u64, wf: u32, t_train_s: f64) -> ElasticObservation {
+        ElasticObservation::for_iteration(tick, 16_384.0, wf, 16, t_train_s)
+    }
+
+    /// Drive to steady state under one observation shape.
+    fn settle(ctl: &mut ElasticController, wf: u32, t_train_s: f64, ticks: u64) -> u32 {
+        let mut after = ctl.preproc_count();
+        for t in 0..ticks {
+            after = ctl.tick(&obs(t, wf, t_train_s)).preproc_after;
+        }
+        after
+    }
+
+    #[test]
+    fn heavy_preprocessing_steals_loaders() {
+        let mut ctl = ElasticController::new(ElasticParams::for_pool(8, 2), 2);
+        // wf 8 → ~2.5 ms of single-thread preprocessing vs 300 µs train.
+        let after = settle(&mut ctl, 8, 300e-6, 12);
+        assert!(
+            after >= 5,
+            "preproc side should grow to the knee, got {after}"
+        );
+        assert_eq!(ctl.preproc_count() + ctl.loader_count(), 8);
+    }
+
+    #[test]
+    fn light_preprocessing_keeps_minimum_threads() {
+        let mut ctl = ElasticController::new(ElasticParams::for_pool(8, 2), 6);
+        // wf 1 → ~315 µs single-thread; 2 threads hide under 300 µs train.
+        let after = settle(&mut ctl, 1, 300e-6, 12);
+        assert!(
+            after <= 2,
+            "light preproc should release workers, got {after}"
+        );
+    }
+
+    #[test]
+    fn frozen_controller_never_flips() {
+        let mut params = ElasticParams::for_pool(8, 2);
+        params.frozen = true;
+        let mut ctl = ElasticController::new(params, 2);
+        for t in 0..10 {
+            let d = ctl.tick(&obs(t, 8, 300e-6));
+            assert_eq!(d.preproc_after, 2);
+            assert!(d.flipped.is_empty());
+        }
+        // It still predicts and reports the target it refuses to chase.
+        assert!(ctl.decision.target_preproc > 2);
+    }
+
+    #[test]
+    fn dwell_blocks_consecutive_split_changes() {
+        let mut params = ElasticParams::for_pool(8, 2);
+        params.dwell_ticks = 4;
+        let mut ctl = ElasticController::new(params, 2);
+        let d0 = ctl.tick(&obs(0, 8, 300e-6)).clone();
+        assert!(d0.preproc_after > 2, "first tick moves");
+        // Flip demand back down immediately: dwell must hold the split.
+        for t in 1..4 {
+            let d = ctl.tick(&obs(t, 1, 300e-6));
+            assert_eq!(d.preproc_after, d.preproc_before, "tick {t} must dwell");
+        }
+        let d4 = ctl.tick(&obs(4, 1, 300e-6));
+        assert!(
+            d4.preproc_after < d0.preproc_after,
+            "dwell expired, split moves"
+        );
+    }
+
+    #[test]
+    fn churn_swaps_one_pair_and_conserves_counts() {
+        let mut params = ElasticParams::for_pool(8, 2);
+        params.force_churn = true;
+        params.dwell_ticks = 1;
+        let mut ctl = ElasticController::new(params, 2);
+        let mut churn_ticks = 0;
+        for t in 0..8 {
+            let d = ctl.tick(&obs(t, 1, 1.0)).clone(); // huge t_train: target == min
+            if d.preproc_after == d.preproc_before && d.flipped.len() == 2 {
+                churn_ticks += 1;
+            }
+            assert_eq!(ctl.preproc_count(), d.preproc_after);
+            assert_eq!(ctl.preproc_count() + ctl.loader_count(), 8);
+        }
+        assert!(
+            churn_ticks > 0,
+            "churn mode must swap pairs on steady ticks"
+        );
+    }
+
+    #[test]
+    fn loader_queues_always_sum_to_loader_count() {
+        let mut ctl = ElasticController::new(ElasticParams::for_pool(9, 4), 3);
+        for t in 0..10 {
+            let wf = if t < 5 { 1 } else { 8 };
+            let d = ctl.tick(&obs(t, wf, 300e-6));
+            assert_eq!(d.loader_queues.len(), 4);
+            assert_eq!(
+                d.loader_queues.iter().sum::<u32>(),
+                9 - d.preproc_after,
+                "tick {t}: {:?}",
+                d.loader_queues
+            );
+        }
+    }
+
+    #[test]
+    fn calibrate_refits_the_curve() {
+        let mut ctl = ElasticController::new(ElasticParams::for_pool(8, 2), 2);
+        let before = ctl.tick(&obs(0, 2, 300e-6)).predicted_batch_secs;
+        ctl.calibrate(DEFAULT_UNIT_SECS * 10.0);
+        let after = ctl.tick(&obs(1, 2, 300e-6)).predicted_batch_secs;
+        assert!(
+            after > before * 2.0,
+            "10× unit cost must reshape predictions"
+        );
+    }
+
+    #[test]
+    fn steady_state_tick_reuses_memoized_fit() {
+        let mut ctl = ElasticController::new(ElasticParams::for_pool(8, 2), 2);
+        let _ = ctl.tick(&obs(0, 2, 300e-6));
+        let evals_warm = ctl.decision.evals;
+        let d = ctl.tick(&obs(1, 2, 300e-6)).clone();
+        // Memoized loader plan: no new Algorithm 1 evaluations recorded.
+        assert_eq!(d.evals, evals_warm);
+        assert_eq!(d.loader_queues.iter().sum::<u32>(), 8 - d.preproc_after);
+    }
+
+    #[test]
+    fn knee_from_points_finds_the_saturation() {
+        let pts: Vec<(f64, f64)> = (1..=12)
+            .map(|k| (k as f64, 1.0 / throughput_factor(k, 6)))
+            .collect();
+        let knee = knee_from_points(&pts, 1e-4);
+        assert!((5..=7).contains(&knee), "knee {knee} expected ≈6");
+    }
+
+    #[test]
+    fn throughput_factor_shape() {
+        assert_eq!(throughput_factor(1, 6), 1.0);
+        assert_eq!(throughput_factor(6, 6), 6.0);
+        assert!(throughput_factor(10, 6) < 6.0);
+        assert!(throughput_factor(64, 6) >= 3.0);
+    }
+}

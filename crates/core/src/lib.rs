@@ -12,6 +12,9 @@
 //! * [`algorithm1`] — the heuristic binary-search thread assignment of
 //!   §4.4 (Algorithm 1), queue-proportional initial allocation, and budget
 //!   normalization.
+//! * [`elastic`] — the elastic preproc↔loader role controller gluing the
+//!   §4.1 knee and Algorithm 1 into one per-iteration decision, shared by
+//!   the live engine and both simulators.
 //! * [`policy`] — the [`policy::LoaderPolicy`] interface, caching
 //!   strategies, and the reuse-distance eviction engine of §4.4.
 //! * [`policies`] — PyTorch DataLoader, DALI, NoPFS, Lobster, and the two
@@ -43,6 +46,7 @@
 //! unambiguous even where the module names are not.
 
 pub mod algorithm1;
+pub mod elastic;
 pub mod model;
 pub mod models;
 pub mod policies;
@@ -53,6 +57,10 @@ pub mod regression;
 pub use algorithm1::{
     assign_threads, assign_threads_detailed, normalize_to_budget, proportional_allocation,
     Algorithm1Params, SearchOutcome,
+};
+pub use elastic::{
+    knee_from_points, throughput_factor, ElasticController, ElasticDecision, ElasticObservation,
+    ElasticParams, Role,
 };
 pub use model::{
     imbalance_gap_secs, load_time_secs, stage_gap_secs, ClusterSpec, ThreadAlloc, TierBreakdown,

@@ -142,3 +142,111 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Elastic controller (§4.1 role board): conservation, hysteresis, and
+// regression-target monotonicity under arbitrary workloads.
+// ---------------------------------------------------------------------
+
+use lobster_core::elastic::{ElasticController, ElasticObservation, ElasticParams};
+use std::collections::HashMap;
+
+proptest! {
+    /// Role-board conservation: at every tick, the Algorithm-1 loader
+    /// assignment plus the preprocessing share account for exactly the N
+    /// workers of the pool — no leak, no phantom worker, with or without
+    /// forced churn, across arbitrary work-factor trajectories.
+    #[test]
+    fn elastic_role_board_conserves_the_pool(
+        workers in 4u32..48,
+        queues in 1u32..9,
+        initial in 1u32..48,
+        churn in any::<bool>(),
+        wfs in proptest::collection::vec(1u32..64, 4..32),
+    ) {
+        let mut params = ElasticParams::for_pool(workers, queues);
+        params.force_churn = churn;
+        let mut ctl = ElasticController::new(params, initial % workers);
+        for (t, &wf) in wfs.iter().enumerate() {
+            let obs = ElasticObservation::for_iteration(
+                t as u64, 16_384.0, wf, (queues * 4) as u64, 2e-4,
+            );
+            let d = ctl.tick(&obs).clone();
+            let loaders: u32 = d.loader_queues.iter().sum();
+            prop_assert_eq!(
+                loaders + d.preproc_after, workers,
+                "pool leak at tick {}: {:?}", t, d
+            );
+            prop_assert_eq!(d.loader_queues.len(), queues as usize);
+            prop_assert_eq!(d.preproc_after, ctl.preproc_count());
+            prop_assert_eq!(
+                ctl.preproc_count() + ctl.loader_count(), workers,
+                "role vector out of sync at tick {}", t
+            );
+        }
+    }
+
+    /// Hysteresis bound: no worker's role flips twice within the dwell
+    /// window, even under forced churn and adversarial work-factor swings.
+    #[test]
+    fn elastic_dwell_window_is_respected(
+        workers in 4u32..48,
+        queues in 1u32..9,
+        initial in 1u32..48,
+        churn in any::<bool>(),
+        wfs in proptest::collection::vec(1u32..64, 4..40),
+    ) {
+        let mut params = ElasticParams::for_pool(workers, queues);
+        params.force_churn = churn;
+        let dwell = params.dwell_ticks;
+        let mut ctl = ElasticController::new(params, initial % workers);
+        let mut last_flip: HashMap<u32, u64> = HashMap::new();
+        for (t, &wf) in wfs.iter().enumerate() {
+            let obs = ElasticObservation::for_iteration(
+                t as u64, 16_384.0, wf, (queues * 4) as u64, 2e-4,
+            );
+            let d = ctl.tick(&obs).clone();
+            for &w in &d.flipped {
+                if let Some(&prev) = last_flip.get(&w) {
+                    prop_assert!(
+                        d.tick - prev >= dwell,
+                        "worker {} flipped at ticks {} and {} (dwell {})",
+                        w, prev, d.tick, dwell
+                    );
+                }
+                last_flip.insert(w, d.tick);
+            }
+        }
+    }
+
+    /// Regression-knee monotonicity: a heavier preprocessing work factor
+    /// never lowers the regression target — the fewest threads that hide
+    /// preprocessing under training can only grow as samples get more
+    /// expensive, saturating at the knee of the fitted curve.
+    #[test]
+    fn elastic_target_is_monotone_in_work_factor(
+        workers in 4u32..48,
+        queues in 1u32..9,
+        bytes in 1_000u64..1_000_000,
+        batch in 1u64..64,
+        t_train_us in 10u64..100_000,
+    ) {
+        let t_train = t_train_us as f64 * 1e-6;
+        let mut prev_target = 0u32;
+        for wf in [1u32, 2, 4, 8, 16, 32, 64] {
+            // A fresh controller per work factor isolates the regression
+            // target from dwell/hysteresis state.
+            let params = ElasticParams::for_pool(workers, queues);
+            let mut ctl = ElasticController::new(params, 1);
+            let obs = ElasticObservation::for_iteration(0, bytes as f64, wf, batch, t_train);
+            let d = ctl.tick(&obs).clone();
+            prop_assert!(
+                d.target_preproc >= prev_target,
+                "target dropped from {} to {} at wf {}",
+                prev_target, d.target_preproc, wf
+            );
+            prop_assert!(d.target_preproc <= d.knee.max(1));
+            prev_target = d.target_preproc;
+        }
+    }
+}

@@ -19,6 +19,9 @@ pub enum DecisionSource {
     EngineController,
     /// An Algorithm 1 (binary-search thread assignment) solve in a policy.
     Algorithm1,
+    /// The elastic worker pool flipping preproc↔loader roles at an
+    /// iteration boundary.
+    ElasticPool,
 }
 
 /// One adaptive thread-reassignment decision.

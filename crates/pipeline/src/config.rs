@@ -5,6 +5,54 @@ use lobster_core::{ClusterSpec, ModelProfile, PreprocGovernor, PreprocModel};
 use lobster_data::{Dataset, PartitionScheme, ScheduleSpec};
 use lobster_storage::{FaultConfigError, SlowdownProfile, StorageModel};
 
+/// Elastic worker-pool rule for the simulators, mirroring the live
+/// engine's `--elastic` mode: a pool of `workers` whose loader/preproc
+/// split is re-planned each iteration by `lobster_core::ElasticController`
+/// from the same deterministic inputs the engine uses (tick, mean sample
+/// bytes, work factor, batch samples, `T_train`) — so the role-flip
+/// decision sequences of engine, ClusterSim, and the conformance DES can
+/// be compared exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ElasticSimConfig {
+    /// Pool size per node (loaders + preprocessing workers).
+    pub workers: u32,
+    /// Workers starting in the preprocessing role.
+    pub initial_preproc: u32,
+    /// Baseline preprocessing work factor (1 = nominal).
+    pub work_factor: u32,
+    /// Mid-run step: from global iteration `.0`, the work factor becomes
+    /// `.1` (the Figure 6 "preprocessing cost grows" scenario).
+    pub work_factor_step: Option<(u64, u32)>,
+    /// Force one loader↔preproc swap on otherwise-quiet ticks (test knob).
+    pub churn: bool,
+    /// Freeze the controller at its initial split (the never-steal mutant
+    /// and the static baseline in the elastic-vs-static experiment).
+    pub frozen: bool,
+}
+
+impl ElasticSimConfig {
+    /// A pool of `workers` with a quarter starting in the preprocessing
+    /// role (at least one), nominal work factor, no churn.
+    pub fn for_pool(workers: u32) -> ElasticSimConfig {
+        ElasticSimConfig {
+            workers,
+            initial_preproc: (workers / 4).max(1),
+            work_factor: 1,
+            work_factor_step: None,
+            churn: false,
+            frozen: false,
+        }
+    }
+
+    /// The preprocessing work factor in effect at global iteration `iter`.
+    pub fn work_factor_at(&self, iter: u64) -> u32 {
+        match self.work_factor_step {
+            Some((at, wf)) if iter >= at => wf,
+            _ => self.work_factor,
+        }
+    }
+}
+
 /// One training-run configuration.
 #[derive(Debug, Clone)]
 pub struct ExperimentConfig {
@@ -48,6 +96,9 @@ pub struct ExperimentConfig {
     /// How epochs are partitioned across ranks (global shuffle — the
     /// paper's setting — or node-local shard shuffling).
     pub partition: PartitionScheme,
+    /// Elastic worker-pool rule (None = the classic static/adaptive
+    /// thread-count planning path).
+    pub elastic: Option<ElasticSimConfig>,
 }
 
 impl ExperimentConfig {
@@ -112,6 +163,7 @@ pub struct ConfigBuilder {
     warnings: Vec<String>,
     kv_partitioned: bool,
     partition: PartitionScheme,
+    elastic: Option<ElasticSimConfig>,
 }
 
 impl ConfigBuilder {
@@ -132,6 +184,7 @@ impl ConfigBuilder {
             warnings: Vec::new(),
             kv_partitioned: false,
             partition: PartitionScheme::GlobalShuffle,
+            elastic: None,
         }
     }
 
@@ -236,6 +289,12 @@ impl ConfigBuilder {
         self
     }
 
+    /// Enable the elastic worker-pool rule (None = classic planning path).
+    pub fn elastic(mut self, e: ElasticSimConfig) -> Self {
+        self.elastic = Some(e);
+        self
+    }
+
     pub fn build(self) -> ExperimentConfig {
         let dataset = self
             .dataset
@@ -261,6 +320,7 @@ impl ConfigBuilder {
             config_warnings: self.warnings,
             kv_partitioned: self.kv_partitioned,
             partition: self.partition,
+            elastic: self.elastic,
         }
     }
 }

@@ -20,10 +20,12 @@
 
 use crate::config::ExperimentConfig;
 use crate::observe::{
-    DecisionObservable, EvictReason, EvictionEvent, IterationObservables, RunObservables,
+    DecisionObservable, EvictReason, EvictionEvent, IterationObservables, RoleFlipObservable,
+    RunObservables,
 };
 use crate::trace::{IterationRecord, TraceCollector};
 use lobster_cache::{Directory, EvictOrder, NodeCache};
+use lobster_core::elastic::{ElasticController, ElasticObservation, ElasticParams};
 use lobster_core::model::load_time_parts;
 use lobster_core::{
     CachingStrategy, EvictReport, LoaderPolicy, NodePlan, PlanContext, PreprocGovernor,
@@ -152,6 +154,11 @@ pub struct ClusterSim {
     /// record at well-defined points to preserve execution order.
     observing: bool,
     obs_events: Vec<EvictionEvent>,
+    /// The elastic worker-pool controller (Some iff `cfg.elastic` is set):
+    /// one cluster-wide controller ticked once per iteration, its split
+    /// applied identically on every node — the same deterministic rule the
+    /// live engine runs, so role-flip sequences compare exactly.
+    elastic_ctl: Option<ElasticController>,
 }
 
 /// Simulated seconds → trace microseconds.
@@ -173,6 +180,12 @@ impl ClusterSim {
         let governor = cfg.calibrated_governor();
         let world = cfg.cluster.world_size();
         let distributed = policy.distributed_cache();
+        let elastic_ctl = cfg.elastic.as_ref().map(|e| {
+            let mut p = ElasticParams::for_pool(e.workers, cfg.cluster.gpus_per_node as u32);
+            p.force_churn = e.churn;
+            p.frozen = e.frozen;
+            ElasticController::new(p, e.initial_preproc)
+        });
         ClusterSim {
             policy,
             governor,
@@ -188,6 +201,7 @@ impl ClusterSim {
             instruments: Instruments::disabled(),
             observing: false,
             obs_events: Vec::new(),
+            elastic_ctl,
             cfg,
         }
     }
@@ -417,6 +431,9 @@ impl ClusterSim {
         let t_train = self.cfg.model.t_train_s;
         let efficiency = self.policy.loading_efficiency();
         let mean_bytes = self.cfg.dataset.mean_sample_bytes() as u64;
+        let elastic_cfg = self.cfg.elastic;
+        let elastic_batch_samples = (gpus * self.cfg.cluster.batch_size) as u64;
+        let mean_sample_f = self.cfg.dataset.mean_sample_bytes();
 
         let ins = self.instruments.clone();
         // Surface builder-repaired configuration (clamped slowdown factors
@@ -484,6 +501,49 @@ impl ClusterSim {
                     .count()
                     .max(1);
 
+                // Elastic worker-pool tick: one controller decision per
+                // iteration from purely deterministic inputs, applied
+                // identically on every node.
+                let elastic_step = elastic_cfg.as_ref().and_then(|e| {
+                    let ctl = self.elastic_ctl.as_mut()?;
+                    let wf = e.work_factor_at(global_iter);
+                    let eobs = ElasticObservation::for_iteration(
+                        global_iter,
+                        mean_sample_f,
+                        wf,
+                        elastic_batch_samples,
+                        t_train,
+                    );
+                    Some((ctl.tick(&eobs).clone(), wf, e.workers))
+                });
+                let mut iter_role_flips: Vec<RoleFlipObservable> = Vec::new();
+                if let Some((d, _, workers)) = &elastic_step {
+                    if self.observing {
+                        iter_role_flips.push(RoleFlipObservable::from_decision(d));
+                    }
+                    if !d.flipped.is_empty() && ins.is_enabled() {
+                        decisions_m.inc();
+                        ins.trace(|| {
+                            TraceEvent::instant("role_flip", "controller", sim_us(self.barrier_s))
+                                .arg_u("iter", global_iter)
+                                .arg_u("preproc_workers", d.preproc_after as u64)
+                                .arg_u("flips", d.flipped.len() as u64)
+                        });
+                        ins.record_decision(DecisionRecord {
+                            ts_us: sim_us(self.barrier_s),
+                            source: DecisionSource::ElasticPool,
+                            node: 0,
+                            queue_loads: Vec::new(),
+                            predicted_cost: vec![d.predicted_batch_secs],
+                            threads_before: vec![workers - d.preproc_before, d.preproc_before],
+                            threads_after: vec![workers - d.preproc_after, d.preproc_after],
+                            gap_s: Some(t_train - d.predicted_batch_secs),
+                            evals: d.evals,
+                            converged: d.converged,
+                        });
+                    }
+                }
+
                 let mut iter_decisions: Vec<DecisionObservable> = Vec::new();
                 let mut iter_prefetched = vec![0u64; nodes];
                 let tier_counts: Vec<[u64; 3]> = if self.observing {
@@ -519,7 +579,15 @@ impl ClusterSim {
                         mean_sample_bytes: mean_bytes,
                         governor: &self.governor,
                     };
-                    let plan = self.policy.plan(&ctx);
+                    let mut plan = self.policy.plan(&ctx);
+                    if let Some((d, _, _)) = &elastic_step {
+                        // The controller owns the split in elastic mode:
+                        // the policy's thread counts are replaced by the
+                        // role-board's loader-per-queue assignment and
+                        // preprocessing-worker count.
+                        plan.preproc_threads = d.preproc_after;
+                        plan.load_threads = d.loader_queues.clone();
+                    }
                     debug_assert_eq!(plan.load_threads.len(), gpus);
                     if ins.is_enabled() || self.observing {
                         for d in self.policy.drain_decisions() {
@@ -549,10 +617,14 @@ impl ClusterSim {
                     // with the planned threads (shared stage: every GPU's
                     // batch streams through together).
                     let node_bytes: f64 = splits[node].iter().map(TierBreakdown::total_bytes).sum();
+                    // In elastic mode the preprocessing work factor scales
+                    // the bytes through the cost model (wf = 1 is exact
+                    // identity, so the classic path is untouched).
+                    let elastic_wf = elastic_step.as_ref().map_or(1, |(_, wf, _)| *wf);
                     let t_prep = self
                         .cfg
                         .preproc
-                        .batch_secs(node_bytes, plan.preproc_threads);
+                        .batch_secs(node_bytes * elastic_wf as f64, plan.preproc_threads);
 
                     // Intra-node overcommit: the per-GPU model (Eq. 1)
                     // assumes each GPU's threads get the full tier curve,
@@ -816,6 +888,7 @@ impl ClusterSim {
                         evictions: std::mem::take(&mut self.obs_events),
                         decisions: iter_decisions,
                         prefetched: iter_prefetched,
+                        role_flips: iter_role_flips,
                         pipe_s: pipe_s.clone(),
                         starts_s: starts.clone(),
                         barrier_s: new_barrier,

@@ -20,11 +20,12 @@ pub mod planner;
 pub mod trace;
 
 pub use accuracy::{max_gap, simulate_accuracy, AccuracyCurve};
-pub use config::{ConfigBuilder, ExperimentConfig};
+pub use config::{ConfigBuilder, ElasticSimConfig, ExperimentConfig};
 pub use des::{analytic_barriers, des_barriers, des_barriers_with};
 pub use executor::{ClusterSim, EpochReport, RunReport};
 pub use observe::{
-    DecisionObservable, EvictReason, EvictionEvent, IterationObservables, RunObservables,
+    DecisionObservable, EvictReason, EvictionEvent, IterationObservables, RoleFlipObservable,
+    RunObservables,
 };
 pub use planner::{precompute_plan, PlannedPolicy, TrainingPlan};
 pub use trace::{IterationRecord, TraceCollector};

@@ -10,6 +10,7 @@
 //! them and any checker can diff them; the comparison itself lives in
 //! `lobster-conformance`.
 
+use lobster_core::elastic::ElasticDecision;
 use lobster_core::{EvictCause, PlanDecision};
 use serde::{Deserialize, Serialize};
 
@@ -71,6 +72,39 @@ impl DecisionObservable {
     }
 }
 
+/// One elastic worker-pool controller tick, as an executor-neutral record.
+///
+/// The elastic controller's decisions are pure functions of deterministic
+/// inputs (tick index, mean sample bytes, work factor, batch size,
+/// `T_train`), so every executor that runs the same controller over the
+/// same configuration must produce the *identical* sequence — role flips
+/// are compared exactly, not within a tolerance.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoleFlipObservable {
+    /// Controller tick (== global iteration the decision applies to).
+    pub tick: u64,
+    /// Preprocessing-role workers before the tick.
+    pub preproc_before: u32,
+    /// Preprocessing-role workers after the tick.
+    pub preproc_after: u32,
+    /// Per-queue loader assignment after the tick (Algorithm 1 output).
+    pub loader_queues: Vec<u32>,
+    /// Worker indices whose role changed this tick.
+    pub flipped: Vec<u32>,
+}
+
+impl RoleFlipObservable {
+    pub fn from_decision(d: &ElasticDecision) -> RoleFlipObservable {
+        RoleFlipObservable {
+            tick: d.tick,
+            preproc_before: d.preproc_before,
+            preproc_after: d.preproc_after,
+            loader_queues: d.loader_queues.clone(),
+            flipped: d.flipped.clone(),
+        }
+    }
+}
+
 /// Everything observable about one cluster iteration.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct IterationObservables {
@@ -86,6 +120,9 @@ pub struct IterationObservables {
     pub decisions: Vec<DecisionObservable>,
     /// Samples prefetched this iteration, per node.
     pub prefetched: Vec<u64>,
+    /// Elastic worker-pool controller ticks this iteration (empty when the
+    /// run is not elastic). Compared exactly across executors.
+    pub role_flips: Vec<RoleFlipObservable>,
     /// Per global GPU `T_L + T_P`, seconds.
     pub pipe_s: Vec<f64>,
     /// Per global GPU training-start time, absolute seconds.

@@ -1,0 +1,133 @@
+//! ClusterSim grows the same elastic preproc↔loader rule as the live
+//! engine (ISSUE 5): the controller tick runs once per cluster
+//! iteration, its decisions override the policy's thread plan, and the
+//! resulting role-flip sequence is an invariant observable.
+
+use lobster_core::policy_by_name;
+use lobster_core::ModelProfile;
+use lobster_data::{Dataset, SizeDistribution};
+use lobster_pipeline::{ClusterSim, ConfigBuilder, ElasticSimConfig, ExperimentConfig};
+
+/// One node × two GPUs × batch 4 over 96 constant-size samples: 12
+/// iterations per epoch, with the preprocessing work factor stepping
+/// 1 → 8 at global iteration 12 (the start of epoch 1).
+fn elastic_cfg(seed: u64, elastic: Option<ElasticSimConfig>) -> ExperimentConfig {
+    let dataset = Dataset::generate(
+        "pipeline-elastic",
+        96,
+        SizeDistribution::Constant { bytes: 16_384 },
+        seed,
+    );
+    let cache_bytes = dataset.total_bytes() / 3;
+    let mut b = ConfigBuilder::new()
+        .nodes(1)
+        .gpus_per_node(2)
+        .batch_size(4)
+        .pipeline_threads(8)
+        .cache_bytes(cache_bytes)
+        .dataset(dataset)
+        .epochs(2)
+        .seed(seed)
+        .model(ModelProfile::new("pipeline-elastic", 2e-4, 0.7, 10.0));
+    if let Some(e) = elastic {
+        b = b.elastic(e);
+    }
+    b.build()
+}
+
+fn step_cfg(frozen: bool) -> ElasticSimConfig {
+    ElasticSimConfig {
+        workers: 8,
+        initial_preproc: 1,
+        work_factor: 1,
+        work_factor_step: Some((12, 8)),
+        churn: false,
+        frozen,
+    }
+}
+
+/// The work-factor step must grow the preprocessing share: before the
+/// step the configured single preproc worker keeps up; after it the
+/// controller reallocates loaders into preprocessing roles.
+#[test]
+fn cluster_sim_grows_preproc_share_after_work_factor_step() {
+    let cfg = elastic_cfg(11, Some(step_cfg(false)));
+    let (_, obs) = ClusterSim::new(cfg, policy_by_name("lobster").unwrap()).run_observed();
+
+    assert_eq!(obs.iterations.len(), 24);
+    for (h, it) in obs.iterations.iter().enumerate() {
+        assert_eq!(
+            it.role_flips.len(),
+            1,
+            "iteration {h}: exactly one controller tick"
+        );
+        let f = &it.role_flips[0];
+        assert_eq!(f.tick, h as u64);
+        // Conservation: loaders + preproc == pool size, every tick.
+        let loaders: u32 = f.loader_queues.iter().sum();
+        assert_eq!(loaders + f.preproc_after, 8, "iteration {h}");
+    }
+
+    let before: u32 = obs.iterations[11].role_flips[0].preproc_after;
+    let after: u32 = obs.iterations[23].role_flips[0].preproc_after;
+    assert_eq!(before, 1, "light preprocessing keeps the initial split");
+    assert!(
+        after > before,
+        "the 8× work-factor step must pull workers into preprocessing \
+         (before {before}, after {after})"
+    );
+    assert!(
+        obs.iterations[12..]
+            .iter()
+            .any(|it| !it.role_flips[0].flipped.is_empty()),
+        "the step must produce at least one actual role flip"
+    );
+}
+
+/// A frozen controller (the `never-steal` canary semantics) still ticks —
+/// the sequence has the right length — but never flips a role.
+#[test]
+fn frozen_controller_never_flips() {
+    let cfg = elastic_cfg(11, Some(step_cfg(true)));
+    let (_, obs) = ClusterSim::new(cfg, policy_by_name("lobster").unwrap()).run_observed();
+
+    assert_eq!(obs.iterations.len(), 24);
+    for it in &obs.iterations {
+        let f = &it.role_flips[0];
+        assert_eq!(f.preproc_after, 1, "frozen split must stand still");
+        assert!(f.flipped.is_empty(), "frozen controller must not flip");
+    }
+}
+
+/// Elastic reallocation beats the frozen split on epoch time once the
+/// heavy work factor lands: more preprocessing threads shorten the
+/// pipeline's critical path.
+#[test]
+fn elastic_beats_frozen_split_under_step() {
+    let (elastic_report, _) = ClusterSim::new(
+        elastic_cfg(11, Some(step_cfg(false))),
+        policy_by_name("lobster").unwrap(),
+    )
+    .run_observed();
+    let (frozen_report, _) = ClusterSim::new(
+        elastic_cfg(11, Some(step_cfg(true))),
+        policy_by_name("lobster").unwrap(),
+    )
+    .run_observed();
+
+    let elastic_last = elastic_report.epochs.last().unwrap().wall_s;
+    let frozen_last = frozen_report.epochs.last().unwrap().wall_s;
+    assert!(
+        elastic_last < frozen_last,
+        "elastic epoch-1 time {elastic_last:.6}s must beat frozen {frozen_last:.6}s"
+    );
+}
+
+/// Without an elastic config the executor emits no role-flip observables
+/// and behaves exactly as before (the classic path is untouched).
+#[test]
+fn non_elastic_run_emits_no_role_flips() {
+    let cfg = elastic_cfg(11, None);
+    let (_, obs) = ClusterSim::new(cfg, policy_by_name("lobster").unwrap()).run_observed();
+    assert!(obs.iterations.iter().all(|it| it.role_flips.is_empty()));
+}

@@ -22,9 +22,12 @@
 use crate::cache::ShardCache;
 use crate::resilient::ResilientStore;
 use crate::store::{sample_checksum, FetchError, SyntheticStore};
-use crate::sync::AbortableBarrier;
+use crate::sync::{AbortableBarrier, RoleBoard, ROLE_LOADER, ROLE_PREPROC};
 use crate::transform::{invert, preprocess};
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, SendTimeoutError, Sender, TryRecvError};
+use lobster_core::elastic::{
+    ElasticController, ElasticDecision, ElasticObservation, ElasticParams,
+};
 use lobster_data::{Dataset, EpochSchedule, SampleId, ScheduleSpec};
 use lobster_metrics::{DecisionRecord, DecisionSource, Instruments, TraceEvent};
 use lobster_storage::faults::RetryPolicy;
@@ -58,6 +61,28 @@ pub struct EngineConfig {
     pub seed: u64,
     /// Retry/backoff/deadline parameters for the resilient fetch path.
     pub retry: RetryPolicy,
+    /// Elastic worker pool (§4.1): merge the loader and preprocessing
+    /// pools into one pool of `loader_threads + preproc_threads` workers
+    /// whose roles the controller flips at iteration boundaries.
+    pub elastic: bool,
+    /// Stress mode for the elastic pool: force one role swap on every
+    /// tick where the split would otherwise stand still.
+    pub elastic_churn: bool,
+    /// Mid-run preprocessing step: from iteration `.0` on, the work
+    /// factor becomes `.1` (the Fig. 6 workload shift, live).
+    pub work_factor_step: Option<(u64, u32)>,
+}
+
+impl EngineConfig {
+    /// The preprocessing work factor in force at `iter` — a pure function
+    /// of the schedule, used identically by the preprocessing workers, the
+    /// consumers' integrity inversion, and the elastic controller.
+    pub fn work_factor_at(&self, iter: u64) -> u32 {
+        match self.work_factor_step {
+            Some((at, wf)) if iter >= at => wf,
+            _ => self.work_factor,
+        }
+    }
 }
 
 impl Default for EngineConfig {
@@ -74,6 +99,9 @@ impl Default for EngineConfig {
             epochs: 2,
             seed: 42,
             retry: RetryPolicy::default(),
+            elastic: false,
+            elastic_churn: false,
+            work_factor_step: None,
         }
     }
 }
@@ -113,6 +141,10 @@ pub struct EngineReport {
     /// an iteration races. Conformance checking diffs this against the
     /// scheduled batches and the simulators' delivery record.
     pub delivered_samples: Vec<Vec<Vec<u64>>>,
+    /// One [`ElasticDecision`] per tick when the elastic pool is on
+    /// (empty otherwise) — the role-flip decision sequence the
+    /// conformance harness diffs against both simulators.
+    pub role_flips: Vec<ElasticDecision>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -184,16 +216,39 @@ pub fn compute_weighted_assignment(
             d as f64 * if unit > 0.0 { unit } else { 1.0 }
         })
         .collect();
-    let alloc = lobster_core::proportional_allocation(&costs, workers as u32);
-    assignment_from_alloc(&alloc, depths.len(), workers)
+    assignment_from_costs(&costs, workers)
 }
 
 /// Distribute `workers` loader threads across queues in proportion to
 /// their pending depths alone.
 pub fn compute_assignment(depths: &[usize], workers: usize) -> Vec<usize> {
     let costs: Vec<f64> = depths.iter().map(|&d| d as f64).collect();
-    let alloc = lobster_core::proportional_allocation(&costs, workers as u32);
-    assignment_from_alloc(&alloc, depths.len(), workers)
+    assignment_from_costs(&costs, workers)
+}
+
+fn assignment_from_costs(costs: &[f64], workers: usize) -> Vec<usize> {
+    let queues = costs.len().max(1);
+    let total: f64 = costs.iter().filter(|c| c.is_finite()).sum();
+    if total <= 0.0 {
+        // Every queue is idle: spread round-robin rather than letting the
+        // proportional path's rounding pile the pool onto the low queues.
+        return (0..workers).map(|w| w % queues).collect();
+    }
+    let alloc = lobster_core::proportional_allocation(costs, workers as u32);
+    if alloc.iter().map(|&a| a as usize).sum::<usize>() > workers {
+        // More busy queues than workers: `proportional_allocation` floors
+        // every busy queue at one thread, which used to truncate to the
+        // *first* queues regardless of load. Cover the deepest first.
+        let mut order: Vec<usize> = (0..costs.len()).filter(|&q| costs[q] > 0.0).collect();
+        order.sort_by(|&a, &b| {
+            costs[b]
+                .partial_cmp(&costs[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        return (0..workers).map(|w| order[w % order.len()]).collect();
+    }
+    assignment_from_alloc(&alloc, costs.len(), workers)
 }
 
 fn assignment_from_alloc(alloc: &[u32], queues: usize, workers: usize) -> Vec<usize> {
@@ -212,6 +267,125 @@ fn assignment_from_alloc(alloc: &[u32], queues: usize, workers: usize) -> Vec<us
         q += 1;
     }
     out
+}
+
+/// Publish a controller tick to the shared state the workers read: the
+/// role board mirrors the controller's role vector, and each loader-role
+/// worker gets its primary queue by expanding the per-queue counts of
+/// `d.loader_queues` over the loaders in worker-index order.
+fn apply_elastic_decision(
+    ctl: &ElasticController,
+    d: &ElasticDecision,
+    board: &RoleBoard,
+    assignment: &[AtomicUsize],
+) {
+    let queues = &d.loader_queues;
+    let nq = queues.len().max(1);
+    let mut q = 0usize;
+    let mut used = 0u32;
+    for (w, &role) in ctl.roles().iter().enumerate() {
+        match role {
+            lobster_core::Role::Loader => {
+                board.set_role(w, ROLE_LOADER);
+                while q < queues.len() && used >= queues[q] {
+                    q += 1;
+                    used = 0;
+                }
+                let qi = if q < queues.len() { q } else { w % nq };
+                assignment[w].store(qi, Ordering::Relaxed);
+                used += 1;
+            }
+            lobster_core::Role::Preproc => board.set_role(w, ROLE_PREPROC),
+        }
+    }
+}
+
+/// One resilient fetch through the cache, with poisoned-worker
+/// containment (the panic is caught, counted, and the request
+/// re-executed). `None` means the store was cancelled and the calling
+/// worker should unwind. Shared by the static loader pool and the
+/// elastic pool's loader-role pass.
+#[allow(clippy::too_many_arguments)]
+fn fetch_one(
+    req: &Req,
+    w: usize,
+    cache: &ShardCache,
+    clock: &AtomicU64,
+    rstore: &ResilientStore,
+    worker_panics: &AtomicU64,
+    panics_m: &lobster_metrics::Counter,
+    fetches_m: &lobster_metrics::Counter,
+    stage_accum: &StageAccum,
+    service_ns: &[AtomicU64],
+    ins: &Instruments,
+) -> Option<Arc<Vec<u8>>> {
+    let t0 = Instant::now();
+    let ts_us = ins.now_us();
+    if ins.is_enabled() {
+        stage_accum.queue_wait_ns[req.consumer]
+            .fetch_add(ts_us.saturating_sub(req.enq_us) * 1_000, Ordering::Relaxed);
+    }
+    let key = clock.fetch_add(1, Ordering::Relaxed);
+    fetches_m.inc();
+    let (bytes, tier) = match cache.get(req.sample, key) {
+        Some(b) => (b, "cache"),
+        None => {
+            // Poisoned-worker containment: an injected poison fault panics
+            // inside the fetch. The panic is caught here (no locks are held
+            // across the fetch), logged, and the request re-executed — the
+            // worker "restarts" instead of taking the whole scope down.
+            let fetched = loop {
+                let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    rstore.fetch(req.sample)
+                }));
+                match attempt {
+                    Ok(Ok(bytes)) => break Arc::new(bytes),
+                    Ok(Err(FetchError::Cancelled)) => return None,
+                    Ok(Err(_)) => {
+                        unreachable!("ResilientStore absorbs non-cancel errors")
+                    }
+                    Err(_) => {
+                        worker_panics.fetch_add(1, Ordering::Relaxed);
+                        panics_m.inc();
+                        let ts = ins.now_us();
+                        ins.trace(|| {
+                            TraceEvent::instant("worker_panic", "fault", ts)
+                                .tid(w as u32)
+                                .arg_u("sample", req.sample.0 as u64)
+                        });
+                    }
+                }
+            };
+            cache.insert(req.sample, Arc::clone(&fetched), key);
+            (fetched, "store")
+        }
+    };
+    ins.trace(|| {
+        TraceEvent::span("fetch", "io", ts_us, ins.now_us() - ts_us)
+            .tid(w as u32)
+            .arg_s("tier", tier)
+            .arg_u("sample", req.sample.0 as u64)
+            .arg_u("bytes", bytes.len() as u64)
+    });
+    if ins.is_enabled() {
+        let cell = if tier == "cache" {
+            &stage_accum.fetch_local_ns[req.consumer]
+        } else {
+            &stage_accum.fetch_store_ns[req.consumer]
+        };
+        cell.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+    // EWMA (α = 1/4) of this queue's service cost.
+    let obs = t0.elapsed().as_nanos() as u64;
+    let cell = &service_ns[req.consumer];
+    let prev = cell.load(Ordering::Relaxed);
+    let next = if prev == 0 {
+        obs
+    } else {
+        prev - prev / 4 + obs / 4
+    };
+    cell.store(next, Ordering::Relaxed);
+    Some(bytes)
 }
 
 /// The canonical integrity fingerprint of a full run: XOR of every
@@ -310,12 +484,52 @@ pub fn run_with(store: Arc<SyntheticStore>, cfg: EngineConfig, ins: Instruments)
     }
     let (raw_tx, raw_rx) = bounded::<Raw>(4 * cfg.batch_size * cfg.consumers);
 
-    // Loader→queue assignment, rewritten by the controller.
+    // Total worker pool: split statically, or elastically re-rolled.
+    let pool = cfg.loader_threads + cfg.preproc_threads;
+    // Loader→queue assignment, rewritten by the controller. In elastic
+    // mode every pool slot has an entry (any worker may become a loader).
     let assignment: Arc<Vec<AtomicUsize>> = Arc::new(
-        (0..cfg.loader_threads)
+        (0..if cfg.elastic {
+            pool
+        } else {
+            cfg.loader_threads
+        })
             .map(|w| AtomicUsize::new(w % cfg.consumers))
             .collect(),
     );
+    // Elastic-pool state: the shared role table, the "feed is exhausted"
+    // latch that lets loader-role workers hand their raw senders back, and
+    // the per-tick decision log surfaced in the report.
+    let board = Arc::new(RoleBoard::new(cfg.loader_threads, cfg.preproc_threads));
+    let feed_done = Arc::new(AtomicBool::new(false));
+    let role_flip_log: Arc<parking_lot::Mutex<Vec<ElasticDecision>>> =
+        Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let preproc_g = ins.gauge("engine.preproc_workers");
+    let loader_g = ins.gauge("engine.loader_workers");
+    let mean_sample_bytes = store.dataset().mean_sample_bytes();
+    let batch_samples = (cfg.consumers * cfg.batch_size) as u64;
+    let mut elastic_ctl = if cfg.elastic {
+        let mut params = ElasticParams::for_pool(pool as u32, cfg.consumers as u32);
+        params.force_churn = cfg.elastic_churn;
+        let mut ctl = ElasticController::new(params, cfg.preproc_threads as u32);
+        // Tick 0 runs before any worker spawns: the pool starts on the
+        // regression's split for the first iteration.
+        let obs = ElasticObservation::for_iteration(
+            0,
+            mean_sample_bytes,
+            cfg.work_factor_at(0),
+            batch_samples,
+            cfg.train.as_secs_f64(),
+        );
+        let d = ctl.tick(&obs).clone();
+        apply_elastic_decision(&ctl, &d, &board, &assignment);
+        preproc_g.set(d.preproc_after as i64);
+        loader_g.set(pool as i64 - d.preproc_after as i64);
+        role_flip_log.lock().push(d);
+        Some(ctl)
+    } else {
+        None
+    };
     // Measured per-queue service cost in nanoseconds (EWMA, α = 1/4),
     // updated by the loaders and consumed by the controller.
     let service_ns: Arc<Vec<AtomicU64>> =
@@ -396,167 +610,268 @@ pub fn run_with(store: Arc<SyntheticStore>, cfg: EngineConfig, ins: Instruments)
         }
         drop(req_tx); // feeder holds the only request senders now
 
-        // ---- Loader workers. ----
-        for w in 0..cfg.loader_threads {
-            let req_rx = req_rx.clone();
-            let raw_tx = raw_tx.clone();
-            let cache = Arc::clone(&cache);
-            let clock = Arc::clone(&clock);
-            let rstore = Arc::clone(&rstore);
-            let assignment = Arc::clone(&assignment);
-            let service_ns = Arc::clone(&service_ns);
-            let worker_panics = Arc::clone(&worker_panics);
-            let stage_accum = Arc::clone(&stage_accum);
-            let ins = ins.clone();
-            let fetches_m = fetches_m.clone();
-            let panics_m = panics_m.clone();
-            scope.spawn(move |_| 'serve: loop {
-                // Serve the assigned queue first, then steal from the rest.
-                let primary = assignment[w].load(Ordering::Relaxed) % req_rx.len();
-                let mut got = None;
-                let mut all_disconnected = true;
-                let n = req_rx.len();
-                for offset in 0..n {
-                    let q = (primary + offset) % n;
-                    match req_rx[q].try_recv() {
-                        Ok(r) => {
-                            got = Some(r);
-                            all_disconnected = false;
-                            break;
+        if cfg.elastic {
+            // ---- Elastic pool: every worker can load or preprocess. ----
+            // A worker reads its role off the shared board at the top of
+            // every serve pass: loader-role workers pull requests and push
+            // raw bytes, preproc-role workers drain the raw channel. Each
+            // worker holds its own raw sender inside an `Option` and hands
+            // it back once the feed is exhausted (`feed_done`), so the raw
+            // channel disconnects and the pool drains without a join.
+            for w in 0..pool {
+                let req_rx = req_rx.clone();
+                let raw_rx = raw_rx.clone();
+                let raw_tx = raw_tx.clone();
+                let cooked_tx = cooked_tx.clone();
+                let cache = Arc::clone(&cache);
+                let clock = Arc::clone(&clock);
+                let rstore = Arc::clone(&rstore);
+                let assignment = Arc::clone(&assignment);
+                let service_ns = Arc::clone(&service_ns);
+                let worker_panics = Arc::clone(&worker_panics);
+                let stage_accum = Arc::clone(&stage_accum);
+                let board = Arc::clone(&board);
+                let feed_done = Arc::clone(&feed_done);
+                let done = Arc::clone(&done);
+                let cfg2 = cfg.clone();
+                let ins = ins.clone();
+                let fetches_m = fetches_m.clone();
+                let panics_m = panics_m.clone();
+                scope.spawn(move |_| {
+                    let mut raw_tx = Some(raw_tx);
+                    loop {
+                        if raw_tx.is_some() && feed_done.load(Ordering::Relaxed) {
+                            raw_tx = None;
                         }
-                        Err(crossbeam::channel::TryRecvError::Empty) => all_disconnected = false,
-                        Err(crossbeam::channel::TryRecvError::Disconnected) => {}
-                    }
-                }
-                match got {
-                    Some(req) => {
-                        ins.trace(|| {
-                            TraceEvent::instant("queue_dequeue", "queue", ins.now_us())
-                                .tid(req.consumer as u32)
-                                .arg_u("depth", req_rx[req.consumer].len() as u64)
-                                .arg_u("worker", w as u64)
-                        });
-                        let t0 = Instant::now();
-                        let ts_us = ins.now_us();
-                        if ins.is_enabled() {
-                            stage_accum.queue_wait_ns[req.consumer].fetch_add(
-                                ts_us.saturating_sub(req.enq_us) * 1_000,
-                                Ordering::Relaxed,
-                            );
-                        }
-                        let key = clock.fetch_add(1, Ordering::Relaxed);
-                        fetches_m.inc();
-                        let (bytes, tier) = match cache.get(req.sample, key) {
-                            Some(b) => (b, "cache"),
-                            None => {
-                                // Poisoned-worker containment: an injected
-                                // poison fault panics inside the fetch. The
-                                // panic is caught here (no locks are held
-                                // across the fetch), logged, and the request
-                                // re-executed — the worker "restarts" instead
-                                // of taking the whole scope down.
-                                let fetched = loop {
-                                    let attempt = std::panic::catch_unwind(
-                                        std::panic::AssertUnwindSafe(|| rstore.fetch(req.sample)),
-                                    );
-                                    match attempt {
-                                        Ok(Ok(bytes)) => break Arc::new(bytes),
-                                        Ok(Err(FetchError::Cancelled)) => break 'serve,
-                                        Ok(Err(_)) => {
-                                            unreachable!("ResilientStore absorbs non-cancel errors")
-                                        }
-                                        Err(_) => {
-                                            worker_panics.fetch_add(1, Ordering::Relaxed);
-                                            panics_m.inc();
-                                            let ts = ins.now_us();
-                                            ins.trace(|| {
-                                                TraceEvent::instant("worker_panic", "fault", ts)
-                                                    .tid(w as u32)
-                                                    .arg_u("sample", req.sample.0 as u64)
-                                            });
+                        let loading = raw_tx.is_some() && board.role(w) == ROLE_LOADER;
+                        if loading {
+                            // Serve the assigned queue first, then steal.
+                            let primary = assignment[w].load(Ordering::Relaxed) % req_rx.len();
+                            let mut got = None;
+                            let mut all_disconnected = true;
+                            let n = req_rx.len();
+                            for offset in 0..n {
+                                let q = (primary + offset) % n;
+                                match req_rx[q].try_recv() {
+                                    Ok(r) => {
+                                        got = Some(r);
+                                        all_disconnected = false;
+                                        break;
+                                    }
+                                    Err(TryRecvError::Empty) => all_disconnected = false,
+                                    Err(TryRecvError::Disconnected) => {}
+                                }
+                            }
+                            match got {
+                                Some(req) => {
+                                    ins.trace(|| {
+                                        TraceEvent::instant("queue_dequeue", "queue", ins.now_us())
+                                            .tid(req.consumer as u32)
+                                            .arg_u("depth", req_rx[req.consumer].len() as u64)
+                                            .arg_u("worker", w as u64)
+                                    });
+                                    let bytes = match fetch_one(
+                                        &req,
+                                        w,
+                                        &cache,
+                                        &clock,
+                                        &rstore,
+                                        &worker_panics,
+                                        &panics_m,
+                                        &fetches_m,
+                                        &stage_accum,
+                                        &service_ns,
+                                        &ins,
+                                    ) {
+                                        Some(b) => b,
+                                        None => return, // store cancelled
+                                    };
+                                    // A bounded send could block forever if
+                                    // the run aborts while the raw channel is
+                                    // full (the other pool slots hold live
+                                    // receivers, so it never disconnects);
+                                    // time-boxed sends re-check the abort
+                                    // latch instead.
+                                    let mut item = Raw { req, bytes };
+                                    loop {
+                                        let tx = raw_tx.as_ref().expect("loading implies sender");
+                                        match tx.send_timeout(item, Duration::from_millis(5)) {
+                                            Ok(()) => break,
+                                            Err(SendTimeoutError::Timeout(it)) => {
+                                                if done.load(Ordering::Relaxed) {
+                                                    return;
+                                                }
+                                                item = it;
+                                            }
+                                            Err(SendTimeoutError::Disconnected(_)) => return,
                                         }
                                     }
-                                };
-                                cache.insert(req.sample, Arc::clone(&fetched), key);
-                                (fetched, "store")
+                                }
+                                None if all_disconnected => {
+                                    // Feed exhausted: latch it for the whole
+                                    // pool and fall through to preproc mode.
+                                    feed_done.store(true, Ordering::Relaxed);
+                                    raw_tx = None;
+                                }
+                                None => std::thread::sleep(Duration::from_micros(50)),
                             }
-                        };
+                        } else {
+                            match raw_rx.try_recv() {
+                                Ok(raw) => {
+                                    let ts_us = ins.now_us();
+                                    let t0 = Instant::now();
+                                    let cooked =
+                                        preprocess(&raw.bytes, cfg2.work_factor_at(raw.req.iter));
+                                    ins.trace(|| {
+                                        TraceEvent::span(
+                                            "preprocess",
+                                            "compute",
+                                            ts_us,
+                                            ins.now_us() - ts_us,
+                                        )
+                                        .tid(w as u32)
+                                        .arg_u("consumer", raw.req.consumer as u64)
+                                        .arg_u("bytes", raw.bytes.len() as u64)
+                                    });
+                                    if ins.is_enabled() {
+                                        stage_accum.preproc_ns[raw.req.consumer].fetch_add(
+                                            t0.elapsed().as_nanos() as u64,
+                                            Ordering::Relaxed,
+                                        );
+                                    }
+                                    if cooked_tx[raw.req.consumer]
+                                        .send(Cooked {
+                                            iter: raw.req.iter,
+                                            sample: raw.req.sample,
+                                            bytes: cooked,
+                                        })
+                                        .is_err()
+                                    {
+                                        return;
+                                    }
+                                }
+                                Err(TryRecvError::Empty) => {
+                                    std::thread::sleep(Duration::from_micros(50));
+                                }
+                                // All raw senders handed back and the channel
+                                // drained: the pool's work is over.
+                                Err(TryRecvError::Disconnected) => return,
+                            }
+                        }
+                    }
+                });
+            }
+        } else {
+            // ---- Loader workers (static split). ----
+            for w in 0..cfg.loader_threads {
+                let req_rx = req_rx.clone();
+                let raw_tx = raw_tx.clone();
+                let cache = Arc::clone(&cache);
+                let clock = Arc::clone(&clock);
+                let rstore = Arc::clone(&rstore);
+                let assignment = Arc::clone(&assignment);
+                let service_ns = Arc::clone(&service_ns);
+                let worker_panics = Arc::clone(&worker_panics);
+                let stage_accum = Arc::clone(&stage_accum);
+                let ins = ins.clone();
+                let fetches_m = fetches_m.clone();
+                let panics_m = panics_m.clone();
+                scope.spawn(move |_| loop {
+                    // Serve the assigned queue first, then steal from the rest.
+                    let primary = assignment[w].load(Ordering::Relaxed) % req_rx.len();
+                    let mut got = None;
+                    let mut all_disconnected = true;
+                    let n = req_rx.len();
+                    for offset in 0..n {
+                        let q = (primary + offset) % n;
+                        match req_rx[q].try_recv() {
+                            Ok(r) => {
+                                got = Some(r);
+                                all_disconnected = false;
+                                break;
+                            }
+                            Err(TryRecvError::Empty) => all_disconnected = false,
+                            Err(TryRecvError::Disconnected) => {}
+                        }
+                    }
+                    match got {
+                        Some(req) => {
+                            ins.trace(|| {
+                                TraceEvent::instant("queue_dequeue", "queue", ins.now_us())
+                                    .tid(req.consumer as u32)
+                                    .arg_u("depth", req_rx[req.consumer].len() as u64)
+                                    .arg_u("worker", w as u64)
+                            });
+                            let bytes = match fetch_one(
+                                &req,
+                                w,
+                                &cache,
+                                &clock,
+                                &rstore,
+                                &worker_panics,
+                                &panics_m,
+                                &fetches_m,
+                                &stage_accum,
+                                &service_ns,
+                                &ins,
+                            ) {
+                                Some(b) => b,
+                                None => break, // store cancelled
+                            };
+                            if raw_tx.send(Raw { req, bytes }).is_err() {
+                                break;
+                            }
+                        }
+                        None if all_disconnected => break,
+                        None => std::thread::sleep(Duration::from_micros(100)),
+                    }
+                });
+            }
+
+            // ---- Preprocessing workers (static split). ----
+            for p in 0..cfg.preproc_threads {
+                let raw_rx = raw_rx.clone();
+                let cooked_tx = cooked_tx.clone();
+                let cfg2 = cfg.clone();
+                let stage_accum = Arc::clone(&stage_accum);
+                let ins = ins.clone();
+                scope.spawn(move |_| {
+                    for raw in raw_rx.iter() {
+                        let ts_us = ins.now_us();
+                        let t0 = Instant::now();
+                        let cooked = preprocess(&raw.bytes, cfg2.work_factor_at(raw.req.iter));
                         ins.trace(|| {
-                            TraceEvent::span("fetch", "io", ts_us, ins.now_us() - ts_us)
-                                .tid(w as u32)
-                                .arg_s("tier", tier)
-                                .arg_u("sample", req.sample.0 as u64)
-                                .arg_u("bytes", bytes.len() as u64)
+                            TraceEvent::span("preprocess", "compute", ts_us, ins.now_us() - ts_us)
+                                .tid(p as u32)
+                                .arg_u("consumer", raw.req.consumer as u64)
+                                .arg_u("bytes", raw.bytes.len() as u64)
                         });
                         if ins.is_enabled() {
-                            let cell = if tier == "cache" {
-                                &stage_accum.fetch_local_ns[req.consumer]
-                            } else {
-                                &stage_accum.fetch_store_ns[req.consumer]
-                            };
-                            cell.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                            stage_accum.preproc_ns[raw.req.consumer]
+                                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
                         }
-                        // EWMA (α = 1/4) of this queue's service cost.
-                        let obs = t0.elapsed().as_nanos() as u64;
-                        let cell = &service_ns[req.consumer];
-                        let prev = cell.load(Ordering::Relaxed);
-                        let next = if prev == 0 {
-                            obs
-                        } else {
-                            prev - prev / 4 + obs / 4
-                        };
-                        cell.store(next, Ordering::Relaxed);
-                        if raw_tx.send(Raw { req, bytes }).is_err() {
+                        if cooked_tx[raw.req.consumer]
+                            .send(Cooked {
+                                iter: raw.req.iter,
+                                sample: raw.req.sample,
+                                bytes: cooked,
+                            })
+                            .is_err()
+                        {
                             break;
                         }
                     }
-                    None if all_disconnected => break,
-                    None => std::thread::sleep(Duration::from_micros(100)),
-                }
-            });
+                });
+            }
         }
         drop(raw_tx);
-
-        // ---- Preprocessing workers. ----
-        for p in 0..cfg.preproc_threads {
-            let raw_rx = raw_rx.clone();
-            let cooked_tx = cooked_tx.clone();
-            let wf = cfg.work_factor;
-            let stage_accum = Arc::clone(&stage_accum);
-            let ins = ins.clone();
-            scope.spawn(move |_| {
-                for raw in raw_rx.iter() {
-                    let ts_us = ins.now_us();
-                    let t0 = Instant::now();
-                    let cooked = preprocess(&raw.bytes, wf);
-                    ins.trace(|| {
-                        TraceEvent::span("preprocess", "compute", ts_us, ins.now_us() - ts_us)
-                            .tid(p as u32)
-                            .arg_u("consumer", raw.req.consumer as u64)
-                            .arg_u("bytes", raw.bytes.len() as u64)
-                    });
-                    if ins.is_enabled() {
-                        stage_accum.preproc_ns[raw.req.consumer]
-                            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                    }
-                    if cooked_tx[raw.req.consumer]
-                        .send(Cooked {
-                            iter: raw.req.iter,
-                            sample: raw.req.sample,
-                            bytes: cooked,
-                        })
-                        .is_err()
-                    {
-                        break;
-                    }
-                }
-            });
-        }
         drop(cooked_tx);
         drop(raw_rx);
 
         // ---- Controller (adaptive multi-queue assignment). ----
-        if cfg.adaptive {
+        // In elastic mode the elastic controller owns the assignment table;
+        // the measured-pressure controller stands down.
+        if cfg.adaptive && !cfg.elastic {
             let req_rx = req_rx.clone();
             let assignment = Arc::clone(&assignment);
             let service_ns = Arc::clone(&service_ns);
@@ -625,6 +940,18 @@ pub fn run_with(store: Arc<SyntheticStore>, cfg: EngineConfig, ins: Instruments)
             let ins = ins.clone();
             let delivered_m = delivered_m.clone();
             let barrier_m = barrier_m.clone();
+            // Consumer 0 drives the elastic controller at tick boundaries.
+            let mut ctl = if consumer == 0 {
+                elastic_ctl.take()
+            } else {
+                None
+            };
+            let board = Arc::clone(&board);
+            let assignment = Arc::clone(&assignment);
+            let role_flip_log = Arc::clone(&role_flip_log);
+            let preproc_g = preproc_g.clone();
+            let loader_g = loader_g.clone();
+            let decisions_m = decisions_m.clone();
             scope.spawn(move |_| {
                 // Samples may arrive slightly out of iteration order when
                 // several workers serve one queue; stash early arrivals.
@@ -660,7 +987,7 @@ pub fn run_with(store: Arc<SyntheticStore>, cfg: EngineConfig, ins: Instruments)
                     // End-to-end integrity: un-mix and fingerprint.
                     let mut acc = 0u64;
                     for c in &have {
-                        let original = invert(&c.bytes, cfg2.work_factor);
+                        let original = invert(&c.bytes, cfg2.work_factor_at(iter));
                         acc ^= sample_checksum(&original);
                     }
                     let mut ids: Vec<u64> = have.iter().map(|c| c.sample.0 as u64).collect();
@@ -730,6 +1057,68 @@ pub fn run_with(store: Arc<SyntheticStore>, cfg: EngineConfig, ins: Instruments)
                             iter_start_us = end_us;
                             let _ = ins.observe_iteration(iter, end_us, || samples);
                         }
+                        // Elastic tick for the next iteration: decide the
+                        // preproc↔loader split from the deterministic model
+                        // inputs, publish it on the role board, and log the
+                        // decision. Measured stage times flow into the
+                        // decision *record* only — never into the decision
+                        // itself — so the flip sequence is reproducible by
+                        // the simulators.
+                        if let Some(ctl) = ctl.as_mut() {
+                            let next = iter + 1;
+                            if next < total_iters {
+                                let obs = ElasticObservation::for_iteration(
+                                    next,
+                                    mean_sample_bytes,
+                                    cfg2.work_factor_at(next),
+                                    batch_samples,
+                                    cfg2.train.as_secs_f64(),
+                                );
+                                let d = ctl.tick(&obs);
+                                let pool2 = cfg2.loader_threads + cfg2.preproc_threads;
+                                preproc_g.set(d.preproc_after as i64);
+                                loader_g.set(pool2 as i64 - d.preproc_after as i64);
+                                if !d.flipped.is_empty() && ins.is_enabled() {
+                                    decisions_m.inc();
+                                    let ts = ins.now_us();
+                                    ins.trace(|| {
+                                        TraceEvent::instant("role_flip", "controller", ts)
+                                            .arg_u("iter", next)
+                                            .arg_u("preproc_workers", d.preproc_after as u64)
+                                            .arg_u("flips", d.flipped.len() as u64)
+                                    });
+                                    ins.record_decision(DecisionRecord {
+                                        ts_us: ts,
+                                        source: DecisionSource::ElasticPool,
+                                        node: 0,
+                                        queue_loads: (0..cfg2.consumers)
+                                            .map(|c| {
+                                                stage_accum.preproc_ns[c].load(Ordering::Relaxed)
+                                                    as f64
+                                                    / 1e9
+                                            })
+                                            .collect(),
+                                        predicted_cost: vec![d.predicted_batch_secs],
+                                        threads_before: vec![
+                                            pool2 as u32 - d.preproc_before,
+                                            d.preproc_before,
+                                        ],
+                                        threads_after: vec![
+                                            pool2 as u32 - d.preproc_after,
+                                            d.preproc_after,
+                                        ],
+                                        gap_s: Some(
+                                            cfg2.train.as_secs_f64() - d.predicted_batch_secs,
+                                        ),
+                                        evals: d.evals,
+                                        converged: d.converged,
+                                    });
+                                }
+                                let d = d.clone();
+                                apply_elastic_decision(ctl, &d, &board, &assignment);
+                                role_flip_log.lock().push(d);
+                            }
+                        }
                     }
                 }
                 delivered_log.lock()[consumer] = my_deliveries;
@@ -746,6 +1135,7 @@ pub fn run_with(store: Arc<SyntheticStore>, cfg: EngineConfig, ins: Instruments)
     let stats = rstore.stats();
     let iteration_secs = iter_times.lock().clone();
     let delivered_samples = delivered_log.lock().clone();
+    let role_flips = role_flip_log.lock().clone();
     EngineReport {
         iterations: total_iters,
         iteration_secs,
@@ -759,6 +1149,7 @@ pub fn run_with(store: Arc<SyntheticStore>, cfg: EngineConfig, ins: Instruments)
         worker_panics: worker_panics.load(Ordering::Relaxed),
         aborted: aborted.load(Ordering::Relaxed),
         delivered_samples,
+        role_flips,
     }
 }
 
@@ -795,6 +1186,7 @@ mod tests {
             epochs: 2,
             seed: 7,
             retry: RetryPolicy::default(),
+            ..EngineConfig::default()
         }
     }
 
@@ -892,6 +1284,121 @@ mod tests {
         let a = compute_assignment(&[0, 0], 4);
         assert_eq!(a.len(), 4);
         assert!(a.iter().all(|&q| q < 2));
+    }
+
+    #[test]
+    fn idle_queues_spread_round_robin() {
+        // All-zero depths used to pile every worker onto queue 0 through
+        // the proportional path's per-queue floor; now they round-robin.
+        assert_eq!(compute_assignment(&[0, 0, 0], 6), vec![0, 1, 2, 0, 1, 2]);
+        assert_eq!(
+            compute_weighted_assignment(&[0, 0], &[5e-3, 1e-3], 3),
+            vec![0, 1, 0]
+        );
+    }
+
+    #[test]
+    fn undersized_pool_covers_deepest_queues_first() {
+        // Four busy queues, two workers: the floor-at-one allocation used
+        // to hand both workers to the *first* queues regardless of load.
+        // They must go to the deepest queues (1 and 3) instead.
+        let a = compute_assignment(&[1, 50, 5, 30], 2);
+        assert_eq!(a.len(), 2);
+        assert!(a.contains(&1), "deepest queue uncovered: {a:?}");
+        assert!(a.contains(&3), "second-deepest queue uncovered: {a:?}");
+        // Weighted variant: queue 2's cost makes it the deepest load.
+        let w = compute_weighted_assignment(&[10, 10, 10], &[1e-3, 1e-3, 50e-3], 1);
+        assert_eq!(w, vec![2]);
+    }
+
+    #[test]
+    fn work_factor_step_switches_at_the_boundary() {
+        let cfg = EngineConfig {
+            work_factor: 1,
+            work_factor_step: Some((8, 6)),
+            ..EngineConfig::default()
+        };
+        assert_eq!(cfg.work_factor_at(0), 1);
+        assert_eq!(cfg.work_factor_at(7), 1);
+        assert_eq!(cfg.work_factor_at(8), 6);
+        assert_eq!(cfg.work_factor_at(100), 6);
+    }
+
+    #[test]
+    fn elastic_pool_delivers_every_sample_with_integrity() {
+        let store = small_store(64, 0);
+        let cfg = EngineConfig {
+            elastic: true,
+            ..fast_cfg()
+        };
+        let expected = expected_integrity(store.dataset(), &cfg);
+        let report = run(Arc::clone(&store), cfg);
+        assert!(!report.aborted);
+        assert_eq!(report.delivered, 128);
+        assert_eq!(report.integrity, expected);
+        // One decision per tick, and every decision conserves the pool:
+        // loader assignments + preproc workers == N.
+        assert_eq!(report.role_flips.len() as u64, report.iterations);
+        for d in &report.role_flips {
+            let loaders: u32 = d.loader_queues.iter().sum();
+            assert_eq!(loaders + d.preproc_after, 4, "pool leak at tick {}", d.tick);
+        }
+    }
+
+    #[test]
+    fn elastic_pool_absorbs_a_work_factor_step() {
+        // The §5 workload shift, live: preprocessing becomes 64× heavier
+        // mid-run. The controller must steal loaders for preprocessing
+        // without corrupting a single delivered sample.
+        let store = small_store(64, 0);
+        let cfg = EngineConfig {
+            elastic: true,
+            work_factor_step: Some((8, 64)),
+            ..fast_cfg()
+        };
+        let expected = expected_integrity(store.dataset(), &cfg);
+        let report = run(Arc::clone(&store), cfg);
+        assert!(!report.aborted);
+        assert_eq!(report.integrity, expected);
+        let first = report.role_flips.first().expect("tick 0 decision");
+        let max_after = report
+            .role_flips
+            .iter()
+            .map(|d| d.preproc_after)
+            .max()
+            .unwrap();
+        assert!(
+            max_after > first.preproc_after,
+            "64× heavier preprocessing must grow the preproc share \
+             (start {}, max {max_after})",
+            first.preproc_after
+        );
+    }
+
+    #[test]
+    fn elastic_churn_flips_roles_every_tick() {
+        let store = small_store(64, 0);
+        let cfg = EngineConfig {
+            elastic: true,
+            elastic_churn: true,
+            ..fast_cfg()
+        };
+        let expected = expected_integrity(store.dataset(), &cfg);
+        let report = run(Arc::clone(&store), cfg);
+        assert!(!report.aborted);
+        assert_eq!(report.integrity, expected);
+        let churned = report
+            .role_flips
+            .iter()
+            .filter(|d| !d.flipped.is_empty())
+            .count();
+        // Churned workers respect the dwell window, so with a single
+        // preproc slot a swap is possible at most every `dwell` ticks.
+        assert!(
+            churned >= report.role_flips.len() / 4,
+            "forced churn should flip on a steady cadence: {churned}/{}",
+            report.role_flips.len()
+        );
     }
 
     #[test]

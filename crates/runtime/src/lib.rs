@@ -14,10 +14,13 @@
 //! * [`engine`] — multi-queue loaders, preprocessing pool, consumer
 //!   ("GPU") threads with a barrier, and an adaptive controller that
 //!   re-assigns loader workers to queues by measured pressure (§4.2 live).
+//!   With [`EngineConfig::elastic`] the two pools merge into one elastic
+//!   pool whose preproc↔loader roles flip at iteration boundaries (§4.1).
 //! * [`resilient`] — the self-healing fetch path: retries with
 //!   backoff + jitter, per-fetch deadlines, checksum-verified refetch.
 //! * [`sync`] — abort-aware barrier so a failed worker can never deadlock
-//!   the consumer rendezvous.
+//!   the consumer rendezvous, and the elastic pool's shared
+//!   [`sync::RoleBoard`].
 
 pub mod cache;
 pub mod engine;
@@ -33,5 +36,5 @@ pub use engine::{
 };
 pub use resilient::{RecoveryStats, ResilientStore};
 pub use store::{sample_bytes, sample_checksum, FetchError, InjectedFaults, SyntheticStore};
-pub use sync::{AbortableBarrier, BarrierAborted};
+pub use sync::{AbortableBarrier, BarrierAborted, RoleBoard, ROLE_LOADER, ROLE_PREPROC};
 pub use transform::{invert, preprocess};

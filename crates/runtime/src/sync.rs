@@ -7,7 +7,13 @@
 //! [`abort`](AbortableBarrier::abort) wakes all waiters immediately and
 //! makes every future `wait` return [`BarrierAborted`] — so the engine
 //! drains cleanly instead of hanging.
+//!
+//! The [`RoleBoard`] is the elastic pool's shared role table: one atomic
+//! role cell per worker, written by the controller at iteration boundaries
+//! and read by each worker at the top of its serve loop. Flipping a role is
+//! a single relaxed store — no thread is ever spawned or joined mid-run.
 
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Condvar, Mutex};
 
 /// Returned by [`AbortableBarrier::wait`] when the barrier was aborted; the
@@ -83,6 +89,78 @@ impl AbortableBarrier {
     }
 }
 
+/// A worker slot currently serving request queues.
+pub const ROLE_LOADER: u8 = 0;
+/// A worker slot currently preprocessing raw samples.
+pub const ROLE_PREPROC: u8 = 1;
+
+/// Shared role table of the elastic worker pool: `roles[w]` is worker
+/// `w`'s current job. The controller writes at tick boundaries; workers
+/// read at the top of every serve-loop pass, so a flip takes effect the
+/// next time the worker looks for work — without any spawn/join.
+pub struct RoleBoard {
+    roles: Vec<AtomicU8>,
+    flips: AtomicU64,
+}
+
+impl RoleBoard {
+    /// A board of `loaders + preproc` slots: the first `loaders` hold
+    /// [`ROLE_LOADER`], the rest [`ROLE_PREPROC`].
+    pub fn new(loaders: usize, preproc: usize) -> RoleBoard {
+        let roles = (0..loaders + preproc)
+            .map(|w| {
+                AtomicU8::new(if w < loaders {
+                    ROLE_LOADER
+                } else {
+                    ROLE_PREPROC
+                })
+            })
+            .collect();
+        RoleBoard {
+            roles,
+            flips: AtomicU64::new(0),
+        }
+    }
+
+    /// Pool size N.
+    pub fn len(&self) -> usize {
+        self.roles.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.roles.is_empty()
+    }
+
+    /// Worker `w`'s current role.
+    #[inline]
+    pub fn role(&self, w: usize) -> u8 {
+        self.roles[w].load(Ordering::Relaxed)
+    }
+
+    /// Set worker `w`'s role; counts an actual change as one flip.
+    pub fn set_role(&self, w: usize, role: u8) {
+        debug_assert!(role == ROLE_LOADER || role == ROLE_PREPROC);
+        if self.roles[w].swap(role, Ordering::Relaxed) != role {
+            self.flips.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// `(loaders, preproc)` at this instant.
+    pub fn counts(&self) -> (usize, usize) {
+        let preproc = self
+            .roles
+            .iter()
+            .filter(|r| r.load(Ordering::Relaxed) == ROLE_PREPROC)
+            .count();
+        (self.roles.len() - preproc, preproc)
+    }
+
+    /// Total role changes since construction.
+    pub fn flips(&self) -> u64 {
+        self.flips.load(Ordering::Relaxed)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,5 +203,40 @@ mod tests {
         for _ in 0..5 {
             b.wait().unwrap();
         }
+    }
+
+    #[test]
+    fn role_board_counts_and_flips() {
+        let board = RoleBoard::new(3, 2);
+        assert_eq!(board.len(), 5);
+        assert_eq!(board.counts(), (3, 2));
+        assert_eq!(board.role(0), ROLE_LOADER);
+        assert_eq!(board.role(4), ROLE_PREPROC);
+
+        board.set_role(0, ROLE_PREPROC);
+        assert_eq!(board.counts(), (2, 3));
+        assert_eq!(board.flips(), 1);
+        // Setting the same role again is not a flip.
+        board.set_role(0, ROLE_PREPROC);
+        assert_eq!(board.flips(), 1);
+        board.set_role(0, ROLE_LOADER);
+        assert_eq!(board.flips(), 2);
+        assert_eq!(board.counts(), (3, 2));
+    }
+
+    #[test]
+    fn role_board_is_visible_across_threads() {
+        let board = Arc::new(RoleBoard::new(1, 1));
+        let b2 = Arc::clone(&board);
+        let reader = std::thread::spawn(move || {
+            // Spin until the flip becomes visible; bounded by the test
+            // harness timeout, not a wall-clock assertion.
+            while b2.role(0) != ROLE_PREPROC {
+                std::thread::yield_now();
+            }
+        });
+        board.set_role(0, ROLE_PREPROC);
+        reader.join().unwrap();
+        assert_eq!(board.counts(), (0, 2));
     }
 }

@@ -5,7 +5,13 @@
 //!
 //! ```sh
 //! cargo run --release --example live_engine
+//! cargo run --release --example live_engine -- --elastic
 //! ```
+//!
+//! With `--elastic` a third run merges the loader and preprocessing pools
+//! into one elastic pool (DESIGN.md §11): the controller flips worker
+//! roles at tick boundaries as the §4.1 regression tracks a mid-run
+//! work-factor step.
 
 use lobster_repro::data::{Dataset, SizeDistribution};
 use lobster_repro::metrics::{fmt_pct, Instruments, Summary, Table};
@@ -32,6 +38,7 @@ fn store() -> Arc<SyntheticStore> {
 }
 
 fn main() {
+    let elastic_mode = std::env::args().any(|a| a == "--elastic");
     println!("Live engine — 4 consumers, 4 loaders, 2 preprocessing workers, 2 epochs\n");
     let mut table = Table::new([
         "mode",
@@ -55,6 +62,7 @@ fn main() {
             epochs: 2,
             seed: 42,
             retry: Default::default(),
+            ..EngineConfig::default()
         };
         let s = store();
         let expected = expected_integrity(s.dataset(), &cfg);
@@ -88,6 +96,52 @@ fn main() {
             },
         ]);
     }
+    if elastic_mode {
+        // Elastic pool: the same 6 workers, but the preproc↔loader split
+        // is re-rolled at tick boundaries while preprocessing gets 8×
+        // heavier halfway through the run.
+        let cfg = EngineConfig {
+            consumers: 4,
+            batch_size: 8,
+            loader_threads: 4,
+            preproc_threads: 2,
+            cache_bytes: 32 << 20,
+            work_factor: 2,
+            work_factor_step: Some((16, 16)),
+            train: Duration::from_millis(3),
+            adaptive: true,
+            elastic: true,
+            epochs: 2,
+            seed: 42,
+            retry: Default::default(),
+            ..EngineConfig::default()
+        };
+        let s = store();
+        let expected = expected_integrity(s.dataset(), &cfg);
+        let report = run_with(s, cfg, Instruments::enabled());
+        let mut iters = Summary::new();
+        iters.record_all(report.iteration_secs.iter().copied());
+        let flips: usize = report.role_flips.iter().map(|d| d.flipped.len()).sum();
+        let max_preproc = report
+            .role_flips
+            .iter()
+            .map(|d| d.preproc_after)
+            .max()
+            .unwrap_or(0);
+        table.row([
+            format!("elastic pool ({flips} flips, peak {max_preproc}P)"),
+            format!("{:.1}ms", iters.percentile(50.0) * 1e3),
+            format!("{:.1}ms", iters.percentile(95.0) * 1e3),
+            fmt_pct(report.hit_ratio),
+            report.store_fetches.to_string(),
+            if report.integrity == expected {
+                "ok".into()
+            } else {
+                "CORRUPT".to_string()
+            },
+        ]);
+    }
+
     print!("{}", table.render());
     println!("\nEvery delivered byte is verified against the canonical sample stream.");
 

@@ -16,16 +16,16 @@
 
 use lobster_repro::cache::{Directory, EvictOrder, NodeCache};
 use lobster_repro::conformance::{
-    check_engine_delivery, check_sweep, conformance_config, engine_epoch_multisets,
-    horizon_boundary_fixture, naive_next_use, run_boundary_canary, run_canary, run_differential,
-    CanaryOutcome, Mutation,
+    check_engine_delivery, check_sweep, conformance_config, elastic_conformance_config,
+    engine_epoch_multisets, horizon_boundary_fixture, naive_next_use, run_boundary_canary,
+    run_canary, run_differential, CanaryOutcome, Mutation,
 };
-use lobster_repro::core::{policy_by_name, EvictCause, ReuseAwareEvictor};
+use lobster_repro::core::{policy_by_name, EvictCause, ModelProfile, ReuseAwareEvictor};
 use lobster_repro::data::{
     Dataset, EpochSchedule, NodeOracle, SampleId, ScheduleSpec, SizeDistribution,
 };
 use lobster_repro::metrics::Instruments;
-use lobster_repro::pipeline::{ClusterSim, ConfigBuilder};
+use lobster_repro::pipeline::{ClusterSim, ConfigBuilder, ElasticSimConfig, RoleFlipObservable};
 use lobster_repro::runtime::{run_with, schedule_spec, EngineConfig, SyntheticStore};
 use lobster_repro::storage::FaultSpec;
 use std::sync::Arc;
@@ -184,6 +184,98 @@ fn faulty_engine_matches_simulator_delivered_multisets() {
 }
 
 // ---------------------------------------------------------------------
+// 2b. Elastic pool: role-flip decision sequences across all three
+//     executors (ISSUE 5 acceptance: zero divergence over 5 seeds).
+// ---------------------------------------------------------------------
+
+/// The elastic controller's decisions are pure functions of the tick
+/// index and the configured workload, so the live engine, the analytical
+/// executor, and the conformance DES must produce *identical* role-flip
+/// sequences — compared exactly, not within tolerance. A 1×2×4 simulated
+/// cluster and a 2-consumer×4-batch engine see the same iteration
+/// schedule (12 iterations/epoch over 96 samples), the same 8-worker
+/// pool, and the same work-factor step at iteration 12.
+#[test]
+fn role_flip_sequences_agree_across_all_three_executors() {
+    for seed in [3u64, 5, 7, 11, 13] {
+        let dataset = Dataset::generate(
+            "elastic-threeway",
+            96,
+            SizeDistribution::Constant { bytes: 16_384 },
+            seed,
+        );
+
+        // Simulator side (also covers sim == DES via the differential
+        // runner).
+        let sim_cfg = ConfigBuilder::new()
+            .nodes(1)
+            .gpus_per_node(2)
+            .batch_size(4)
+            .pipeline_threads(8)
+            .cache_bytes(dataset.total_bytes() / 3)
+            .dataset(dataset.clone())
+            .epochs(2)
+            .seed(seed)
+            .model(ModelProfile::new("elastic-threeway", 2e-4, 0.7, 10.0))
+            .elastic(ElasticSimConfig {
+                workers: 8,
+                initial_preproc: 1,
+                work_factor: 1,
+                work_factor_step: Some((12, 8)),
+                churn: false,
+                frozen: false,
+            })
+            .build();
+        run_differential(&sim_cfg, "lobster")
+            .unwrap_or_else(|d| panic!("seed {seed}: sim vs DES diverged on elastic config:\n{d}"));
+
+        let (_, sim_obs) =
+            ClusterSim::new(sim_cfg, policy_by_name("lobster").unwrap()).run_observed();
+        let sim_flips: Vec<RoleFlipObservable> = sim_obs
+            .iterations
+            .iter()
+            .flat_map(|it| it.role_flips.iter().cloned())
+            .collect();
+        assert_eq!(sim_flips.len(), 24, "seed {seed}: one tick per iteration");
+
+        // Live engine: same pool of 8, same initial split, same step.
+        let ecfg = EngineConfig {
+            consumers: 2,
+            batch_size: 4,
+            loader_threads: 7,
+            preproc_threads: 1,
+            epochs: 2,
+            seed,
+            work_factor: 1,
+            work_factor_step: Some((12, 8)),
+            // Exact f64 round-trip with the simulator's t_train_s = 2e-4.
+            train: Duration::from_secs_f64(2e-4),
+            elastic: true,
+            ..EngineConfig::default()
+        };
+        let store = Arc::new(SyntheticStore::new(dataset, Duration::ZERO, 0.0));
+        let report = run_with(store, ecfg, Instruments::enabled());
+        let engine_flips: Vec<RoleFlipObservable> = report
+            .role_flips
+            .iter()
+            .map(RoleFlipObservable::from_decision)
+            .collect();
+
+        assert_eq!(
+            engine_flips, sim_flips,
+            "seed {seed}: live engine role-flip sequence diverged from the simulators"
+        );
+
+        // And the step must actually have provoked a reallocation, or the
+        // comparison is vacuous.
+        assert!(
+            sim_flips.iter().any(|f| !f.flipped.is_empty()),
+            "seed {seed}: work-factor step never flipped a role"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
 // 3. Mutation canaries: the harness must detect every armed flip.
 // ---------------------------------------------------------------------
 
@@ -195,6 +287,11 @@ fn every_mutation_canary_is_detected() {
     for m in Mutation::all() {
         let outcome = if m == Mutation::HorizonOffByOne {
             run_boundary_canary()
+        } else if m == Mutation::NeverSteal {
+            // Freezes the elastic controller: only observable where an
+            // elastic pool must respond to a work-factor step.
+            let cfg = elastic_conformance_config(11);
+            run_canary(&cfg, "lobster", m)
         } else {
             let cfg = conformance_config(11);
             run_canary(&cfg, "lobster", m)

@@ -54,6 +54,7 @@ fn many_consumers_complete_with_integrity() {
         epochs: 2,
         seed: 5,
         retry: RetryPolicy::default(),
+        ..EngineConfig::default()
     };
     let s = store(240, Duration::from_micros(100));
     let expected = expected_integrity(s.dataset(), &cfg);
@@ -94,6 +95,7 @@ fn tiny_cache_still_delivers_correct_bytes() {
         epochs: 2,
         seed: 9,
         retry: RetryPolicy::default(),
+        ..EngineConfig::default()
     };
     let s = store(96, Duration::ZERO);
     let expected = expected_integrity(s.dataset(), &cfg);
@@ -124,6 +126,7 @@ fn slow_store_does_not_deadlock_the_barrier() {
         epochs: 2,
         seed: 42,
         retry: RetryPolicy::default(),
+        ..EngineConfig::default()
     };
     let ds = Dataset::generate(
         "deadlock",
@@ -157,6 +160,7 @@ fn instrumented_adaptive_run_logs_decisions_and_balanced_cache_counters() {
         epochs: 2,
         seed: 3,
         retry: RetryPolicy::default(),
+        ..EngineConfig::default()
     };
     let s = store(256, Duration::from_micros(50));
     let expected = expected_integrity(s.dataset(), &cfg);

@@ -95,6 +95,37 @@ fn disabled_observe_iteration_allocates_nothing() {
 }
 
 #[test]
+fn steady_state_elastic_tick_allocates_nothing() {
+    use lobster_repro::core::elastic::{ElasticController, ElasticObservation, ElasticParams};
+
+    // The elastic controller sits on the engine's per-iteration tick path
+    // (consumer 0, between the barrier and the next batch), so its
+    // steady state rides the same contract as the disabled instruments:
+    // once the regression fit and the loader plan are memoized, a tick
+    // that changes nothing must not touch the heap.
+    let params = ElasticParams::for_pool(8, 2);
+    let mut ctl = ElasticController::new(params, 2);
+
+    // Warm-up: first tick builds the points, the fit, and the loader
+    // plan; a second tick proves the memo keys hold before measuring.
+    for t in 0..2u64 {
+        ctl.tick(&ElasticObservation::for_iteration(t, 16_384.0, 1, 8, 2e-4));
+    }
+
+    let before = allocations();
+    for t in 2..2_002u64 {
+        let obs = ElasticObservation::for_iteration(t, 16_384.0, 1, 8, 2e-4);
+        let d = ctl.tick(&obs);
+        assert!(d.flipped.is_empty(), "steady state must not flip");
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "steady-state elastic tick must not allocate"
+    );
+}
+
+#[test]
 fn enabled_bundle_does_record_as_a_control() {
     // Sanity check that the harness above would catch regressions: the
     // enabled path performs the same operations and does allocate.

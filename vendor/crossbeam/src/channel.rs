@@ -34,6 +34,32 @@ impl<T> fmt::Display for SendError<T> {
     }
 }
 
+/// Error returned by [`Sender::send_timeout`].
+pub enum SendTimeoutError<T> {
+    /// The channel stayed full for the whole timeout window.
+    Timeout(T),
+    /// Every receiver has dropped.
+    Disconnected(T),
+}
+
+impl<T> fmt::Debug for SendTimeoutError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SendTimeoutError::Timeout(_) => f.write_str("SendTimeoutError::Timeout(..)"),
+            SendTimeoutError::Disconnected(_) => f.write_str("SendTimeoutError::Disconnected(..)"),
+        }
+    }
+}
+
+impl<T> fmt::Display for SendTimeoutError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SendTimeoutError::Timeout(_) => f.write_str("timed out sending on a full channel"),
+            SendTimeoutError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+        }
+    }
+}
+
 /// Error returned by [`Receiver::recv`] when the channel is empty and every
 /// sender has dropped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -110,6 +136,40 @@ impl<T> Sender<T> {
                 .not_full
                 .wait(inner)
                 .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Send `value`, blocking at most `timeout` while the channel is full.
+    /// Returns the value on timeout or disconnection so the caller can
+    /// retry or abandon it.
+    pub fn send_timeout(
+        &self,
+        value: T,
+        timeout: std::time::Duration,
+    ) -> Result<(), SendTimeoutError<T>> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut inner = lock(&self.0);
+        loop {
+            if inner.receivers == 0 {
+                return Err(SendTimeoutError::Disconnected(value));
+            }
+            let full = inner.cap.is_some_and(|c| inner.queue.len() >= c);
+            if !full {
+                inner.queue.push_back(value);
+                drop(inner);
+                self.0.not_empty.notify_one();
+                return Ok(());
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Err(SendTimeoutError::Timeout(value));
+            }
+            let (guard, _) = self
+                .0
+                .not_full
+                .wait_timeout(inner, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            inner = guard;
         }
     }
 
