@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! lobster_doctor <trace> [--metrics <file>] [--decisions <file>] [--out-dir <dir>]
+//! lobster_doctor --flight <flightdump_*.json | dir> [--out-dir <dir>]
 //! ```
 //!
 //! `<trace>` is a `--trace-out` export (Chrome trace-event document or
@@ -9,20 +10,51 @@
 //! (`<trace>.metrics.json`, `<trace>.decisions.jsonl`) are picked up
 //! automatically when present; `--metrics` / `--decisions` override.
 //!
+//! `--flight` ingests a flight-recorder dump instead (DESIGN.md §12) —
+//! the last-K event window a crashed, escalating, or diverged run left
+//! behind — and emits the same phase diagnosis without needing a full
+//! trace. Passing a directory picks the newest `flightdump_*.json` in it.
+//!
 //! Prints the human-readable diagnosis and writes the machine-readable
-//! `results/doctor_<trace-stem>.json`. Exits 1 when the trace yields an
-//! empty diagnosis, 2 on usage or I/O errors.
+//! `results/doctor_<stem>.json`. Exits 1 when the input yields an empty
+//! diagnosis, 2 on usage or I/O errors.
 
-use lobster_bench::doctor::{diagnose, render};
+use lobster_bench::doctor::{diagnose, diagnose_flight, render};
 use lobster_bench::{decisions_sidecar, metrics_sidecar};
 use lobster_metrics::{DecisionRecord, MetricsSnapshot, ResultSink};
 use std::path::{Path, PathBuf};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: lobster_doctor <trace> [--metrics <file>] [--decisions <file>] [--out-dir <dir>]"
+        "usage: lobster_doctor <trace> [--metrics <file>] [--decisions <file>] [--out-dir <dir>]\n\
+         \x20      lobster_doctor --flight <flightdump | dir> [--out-dir <dir>]"
     );
     std::process::exit(2);
+}
+
+/// Resolve `--flight <arg>`: a file is taken as-is, a directory yields its
+/// newest `flightdump_*.json`.
+fn resolve_flight_path(arg: &Path) -> PathBuf {
+    if !arg.is_dir() {
+        return arg.to_path_buf();
+    }
+    let mut dumps: Vec<PathBuf> = std::fs::read_dir(arg)
+        .map(|rd| {
+            rd.filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| {
+                    p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.starts_with("flightdump_") && n.ends_with(".json"))
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    dumps.sort();
+    dumps.pop().unwrap_or_else(|| {
+        eprintln!("error: no flightdump_*.json in {}", arg.display());
+        std::process::exit(2);
+    })
 }
 
 fn read_or_exit(path: &Path) -> String {
@@ -38,10 +70,11 @@ fn main() {
     let mut metrics_path: Option<PathBuf> = None;
     let mut decisions_path: Option<PathBuf> = None;
     let mut out_dir: Option<PathBuf> = None;
+    let mut flight_path: Option<PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--metrics" | "--decisions" | "--out-dir" => {
+            "--metrics" | "--decisions" | "--out-dir" | "--flight" => {
                 if i + 1 >= args.len() {
                     usage();
                 }
@@ -49,6 +82,7 @@ fn main() {
                 match args[i].as_str() {
                     "--metrics" => metrics_path = Some(value),
                     "--decisions" => decisions_path = Some(value),
+                    "--flight" => flight_path = Some(value),
                     _ => out_dir = Some(value),
                 }
                 i += 2;
@@ -63,6 +97,45 @@ fn main() {
             }
         }
     }
+
+    // Flight mode: one dump in, same diagnosis machinery out.
+    if let Some(flight_arg) = flight_path {
+        if trace_path.is_some() {
+            usage();
+        }
+        let dump_path = resolve_flight_path(&flight_arg);
+        let dump_text = read_or_exit(&dump_path);
+        let diagnosis = match diagnose_flight(&dump_text) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        };
+        if diagnosis.is_empty() {
+            eprintln!(
+                "error: empty diagnosis ({} flight events but no iterations in the window)",
+                diagnosis.events
+            );
+            std::process::exit(1);
+        }
+        print!("{}", render(&diagnosis));
+        let stem = dump_path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("flight")
+            .replace(['.', '-'], "_");
+        let sink = out_dir.map_or_else(ResultSink::default_location, ResultSink::new);
+        match sink.write_json(&format!("doctor_{stem}"), &diagnosis) {
+            Ok(path) => println!("\ndiagnosis -> {}", path.display()),
+            Err(e) => {
+                eprintln!("error: cannot write diagnosis json: {e}");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
+
     let Some(trace_path) = trace_path else {
         usage()
     };

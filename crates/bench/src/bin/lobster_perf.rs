@@ -1,0 +1,319 @@
+//! `lobster_perf` — the recorded benchmark trajectory and its regression
+//! gate (DESIGN.md §12).
+//!
+//! ```text
+//! lobster_perf [--quick] [--bench-dir <dir>] [--out <file>]
+//! lobster_perf --record [<label>] [--quick] [--bench-dir <dir>]
+//! lobster_perf --validate <file>
+//! lobster_perf --self-test-regression [--quick] [--bench-dir <dir>]
+//! lobster_perf --flight-out <dir> [--quick]
+//! ```
+//!
+//! Default mode runs the standardized scenario matrix on the live engine
+//! and compares against the newest checked-in `BENCH_<seq>.json` under
+//! `--bench-dir` (default: current directory). Exit 0 = gate passes,
+//! 1 = regression (or self-test fired, which is its success), 2 = usage,
+//! I/O, schema, or quick/full scale-mismatch errors.
+//!
+//! `--record` runs the matrix and writes the next `BENCH_<seq>.json` —
+//! this is how a PR refreshes the trajectory after an intentional perf
+//! change. `--validate` only schema-checks an existing file. `--flight-out`
+//! additionally runs one small poisoned engine run with enabled
+//! instruments so a worker panic leaves a `flightdump_*.json` under the
+//! given directory (the CI hook feeding `lobster_doctor --flight`).
+//!
+//! Allocation counts come from the process-global counting allocator
+//! installed below; the measured runs use `Instruments::disabled()`, so
+//! they also re-prove the zero-alloc-when-disabled observability claim at
+//! the whole-engine level.
+
+use lobster_bench::perf::{
+    bench_file_name, bench_files, compare, inflate_for_self_test, load_latest, run_matrix,
+    scenario_matrix, validate, BenchTrajectory, Thresholds,
+};
+use lobster_metrics::Instruments;
+use lobster_runtime::{run_with, SyntheticStore};
+use lobster_storage::FaultSpec;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Counts every heap allocation in the process; the benchmark reads the
+/// counter deltas around each scenario run.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static COUNTING_ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: lobster_perf [--quick] [--bench-dir <dir>] [--out <file>]\n\
+         \x20      lobster_perf --record [<label>] [--quick] [--bench-dir <dir>]\n\
+         \x20      lobster_perf --validate <file>\n\
+         \x20      lobster_perf --self-test-regression [--quick] [--bench-dir <dir>]\n\
+         \x20      lobster_perf --flight-out <dir> [--quick]"
+    );
+    std::process::exit(2);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+/// Load the newest baseline under `dir`, or exit 2 with a clear message.
+fn baseline_or_exit(dir: &Path) -> BenchTrajectory {
+    match load_latest(dir) {
+        Some(Ok(t)) => t,
+        Some(Err(e)) => fail(&format!("baseline under {}: {e}", dir.display())),
+        None => fail(&format!(
+            "no BENCH_*.json under {} — record one with --record",
+            dir.display()
+        )),
+    }
+}
+
+/// One small poisoned run with enabled instruments: the injected worker
+/// panic makes the engine's teardown hook leave a flight dump in `dir`.
+fn flight_out(dir: &Path, quick: bool) {
+    std::fs::create_dir_all(dir)
+        .unwrap_or_else(|e| fail(&format!("create {}: {e}", dir.display())));
+    let mut scenario = scenario_matrix(quick)
+        .into_iter()
+        .find(|s| s.name == "fault_storm")
+        .expect("matrix has a fault storm");
+    scenario.cfg.epochs = 1;
+    // Poison hard enough that a quick single-epoch run is certain to panic
+    // a worker at least once.
+    scenario.faults =
+        Some(FaultSpec::parse("poison=0.2,seed=20220822").expect("poison spec parses"));
+    let dataset = lobster_data::Dataset::generate(
+        "flight_out",
+        scenario.dataset_samples as usize,
+        lobster_data::SizeDistribution::Constant {
+            bytes: scenario.sample_bytes,
+        },
+        scenario.cfg.seed,
+    );
+    let plan = scenario
+        .faults
+        .as_ref()
+        .unwrap()
+        .compile()
+        .expect("compiles");
+    let store = Arc::new(SyntheticStore::with_faults(
+        dataset,
+        Duration::from_micros(50),
+        500e6,
+        plan,
+    ));
+    let ins = Instruments::enabled();
+    ins.set_flight_dir(dir);
+    let report = run_with(store, scenario.cfg, ins.clone());
+    if report.worker_panics == 0 {
+        fail("flight-out run produced no worker panic; dump not triggered");
+    }
+    let dumped = std::fs::read_dir(dir)
+        .map(|rd| {
+            rd.filter_map(|e| e.ok())
+                .any(|e| e.file_name().to_string_lossy().starts_with("flightdump_"))
+        })
+        .unwrap_or(false);
+    if !dumped {
+        fail(&format!(
+            "engine reported {} worker panic(s) but no flightdump_*.json in {}",
+            report.worker_panics,
+            dir.display()
+        ));
+    }
+    println!(
+        "flight-out: {} worker panic(s), dump written under {}",
+        report.worker_panics,
+        dir.display()
+    );
+}
+
+fn render_summary(t: &BenchTrajectory) {
+    println!(
+        "lobster_perf trajectory ({} scenarios, {}):",
+        t.scenarios.len(),
+        if t.quick { "quick" } else { "full" }
+    );
+    for s in &t.scenarios {
+        println!(
+            "  {:<14} {:>7} samples  {:>9.0}/s  p50 {:>7.1}us  p95 {:>7.1}us  p99 {:>7.1}us  {:>6.1} allocs/sample",
+            s.name, s.samples, s.throughput_sps, s.p50_us, s.p95_us, s.p99_us,
+            s.allocations_per_sample
+        );
+    }
+    println!("  overall p99 {:.1}us", t.overall_p99_us);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut record = false;
+    let mut label: Option<String> = None;
+    let mut bench_dir = PathBuf::from(".");
+    let mut out: Option<PathBuf> = None;
+    let mut validate_path: Option<PathBuf> = None;
+    let mut self_test = false;
+    let mut flight_dir: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => {
+                quick = true;
+                i += 1;
+            }
+            "--record" => {
+                record = true;
+                i += 1;
+                if i < args.len() && !args[i].starts_with("--") {
+                    label = Some(args[i].clone());
+                    i += 1;
+                }
+            }
+            "--self-test-regression" => {
+                self_test = true;
+                i += 1;
+            }
+            "--bench-dir" | "--out" | "--validate" | "--flight-out" => {
+                if i + 1 >= args.len() {
+                    usage();
+                }
+                let value = PathBuf::from(&args[i + 1]);
+                match args[i].as_str() {
+                    "--bench-dir" => bench_dir = value,
+                    "--out" => out = Some(value),
+                    "--validate" => validate_path = Some(value),
+                    _ => flight_dir = Some(value),
+                }
+                i += 2;
+            }
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+
+    // Validate-only mode: schema-check one file, run nothing.
+    if let Some(path) = validate_path {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| fail(&format!("read {}: {e}", path.display())));
+        match BenchTrajectory::from_json(&text) {
+            Ok(t) => {
+                validate(&t).unwrap_or_else(|e| fail(&e));
+                println!(
+                    "{}: valid trajectory (seq {}, {} scenarios, {})",
+                    path.display(),
+                    t.seq,
+                    t.scenarios.len(),
+                    if t.quick { "quick" } else { "full" }
+                );
+                return;
+            }
+            Err(e) => fail(&format!("{}: {e}", path.display())),
+        }
+    }
+
+    // Self-test mode: prove the gate fires without re-running the engine.
+    if self_test {
+        let baseline = baseline_or_exit(&bench_dir);
+        if baseline.quick != quick {
+            fail(&format!(
+                "baseline seq {} is {}, run requested {} — use the matching flag",
+                baseline.seq,
+                if baseline.quick { "quick" } else { "full" },
+                if quick { "quick" } else { "full" }
+            ));
+        }
+        let inflated = inflate_for_self_test(&baseline);
+        let regressions = compare(&baseline, &inflated, &Thresholds::default());
+        if regressions.is_empty() {
+            fail("self-test failed: inflated trajectory tripped no threshold");
+        }
+        eprintln!("self-test regressions (expected):");
+        for r in &regressions {
+            eprintln!("  REGRESSION {r}");
+        }
+        std::process::exit(1);
+    }
+
+    if let Some(dir) = &flight_dir {
+        flight_out(dir, quick);
+        if !record {
+            // --flight-out alone does not run the matrix.
+            return;
+        }
+    }
+
+    let label_text = label.unwrap_or_else(|| "unlabelled".to_string());
+    let mut current = run_matrix(quick, &label_text, &allocation_count);
+    render_summary(&current);
+
+    if record {
+        let next_seq = bench_files(&bench_dir).last().map_or(1, |(s, _)| s + 1);
+        current.seq = next_seq;
+        validate(&current).unwrap_or_else(|e| fail(&format!("recorded trajectory invalid: {e}")));
+        let path = bench_dir.join(bench_file_name(next_seq));
+        std::fs::write(&path, current.to_json())
+            .unwrap_or_else(|e| fail(&format!("write {}: {e}", path.display())));
+        println!("recorded -> {}", path.display());
+        return;
+    }
+
+    if let Some(path) = &out {
+        current.seq = bench_files(&bench_dir)
+            .last()
+            .map_or(1, |(s, _)| s.saturating_add(1));
+        std::fs::write(path, current.to_json())
+            .unwrap_or_else(|e| fail(&format!("write {}: {e}", path.display())));
+        println!("current run -> {}", path.display());
+    }
+
+    let baseline = baseline_or_exit(&bench_dir);
+    if baseline.quick != quick {
+        fail(&format!(
+            "baseline seq {} is {}, this run is {} — scales are never comparable",
+            baseline.seq,
+            if baseline.quick { "quick" } else { "full" },
+            if quick { "quick" } else { "full" }
+        ));
+    }
+    current.seq = baseline.seq; // comparison only; nothing is written
+    let regressions = compare(&baseline, &current, &Thresholds::default());
+    if regressions.is_empty() {
+        println!(
+            "gate: PASS vs baseline seq {} ({})",
+            baseline.seq, baseline.label
+        );
+        return;
+    }
+    eprintln!(
+        "gate: FAIL vs baseline seq {} ({})",
+        baseline.seq, baseline.label
+    );
+    for r in &regressions {
+        eprintln!("  REGRESSION {r}");
+    }
+    std::process::exit(1);
+}

@@ -18,9 +18,11 @@
 
 use lobster_metrics::timeline::{parse_trace, Timeline, TimelineError};
 use lobster_metrics::{
-    AnalysisConfig, AnalysisReport, BottleneckAnalyzer, DecisionRecord, MetricsSnapshot, Table,
+    AnalysisConfig, AnalysisReport, BottleneckAnalyzer, DecisionRecord, FlightDump, FlightEvent,
+    FlightTier, GpuIterSample, MetricsSnapshot, Table,
 };
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// Fetch-latency percentiles for one storage tier, microseconds.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -344,6 +346,187 @@ pub fn diagnose(
     })
 }
 
+/// Diagnose a run from a flight-recorder dump (`flightdump_*.json`)
+/// instead of a full trace: the dump's retained `Stage` events feed the
+/// same [`BottleneckAnalyzer`], its tier histograms become the same
+/// [`TierLatency`] table, and its fault/retry/escalation events the same
+/// fault summary — so a crashed run diagnoses like a traced one, just over
+/// the last-K window the recorder kept.
+pub fn diagnose_flight(dump_text: &str) -> Result<Diagnosis, String> {
+    let dump = FlightDump::from_json(dump_text)?;
+
+    // Rebuild per-iteration GPU samples from the retained Stage events.
+    let mut by_iter: BTreeMap<u64, Vec<GpuIterSample>> = BTreeMap::new();
+    let mut gap_events = 0u64;
+    let mut fault_counts: BTreeMap<String, u64> = BTreeMap::new();
+    let mut flip_ticks = 0u64;
+    let mut flips_total = 0u64;
+    for rec in &dump.events {
+        match rec.event {
+            FlightEvent::Stage {
+                iter,
+                node,
+                gpu,
+                iter_us,
+                stages,
+            } => {
+                by_iter.entry(iter).or_default().push(GpuIterSample {
+                    node,
+                    gpu,
+                    iter_s: iter_us as f64 / 1e6,
+                    stages,
+                });
+            }
+            FlightEvent::Iteration { .. } => gap_events += 1,
+            FlightEvent::RoleFlip { flips, .. } => {
+                flip_ticks += 1;
+                flips_total += flips as u64;
+            }
+            FlightEvent::Fault { kind, .. } => {
+                *fault_counts
+                    .entry(format!("flight.{}", kind.label()))
+                    .or_default() += 1;
+            }
+            FlightEvent::Retry { .. } => {
+                *fault_counts.entry("flight.retry".to_string()).or_default() += 1;
+            }
+            FlightEvent::Escalation { .. } => {
+                *fault_counts
+                    .entry("flight.deadline_escalation".to_string())
+                    .or_default() += 1;
+            }
+            FlightEvent::Divergence { .. } => {
+                *fault_counts
+                    .entry("flight.conformance_divergence".to_string())
+                    .or_default() += 1;
+            }
+        }
+    }
+
+    let mut analyzer = BottleneckAnalyzer::new(AnalysisConfig::default());
+    for (&iter, samples) in &by_iter {
+        analyzer.observe_iteration(iter, samples);
+    }
+    let analysis = analyzer.report();
+
+    // Phase split over the retained window, same thirds as the trace path.
+    let groups: Vec<(&u64, &Vec<GpuIterSample>)> = by_iter.iter().collect();
+    let mut phases = Vec::new();
+    let n = groups.len();
+    if n > 0 {
+        let bounds = [(0, n / 3), (n / 3, 2 * n / 3), (2 * n / 3, n)];
+        for (i, &(lo, hi)) in bounds.iter().enumerate() {
+            if lo >= hi {
+                continue;
+            }
+            let mut pa = BottleneckAnalyzer::default();
+            for &(iter, samples) in &groups[lo..hi] {
+                pa.observe_iteration(*iter, samples);
+            }
+            let r = pa.report();
+            phases.push(PhaseDiagnosis {
+                phase: phase_name(i).to_string(),
+                iterations: (hi - lo) as u64,
+                mean_gap_ms: r.mean_gap_s * 1e3,
+                dominant: r.dominant_category().map(|c| c.label().to_string()),
+            });
+        }
+    }
+
+    let tiers: Vec<TierLatency> = FlightTier::ALL
+        .iter()
+        .filter_map(|&t| {
+            let h = dump.tier_histogram(t)?;
+            (h.count() > 0).then(|| TierLatency {
+                tier: t.label().to_string(),
+                count: h.count(),
+                p50_us: h.percentile(50.0).unwrap_or(0.0),
+                p95_us: h.percentile(95.0).unwrap_or(0.0),
+                p99_us: h.percentile(99.0).unwrap_or(0.0),
+            })
+        })
+        .collect();
+
+    let faults: Vec<FaultCount> = fault_counts
+        .into_iter()
+        .map(|(name, count)| FaultCount { name, count })
+        .collect();
+
+    let top_bottleneck = analysis.dominant_category().map(|c| c.label().to_string());
+    let straggler = analysis.top_straggler().map(|(node, gpu)| StragglerCall {
+        node,
+        gpu,
+        dominant: analysis
+            .episodes
+            .iter()
+            .rfind(|e| e.node == node && e.gpu == gpu)
+            .map(|e| e.dominant.label().to_string()),
+        episodes: analysis.episodes.len() as u64,
+    });
+
+    let mut verdicts = vec![format!(
+        "flight dump trigger: {} ({} of {} recorded events retained)",
+        dump.trigger,
+        dump.events.len(),
+        dump.total_events
+    )];
+    if let Some(cat) = &top_bottleneck {
+        let share = lobster_metrics::BlameCategory::ALL
+            .iter()
+            .find(|c| c.label() == cat)
+            .map(|&c| analysis.cluster.get(c) / analysis.cluster.pipeline_s().max(1e-12))
+            .unwrap_or(0.0);
+        verdicts.push(format!(
+            "dominant pipeline bottleneck: {cat} ({:.0}% of blamed loading time)",
+            share * 100.0
+        ));
+    }
+    if let Some(s) = &straggler {
+        verdicts.push(format!(
+            "straggler: node {} gpu {} ({} flagged episode(s))",
+            s.node, s.gpu, s.episodes
+        ));
+    }
+    if analysis.iterations > 0 {
+        verdicts.push(format!(
+            "Eq.-3 gap over the retained window: mean {:.1} ms, max {:.1} ms, final EWMA {:.1} ms",
+            analysis.mean_gap_s * 1e3,
+            analysis.max_gap_s * 1e3,
+            analysis.ewma_gap_s * 1e3
+        ));
+    }
+    if flip_ticks > 0 {
+        verdicts.push(format!(
+            "elastic controller: {flips_total} role flip(s) across {flip_ticks} tick(s) in the window"
+        ));
+    }
+    if !faults.is_empty() {
+        let total: u64 = faults.iter().map(|f| f.count).sum();
+        verdicts.push(format!(
+            "{total} fault event(s) in the window across {} families",
+            faults.len()
+        ));
+    }
+
+    // Iterations seen: Stage groups are authoritative; fall back to the
+    // Iteration gap events when a dump holds only those.
+    let iterations = (by_iter.len() as u64).max(gap_events);
+
+    Ok(Diagnosis {
+        events: dump.events.len() as u64,
+        iterations,
+        analysis,
+        phases,
+        tiers,
+        cache: CacheTrajectory::default(),
+        solver: Vec::new(),
+        faults,
+        top_bottleneck,
+        straggler,
+        verdicts,
+    })
+}
+
 /// Human-readable report.
 pub fn render(d: &Diagnosis) -> String {
     let mut out = String::new();
@@ -533,5 +716,74 @@ mod tests {
     fn empty_or_garbage_traces_are_errors_not_empty_reports() {
         assert!(diagnose("", None, &[]).is_err());
         assert!(diagnose("no json here", None, &[]).is_err());
+    }
+
+    #[test]
+    fn diagnoses_a_flight_dump_without_a_trace() {
+        use lobster_metrics::analysis::BlameCategory;
+        use lobster_metrics::{FlightEvent, FlightFault, FlightRecorder, FlightTier, StageSample};
+
+        // Six iterations, two GPUs; GPU 1 straggles on PFS fetches.
+        let rec = FlightRecorder::new(128);
+        for iter in 0..6u64 {
+            for gpu in 0..2u32 {
+                let mut stages = StageSample::default();
+                let pipe_s = if gpu == 1 { 0.08 } else { 0.01 };
+                stages.add(BlameCategory::PfsFetch, pipe_s);
+                stages.add(BlameCategory::Train, 0.05);
+                rec.record(
+                    iter * 1000,
+                    FlightEvent::Stage {
+                        iter,
+                        node: 0,
+                        gpu,
+                        iter_us: ((pipe_s + 0.05) * 1e6) as u64,
+                        stages,
+                    },
+                );
+            }
+            rec.record(
+                iter * 1000 + 500,
+                FlightEvent::Iteration {
+                    iter,
+                    gap_us: 70_000,
+                    ewma_gap_us: 70_000,
+                },
+            );
+        }
+        rec.record(
+            9000,
+            FlightEvent::Fault {
+                kind: FlightFault::WorkerPanic,
+                sample: 42,
+            },
+        );
+        rec.record_fetch_us(FlightTier::Cache, 80);
+        rec.record_fetch_us(FlightTier::Store, 4000);
+        rec.record_fetch_us(FlightTier::Store, 5000);
+
+        let dump = rec.dump("worker_panic");
+        let d = diagnose_flight(&dump.to_json()).expect("valid dump");
+        assert!(!d.is_empty());
+        assert_eq!(d.iterations, 6);
+        assert_eq!(d.top_bottleneck.as_deref(), Some("pfs_fetch"));
+        assert_eq!(d.tiers.len(), 2);
+        let store = d.tiers.iter().find(|t| t.tier == "store").unwrap();
+        assert_eq!(store.count, 2);
+        assert!(store.p99_us >= 4000.0);
+        assert_eq!(d.faults.len(), 1);
+        assert_eq!(d.faults[0].name, "flight.worker_panic");
+        assert!(d.verdicts[0].contains("worker_panic"), "{:?}", d.verdicts);
+        assert_eq!(d.phases.len(), 3);
+
+        let text = render(&d);
+        assert!(text.contains("pfs_fetch"));
+        assert!(text.contains("store"));
+    }
+
+    #[test]
+    fn flight_diagnosis_rejects_foreign_json() {
+        assert!(diagnose_flight("{}").is_err());
+        assert!(diagnose_flight("{\"kind\":\"other\"}").is_err());
     }
 }

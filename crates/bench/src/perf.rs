@@ -1,0 +1,634 @@
+//! The recorded benchmark trajectory behind `lobster_perf` (DESIGN.md §12).
+//!
+//! A standardized scenario matrix — steady-state delivery, a mid-run
+//! preprocessing shock, a ≥5 % fault storm, and elastic churn — runs on
+//! the *live* engine at a small fixed scale. Each scenario records
+//! p50/p95/p99 per-sample latency (a [`LogHistogram`] over per-iteration
+//! delivery times), throughput, and allocation counts into a
+//! schema-versioned [`BenchTrajectory`], written as `BENCH_<seq>.json` at
+//! the repo root. [`compare`] gates the current run against the newest
+//! checked-in trajectory with per-metric regression thresholds, making
+//! perf a versioned, CI-gated observable like conformance already is.
+//!
+//! Thresholds are deliberately coarse (multiplicative factors, see
+//! [`Thresholds`]): the gate exists to catch order-of-magnitude
+//! regressions — an accidental `O(n²)`, a lock on the hot path, an
+//! allocation storm — not ±20 % scheduler noise on a shared CI runner.
+//! The `--self-test-regression` mode proves the gate fires by inflating
+//! the baseline past every threshold and demanding a non-zero exit.
+
+use lobster_data::{Dataset, SizeDistribution};
+use lobster_metrics::{CompactHistogram, Instruments, LogHistogram};
+use lobster_runtime::{run_with, EngineConfig, SyntheticStore};
+use lobster_storage::FaultSpec;
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Version stamped into (and required of) every `BENCH_<seq>.json`.
+pub const BENCH_SCHEMA_VERSION: u32 = 1;
+
+/// The `kind` discriminator stamped into every trajectory file.
+pub const BENCH_KIND: &str = "lobster-bench-trajectory";
+
+/// Scenarios every trajectory must carry (the acceptance floor).
+pub const MIN_SCENARIOS: usize = 4;
+
+/// One standardized workload in the matrix.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    pub name: &'static str,
+    pub cfg: EngineConfig,
+    pub dataset_samples: u32,
+    pub sample_bytes: u64,
+    pub faults: Option<FaultSpec>,
+}
+
+/// The standardized matrix. `quick` halves epochs for the CI smoke run;
+/// scenario names and shapes are identical in both modes, but quick and
+/// full trajectories are never compared against each other.
+pub fn scenario_matrix(quick: bool) -> Vec<Scenario> {
+    let epochs = if quick { 2 } else { 4 };
+    let samples = if quick { 192 } else { 384 };
+    let base = EngineConfig {
+        consumers: 2,
+        batch_size: 8,
+        loader_threads: 2,
+        preproc_threads: 2,
+        epochs,
+        seed: 20220822,
+        train: Duration::from_micros(200),
+        cache_bytes: 1 << 20,
+        ..EngineConfig::default()
+    };
+    let shock_at = (samples as u64 / (2 * 8)) * epochs / 2;
+    vec![
+        Scenario {
+            name: "steady_state",
+            cfg: base.clone(),
+            dataset_samples: samples,
+            sample_bytes: 4_000,
+            faults: None,
+        },
+        Scenario {
+            name: "preproc_shock",
+            cfg: EngineConfig {
+                elastic: true,
+                work_factor_step: Some((shock_at, 8)),
+                ..base.clone()
+            },
+            dataset_samples: samples,
+            sample_bytes: 4_000,
+            faults: None,
+        },
+        Scenario {
+            name: "fault_storm",
+            cfg: base.clone(),
+            dataset_samples: samples,
+            sample_bytes: 4_000,
+            // ≥5 % aggregate fault rate, every class represented.
+            faults: Some(
+                FaultSpec::parse(
+                    "transient=0.04,corrupt=0.02,stall=0.02,stall-ms=1,poison=0.01,seed=20220822",
+                )
+                .expect("fault storm spec parses"),
+            ),
+        },
+        Scenario {
+            name: "elastic_churn",
+            cfg: EngineConfig {
+                elastic: true,
+                elastic_churn: true,
+                ..base
+            },
+            dataset_samples: samples,
+            sample_bytes: 4_000,
+            faults: None,
+        },
+    ]
+}
+
+/// One scenario's measured metrics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioResult {
+    pub name: String,
+    /// Samples delivered to consumers.
+    pub samples: u64,
+    pub iterations: u64,
+    pub wall_s: f64,
+    /// Delivered samples per wall-clock second.
+    pub throughput_sps: f64,
+    /// Per-sample delivery latency percentiles, microseconds.
+    pub p50_us: f64,
+    pub p95_us: f64,
+    pub p99_us: f64,
+    /// The full latency distribution (sparse form) the percentiles came
+    /// from, so later tooling can recompute or merge.
+    pub latency_us: CompactHistogram,
+    /// Heap allocations over the run (counting-allocator delta).
+    pub allocations: u64,
+    pub allocations_per_sample: f64,
+    pub retries: u64,
+    pub worker_panics: u64,
+    pub role_flips: u64,
+}
+
+/// A schema-versioned `BENCH_<seq>.json` document.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchTrajectory {
+    /// Always [`BENCH_KIND`].
+    pub kind: String,
+    /// Always [`BENCH_SCHEMA_VERSION`].
+    pub schema_version: u32,
+    /// Ordinal in the checked-in trajectory (`BENCH_0001.json` → 1).
+    pub seq: u32,
+    /// Free-form provenance label (e.g. the PR that recorded it).
+    pub label: String,
+    /// Whether the quick (CI) matrix sizes were used.
+    pub quick: bool,
+    pub scenarios: Vec<ScenarioResult>,
+    /// All scenario latency histograms merged ([`LogHistogram::merge`]).
+    pub overall_latency_us: CompactHistogram,
+    pub overall_p99_us: f64,
+}
+
+impl BenchTrajectory {
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("trajectory render")
+    }
+
+    pub fn from_json(text: &str) -> Result<BenchTrajectory, String> {
+        let t: BenchTrajectory =
+            serde_json::from_str(text).map_err(|e| format!("trajectory parse: {e}"))?;
+        validate(&t)?;
+        Ok(t)
+    }
+
+    pub fn scenario(&self, name: &str) -> Option<&ScenarioResult> {
+        self.scenarios.iter().find(|s| s.name == name)
+    }
+}
+
+/// Schema validation beyond what typed parsing enforces: discriminators,
+/// the scenario floor, finite metrics, and coherent histograms.
+pub fn validate(t: &BenchTrajectory) -> Result<(), String> {
+    if t.kind != BENCH_KIND {
+        return Err(format!("kind {:?} is not {BENCH_KIND:?}", t.kind));
+    }
+    if t.schema_version != BENCH_SCHEMA_VERSION {
+        return Err(format!(
+            "schema version {} unsupported (want {BENCH_SCHEMA_VERSION})",
+            t.schema_version
+        ));
+    }
+    if t.seq == 0 {
+        return Err("seq must be >= 1".to_string());
+    }
+    if t.scenarios.len() < MIN_SCENARIOS {
+        return Err(format!(
+            "{} scenario(s), need at least {MIN_SCENARIOS}",
+            t.scenarios.len()
+        ));
+    }
+    for s in &t.scenarios {
+        if s.name.is_empty() {
+            return Err("scenario with empty name".to_string());
+        }
+        if t.scenarios.iter().filter(|o| o.name == s.name).count() > 1 {
+            return Err(format!("duplicate scenario {:?}", s.name));
+        }
+        for (what, v) in [
+            ("wall_s", s.wall_s),
+            ("throughput_sps", s.throughput_sps),
+            ("p50_us", s.p50_us),
+            ("p95_us", s.p95_us),
+            ("p99_us", s.p99_us),
+            ("allocations_per_sample", s.allocations_per_sample),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("scenario {:?}: {what} = {v} is not usable", s.name));
+            }
+        }
+        if s.samples == 0 || s.iterations == 0 {
+            return Err(format!("scenario {:?} delivered nothing", s.name));
+        }
+        let h = LogHistogram::from_compact(&s.latency_us)
+            .map_err(|e| format!("scenario {:?} latency histogram: {e}", s.name))?;
+        if h.count() != s.iterations {
+            return Err(format!(
+                "scenario {:?}: histogram count {} != iterations {}",
+                s.name,
+                h.count(),
+                s.iterations
+            ));
+        }
+    }
+    LogHistogram::from_compact(&t.overall_latency_us)
+        .map_err(|e| format!("overall latency histogram: {e}"))?;
+    Ok(())
+}
+
+/// Run one scenario on the live engine. `allocs` reads the process-wide
+/// counting allocator (the `lobster_perf` binary installs one; tests pass
+/// their own or `|| 0`).
+pub fn run_scenario(s: &Scenario, allocs: &dyn Fn() -> u64) -> ScenarioResult {
+    let dataset = Dataset::generate(
+        s.name,
+        s.dataset_samples as usize,
+        SizeDistribution::Constant {
+            bytes: s.sample_bytes,
+        },
+        s.cfg.seed,
+    );
+    let store = match &s.faults {
+        Some(spec) => {
+            let plan = spec.compile().expect("scenario fault spec compiles");
+            Arc::new(SyntheticStore::with_faults(
+                dataset,
+                Duration::from_micros(50),
+                500e6,
+                plan,
+            ))
+        }
+        None => Arc::new(SyntheticStore::new(
+            dataset,
+            Duration::from_micros(50),
+            500e6,
+        )),
+    };
+
+    // The measured run carries disabled instruments: this is the zero-
+    // observability hot path users actually pay for.
+    let a0 = allocs();
+    let t0 = Instant::now();
+    let report = run_with(store, s.cfg.clone(), Instruments::disabled());
+    let wall_s = t0.elapsed().as_secs_f64();
+    let allocations = allocs().saturating_sub(a0);
+
+    let per_iter_samples = (s.cfg.consumers * s.cfg.batch_size) as f64;
+    let mut hist = LogHistogram::new();
+    for &iter_s in &report.iteration_secs {
+        hist.record((iter_s * 1e6 / per_iter_samples) as u64);
+    }
+    let samples = report.delivered;
+    ScenarioResult {
+        name: s.name.to_string(),
+        samples,
+        iterations: report.iteration_secs.len() as u64,
+        wall_s,
+        throughput_sps: samples as f64 / wall_s.max(1e-9),
+        p50_us: hist.percentile(50.0).unwrap_or(0.0),
+        p95_us: hist.percentile(95.0).unwrap_or(0.0),
+        p99_us: hist.percentile(99.0).unwrap_or(0.0),
+        latency_us: hist.to_compact(),
+        allocations,
+        allocations_per_sample: allocations as f64 / samples.max(1) as f64,
+        retries: report.retries,
+        worker_panics: report.worker_panics,
+        role_flips: report
+            .role_flips
+            .iter()
+            .map(|d| d.flipped.len() as u64)
+            .sum(),
+    }
+}
+
+/// Run the whole matrix and assemble the trajectory document.
+pub fn run_matrix(quick: bool, label: &str, allocs: &dyn Fn() -> u64) -> BenchTrajectory {
+    let scenarios: Vec<ScenarioResult> = scenario_matrix(quick)
+        .iter()
+        .map(|s| run_scenario(s, allocs))
+        .collect();
+    // Cross-scenario summary via the mergeable histogram form.
+    let mut overall = LogHistogram::new();
+    for s in &scenarios {
+        if let Ok(h) = LogHistogram::from_compact(&s.latency_us) {
+            overall.merge(&h);
+        }
+    }
+    BenchTrajectory {
+        kind: BENCH_KIND.to_string(),
+        schema_version: BENCH_SCHEMA_VERSION,
+        seq: 0, // assigned at record time
+        label: label.to_string(),
+        quick,
+        scenarios,
+        overall_p99_us: overall.percentile(99.0).unwrap_or(0.0),
+        overall_latency_us: overall.to_compact(),
+    }
+}
+
+/// Per-metric regression thresholds. Multiplicative and coarse by design
+/// (see the module docs): latency may grow up to `latency_factor`×,
+/// throughput may shrink to `throughput_floor`× the baseline, and
+/// per-sample allocations may grow `alloc_factor`× (small absolute counts
+/// are ignored via `alloc_slack`).
+#[derive(Debug, Clone, Copy)]
+pub struct Thresholds {
+    pub latency_factor: f64,
+    pub throughput_floor: f64,
+    pub alloc_factor: f64,
+    /// Allocation regressions below this absolute per-sample delta are
+    /// noise, not signal.
+    pub alloc_slack: f64,
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        Thresholds {
+            latency_factor: 5.0,
+            throughput_floor: 0.2,
+            alloc_factor: 3.0,
+            alloc_slack: 50.0,
+        }
+    }
+}
+
+/// Compare `current` against `baseline`; each returned string is one
+/// threshold-crossing regression. Empty means the gate passes.
+pub fn compare(
+    baseline: &BenchTrajectory,
+    current: &BenchTrajectory,
+    th: &Thresholds,
+) -> Vec<String> {
+    let mut regressions = Vec::new();
+    if baseline.quick != current.quick {
+        regressions.push(format!(
+            "trajectory scale mismatch: baseline quick={} vs current quick={} (never comparable)",
+            baseline.quick, current.quick
+        ));
+        return regressions;
+    }
+    for b in &baseline.scenarios {
+        let Some(c) = current.scenario(&b.name) else {
+            regressions.push(format!("scenario {:?} missing from current run", b.name));
+            continue;
+        };
+        for (metric, base, cur) in [
+            ("p95_us", b.p95_us, c.p95_us),
+            ("p99_us", b.p99_us, c.p99_us),
+        ] {
+            // Sub-microsecond baselines have no meaningful factor.
+            let floor = base.max(1.0);
+            if cur > floor * th.latency_factor {
+                regressions.push(format!(
+                    "{}: {metric} {:.1}us exceeds {}x baseline {:.1}us",
+                    b.name, cur, th.latency_factor, base
+                ));
+            }
+        }
+        if c.throughput_sps < b.throughput_sps * th.throughput_floor {
+            regressions.push(format!(
+                "{}: throughput {:.0}/s fell below {}x baseline {:.0}/s",
+                b.name, c.throughput_sps, th.throughput_floor, b.throughput_sps
+            ));
+        }
+        if c.allocations_per_sample > b.allocations_per_sample * th.alloc_factor
+            && c.allocations_per_sample - b.allocations_per_sample > th.alloc_slack
+        {
+            regressions.push(format!(
+                "{}: allocations/sample {:.1} exceeds {}x baseline {:.1}",
+                b.name, c.allocations_per_sample, th.alloc_factor, b.allocations_per_sample
+            ));
+        }
+    }
+    regressions
+}
+
+/// The baseline, inflated past every threshold: latency ×10, throughput
+/// ÷20, allocations ×10. [`compare`] against the original must flag every
+/// scenario — the gate's self-test.
+pub fn inflate_for_self_test(t: &BenchTrajectory) -> BenchTrajectory {
+    let mut out = t.clone();
+    for s in &mut out.scenarios {
+        s.p50_us *= 10.0;
+        s.p95_us *= 10.0;
+        s.p99_us *= 10.0;
+        s.throughput_sps /= 20.0;
+        s.allocations = s.allocations.saturating_mul(10);
+        s.allocations_per_sample = s.allocations_per_sample * 10.0 + 1000.0;
+    }
+    out
+}
+
+/// `BENCH_<seq>.json` (zero-padded to four digits).
+pub fn bench_file_name(seq: u32) -> String {
+    format!("BENCH_{seq:04}.json")
+}
+
+/// All `BENCH_<seq>.json` files under `dir`, sorted by seq ascending.
+pub fn bench_files(dir: &Path) -> Vec<(u32, PathBuf)> {
+    let mut out: Vec<(u32, PathBuf)> = std::fs::read_dir(dir)
+        .map(|rd| {
+            rd.filter_map(|e| e.ok())
+                .filter_map(|e| {
+                    let path = e.path();
+                    let name = path.file_name()?.to_str()?;
+                    let seq: u32 = name
+                        .strip_prefix("BENCH_")?
+                        .strip_suffix(".json")?
+                        .parse()
+                        .ok()?;
+                    Some((seq, path))
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    out.sort();
+    out
+}
+
+/// The newest checked-in trajectory under `dir`, parsed and validated.
+pub fn load_latest(dir: &Path) -> Option<Result<BenchTrajectory, String>> {
+    let (_, path) = bench_files(dir).pop()?;
+    Some(
+        std::fs::read_to_string(&path)
+            .map_err(|e| format!("read {}: {e}", path.display()))
+            .and_then(|text| BenchTrajectory::from_json(&text)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic_trajectory(seq: u32) -> BenchTrajectory {
+        let mut overall = LogHistogram::new();
+        let scenarios = scenario_matrix(true)
+            .iter()
+            .map(|s| {
+                let mut hist = LogHistogram::new();
+                hist.record_all([100, 120, 150, 400]);
+                overall.merge(&hist);
+                ScenarioResult {
+                    name: s.name.to_string(),
+                    samples: 384,
+                    iterations: 4,
+                    wall_s: 0.5,
+                    throughput_sps: 768.0,
+                    p50_us: 120.0,
+                    p95_us: 400.0,
+                    p99_us: 400.0,
+                    latency_us: hist.to_compact(),
+                    allocations: 10_000,
+                    allocations_per_sample: 26.0,
+                    retries: 0,
+                    worker_panics: 0,
+                    role_flips: 0,
+                }
+            })
+            .collect();
+        BenchTrajectory {
+            kind: BENCH_KIND.to_string(),
+            schema_version: BENCH_SCHEMA_VERSION,
+            seq,
+            label: "test".to_string(),
+            quick: true,
+            scenarios,
+            overall_p99_us: overall.percentile(99.0).unwrap_or(0.0),
+            overall_latency_us: overall.to_compact(),
+        }
+    }
+
+    #[test]
+    fn matrix_has_the_four_standard_scenarios() {
+        for quick in [false, true] {
+            let m = scenario_matrix(quick);
+            let names: Vec<&str> = m.iter().map(|s| s.name).collect();
+            assert_eq!(
+                names,
+                [
+                    "steady_state",
+                    "preproc_shock",
+                    "fault_storm",
+                    "elastic_churn"
+                ]
+            );
+            let storm = m[2].faults.as_ref().expect("fault storm injects");
+            let total =
+                storm.transient_rate + storm.corrupt_rate + storm.stall_rate + storm.poison_rate;
+            assert!(total >= 0.05, "fault storm rate {total} must be >= 5%");
+            assert!(
+                m[1].cfg.work_factor_step.is_some(),
+                "shock steps work factor"
+            );
+            assert!(m[3].cfg.elastic_churn, "churn scenario churns");
+        }
+    }
+
+    #[test]
+    fn identical_trajectories_pass_the_gate() {
+        let base = synthetic_trajectory(1);
+        assert!(compare(&base, &base, &Thresholds::default()).is_empty());
+    }
+
+    #[test]
+    fn inflated_trajectory_trips_every_threshold_family() {
+        let base = synthetic_trajectory(1);
+        let bad = inflate_for_self_test(&base);
+        let regressions = compare(&base, &bad, &Thresholds::default());
+        assert!(
+            regressions.len() >= base.scenarios.len() * 3,
+            "latency + throughput + allocations per scenario: {regressions:?}"
+        );
+        for family in ["p99_us", "throughput", "allocations/sample"] {
+            assert!(
+                regressions.iter().any(|r| r.contains(family)),
+                "no {family} regression in {regressions:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn missing_scenario_and_scale_mismatch_are_regressions() {
+        let base = synthetic_trajectory(1);
+        let mut cur = base.clone();
+        cur.scenarios.remove(0);
+        let r = compare(&base, &cur, &Thresholds::default());
+        assert!(r.iter().any(|m| m.contains("missing")), "{r:?}");
+
+        let mut full = base.clone();
+        full.quick = false;
+        let r = compare(&base, &full, &Thresholds::default());
+        assert_eq!(r.len(), 1);
+        assert!(r[0].contains("scale mismatch"));
+    }
+
+    #[test]
+    fn trajectory_json_round_trips_and_validates() {
+        let t = synthetic_trajectory(3);
+        let json = t.to_json();
+        let back = BenchTrajectory::from_json(&json).expect("valid");
+        assert_eq!(back.seq, 3);
+        assert_eq!(back.scenarios.len(), t.scenarios.len());
+        assert_eq!(back.to_json(), json, "serialize is a fixed point");
+    }
+
+    #[test]
+    fn validation_rejects_broken_documents() {
+        let t = synthetic_trajectory(1);
+
+        let mut bad = t.clone();
+        bad.kind = "other".to_string();
+        assert!(validate(&bad).is_err());
+
+        let mut bad = t.clone();
+        bad.schema_version += 1;
+        assert!(validate(&bad).is_err());
+
+        let mut bad = t.clone();
+        bad.seq = 0;
+        assert!(validate(&bad).is_err());
+
+        let mut bad = t.clone();
+        bad.scenarios.truncate(2);
+        assert!(validate(&bad).is_err(), "scenario floor enforced");
+
+        let mut bad = t.clone();
+        bad.scenarios[0].p99_us = f64::NAN;
+        assert!(validate(&bad).is_err(), "non-finite metric rejected");
+
+        let mut bad = t.clone();
+        bad.scenarios[0].iterations += 1;
+        assert!(validate(&bad).is_err(), "histogram/iteration coherence");
+
+        let mut bad = t;
+        bad.scenarios[1].name = bad.scenarios[0].name.clone();
+        assert!(validate(&bad).is_err(), "duplicate scenario names rejected");
+    }
+
+    #[test]
+    fn bench_files_sort_by_seq() {
+        let dir = std::env::temp_dir().join(format!("lobster_perf_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for seq in [3u32, 1, 2] {
+            std::fs::write(
+                dir.join(bench_file_name(seq)),
+                synthetic_trajectory(seq).to_json(),
+            )
+            .unwrap();
+        }
+        std::fs::write(dir.join("BENCH_garbage.json"), "{}").unwrap();
+        let files = bench_files(&dir);
+        assert_eq!(files.iter().map(|(s, _)| *s).collect::<Vec<_>>(), [1, 2, 3]);
+        let latest = load_latest(&dir).unwrap().unwrap();
+        assert_eq!(latest.seq, 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn steady_state_scenario_runs_and_measures() {
+        let mut s = scenario_matrix(true)[0].clone();
+        // Keep the in-test run tiny: one epoch of the quick shape.
+        s.cfg.epochs = 1;
+        let r = run_scenario(&s, &|| 0);
+        assert_eq!(r.name, "steady_state");
+        assert!(r.samples > 0 && r.iterations > 0);
+        assert!(r.throughput_sps > 0.0);
+        assert!(r.p50_us > 0.0 && r.p99_us >= r.p50_us);
+        let h = LogHistogram::from_compact(&r.latency_us).unwrap();
+        assert_eq!(h.count(), r.iterations);
+        assert_eq!(r.allocations, 0, "null allocator reader reads zero");
+    }
+}

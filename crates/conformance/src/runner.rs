@@ -126,6 +126,29 @@ pub fn run_differential(
     })
 }
 
+/// Record a first divergence into `ins`'s flight recorder and trigger the
+/// `conformance_divergence` dump (written only when a flight dir is
+/// configured). Returns the dump path, if one was written.
+pub fn record_divergence_flight(ins: &Instruments, d: &Divergence) -> Option<std::path::PathBuf> {
+    ins.flight(|| lobster_metrics::FlightEvent::Divergence {
+        iteration: d.iteration.unwrap_or(0),
+    });
+    ins.flight_dump_to_disk("conformance_divergence")
+}
+
+/// [`run_differential`] with the flight-recorder hook: the first
+/// divergence, if any, is recorded into `ins` and dumped before being
+/// returned to the caller.
+pub fn run_differential_recorded(
+    cfg: &ExperimentConfig,
+    policy: &str,
+    ins: &Instruments,
+) -> Result<DiffSummary, Box<Divergence>> {
+    run_differential(cfg, policy).inspect_err(|d| {
+        record_divergence_flight(ins, d);
+    })
+}
+
 /// Outcome of arming one mutation canary.
 #[derive(Debug)]
 pub enum CanaryOutcome {
@@ -288,6 +311,20 @@ fn run_both(
 /// integrity fingerprint, and (when `ins` is enabled) the cache-accounting
 /// invariant `cache_hits + cache_misses == fetches`.
 pub fn check_engine_delivery(
+    dataset: &Dataset,
+    cfg: &EngineConfig,
+    report: &EngineReport,
+    ins: &Instruments,
+) -> Result<(), Box<Divergence>> {
+    // First divergence lands in the flight recorder (and, with a flight
+    // dir configured, on disk) before the caller sees it — the dump then
+    // holds the engine's last-K events leading up to the disagreement.
+    check_engine_delivery_inner(dataset, cfg, report, ins).inspect_err(|d| {
+        record_divergence_flight(ins, d);
+    })
+}
+
+fn check_engine_delivery_inner(
     dataset: &Dataset,
     cfg: &EngineConfig,
     report: &EngineReport,

@@ -130,6 +130,88 @@ impl LogHistogram {
             .map(|(k, &c)| (if k >= 64 { u64::MAX } else { 1u64 << k }, c))
             .collect()
     }
+
+    /// Fold `other` into `self`. Because the bucket boundaries are fixed
+    /// powers of two, merging per-thread histograms is a plain bucket-wise
+    /// sum — every derived statistic (count, mean, percentiles,
+    /// `fraction_above`) afterwards equals what a single histogram fed both
+    /// record streams would report.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// Sparse wire form: only non-empty buckets travel. 65 mostly-zero
+    /// slots collapse to a handful of `(index, count)` pairs, which keeps
+    /// flight dumps and BENCH files small and diff-stable.
+    pub fn to_compact(&self) -> CompactHistogram {
+        CompactHistogram {
+            count: self.count,
+            sum: self.sum,
+            min: if self.count > 0 { self.min } else { 0 },
+            max: self.max,
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(k, &c)| CompactBucket { idx: k as u8, n: c })
+                .collect(),
+        }
+    }
+
+    /// Rebuild a full histogram from its sparse form, validating the
+    /// invariants a dump could have lost (bucket indices in range, bucket
+    /// mass equal to `count`).
+    pub fn from_compact(c: &CompactHistogram) -> Result<LogHistogram, String> {
+        let mut h = LogHistogram::new();
+        let mut mass = 0u64;
+        for b in &c.buckets {
+            if b.idx as usize >= h.buckets.len() {
+                return Err(format!("bucket index {} out of range", b.idx));
+            }
+            h.buckets[b.idx as usize] += b.n;
+            mass += b.n;
+        }
+        if mass != c.count {
+            return Err(format!(
+                "bucket mass {mass} does not match count {}",
+                c.count
+            ));
+        }
+        h.count = c.count;
+        h.sum = c.sum;
+        h.min = if c.count > 0 { c.min } else { u64::MAX };
+        h.max = c.max;
+        Ok(h)
+    }
+}
+
+/// One non-empty bucket of a [`CompactHistogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompactBucket {
+    /// Bucket index `k` (`buckets[k]` of the full form), 0 ..= 64.
+    pub idx: u8,
+    /// Occupancy.
+    pub n: u64,
+}
+
+/// The sparse serialized form of a [`LogHistogram`]; see
+/// [`LogHistogram::to_compact`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompactHistogram {
+    pub count: u64,
+    pub sum: u128,
+    pub min: u64,
+    pub max: u64,
+    pub buckets: Vec<CompactBucket>,
 }
 
 /// A fixed-width linear histogram over `f64` values (batch-time
@@ -284,6 +366,95 @@ mod tests {
             h.percentile(100.0),
             Some(u64::MAX as f64),
             "top bucket has no finite edge; reports the observed max"
+        );
+    }
+
+    #[test]
+    fn merge_then_percentile_matches_combined_record() {
+        // Two disjoint record streams (as two loader threads would
+        // produce), merged at "barrier time", must be indistinguishable
+        // from one histogram that saw both streams.
+        let stream_a: Vec<u64> = (0..400u64).map(|i| 3 + (i * 7919) % 900).collect();
+        let stream_b: Vec<u64> = (0..250u64)
+            .map(|i| 50_000 + (i * 104_729) % 2_000_000)
+            .collect();
+
+        let mut a = LogHistogram::new();
+        a.record_all(stream_a.iter().copied());
+        let mut b = LogHistogram::new();
+        b.record_all(stream_b.iter().copied());
+
+        let mut combined = LogHistogram::new();
+        combined.record_all(stream_a.iter().copied());
+        combined.record_all(stream_b.iter().copied());
+
+        a.merge(&b);
+        assert_eq!(a, combined, "merge is exactly bucket-wise addition");
+        for p in [0.0, 10.0, 50.0, 90.0, 95.0, 99.0, 100.0] {
+            assert_eq!(a.percentile(p), combined.percentile(p), "p{p}");
+        }
+        assert_eq!(a.mean(), combined.mean());
+        assert_eq!(a.min(), combined.min());
+        assert_eq!(a.max(), combined.max());
+        assert_eq!(a.fraction_above(1024), combined.fraction_above(1024),);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_both_ways() {
+        let mut h = LogHistogram::new();
+        h.record_all([5, 9, 1000]);
+        let snapshot = h.clone();
+        h.merge(&LogHistogram::new());
+        assert_eq!(h, snapshot, "merging an empty histogram changes nothing");
+
+        let mut empty = LogHistogram::new();
+        empty.merge(&snapshot);
+        assert_eq!(empty, snapshot, "merging into an empty histogram copies");
+    }
+
+    #[test]
+    fn compact_form_round_trips_including_percentiles() {
+        let mut h = LogHistogram::new();
+        h.record_all([0, 1, 7, 7, 300, 70_000, u64::MAX]);
+        let compact = h.to_compact();
+        assert_eq!(compact.buckets.len(), h.non_empty_buckets().len());
+        let back = LogHistogram::from_compact(&compact).expect("valid compact form");
+        assert_eq!(back, h);
+        for p in [1.0, 50.0, 99.0] {
+            assert_eq!(back.percentile(p), h.percentile(p), "p{p}");
+        }
+        // JSON round trip through the serialized wire form too.
+        let json = serde_json::to_string(&compact).unwrap();
+        let parsed: CompactHistogram = serde_json::from_str(&json).unwrap();
+        assert_eq!(LogHistogram::from_compact(&parsed).unwrap(), h);
+    }
+
+    #[test]
+    fn compact_form_of_empty_histogram_round_trips() {
+        let h = LogHistogram::new();
+        let c = h.to_compact();
+        assert!(c.buckets.is_empty());
+        assert_eq!(c.min, 0, "empty sentinel min is not leaked to the wire");
+        assert_eq!(LogHistogram::from_compact(&c).unwrap(), h);
+    }
+
+    #[test]
+    fn from_compact_rejects_corrupt_forms() {
+        let mut c = LogHistogram::new().to_compact();
+        c.buckets.push(CompactBucket { idx: 70, n: 1 });
+        c.count = 1;
+        assert!(
+            LogHistogram::from_compact(&c).is_err(),
+            "index out of range"
+        );
+
+        let mut h = LogHistogram::new();
+        h.record(9);
+        let mut c = h.to_compact();
+        c.count = 5;
+        assert!(
+            LogHistogram::from_compact(&c).is_err(),
+            "bucket mass must match count"
         );
     }
 

@@ -16,12 +16,18 @@
 //! flagged episode — so the Eq.-3 gap trend is visible live in the registry
 //! and on the Perfetto timeline, not only in the final report.
 
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crate::analysis::{
     AnalysisConfig, AnalysisReport, BottleneckAnalyzer, GpuIterSample, IterationAnalysis,
 };
 use crate::decisions::{DecisionLog, DecisionRecord};
+use crate::histogram::LogHistogram;
+use crate::recorder::{
+    FlightDump, FlightEvent, FlightRecord, FlightRecorder, FlightTier, DEFAULT_FLIGHT_CAPACITY,
+};
 use crate::registry::{Counter, Gauge, MetricRegistry, MetricsSnapshot};
 use crate::trace::{TraceBuffer, TraceEvent, Tracer};
 
@@ -30,6 +36,11 @@ struct Inner {
     registry: MetricRegistry,
     decisions: DecisionLog,
     analysis: Mutex<BottleneckAnalyzer>,
+    flight: FlightRecorder,
+    /// Where `flight_dump_to_disk` writes; `None` (the default) means
+    /// dumps are built on demand but never touch the filesystem.
+    flight_dir: Mutex<Option<PathBuf>>,
+    flight_dumps: AtomicU64,
 }
 
 /// Cloneable observability handle; `None` inside means fully disabled.
@@ -59,6 +70,9 @@ impl Instruments {
                 registry: MetricRegistry::new(),
                 decisions: DecisionLog::new(),
                 analysis: Mutex::new(BottleneckAnalyzer::new(cfg)),
+                flight: FlightRecorder::new(DEFAULT_FLIGHT_CAPACITY),
+                flight_dir: Mutex::new(None),
+                flight_dumps: AtomicU64::new(0),
             })),
         }
     }
@@ -231,6 +245,76 @@ impl Instruments {
     /// Trace events dropped due to buffer bounds (0 when disabled).
     pub fn trace_dropped(&self) -> u64 {
         self.inner.as_ref().map_or(0, |i| i.buffer.dropped())
+    }
+
+    // ---- Flight recorder facet (DESIGN.md §12) ----
+
+    /// Record a flight event; the closure only runs when enabled. The
+    /// enabled path is allocation-free (wait-free slot claim, `Copy`
+    /// store), so it is safe on the engine's per-batch hot path.
+    #[inline]
+    pub fn flight<F: FnOnce() -> FlightEvent>(&self, make: F) {
+        if let Some(inner) = &self.inner {
+            inner.flight.record(inner.buffer.now_us(), make());
+        }
+    }
+
+    /// Fold one fetch latency into the flight recorder's per-tier
+    /// aggregate histogram; allocation-free, no-op when disabled.
+    #[inline]
+    pub fn flight_fetch_us(&self, tier: FlightTier, us: u64) {
+        if let Some(inner) = &self.inner {
+            inner.flight.record_fetch_us(tier, us);
+        }
+    }
+
+    /// Merge a per-thread latency histogram into the tier aggregate at
+    /// barrier time; no-op when disabled.
+    pub fn flight_merge_tier(&self, tier: FlightTier, h: &LogHistogram) {
+        if let Some(inner) = &self.inner {
+            inner.flight.merge_tier(tier, h);
+        }
+    }
+
+    /// The retained flight events in seq order (empty when disabled).
+    pub fn flight_snapshot(&self) -> Vec<FlightRecord> {
+        self.inner
+            .as_ref()
+            .map(|i| i.flight.snapshot())
+            .unwrap_or_default()
+    }
+
+    /// Flight events ever recorded (0 when disabled).
+    pub fn flight_recorded(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.flight.total_recorded())
+    }
+
+    /// Configure where [`Instruments::flight_dump_to_disk`] writes;
+    /// no-op when disabled.
+    pub fn set_flight_dir<P: Into<PathBuf>>(&self, dir: P) {
+        if let Some(inner) = &self.inner {
+            *inner.flight_dir.lock().unwrap_or_else(|e| e.into_inner()) = Some(dir.into());
+        }
+    }
+
+    /// Build the flight dump for `trigger`; `None` when disabled.
+    pub fn flight_dump(&self, trigger: &str) -> Option<FlightDump> {
+        self.inner.as_ref().map(|i| i.flight.dump(trigger))
+    }
+
+    /// Build and write a `flightdump_<trigger>_<n>.json` under the
+    /// configured flight dir. `None` when disabled, when no dir was
+    /// configured, or when the write fails — dumping is a best-effort
+    /// last act and must never panic a teardown path.
+    pub fn flight_dump_to_disk(&self, trigger: &str) -> Option<PathBuf> {
+        let inner = self.inner.as_ref()?;
+        let dir = inner
+            .flight_dir
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()?;
+        let ordinal = inner.flight_dumps.fetch_add(1, Ordering::Relaxed);
+        inner.flight.dump(trigger).write_to(&dir, ordinal).ok()
     }
 }
 

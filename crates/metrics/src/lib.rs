@@ -40,6 +40,7 @@ pub mod analysis;
 pub mod decisions;
 pub mod histogram;
 pub mod instruments;
+pub mod recorder;
 pub mod registry;
 pub mod report;
 pub mod summary;
@@ -52,8 +53,12 @@ pub use analysis::{
     IterationAnalysis, SolverEfficacy, StageSample, StragglerEpisode,
 };
 pub use decisions::{DecisionLog, DecisionRecord, DecisionSource};
-pub use histogram::{LinearHistogram, LogHistogram};
+pub use histogram::{CompactBucket, CompactHistogram, LinearHistogram, LogHistogram};
 pub use instruments::Instruments;
+pub use recorder::{
+    FlightDump, FlightEvent, FlightFault, FlightRecord, FlightRecorder, FlightTier, FlightTierDump,
+    DEFAULT_FLIGHT_CAPACITY, FLIGHT_DUMP_KIND, FLIGHT_SCHEMA_VERSION,
+};
 pub use registry::{is_canonical_metric_name, Counter, Gauge, MetricRegistry, MetricsSnapshot};
 pub use report::ResultSink;
 pub use summary::{Ewma, Summary};

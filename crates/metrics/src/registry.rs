@@ -206,7 +206,12 @@ impl MetricRegistry {
                 },
             });
         }
-        entries.sort_by(|a, b| a.name.cmp(&b.name));
+        // Sort by (name, kind): the name alone is not a total order because
+        // an alias may share its name with a differently-spelled canonical
+        // metric registered later, and a registration-order tie-break would
+        // make sidecar diffs (and the BENCH trajectory files built from
+        // them) depend on which thread touched the registry first.
+        entries.sort_by(|a, b| a.name.cmp(&b.name).then_with(|| a.kind.cmp(&b.kind)));
         MetricsSnapshot { entries }
     }
 }
@@ -347,6 +352,37 @@ mod tests {
         );
         assert_eq!(snap.get("ghost"), None, "unresolved aliases are omitted");
         assert_eq!(snap.get("engine.worker_panics"), Some(4));
+    }
+
+    #[test]
+    fn snapshot_order_is_independent_of_registration_order() {
+        // Regression test for sidecar / BENCH stability: two registries fed
+        // the same metrics in different orders (as racing threads would)
+        // must render byte-identical snapshots.
+        let a = MetricRegistry::new();
+        a.counter("engine.fetches").add(3);
+        a.gauge("engine.queue_depth").set(2);
+        a.counter("engine.retries").add(1);
+        a.alias("fetches", "engine.fetches");
+
+        let b = MetricRegistry::new();
+        b.alias("fetches", "engine.fetches");
+        b.counter("engine.retries").add(1);
+        b.gauge("engine.queue_depth").set(2);
+        b.counter("engine.fetches").add(3);
+
+        assert_eq!(a.snapshot().to_json(), b.snapshot().to_json());
+        assert_eq!(a.snapshot().to_text(), b.snapshot().to_text());
+
+        let names: Vec<String> = a
+            .snapshot()
+            .entries
+            .iter()
+            .map(|e| e.name.clone())
+            .collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted, "entries render in sorted-name order");
     }
 
     #[test]

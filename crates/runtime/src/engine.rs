@@ -29,7 +29,9 @@ use lobster_core::elastic::{
     ElasticController, ElasticDecision, ElasticObservation, ElasticParams,
 };
 use lobster_data::{Dataset, EpochSchedule, SampleId, ScheduleSpec};
-use lobster_metrics::{DecisionRecord, DecisionSource, Instruments, TraceEvent};
+use lobster_metrics::{
+    DecisionRecord, DecisionSource, FlightEvent, FlightFault, FlightTier, Instruments, TraceEvent,
+};
 use lobster_storage::faults::RetryPolicy;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -353,6 +355,10 @@ fn fetch_one(
                                 .tid(w as u32)
                                 .arg_u("sample", req.sample.0 as u64)
                         });
+                        ins.flight(|| FlightEvent::Fault {
+                            kind: FlightFault::WorkerPanic,
+                            sample: req.sample.0 as u64,
+                        });
                     }
                 }
             };
@@ -374,6 +380,12 @@ fn fetch_one(
             &stage_accum.fetch_store_ns[req.consumer]
         };
         cell.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        let flight_tier = if tier == "cache" {
+            FlightTier::Cache
+        } else {
+            FlightTier::Store
+        };
+        ins.flight_fetch_us(flight_tier, t0.elapsed().as_micros() as u64);
     }
     // EWMA (α = 1/4) of this queue's service cost.
     let obs = t0.elapsed().as_nanos() as u64;
@@ -1055,7 +1067,24 @@ pub fn run_with(store: Arc<SyntheticStore>, cfg: EngineConfig, ins: Instruments)
                                 })
                                 .collect();
                             iter_start_us = end_us;
-                            let _ = ins.observe_iteration(iter, end_us, || samples);
+                            for s in &samples {
+                                let (node, gpu, stages) = (s.node, s.gpu, s.stages);
+                                let iter_us = (s.iter_s * 1e6) as u64;
+                                ins.flight(|| FlightEvent::Stage {
+                                    iter,
+                                    node,
+                                    gpu,
+                                    iter_us,
+                                    stages,
+                                });
+                            }
+                            if let Some(out) = ins.observe_iteration(iter, end_us, || samples) {
+                                ins.flight(|| FlightEvent::Iteration {
+                                    iter,
+                                    gap_us: (out.gap_s * 1e6) as u64,
+                                    ewma_gap_us: (out.ewma_gap_s * 1e6) as u64,
+                                });
+                            }
                         }
                         // Elastic tick for the next iteration: decide the
                         // preproc↔loader split from the deterministic model
@@ -1086,6 +1115,12 @@ pub fn run_with(store: Arc<SyntheticStore>, cfg: EngineConfig, ins: Instruments)
                                             .arg_u("iter", next)
                                             .arg_u("preproc_workers", d.preproc_after as u64)
                                             .arg_u("flips", d.flipped.len() as u64)
+                                    });
+                                    ins.flight(|| FlightEvent::RoleFlip {
+                                        tick: next,
+                                        loaders: pool2 as u32 - d.preproc_after,
+                                        preprocs: d.preproc_after,
+                                        flips: d.flipped.len() as u32,
                                     });
                                     ins.record_decision(DecisionRecord {
                                         ts_us: ts,
@@ -1131,6 +1166,15 @@ pub fn run_with(store: Arc<SyntheticStore>, cfg: EngineConfig, ins: Instruments)
         drop(req_rx);
     })
     .expect("engine threads must not panic");
+
+    // Flight-dump at teardown: an aborted run or one scarred by contained
+    // worker panics leaves its last-K event window on disk (when a flight
+    // dir is configured) so the doctor can diagnose without a full trace.
+    if aborted.load(Ordering::Relaxed) {
+        let _ = ins.flight_dump_to_disk("abort");
+    } else if worker_panics.load(Ordering::Relaxed) > 0 {
+        let _ = ins.flight_dump_to_disk("worker_panic");
+    }
 
     let stats = rstore.stats();
     let iteration_secs = iter_times.lock().clone();

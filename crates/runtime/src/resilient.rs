@@ -15,10 +15,10 @@
 
 use crate::store::{sample_checksum, FetchError, SyntheticStore};
 use lobster_data::SampleId;
-use lobster_metrics::Instruments;
+use lobster_metrics::{FlightEvent, FlightFault, Instruments};
 use lobster_sim::derive_seed2;
 use lobster_storage::faults::RetryPolicy;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -32,6 +32,12 @@ const MAX_DEADLINE_DOUBLINGS: u32 = 6;
 /// Hard ceiling on deadline rounds per fetch; hitting it means the store
 /// can never serve the sample (a schedule bug, not an injected fault).
 const MAX_ROUNDS: u64 = 64;
+
+/// A fetch entering this round (budget ×2^round) is escalating past normal
+/// stall recovery; the first such fetch triggers a flight dump so the
+/// window leading up to the escalation survives even if the run later
+/// converges or wedges.
+const ESCALATION_DUMP_ROUND: u64 = 3;
 
 /// Counts of recovery actions taken, for [`EngineReport`] and tests.
 ///
@@ -55,6 +61,9 @@ pub struct ResilientStore {
     retries: AtomicU64,
     corruptions: AtomicU64,
     deadlines: AtomicU64,
+    /// One escalation dump per store lifetime: set by the first fetch
+    /// whose deadline round reaches [`ESCALATION_DUMP_ROUND`].
+    escalation_dumped: AtomicBool,
 }
 
 impl ResilientStore {
@@ -70,6 +79,7 @@ impl ResilientStore {
             retries: AtomicU64::new(0),
             corruptions: AtomicU64::new(0),
             deadlines: AtomicU64::new(0),
+            escalation_dumped: AtomicBool::new(false),
         }
     }
 
@@ -89,9 +99,13 @@ impl ResilientStore {
         }
     }
 
-    fn note_retry(&self) {
+    fn note_retry(&self, id: SampleId, round: u64) {
         self.retries.fetch_add(1, Ordering::Relaxed);
         self.instruments.counter("engine.retries").inc();
+        self.instruments.flight(|| FlightEvent::Retry {
+            sample: id.0 as u64,
+            round,
+        });
     }
 
     /// Fetch `id`, retrying until the payload verifies against its canonical
@@ -105,13 +119,23 @@ impl ResilientStore {
                 .policy
                 .deadline
                 .saturating_mul(1 << round.min(MAX_DEADLINE_DOUBLINGS as u64) as u32);
+            if round >= ESCALATION_DUMP_ROUND {
+                self.instruments.flight(|| FlightEvent::Escalation {
+                    sample: id.0 as u64,
+                    round,
+                    budget_ms: budget.as_millis() as u64,
+                });
+                if !self.escalation_dumped.swap(true, Ordering::Relaxed) {
+                    let _ = self.instruments.flight_dump_to_disk("deadline_escalation");
+                }
+            }
             let round_start = Instant::now();
             let mut backoff = self
                 .policy
                 .backoff(derive_seed2(BACKOFF_STREAM, id.0 as u64, round));
             for _attempt in 0..self.policy.max_attempts.max(1) {
                 if !first_attempt {
-                    self.note_retry();
+                    self.note_retry(id, round);
                 }
                 let remaining = budget.saturating_sub(round_start.elapsed());
                 if remaining.is_zero() {
@@ -144,6 +168,10 @@ impl ResilientStore {
                             lobster_metrics::TraceEvent::instant("fault_corruption", "fault", ts)
                                 .arg_u("sample", id.0 as u64)
                         });
+                        self.instruments.flight(|| FlightEvent::Fault {
+                            kind: FlightFault::Corruption,
+                            sample: id.0 as u64,
+                        });
                     }
                     Err(FetchError::Transient { .. }) => {
                         first_attempt = false;
@@ -151,6 +179,10 @@ impl ResilientStore {
                         self.instruments.trace(|| {
                             lobster_metrics::TraceEvent::instant("fault_transient", "fault", ts)
                                 .arg_u("sample", id.0 as u64)
+                        });
+                        self.instruments.flight(|| FlightEvent::Fault {
+                            kind: FlightFault::Transient,
+                            sample: id.0 as u64,
                         });
                     }
                     Err(FetchError::DeadlineExceeded { .. }) => {
@@ -162,6 +194,10 @@ impl ResilientStore {
                             lobster_metrics::TraceEvent::instant("fault_deadline", "fault", ts)
                                 .arg_u("sample", id.0 as u64)
                                 .arg_u("round", round)
+                        });
+                        self.instruments.flight(|| FlightEvent::Fault {
+                            kind: FlightFault::Deadline,
+                            sample: id.0 as u64,
                         });
                         // Give the next round a doubled budget instead of
                         // burning this round's remaining attempts.
