@@ -63,6 +63,14 @@ echo "== fault smoke =="
 # the hard timeout turns a deadlock into a fast failure.
 timeout 120 cargo run -q --release -p lobster-bench --bin fault_smoke
 
+echo "== chaos smoke =="
+# Membership gate (DESIGN.md §13): a staggered crash storm with rejoins
+# over 5 seeds — differential agreement, exactly-once delivery, and a live
+# engine that drains with the plan's membership sequence. The binary
+# carries its own in-process 300s watchdog; the outer timeout is the
+# backstop.
+timeout 300 cargo run -q --release -p lobster-bench --bin chaos_smoke
+
 echo "== doctor smoke =="
 # Instrumented smoke run, then lobster_doctor over its trace + sidecars:
 # fails on non-zero exit (empty diagnosis included) or a hung run.

@@ -1,0 +1,217 @@
+//! Membership chaos smoke check for CI (DESIGN.md §13).
+//!
+//! A crash *storm* — staggered whole-node crashes and rejoins, including a
+//! node that dies twice — replayed over 5 seeds through three layers:
+//!
+//! 1. the differential harness (analytical executor vs conformance DES,
+//!    agreement demanded on every observable including the membership
+//!    sequence),
+//! 2. exactly-once delivery (the storm run's per-epoch multisets must be
+//!    byte-identical to the fault-free run of the same schedule), and
+//! 3. the live engine (the storm applied as tick-scoped peer-down windows;
+//!    the run must drain with the exact schedule-determined delivery and
+//!    the plan's membership sequence).
+//!
+//! An in-process watchdog kills the binary after 300 s so a membership
+//! deadlock fails CI fast instead of stalling it; ci.sh wraps the run in
+//! the same hard timeout from outside.
+//!
+//! ```sh
+//! cargo run --release --bin chaos_smoke
+//! cargo run --release --bin chaos_smoke -- --seeds 2,4,6,8,10
+//! cargo run --release --bin chaos_smoke -- --trace-out /tmp/chaos.json
+//! ```
+//!
+//! With `--trace-out <path>` an instrumented storm run is traced for
+//! `lobster_doctor`, whose report then carries the `== membership ==`
+//! table attributing each crash/rejoin to a run phase.
+
+use lobster_bench::{observability_from_args, write_observability};
+use lobster_conformance::{check_engine_delivery, run_differential};
+use lobster_core::policy_by_name;
+use lobster_metrics::Instruments;
+use lobster_pipeline::{ClusterSim, ConfigBuilder, ExperimentConfig, MembershipObservable};
+use lobster_runtime::{run_with, EngineConfig, SyntheticStore};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("CHAOS SMOKE FAILED: {msg}");
+    std::process::exit(1);
+}
+
+/// The storm: three nodes of a 4-node cluster crash on staggered windows
+/// and node 1 dies a second time after recovering. Never downs more than
+/// two nodes at once, so every tick keeps survivors to foster onto.
+const STORM: [(u32, u64, Option<u64>); 4] = [
+    (1, 2, Some(5)),
+    (2, 4, Some(9)),
+    (3, 7, Some(13)),
+    (1, 15, Some(20)),
+];
+
+fn storm_config(seed: u64, with_storm: bool) -> ExperimentConfig {
+    let dataset = lobster_data::Dataset::generate(
+        "chaos-smoke",
+        192,
+        lobster_data::SizeDistribution::Uniform {
+            lo: 2_000,
+            hi: 16_000,
+        },
+        seed,
+    );
+    // 192 / (4 nodes × 2 GPUs × 2) = 12 iterations/epoch, 24 ticks total.
+    let mut b = ConfigBuilder::new()
+        .nodes(4)
+        .gpus_per_node(2)
+        .batch_size(2)
+        .pipeline_threads(8)
+        .cache_bytes(dataset.total_bytes() / 4)
+        .dataset(dataset)
+        .epochs(2)
+        .seed(seed);
+    if with_storm {
+        for (node, tick, rejoin) in STORM {
+            b = b
+                .try_crash_node(node, tick, rejoin)
+                .unwrap_or_else(|e| fail(&format!("storm schedule rejected: {e}")));
+        }
+    }
+    b.build()
+}
+
+fn main() {
+    let t0 = Instant::now();
+    let mut seeds: Vec<u64> = vec![3, 5, 7, 11, 13];
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seeds" => {
+                i += 1;
+                seeds = args
+                    .get(i)
+                    .unwrap_or_else(|| fail("--seeds needs a comma-separated list"))
+                    .split(',')
+                    .map(|s| s.trim().parse().unwrap_or_else(|_| fail("bad seed")))
+                    .collect();
+            }
+            // Consumed by observability_from_args below.
+            "--trace-out" => i += 1,
+            other => fail(&format!("unknown argument {other:?}")),
+        }
+        i += 1;
+    }
+    let (trace_ins, trace_out) = observability_from_args();
+
+    // In-process watchdog: a wedged barrier or membership deadlock must
+    // fail the gate fast, not hang it.
+    std::thread::spawn(|| {
+        std::thread::sleep(Duration::from_secs(300));
+        eprintln!("CHAOS SMOKE FAILED: hard 300s timeout exceeded");
+        std::process::exit(99);
+    });
+
+    for &seed in &seeds {
+        // 1. Differential: the storm through both simulators, every
+        //    observable (membership included) compared.
+        let cfg = storm_config(seed, true);
+        let summary = run_differential(&cfg, "lobster").unwrap_or_else(|d| {
+            eprintln!("{d}");
+            fail(&format!("seed {seed}: executors diverged under the storm"));
+        });
+
+        // 2. Exactly-once: storm delivery == fault-free delivery.
+        let (_, storm_obs) =
+            ClusterSim::new(cfg.clone(), policy_by_name("lobster").unwrap()).run_observed();
+        let (_, clean_obs) = ClusterSim::new(
+            storm_config(seed, false),
+            policy_by_name("lobster").unwrap(),
+        )
+        .run_observed();
+        if storm_obs.delivered != clean_obs.delivered {
+            fail(&format!(
+                "seed {seed}: crash storm changed the delivered multiset (exactly-once broken)"
+            ));
+        }
+        let events = storm_obs.membership_sequence().len();
+        if events != 2 * STORM.len() {
+            fail(&format!(
+                "seed {seed}: expected {} membership events, saw {events}",
+                2 * STORM.len()
+            ));
+        }
+
+        // 3. Live engine: same storm as tick-scoped peer-down windows.
+        let ecfg = EngineConfig {
+            consumers: 4,
+            batch_size: 2,
+            loader_threads: 3,
+            preproc_threads: 2,
+            epochs: 2,
+            seed,
+            train: Duration::from_micros(100),
+            crashes: cfg.crashes.clone(),
+            peer_nodes: 4,
+            ..EngineConfig::default()
+        };
+        let store = Arc::new(SyntheticStore::new(
+            cfg.dataset.clone(),
+            Duration::ZERO,
+            0.0,
+        ));
+        let ins = Instruments::enabled();
+        let report = run_with(store, ecfg.clone(), ins.clone());
+        if report.aborted {
+            fail(&format!("seed {seed}: engine aborted under the storm"));
+        }
+        check_engine_delivery(&cfg.dataset, &ecfg, &report, &ins).unwrap_or_else(|d| {
+            eprintln!("{d}");
+            fail(&format!(
+                "seed {seed}: engine delivery diverged under the storm"
+            ));
+        });
+        let want: Vec<MembershipObservable> = cfg
+            .crash_plan()
+            .membership_timeline(report.iterations)
+            .iter()
+            .map(MembershipObservable::from_event)
+            .collect();
+        let got: Vec<MembershipObservable> = report
+            .membership
+            .iter()
+            .map(MembershipObservable::from_event)
+            .collect();
+        if got != want {
+            fail(&format!(
+                "seed {seed}: engine membership sequence diverged from the plan\n\
+                 engine: {got:?}\n\
+                 plan:   {want:?}"
+            ));
+        }
+
+        println!(
+            "chaos: seed {seed}: {} iterations, {events} membership events, \
+             engine delivered {} — storm survived, delivery exact",
+            summary.iterations, report.delivered
+        );
+    }
+
+    // Optional instrumented storm run for lobster_doctor: the trace carries
+    // node_crash/node_rejoin instants the doctor folds into its
+    // `== membership ==` table.
+    if trace_ins.is_enabled() {
+        let cfg = storm_config(seeds[0], true);
+        ClusterSim::new(cfg, policy_by_name("lobster").unwrap())
+            .with_instruments(trace_ins.clone())
+            .run_observed();
+        write_observability(&trace_ins, trace_out.as_deref());
+    }
+
+    println!(
+        "chaos smoke passed: {} seeds × {} crash windows in {:.2}s",
+        seeds.len(),
+        STORM.len(),
+        t0.elapsed().as_secs_f64()
+    );
+}

@@ -25,8 +25,9 @@
 //! the harness has a blind spot.
 
 use lobster_conformance::{
-    check_engine_delivery, conformance_config, elastic_conformance_config, run_boundary_canary,
-    run_canary, run_differential, CanaryOutcome, Mutation,
+    check_engine_delivery, conformance_config, crash_conformance_config,
+    elastic_conformance_config, run_boundary_canary, run_canary, run_differential, CanaryOutcome,
+    Mutation,
 };
 use lobster_metrics::Instruments;
 use lobster_runtime::{run_with, EngineConfig, SyntheticStore};
@@ -126,6 +127,25 @@ fn main() {
         }
     }
 
+    // ---- Crash differential runs: membership sequences must agree. ----
+    for &seed in &seeds {
+        let cfg = crash_conformance_config(seed);
+        match run_differential(&cfg, "lobster") {
+            Ok(s) => {
+                runs += 1;
+                println!(
+                    "conformance: seed {seed} crash schedule: {} iterations — \
+                     membership sequences agree",
+                    s.iterations
+                );
+            }
+            Err(d) => {
+                eprintln!("{d}");
+                fail(&format!("seed {seed} crash configuration diverged"));
+            }
+        }
+    }
+
     // ---- Live engine vs the seeded schedule. ----
     let dataset = lobster_data::Dataset::generate(
         "conformance-smoke",
@@ -188,9 +208,12 @@ fn run_canary_mode(seeds: &[u64], mutations: &[Mutation]) -> ! {
             let mut found = None;
             for &seed in seeds {
                 // `never-steal` freezes the elastic controller, so it is
-                // only observable on an elastic configuration.
+                // only observable on an elastic configuration; `drop-crash`
+                // ignores the crash schedule, so it needs one to ignore.
                 let cfg = if m == Mutation::NeverSteal {
                     elastic_conformance_config(seed)
+                } else if m == Mutation::DropCrash {
+                    crash_conformance_config(seed)
                 } else {
                     conformance_config(seed)
                 };

@@ -54,6 +54,15 @@ fn main() {
         epochs: 2,
         seed: 20220822,
         train: Duration::from_micros(200),
+        // `crash@<tick>:node=<n>[,rejoin=<tick>]` terms in the --faults
+        // spec become tick-scoped peer-down windows inside the engine.
+        crashes: spec.crashes.clone(),
+        peer_nodes: spec
+            .crashes
+            .iter()
+            .map(|c| (c.node as usize + 1).max(2))
+            .max()
+            .unwrap_or(0),
         ..EngineConfig::default()
     };
     let expected = expected_integrity(&dataset, &cfg);

@@ -77,6 +77,18 @@ pub struct FaultCount {
     pub count: u64,
 }
 
+/// One cluster-membership transition placed on the run timeline (from
+/// `node_crash`/`node_rejoin` trace instants or `MembershipChange` flight
+/// events), attributed to the run phase its tick landed in.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MembershipNote {
+    pub tick: u64,
+    pub node: u32,
+    pub crashed: bool,
+    /// Which run phase (warm-up / steady / tail) the tick fell into.
+    pub phase: String,
+}
+
 /// The straggler call, when the attribution names one.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct StragglerCall {
@@ -101,6 +113,9 @@ pub struct Diagnosis {
     pub cache: CacheTrajectory,
     pub solver: Vec<SolverRow>,
     pub faults: Vec<FaultCount>,
+    /// Crash/rejoin transitions with phase attribution (empty when the run
+    /// had no crash schedule).
+    pub membership: Vec<MembershipNote>,
     /// Cluster-dominant pipeline bottleneck label.
     pub top_bottleneck: Option<String>,
     pub straggler: Option<StragglerCall>,
@@ -118,6 +133,49 @@ impl Diagnosis {
 
 fn phase_name(i: usize) -> &'static str {
     ["warm-up", "steady", "tail"][i]
+}
+
+/// Which run phase a tick falls into, given the reconstructed iteration
+/// numbers in ascending order (same thirds as the phase split).
+fn phase_of(iters: &[u64], tick: u64) -> String {
+    let n = iters.len();
+    if n == 0 {
+        return "unknown".to_string();
+    }
+    let pos = iters
+        .iter()
+        .position(|&i| i >= tick)
+        .unwrap_or(n.saturating_sub(1));
+    let third = if pos < n / 3 {
+        0
+    } else if pos < 2 * n / 3 {
+        1
+    } else {
+        2
+    };
+    phase_name(third).to_string()
+}
+
+/// Summarize membership transitions into one findings line.
+fn membership_verdict(membership: &[MembershipNote]) -> String {
+    let crashes = membership.iter().filter(|m| m.crashed).count();
+    let detail: Vec<String> = membership
+        .iter()
+        .map(|m| {
+            format!(
+                "node {} {} at tick {} ({})",
+                m.node,
+                if m.crashed { "down" } else { "back" },
+                m.tick,
+                m.phase
+            )
+        })
+        .collect();
+    format!(
+        "membership: {crashes} crash(es), {} rejoin(s) — {}",
+        membership.len() - crashes,
+        detail.join(", ")
+    )
 }
 
 /// Diagnose a run from its trace text plus optional sidecars. The trace may
@@ -253,6 +311,25 @@ pub fn diagnose(
         }
     }
 
+    // Membership transitions: `node_crash` / `node_rejoin` instants from
+    // either the live engine (node id in args) or the cluster simulator
+    // (node id in pid), attributed to the phase their tick landed in.
+    let iter_numbers: Vec<u64> = tl.iterations.iter().map(|s| s.iter).collect();
+    let mut membership: Vec<MembershipNote> = events
+        .iter()
+        .filter(|e| e.name == "node_crash" || e.name == "node_rejoin")
+        .map(|e| {
+            let tick = e.arg_u("iter").unwrap_or(0);
+            MembershipNote {
+                tick,
+                node: e.arg_u("node").unwrap_or(e.pid as u64) as u32,
+                crashed: e.name == "node_crash",
+                phase: phase_of(&iter_numbers, tick),
+            }
+        })
+        .collect();
+    membership.sort_by_key(|m| (m.tick, m.crashed, m.node));
+
     let top_bottleneck = analysis.dominant_category().map(|c| c.label().to_string());
     let straggler = analysis.top_straggler().map(|(node, gpu)| StragglerCall {
         node,
@@ -330,6 +407,9 @@ pub fn diagnose(
             faults.len()
         ));
     }
+    if !membership.is_empty() {
+        verdicts.push(membership_verdict(&membership));
+    }
 
     Ok(Diagnosis {
         events: events.len() as u64,
@@ -340,6 +420,7 @@ pub fn diagnose(
         cache,
         solver,
         faults,
+        membership,
         top_bottleneck,
         straggler,
         verdicts,
@@ -361,6 +442,7 @@ pub fn diagnose_flight(dump_text: &str) -> Result<Diagnosis, String> {
     let mut fault_counts: BTreeMap<String, u64> = BTreeMap::new();
     let mut flip_ticks = 0u64;
     let mut flips_total = 0u64;
+    let mut member_raw: Vec<(u64, u32, bool)> = Vec::new();
     for rec in &dump.events {
         match rec.event {
             FlightEvent::Stage {
@@ -400,6 +482,11 @@ pub fn diagnose_flight(dump_text: &str) -> Result<Diagnosis, String> {
                     .entry("flight.conformance_divergence".to_string())
                     .or_default() += 1;
             }
+            FlightEvent::MembershipChange {
+                tick,
+                node,
+                crashed,
+            } => member_raw.push((tick, node, crashed)),
         }
     }
 
@@ -508,6 +595,23 @@ pub fn diagnose_flight(dump_text: &str) -> Result<Diagnosis, String> {
         ));
     }
 
+    // Membership transitions retained in the window, phase-attributed
+    // against the iterations the window actually covers.
+    let iter_numbers: Vec<u64> = by_iter.keys().copied().collect();
+    member_raw.sort_by_key(|&(tick, node, crashed)| (tick, crashed, node));
+    let membership: Vec<MembershipNote> = member_raw
+        .into_iter()
+        .map(|(tick, node, crashed)| MembershipNote {
+            tick,
+            node,
+            crashed,
+            phase: phase_of(&iter_numbers, tick),
+        })
+        .collect();
+    if !membership.is_empty() {
+        verdicts.push(membership_verdict(&membership));
+    }
+
     // Iterations seen: Stage groups are authoritative; fall back to the
     // Iteration gap events when a dump holds only those.
     let iterations = (by_iter.len() as u64).max(gap_events);
@@ -521,6 +625,7 @@ pub fn diagnose_flight(dump_text: &str) -> Result<Diagnosis, String> {
         cache: CacheTrajectory::default(),
         solver: Vec::new(),
         faults,
+        membership,
         top_bottleneck,
         straggler,
         verdicts,
@@ -563,6 +668,20 @@ pub fn render(d: &Diagnosis) -> String {
                 format!("{:.0}us", tier.p50_us),
                 format!("{:.0}us", tier.p95_us),
                 format!("{:.0}us", tier.p99_us),
+            ]);
+        }
+        out.push_str(&t.render());
+    }
+
+    if !d.membership.is_empty() {
+        out.push_str("\n== membership ==\n");
+        let mut t = Table::new(["tick", "node", "transition", "phase"]);
+        for m in &d.membership {
+            t.row([
+                m.tick.to_string(),
+                m.node.to_string(),
+                (if m.crashed { "crash" } else { "rejoin" }).to_string(),
+                m.phase.clone(),
             ]);
         }
         out.push_str(&t.render());

@@ -20,7 +20,7 @@
 use lobster_data::{Dataset, SizeDistribution};
 use lobster_metrics::{CompactHistogram, Instruments, LogHistogram};
 use lobster_runtime::{run_with, EngineConfig, SyntheticStore};
-use lobster_storage::FaultSpec;
+use lobster_storage::{CrashSpec, FaultSpec};
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -100,6 +100,24 @@ pub fn scenario_matrix(quick: bool) -> Vec<Scenario> {
             cfg: EngineConfig {
                 elastic: true,
                 elastic_churn: true,
+                ..base.clone()
+            },
+            dataset_samples: samples,
+            sample_bytes: 4_000,
+            faults: None,
+        },
+        Scenario {
+            name: "node_crash",
+            cfg: EngineConfig {
+                // A peer node dies mid-run and rejoins six ticks later:
+                // every fetch routed at it rides the PeerDown fast-fail →
+                // immediate PFS failover path while the window is open.
+                crashes: vec![CrashSpec {
+                    node: 1,
+                    tick: shock_at,
+                    rejoin: Some(shock_at + 6),
+                }],
+                peer_nodes: 3,
                 ..base
             },
             dataset_samples: samples,
@@ -492,7 +510,7 @@ mod tests {
     }
 
     #[test]
-    fn matrix_has_the_four_standard_scenarios() {
+    fn matrix_has_the_standard_scenarios() {
         for quick in [false, true] {
             let m = scenario_matrix(quick);
             let names: Vec<&str> = m.iter().map(|s| s.name).collect();
@@ -502,7 +520,8 @@ mod tests {
                     "steady_state",
                     "preproc_shock",
                     "fault_storm",
-                    "elastic_churn"
+                    "elastic_churn",
+                    "node_crash"
                 ]
             );
             let storm = m[2].faults.as_ref().expect("fault storm injects");
@@ -514,6 +533,18 @@ mod tests {
                 "shock steps work factor"
             );
             assert!(m[3].cfg.elastic_churn, "churn scenario churns");
+            let crash = &m[4].cfg;
+            assert!(
+                !crash.crashes.is_empty() && crash.peer_nodes > 0,
+                "crash scenario schedules a crash on a routed peer"
+            );
+            let total_iters = (m[4].dataset_samples as u64
+                / (crash.consumers * crash.batch_size) as u64)
+                * crash.epochs;
+            assert!(
+                crash.crashes.iter().all(|c| c.tick < total_iters),
+                "crash window must land inside the run"
+            );
         }
     }
 

@@ -17,9 +17,29 @@ use std::collections::HashMap;
 pub const MAX_NODES: usize = 64;
 
 /// Replica locations for every cached sample, cluster-wide.
-#[derive(Debug, Clone, Default)]
+///
+/// The directory also tracks cluster *membership*: a crashed node's bit is
+/// cleared from the `live` mask so no read path — [`Directory::pick_remote`],
+/// [`Directory::held_elsewhere`], [`Directory::holds`],
+/// [`Directory::replica_count`] — can ever name a dead node as a holder,
+/// even if a stale holder bit were still set. [`Directory::crash_node`]
+/// additionally purges the dead node's holder bits (its cache is gone), and
+/// [`Directory::rejoin_node`] re-admits the node cold: live again, holding
+/// nothing until it re-registers entries.
+#[derive(Debug, Clone)]
 pub struct Directory {
     holders: HashMap<u32, u64>,
+    /// Bitmask of live nodes; a cleared bit masks every holder query.
+    live: u64,
+}
+
+impl Default for Directory {
+    fn default() -> Directory {
+        Directory {
+            holders: HashMap::new(),
+            live: u64::MAX,
+        }
+    }
 }
 
 impl Directory {
@@ -30,6 +50,11 @@ impl Directory {
         );
         Directory {
             holders: HashMap::new(),
+            live: if nodes == MAX_NODES {
+                u64::MAX
+            } else {
+                (1u64 << nodes) - 1
+            },
         }
     }
 
@@ -50,32 +75,36 @@ impl Directory {
         }
     }
 
-    /// Does `node` hold `s`?
+    /// Does `node` hold `s`? Always false for a dead node.
     pub fn holds(&self, s: SampleId, node: usize) -> bool {
         self.holders
             .get(&s.0)
-            .map(|m| m & (1u64 << node) != 0)
+            .map(|m| m & self.live & (1u64 << node) != 0)
             .unwrap_or(false)
     }
 
-    /// Number of nodes holding `s`.
+    /// Number of *live* nodes holding `s`.
     pub fn replica_count(&self, s: SampleId) -> u32 {
-        self.holders.get(&s.0).map(|m| m.count_ones()).unwrap_or(0)
+        self.holders
+            .get(&s.0)
+            .map(|m| (m & self.live).count_ones())
+            .unwrap_or(0)
     }
 
-    /// Does any node *other than* `node` hold `s`? (The eviction guard.)
+    /// Does any live node *other than* `node` hold `s`? (The eviction
+    /// guard.)
     pub fn held_elsewhere(&self, s: SampleId, node: usize) -> bool {
         self.holders
             .get(&s.0)
-            .map(|m| m & !(1u64 << node) != 0)
+            .map(|m| m & self.live & !(1u64 << node) != 0)
             .unwrap_or(false)
     }
 
     /// Pick a remote holder of `s` for `asking_node` to fetch from.
     /// Deterministic: rotates by sample id so load spreads across replicas
-    /// without randomness.
+    /// without randomness. Never returns a dead node.
     pub fn pick_remote(&self, s: SampleId, asking_node: usize) -> Option<usize> {
-        let mask = self.holders.get(&s.0)? & !(1u64 << asking_node);
+        let mask = self.holders.get(&s.0)? & self.live & !(1u64 << asking_node);
         if mask == 0 {
             return None;
         }
@@ -88,9 +117,51 @@ impl Directory {
         Some(m.trailing_zeros() as usize)
     }
 
-    /// Number of distinct samples cached anywhere.
+    /// Number of distinct samples cached on any live node.
     pub fn distinct_samples(&self) -> usize {
-        self.holders.len()
+        self.holders
+            .values()
+            .filter(|m| **m & self.live != 0)
+            .count()
+    }
+
+    /// Is `node` a live member?
+    pub fn is_live(&self, node: usize) -> bool {
+        debug_assert!(node < MAX_NODES);
+        self.live & (1u64 << node) != 0
+    }
+
+    /// `node` crashed: clear its live bit *and* purge every holder bit it
+    /// owned (its cache contents are gone, not merely unreachable).
+    /// Returns the purged samples in ascending id order, for observability.
+    pub fn crash_node(&mut self, node: usize) -> Vec<SampleId> {
+        debug_assert!(node < MAX_NODES);
+        self.live &= !(1u64 << node);
+        let bit = 1u64 << node;
+        let mut purged: Vec<SampleId> = self
+            .holders
+            .iter()
+            .filter(|(_, m)| **m & bit != 0)
+            .map(|(id, _)| SampleId(*id))
+            .collect();
+        purged.sort();
+        for s in &purged {
+            self.remove(*s, node);
+        }
+        purged
+    }
+
+    /// `node` rejoined with a cold cache: live again, holding nothing. The
+    /// holder purge already happened at crash time, so this only flips the
+    /// membership bit — re-registration happens organically as the node
+    /// re-caches samples.
+    pub fn rejoin_node(&mut self, node: usize) {
+        debug_assert!(node < MAX_NODES);
+        debug_assert!(
+            !self.holders.values().any(|m| m & (1u64 << node) != 0),
+            "a rejoining node must not have stale holder bits"
+        );
+        self.live |= 1u64 << node;
     }
 }
 
@@ -177,5 +248,78 @@ mod tests {
     #[should_panic(expected = "1..=64")]
     fn too_many_nodes_rejected() {
         Directory::new(65);
+    }
+
+    #[test]
+    fn crash_purges_holders_and_masks_every_read_path() {
+        let mut d = Directory::new(4);
+        d.add(s(1), 0);
+        d.add(s(1), 2);
+        d.add(s(2), 2);
+        let purged = d.crash_node(2);
+        assert_eq!(purged, vec![s(1), s(2)]);
+        assert!(!d.is_live(2));
+        assert!(!d.holds(s(1), 2));
+        assert!(!d.holds(s(2), 2));
+        assert_eq!(d.replica_count(s(1)), 1);
+        assert_eq!(d.replica_count(s(2)), 0);
+        assert!(!d.held_elsewhere(s(2), 0));
+        assert_eq!(d.pick_remote(s(2), 0), None);
+        assert_eq!(d.pick_remote(s(1), 3), Some(0), "survivor still served");
+        assert_eq!(d.distinct_samples(), 1);
+    }
+
+    #[test]
+    fn membership_mask_blocks_stale_holder_bits() {
+        // Even if a holder bit survived a crash (a would-be staleness bug),
+        // the live mask makes the dead node unnameable. Simulate the stale
+        // bit by adding after the crash.
+        let mut d = Directory::new(4);
+        d.crash_node(1);
+        d.add(s(9), 1); // stale write from a racing path
+        assert!(!d.holds(s(9), 1));
+        assert!(!d.held_elsewhere(s(9), 0));
+        assert_eq!(d.pick_remote(s(9), 0), None);
+        assert_eq!(d.replica_count(s(9)), 0);
+        assert_eq!(d.distinct_samples(), 0);
+    }
+
+    #[test]
+    fn remove_then_crash_ordering_is_idempotent() {
+        // Regression: an eviction sweep may `remove` a sample on the dying
+        // node in the same tick that the crash purges it. Whichever order
+        // the two land in, the directory ends in the same state.
+        let mut d1 = Directory::new(4);
+        d1.add(s(5), 1);
+        d1.add(s(5), 3);
+        d1.remove(s(5), 1);
+        d1.crash_node(1);
+
+        let mut d2 = Directory::new(4);
+        d2.add(s(5), 1);
+        d2.add(s(5), 3);
+        let purged = d2.crash_node(1);
+        assert_eq!(purged, vec![s(5)]);
+        d2.remove(s(5), 1); // late remove after the purge: a no-op
+
+        for d in [&d1, &d2] {
+            assert!(!d.is_live(1));
+            assert_eq!(d.replica_count(s(5)), 1);
+            assert!(d.holds(s(5), 3));
+            assert_eq!(d.pick_remote(s(5), 0), Some(3));
+        }
+    }
+
+    #[test]
+    fn rejoin_restores_membership_with_cold_state() {
+        let mut d = Directory::new(2);
+        d.add(s(1), 1);
+        d.crash_node(1);
+        d.rejoin_node(1);
+        assert!(d.is_live(1));
+        assert!(!d.holds(s(1), 1), "rejoin is cold");
+        d.add(s(1), 1);
+        assert!(d.holds(s(1), 1), "re-registration works after rejoin");
+        assert_eq!(d.pick_remote(s(1), 0), Some(1));
     }
 }

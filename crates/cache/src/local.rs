@@ -259,6 +259,18 @@ impl NodeCache {
     pub fn iter_victim_order(&self) -> impl Iterator<Item = (SampleId, u64)> + '_ {
         self.index.iter().map(|&(k, id)| (SampleId(id), k))
     }
+
+    /// Drop every entry at once — the node crashed and its DRAM contents
+    /// are gone. Unlike eviction this is not a policy decision, so it
+    /// counts under neither `evictions` nor `proactive_evictions`. Returns
+    /// how many entries were lost.
+    pub fn wipe(&mut self) -> usize {
+        let lost = self.entries.len();
+        self.entries.clear();
+        self.index.clear();
+        self.used = 0;
+        lost
+    }
 }
 
 #[cfg(test)]

@@ -204,6 +204,23 @@ pub fn compare_runs(
             }
         }
 
+        // Cluster-membership transitions: pure outputs of the compiled
+        // crash plan, compared exactly (DESIGN.md §13).
+        if a.membership.len() != b.membership.len() {
+            return Err(c.diverge(
+                "membership",
+                Some(h),
+                "count".into(),
+                a.membership.len(),
+                b.membership.len(),
+            ));
+        }
+        for (i, (ma, mb)) in a.membership.iter().zip(&b.membership).enumerate() {
+            if ma != mb {
+                return Err(c.diverge("membership", Some(h), format!("event {i}"), ma, mb));
+            }
+        }
+
         // Per-GPU tier splits (local/remote/pfs fetch counts).
         if a.tier_counts.len() != b.tier_counts.len() {
             return Err(c.diverge(
@@ -339,6 +356,7 @@ mod tests {
                 decisions: Vec::new(),
                 prefetched: vec![4],
                 role_flips: Vec::new(),
+                membership: Vec::new(),
                 pipe_s: vec![0.5],
                 starts_s: vec![0.0],
                 barrier_s: 1.0,
@@ -410,6 +428,23 @@ mod tests {
         assert_eq!(d.observable, "role_flips");
         assert_eq!(d.iteration, Some(0));
         assert_eq!(d.location, "tick 0");
+    }
+
+    #[test]
+    fn membership_mismatch_is_exact_and_reports_event() {
+        use lobster_pipeline::observe::MembershipObservable;
+        let crash = MembershipObservable {
+            tick: 0,
+            node: 1,
+            crashed: true,
+        };
+        let mut a = base();
+        a.iterations[0].membership.push(crash);
+        let b = base(); // drop-crash mutant: no membership events at all
+        let d = compare_runs("a", &a, "b", &b, 1e-6).unwrap_err();
+        assert_eq!(d.observable, "membership");
+        assert_eq!(d.iteration, Some(0));
+        assert_eq!(d.location, "count");
     }
 
     #[test]

@@ -27,12 +27,12 @@ use lobster_core::{
 };
 use lobster_data::{EpochSchedule, NodeOracle, SampleId};
 use lobster_pipeline::observe::{
-    DecisionObservable, EvictReason, EvictionEvent, IterationObservables, RoleFlipObservable,
-    RunObservables,
+    DecisionObservable, EvictReason, EvictionEvent, IterationObservables, MembershipObservable,
+    RoleFlipObservable, RunObservables,
 };
 use lobster_pipeline::ExperimentConfig;
 use lobster_sim::{derive_seed, SimDuration, SimTime, SimWorld};
-use lobster_storage::Tier;
+use lobster_storage::{FaultPlan, MembershipTransition, Tier};
 
 /// Result of a DES conformance run.
 #[derive(Debug)]
@@ -72,6 +72,9 @@ pub struct DesCluster {
     /// run, ticked once per iteration. [`Mutation::NeverSteal`] swaps it
     /// for a frozen one that refuses to flip roles.
     elastic_ctl: Option<ElasticController>,
+    /// Compiled crash/rejoin schedule (Some iff `cfg.crashes` is set).
+    /// [`Mutation::DropCrash`] clears it so the DES keeps everyone alive.
+    crash_plan: Option<FaultPlan>,
 
     // Event-driven runtime state.
     start_prev: Vec<SimTime>,
@@ -115,6 +118,7 @@ impl DesCluster {
             distributed,
             mutation: Mutation::None,
             elastic_ctl,
+            crash_plan: (!cfg.crashes.is_empty()).then(|| cfg.crash_plan()),
             start_prev: vec![SimTime::ZERO; world],
             arrivals: 0,
             sched_cur: None,
@@ -142,6 +146,9 @@ impl DesCluster {
                 p.frozen = true;
                 self.elastic_ctl = Some(ElasticController::new(p, e.initial_preproc));
             }
+        }
+        if mutation == Mutation::DropCrash {
+            self.crash_plan = None;
         }
         self
     }
@@ -216,7 +223,14 @@ impl DesCluster {
 
     fn insert_sample(&mut self, node: usize, s: SampleId, strategy: CachingStrategy) {
         let home = if self.cfg.kv_partitioned && self.distributed {
-            self.kv_owner(s)
+            // A dead hash-owner falls back to the consuming node (same rule
+            // as ClusterSim: ownership heals on rejoin, never re-hashed).
+            let owner = self.kv_owner(s);
+            if self.directory.is_live(owner) {
+                owner
+            } else {
+                node
+            }
         } else {
             node
         };
@@ -444,18 +458,74 @@ impl DesCluster {
         let mean_bytes = self.cfg.dataset.mean_sample_bytes() as u64;
         let now_s = now.as_secs_f64();
 
-        // Pass 1: classify every GPU's batch before any mutation.
+        // Membership transitions at the tick boundary, before any
+        // classification — the same rule ClusterSim applies: a crash wipes
+        // the node's cache and purges its directory entries, a rejoin
+        // re-admits it cold.
+        let mut membership: Vec<MembershipObservable> = Vec::new();
+        if let Some(plan) = self.crash_plan.as_ref() {
+            for e in plan.membership_events_at(h_global) {
+                let node = e.node as usize;
+                match e.transition {
+                    MembershipTransition::Crashed => {
+                        self.caches[node].wipe();
+                        self.directory.crash_node(node);
+                    }
+                    MembershipTransition::Rejoined => {
+                        self.directory.rejoin_node(node);
+                    }
+                }
+                membership.push(MembershipObservable::from_event(&e));
+            }
+        }
+        let down = self
+            .crash_plan
+            .as_ref()
+            .map_or(0u64, |p| p.down_mask_at(h_global));
+
+        // Pass 1: classify every GPU's batch before any mutation. A dead
+        // node's rows stay all-zero; its batches are fostered below.
         let mut splits: Vec<Vec<TierBreakdown>> = Vec::with_capacity(nodes);
         for node in 0..nodes {
             let mut per_gpu = Vec::with_capacity(gpus);
             for gpu in 0..gpus {
                 let mut split = TierBreakdown::default();
-                for &s in sched.batch(h, node, gpu) {
-                    split.add(self.classify(node, s), self.cfg.dataset.size_of(s));
+                if down & (1u64 << node) == 0 {
+                    for &s in sched.batch(h, node, gpu) {
+                        split.add(self.classify(node, s), self.cfg.dataset.size_of(s));
+                    }
                 }
                 per_gpu.push(split);
             }
             splits.push(per_gpu);
+        }
+
+        // Re-shard a dead node's slice across survivors, exactly as
+        // ClusterSim does: batch (d, g) rides survivor S = survivors[(d·G+g)
+        // mod |survivors|] on its GPU-g queue; foster fetches are counted
+        // as deliveries but never mutate S's cache.
+        if down != 0 {
+            let survivors: Vec<usize> = (0..nodes).filter(|n| down & (1u64 << n) == 0).collect();
+            assert!(
+                !survivors.is_empty(),
+                "crash schedule downs every node at iteration {h_global}"
+            );
+            for d in 0..nodes {
+                if down & (1u64 << d) == 0 {
+                    continue;
+                }
+                for gpu in 0..gpus {
+                    let host = survivors[(d * gpus + gpu) % survivors.len()];
+                    let mut foster = TierBreakdown::default();
+                    for &s in sched.batch(h, d, gpu) {
+                        foster.add(self.classify(host, s), self.cfg.dataset.size_of(s));
+                    }
+                    self.epoch_hits.0 += foster.local_count;
+                    self.epoch_hits.1 += foster.remote_count;
+                    self.epoch_hits.2 += foster.pfs_count;
+                    splits[host][gpu].merge(&foster);
+                }
+            }
         }
         let reading_nodes = splits
             .iter()
@@ -497,6 +567,15 @@ impl DesCluster {
         let mut prefetched = vec![0u64; nodes];
         let mut pipe_s = vec![0.0f64; world];
         for node in 0..nodes {
+            if down & (1u64 << node) != 0 {
+                // Dead node: no plan, no fetches, no sweep, no prefetch —
+                // but its oracle still advances so the reuse window stays
+                // aligned for rejoin. Its GPUs keep pipe_s = 0.
+                if let Some(oracle) = self.oracles[node].as_mut() {
+                    oracle.advance();
+                }
+                continue;
+            }
             let ctx = PlanContext {
                 node,
                 iter_in_epoch: h,
@@ -598,6 +677,7 @@ impl DesCluster {
             decisions,
             prefetched,
             role_flips,
+            membership,
             pipe_s: pipe_s.clone(),
             // Start times are filled as training stages get scheduled.
             starts_s: Vec::with_capacity(world),

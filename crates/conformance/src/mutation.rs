@@ -32,6 +32,12 @@ pub enum Mutation {
     /// factor steps up mid-run. Only observable on elastic configurations
     /// (the role-flip decision sequence diverges at the step).
     NeverSteal,
+    /// Ignore the crash schedule entirely: the DES keeps every node alive.
+    /// Only observable on configurations with a crash schedule (the
+    /// membership-transition sequence diverges at the first crash tick, and
+    /// the tier splits diverge once the survivors' fostered batches go
+    /// missing).
+    DropCrash,
 }
 
 impl Mutation {
@@ -44,6 +50,7 @@ impl Mutation {
             Mutation::InvertPrefetchGuard => "invert-prefetch-guard",
             Mutation::CapacityKeyLru => "capacity-key-lru",
             Mutation::NeverSteal => "never-steal",
+            Mutation::DropCrash => "drop-crash",
         }
     }
 
@@ -56,18 +63,20 @@ impl Mutation {
             "invert-prefetch-guard" => Mutation::InvertPrefetchGuard,
             "capacity-key-lru" => Mutation::CapacityKeyLru,
             "never-steal" => Mutation::NeverSteal,
+            "drop-crash" => Mutation::DropCrash,
             _ => return None,
         })
     }
 
     /// Every real mutation (excluding `None`).
-    pub fn all() -> [Mutation; 5] {
+    pub fn all() -> [Mutation; 6] {
         [
             Mutation::SkipLastCopyGuard,
             Mutation::HorizonOffByOne,
             Mutation::InvertPrefetchGuard,
             Mutation::CapacityKeyLru,
             Mutation::NeverSteal,
+            Mutation::DropCrash,
         ]
     }
 }

@@ -99,6 +99,39 @@ pub fn elastic_conformance_config(seed: u64) -> ExperimentConfig {
         .build()
 }
 
+/// The crash conformance configuration: the standard small topology over
+/// three nodes with a scheduled whole-node crash mid-epoch-1 and a cold
+/// rejoin mid-epoch-2. 192 samples / (3 nodes × 2 GPUs × batch 4) = 8
+/// iterations per epoch, so tick 3 crashes node 1 with five down ticks
+/// (its slice fostered onto survivors) and tick 8 — the epoch boundary —
+/// re-admits it with a cold cache. Exactly-once delivery and the
+/// membership-transition sequence are both exact observables on this
+/// configuration (DESIGN.md §13).
+pub fn crash_conformance_config(seed: u64) -> ExperimentConfig {
+    let dataset = Dataset::generate(
+        "crash-conformance",
+        192,
+        SizeDistribution::Uniform {
+            lo: 4_000,
+            hi: 32_000,
+        },
+        seed,
+    );
+    let cache_bytes = dataset.total_bytes() / 3;
+    ConfigBuilder::new()
+        .nodes(3)
+        .gpus_per_node(2)
+        .batch_size(4)
+        .pipeline_threads(8)
+        .cache_bytes(cache_bytes)
+        .dataset(dataset)
+        .epochs(2)
+        .seed(seed)
+        .try_crash_node(1, 3, Some(8))
+        .expect("valid crash schedule")
+        .build()
+}
+
 /// Summary of one passing differential run.
 #[derive(Debug, Clone)]
 pub struct DiffSummary {
@@ -505,6 +538,58 @@ mod tests {
             CanaryOutcome::Undetected => {}
             CanaryOutcome::Detected(d) => {
                 panic!("never-steal visible without an elastic pool: {d}")
+            }
+        }
+    }
+
+    #[test]
+    fn crash_differential_agrees_and_preserves_delivery() {
+        let cfg = crash_conformance_config(7);
+        let summary = run_differential(&cfg, "lobster").unwrap_or_else(|d| panic!("{d}"));
+        assert_eq!(summary.iterations, 16);
+        // The crashed node's slice must still be delivered (exactly-once):
+        // the per-epoch multiset is schedule-determined, crash or not.
+        let sim_policy = policy_by_name("lobster").unwrap();
+        let (_, obs) = ClusterSim::new(cfg.clone(), sim_policy).run_observed();
+        let mut no_crash = cfg.clone();
+        no_crash.crashes.clear();
+        let base_policy = policy_by_name("lobster").unwrap();
+        let (_, base_obs) = ClusterSim::new(no_crash, base_policy).run_observed();
+        assert_eq!(obs.delivered, base_obs.delivered, "exactly-once broken");
+        // And the membership sequence is exactly the compiled plan's.
+        let want: Vec<_> = cfg
+            .crash_plan()
+            .membership_timeline(summary.iterations as u64)
+            .iter()
+            .map(lobster_pipeline::observe::MembershipObservable::from_event)
+            .collect();
+        assert_eq!(obs.membership_sequence(), want);
+        assert!(!want.is_empty(), "vacuous membership sequence");
+    }
+
+    #[test]
+    fn canary_drop_crash_is_detected_on_crash_config() {
+        let cfg = crash_conformance_config(7);
+        match run_canary(&cfg, "lobster", Mutation::DropCrash) {
+            CanaryOutcome::Detected(d) => {
+                assert_eq!(d.observable, "membership", "{d}");
+            }
+            CanaryOutcome::Undetected => {
+                panic!("harness missed the dropped crash schedule")
+            }
+        }
+    }
+
+    #[test]
+    fn drop_crash_is_equivalent_without_a_crash_schedule() {
+        // Documents the canary's blind spot: without a crash schedule the
+        // mutation clears an already-empty plan — which is why
+        // `crash_conformance_config` exists.
+        let cfg = conformance_config(7);
+        match run_canary(&cfg, "lobster", Mutation::DropCrash) {
+            CanaryOutcome::Undetected => {}
+            CanaryOutcome::Detected(d) => {
+                panic!("drop-crash visible without a crash schedule: {d}")
             }
         }
     }

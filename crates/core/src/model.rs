@@ -86,6 +86,17 @@ impl TierBreakdown {
         }
     }
 
+    /// Fold another breakdown into this one — used when a dead node's
+    /// batch is fostered onto a survivor, whose loader then carries both.
+    pub fn merge(&mut self, other: &TierBreakdown) {
+        self.local_bytes += other.local_bytes;
+        self.remote_bytes += other.remote_bytes;
+        self.pfs_bytes += other.pfs_bytes;
+        self.local_count += other.local_count;
+        self.remote_count += other.remote_count;
+        self.pfs_count += other.pfs_count;
+    }
+
     /// Local-cache hit fraction of this batch (by sample count).
     pub fn local_hit_fraction(&self) -> f64 {
         let t = self.total_count();

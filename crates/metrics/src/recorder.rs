@@ -92,6 +92,9 @@ pub enum FlightFault {
     Deadline,
     /// A loader worker panicked and was contained.
     WorkerPanic,
+    /// A peer-routed fetch found the peer crashed and failed over to the
+    /// PFS without burning a retry round.
+    PeerDown,
 }
 
 impl FlightFault {
@@ -101,6 +104,7 @@ impl FlightFault {
             FlightFault::Corruption => "corruption",
             FlightFault::Deadline => "deadline",
             FlightFault::WorkerPanic => "worker_panic",
+            FlightFault::PeerDown => "peer_down",
         }
     }
 }
@@ -142,6 +146,9 @@ pub enum FlightEvent {
     },
     /// First divergence found by the conformance harness.
     Divergence { iteration: u64 },
+    /// A cluster-membership transition: a node crashed (losing its cache)
+    /// or rejoined cold, at a tick boundary of the compiled crash plan.
+    MembershipChange { tick: u64, node: u32, crashed: bool },
 }
 
 /// A ring entry: the event plus its global ordinal and timestamp.

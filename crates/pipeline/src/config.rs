@@ -3,7 +3,7 @@
 
 use lobster_core::{ClusterSpec, ModelProfile, PreprocGovernor, PreprocModel};
 use lobster_data::{Dataset, PartitionScheme, ScheduleSpec};
-use lobster_storage::{FaultConfigError, SlowdownProfile, StorageModel};
+use lobster_storage::{CrashSpec, FaultConfigError, FaultSpec, SlowdownProfile, StorageModel};
 
 /// Elastic worker-pool rule for the simulators, mirroring the live
 /// engine's `--elastic` mode: a pool of `workers` whose loader/preproc
@@ -99,6 +99,10 @@ pub struct ExperimentConfig {
     /// Elastic worker-pool rule (None = the classic static/adaptive
     /// thread-count planning path).
     pub elastic: Option<ElasticSimConfig>,
+    /// Scheduled whole-node crashes and rejoins (tick-indexed, so the
+    /// membership timeline is a pure function of configuration —
+    /// DESIGN.md §13).
+    pub crashes: Vec<CrashSpec>,
 }
 
 impl ExperimentConfig {
@@ -134,6 +138,18 @@ impl ExperimentConfig {
         self.cluster.iterations_per_epoch(self.dataset.len())
     }
 
+    /// Compile the crash schedule into a membership-only [`FaultPlan`]
+    /// (panics on an invalid schedule — the builder validated it already).
+    pub fn crash_plan(&self) -> lobster_storage::FaultPlan {
+        FaultSpec {
+            crashes: self.crashes.clone(),
+            seed: self.seed,
+            ..FaultSpec::default()
+        }
+        .compile()
+        .expect("builder-validated crash schedule compiles")
+    }
+
     /// Calibrate a preprocessing governor against the ground-truth model —
     /// the paper's offline profiling phase. The portfolio covers the size
     /// range of both ImageNet variants.
@@ -164,6 +180,7 @@ pub struct ConfigBuilder {
     kv_partitioned: bool,
     partition: PartitionScheme,
     elastic: Option<ElasticSimConfig>,
+    crashes: Vec<CrashSpec>,
 }
 
 impl ConfigBuilder {
@@ -185,6 +202,7 @@ impl ConfigBuilder {
             kv_partitioned: false,
             partition: PartitionScheme::GlobalShuffle,
             elastic: None,
+            crashes: Vec::new(),
         }
     }
 
@@ -295,10 +313,47 @@ impl ConfigBuilder {
         self
     }
 
+    /// Schedule a whole-node crash at global iteration `tick`, optionally
+    /// rejoining (with a cold cache) at a later tick. Validated against
+    /// the node count at [`build`](ConfigBuilder::build) time; the crash
+    /// schedule itself is validated eagerly.
+    pub fn try_crash_node(
+        mut self,
+        node: u32,
+        tick: u64,
+        rejoin: Option<u64>,
+    ) -> Result<Self, FaultConfigError> {
+        self.crashes.push(CrashSpec { node, tick, rejoin });
+        FaultSpec {
+            crashes: self.crashes.clone(),
+            ..FaultSpec::default()
+        }
+        .validate()?;
+        Ok(self)
+    }
+
+    /// Adopt the crash schedule of a parsed `--faults` spec.
+    pub fn crashes(mut self, crashes: Vec<CrashSpec>) -> Self {
+        self.crashes = crashes;
+        self
+    }
+
     pub fn build(self) -> ExperimentConfig {
         let dataset = self
             .dataset
             .expect("ConfigBuilder::dataset must be set (use lobster_data::imagenet_1k etc.)");
+        for c in &self.crashes {
+            assert!(
+                (c.node as usize) < self.nodes,
+                "crash schedule names node {} but the cluster has {} node(s)",
+                c.node,
+                self.nodes
+            );
+            assert!(
+                self.nodes > 1,
+                "a whole-node crash needs at least one survivor to re-shard onto"
+            );
+        }
         ExperimentConfig {
             cluster: ClusterSpec {
                 nodes: self.nodes,
@@ -321,6 +376,7 @@ impl ConfigBuilder {
             kv_partitioned: self.kv_partitioned,
             partition: self.partition,
             elastic: self.elastic,
+            crashes: self.crashes,
         }
     }
 }

@@ -20,8 +20,8 @@
 
 use crate::config::ExperimentConfig;
 use crate::observe::{
-    DecisionObservable, EvictReason, EvictionEvent, IterationObservables, RoleFlipObservable,
-    RunObservables,
+    DecisionObservable, EvictReason, EvictionEvent, IterationObservables, MembershipObservable,
+    RoleFlipObservable, RunObservables,
 };
 use crate::trace::{IterationRecord, TraceCollector};
 use lobster_cache::{Directory, EvictOrder, NodeCache};
@@ -33,7 +33,7 @@ use lobster_core::{
 };
 use lobster_data::{EpochSchedule, NodeOracle, SampleId};
 use lobster_metrics::{DecisionRecord, DecisionSource, Instruments, Summary, TraceEvent};
-use lobster_storage::Tier;
+use lobster_storage::{FaultPlan, MembershipTransition, Tier};
 use serde::{Deserialize, Serialize};
 
 /// Aggregated results for one epoch.
@@ -159,6 +159,10 @@ pub struct ClusterSim {
     /// applied identically on every node — the same deterministic rule the
     /// live engine runs, so role-flip sequences compare exactly.
     elastic_ctl: Option<ElasticController>,
+    /// Compiled crash/rejoin schedule (Some iff `cfg.crashes` is non-empty).
+    /// Membership is a pure function of this plan and the tick, applied at
+    /// each iteration boundary before classification — DESIGN.md §13.
+    crash_plan: Option<FaultPlan>,
 }
 
 /// Simulated seconds → trace microseconds.
@@ -202,6 +206,7 @@ impl ClusterSim {
             observing: false,
             obs_events: Vec::new(),
             elastic_ctl,
+            crash_plan: (!cfg.crashes.is_empty()).then(|| cfg.crash_plan()),
             cfg,
         }
     }
@@ -262,9 +267,15 @@ impl ClusterSim {
     fn insert_sample(&mut self, node: usize, s: SampleId, strategy: CachingStrategy) {
         // KV-partitioned topology: the fetched sample is cached at its
         // hash-owner node (write-through over the interconnect), not where
-        // it was consumed.
+        // it was consumed. A dead owner falls back to the consuming node —
+        // ownership is not re-hashed, so the placement heals on rejoin.
         let home = if self.cfg.kv_partitioned && self.distributed {
-            self.kv_owner(s)
+            let owner = self.kv_owner(s);
+            if self.directory.is_live(owner) {
+                owner
+            } else {
+                node
+            }
         } else {
             node
         };
@@ -482,18 +493,101 @@ impl ClusterSim {
             for h in 0..iters {
                 let global_iter = epoch * iters as u64 + h as u64;
 
+                // Membership transitions land at the tick boundary, before
+                // any classification: a crash wipes the node's cache and
+                // purges its directory entries; a rejoin re-admits it cold.
+                let mut iter_membership: Vec<MembershipObservable> = Vec::new();
+                if let Some(plan) = self.crash_plan.as_ref() {
+                    for e in plan.membership_events_at(global_iter) {
+                        let node = e.node as usize;
+                        match e.transition {
+                            MembershipTransition::Crashed => {
+                                let lost = self.caches[node].wipe();
+                                let purged = self.directory.crash_node(node);
+                                ins.trace(|| {
+                                    TraceEvent::instant(
+                                        "node_crash",
+                                        "cluster",
+                                        sim_us(self.barrier_s),
+                                    )
+                                    .pid(e.node)
+                                    .arg_u("iter", global_iter)
+                                    .arg_u("lost_entries", lost as u64)
+                                    .arg_u("purged_replicas", purged.len() as u64)
+                                });
+                            }
+                            MembershipTransition::Rejoined => {
+                                self.directory.rejoin_node(node);
+                                ins.trace(|| {
+                                    TraceEvent::instant(
+                                        "node_rejoin",
+                                        "cluster",
+                                        sim_us(self.barrier_s),
+                                    )
+                                    .pid(e.node)
+                                    .arg_u("iter", global_iter)
+                                });
+                            }
+                        }
+                        if self.observing {
+                            iter_membership.push(MembershipObservable::from_event(&e));
+                        }
+                    }
+                }
+                let down = self
+                    .crash_plan
+                    .as_ref()
+                    .map_or(0u64, |p| p.down_mask_at(global_iter));
+
                 // Pass 1: tier splits for every GPU, before any mutation.
+                // A dead node's rows stay all-zero; its batches are fostered
+                // onto survivors below.
                 let mut splits: Vec<Vec<TierBreakdown>> = Vec::with_capacity(nodes);
                 for node in 0..nodes {
                     let mut per_gpu = Vec::with_capacity(gpus);
                     for gpu in 0..gpus {
                         let mut split = TierBreakdown::default();
-                        for &s in sched.batch(h, node, gpu) {
-                            split.add(self.classify(node, s), self.cfg.dataset.size_of(s));
+                        if down & (1u64 << node) == 0 {
+                            for &s in sched.batch(h, node, gpu) {
+                                split.add(self.classify(node, s), self.cfg.dataset.size_of(s));
+                            }
                         }
                         per_gpu.push(split);
                     }
                     splits.push(per_gpu);
+                }
+
+                // Re-shard a dead node's schedule slice across survivors:
+                // batch (d, g) is carried by survivor S = survivors[(d·G+g)
+                // mod |survivors|] on its GPU-g loader queue. The foster
+                // fetches are classified from S's viewpoint and *counted*
+                // (they are real deliveries — exactly-once holds because
+                // the delivered multiset is schedule-determined) but do not
+                // mutate S's cache: fostered bytes stream straight to the
+                // dead node's replacement consumer.
+                if down != 0 {
+                    let survivors: Vec<usize> =
+                        (0..nodes).filter(|n| down & (1u64 << n) == 0).collect();
+                    assert!(
+                        !survivors.is_empty(),
+                        "crash schedule downs every node at iteration {global_iter}"
+                    );
+                    for d in 0..nodes {
+                        if down & (1u64 << d) == 0 {
+                            continue;
+                        }
+                        for gpu in 0..gpus {
+                            let host = survivors[(d * gpus + gpu) % survivors.len()];
+                            let mut foster = TierBreakdown::default();
+                            for &s in sched.batch(h, d, gpu) {
+                                foster.add(self.classify(host, s), self.cfg.dataset.size_of(s));
+                            }
+                            hits.0 += foster.local_count;
+                            hits.1 += foster.remote_count;
+                            hits.2 += foster.pfs_count;
+                            splits[host][gpu].merge(&foster);
+                        }
+                    }
                 }
                 let reading_nodes = splits
                     .iter()
@@ -566,6 +660,16 @@ impl ClusterSim {
                 // from the Eq. 1 decomposition (filled when instrumented).
                 let mut tier_blame = vec![[0.0f64; 3]; world];
                 for node in 0..nodes {
+                    if down & (1u64 << node) != 0 {
+                        // Dead node: no plan, no fetches, no sweep, no
+                        // prefetch — but its oracle still advances so the
+                        // reuse window is aligned when it rejoins. Its GPUs
+                        // keep pipe_s = 0 and never straggle the barrier.
+                        if let Some(oracle) = self.oracles[node].as_mut() {
+                            oracle.advance();
+                        }
+                        continue;
+                    }
                     let ctx = PlanContext {
                         node,
                         iter_in_epoch: h,
@@ -889,6 +993,7 @@ impl ClusterSim {
                         decisions: iter_decisions,
                         prefetched: iter_prefetched,
                         role_flips: iter_role_flips,
+                        membership: iter_membership,
                         pipe_s: pipe_s.clone(),
                         starts_s: starts.clone(),
                         barrier_s: new_barrier,

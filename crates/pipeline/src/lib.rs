@@ -24,8 +24,8 @@ pub use config::{ConfigBuilder, ElasticSimConfig, ExperimentConfig};
 pub use des::{analytic_barriers, des_barriers, des_barriers_with};
 pub use executor::{ClusterSim, EpochReport, RunReport};
 pub use observe::{
-    DecisionObservable, EvictReason, EvictionEvent, IterationObservables, RoleFlipObservable,
-    RunObservables,
+    DecisionObservable, EvictReason, EvictionEvent, IterationObservables, MembershipObservable,
+    RoleFlipObservable, RunObservables,
 };
 pub use planner::{precompute_plan, PlannedPolicy, TrainingPlan};
 pub use trace::{IterationRecord, TraceCollector};

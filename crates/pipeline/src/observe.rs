@@ -105,6 +105,33 @@ impl RoleFlipObservable {
     }
 }
 
+/// One cluster-membership transition, as an executor-neutral record.
+///
+/// The crash/rejoin timeline is a pure function of the compiled
+/// [`lobster_storage::FaultPlan`] (tick-indexed, seed-pure), so every
+/// executor that runs the same configuration must produce the *identical*
+/// sequence — membership transitions are compared exactly, like role
+/// flips, not within a tolerance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MembershipObservable {
+    /// Tick (== global iteration) at whose boundary the transition landed.
+    pub tick: u64,
+    /// The node whose membership changed.
+    pub node: u32,
+    /// True for a crash, false for a rejoin.
+    pub crashed: bool,
+}
+
+impl MembershipObservable {
+    pub fn from_event(e: &lobster_storage::MembershipEvent) -> Self {
+        MembershipObservable {
+            tick: e.tick,
+            node: e.node,
+            crashed: e.transition == lobster_storage::MembershipTransition::Crashed,
+        }
+    }
+}
+
 /// Everything observable about one cluster iteration.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct IterationObservables {
@@ -123,6 +150,9 @@ pub struct IterationObservables {
     /// Elastic worker-pool controller ticks this iteration (empty when the
     /// run is not elastic). Compared exactly across executors.
     pub role_flips: Vec<RoleFlipObservable>,
+    /// Cluster-membership transitions applied at this iteration's boundary
+    /// (empty without a crash schedule). Compared exactly across executors.
+    pub membership: Vec<MembershipObservable>,
     /// Per global GPU `T_L + T_P`, seconds.
     pub pipe_s: Vec<f64>,
     /// Per global GPU training-start time, absolute seconds.
@@ -152,6 +182,15 @@ impl RunObservables {
     /// every one).
     pub fn demand_accesses(&self) -> u64 {
         self.local_hits + self.remote_hits + self.misses
+    }
+
+    /// The whole run's membership-transition sequence, flattened in tick
+    /// order — the exact-equality conformance observable of DESIGN.md §13.
+    pub fn membership_sequence(&self) -> Vec<MembershipObservable> {
+        self.iterations
+            .iter()
+            .flat_map(|it| it.membership.iter().copied())
+            .collect()
     }
 
     /// Sum of per-GPU tier counts across all iterations, `[local, remote,

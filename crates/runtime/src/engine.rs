@@ -32,7 +32,9 @@ use lobster_data::{Dataset, EpochSchedule, SampleId, ScheduleSpec};
 use lobster_metrics::{
     DecisionRecord, DecisionSource, FlightEvent, FlightFault, FlightTier, Instruments, TraceEvent,
 };
-use lobster_storage::faults::RetryPolicy;
+use lobster_storage::faults::{
+    CrashSpec, FaultSpec, MembershipEvent, MembershipTransition, RetryPolicy,
+};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -73,6 +75,15 @@ pub struct EngineConfig {
     /// Mid-run preprocessing step: from iteration `.0` on, the work
     /// factor becomes `.1` (the Fig. 6 workload shift, live).
     pub work_factor_step: Option<(u64, u32)>,
+    /// Scheduled whole-node crashes and rejoins (tick-indexed). The engine
+    /// is one node of the modeled cluster, so a crash manifests here as
+    /// peer-routing state: consumer 0 applies the tick's down-mask at each
+    /// iteration boundary and any fetch routed at a down peer fails fast
+    /// into the immediate-PFS failover.
+    pub crashes: Vec<CrashSpec>,
+    /// Modeled cluster size for the synthetic peer-routing hash (0 turns
+    /// routing off entirely). Must cover every node a [`CrashSpec`] names.
+    pub peer_nodes: usize,
 }
 
 impl EngineConfig {
@@ -104,6 +115,8 @@ impl Default for EngineConfig {
             elastic: false,
             elastic_churn: false,
             work_factor_step: None,
+            crashes: Vec::new(),
+            peer_nodes: 0,
         }
     }
 }
@@ -147,6 +160,10 @@ pub struct EngineReport {
     /// (empty otherwise) — the role-flip decision sequence the
     /// conformance harness diffs against both simulators.
     pub role_flips: Vec<ElasticDecision>,
+    /// Membership transitions consumer 0 applied at tick boundaries, in
+    /// application order — the sequence the conformance harness diffs
+    /// against both simulators' membership observables.
+    pub membership: Vec<MembershipEvent>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -466,6 +483,27 @@ pub fn run_with(store: Arc<SyntheticStore>, cfg: EngineConfig, ins: Instruments)
     ] {
         ins.metric_alias(legacy, canonical);
     }
+
+    // Tick-deterministic membership: compile the crash schedule once and
+    // let consumer 0 apply each tick's down-mask at the iteration
+    // boundary. Timing of *which* in-flight fetch observes the mask races
+    // (benign: a PeerDown fails over to the PFS and still delivers
+    // verified bytes); the membership event sequence itself is a pure
+    // function of the schedule.
+    let crash_plan = (!cfg.crashes.is_empty()).then(|| {
+        FaultSpec {
+            crashes: cfg.crashes.clone(),
+            seed: cfg.seed,
+            ..FaultSpec::default()
+        }
+        .compile()
+        .expect("engine crash schedule must be valid")
+    });
+    if cfg.peer_nodes > 0 {
+        store.configure_peers(cfg.peer_nodes);
+    }
+    let membership_log: Arc<parking_lot::Mutex<Vec<MembershipEvent>>> =
+        Arc::new(parking_lot::Mutex::new(Vec::new()));
 
     // The self-healing fetch path every loader goes through.
     let cancel = store.cancel_handle();
@@ -961,6 +999,9 @@ pub fn run_with(store: Arc<SyntheticStore>, cfg: EngineConfig, ins: Instruments)
             let board = Arc::clone(&board);
             let assignment = Arc::clone(&assignment);
             let role_flip_log = Arc::clone(&role_flip_log);
+            let membership_log = Arc::clone(&membership_log);
+            let crash_plan = crash_plan.clone();
+            let member_store = Arc::clone(&store);
             let preproc_g = preproc_g.clone();
             let loader_g = loader_g.clone();
             let decisions_m = decisions_m.clone();
@@ -976,6 +1017,34 @@ pub fn run_with(store: Arc<SyntheticStore>, cfg: EngineConfig, ins: Instruments)
                 let mut iter_start_us = 0u64;
                 let mut my_deliveries: Vec<Vec<u64>> = Vec::with_capacity(total_iters as usize);
                 'iters: for iter in 0..total_iters {
+                    // Membership first: the tick's crashes/rejoins take
+                    // effect before any of this iteration's arrivals are
+                    // consumed, mirroring the simulators' tick-boundary
+                    // ordering.
+                    if consumer == 0 {
+                        if let Some(plan) = crash_plan.as_ref() {
+                            for e in plan.membership_events_at(iter) {
+                                let crashed = e.transition == MembershipTransition::Crashed;
+                                let ts = ins.now_us();
+                                ins.trace(|| {
+                                    TraceEvent::instant(
+                                        if crashed { "node_crash" } else { "node_rejoin" },
+                                        "membership",
+                                        ts,
+                                    )
+                                    .arg_u("iter", iter)
+                                    .arg_u("node", e.node as u64)
+                                });
+                                ins.flight(|| FlightEvent::MembershipChange {
+                                    tick: iter,
+                                    node: e.node,
+                                    crashed,
+                                });
+                                membership_log.lock().push(e);
+                            }
+                            member_store.set_down_mask(plan.down_mask_at(iter));
+                        }
+                    }
                     let mut have = stash.remove(&iter).unwrap_or_default();
                     while have.len() < cfg2.batch_size {
                         match rx.recv() {
@@ -1180,6 +1249,7 @@ pub fn run_with(store: Arc<SyntheticStore>, cfg: EngineConfig, ins: Instruments)
     let iteration_secs = iter_times.lock().clone();
     let delivered_samples = delivered_log.lock().clone();
     let role_flips = role_flip_log.lock().clone();
+    let membership = membership_log.lock().clone();
     EngineReport {
         iterations: total_iters,
         iteration_secs,
@@ -1194,6 +1264,7 @@ pub fn run_with(store: Arc<SyntheticStore>, cfg: EngineConfig, ins: Instruments)
         aborted: aborted.load(Ordering::Relaxed),
         delivered_samples,
         role_flips,
+        membership,
     }
 }
 

@@ -50,6 +50,9 @@ pub struct RecoveryStats {
     pub corruptions_detected: u64,
     /// Rounds abandoned because the per-fetch deadline expired.
     pub deadline_exceeded: u64,
+    /// Peer-routed fetches that found the peer crashed and failed over to
+    /// the PFS immediately (no backoff, no retry round burned).
+    pub peer_failovers: u64,
 }
 
 /// A store wrapper that turns the fallible, fault-injected
@@ -61,6 +64,7 @@ pub struct ResilientStore {
     retries: AtomicU64,
     corruptions: AtomicU64,
     deadlines: AtomicU64,
+    peer_failovers: AtomicU64,
     /// One escalation dump per store lifetime: set by the first fetch
     /// whose deadline round reaches [`ESCALATION_DUMP_ROUND`].
     escalation_dumped: AtomicBool,
@@ -79,6 +83,7 @@ impl ResilientStore {
             retries: AtomicU64::new(0),
             corruptions: AtomicU64::new(0),
             deadlines: AtomicU64::new(0),
+            peer_failovers: AtomicU64::new(0),
             escalation_dumped: AtomicBool::new(false),
         }
     }
@@ -96,6 +101,7 @@ impl ResilientStore {
             retries: self.retries.load(Ordering::Relaxed),
             corruptions_detected: self.corruptions.load(Ordering::Relaxed),
             deadline_exceeded: self.deadlines.load(Ordering::Relaxed),
+            peer_failovers: self.peer_failovers.load(Ordering::Relaxed),
         }
     }
 
@@ -114,6 +120,10 @@ impl ResilientStore {
         let len = self.store.dataset().size_of(id) as usize;
         let want = sample_checksum(&crate::store::sample_bytes(id, len));
         let mut first_attempt = true;
+        // After a PeerDown the fetch goes straight at the PFS for the rest
+        // of its life: the peer's crash window is tick-scoped, retrying the
+        // routed path would just fail fast again.
+        let mut direct = false;
         for round in 0..MAX_ROUNDS {
             let budget = self
                 .policy
@@ -133,7 +143,8 @@ impl ResilientStore {
             let mut backoff = self
                 .policy
                 .backoff(derive_seed2(BACKOFF_STREAM, id.0 as u64, round));
-            for _attempt in 0..self.policy.max_attempts.max(1) {
+            let mut attempt = 0;
+            while attempt < self.policy.max_attempts.max(1) {
                 if !first_attempt {
                     self.note_retry(id, round);
                 }
@@ -141,7 +152,12 @@ impl ResilientStore {
                 if remaining.is_zero() {
                     break;
                 }
-                match self.store.try_fetch(id, Some(remaining)) {
+                let result = if direct {
+                    self.store.try_fetch_direct(id, Some(remaining))
+                } else {
+                    self.store.try_fetch(id, Some(remaining))
+                };
+                match result {
                     Ok(bytes) => {
                         if sample_checksum(&bytes) == want {
                             if !first_attempt {
@@ -203,8 +219,28 @@ impl ResilientStore {
                         // burning this round's remaining attempts.
                         break;
                     }
+                    Err(FetchError::PeerDown { peer }) => {
+                        // Immediate PFS failover: no backoff, no attempt
+                        // consumed, no retry counted — the peer-down
+                        // fast-fail is routing, not a storage fault.
+                        direct = true;
+                        self.peer_failovers.fetch_add(1, Ordering::Relaxed);
+                        self.instruments.counter("engine.peer_failovers").inc();
+                        let ts = self.instruments.now_us();
+                        self.instruments.trace(|| {
+                            lobster_metrics::TraceEvent::instant("fault_peer_down", "fault", ts)
+                                .arg_u("sample", id.0 as u64)
+                                .arg_u("peer", peer as u64)
+                        });
+                        self.instruments.flight(|| FlightEvent::Fault {
+                            kind: FlightFault::PeerDown,
+                            sample: id.0 as u64,
+                        });
+                        continue;
+                    }
                     Err(FetchError::Cancelled) => return Err(FetchError::Cancelled),
                 }
+                attempt += 1;
                 // Backoff before the next attempt, clamped to the round's
                 // remaining budget (the schedule's cumulative sum already
                 // respects `policy.deadline`, this guards the doubled
@@ -291,6 +327,33 @@ mod tests {
                 .unwrap_or(0)
                 > 0,
             "retries exported to the metric registry"
+        );
+    }
+
+    #[test]
+    fn peer_down_fails_over_to_direct_without_burning_retries() {
+        let ds = dataset();
+        let store = Arc::new(SyntheticStore::new(ds, Duration::ZERO, 0.0));
+        store.configure_peers(2);
+        // Find a sample routed to peer 1, then mark that peer down.
+        let victim = (0..64u32)
+            .map(SampleId)
+            .find(|&s| store.peer_of(s) == Some(1))
+            .expect("some sample routes to peer 1");
+        store.set_down_mask(1 << 1);
+        let rs = ResilientStore::new(store, policy(), Instruments::enabled());
+        let want = sample_bytes(victim, rs.inner().dataset().size_of(victim) as usize);
+        assert_eq!(rs.fetch_verified(victim), want);
+        let stats = rs.stats();
+        assert!(stats.peer_failovers > 0, "failover path taken");
+        assert_eq!(stats.retries, 0, "failover is not a retry");
+        assert!(
+            rs.instruments
+                .metrics_snapshot()
+                .get("engine.peer_failovers")
+                .unwrap_or(0)
+                > 0,
+            "failovers exported to the metric registry"
         );
     }
 

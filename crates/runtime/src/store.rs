@@ -56,6 +56,11 @@ pub enum FetchError {
     /// The fetch (including any injected stall) did not finish within the
     /// caller's deadline.
     DeadlineExceeded { fetch_index: u64 },
+    /// The sample's peer-routed source is a crashed node. Fails *fast*
+    /// (no simulated wait, no fault-index consumed): the caller should
+    /// immediately fail over to the PFS via
+    /// [`SyntheticStore::try_fetch_direct`] instead of retrying.
+    PeerDown { peer: u32 },
     /// The store's cancel flag was raised mid-transfer (engine shutdown).
     Cancelled,
 }
@@ -68,6 +73,9 @@ impl fmt::Display for FetchError {
             }
             FetchError::DeadlineExceeded { fetch_index } => {
                 write!(f, "fetch deadline exceeded (attempt #{fetch_index})")
+            }
+            FetchError::PeerDown { peer } => {
+                write!(f, "peer node {peer} is down; fail over to the PFS")
             }
             FetchError::Cancelled => write!(f, "fetch cancelled by shutdown"),
         }
@@ -83,6 +91,8 @@ pub struct InjectedFaults {
     pub stalls: u64,
     pub corruptions: u64,
     pub poisons: u64,
+    /// Peer-routed attempts that failed fast because the peer was down.
+    pub peer_down: u64,
 }
 
 /// Granularity of the interruptible simulated-transfer sleep: long waits
@@ -141,10 +151,17 @@ pub struct SyntheticStore {
     epoch: Instant,
     /// Raised by the engine on shutdown; cuts simulated transfers short.
     cancel: Arc<AtomicBool>,
+    /// Peer-routing topology: samples hash onto `0..peer_nodes` peers
+    /// (0 = peer routing disabled — every fetch is a direct PFS read).
+    peer_nodes: AtomicU64,
+    /// Bitmask of currently-crashed peers; set by the engine's consumer 0
+    /// at tick boundaries from the compiled crash plan.
+    down_mask: AtomicU64,
     injected_transients: AtomicU64,
     injected_stalls: AtomicU64,
     injected_corruptions: AtomicU64,
     injected_poisons: AtomicU64,
+    injected_peer_down: AtomicU64,
 }
 
 impl SyntheticStore {
@@ -160,10 +177,13 @@ impl SyntheticStore {
             fault_index: AtomicU64::new(0),
             epoch: Instant::now(),
             cancel: Arc::new(AtomicBool::new(false)),
+            peer_nodes: AtomicU64::new(0),
+            down_mask: AtomicU64::new(0),
             injected_transients: AtomicU64::new(0),
             injected_stalls: AtomicU64::new(0),
             injected_corruptions: AtomicU64::new(0),
             injected_poisons: AtomicU64::new(0),
+            injected_peer_down: AtomicU64::new(0),
         }
     }
 
@@ -197,6 +217,36 @@ impl SyntheticStore {
         Arc::clone(&self.cancel)
     }
 
+    /// Enable peer routing: samples hash onto `nodes` peers and a fetch of
+    /// a sample whose peer is marked down fails fast with
+    /// [`FetchError::PeerDown`]. 0 disables routing.
+    pub fn configure_peers(&self, nodes: usize) {
+        self.peer_nodes.store(nodes as u64, Ordering::Relaxed);
+    }
+
+    /// Mark the set of crashed peers (bit `n` = peer `n` down). Applied by
+    /// the engine's consumer 0 at tick boundaries from the crash plan, so
+    /// the peer-down window is tick-deterministic.
+    pub fn set_down_mask(&self, mask: u64) {
+        self.down_mask.store(mask, Ordering::Relaxed);
+    }
+
+    /// The current crashed-peer bitmask.
+    pub fn down_mask(&self) -> u64 {
+        self.down_mask.load(Ordering::Relaxed)
+    }
+
+    /// The peer a sample routes through, when peer routing is enabled.
+    /// Deterministic (seeded hash of the id), mirroring the simulators'
+    /// KV hash-owner rule.
+    pub fn peer_of(&self, id: SampleId) -> Option<u32> {
+        let nodes = self.peer_nodes.load(Ordering::Relaxed);
+        if nodes == 0 {
+            return None;
+        }
+        Some((lobster_sim::derive_seed(0x5045_4552, id.0 as u64) % nodes) as u32)
+    }
+
     /// One fetch attempt. Consults the fault schedule (when present),
     /// charges the simulated transfer time — scaled by the plan's
     /// time-varying slowdown and cut short by cancellation or `deadline` —
@@ -207,6 +257,26 @@ impl SyntheticStore {
     /// An injected [`FaultAction::Poison`] panics deliberately, modelling a
     /// crashed loader worker; the engine's containment path catches it.
     pub fn try_fetch(
+        &self,
+        id: SampleId,
+        deadline: Option<Duration>,
+    ) -> Result<Vec<u8>, FetchError> {
+        // Peer routing: a sample whose hash-peer is down fails *fast* —
+        // no simulated wait, and no fault-schedule index consumed (the
+        // attempt never reached the wire), so the crash window does not
+        // perturb the seeded transient/stall/corrupt streams.
+        if let Some(peer) = self.peer_of(id) {
+            if self.down_mask.load(Ordering::Relaxed) & (1u64 << peer) != 0 {
+                self.injected_peer_down.fetch_add(1, Ordering::Relaxed);
+                return Err(FetchError::PeerDown { peer });
+            }
+        }
+        self.try_fetch_direct(id, deadline)
+    }
+
+    /// One fetch attempt straight at the PFS, bypassing peer routing —
+    /// the failover path a [`FetchError::PeerDown`] caller takes.
+    pub fn try_fetch_direct(
         &self,
         id: SampleId,
         deadline: Option<Duration>,
@@ -282,14 +352,21 @@ impl SyntheticStore {
     /// callers should go through `ResilientStore` instead, which verifies
     /// checksums and enforces deadlines.
     pub fn fetch(&self, id: SampleId) -> Vec<u8> {
+        let mut direct = false;
         loop {
-            match self.try_fetch(id, None) {
+            let result = if direct {
+                self.try_fetch_direct(id, None)
+            } else {
+                self.try_fetch(id, None)
+            };
+            match result {
                 Ok(bytes) => return bytes,
                 Err(FetchError::Cancelled) => {
                     // Shutdown: serve canonical bytes without charging the
                     // remaining simulated transfer so teardown stays prompt.
                     return sample_bytes(id, self.dataset.size_of(id) as usize);
                 }
+                Err(FetchError::PeerDown { .. }) => direct = true,
                 Err(_) => continue,
             }
         }
@@ -312,6 +389,7 @@ impl SyntheticStore {
             stalls: self.injected_stalls.load(Ordering::Relaxed),
             corruptions: self.injected_corruptions.load(Ordering::Relaxed),
             poisons: self.injected_poisons.load(Ordering::Relaxed),
+            peer_down: self.injected_peer_down.load(Ordering::Relaxed),
         }
     }
 }
@@ -442,6 +520,47 @@ mod tests {
         let diff = got.iter().zip(&want).filter(|(a, b)| a != b).count();
         assert_eq!(diff, 1);
         assert_ne!(sample_checksum(&got), sample_checksum(&want));
+    }
+
+    #[test]
+    fn peer_down_fails_fast_and_direct_path_bypasses() {
+        let ds = dataset();
+        let store = SyntheticStore::new(ds, Duration::from_millis(50), 0.0);
+        store.configure_peers(2);
+        // Find a sample routed through peer 1, then crash peer 1.
+        let id = (0..64u32)
+            .map(SampleId)
+            .find(|&s| store.peer_of(s) == Some(1))
+            .expect("some sample hashes to peer 1");
+        store.set_down_mask(1 << 1);
+        let t0 = Instant::now();
+        let err = store.try_fetch(id, None).unwrap_err();
+        assert_eq!(err, FetchError::PeerDown { peer: 1 });
+        assert!(
+            t0.elapsed() < Duration::from_millis(40),
+            "peer-down must fail fast, not charge the transfer: {:?}",
+            t0.elapsed()
+        );
+        assert_eq!(store.injected().peer_down, 1);
+        // The direct path serves the sample regardless of the mask.
+        let want_len = store.dataset().size_of(id) as usize;
+        assert_eq!(
+            store.try_fetch_direct(id, None).unwrap(),
+            sample_bytes(id, want_len)
+        );
+        // Rejoin: the routed path works again.
+        store.set_down_mask(0);
+        assert!(store.try_fetch(id, None).is_ok());
+    }
+
+    #[test]
+    fn legacy_fetch_survives_a_down_peer() {
+        let store = SyntheticStore::new(dataset(), Duration::ZERO, 0.0);
+        store.configure_peers(1);
+        store.set_down_mask(1);
+        let want = sample_bytes(SampleId(9), store.dataset().size_of(SampleId(9)) as usize);
+        assert_eq!(store.fetch(SampleId(9)), want);
+        assert_eq!(store.injected().peer_down, 1);
     }
 
     #[test]

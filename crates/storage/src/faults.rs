@@ -149,6 +149,58 @@ pub enum FaultAction {
     /// Panic inside the fetch path (a crashed worker) — recoverable via
     /// the engine's poisoned-worker containment.
     Poison,
+    /// The peer node this fetch was routed to is down — the request must
+    /// fail fast (`FetchError::PeerDown`) and fail over to the PFS instead
+    /// of burning retry rounds.
+    NodeCrash,
+    /// The peer has rejoined with a cold cache; serve from PFS while its
+    /// directory warms up. Distinguished from `None` so callers can
+    /// attribute the extra PFS traffic of a warm-up phase.
+    NodeRejoin,
+}
+
+/// How a node's cluster membership changed at a tick boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum MembershipTransition {
+    /// The node crashed: cache lost, directory entries purged, its schedule
+    /// slice re-sharded across survivors.
+    Crashed,
+    /// The node rejoined with a cold cache and begins directory warm-up.
+    Rejoined,
+}
+
+impl MembershipTransition {
+    pub fn label(self) -> &'static str {
+        match self {
+            MembershipTransition::Crashed => "crashed",
+            MembershipTransition::Rejoined => "rejoined",
+        }
+    }
+}
+
+/// One scheduled whole-node crash, with an optional rejoin. Tick-indexed
+/// (a tick is one global training iteration), so the membership timeline
+/// is a pure function of configuration — every executor sees the same
+/// transitions at the same iterations regardless of wall-clock timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrashSpec {
+    /// Node that crashes.
+    pub node: u32,
+    /// Global iteration at whose boundary the crash lands (the node misses
+    /// this iteration and every one after, until rejoin).
+    pub tick: u64,
+    /// Global iteration at whose boundary the node rejoins with a cold
+    /// cache; `None` = the node never comes back.
+    pub rejoin: Option<u64>,
+}
+
+/// One membership transition on the deterministic timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MembershipEvent {
+    /// Tick (global iteration) at whose boundary the transition applies.
+    pub tick: u64,
+    pub node: u32,
+    pub transition: MembershipTransition,
 }
 
 /// Errors from validating or parsing a fault configuration.
@@ -158,6 +210,9 @@ pub enum FaultConfigError {
     InvalidRate { what: String, value: f64 },
     /// A slowdown profile with a factor < 1 or a non-positive duration.
     InvalidProfile { what: String, value: f64 },
+    /// A crash/rejoin schedule that is not well-formed (rejoin ≤ crash
+    /// tick, node ≥ 64, or overlapping down-windows for one node).
+    InvalidCrash { what: String },
     /// An unparseable `--faults` spec fragment.
     Parse(String),
 }
@@ -170,6 +225,9 @@ impl fmt::Display for FaultConfigError {
             }
             FaultConfigError::InvalidProfile { what, value } => {
                 write!(f, "slowdown profile {what} invalid: {value} (factors must be finite and >= 1, durations positive)")
+            }
+            FaultConfigError::InvalidCrash { what } => {
+                write!(f, "crash schedule invalid: {what}")
             }
             FaultConfigError::Parse(msg) => write!(f, "cannot parse fault spec: {msg}"),
         }
@@ -194,6 +252,8 @@ pub struct FaultSpec {
     pub poison_rate: f64,
     /// Per-node slowdown profiles (missing entries = nominal).
     pub slowdown: Vec<SlowdownProfile>,
+    /// Scheduled whole-node crashes (and rejoins), tick-indexed.
+    pub crashes: Vec<CrashSpec>,
     /// Seed of the whole schedule; same seed ⇒ same schedule.
     pub seed: u64,
 }
@@ -207,6 +267,7 @@ impl Default for FaultSpec {
             corrupt_rate: 0.0,
             poison_rate: 0.0,
             slowdown: Vec::new(),
+            crashes: Vec::new(),
             seed: 0,
         }
     }
@@ -220,6 +281,7 @@ impl FaultSpec {
             && self.corrupt_rate == 0.0
             && self.poison_rate == 0.0
             && self.slowdown.iter().all(|p| *p == SlowdownProfile::NOMINAL)
+            && self.crashes.is_empty()
     }
 
     /// Validate all rates and profiles.
@@ -242,6 +304,40 @@ impl FaultSpec {
         rate_ok("poison", self.poison_rate)?;
         for p in &self.slowdown {
             p.validate()?;
+        }
+        let crash_err = |what: String| FaultConfigError::InvalidCrash { what };
+        for c in &self.crashes {
+            if c.node as usize >= 64 {
+                return Err(crash_err(format!(
+                    "node {} exceeds the 64-node membership mask",
+                    c.node
+                )));
+            }
+            if let Some(r) = c.rejoin {
+                if r <= c.tick {
+                    return Err(crash_err(format!(
+                        "node {} rejoin tick {r} must be after crash tick {}",
+                        c.node, c.tick
+                    )));
+                }
+            }
+        }
+        // Per-node down-windows must not overlap: a node cannot crash
+        // again before it rejoined.
+        let mut windows: Vec<(u32, u64, Option<u64>)> = self
+            .crashes
+            .iter()
+            .map(|c| (c.node, c.tick, c.rejoin))
+            .collect();
+        windows.sort();
+        for w in windows.windows(2) {
+            let (node_a, tick_a, rejoin_a) = w[0];
+            let (node_b, tick_b, _) = w[1];
+            if node_a == node_b && rejoin_a.is_none_or(|r| tick_b < r) {
+                return Err(crash_err(format!(
+                    "node {node_a} crashes at tick {tick_b} while already down since {tick_a}"
+                )));
+            }
         }
         Ok(())
     }
@@ -267,7 +363,14 @@ impl FaultSpec {
     /// profile is `const:<f>`, `step:<f>:<at_s>`, `flap:<lo>:<hi>:<period_s>`
     /// or `ramp:<from>:<to>:<over_s>`. `slow` may repeat for several nodes.
     ///
+    /// Whole-node crashes use `crash@<tick>:node=<n>[,rejoin=<tick>]`: the
+    /// node goes down at the boundary of global iteration `<tick>` and (if
+    /// `rejoin` follows) comes back with a cold cache at the rejoin tick.
+    /// A `rejoin` term attaches to the immediately preceding `crash` term;
+    /// `crash` may repeat for several nodes.
+    ///
     /// Example: `transient=0.05,corrupt=0.01,stall=0.02,stall-ms=50,seed=7,slow=2:step:2.5:40`
+    /// or `crash@6:node=1,rejoin=12,seed=7`
     pub fn parse(s: &str) -> Result<FaultSpec, FaultConfigError> {
         let mut spec = FaultSpec::default();
         let err = |msg: String| FaultConfigError::Parse(msg);
@@ -325,6 +428,43 @@ impl FaultSpec {
                         spec.slowdown.resize(node + 1, SlowdownProfile::NOMINAL);
                     }
                     spec.slowdown[node] = profile;
+                }
+                "rejoin" => {
+                    let tick: u64 = value
+                        .parse()
+                        .map_err(|_| err(format!("`{value}` is not a u64 rejoin tick")))?;
+                    let last = spec.crashes.last_mut().ok_or_else(|| {
+                        err("`rejoin` must follow a `crash@<tick>:node=<n>` term".to_string())
+                    })?;
+                    if last.rejoin.is_some() {
+                        return Err(err(format!(
+                            "duplicate `rejoin` for the crash of node {}",
+                            last.node
+                        )));
+                    }
+                    last.rejoin = Some(tick);
+                }
+                crash if crash.starts_with("crash@") => {
+                    // `crash@<tick>:node` is the key half of
+                    // `crash@<tick>:node=<n>`.
+                    let rest = &crash["crash@".len()..];
+                    let (tick_str, node_key) = rest
+                        .split_once(':')
+                        .ok_or_else(|| err(format!("`{part}` is not crash@<tick>:node=<n>")))?;
+                    if node_key != "node" {
+                        return Err(err(format!("`{part}` is not crash@<tick>:node=<n>")));
+                    }
+                    let tick: u64 = tick_str
+                        .parse()
+                        .map_err(|_| err(format!("`{tick_str}` is not a u64 tick")))?;
+                    let node: u32 = value
+                        .parse()
+                        .map_err(|_| err(format!("`{value}` is not a node index")))?;
+                    spec.crashes.push(CrashSpec {
+                        node,
+                        tick,
+                        rejoin: None,
+                    });
                 }
                 other => return Err(err(format!("unknown key `{other}`"))),
             }
@@ -399,6 +539,68 @@ impl FaultPlan {
             .slowdown
             .get(node)
             .map_or(1.0, |p| p.factor_at(t_s))
+    }
+
+    /// The configured crash schedule, verbatim.
+    pub fn crashes(&self) -> &[CrashSpec] {
+        &self.spec.crashes
+    }
+
+    /// True when the plan schedules at least one whole-node crash.
+    pub fn has_crashes(&self) -> bool {
+        !self.spec.crashes.is_empty()
+    }
+
+    /// Membership transitions landing at the boundary of `tick`, in a
+    /// fixed deterministic order (rejoins before crashes, then by node).
+    /// Every executor applies this same sequence at the same tick, which
+    /// is what makes the membership timeline an exact-equality conformance
+    /// observable.
+    pub fn membership_events_at(&self, tick: u64) -> Vec<MembershipEvent> {
+        let mut events: Vec<MembershipEvent> = Vec::new();
+        for c in &self.spec.crashes {
+            if c.rejoin == Some(tick) {
+                events.push(MembershipEvent {
+                    tick,
+                    node: c.node,
+                    transition: MembershipTransition::Rejoined,
+                });
+            }
+            if c.tick == tick {
+                events.push(MembershipEvent {
+                    tick,
+                    node: c.node,
+                    transition: MembershipTransition::Crashed,
+                });
+            }
+        }
+        events.sort_by_key(|e| (e.transition == MembershipTransition::Crashed, e.node));
+        events
+    }
+
+    /// The full membership timeline over `ticks` iterations, flattened in
+    /// tick order — the reference sequence conformance compares against.
+    pub fn membership_timeline(&self, ticks: u64) -> Vec<MembershipEvent> {
+        (0..ticks)
+            .flat_map(|t| self.membership_events_at(t))
+            .collect()
+    }
+
+    /// Bitmask of nodes that are down *during* iteration `tick` (crashed at
+    /// a tick ≤ this one and not yet rejoined).
+    pub fn down_mask_at(&self, tick: u64) -> u64 {
+        let mut mask = 0u64;
+        for c in &self.spec.crashes {
+            if c.tick <= tick && c.rejoin.is_none_or(|r| tick < r) {
+                mask |= 1u64 << (c.node as usize % 64);
+            }
+        }
+        mask
+    }
+
+    /// Is `node` down during iteration `tick`?
+    pub fn node_down(&self, node: u32, tick: u64) -> bool {
+        self.down_mask_at(tick) & (1u64 << (node as usize % 64)) != 0
     }
 
     /// Deterministic byte position to flip when corrupting a payload of
@@ -671,6 +873,137 @@ mod tests {
             "validated after parse"
         );
         assert!(FaultSpec::parse("").map(|s| s.is_noop()).unwrap_or(false));
+    }
+
+    #[test]
+    fn parse_crash_terms_with_and_without_rejoin() {
+        let spec = FaultSpec::parse("crash@6:node=1,rejoin=12,crash@3:node=0,seed=9").unwrap();
+        assert_eq!(spec.seed, 9);
+        assert_eq!(
+            spec.crashes,
+            vec![
+                CrashSpec {
+                    node: 1,
+                    tick: 6,
+                    rejoin: Some(12)
+                },
+                CrashSpec {
+                    node: 0,
+                    tick: 3,
+                    rejoin: None
+                },
+            ]
+        );
+        assert!(!spec.is_noop());
+
+        assert!(
+            FaultSpec::parse("rejoin=5").is_err(),
+            "rejoin needs a crash"
+        );
+        assert!(FaultSpec::parse("crash@6:node=1,rejoin=12,rejoin=13").is_err());
+        assert!(FaultSpec::parse("crash@x:node=1").is_err());
+        assert!(FaultSpec::parse("crash@6:gpu=1").is_err());
+        assert!(
+            FaultSpec::parse("crash@6:node=1,rejoin=6").is_err(),
+            "rejoin must be after crash"
+        );
+        assert!(
+            FaultSpec::parse("crash@6:node=99").is_err(),
+            "node mask is 64 wide"
+        );
+    }
+
+    #[test]
+    fn overlapping_crash_windows_rejected() {
+        // Crash again while still down (no rejoin): invalid.
+        let spec = FaultSpec {
+            crashes: vec![
+                CrashSpec {
+                    node: 2,
+                    tick: 4,
+                    rejoin: None,
+                },
+                CrashSpec {
+                    node: 2,
+                    tick: 9,
+                    rejoin: None,
+                },
+            ],
+            ..FaultSpec::default()
+        };
+        assert!(matches!(
+            spec.validate(),
+            Err(FaultConfigError::InvalidCrash { .. })
+        ));
+        // Disjoint windows on the same node are fine.
+        let spec = FaultSpec {
+            crashes: vec![
+                CrashSpec {
+                    node: 2,
+                    tick: 4,
+                    rejoin: Some(6),
+                },
+                CrashSpec {
+                    node: 2,
+                    tick: 9,
+                    rejoin: None,
+                },
+            ],
+            ..FaultSpec::default()
+        };
+        assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn membership_timeline_is_deterministic_and_tick_exact() {
+        let plan = FaultSpec {
+            crashes: vec![
+                CrashSpec {
+                    node: 1,
+                    tick: 4,
+                    rejoin: Some(8),
+                },
+                CrashSpec {
+                    node: 0,
+                    tick: 4,
+                    rejoin: None,
+                },
+            ],
+            ..FaultSpec::default()
+        }
+        .compile()
+        .unwrap();
+        assert!(plan.has_crashes());
+        let tl = plan.membership_timeline(12);
+        assert_eq!(
+            tl,
+            vec![
+                MembershipEvent {
+                    tick: 4,
+                    node: 0,
+                    transition: MembershipTransition::Crashed
+                },
+                MembershipEvent {
+                    tick: 4,
+                    node: 1,
+                    transition: MembershipTransition::Crashed
+                },
+                MembershipEvent {
+                    tick: 8,
+                    node: 1,
+                    transition: MembershipTransition::Rejoined
+                },
+            ]
+        );
+        assert_eq!(plan.down_mask_at(3), 0);
+        assert_eq!(plan.down_mask_at(4), 0b11);
+        assert_eq!(plan.down_mask_at(7), 0b11);
+        assert_eq!(plan.down_mask_at(8), 0b01, "node 1 back at its rejoin tick");
+        assert!(plan.node_down(0, 1000), "no rejoin means down forever");
+        assert!(!plan.node_down(1, 8));
+        // Pure function of the spec: recompilation agrees everywhere.
+        let again = plan.spec().clone().compile().unwrap();
+        assert_eq!(again.membership_timeline(12), tl);
     }
 
     #[test]

@@ -14,7 +14,7 @@ pub mod tiers;
 
 pub use curve::ThroughputCurve;
 pub use faults::{
-    BackoffSchedule, FaultAction, FaultConfigError, FaultPlan, FaultSpec, RetryPolicy,
-    SlowdownProfile,
+    BackoffSchedule, CrashSpec, FaultAction, FaultConfigError, FaultPlan, FaultSpec,
+    MembershipEvent, MembershipTransition, RetryPolicy, SlowdownProfile,
 };
 pub use tiers::{thetagpu, StorageModel, Tier};

@@ -16,16 +16,18 @@
 
 use lobster_repro::cache::{Directory, EvictOrder, NodeCache};
 use lobster_repro::conformance::{
-    check_engine_delivery, check_sweep, conformance_config, elastic_conformance_config,
-    engine_epoch_multisets, horizon_boundary_fixture, naive_next_use, run_boundary_canary,
-    run_canary, run_differential, CanaryOutcome, Mutation,
+    check_engine_delivery, check_sweep, conformance_config, crash_conformance_config,
+    elastic_conformance_config, engine_epoch_multisets, horizon_boundary_fixture, naive_next_use,
+    run_boundary_canary, run_canary, run_differential, CanaryOutcome, Mutation,
 };
 use lobster_repro::core::{policy_by_name, EvictCause, ModelProfile, ReuseAwareEvictor};
 use lobster_repro::data::{
     Dataset, EpochSchedule, NodeOracle, SampleId, ScheduleSpec, SizeDistribution,
 };
 use lobster_repro::metrics::Instruments;
-use lobster_repro::pipeline::{ClusterSim, ConfigBuilder, ElasticSimConfig, RoleFlipObservable};
+use lobster_repro::pipeline::{
+    ClusterSim, ConfigBuilder, ElasticSimConfig, MembershipObservable, RoleFlipObservable,
+};
 use lobster_repro::runtime::{run_with, schedule_spec, EngineConfig, SyntheticStore};
 use lobster_repro::storage::FaultSpec;
 use std::sync::Arc;
@@ -276,6 +278,104 @@ fn role_flip_sequences_agree_across_all_three_executors() {
 }
 
 // ---------------------------------------------------------------------
+// 2c. Membership: crash/rejoin sequences across all three executors and
+//     exactly-once delivery under node loss (ISSUE 7 acceptance).
+// ---------------------------------------------------------------------
+
+/// A whole-node crash (and rejoin) is a schedule-deterministic event: the
+/// membership sequence is a pure function of the compiled crash plan, so
+/// the analytical executor, the conformance DES, and the live engine must
+/// produce *byte-identical* sequences — and the per-epoch delivered
+/// multiset must equal the fault-free run's (exactly-once: losing a node
+/// re-shards its slice onto survivors, it never drops or duplicates a
+/// sample).
+#[test]
+fn membership_sequences_agree_across_all_three_executors() {
+    for seed in [3u64, 5, 7, 11, 13] {
+        // Simulator side (also covers sim == DES membership equality via
+        // the differential runner's exact-compared observable).
+        let cfg = crash_conformance_config(seed);
+        let summary = run_differential(&cfg, "lobster")
+            .unwrap_or_else(|d| panic!("seed {seed}: sim vs DES diverged on crash config:\n{d}"));
+        let want: Vec<MembershipObservable> = cfg
+            .crash_plan()
+            .membership_timeline(summary.iterations as u64)
+            .iter()
+            .map(MembershipObservable::from_event)
+            .collect();
+        assert!(
+            want.iter().any(|m| m.crashed) && want.iter().any(|m| !m.crashed),
+            "seed {seed}: fixture must exercise both a crash and a rejoin"
+        );
+
+        let (_, sim_obs) =
+            ClusterSim::new(cfg.clone(), policy_by_name("lobster").unwrap()).run_observed();
+        assert_eq!(
+            sim_obs.membership_sequence(),
+            want,
+            "seed {seed}: analytical executor's membership sequence diverged from the plan"
+        );
+
+        // Exactly-once: the crash run delivers the same per-epoch
+        // multisets as a fault-free run of the same schedule.
+        let mut no_crash = cfg.clone();
+        no_crash.crashes.clear();
+        let (_, base_obs) =
+            ClusterSim::new(no_crash, policy_by_name("lobster").unwrap()).run_observed();
+        assert_eq!(
+            sim_obs.delivered, base_obs.delivered,
+            "seed {seed}: node loss changed the delivered multiset (exactly-once broken)"
+        );
+
+        // Live engine: same W=6, |B|=4, dataset, seed — so the same
+        // schedule — with the same crash plan applied at tick boundaries.
+        let ecfg = EngineConfig {
+            consumers: 6,
+            batch_size: 4,
+            loader_threads: 4,
+            preproc_threads: 2,
+            epochs: 2,
+            seed,
+            train: Duration::from_micros(100),
+            crashes: cfg.crashes.clone(),
+            peer_nodes: 3,
+            ..EngineConfig::default()
+        };
+        let store = Arc::new(SyntheticStore::new(
+            cfg.dataset.clone(),
+            Duration::ZERO,
+            0.0,
+        ));
+        let ins = Instruments::enabled();
+        let report = run_with(store, ecfg.clone(), ins.clone());
+        assert!(
+            !report.aborted,
+            "seed {seed}: engine aborted under crash schedule"
+        );
+        let engine_membership: Vec<MembershipObservable> = report
+            .membership
+            .iter()
+            .map(MembershipObservable::from_event)
+            .collect();
+        assert_eq!(
+            engine_membership, want,
+            "seed {seed}: live engine membership sequence diverged from the simulators"
+        );
+
+        // The engine still delivers exactly the schedule — per consumer,
+        // per iteration — and the same epoch multisets as the simulator.
+        check_engine_delivery(&cfg.dataset, &ecfg, &report, &ins)
+            .unwrap_or_else(|d| panic!("seed {seed}: engine vs schedule under crash:\n{d}"));
+        let iters = schedule_spec(&cfg.dataset, &ecfg).iterations_per_epoch();
+        assert_eq!(
+            engine_epoch_multisets(&report, &ecfg, iters),
+            sim_obs.delivered,
+            "seed {seed}: engine epoch multisets diverged from the crash-schedule simulator run"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
 // 3. Mutation canaries: the harness must detect every armed flip.
 // ---------------------------------------------------------------------
 
@@ -291,6 +391,11 @@ fn every_mutation_canary_is_detected() {
             // Freezes the elastic controller: only observable where an
             // elastic pool must respond to a work-factor step.
             let cfg = elastic_conformance_config(11);
+            run_canary(&cfg, "lobster", m)
+        } else if m == Mutation::DropCrash {
+            // Ignores the crash schedule: only observable on a config
+            // that has one to ignore.
+            let cfg = crash_conformance_config(11);
             run_canary(&cfg, "lobster", m)
         } else {
             let cfg = conformance_config(11);
