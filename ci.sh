@@ -85,6 +85,31 @@ grep -q "findings" "$obs_dir/doctor.txt" || {
     exit 1
 }
 
+echo "== telemetry smoke =="
+# Telemetry gate (DESIGN.md §14): a seeded mid-run slowdown must be
+# detected by the online detectors within ±1 tick of its onset, the live
+# engine's scheduled crash/rejoin must be attributed to its exact ticks,
+# lobster_top must render the JSONL stream, and a deliberately violated
+# SLO must make lobster_top exit 1.
+timeout 120 cargo run -q --release -p lobster-bench --bin telemetry_smoke -- \
+    --telemetry-out "$obs_dir/telemetry.jsonl" --slowdown-at 24 --slowdown-factor 3
+timeout 60 cargo run -q --release -p lobster-bench --bin lobster_top -- \
+    "$obs_dir/telemetry.jsonl" --once \
+    --assert-anomaly throughput-cliff,23,25 | tee "$obs_dir/top.txt"
+grep -q "anomaly firing" "$obs_dir/top.txt" || {
+    echo "lobster_top did not render the telemetry stream" >&2
+    exit 1
+}
+set +e
+timeout 60 cargo run -q --release -p lobster-bench --bin lobster_top -- \
+    "$obs_dir/telemetry.jsonl" --once --slo "iter_us<=15000" > /dev/null 2>&1
+slo_status=$?
+set -e
+if [ "$slo_status" -ne 1 ]; then
+    echo "lobster_top SLO gate: expected exit 1 (violated SLO), got $slo_status" >&2
+    exit 1
+fi
+
 echo "== perf smoke =="
 # Perf observatory gate (DESIGN.md §12): the checked-in trajectory must
 # validate, the live quick matrix must pass the regression thresholds

@@ -208,9 +208,12 @@ fn run_canary_mode(seeds: &[u64], mutations: &[Mutation]) -> ! {
             let mut found = None;
             for &seed in seeds {
                 // `never-steal` freezes the elastic controller, so it is
-                // only observable on an elastic configuration; `drop-crash`
-                // ignores the crash schedule, so it needs one to ignore.
-                let cfg = if m == Mutation::NeverSteal {
+                // only observable on an elastic configuration, and so is
+                // `detector-threshold` (the mid-run work-factor step is what
+                // reliably puts anomaly firings near the mutated detectors'
+                // decision boundaries); `drop-crash` ignores the crash
+                // schedule, so it needs one to ignore.
+                let cfg = if m == Mutation::NeverSteal || m == Mutation::DetectorThreshold {
                     elastic_conformance_config(seed)
                 } else if m == Mutation::DropCrash {
                     crash_conformance_config(seed)

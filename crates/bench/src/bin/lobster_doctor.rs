@@ -1,33 +1,53 @@
 //! `lobster_doctor` — offline diagnosis of an instrumented run.
 //!
 //! ```text
-//! lobster_doctor <trace> [--metrics <file>] [--decisions <file>] [--out-dir <dir>]
-//! lobster_doctor --flight <flightdump_*.json | dir> [--out-dir <dir>]
+//! lobster_doctor <trace> [--metrics <file>] [--decisions <file>]
+//!                [--flight <flightdump_*.json | dir>]
+//!                [--telemetry <file>] [--slo <specs>] [--out-dir <dir>]
+//! lobster_doctor --flight <flightdump_*.json | dir> [--telemetry <file>]
+//!                [--slo <specs>] [--out-dir <dir>]
 //! ```
 //!
 //! `<trace>` is a `--trace-out` export (Chrome trace-event document or
 //! JSONL). The sidecars written by the bench harness next to the trace
-//! (`<trace>.metrics.json`, `<trace>.decisions.jsonl`) are picked up
-//! automatically when present; `--metrics` / `--decisions` override.
+//! (`<trace>.metrics.json`, `<trace>.decisions.jsonl`,
+//! `<trace>.telemetry.jsonl`) are picked up automatically when present;
+//! `--metrics` / `--decisions` / `--telemetry` override.
 //!
-//! `--flight` ingests a flight-recorder dump instead (DESIGN.md §12) —
-//! the last-K event window a crashed, escalating, or diverged run left
-//! behind — and emits the same phase diagnosis without needing a full
-//! trace. Passing a directory picks the newest `flightdump_*.json` in it.
+//! `--flight` ingests a flight-recorder dump (DESIGN.md §12) — the last-K
+//! event window a crashed, escalating, or diverged run left behind — and
+//! emits the same phase diagnosis without needing a full trace. Passing a
+//! directory picks the newest `flightdump_*.json` in it. When *both* a
+//! trace and `--flight` are given, the two diagnoses are merged: the trace
+//! is authoritative and the flight dump contributes only what the trace
+//! missed, so overlapping fault / membership / anomaly findings appear
+//! once instead of once per source.
+//!
+//! `--telemetry` joins a `--telemetry-out` JSONL stream into the
+//! diagnosis: anomalies land on the timeline with phase attribution and
+//! SLO verdicts fill the SLO table. `--slo "gap_us<=5000;hit_rate>=0.8@64:10"`
+//! additionally (re-)evaluates specs over the stream's frames (DESIGN.md
+//! §14 grammar, `;`-separated).
 //!
 //! Prints the human-readable diagnosis and writes the machine-readable
 //! `results/doctor_<stem>.json`. Exits 1 when the input yields an empty
 //! diagnosis, 2 on usage or I/O errors.
 
-use lobster_bench::doctor::{diagnose, diagnose_flight, render};
-use lobster_bench::{decisions_sidecar, metrics_sidecar};
-use lobster_metrics::{DecisionRecord, MetricsSnapshot, ResultSink};
+use lobster_bench::doctor::{attach_telemetry, diagnose, diagnose_flight, merge_diagnoses, render};
+use lobster_bench::{decisions_sidecar, metrics_sidecar, telemetry_sidecar};
+use lobster_metrics::{
+    evaluate_slos, parse_slo_specs, parse_telemetry_stream, DecisionRecord, MetricsSnapshot,
+    ResultSink, TelemetryLine, TickFrame,
+};
 use std::path::{Path, PathBuf};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: lobster_doctor <trace> [--metrics <file>] [--decisions <file>] [--out-dir <dir>]\n\
-         \x20      lobster_doctor --flight <flightdump | dir> [--out-dir <dir>]"
+        "usage: lobster_doctor <trace> [--metrics <file>] [--decisions <file>]\n\
+         \x20                     [--flight <flightdump | dir>] [--telemetry <file>]\n\
+         \x20                     [--slo <specs>] [--out-dir <dir>]\n\
+         \x20      lobster_doctor --flight <flightdump | dir> [--telemetry <file>]\n\
+         \x20                     [--slo <specs>] [--out-dir <dir>]"
     );
     std::process::exit(2);
 }
@@ -71,19 +91,23 @@ fn main() {
     let mut decisions_path: Option<PathBuf> = None;
     let mut out_dir: Option<PathBuf> = None;
     let mut flight_path: Option<PathBuf> = None;
+    let mut telemetry_path: Option<PathBuf> = None;
+    let mut slo_text: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--metrics" | "--decisions" | "--out-dir" | "--flight" => {
+            "--metrics" | "--decisions" | "--out-dir" | "--flight" | "--telemetry" | "--slo" => {
                 if i + 1 >= args.len() {
                     usage();
                 }
-                let value = PathBuf::from(&args[i + 1]);
+                let value = &args[i + 1];
                 match args[i].as_str() {
-                    "--metrics" => metrics_path = Some(value),
-                    "--decisions" => decisions_path = Some(value),
-                    "--flight" => flight_path = Some(value),
-                    _ => out_dir = Some(value),
+                    "--metrics" => metrics_path = Some(PathBuf::from(value)),
+                    "--decisions" => decisions_path = Some(PathBuf::from(value)),
+                    "--flight" => flight_path = Some(PathBuf::from(value)),
+                    "--telemetry" => telemetry_path = Some(PathBuf::from(value)),
+                    "--slo" => slo_text = Some(value.clone()),
+                    _ => out_dir = Some(PathBuf::from(value)),
                 }
                 i += 2;
             }
@@ -98,89 +122,114 @@ fn main() {
         }
     }
 
-    // Flight mode: one dump in, same diagnosis machinery out.
-    if let Some(flight_arg) = flight_path {
-        if trace_path.is_some() {
-            usage();
-        }
-        let dump_path = resolve_flight_path(&flight_arg);
-        let dump_text = read_or_exit(&dump_path);
-        let diagnosis = match diagnose_flight(&dump_text) {
-            Ok(d) => d,
-            Err(e) => {
-                eprintln!("error: {e}");
-                std::process::exit(1);
-            }
-        };
-        if diagnosis.is_empty() {
-            eprintln!(
-                "error: empty diagnosis ({} flight events but no iterations in the window)",
-                diagnosis.events
-            );
-            std::process::exit(1);
-        }
-        print!("{}", render(&diagnosis));
-        let stem = dump_path
-            .file_stem()
-            .and_then(|s| s.to_str())
-            .unwrap_or("flight")
-            .replace(['.', '-'], "_");
-        let sink = out_dir.map_or_else(ResultSink::default_location, ResultSink::new);
-        match sink.write_json(&format!("doctor_{stem}"), &diagnosis) {
-            Ok(path) => println!("\ndiagnosis -> {}", path.display()),
-            Err(e) => {
-                eprintln!("error: cannot write diagnosis json: {e}");
-                std::process::exit(2);
-            }
-        }
-        return;
+    if trace_path.is_none() && flight_path.is_none() {
+        usage();
     }
 
-    let Some(trace_path) = trace_path else {
-        usage()
-    };
-
-    let trace_text = read_or_exit(&trace_path);
-
-    // Sidecar discovery: explicit flag, else the harness's conventional
-    // path next to the trace.
-    let metrics_path = metrics_path.or_else(|| {
-        let p = metrics_sidecar(&trace_path);
-        p.exists().then_some(p)
-    });
-    let metrics: Option<MetricsSnapshot> = metrics_path.map(|p| {
-        serde_json::from_str(&read_or_exit(&p)).unwrap_or_else(|e| {
-            eprintln!("error: malformed metrics snapshot {}: {e:?}", p.display());
-            std::process::exit(2);
-        })
-    });
-    let decisions_path = decisions_path.or_else(|| {
-        let p = decisions_sidecar(&trace_path);
-        p.exists().then_some(p)
-    });
-    let decisions: Vec<DecisionRecord> = decisions_path.map_or_else(Vec::new, |p| {
-        read_or_exit(&p)
-            .lines()
-            .filter(|l| !l.trim().is_empty())
-            .map(|l| {
-                serde_json::from_str(l).unwrap_or_else(|e| {
-                    eprintln!("error: malformed decision line in {}: {e:?}", p.display());
-                    std::process::exit(2);
-                })
-            })
-            .collect()
-    });
-
-    let diagnosis = match diagnose(&trace_text, metrics.as_ref(), &decisions) {
-        Ok(d) => d,
-        Err(e) => {
+    // Flight diagnosis: standalone, or the merge donor when a trace is
+    // also present.
+    let flight_diagnosis = flight_path.map(|arg| {
+        let dump_path = resolve_flight_path(&arg);
+        let dump_text = read_or_exit(&dump_path);
+        let d = diagnose_flight(&dump_text).unwrap_or_else(|e| {
             eprintln!("error: {e}");
             std::process::exit(1);
-        }
+        });
+        (dump_path, d)
+    });
+
+    // Trace diagnosis, with sidecar discovery (explicit flag, else the
+    // harness's conventional path next to the trace).
+    let trace_diagnosis = trace_path.as_ref().map(|trace_path| {
+        let trace_text = read_or_exit(trace_path);
+        let metrics_path = metrics_path.clone().or_else(|| {
+            let p = metrics_sidecar(trace_path);
+            p.exists().then_some(p)
+        });
+        let metrics: Option<MetricsSnapshot> = metrics_path.map(|p| {
+            serde_json::from_str(&read_or_exit(&p)).unwrap_or_else(|e| {
+                eprintln!("error: malformed metrics snapshot {}: {e:?}", p.display());
+                std::process::exit(2);
+            })
+        });
+        let decisions_path = decisions_path.clone().or_else(|| {
+            let p = decisions_sidecar(trace_path);
+            p.exists().then_some(p)
+        });
+        let decisions: Vec<DecisionRecord> = decisions_path.map_or_else(Vec::new, |p| {
+            read_or_exit(&p)
+                .lines()
+                .filter(|l| !l.trim().is_empty())
+                .map(|l| {
+                    serde_json::from_str(l).unwrap_or_else(|e| {
+                        eprintln!("error: malformed decision line in {}: {e:?}", p.display());
+                        std::process::exit(2);
+                    })
+                })
+                .collect()
+        });
+        diagnose(&trace_text, metrics.as_ref(), &decisions).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        })
+    });
+
+    let (mut diagnosis, stem_source) = match (trace_diagnosis, flight_diagnosis) {
+        (Some(t), Some((_, f))) => (merge_diagnoses(&t, &f), trace_path.clone().unwrap()),
+        (Some(t), None) => (t, trace_path.clone().unwrap()),
+        (None, Some((p, f))) => (f, p),
+        (None, None) => unreachable!("usage() rejected the empty invocation"),
     };
+
+    // Telemetry stream: explicit flag, else the `.telemetry.jsonl` sidecar
+    // next to the trace.
+    let telemetry_path = telemetry_path.or_else(|| {
+        trace_path.as_ref().and_then(|t| {
+            let p = telemetry_sidecar(t);
+            p.exists().then_some(p)
+        })
+    });
+    if let Some(p) = telemetry_path {
+        let mut lines = parse_telemetry_stream(&read_or_exit(&p)).unwrap_or_else(|e| {
+            eprintln!("error: malformed telemetry stream {}: {e}", p.display());
+            std::process::exit(2);
+        });
+        if let Some(text) = &slo_text {
+            let specs = parse_slo_specs(text).unwrap_or_else(|e| {
+                eprintln!("error: bad --slo spec: {e}");
+                std::process::exit(2);
+            });
+            let frames: Vec<TickFrame> = lines
+                .iter()
+                .filter_map(|l| match l {
+                    TelemetryLine::Frame(f) => Some(f.clone()),
+                    _ => None,
+                })
+                .collect();
+            if frames.is_empty() {
+                eprintln!("error: --slo given but the telemetry stream carries no frames");
+                std::process::exit(2);
+            }
+            lines.extend(
+                evaluate_slos(&specs, &frames)
+                    .into_iter()
+                    .map(TelemetryLine::Slo),
+            );
+        }
+        attach_telemetry(&mut diagnosis, &lines);
+    } else if let Some(text) = &slo_text {
+        // --slo without any frame source cannot be evaluated.
+        let _ = parse_slo_specs(text).unwrap_or_else(|e| {
+            eprintln!("error: bad --slo spec: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("error: --slo needs --telemetry (or a .telemetry.jsonl sidecar) to evaluate");
+        std::process::exit(2);
+    }
+
     if diagnosis.is_empty() {
         eprintln!(
-            "error: empty diagnosis ({} events parsed but no iterations reconstructed)",
+            "error: empty diagnosis ({} events but no iterations reconstructed)",
             diagnosis.events
         );
         std::process::exit(1);
@@ -188,10 +237,10 @@ fn main() {
 
     print!("{}", render(&diagnosis));
 
-    let stem = trace_path
+    let stem = stem_source
         .file_stem()
         .and_then(|s| s.to_str())
-        .unwrap_or("trace")
+        .unwrap_or("run")
         .replace(['.', '-'], "_");
     let sink = out_dir.map_or_else(ResultSink::default_location, ResultSink::new);
     match sink.write_json(&format!("doctor_{stem}"), &diagnosis) {

@@ -1,0 +1,228 @@
+//! `telemetry_smoke` — CI gate for the telemetry plane (DESIGN.md §14).
+//!
+//! Two checks, both deterministic:
+//!
+//! 1. **Seeded slowdown, detected ±1 tick.** A synthetic per-tick stream
+//!    runs at a steady iteration time until `--slowdown-at`, where it
+//!    slows by `--slowdown-factor`. The stream is fed through the real
+//!    `Instruments::record_tick` path (frames and anomalies land on the
+//!    `--telemetry-out` JSONL feed `lobster_top` tails), and the first
+//!    throughput-cliff firing must sit within ±1 tick of the seeded
+//!    onset; the level-shift detector must localize the same onset.
+//! 2. **Live crash/rejoin, attributed online.** The live engine runs a
+//!    scheduled node crash (tick 2) and rejoin (tick 5); the online
+//!    membership-change firings must carry exactly those ticks and masks.
+//!
+//! ```text
+//! telemetry_smoke [--telemetry-out <file>] [--ticks <n>]
+//!                 [--slowdown-at <tick>] [--slowdown-factor <n>]
+//!                 [--slo <specs>]
+//! ```
+//!
+//! `--slo` evaluates the §14 spec grammar over the synthetic stream's
+//! frames at the end (verdicts also land on the JSONL feed). Exit codes:
+//! `0` — detections and SLOs all good; `1` — a detector missed its tick
+//! budget or an SLO is violated; `2` — usage or I/O errors.
+
+use lobster_metrics::{parse_slo_specs, DetectorKind, Instruments, TickScalars};
+use lobster_runtime::{run_with, EngineConfig, SyntheticStore};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: telemetry_smoke [--telemetry-out <file>] [--ticks <n>]\n\
+         \x20                      [--slowdown-at <tick>] [--slowdown-factor <n>] [--slo <specs>]"
+    );
+    std::process::exit(2);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("TELEMETRY SMOKE FAILED: {msg}");
+    std::process::exit(1);
+}
+
+/// The synthetic per-tick workload: a healthy pipeline with a small
+/// deterministic wiggle, slowed by `factor` from `slow_at` onward.
+fn frame(tick: u64, slow_at: u64, factor: u64) -> TickScalars {
+    let base_iter = 10_000 + (tick % 5) * 16;
+    let iter_us = if tick >= slow_at {
+        base_iter * factor
+    } else {
+        base_iter
+    };
+    TickScalars {
+        tick,
+        gap_us: 900 + (tick % 7) * 3,
+        iter_us,
+        local_hits: 52,
+        remote_hits: 9,
+        misses: 3,
+        prefetched: 12,
+        evictions: 4,
+        retries: 0,
+        delivered: 64,
+        preproc_workers: 2,
+        loader_workers: 6,
+        down_mask: 0,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = PathBuf::from("telemetry_smoke.jsonl");
+    let mut ticks = 48u64;
+    let mut slow_at = 24u64;
+    let mut factor = 3u64;
+    let mut slo_text: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--telemetry-out" | "--ticks" | "--slowdown-at" | "--slowdown-factor" | "--slo" => {
+                if i + 1 >= args.len() {
+                    usage();
+                }
+                let value = &args[i + 1];
+                match args[i].as_str() {
+                    "--telemetry-out" => out_path = PathBuf::from(value),
+                    "--ticks" => ticks = value.parse().unwrap_or_else(|_| usage()),
+                    "--slowdown-at" => slow_at = value.parse().unwrap_or_else(|_| usage()),
+                    "--slowdown-factor" => factor = value.parse().unwrap_or_else(|_| usage()),
+                    _ => slo_text = Some(value.clone()),
+                }
+                i += 2;
+            }
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    if slow_at + 2 > ticks || factor < 3 {
+        // The cliff detector wants a > 2x tick-over-tick jump, and the
+        // stream needs post-onset room for CUSUM to localize the shift.
+        usage();
+    }
+    let specs = slo_text
+        .as_deref()
+        .map(|t| {
+            parse_slo_specs(t).unwrap_or_else(|e| {
+                eprintln!("error: bad --slo spec: {e}");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or_default();
+
+    // ---- 1. Seeded slowdown through the real record path. ----
+    let ins = Instruments::enabled();
+    if let Err(e) = ins.set_telemetry_out(&out_path) {
+        eprintln!("error: cannot open {}: {e}", out_path.display());
+        std::process::exit(2);
+    }
+    for t in 0..ticks {
+        ins.record_tick(frame(t, slow_at, factor));
+    }
+    let verdicts = ins.evaluate_slos(&specs);
+    ins.flush_telemetry();
+
+    let anomalies = ins.telemetry_anomalies();
+    let first_cliff = anomalies
+        .iter()
+        .find(|a| a.kind == DetectorKind::ThroughputCliff)
+        .unwrap_or_else(|| fail("seeded slowdown fired no throughput-cliff anomaly"));
+    if first_cliff.tick.abs_diff(slow_at) > 1 {
+        fail(&format!(
+            "throughput-cliff at tick {} — outside ±1 of the seeded onset {slow_at}",
+            first_cliff.tick
+        ));
+    }
+    println!(
+        "telemetry smoke: slowdown seeded at tick {slow_at} (factor {factor}), \
+         throughput-cliff fired at tick {} — within ±1",
+        first_cliff.tick
+    );
+    let shift = anomalies
+        .iter()
+        .find(|a| a.kind == DetectorKind::LevelShift)
+        .unwrap_or_else(|| fail("seeded slowdown fired no level-shift anomaly"));
+    if shift.onset_tick.abs_diff(slow_at) > 1 {
+        fail(&format!(
+            "level-shift localized onset tick {} — outside ±1 of the seeded onset {slow_at}",
+            shift.onset_tick
+        ));
+    }
+    println!(
+        "telemetry smoke: level-shift fired at tick {} with onset localized to tick {}",
+        shift.tick, shift.onset_tick
+    );
+    println!("telemetry smoke: stream -> {}", out_path.display());
+
+    // ---- 2. Live engine crash/rejoin, attributed online. ----
+    let dataset = lobster_data::Dataset::generate(
+        "telemetry-smoke",
+        96,
+        lobster_data::SizeDistribution::Uniform {
+            lo: 1_000,
+            hi: 8_000,
+        },
+        17,
+    );
+    let cfg = EngineConfig {
+        consumers: 2,
+        batch_size: 4,
+        loader_threads: 3,
+        preproc_threads: 2,
+        epochs: 2,
+        seed: 17,
+        train: Duration::from_micros(200),
+        crashes: vec![lobster_storage::CrashSpec {
+            node: 1,
+            tick: 2,
+            rejoin: Some(5),
+        }],
+        peer_nodes: 3,
+        ..EngineConfig::default()
+    };
+    let store = Arc::new(SyntheticStore::new(dataset, Duration::ZERO, 0.0));
+    let eng_ins = Instruments::enabled();
+    let report = run_with(store, cfg, eng_ins.clone());
+    if report.aborted {
+        fail("crash/rejoin engine run aborted");
+    }
+    let membership: Vec<_> = report
+        .anomalies
+        .iter()
+        .filter(|a| a.kind == DetectorKind::MembershipChange)
+        .collect();
+    let attributed = membership.len() == 2
+        && (membership[0].tick, membership[0].value) == (2, 2)
+        && (membership[1].tick, membership[1].value) == (5, 0);
+    if !attributed {
+        fail(&format!(
+            "crash at tick 2 / rejoin at tick 5 misattributed: {membership:?}"
+        ));
+    }
+    println!(
+        "telemetry smoke: live engine crash@2/rejoin@5 attributed online \
+         ({} total anomaly firing(s))",
+        report.anomalies.len()
+    );
+
+    // ---- SLO verdicts over the synthetic stream. ----
+    let mut violated = false;
+    for v in &verdicts {
+        println!(
+            "telemetry smoke: slo {} — {} of {} frame(s) violating, burn {:.1}% — {}",
+            v.spec,
+            v.violations,
+            v.frames,
+            v.burn_pct,
+            if v.pass { "PASS" } else { "FAIL" }
+        );
+        violated |= !v.pass;
+    }
+    if violated {
+        eprintln!("TELEMETRY SMOKE FAILED: violated SLO");
+        std::process::exit(1);
+    }
+    println!("telemetry smoke passed");
+}

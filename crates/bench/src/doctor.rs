@@ -19,7 +19,7 @@
 use lobster_metrics::timeline::{parse_trace, Timeline, TimelineError};
 use lobster_metrics::{
     AnalysisConfig, AnalysisReport, BottleneckAnalyzer, DecisionRecord, FlightDump, FlightEvent,
-    FlightTier, GpuIterSample, MetricsSnapshot, Table,
+    FlightTier, GpuIterSample, MetricsSnapshot, SloVerdict, Table, TelemetryLine,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -89,6 +89,24 @@ pub struct MembershipNote {
     pub phase: String,
 }
 
+/// One detector firing placed on the run timeline (from the telemetry
+/// sidecar / stream, or `Anomaly` flight events), attributed to the run
+/// phase its tick landed in.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AnomalyNote {
+    /// Detector label (`gap-spike`, `level-shift`, `throughput-cliff`,
+    /// `hit-rate-regression`, `membership-change`).
+    pub kind: String,
+    pub tick: u64,
+    /// First tick of the triggering window (CUSUM onset; otherwise the
+    /// firing tick).
+    pub onset_tick: u64,
+    pub value: u64,
+    pub baseline: u64,
+    pub severity: u64,
+    pub phase: String,
+}
+
 /// The straggler call, when the attribution names one.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct StragglerCall {
@@ -116,6 +134,11 @@ pub struct Diagnosis {
     /// Crash/rejoin transitions with phase attribution (empty when the run
     /// had no crash schedule).
     pub membership: Vec<MembershipNote>,
+    /// Online detector firings with phase attribution (from the telemetry
+    /// sidecar or `Anomaly` flight events).
+    pub anomalies: Vec<AnomalyNote>,
+    /// SLO verdicts from the telemetry sidecar (empty without one).
+    pub slo: Vec<SloVerdict>,
     /// Cluster-dominant pipeline bottleneck label.
     pub top_bottleneck: Option<String>,
     pub straggler: Option<StragglerCall>,
@@ -421,10 +444,183 @@ pub fn diagnose(
         solver,
         faults,
         membership,
+        anomalies: Vec::new(),
+        slo: Vec::new(),
         top_bottleneck,
         straggler,
         verdicts,
     })
+}
+
+/// Join a parsed `--telemetry-out` stream (or `.telemetry.jsonl` sidecar)
+/// into an existing diagnosis: anomaly records land on the timeline with
+/// phase attribution, SLO verdicts fill the SLO table, and both get a
+/// findings line. Anomalies already present (e.g. from `Anomaly` flight
+/// events) are deduped by (kind, tick).
+pub fn attach_telemetry(d: &mut Diagnosis, lines: &[TelemetryLine]) {
+    let iter_numbers: Vec<u64> = (0..d.iterations).collect();
+    for line in lines {
+        match line {
+            TelemetryLine::Anomaly(a) => {
+                let kind = a.kind.label().to_string();
+                if d.anomalies
+                    .iter()
+                    .any(|n| n.kind == kind && n.tick == a.tick)
+                {
+                    continue;
+                }
+                d.anomalies.push(AnomalyNote {
+                    kind,
+                    tick: a.tick,
+                    onset_tick: a.onset_tick,
+                    value: a.value,
+                    baseline: a.baseline,
+                    severity: a.severity,
+                    phase: phase_of(&iter_numbers, a.tick),
+                });
+            }
+            TelemetryLine::Slo(v) => d.slo.push(v.clone()),
+            TelemetryLine::Frame(_) => {}
+        }
+    }
+    d.anomalies
+        .sort_by(|a, b| (a.tick, a.kind.as_str()).cmp(&(b.tick, b.kind.as_str())));
+    if !d.anomalies.is_empty() {
+        d.verdicts.push(anomaly_verdict(&d.anomalies));
+    }
+    let failed = d.slo.iter().filter(|v| !v.pass).count();
+    if !d.slo.is_empty() {
+        d.verdicts.push(format!(
+            "SLO: {} of {} spec(s) violated",
+            failed,
+            d.slo.len()
+        ));
+    }
+}
+
+/// Summarize the anomaly timeline into one findings line.
+fn anomaly_verdict(anomalies: &[AnomalyNote]) -> String {
+    let mut kinds: Vec<&str> = anomalies.iter().map(|a| a.kind.as_str()).collect();
+    kinds.sort_unstable();
+    kinds.dedup();
+    format!(
+        "anomalies: {} firing(s) across {} detector(s) (first at tick {}, last at tick {})",
+        anomalies.len(),
+        kinds.len(),
+        anomalies.first().map_or(0, |a| a.tick),
+        anomalies.last().map_or(0, |a| a.tick),
+    )
+}
+
+/// The shared fault family behind the three reporting channels: trace
+/// `fault_*` instants, flight-recorder `Fault` events, and the engine's
+/// exported counters all describe the same underlying incidents, so a
+/// merged diagnosis must count each family once, not once per channel.
+fn canonical_fault_family(name: &str) -> &str {
+    match name {
+        "trace.fault_transient" | "flight.transient" => "transient",
+        "trace.fault_corruption" | "flight.corruption" | "engine.corruptions_detected" => {
+            "corruption"
+        }
+        "trace.fault_deadline" | "flight.deadline" | "engine.deadline_exceeded" => "deadline",
+        "trace.fault_worker_panic" | "flight.worker_panic" | "engine.worker_panics" => {
+            "worker_panic"
+        }
+        "trace.fault_peer_down" | "flight.peer_down" => "peer_down",
+        "flight.retry" | "engine.retries" => "retry",
+        other => other,
+    }
+}
+
+/// Merge a trace-based diagnosis with a flight-dump diagnosis of the same
+/// run. The trace side is authoritative (full timeline, cache, solver);
+/// the flight side contributes only what the trace did not already report:
+/// fault families the trace missed, membership transitions outside the
+/// trace's instants, anomalies and tier histograms unique to the window —
+/// so overlapping findings appear once instead of once per source.
+pub fn merge_diagnoses(trace: &Diagnosis, flight: &Diagnosis) -> Diagnosis {
+    let mut out = trace.clone();
+    out.events = trace.events.max(flight.events);
+    out.iterations = trace.iterations.max(flight.iterations);
+
+    // Faults: one row per canonical family; the trace's count wins when
+    // both channels saw the family.
+    for f in &flight.faults {
+        let family = canonical_fault_family(&f.name);
+        if !out
+            .faults
+            .iter()
+            .any(|t| canonical_fault_family(&t.name) == family)
+        {
+            out.faults.push(f.clone());
+        }
+    }
+
+    // Membership: exact-key dedupe.
+    for m in &flight.membership {
+        if !out
+            .membership
+            .iter()
+            .any(|t| (t.tick, t.node, t.crashed) == (m.tick, m.node, m.crashed))
+        {
+            out.membership.push(m.clone());
+        }
+    }
+    out.membership.sort_by_key(|m| (m.tick, m.crashed, m.node));
+
+    // Anomalies: dedupe by (kind, tick).
+    for a in &flight.anomalies {
+        if !out
+            .anomalies
+            .iter()
+            .any(|t| t.kind == a.kind && t.tick == a.tick)
+        {
+            out.anomalies.push(a.clone());
+        }
+    }
+    out.anomalies
+        .sort_by(|a, b| (a.tick, a.kind.as_str()).cmp(&(b.tick, b.kind.as_str())));
+
+    // Tier latency: the flight histograms fill tiers the trace lacked.
+    for t in &flight.tiers {
+        if !out.tiers.iter().any(|have| have.tier == t.tier) {
+            out.tiers.push(t.clone());
+        }
+    }
+
+    // SLO verdicts only ever come from one source (the telemetry stream).
+    if out.slo.is_empty() {
+        out.slo = flight.slo.clone();
+    }
+
+    // Findings: keep the trace's, minus the lines we recompute from the
+    // merged tables; carry the flight trigger line for provenance.
+    out.verdicts.retain(|v| {
+        !v.starts_with("membership:")
+            && !v.contains("fault event(s)")
+            && !v.starts_with("anomalies:")
+    });
+    if let Some(trigger) = flight
+        .verdicts
+        .iter()
+        .find(|v| v.starts_with("flight dump trigger:"))
+    {
+        out.verdicts.push(trigger.clone());
+    }
+    if !out.faults.is_empty() {
+        let total: u64 = out.faults.iter().map(|f| f.count).sum();
+        out.verdicts.push(format!(
+            "{total} fault event(s) recorded and recovered across {} families",
+            out.faults.len()
+        ));
+    }
+    if !out.membership.is_empty() {
+        out.verdicts.push(membership_verdict(&out.membership));
+    }
+    if !out.anomalies.is_empty() {
+        out.verdicts.push(anomaly_verdict(&out.anomalies));
+    }
+    out
 }
 
 /// Diagnose a run from a flight-recorder dump (`flightdump_*.json`)
@@ -443,6 +639,7 @@ pub fn diagnose_flight(dump_text: &str) -> Result<Diagnosis, String> {
     let mut flip_ticks = 0u64;
     let mut flips_total = 0u64;
     let mut member_raw: Vec<(u64, u32, bool)> = Vec::new();
+    let mut anomaly_raw: Vec<(u64, lobster_metrics::DetectorKind, u64, u64)> = Vec::new();
     for rec in &dump.events {
         match rec.event {
             FlightEvent::Stage {
@@ -487,6 +684,12 @@ pub fn diagnose_flight(dump_text: &str) -> Result<Diagnosis, String> {
                 node,
                 crashed,
             } => member_raw.push((tick, node, crashed)),
+            FlightEvent::Anomaly {
+                kind,
+                tick,
+                value,
+                baseline,
+            } => anomaly_raw.push((tick, kind, value, baseline)),
         }
     }
 
@@ -612,6 +815,25 @@ pub fn diagnose_flight(dump_text: &str) -> Result<Diagnosis, String> {
         verdicts.push(membership_verdict(&membership));
     }
 
+    // Anomaly flight events onto the timeline (the dump's fixed-size
+    // variant carries no onset/severity; the telemetry sidecar does).
+    anomaly_raw.sort_by_key(|&(tick, kind, ..)| (tick, kind.label()));
+    let anomalies: Vec<AnomalyNote> = anomaly_raw
+        .into_iter()
+        .map(|(tick, kind, value, baseline)| AnomalyNote {
+            kind: kind.label().to_string(),
+            tick,
+            onset_tick: tick,
+            value,
+            baseline,
+            severity: 0,
+            phase: phase_of(&iter_numbers, tick),
+        })
+        .collect();
+    if !anomalies.is_empty() {
+        verdicts.push(anomaly_verdict(&anomalies));
+    }
+
     // Iterations seen: Stage groups are authoritative; fall back to the
     // Iteration gap events when a dump holds only those.
     let iterations = (by_iter.len() as u64).max(gap_events);
@@ -626,6 +848,8 @@ pub fn diagnose_flight(dump_text: &str) -> Result<Diagnosis, String> {
         solver: Vec::new(),
         faults,
         membership,
+        anomalies,
+        slo: Vec::new(),
         top_bottleneck,
         straggler,
         verdicts,
@@ -723,6 +947,49 @@ pub fn render(d: &Diagnosis) -> String {
             out.push_str(&format!("  {}  {}\n", f.name, f.count));
         }
     }
+
+    if !d.anomalies.is_empty() {
+        out.push_str("\n== anomaly timeline ==\n");
+        let mut t = Table::new(["tick", "detector", "value", "baseline", "onset", "phase"]);
+        for a in &d.anomalies {
+            t.row([
+                a.tick.to_string(),
+                a.kind.clone(),
+                a.value.to_string(),
+                a.baseline.to_string(),
+                a.onset_tick.to_string(),
+                a.phase.clone(),
+            ]);
+        }
+        out.push_str(&t.render());
+    }
+
+    if !d.slo.is_empty() {
+        out.push_str("\n== slo ==\n");
+        let mut t = Table::new([
+            "spec",
+            "frames",
+            "violations",
+            "burn",
+            "worst tick",
+            "verdict",
+        ]);
+        for v in &d.slo {
+            t.row([
+                v.spec.clone(),
+                v.frames.to_string(),
+                v.violations.to_string(),
+                format!("{:.1}%", v.burn_pct),
+                if v.violations > 0 {
+                    v.worst_tick.to_string()
+                } else {
+                    "-".to_string()
+                },
+                if v.pass { "PASS" } else { "FAIL" }.to_string(),
+            ]);
+        }
+        out.push_str(&t.render());
+    }
     out
 }
 
@@ -786,6 +1053,7 @@ mod tests {
             gap_s: Some(0.02),
             evals: 6,
             converged: true,
+            anomalies_before: 0,
         };
         (buf.chrome_trace_json(), vec![decision])
     }
@@ -904,5 +1172,178 @@ mod tests {
     fn flight_diagnosis_rejects_foreign_json() {
         assert!(diagnose_flight("{}").is_err());
         assert!(diagnose_flight("{\"kind\":\"other\"}").is_err());
+    }
+
+    #[test]
+    fn telemetry_sidecar_attaches_anomalies_and_slo_sections() {
+        use lobster_metrics::{Anomaly, DetectorKind, SloVerdict};
+
+        let (trace, decisions) = synthetic_trace();
+        let mut d = diagnose(&trace, None, &decisions).unwrap();
+        let lines = vec![
+            TelemetryLine::Anomaly(Anomaly {
+                kind: DetectorKind::ThroughputCliff,
+                tick: 2,
+                onset_tick: 2,
+                value: 130_000,
+                baseline: 60_000,
+                severity: 554,
+            }),
+            TelemetryLine::Slo(SloVerdict {
+                spec: "gap_us<100".to_string(),
+                frames: 3,
+                violations: 3,
+                burn_pct: 100.0,
+                worst_tick: 0,
+                worst_value: 80_000.0,
+                pass: false,
+            }),
+        ];
+        attach_telemetry(&mut d, &lines);
+        assert_eq!(d.anomalies.len(), 1);
+        assert_eq!(d.anomalies[0].kind, "throughput-cliff");
+        assert_eq!(d.anomalies[0].phase, "tail", "tick 2 of 3 is the tail");
+        assert_eq!(d.slo.len(), 1);
+        // Re-attaching the same anomaly dedupes; the SLO table appends.
+        attach_telemetry(&mut d, &lines[..1]);
+        assert_eq!(d.anomalies.len(), 1);
+
+        let text = render(&d);
+        assert!(text.contains("== anomaly timeline =="), "{text}");
+        assert!(text.contains("throughput-cliff"));
+        assert!(text.contains("== slo =="));
+        assert!(text.contains("FAIL"));
+        assert!(d.verdicts.iter().any(|v| v.starts_with("anomalies:")));
+        assert!(d
+            .verdicts
+            .iter()
+            .any(|v| v.contains("1 of 1 spec(s) violated")));
+    }
+
+    /// Satellite regression: a run reported through BOTH the trace and a
+    /// flight dump must not double-report the same fault family or
+    /// membership transition in the merged diagnosis.
+    #[test]
+    fn merged_trace_plus_flight_diagnosis_dedupes_overlapping_findings() {
+        use lobster_metrics::{FlightEvent, FlightFault, FlightRecorder};
+
+        // Trace side: one transient fault instant plus a membership pair.
+        let (trace_json, decisions) = {
+            let buf = TraceBuffer::new();
+            let mut t0 = 0u64;
+            for h in 0..3u64 {
+                for gpu in 0..2u32 {
+                    let pipe = if gpu == 1 { 60_000 } else { 10_000 };
+                    buf.push(
+                        TraceEvent::span("fetch", "io", t0, pipe)
+                            .pid(0)
+                            .tid(gpu)
+                            .arg_u("pfs", 1),
+                    );
+                    buf.push(
+                        TraceEvent::span("train", "compute", t0 + pipe, 50_000)
+                            .pid(0)
+                            .tid(gpu)
+                            .arg_u("iter", h),
+                    );
+                    let arrival = t0 + pipe + 50_000;
+                    let end = t0 + 60_000 + 50_000;
+                    buf.push(
+                        TraceEvent::span("barrier_wait", "sync", arrival, end - arrival)
+                            .pid(0)
+                            .tid(gpu)
+                            .arg_u("iter", h),
+                    );
+                }
+                t0 += 110_000;
+            }
+            buf.push(TraceEvent::instant("fault_transient", "fault", 1_000).pid(0));
+            buf.push(
+                TraceEvent::instant("node_crash", "membership", 2_000)
+                    .pid(1)
+                    .arg_u("iter", 1)
+                    .arg_u("node", 1),
+            );
+            (buf.chrome_trace_json(), Vec::new())
+        };
+        let trace_d = diagnose(&trace_json, None, &decisions).unwrap();
+
+        // Flight side: the SAME transient fault and crash, plus one fault
+        // family (deadline) and one membership event the trace missed.
+        let rec = FlightRecorder::new(64);
+        rec.record(
+            1_000,
+            FlightEvent::Fault {
+                kind: FlightFault::Transient,
+                sample: 7,
+            },
+        );
+        rec.record(
+            3_000,
+            FlightEvent::Fault {
+                kind: FlightFault::Deadline,
+                sample: 9,
+            },
+        );
+        rec.record(
+            2_000,
+            FlightEvent::MembershipChange {
+                tick: 1,
+                node: 1,
+                crashed: true,
+            },
+        );
+        rec.record(
+            4_000,
+            FlightEvent::MembershipChange {
+                tick: 2,
+                node: 1,
+                crashed: false,
+            },
+        );
+        let flight_d = diagnose_flight(&rec.dump("test").to_json()).unwrap();
+
+        let merged = merge_diagnoses(&trace_d, &flight_d);
+
+        // One transient row (trace's), one deadline row (flight-only).
+        let transient: Vec<&FaultCount> = merged
+            .faults
+            .iter()
+            .filter(|f| canonical_fault_family(&f.name) == "transient")
+            .collect();
+        assert_eq!(transient.len(), 1, "deduped: {:?}", merged.faults);
+        assert_eq!(transient[0].name, "trace.fault_transient");
+        assert!(merged
+            .faults
+            .iter()
+            .any(|f| canonical_fault_family(&f.name) == "deadline"));
+
+        // Crash at tick 1 appears once; the flight-only rejoin survives.
+        let crashes: Vec<&MembershipNote> = merged
+            .membership
+            .iter()
+            .filter(|m| m.crashed && m.tick == 1 && m.node == 1)
+            .collect();
+        assert_eq!(crashes.len(), 1, "deduped: {:?}", merged.membership);
+        assert!(merged.membership.iter().any(|m| !m.crashed && m.tick == 2));
+
+        // Findings mention each family once and carry flight provenance.
+        let fault_lines: Vec<&String> = merged
+            .verdicts
+            .iter()
+            .filter(|v| v.contains("fault event(s)"))
+            .collect();
+        assert_eq!(fault_lines.len(), 1, "{:?}", merged.verdicts);
+        let member_lines: Vec<&String> = merged
+            .verdicts
+            .iter()
+            .filter(|v| v.starts_with("membership:"))
+            .collect();
+        assert_eq!(member_lines.len(), 1);
+        assert!(member_lines[0].contains("1 crash(es), 1 rejoin(s)"));
+        assert!(merged
+            .verdicts
+            .iter()
+            .any(|v| v.starts_with("flight dump trigger:")));
     }
 }

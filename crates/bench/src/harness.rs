@@ -10,7 +10,7 @@
 
 use lobster_core::{LoaderPolicy, ModelProfile};
 use lobster_data::Dataset;
-use lobster_metrics::Instruments;
+use lobster_metrics::{Instruments, TelemetryLine};
 use lobster_pipeline::{ClusterSim, ConfigBuilder, ExperimentConfig, RunReport};
 use lobster_storage::FaultSpec;
 use serde::{Deserialize, Serialize};
@@ -245,13 +245,22 @@ pub fn decisions_sidecar(trace_out: &Path) -> PathBuf {
     PathBuf::from(format!("{}.decisions.jsonl", trace_out.display()))
 }
 
+/// Sidecar path `<trace>.telemetry.jsonl` next to a trace output file:
+/// the per-tick frame / anomaly / SLO stream `lobster_top` tails and
+/// `lobster_doctor --telemetry` joins into its diagnosis.
+pub fn telemetry_sidecar(trace_out: &Path) -> PathBuf {
+    PathBuf::from(format!("{}.telemetry.jsonl", trace_out.display()))
+}
+
 /// End-of-run observability output: print the metrics snapshot, the
 /// decision count, and the online analyzer's conclusions, then write the
-/// Chrome trace (Perfetto-viewable) to `trace_out` if given, plus two
+/// Chrome trace (Perfetto-viewable) to `trace_out` if given, plus the
 /// sidecars `lobster_doctor` ingests alongside the trace:
-/// `<trace>.metrics.json` (the snapshot) and `<trace>.decisions.jsonl`
-/// (the controller decision log). A disabled bundle prints and writes
-/// nothing.
+/// `<trace>.metrics.json` (the snapshot), `<trace>.decisions.jsonl`
+/// (the controller decision log), and — when the run recorded telemetry
+/// ticks — `<trace>.telemetry.jsonl` (retained frames and anomalies, the
+/// same line format as a live `--telemetry-out` stream). A disabled
+/// bundle prints and writes nothing.
 pub fn write_observability(ins: &Instruments, trace_out: Option<&Path>) {
     if !ins.is_enabled() {
         return;
@@ -296,6 +305,18 @@ pub fn write_observability(ins: &Instruments, trace_out: Option<&Path>) {
         outputs.push((metrics_sidecar(path), snapshot.to_json()));
         if let Some(decisions) = ins.decisions_jsonl() {
             outputs.push((decisions_sidecar(path), decisions));
+        }
+        if let Some(snap) = ins.telemetry_snapshot().filter(|s| s.ticks > 0) {
+            let mut stream = String::new();
+            for f in &snap.frames {
+                stream.push_str(&TelemetryLine::Frame(f.clone()).to_json());
+                stream.push('\n');
+            }
+            for a in &snap.anomalies {
+                stream.push_str(&TelemetryLine::Anomaly(*a).to_json());
+                stream.push('\n');
+            }
+            outputs.push((telemetry_sidecar(path), stream));
         }
         for (out, contents) in outputs {
             match std::fs::write(&out, contents) {

@@ -1,7 +1,8 @@
 //! The recorded benchmark trajectory behind `lobster_perf` (DESIGN.md §12).
 //!
-//! A standardized scenario matrix — steady-state delivery, a mid-run
-//! preprocessing shock, a ≥5 % fault storm, and elastic churn — runs on
+//! A standardized scenario matrix — steady-state delivery, the same
+//! workload with the full telemetry plane live, a mid-run preprocessing
+//! shock, a ≥5 % fault storm, elastic churn, and a node crash — runs on
 //! the *live* engine at a small fixed scale. Each scenario records
 //! p50/p95/p99 per-sample latency (a [`LogHistogram`] over per-iteration
 //! delivery times), throughput, and allocation counts into a
@@ -43,6 +44,10 @@ pub struct Scenario {
     pub dataset_samples: u32,
     pub sample_bytes: u64,
     pub faults: Option<FaultSpec>,
+    /// Run with enabled instruments (telemetry plane live): the measured
+    /// cost of full observability, vs the disabled hot path everywhere
+    /// else in the matrix.
+    pub telemetry: bool,
 }
 
 /// The standardized matrix. `quick` halves epochs for the CI smoke run;
@@ -70,6 +75,19 @@ pub fn scenario_matrix(quick: bool) -> Vec<Scenario> {
             dataset_samples: samples,
             sample_bytes: 4_000,
             faults: None,
+            telemetry: false,
+        },
+        Scenario {
+            // The steady-state workload again, but with the full
+            // observability stack live (metrics, flight recorder,
+            // per-tick telemetry + online detectors): the trajectory
+            // records what turning everything on actually costs.
+            name: "telemetry_on",
+            cfg: base.clone(),
+            dataset_samples: samples,
+            sample_bytes: 4_000,
+            faults: None,
+            telemetry: true,
         },
         Scenario {
             name: "preproc_shock",
@@ -81,6 +99,7 @@ pub fn scenario_matrix(quick: bool) -> Vec<Scenario> {
             dataset_samples: samples,
             sample_bytes: 4_000,
             faults: None,
+            telemetry: false,
         },
         Scenario {
             name: "fault_storm",
@@ -94,6 +113,7 @@ pub fn scenario_matrix(quick: bool) -> Vec<Scenario> {
                 )
                 .expect("fault storm spec parses"),
             ),
+            telemetry: false,
         },
         Scenario {
             name: "elastic_churn",
@@ -105,6 +125,7 @@ pub fn scenario_matrix(quick: bool) -> Vec<Scenario> {
             dataset_samples: samples,
             sample_bytes: 4_000,
             faults: None,
+            telemetry: false,
         },
         Scenario {
             name: "node_crash",
@@ -123,6 +144,7 @@ pub fn scenario_matrix(quick: bool) -> Vec<Scenario> {
             dataset_samples: samples,
             sample_bytes: 4_000,
             faults: None,
+            telemetry: false,
         },
     ]
 }
@@ -276,11 +298,18 @@ pub fn run_scenario(s: &Scenario, allocs: &dyn Fn() -> u64) -> ScenarioResult {
         )),
     };
 
-    // The measured run carries disabled instruments: this is the zero-
-    // observability hot path users actually pay for.
+    // The measured run carries disabled instruments — the zero-
+    // observability hot path users actually pay for — except in the
+    // `telemetry_on` scenario, which deliberately measures the enabled
+    // stack.
+    let ins = if s.telemetry {
+        Instruments::enabled()
+    } else {
+        Instruments::disabled()
+    };
     let a0 = allocs();
     let t0 = Instant::now();
-    let report = run_with(store, s.cfg.clone(), Instruments::disabled());
+    let report = run_with(store, s.cfg.clone(), ins);
     let wall_s = t0.elapsed().as_secs_f64();
     let allocations = allocs().saturating_sub(a0);
 
@@ -518,27 +547,32 @@ mod tests {
                 names,
                 [
                     "steady_state",
+                    "telemetry_on",
                     "preproc_shock",
                     "fault_storm",
                     "elastic_churn",
                     "node_crash"
                 ]
             );
-            let storm = m[2].faults.as_ref().expect("fault storm injects");
+            assert!(
+                m[1].telemetry && m.iter().filter(|s| s.telemetry).count() == 1,
+                "exactly the telemetry_on scenario runs enabled instruments"
+            );
+            let storm = m[3].faults.as_ref().expect("fault storm injects");
             let total =
                 storm.transient_rate + storm.corrupt_rate + storm.stall_rate + storm.poison_rate;
             assert!(total >= 0.05, "fault storm rate {total} must be >= 5%");
             assert!(
-                m[1].cfg.work_factor_step.is_some(),
+                m[2].cfg.work_factor_step.is_some(),
                 "shock steps work factor"
             );
-            assert!(m[3].cfg.elastic_churn, "churn scenario churns");
-            let crash = &m[4].cfg;
+            assert!(m[4].cfg.elastic_churn, "churn scenario churns");
+            let crash = &m[5].cfg;
             assert!(
                 !crash.crashes.is_empty() && crash.peer_nodes > 0,
                 "crash scenario schedules a crash on a routed peer"
             );
-            let total_iters = (m[4].dataset_samples as u64
+            let total_iters = (m[5].dataset_samples as u64
                 / (crash.consumers * crash.batch_size) as u64)
                 * crash.epochs;
             assert!(

@@ -335,6 +335,26 @@ pub fn compare_runs(
         }
     }
 
+    // Telemetry anomaly sequence: the detector bank runs integer arithmetic
+    // over µs-quantized frames, so — like membership — executors must agree
+    // byte-for-byte on every firing (kind, tick, onset, value, baseline,
+    // severity).
+    for (i, (aa, ab)) in lhs.anomalies.iter().zip(&rhs.anomalies).enumerate() {
+        if aa != ab {
+            return Err(c.diverge("anomalies", Some(aa.tick), format!("firing {i}"), aa, ab));
+        }
+    }
+    if lhs.anomalies.len() != rhs.anomalies.len() {
+        let i = lhs.anomalies.len().min(rhs.anomalies.len());
+        return Err(c.diverge(
+            "anomalies",
+            None,
+            format!("firing {i} (extra)"),
+            lhs.anomalies.get(i),
+            rhs.anomalies.get(i),
+        ));
+    }
+
     Ok(())
 }
 
@@ -366,6 +386,7 @@ mod tests {
             remote_hits: 2,
             misses: 3,
             prefetched: 4,
+            anomalies: Vec::new(),
         }
     }
 
@@ -445,6 +466,36 @@ mod tests {
         assert_eq!(d.observable, "membership");
         assert_eq!(d.iteration, Some(0));
         assert_eq!(d.location, "count");
+    }
+
+    #[test]
+    fn anomaly_sequence_mismatch_is_exact_and_reports_firing() {
+        use lobster_metrics::{Anomaly, DetectorKind};
+        let firing = Anomaly {
+            kind: DetectorKind::GapSpike,
+            tick: 3,
+            onset_tick: 3,
+            value: 900,
+            baseline: 100,
+            severity: 8,
+        };
+        let mut a = base();
+        a.anomalies.push(firing);
+        let mut b = base();
+        let mut shifted = firing;
+        shifted.tick = 4; // detector-threshold mutant fires a tick late
+        shifted.onset_tick = 4;
+        b.anomalies.push(shifted);
+        let d = compare_runs("a", &a, "b", &b, 1e-6).unwrap_err();
+        assert_eq!(d.observable, "anomalies");
+        assert_eq!(d.iteration, Some(3));
+        assert_eq!(d.location, "firing 0");
+
+        // A missing trailing firing is also a divergence.
+        let c = base();
+        let d = compare_runs("a", &a, "c", &c, 1e-6).unwrap_err();
+        assert_eq!(d.observable, "anomalies");
+        assert!(d.location.contains("extra"), "{}", d.location);
     }
 
     #[test]

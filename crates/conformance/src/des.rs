@@ -87,6 +87,14 @@ pub struct DesCluster {
     epoch_hits: (u64, u64, u64),
     epoch_prefetched: u64,
     events_scratch: Vec<EvictionEvent>,
+
+    // Telemetry: per-tick frames mirroring ClusterSim's, started in
+    // `semantic_step` and completed (timing fields) at barrier time, then
+    // fed through the detector bank. [`Mutation::DetectorThreshold`] swaps
+    // the bank's thresholds for the mutated set.
+    tele_bank: lobster_metrics::DetectorBank,
+    tele_pending: Option<lobster_metrics::TickScalars>,
+    tele_last_barrier_s: f64,
 }
 
 impl DesCluster {
@@ -127,6 +135,11 @@ impl DesCluster {
             epoch_hits: (0, 0, 0),
             epoch_prefetched: 0,
             events_scratch: Vec::new(),
+            tele_bank: lobster_metrics::DetectorBank::new(
+                lobster_metrics::DetectorConfig::standard(),
+            ),
+            tele_pending: None,
+            tele_last_barrier_s: 0.0,
             policy,
             cfg,
         }
@@ -149,6 +162,13 @@ impl DesCluster {
         }
         if mutation == Mutation::DropCrash {
             self.crash_plan = None;
+        }
+        if mutation == Mutation::DetectorThreshold {
+            // Same detector pipeline, different thresholds: the anomaly
+            // sequence diverges from ClusterSim's on any frame stream that
+            // fires (or suppresses) a detector near a boundary.
+            self.tele_bank =
+                lobster_metrics::DetectorBank::new(lobster_metrics::DetectorConfig::mutated());
         }
         self
     }
@@ -670,6 +690,38 @@ impl DesCluster {
         }
         self.sched_cur = Some(sched);
 
+        // Telemetry frame: everything but the timing fields, which only
+        // exist once the barrier event fires. Tier counts, eviction events,
+        // worker split, and the down mask are the exact quantities
+        // ClusterSim folds into its frame at the same tick.
+        let mut tiers = [0u64; 3];
+        for per in &splits {
+            for s in per {
+                tiers[0] += s.local_count;
+                tiers[1] += s.remote_count;
+                tiers[2] += s.pfs_count;
+            }
+        }
+        let (pw, lw) = match (&elastic_step, self.cfg.elastic.as_ref()) {
+            (Some((d, _)), Some(e)) => (d.preproc_after, e.workers - d.preproc_after),
+            _ => (0u32, self.cfg.cluster.pipeline_threads),
+        };
+        self.tele_pending = Some(lobster_metrics::TickScalars {
+            tick: h_global,
+            gap_us: 0,
+            iter_us: 0,
+            local_hits: tiers[0],
+            remote_hits: tiers[1],
+            misses: tiers[2],
+            prefetched: prefetched.iter().sum(),
+            evictions: self.events_scratch.len() as u64,
+            retries: 0,
+            delivered: tiers[0] + tiers[1] + tiers[2],
+            preproc_workers: pw,
+            loader_workers: lw,
+            down_mask: down,
+        });
+
         self.obs.iterations.push(IterationObservables {
             iteration: h_global,
             tier_counts,
@@ -721,8 +773,25 @@ impl SimWorld for DesCluster {
             }
             Ev::BarrierDone(h) => {
                 let now = sched.now();
-                let rec = self.obs.iterations.last_mut().expect("iteration open");
-                rec.barrier_s = now.as_secs_f64();
+                let barrier_s = now.as_secs_f64();
+                let pipe_s = {
+                    let rec = self.obs.iterations.last_mut().expect("iteration open");
+                    rec.barrier_s = barrier_s;
+                    rec.pipe_s.clone()
+                };
+                if let Some(mut scalars) = self.tele_pending.take() {
+                    // Same Eq.-3 quantities ClusterSim derives: pipeline
+                    // spread with the t_train floor, and barrier-to-barrier
+                    // wall time, both quantized to µs.
+                    let tt = self.cfg.model.t_train_s;
+                    let eff: Vec<f64> = pipe_s.iter().map(|&p| p.max(tt)).collect();
+                    let spread = lobster_core::imbalance_gap_secs(&eff);
+                    scalars.gap_us = (spread * 1e6).round() as u64;
+                    scalars.iter_us = ((barrier_s - self.tele_last_barrier_s) * 1e6).round() as u64;
+                    self.tele_last_barrier_s = barrier_s;
+                    let (bank, anoms) = (&mut self.tele_bank, &mut self.obs.anomalies);
+                    bank.observe(&scalars, |a| anoms.push(a));
+                }
                 if (h + 1) % iters == 0 {
                     self.end_epoch();
                 }

@@ -38,6 +38,11 @@ pub enum Mutation {
     /// the tier splits diverge once the survivors' fostered batches go
     /// missing).
     DropCrash,
+    /// Run the telemetry detector bank with mutated thresholds (lower spike
+    /// bar, shorter warmup, inverted CUSUM slack). The per-tick frames stay
+    /// identical; only the anomaly sequence diverges — proving the harness
+    /// compares detector output itself, not just the inputs it's fed.
+    DetectorThreshold,
 }
 
 impl Mutation {
@@ -51,6 +56,7 @@ impl Mutation {
             Mutation::CapacityKeyLru => "capacity-key-lru",
             Mutation::NeverSteal => "never-steal",
             Mutation::DropCrash => "drop-crash",
+            Mutation::DetectorThreshold => "detector-threshold",
         }
     }
 
@@ -64,12 +70,13 @@ impl Mutation {
             "capacity-key-lru" => Mutation::CapacityKeyLru,
             "never-steal" => Mutation::NeverSteal,
             "drop-crash" => Mutation::DropCrash,
+            "detector-threshold" => Mutation::DetectorThreshold,
             _ => return None,
         })
     }
 
     /// Every real mutation (excluding `None`).
-    pub fn all() -> [Mutation; 6] {
+    pub fn all() -> [Mutation; 7] {
         [
             Mutation::SkipLastCopyGuard,
             Mutation::HorizonOffByOne,
@@ -77,6 +84,7 @@ impl Mutation {
             Mutation::CapacityKeyLru,
             Mutation::NeverSteal,
             Mutation::DropCrash,
+            Mutation::DetectorThreshold,
         ]
     }
 }

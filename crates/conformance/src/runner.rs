@@ -543,6 +543,36 @@ mod tests {
     }
 
     #[test]
+    fn canary_detector_threshold_is_detected_on_elastic_config() {
+        // The 8× work-factor step at epoch 2 shifts the frame stream's
+        // timing fields; the mutated thresholds (lower spike bar, shorter
+        // warmup) fire differently from the standard bank on the exact same
+        // frames, so the anomaly sequence — and only that — diverges.
+        let cfg = elastic_conformance_config(7);
+        match run_canary(&cfg, "lobster", Mutation::DetectorThreshold) {
+            CanaryOutcome::Detected(d) => {
+                assert_eq!(d.observable, "anomalies", "{d}");
+            }
+            CanaryOutcome::Undetected => {
+                panic!("harness missed the mutated detector thresholds")
+            }
+        }
+    }
+
+    #[test]
+    fn elastic_differential_fires_anomalies_in_both_executors() {
+        // The anomaly conformance observable must not be vacuous: the
+        // work-factor step has to actually trip a detector.
+        let cfg = elastic_conformance_config(7);
+        let sim_policy = policy_by_name("lobster").unwrap();
+        let (_, obs) = ClusterSim::new(cfg, sim_policy).run_observed();
+        assert!(
+            !obs.anomalies.is_empty(),
+            "work-factor step fired no detector — anomaly conformance is vacuous"
+        );
+    }
+
+    #[test]
     fn crash_differential_agrees_and_preserves_delivery() {
         let cfg = crash_conformance_config(7);
         let summary = run_differential(&cfg, "lobster").unwrap_or_else(|d| panic!("{d}"));

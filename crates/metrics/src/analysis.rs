@@ -684,6 +684,7 @@ mod tests {
             gap_s: Some(0.05),
             evals: 3,
             converged: true,
+            anomalies_before: 0,
         });
         a.observe_iteration(1, &[sample(0, 0, 0.1, 0.0), sample(0, 1, 0.2, 0.1)]);
         let r = a.report();

@@ -50,6 +50,13 @@ pub struct DecisionRecord {
     /// Whether the search converged (closed the gap / stopped inside its
     /// tolerance window) rather than exhausting its budget.
     pub converged: bool,
+    /// Telemetry anomalies observed before this decision (the hub's
+    /// running count at decision time). Joins each Algorithm-1 / elastic
+    /// decision to the anomaly state that preceded it: a decision with
+    /// `anomalies_before` greater than the previous record's reacted to
+    /// fresh trouble. Stamped by `Instruments::record_decision`; 0 when
+    /// telemetry is off.
+    pub anomalies_before: u32,
 }
 
 /// Bounded, thread-safe list of decisions.
@@ -135,6 +142,7 @@ mod tests {
             gap_s: Some(0.01),
             evals: 4,
             converged: true,
+            anomalies_before: 0,
         }
     }
 

@@ -131,6 +131,24 @@ impl LogHistogram {
             .collect()
     }
 
+    /// Reset to the empty state **in place**, keeping the preallocated
+    /// bucket storage. Rollup accumulators that fold windows of per-tick
+    /// histograms (the telemetry 1×→8×→64× downsample path) reuse one
+    /// histogram per window via `clear()` + [`merge`](Self::merge); a fresh
+    /// `LogHistogram::new()` at every window boundary would allocate on the
+    /// steady-state record path, and *forgetting* to reset would leak the
+    /// previous window's mass into the next — the quantile-drift bug this
+    /// method exists to make unrepresentable.
+    pub fn clear(&mut self) {
+        for b in &mut self.buckets {
+            *b = 0;
+        }
+        self.count = 0;
+        self.sum = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+    }
+
     /// Fold `other` into `self`. Because the bucket boundaries are fixed
     /// powers of two, merging per-thread histograms is a plain bucket-wise
     /// sum — every derived statistic (count, mean, percentiles,

@@ -16,6 +16,7 @@
 //! flagged episode — so the Eq.-3 gap trend is visible live in the registry
 //! and on the Perfetto timeline, not only in the final report.
 
+use std::io::Write;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -29,6 +30,10 @@ use crate::recorder::{
     FlightDump, FlightEvent, FlightRecord, FlightRecorder, FlightTier, DEFAULT_FLIGHT_CAPACITY,
 };
 use crate::registry::{Counter, Gauge, MetricRegistry, MetricsSnapshot};
+use crate::telemetry::{
+    evaluate_slos, Anomaly, SloSpec, SloVerdict, TelemetryConfig, TelemetryHub, TelemetryLine,
+    TelemetrySnapshot, TickScalars,
+};
 use crate::trace::{TraceBuffer, TraceEvent, Tracer};
 
 struct Inner {
@@ -41,6 +46,10 @@ struct Inner {
     /// dumps are built on demand but never touch the filesystem.
     flight_dir: Mutex<Option<PathBuf>>,
     flight_dumps: AtomicU64,
+    telemetry: TelemetryHub,
+    /// Attached `--telemetry-out` JSONL stream; `None` (the default)
+    /// keeps the record path allocation-free.
+    telemetry_out: Mutex<Option<std::io::BufWriter<std::fs::File>>>,
 }
 
 /// Cloneable observability handle; `None` inside means fully disabled.
@@ -73,6 +82,8 @@ impl Instruments {
                 flight: FlightRecorder::new(DEFAULT_FLIGHT_CAPACITY),
                 flight_dir: Mutex::new(None),
                 flight_dumps: AtomicU64::new(0),
+                telemetry: TelemetryHub::new(TelemetryConfig::default()),
+                telemetry_out: Mutex::new(None),
             })),
         }
     }
@@ -124,10 +135,13 @@ impl Instruments {
 
     /// Log a controller decision. Also emits a `controller_decision`
     /// instant into the trace so decisions appear on the same timeline as
-    /// the I/O events they react to, and joins the decision into the
-    /// analyzer's solver-efficacy table (gap before / gap after).
-    pub fn record_decision(&self, record: DecisionRecord) {
+    /// the I/O events they react to, joins the decision into the
+    /// analyzer's solver-efficacy table (gap before / gap after), and
+    /// stamps `anomalies_before` with the telemetry hub's running anomaly
+    /// count so every decision carries the anomaly state that preceded it.
+    pub fn record_decision(&self, mut record: DecisionRecord) {
         if let Some(inner) = &self.inner {
+            record.anomalies_before = inner.telemetry.anomaly_count().min(u32::MAX as u64) as u32;
             inner.buffer.push(
                 TraceEvent::instant("controller_decision", "control", record.ts_us)
                     .pid(record.node)
@@ -316,6 +330,159 @@ impl Instruments {
         let ordinal = inner.flight_dumps.fetch_add(1, Ordering::Relaxed);
         inner.flight.dump(trigger).write_to(&dir, ordinal).ok()
     }
+
+    // ---- Telemetry facet (DESIGN.md §14) ----
+
+    /// Fold one fetch latency into the current telemetry tick's per-tier
+    /// histogram; allocation-free, no-op when disabled. Sits beside
+    /// [`flight_fetch_us`](Self::flight_fetch_us) on the fetch path (the
+    /// flight histogram is whole-run, this one is per-tick).
+    #[inline]
+    pub fn telemetry_fetch_us(&self, tier: FlightTier, us: u64) {
+        if let Some(inner) = &self.inner {
+            inner.telemetry.record_fetch_us(tier, us);
+        }
+    }
+
+    /// Record one telemetry tick (consumer 0 post-barrier / one sim
+    /// tick): frame into the rings, rollup cascade, online detector bank.
+    /// Each fired anomaly is mirrored into the flight recorder and — when
+    /// a stream is attached — onto the `--telemetry-out` JSONL feed along
+    /// with the frame itself. Returns the number of anomalies fired (0
+    /// when disabled). Without a stream attached the enabled path is
+    /// allocation-free in steady state.
+    pub fn record_tick(&self, scalars: TickScalars) -> u64 {
+        let Some(inner) = &self.inner else {
+            return 0;
+        };
+        let ts_us = inner.buffer.now_us();
+        let mut out = inner
+            .telemetry_out
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let fired = match out.as_mut() {
+            None => inner.telemetry.record_tick(scalars, |a| {
+                inner.flight.record(
+                    ts_us,
+                    FlightEvent::Anomaly {
+                        kind: a.kind,
+                        tick: a.tick,
+                        value: a.value,
+                        baseline: a.baseline,
+                    },
+                );
+            }),
+            Some(w) => {
+                // Streaming mode allocates anyway; buffer the lines and
+                // write them after the hub call so one writer serves both
+                // the frame and the anomaly callbacks.
+                let lines: std::cell::RefCell<Vec<String>> =
+                    std::cell::RefCell::new(Vec::with_capacity(2));
+                let fired = inner.telemetry.record_tick_streaming(
+                    scalars,
+                    |f| {
+                        lines
+                            .borrow_mut()
+                            .push(TelemetryLine::Frame(f.clone()).to_json());
+                    },
+                    |a| {
+                        inner.flight.record(
+                            ts_us,
+                            FlightEvent::Anomaly {
+                                kind: a.kind,
+                                tick: a.tick,
+                                value: a.value,
+                                baseline: a.baseline,
+                            },
+                        );
+                        lines
+                            .borrow_mut()
+                            .push(TelemetryLine::Anomaly(*a).to_json());
+                    },
+                );
+                for line in lines.into_inner() {
+                    let _ = writeln!(w, "{line}");
+                }
+                fired
+            }
+        };
+        if fired > 0 {
+            inner.registry.counter("telemetry.anomalies").add(fired);
+        }
+        fired
+    }
+
+    /// Attach a `--telemetry-out` JSONL stream; frames and anomalies are
+    /// appended live from [`record_tick`](Self::record_tick). No-op when
+    /// disabled.
+    pub fn set_telemetry_out<P: Into<PathBuf>>(&self, path: P) -> std::io::Result<()> {
+        if let Some(inner) = &self.inner {
+            let file = std::fs::File::create(path.into())?;
+            *inner
+                .telemetry_out
+                .lock()
+                .unwrap_or_else(|e| e.into_inner()) = Some(std::io::BufWriter::new(file));
+        }
+        Ok(())
+    }
+
+    /// Flush the attached telemetry stream (end-of-run, or before a
+    /// reader is pointed at the file); no-op when disabled or detached.
+    pub fn flush_telemetry(&self) {
+        if let Some(inner) = &self.inner {
+            if let Some(w) = inner
+                .telemetry_out
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .as_mut()
+            {
+                let _ = w.flush();
+            }
+        }
+    }
+
+    /// Everything the telemetry hub retained; `None` when disabled.
+    pub fn telemetry_snapshot(&self) -> Option<TelemetrySnapshot> {
+        self.inner.as_ref().map(|i| i.telemetry.snapshot())
+    }
+
+    /// Anomalies recorded so far (empty when disabled).
+    pub fn telemetry_anomalies(&self) -> Vec<Anomaly> {
+        self.inner
+            .as_ref()
+            .map(|i| i.telemetry.anomalies())
+            .unwrap_or_default()
+    }
+
+    /// Running anomaly count (0 when disabled); lock-free.
+    pub fn anomaly_count(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.telemetry.anomaly_count())
+    }
+
+    /// Evaluate SLO specs over the retained 1× frame series, append the
+    /// verdicts to the attached telemetry stream (if any), and return
+    /// them. Empty when disabled.
+    pub fn evaluate_slos(&self, specs: &[SloSpec]) -> Vec<SloVerdict> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        let frames = inner.telemetry.snapshot().frames;
+        let verdicts = evaluate_slos(specs, &frames);
+        if let Some(w) = inner
+            .telemetry_out
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_mut()
+        {
+            for v in &verdicts {
+                let _ = writeln!(w, "{}", TelemetryLine::Slo(v.clone()).to_json());
+            }
+            let _ = w.flush();
+        }
+        verdicts
+    }
 }
 
 #[cfg(test)]
@@ -411,6 +578,7 @@ mod tests {
             gap_s: None,
             evals: 1,
             converged: true,
+            anomalies_before: 0,
         });
         assert_eq!(ins.decisions().len(), 1);
         let doc: serde_json::Value =

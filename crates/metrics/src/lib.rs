@@ -23,7 +23,11 @@
 //!   straggler-episode detection, and solver efficacy (gap before/after
 //!   each Algorithm-1 decision);
 //! * [`timeline`] — offline reconstruction of the same structures from an
-//!   exported trace, powering the `lobster_doctor` diagnosis binary.
+//!   exported trace, powering the `lobster_doctor` diagnosis binary;
+//! * [`telemetry`] — the per-tick time-series plane: fixed-capacity frame
+//!   rings with 1×/8×/64× rollups, the online anomaly detector bank
+//!   (integer-exact, a conformance observable), and the declarative SLO
+//!   engine behind `--slo` / `--telemetry-out` / `lobster_top`.
 //!
 //! ## Metric naming convention
 //!
@@ -45,6 +49,7 @@ pub mod registry;
 pub mod report;
 pub mod summary;
 pub mod table;
+pub mod telemetry;
 pub mod timeline;
 pub mod trace;
 
@@ -63,5 +68,11 @@ pub use registry::{is_canonical_metric_name, Counter, Gauge, MetricRegistry, Met
 pub use report::ResultSink;
 pub use summary::{Ewma, Summary};
 pub use table::{fmt_bytes, fmt_pct, fmt_secs, fmt_speedup, Table};
+pub use telemetry::{
+    evaluate_slo, evaluate_slos, merge_frames, parse_slo_specs, parse_telemetry_stream, Anomaly,
+    DetectorBank, DetectorConfig, DetectorKind, SloMetric, SloOp, SloSpec, SloVerdict,
+    TelemetryConfig, TelemetryHub, TelemetryLine, TelemetrySnapshot, TickFrame, TickScalars,
+    DEFAULT_TELEMETRY_CAPACITY, TELEMETRY_SCHEMA_VERSION,
+};
 pub use timeline::{CachePoint, IterationSlice, ParsedEvent, Timeline, TimelineError};
 pub use trace::{ArgValue, EventKind, TraceBuffer, TraceEvent, Tracer};

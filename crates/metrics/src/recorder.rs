@@ -149,6 +149,16 @@ pub enum FlightEvent {
     /// A cluster-membership transition: a node crashed (losing its cache)
     /// or rejoined cold, at a tick boundary of the compiled crash plan.
     MembershipChange { tick: u64, node: u32, crashed: bool },
+    /// An online telemetry detector fired (see
+    /// [`DetectorBank`](crate::telemetry::DetectorBank)); `value` and
+    /// `baseline` are detector-specific integers, units per
+    /// [`DetectorKind`](crate::telemetry::DetectorKind).
+    Anomaly {
+        kind: crate::telemetry::DetectorKind,
+        tick: u64,
+        value: u64,
+        baseline: u64,
+    },
 }
 
 /// A ring entry: the event plus its global ordinal and timestamp.

@@ -1,9 +1,16 @@
 //! Property tests for the metric primitives: registry counters/gauges are
-//! exact accumulators and `Summary` statistics stay within the recorded
-//! range.
+//! exact accumulators, `Summary` statistics stay within the recorded
+//! range, and `LogHistogram` merges conserve mass and keep quantiles
+//! bounded under arbitrarily repeated rollup merges.
 
-use lobster_metrics::{MetricRegistry, Summary};
+use lobster_metrics::{LogHistogram, MetricRegistry, Summary};
 use proptest::prelude::*;
+
+fn hist_of(values: &[u64]) -> LogHistogram {
+    let mut h = LogHistogram::new();
+    h.record_all(values.iter().copied());
+    h
+}
 
 proptest! {
     /// A counter is an exact sum of its increments; a gauge an exact sum
@@ -45,5 +52,74 @@ proptest! {
         let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         prop_assert_eq!(s.min(), lo);
         prop_assert_eq!(s.max(), hi);
+    }
+
+    /// Rollup-merge conservation: merging histograms — in any grouping, any
+    /// number of times — conserves total mass exactly, and every percentile
+    /// of `merge(a, b)` stays inside `[min(a, b), max(a, b)]`. This is the
+    /// property repeated 1×→8×→64× telemetry downsampling leans on: a
+    /// drifting merge (double-counted mass, a leaked sentinel min, a
+    /// percentile escaping the observed range) compounds across windows.
+    #[test]
+    fn histogram_merge_conserves_mass_and_bounds_percentiles(
+        a in proptest::collection::vec(0u64..1_000_000, 1..128),
+        b in proptest::collection::vec(0u64..1_000_000, 1..128),
+    ) {
+        let ha = hist_of(&a);
+        let hb = hist_of(&b);
+        let mut merged = ha.clone();
+        merged.merge(&hb);
+
+        prop_assert_eq!(merged.count(), ha.count() + hb.count());
+        let lo = ha.min().unwrap().min(hb.min().unwrap());
+        let hi = ha.max().unwrap().max(hb.max().unwrap());
+        prop_assert_eq!(merged.min(), Some(lo));
+        prop_assert_eq!(merged.max(), Some(hi));
+        for p in [0.0, 25.0, 50.0, 95.0, 99.0, 100.0] {
+            let q = merged.percentile(p).unwrap();
+            prop_assert!(
+                q >= lo as f64 && q <= hi as f64,
+                "p{} = {} escaped [{}, {}]", p, q, lo, hi
+            );
+        }
+
+        // Merge is associative and order-insensitive at the bucket level:
+        // (a ⊕ b) equals (b ⊕ a) exactly, so repeated rollups cannot drift
+        // with grouping order.
+        let mut flipped = hb.clone();
+        flipped.merge(&ha);
+        prop_assert_eq!(&merged, &flipped);
+
+        // Idempotence of the *reset* contract: a cleared histogram is
+        // byte-identical to a fresh one, so a reused rollup accumulator
+        // cannot leak the previous window into the next.
+        let mut reused = merged.clone();
+        reused.clear();
+        prop_assert_eq!(&reused, &LogHistogram::new());
+        reused.merge(&ha);
+        reused.merge(&hb);
+        prop_assert_eq!(&reused, &merged);
+    }
+
+    /// Merging a histogram into an accumulator k times multiplies every
+    /// bucket k-fold (mass conservation under re-merge) and leaves all
+    /// percentiles exactly where they were — quantiles must not drift no
+    /// matter how many rollup levels re-merge the same window.
+    #[test]
+    fn repeated_self_merge_does_not_drift_quantiles(
+        values in proptest::collection::vec(0u64..100_000, 1..64),
+        k in 2usize..6,
+    ) {
+        let h = hist_of(&values);
+        let mut acc = LogHistogram::new();
+        for _ in 0..k {
+            acc.merge(&h);
+        }
+        prop_assert_eq!(acc.count(), h.count() * k as u64);
+        prop_assert_eq!(acc.min(), h.min());
+        prop_assert_eq!(acc.max(), h.max());
+        for p in [1.0, 50.0, 95.0, 99.0] {
+            prop_assert_eq!(acc.percentile(p), h.percentile(p), "p{}", p);
+        }
     }
 }

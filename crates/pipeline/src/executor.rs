@@ -466,6 +466,13 @@ impl ClusterSim {
         let mut epochs = Vec::with_capacity(self.cfg.epochs as usize);
         let mut next_schedule: Option<EpochSchedule> = None;
         let mut obs = self.observing.then(RunObservables::default);
+        // Telemetry: one frame per tick feeds both the instruments hub
+        // (flight recorder / JSONL stream / doctor) and, when observing, a
+        // local detector bank whose firing sequence is an exact-equality
+        // conformance observable alongside membership and role flips.
+        let mut tele_bank =
+            lobster_metrics::DetectorBank::new(lobster_metrics::DetectorConfig::standard());
+        let mut tele_anomalies: Vec<lobster_metrics::Anomaly> = Vec::new();
 
         for epoch in 0..self.cfg.epochs {
             let sched = next_schedule.take().unwrap_or_else(|| {
@@ -634,6 +641,7 @@ impl ClusterSim {
                             gap_s: Some(t_train - d.predicted_batch_secs),
                             evals: d.evals,
                             converged: d.converged,
+                            anomalies_before: 0,
                         });
                     }
                 }
@@ -651,6 +659,7 @@ impl ClusterSim {
                 } else {
                     Vec::new()
                 };
+                let evict_before = evict_total.by_reuse_count + evict_total.by_reuse_distance;
 
                 // Pass 2: plan, fetch, account — per node.
                 let mut pipe_s = vec![0.0f64; world]; // T_L + T_P per GPU
@@ -713,6 +722,7 @@ impl ClusterSim {
                                 gap_s: Some(d.gap_s),
                                 evals: d.evals,
                                 converged: d.converged,
+                                anomalies_before: 0,
                             });
                         }
                     }
@@ -924,6 +934,56 @@ impl ClusterSim {
                     imbalanced += 1;
                 }
 
+                if self.observing || ins.is_enabled() {
+                    // Per-tick telemetry frame: tier counts come from the
+                    // classification splits (fostered fetches included),
+                    // timing from the same recurrence the report uses, all
+                    // quantized to integers so every executor derives the
+                    // byte-identical frame.
+                    let mut tiers = [0u64; 3];
+                    for per in &splits {
+                        for s in per {
+                            tiers[0] += s.local_count;
+                            tiers[1] += s.remote_count;
+                            tiers[2] += s.pfs_count;
+                        }
+                    }
+                    let (pw, lw) = match &elastic_step {
+                        Some((d, _, workers)) => (d.preproc_after, workers - d.preproc_after),
+                        None => (0u32, self.cfg.cluster.pipeline_threads),
+                    };
+                    let scalars = lobster_metrics::TickScalars {
+                        tick: global_iter,
+                        gap_us: (spread * 1e6).round() as u64,
+                        iter_us: (batch_time * 1e6).round() as u64,
+                        local_hits: tiers[0],
+                        remote_hits: tiers[1],
+                        misses: tiers[2],
+                        prefetched: iter_prefetched.iter().sum(),
+                        // When observing, count the tick's eviction events
+                        // (the exact list the DES also records) so the frame
+                        // is identical across executors; otherwise fall back
+                        // to the reuse-policy victim delta.
+                        evictions: if self.observing {
+                            self.obs_events.len() as u64
+                        } else {
+                            (evict_total.by_reuse_count + evict_total.by_reuse_distance)
+                                - evict_before
+                        },
+                        retries: 0,
+                        delivered: tiers[0] + tiers[1] + tiers[2],
+                        preproc_workers: pw,
+                        loader_workers: lw,
+                        down_mask: down,
+                    };
+                    if ins.is_enabled() {
+                        ins.record_tick(scalars);
+                    }
+                    if self.observing {
+                        tele_bank.observe(&scalars, |a| tele_anomalies.push(a));
+                    }
+                }
+
                 if ins.is_enabled() {
                     let mut samples = Vec::with_capacity(world);
                     for g in 0..world {
@@ -1036,6 +1096,11 @@ impl ClusterSim {
             });
             next_schedule = Some(upcoming);
         }
+
+        if let Some(o) = obs.as_mut() {
+            o.anomalies = tele_anomalies;
+        }
+        ins.flush_telemetry();
 
         let report = RunReport {
             policy: self.policy.name().to_string(),

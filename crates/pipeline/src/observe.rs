@@ -175,6 +175,12 @@ pub struct RunObservables {
     pub misses: u64,
     /// Samples prefetched ahead of use, whole run.
     pub prefetched: u64,
+    /// Online detector firings over the run's per-tick telemetry frames,
+    /// in emission order. The frames are built from the same deterministic
+    /// timing recurrence every executor computes and the detectors use
+    /// integer arithmetic only, so — like membership — the sequence is
+    /// compared *exactly* across executors, not within a tolerance.
+    pub anomalies: Vec<lobster_metrics::Anomaly>,
 }
 
 impl RunObservables {

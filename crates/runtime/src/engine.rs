@@ -84,6 +84,11 @@ pub struct EngineConfig {
     /// Modeled cluster size for the synthetic peer-routing hash (0 turns
     /// routing off entirely). Must cover every node a [`CrashSpec`] names.
     pub peer_nodes: usize,
+    /// Declarative SLOs evaluated over the run's telemetry frames at
+    /// teardown (see `lobster_metrics::telemetry::SloSpec::parse` for the
+    /// grammar). Empty means no SLO evaluation; verdicts land in
+    /// [`EngineReport::slo_verdicts`]. Requires enabled instruments.
+    pub slo: Vec<lobster_metrics::SloSpec>,
 }
 
 impl EngineConfig {
@@ -117,6 +122,7 @@ impl Default for EngineConfig {
             work_factor_step: None,
             crashes: Vec::new(),
             peer_nodes: 0,
+            slo: Vec::new(),
         }
     }
 }
@@ -164,6 +170,14 @@ pub struct EngineReport {
     /// application order — the sequence the conformance harness diffs
     /// against both simulators' membership observables.
     pub membership: Vec<MembershipEvent>,
+    /// Online detector firings over the run's telemetry frames (empty
+    /// when instruments are disabled). Replay-deterministic: re-running
+    /// the detector bank over the recorded frames reproduces this
+    /// sequence exactly.
+    pub anomalies: Vec<lobster_metrics::Anomaly>,
+    /// Verdicts for [`EngineConfig::slo`], evaluated over the retained
+    /// telemetry frames at teardown.
+    pub slo_verdicts: Vec<lobster_metrics::SloVerdict>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -403,6 +417,7 @@ fn fetch_one(
             FlightTier::Store
         };
         ins.flight_fetch_us(flight_tier, t0.elapsed().as_micros() as u64);
+        ins.telemetry_fetch_us(flight_tier, t0.elapsed().as_micros() as u64);
     }
     // EWMA (α = 1/4) of this queue's service cost.
     let obs = t0.elapsed().as_nanos() as u64;
@@ -961,6 +976,7 @@ pub fn run_with(store: Arc<SyntheticStore>, cfg: EngineConfig, ins: Instruments)
                             gap_s: None,
                             evals: 1,
                             converged: true,
+                            anomalies_before: 0,
                         });
                     }
                     for (w, &q) in plan.iter().enumerate() {
@@ -1005,6 +1021,9 @@ pub fn run_with(store: Arc<SyntheticStore>, cfg: EngineConfig, ins: Instruments)
             let preproc_g = preproc_g.clone();
             let loader_g = loader_g.clone();
             let decisions_m = decisions_m.clone();
+            let cache = Arc::clone(&cache);
+            let rstore = Arc::clone(&rstore);
+            let evictions_m = ins.counter("engine.cache_evictions");
             scope.spawn(move |_| {
                 // Samples may arrive slightly out of iteration order when
                 // several workers serve one queue; stash early arrivals.
@@ -1016,6 +1035,11 @@ pub fn run_with(store: Arc<SyntheticStore>, cfg: EngineConfig, ins: Instruments)
                 let mut prev_stage = vec![[0u64; 4]; cfg2.consumers];
                 let mut iter_start_us = 0u64;
                 let mut my_deliveries: Vec<Vec<u64>> = Vec::with_capacity(total_iters as usize);
+                // Telemetry: cumulative counter values at the previous
+                // barrier — each frame carries per-tick deltas, not
+                // running totals. [hits, misses, evictions, retries,
+                // delivered].
+                let mut tele_prev = [0u64; 5];
                 'iters: for iter in 0..total_iters {
                     // Membership first: the tick's crashes/rejoins take
                     // effect before any of this iteration's arrivals are
@@ -1098,7 +1122,8 @@ pub fn run_with(store: Arc<SyntheticStore>, cfg: EngineConfig, ins: Instruments)
                             .arg_u("iter", iter)
                     });
                     if consumer == 0 {
-                        iter_times.lock().push(t0.elapsed().as_secs_f64());
+                        let iter_wall = t0.elapsed();
+                        iter_times.lock().push(iter_wall.as_secs_f64());
                         t0 = Instant::now();
                         if ins.is_enabled() {
                             let end_us = ins.now_us();
@@ -1152,6 +1177,48 @@ pub fn run_with(store: Arc<SyntheticStore>, cfg: EngineConfig, ins: Instruments)
                                     iter,
                                     gap_us: (out.gap_s * 1e6) as u64,
                                     ewma_gap_us: (out.ewma_gap_s * 1e6) as u64,
+                                });
+                                // Telemetry frame for this tick: cache /
+                                // retry / delivery counters as deltas since
+                                // the previous barrier, the measured gap and
+                                // wall time quantized to µs, and the live
+                                // membership mask.
+                                let cum = [
+                                    cache.hit_count(),
+                                    cache.miss_count(),
+                                    evictions_m.value(),
+                                    rstore.stats().retries,
+                                    delivered.load(Ordering::Relaxed),
+                                ];
+                                let mut d = [0u64; 5];
+                                for (i, c) in cum.into_iter().enumerate() {
+                                    d[i] = c.saturating_sub(tele_prev[i]);
+                                    tele_prev[i] = c;
+                                }
+                                let (pw, lw) = if cfg2.adaptive {
+                                    (
+                                        preproc_g.value().max(0) as u32,
+                                        loader_g.value().max(0) as u32,
+                                    )
+                                } else {
+                                    (cfg2.preproc_threads as u32, cfg2.loader_threads as u32)
+                                };
+                                ins.record_tick(lobster_metrics::TickScalars {
+                                    tick: iter,
+                                    gap_us: (out.gap_s * 1e6) as u64,
+                                    iter_us: iter_wall.as_micros() as u64,
+                                    local_hits: d[0],
+                                    remote_hits: 0,
+                                    misses: d[1],
+                                    prefetched: 0,
+                                    evictions: d[2],
+                                    retries: d[3],
+                                    delivered: d[4],
+                                    preproc_workers: pw,
+                                    loader_workers: lw,
+                                    down_mask: crash_plan
+                                        .as_ref()
+                                        .map_or(0, |p| p.down_mask_at(iter)),
                                 });
                             }
                         }
@@ -1216,6 +1283,7 @@ pub fn run_with(store: Arc<SyntheticStore>, cfg: EngineConfig, ins: Instruments)
                                         ),
                                         evals: d.evals,
                                         converged: d.converged,
+                                        anomalies_before: 0,
                                     });
                                 }
                                 let d = d.clone();
@@ -1246,6 +1314,9 @@ pub fn run_with(store: Arc<SyntheticStore>, cfg: EngineConfig, ins: Instruments)
     }
 
     let stats = rstore.stats();
+    let anomalies = ins.telemetry_anomalies();
+    let slo_verdicts = ins.evaluate_slos(&cfg.slo);
+    ins.flush_telemetry();
     let iteration_secs = iter_times.lock().clone();
     let delivered_samples = delivered_log.lock().clone();
     let role_flips = role_flip_log.lock().clone();
@@ -1265,6 +1336,8 @@ pub fn run_with(store: Arc<SyntheticStore>, cfg: EngineConfig, ins: Instruments)
         delivered_samples,
         role_flips,
         membership,
+        anomalies,
+        slo_verdicts,
     }
 }
 

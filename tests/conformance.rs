@@ -387,9 +387,11 @@ fn every_mutation_canary_is_detected() {
     for m in Mutation::all() {
         let outcome = if m == Mutation::HorizonOffByOne {
             run_boundary_canary()
-        } else if m == Mutation::NeverSteal {
-            // Freezes the elastic controller: only observable where an
-            // elastic pool must respond to a work-factor step.
+        } else if m == Mutation::NeverSteal || m == Mutation::DetectorThreshold {
+            // NeverSteal freezes the elastic controller and
+            // DetectorThreshold perturbs the anomaly bank: both are only
+            // observable where a work-factor step forces the pool (and the
+            // detectors watching it) to react.
             let cfg = elastic_conformance_config(11);
             run_canary(&cfg, "lobster", m)
         } else if m == Mutation::DropCrash {

@@ -1,0 +1,303 @@
+//! Telemetry plane end-to-end guarantees (DESIGN.md §14).
+//!
+//! Four contracts are proven here, at whole-run scale:
+//!
+//! 1. **Cross-executor anomaly conformance**: the analytical `ClusterSim`
+//!    and the event-driven conformance DES emit byte-identical anomaly
+//!    sequences on the same seeded configuration — five seeds, elastic and
+//!    crash topologies.
+//! 2. **Replay determinism**: the live engine's online anomaly sequence
+//!    equals a fresh `DetectorBank::replay` over its own recorded frames.
+//! 3. **Attribution**: a scheduled crash and rejoin fire membership-change
+//!    anomalies at exactly their scheduled ticks, carrying the masks.
+//! 4. **Zero allocation**: the disabled telemetry facet never allocates,
+//!    and the *enabled* steady-state `record_tick` path is allocation-free
+//!    across 1× ring wraps and both rollup-ring wraps (counting-allocator
+//!    proof, same harness as `tests/flight_recorder.rs`).
+//!
+//! The allocation counter is process-global, so every measured window and
+//! the allocation-heavy runs serialize on one gate mutex.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use lobster_repro::conformance::runner::{
+    crash_conformance_config, elastic_conformance_config, run_differential,
+};
+use lobster_repro::core::policy_by_name;
+use lobster_repro::data::{Dataset, SizeDistribution};
+use lobster_repro::metrics::{
+    DetectorBank, DetectorConfig, DetectorKind, FlightTier, Instruments, TickScalars,
+    DEFAULT_TELEMETRY_CAPACITY,
+};
+use lobster_repro::pipeline::ClusterSim;
+use lobster_repro::runtime::{run_with, EngineConfig, SyntheticStore};
+use lobster_repro::storage::CrashSpec;
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::SeqCst)
+}
+
+/// Tests in this binary run on parallel harness threads but share the one
+/// process-wide allocation counter; each test holds this for its measured
+/// window (or, for the engine tests, their allocation storms).
+static GATE: Mutex<()> = Mutex::new(());
+
+// ---------------------------------------------------------------------
+// 1. Cross-executor anomaly conformance (five seeds, two topologies).
+// ---------------------------------------------------------------------
+
+#[test]
+fn anomaly_sequences_agree_across_executors_for_five_seeds() {
+    let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let mut total_firings = 0usize;
+    for seed in 11..=15u64 {
+        for cfg in [
+            elastic_conformance_config(seed),
+            crash_conformance_config(seed),
+        ] {
+            run_differential(&cfg, "lobster").unwrap_or_else(|d| panic!("seed {seed}: {d}"));
+            let policy = policy_by_name("lobster").unwrap();
+            let (_, obs) = ClusterSim::new(cfg, policy).run_observed();
+            total_firings += obs.anomalies.len();
+        }
+    }
+    // The observable must not be vacuous across the seed sweep: the
+    // elastic work-factor step and the crash schedules trip detectors.
+    assert!(
+        total_firings > 0,
+        "five-seed sweep fired no anomalies — conformance would be vacuous"
+    );
+}
+
+// ---------------------------------------------------------------------
+// 2 + 3. Engine: replay determinism and crash/rejoin attribution.
+// ---------------------------------------------------------------------
+
+fn engine_dataset(n: usize) -> Dataset {
+    Dataset::generate(
+        "it-telemetry",
+        n,
+        SizeDistribution::Uniform {
+            lo: 1_000,
+            hi: 8_000,
+        },
+        29,
+    )
+}
+
+fn engine_cfg() -> EngineConfig {
+    EngineConfig {
+        consumers: 2,
+        batch_size: 4,
+        loader_threads: 3,
+        preproc_threads: 2,
+        epochs: 2,
+        seed: 31,
+        train: Duration::from_micros(200),
+        adaptive: true,
+        ..EngineConfig::default()
+    }
+}
+
+#[test]
+fn engine_anomaly_sequence_replays_exactly_from_recorded_frames() {
+    let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
+
+    let ds = engine_dataset(96);
+    let cfg = engine_cfg();
+    let store = Arc::new(SyntheticStore::new(ds, Duration::from_micros(20), 0.0));
+    let ins = Instruments::enabled();
+    let report = run_with(store, cfg, ins.clone());
+    assert!(!report.aborted);
+
+    let snap = ins.telemetry_snapshot().expect("enabled instruments");
+    // 96 / (4 × 2) = 12 iterations per epoch × 2 epochs — one frame each,
+    // all retained (far below the 1× ring capacity).
+    assert_eq!(snap.ticks, report.iterations);
+    assert_eq!(snap.frames.len(), report.iterations as usize);
+    assert_eq!(snap.anomalies_dropped, 0);
+    // Frames carry the run's delivery accounting tick by tick.
+    let delivered: u64 = snap.frames.iter().map(|f| f.scalars.delivered).sum();
+    assert_eq!(delivered, report.delivered);
+
+    // Replay determinism: a fresh bank over the recorded frames must
+    // reproduce the online sequence byte-for-byte.
+    let scalars: Vec<TickScalars> = snap.frames.iter().map(|f| f.scalars).collect();
+    let replayed = DetectorBank::replay(DetectorConfig::standard(), &scalars);
+    assert_eq!(
+        replayed, snap.anomalies,
+        "online and replayed anomaly sequences must be identical"
+    );
+    assert_eq!(report.anomalies, snap.anomalies);
+}
+
+#[test]
+fn engine_crash_and_rejoin_fire_membership_anomalies_at_their_ticks() {
+    let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
+
+    let ds = engine_dataset(96);
+    let cfg = EngineConfig {
+        crashes: vec![CrashSpec {
+            node: 1,
+            tick: 2,
+            rejoin: Some(5),
+        }],
+        peer_nodes: 3,
+        ..engine_cfg()
+    };
+    let store = Arc::new(SyntheticStore::new(ds, Duration::ZERO, 0.0));
+    let ins = Instruments::enabled();
+    let report = run_with(store, cfg, ins.clone());
+    assert!(!report.aborted, "a scheduled crash must be healed");
+
+    // The frames record the membership mask while node 1 is down.
+    let snap = ins.telemetry_snapshot().unwrap();
+    for f in &snap.frames {
+        let want = if (2..5).contains(&f.scalars.tick) {
+            2
+        } else {
+            0
+        };
+        assert_eq!(
+            f.scalars.down_mask, want,
+            "down mask at tick {}",
+            f.scalars.tick
+        );
+    }
+
+    // Exactly two membership-change anomalies: the crash at its tick
+    // (mask 0 → 2) and the rejoin at its tick (mask 2 → 0).
+    let membership: Vec<_> = report
+        .anomalies
+        .iter()
+        .filter(|a| a.kind == DetectorKind::MembershipChange)
+        .collect();
+    assert_eq!(membership.len(), 2, "{:?}", report.anomalies);
+    assert_eq!(
+        (
+            membership[0].tick,
+            membership[0].baseline,
+            membership[0].value
+        ),
+        (2, 0, 2),
+        "crash attribution"
+    );
+    assert_eq!(
+        (
+            membership[1].tick,
+            membership[1].baseline,
+            membership[1].value
+        ),
+        (5, 2, 0),
+        "rejoin attribution"
+    );
+    assert!(membership.iter().all(|a| a.severity == 1));
+}
+
+// ---------------------------------------------------------------------
+// 4. Zero-allocation contracts.
+// ---------------------------------------------------------------------
+
+fn quiet_frame(tick: u64) -> TickScalars {
+    TickScalars {
+        tick,
+        // Gentle variation exercises the arithmetic without crossing any
+        // detector threshold (devs stay far under the min_dev_us floor).
+        gap_us: 1_000 + tick % 3,
+        iter_us: 50_000 + tick % 11,
+        local_hits: 6,
+        remote_hits: 1,
+        misses: 1,
+        prefetched: 2,
+        evictions: 1,
+        retries: 0,
+        delivered: 8,
+        preproc_workers: 2,
+        loader_workers: 3,
+        down_mask: 0,
+    }
+}
+
+#[test]
+fn disabled_telemetry_facet_allocates_nothing() {
+    let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
+
+    let ins = Instruments::disabled();
+    let before = allocations();
+    for i in 0..10_000u64 {
+        ins.telemetry_fetch_us(FlightTier::Cache, 40 + (i % 7));
+        ins.telemetry_fetch_us(FlightTier::Store, 400 + (i % 13));
+        assert_eq!(ins.record_tick(quiet_frame(i)), 0);
+    }
+    assert_eq!(ins.anomaly_count(), 0);
+    assert!(ins.telemetry_snapshot().is_none());
+    assert_eq!(
+        allocations() - before,
+        0,
+        "disabled telemetry path must not allocate"
+    );
+}
+
+#[test]
+fn enabled_steady_state_record_tick_allocates_nothing_across_wraps() {
+    let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
+
+    let ins = Instruments::enabled();
+    // Warm-up: rings, rollup accumulators, and per-tier tick histograms
+    // are preallocated at construction; a few records settle any lazy
+    // state before the measured window opens.
+    for i in 0..8u64 {
+        ins.telemetry_fetch_us(FlightTier::Cache, 50);
+        ins.record_tick(quiet_frame(i));
+    }
+
+    // 10 008 total ticks: the 1× ring (512) wraps ~19×, the 8× rollup
+    // ring (256 slots, one per 8 ticks) wraps ~4×, and the 64× ring
+    // (128 slots, one per 64 ticks) wraps once — every boundary the
+    // cascade has is crossed inside the measured window.
+    let before = allocations();
+    for i in 8..10_008u64 {
+        ins.telemetry_fetch_us(FlightTier::Cache, 40 + (i % 7));
+        ins.telemetry_fetch_us(FlightTier::Store, 400 + (i % 13));
+        ins.record_tick(quiet_frame(i));
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "enabled steady-state record_tick path must not allocate"
+    );
+
+    let snap = ins.telemetry_snapshot().unwrap();
+    assert_eq!(snap.ticks, 10_008, "every tick recorded");
+    assert_eq!(
+        snap.frames.len(),
+        DEFAULT_TELEMETRY_CAPACITY,
+        "1× ring wrapped"
+    );
+    assert_eq!(snap.anomalies.len(), 0, "quiet frames must stay quiet");
+    assert_eq!(snap.anomalies_dropped, 0);
+    // The rollup cascade really ran: both rings are at capacity.
+    assert_eq!(snap.rollup8.len(), 256);
+    assert_eq!(snap.rollup64.len(), 128);
+}
