@@ -46,6 +46,14 @@ if [ "$canary_status" -ne 2 ]; then
     exit 1
 fi
 
+echo "== workload smoke =="
+# Workload diversity gate (DESIGN.md §15): every seeded workload family —
+# Zipf skew, heavy-tailed sizes, bimodal cost, growing dataset, compute
+# drift — through the differential harness over 5 seeds, plus a
+# live-engine delivery replay per family. Hard timeout: a hung run fails
+# the gate, not the runner.
+timeout 120 cargo run -q --release -p lobster-bench --bin workload_smoke
+
 echo "== proptest corpora =="
 # Every crate's regression corpus must exist and be tracked so recorded
 # counterexample seeds are never lost.

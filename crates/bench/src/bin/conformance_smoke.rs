@@ -26,9 +26,10 @@
 
 use lobster_conformance::{
     check_engine_delivery, conformance_config, crash_conformance_config,
-    elastic_conformance_config, run_boundary_canary, run_canary, run_differential, CanaryOutcome,
-    Mutation,
+    elastic_conformance_config, run_boundary_canary, run_canary, run_differential,
+    workload_conformance_config, workload_conformance_matrix, CanaryOutcome, Mutation,
 };
+use lobster_data::WorkloadSpec;
 use lobster_metrics::Instruments;
 use lobster_runtime::{run_with, EngineConfig, SyntheticStore};
 use std::sync::Arc;
@@ -146,6 +147,28 @@ fn main() {
         }
     }
 
+    // ---- Workload-family differential runs: every DESIGN.md §15 family
+    // (Zipf skew, heavy-tail sizes, bimodal cost, growing dataset, compute
+    // drift) must agree byte-for-byte under the adaptive policy. ----
+    for &seed in &seeds {
+        for (family, cfg) in workload_conformance_matrix(seed) {
+            match run_differential(&cfg, "lobster") {
+                Ok(s) => {
+                    runs += 1;
+                    println!(
+                        "conformance: seed {seed} workload {family}: {} iterations, \
+                         {} demand accesses — agree",
+                        s.iterations, s.demand_accesses
+                    );
+                }
+                Err(d) => {
+                    eprintln!("{d}");
+                    fail(&format!("seed {seed} workload {family} diverged"));
+                }
+            }
+        }
+    }
+
     // ---- Live engine vs the seeded schedule. ----
     let dataset = lobster_data::Dataset::generate(
         "conformance-smoke",
@@ -213,10 +236,17 @@ fn run_canary_mode(seeds: &[u64], mutations: &[Mutation]) -> ! {
                 // reliably puts anomaly firings near the mutated detectors'
                 // decision boundaries); `drop-crash` ignores the crash
                 // schedule, so it needs one to ignore.
+                // `uniform-cost` collapses per-sample preprocessing cost to
+                // the dataset mean, so it needs a non-uniform cost table to
+                // be observable: the bimodal workload configuration.
                 let cfg = if m == Mutation::NeverSteal || m == Mutation::DetectorThreshold {
                     elastic_conformance_config(seed)
                 } else if m == Mutation::DropCrash {
                     crash_conformance_config(seed)
+                } else if m == Mutation::UniformCost {
+                    let bimodal = WorkloadSpec::default_for("bimodal", 192)
+                        .expect("bimodal is a known workload family");
+                    workload_conformance_config(&bimodal, seed)
                 } else {
                     conformance_config(seed)
                 };

@@ -1,0 +1,121 @@
+//! Workload diversity smoke check for CI (DESIGN.md §15).
+//!
+//! Drives every workload family — Zipf-skewed popularity, heavy-tailed
+//! sizes, bimodal preprocessing cost, a growing dataset, and compute drift
+//! — through the differential harness over five seeds and demands
+//! byte-exact agreement between the analytical executor and the
+//! event-driven DES on every invariant observable. Then runs the *live*
+//! engine once per family (first seed) under the family's access pattern
+//! and per-sample cost table and replays its delivery record and integrity
+//! fingerprint against the seeded schedule. Exits non-zero on any
+//! divergence; CI wraps it in a hard timeout so a hang fails fast.
+//!
+//! ```sh
+//! cargo run --release --bin workload_smoke
+//! cargo run --release --bin workload_smoke -- --seeds 3,5,7
+//! cargo run --release --bin workload_smoke -- --workload zipf:s=1.4
+//! ```
+
+use lobster_bench::workload_from_args;
+use lobster_conformance::{check_engine_delivery, run_differential, workload_conformance_config};
+use lobster_data::WorkloadSpec;
+use lobster_metrics::Instruments;
+use lobster_runtime::{run_with, EngineConfig, SyntheticStore};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("WORKLOAD SMOKE FAILED: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let t0 = Instant::now();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seeds: Vec<u64> = vec![3, 5, 7, 11, 13];
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seeds" => {
+                i += 1;
+                seeds = args
+                    .get(i)
+                    .unwrap_or_else(|| fail("--seeds needs a comma-separated list"))
+                    .split(',')
+                    .map(|s| s.trim().parse().unwrap_or_else(|_| fail("bad seed")))
+                    .collect();
+            }
+            "--workload" => i += 1, // parsed by workload_from_args below
+            other => fail(&format!("unknown argument {other:?}")),
+        }
+        i += 1;
+    }
+    // `--workload` narrows the matrix to one family; default is all five.
+    let families: Vec<WorkloadSpec> = match workload_from_args() {
+        Some(w) => vec![w],
+        None => WorkloadSpec::all_families(192),
+    };
+
+    // ---- Differential: ClusterSim vs the DES, every family × seed. ----
+    let mut runs = 0usize;
+    for &seed in &seeds {
+        for w in &families {
+            let cfg = workload_conformance_config(w, seed);
+            match run_differential(&cfg, "lobster") {
+                Ok(s) => {
+                    runs += 1;
+                    println!(
+                        "workload: seed {seed} {}: {} iterations, {} demand accesses — agree",
+                        w.label(),
+                        s.iterations,
+                        s.demand_accesses
+                    );
+                }
+                Err(d) => {
+                    eprintln!("{d}");
+                    fail(&format!("seed {seed} workload {} diverged", w.label()));
+                }
+            }
+        }
+    }
+
+    // ---- Live engine per family: delivery + integrity under the
+    // family's access pattern and cost table. ----
+    let seed = seeds[0];
+    for w in &families {
+        let dataset = w.dataset(seed);
+        let cfg = EngineConfig {
+            consumers: 2,
+            batch_size: 4,
+            loader_threads: 2,
+            preproc_threads: 2,
+            epochs: 2,
+            seed,
+            train: Duration::from_micros(200),
+            access: w.access(),
+            ..EngineConfig::default()
+        };
+        let store = Arc::new(SyntheticStore::new(dataset.clone(), Duration::ZERO, 0.0));
+        let ins = Instruments::enabled();
+        let report = run_with(store, cfg.clone(), ins.clone());
+        match check_engine_delivery(&dataset, &cfg, &report, &ins) {
+            Ok(()) => println!(
+                "workload: engine {}: {} samples delivered exactly as scheduled",
+                w.label(),
+                report.delivered
+            ),
+            Err(d) => {
+                eprintln!("{d}");
+                fail(&format!("live engine diverged on workload {}", w.label()));
+            }
+        }
+        runs += 1;
+    }
+
+    println!(
+        "workload smoke passed: {runs} runs across {} families × {} seeds in {:.2}s",
+        families.len(),
+        seeds.len(),
+        t0.elapsed().as_secs_f64()
+    );
+}

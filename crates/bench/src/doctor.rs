@@ -397,6 +397,20 @@ pub fn diagnose(
             analysis.max_gap_s * 1e3,
             analysis.ewma_gap_s * 1e3
         ));
+        // Skewed workloads (DESIGN.md §15) hide their imbalance in the
+        // tail; surface it whenever the trace carries the percentiles.
+        if let (Some(p50), Some(p99)) = (analysis.p50_gap_s, analysis.p99_gap_s) {
+            verdicts.push(format!(
+                "Eq.-3 gap tail: p50 {:.1} ms, p99 {:.1} ms{}",
+                p50 * 1e3,
+                p99 * 1e3,
+                if p99 > 10.0 * analysis.mean_gap_s.max(1e-9) {
+                    " — heavy-tailed; the mean gap understates the imbalance"
+                } else {
+                    ""
+                }
+            ));
+        }
     }
     if let Some(ratio) = analysis.mean_solver_gap_ratio() {
         verdicts.push(if ratio < 1.0 {
@@ -784,6 +798,13 @@ pub fn diagnose_flight(dump_text: &str) -> Result<Diagnosis, String> {
             analysis.max_gap_s * 1e3,
             analysis.ewma_gap_s * 1e3
         ));
+        if let (Some(p50), Some(p99)) = (analysis.p50_gap_s, analysis.p99_gap_s) {
+            verdicts.push(format!(
+                "Eq.-3 gap tail: p50 {:.1} ms, p99 {:.1} ms",
+                p50 * 1e3,
+                p99 * 1e3
+            ));
+        }
     }
     if flip_ticks > 0 {
         verdicts.push(format!(

@@ -9,7 +9,7 @@
 //! used for each figure.
 
 use lobster_core::{LoaderPolicy, ModelProfile};
-use lobster_data::Dataset;
+use lobster_data::{Dataset, WorkloadSpec};
 use lobster_metrics::{Instruments, TelemetryLine};
 use lobster_pipeline::{ClusterSim, ConfigBuilder, ExperimentConfig, RunReport};
 use lobster_storage::FaultSpec;
@@ -212,6 +212,35 @@ pub fn faults_from_args(default: FaultSpec) -> FaultSpec {
         std::process::exit(2);
     }
     default
+}
+
+/// Workload CLI: `--workload <family>[:<k>=<v>,...]` parses a seeded
+/// workload scenario (see [`WorkloadSpec::parse`]), e.g.
+///
+/// ```text
+/// --workload zipf:s=1.3,samples=1024
+/// --workload bimodal:slow-frac=0.25,slow-cost=8
+/// ```
+///
+/// Families: `zipf`, `heavy-tail`, `bimodal`, `growing`, `drift`. Returns
+/// `None` when the flag is absent (run the classic uniform epoch-shuffle
+/// workload); an unparsable spec is a usage error (exit 2).
+pub fn workload_from_args() -> Option<WorkloadSpec> {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(w) = args.windows(2).find(|w| w[0] == "--workload") {
+        match WorkloadSpec::parse(&w[1]) {
+            Ok(spec) => return Some(spec),
+            Err(e) => {
+                eprintln!("error: invalid --workload spec: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if args.last().map(String::as_str) == Some("--workload") {
+        eprintln!("error: --workload requires a family argument");
+        std::process::exit(2);
+    }
+    None
 }
 
 /// Observability CLI: `--trace-out <path>` turns instrumentation on and

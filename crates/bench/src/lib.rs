@@ -12,6 +12,6 @@ pub mod perf;
 pub use harness::{
     compare_policies, compare_policies_with, decisions_sidecar, faults_from_args, metrics_sidecar,
     observability_from_args, paper_config, params_from_args, run_policy, run_policy_with,
-    scaled_cache_bytes, telemetry_sidecar, write_observability, BenchParams, DatasetKind,
-    PolicyRow, BASELINE_NAMES,
+    scaled_cache_bytes, telemetry_sidecar, workload_from_args, write_observability, BenchParams,
+    DatasetKind, PolicyRow, BASELINE_NAMES,
 };

@@ -18,7 +18,7 @@
 //! The `--self-test-regression` mode proves the gate fires by inflating
 //! the baseline past every threshold and demanding a non-zero exit.
 
-use lobster_data::{Dataset, SizeDistribution};
+use lobster_data::{Dataset, SizeDistribution, WorkloadSpec};
 use lobster_metrics::{CompactHistogram, Instruments, LogHistogram};
 use lobster_runtime::{run_with, EngineConfig, SyntheticStore};
 use lobster_storage::{CrashSpec, FaultSpec};
@@ -48,6 +48,10 @@ pub struct Scenario {
     /// cost of full observability, vs the disabled hot path everywhere
     /// else in the matrix.
     pub telemetry: bool,
+    /// DESIGN.md §15 workload scenario: when set, the dataset (sizes +
+    /// cost table) comes from the spec instead of the constant-size
+    /// generator, and `cfg.access` carries its access pattern.
+    pub workload: Option<WorkloadSpec>,
 }
 
 /// The standardized matrix. `quick` halves epochs for the CI smoke run;
@@ -68,6 +72,7 @@ pub fn scenario_matrix(quick: bool) -> Vec<Scenario> {
         ..EngineConfig::default()
     };
     let shock_at = (samples as u64 / (2 * 8)) * epochs / 2;
+    let zipf = WorkloadSpec::default_for("zipf", samples as usize).expect("zipf is a known family");
     vec![
         Scenario {
             name: "steady_state",
@@ -76,6 +81,7 @@ pub fn scenario_matrix(quick: bool) -> Vec<Scenario> {
             sample_bytes: 4_000,
             faults: None,
             telemetry: false,
+            workload: None,
         },
         Scenario {
             // The steady-state workload again, but with the full
@@ -88,6 +94,7 @@ pub fn scenario_matrix(quick: bool) -> Vec<Scenario> {
             sample_bytes: 4_000,
             faults: None,
             telemetry: true,
+            workload: None,
         },
         Scenario {
             name: "preproc_shock",
@@ -100,6 +107,7 @@ pub fn scenario_matrix(quick: bool) -> Vec<Scenario> {
             sample_bytes: 4_000,
             faults: None,
             telemetry: false,
+            workload: None,
         },
         Scenario {
             name: "fault_storm",
@@ -114,6 +122,7 @@ pub fn scenario_matrix(quick: bool) -> Vec<Scenario> {
                 .expect("fault storm spec parses"),
             ),
             telemetry: false,
+            workload: None,
         },
         Scenario {
             name: "elastic_churn",
@@ -126,6 +135,7 @@ pub fn scenario_matrix(quick: bool) -> Vec<Scenario> {
             sample_bytes: 4_000,
             faults: None,
             telemetry: false,
+            workload: None,
         },
         Scenario {
             name: "node_crash",
@@ -139,12 +149,29 @@ pub fn scenario_matrix(quick: bool) -> Vec<Scenario> {
                     rejoin: Some(shock_at + 6),
                 }],
                 peer_nodes: 3,
+                ..base.clone()
+            },
+            dataset_samples: samples,
+            sample_bytes: 4_000,
+            faults: None,
+            telemetry: false,
+            workload: None,
+        },
+        Scenario {
+            // Zipf-skewed popularity with replacement (DESIGN.md §15):
+            // hot samples recur within the epoch, exercising the cache's
+            // reuse path under a non-uniform access stream while the
+            // delivery/integrity invariants stay schedule-exact.
+            name: "zipf_skew",
+            cfg: EngineConfig {
+                access: zipf.access(),
                 ..base
             },
             dataset_samples: samples,
             sample_bytes: 4_000,
             faults: None,
             telemetry: false,
+            workload: Some(zipf),
         },
     ]
 }
@@ -273,14 +300,17 @@ pub fn validate(t: &BenchTrajectory) -> Result<(), String> {
 /// counting allocator (the `lobster_perf` binary installs one; tests pass
 /// their own or `|| 0`).
 pub fn run_scenario(s: &Scenario, allocs: &dyn Fn() -> u64) -> ScenarioResult {
-    let dataset = Dataset::generate(
-        s.name,
-        s.dataset_samples as usize,
-        SizeDistribution::Constant {
-            bytes: s.sample_bytes,
-        },
-        s.cfg.seed,
-    );
+    let dataset = match &s.workload {
+        Some(w) => w.dataset(s.cfg.seed),
+        None => Dataset::generate(
+            s.name,
+            s.dataset_samples as usize,
+            SizeDistribution::Constant {
+                bytes: s.sample_bytes,
+            },
+            s.cfg.seed,
+        ),
+    };
     let store = match &s.faults {
         Some(spec) => {
             let plan = spec.compile().expect("scenario fault spec compiles");
@@ -551,7 +581,8 @@ mod tests {
                     "preproc_shock",
                     "fault_storm",
                     "elastic_churn",
-                    "node_crash"
+                    "node_crash",
+                    "zipf_skew"
                 ]
             );
             assert!(
@@ -578,6 +609,12 @@ mod tests {
             assert!(
                 crash.crashes.iter().all(|c| c.tick < total_iters),
                 "crash window must land inside the run"
+            );
+            let zipf = &m[6];
+            assert!(
+                zipf.workload.is_some()
+                    && zipf.cfg.access != lobster_data::AccessPattern::EpochShuffle,
+                "zipf scenario carries a workload with a non-uniform access pattern"
             );
         }
     }

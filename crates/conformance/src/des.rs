@@ -431,11 +431,11 @@ impl DesCluster {
     fn begin_epoch(&mut self, epoch: u64) {
         let spec = self.cfg.schedule_spec();
         let iters = self.cfg.iterations_per_epoch() as u64;
-        let sched = self
-            .sched_next
-            .take()
-            .unwrap_or_else(|| lobster_data::partition::generate(spec, epoch, self.cfg.partition));
-        let upcoming = lobster_data::partition::generate(spec, epoch + 1, self.cfg.partition);
+        let sched = self.sched_next.take().unwrap_or_else(|| {
+            lobster_data::generate_access(spec, epoch, self.cfg.partition, self.cfg.access)
+        });
+        let upcoming =
+            lobster_data::generate_access(spec, epoch + 1, self.cfg.partition, self.cfg.access);
         if self.policy.caching().uses_oracle() {
             for node in 0..self.cfg.cluster.nodes {
                 self.oracles[node] =
@@ -505,6 +505,8 @@ impl DesCluster {
 
         // Pass 1: classify every GPU's batch before any mutation. A dead
         // node's rows stay all-zero; its batches are fostered below.
+        // `work_units` mirrors ClusterSim's per-node size × cost account.
+        let mut work_units = vec![0u64; nodes];
         let mut splits: Vec<Vec<TierBreakdown>> = Vec::with_capacity(nodes);
         for node in 0..nodes {
             let mut per_gpu = Vec::with_capacity(gpus);
@@ -513,6 +515,7 @@ impl DesCluster {
                 if down & (1u64 << node) == 0 {
                     for &s in sched.batch(h, node, gpu) {
                         split.add(self.classify(node, s), self.cfg.dataset.size_of(s));
+                        work_units[node] += self.cfg.dataset.work_bytes_of(s);
                     }
                 }
                 per_gpu.push(split);
@@ -539,6 +542,7 @@ impl DesCluster {
                     let mut foster = TierBreakdown::default();
                     for &s in sched.batch(h, d, gpu) {
                         foster.add(self.classify(host, s), self.cfg.dataset.size_of(s));
+                        work_units[host] += self.cfg.dataset.work_bytes_of(s);
                     }
                     self.epoch_hits.0 += foster.local_count;
                     self.epoch_hits.1 += foster.remote_count;
@@ -563,7 +567,12 @@ impl DesCluster {
         // Elastic worker-pool tick (mirrors ClusterSim exactly): one
         // cluster-wide controller decision per iteration from purely
         // deterministic inputs, applied identically on every node.
-        let mean_sample_f = self.cfg.dataset.mean_sample_bytes();
+        let mean_sample_f = self
+            .cfg
+            .elastic
+            .as_ref()
+            .map_or(lobster_core::WorkEstimate::Mean, |e| e.estimate)
+            .per_sample_bytes(&self.cfg.dataset);
         let elastic_batch_samples = (gpus * self.cfg.cluster.batch_size) as u64;
         let elastic_step = self.cfg.elastic.and_then(|e| {
             let ctl = self.elastic_ctl.as_mut()?;
@@ -619,14 +628,25 @@ impl DesCluster {
                 decisions.push(DecisionObservable::from_plan(node, &d));
             }
 
-            let node_bytes: f64 = splits[node].iter().map(TierBreakdown::total_bytes).sum();
+            let node_work = if self.mutation == Mutation::UniformCost {
+                // Mutant: collapse per-sample preprocessing cost to the
+                // dataset-wide mean. The ratio is exactly 1.0 on unit-cost
+                // datasets (equivalent), and diverges on any mixed-cost
+                // workload — the quantity conformance must notice.
+                let plain: f64 = splits[node].iter().map(TierBreakdown::total_bytes).sum();
+                plain
+                    * (self.cfg.dataset.total_work_bytes() as f64
+                        / self.cfg.dataset.total_bytes() as f64)
+            } else {
+                work_units[node] as f64
+            };
             // Work factor scales the preprocessing bytes (wf = 1 is exact
             // identity, so non-elastic runs are untouched).
             let elastic_wf = elastic_step.as_ref().map_or(1, |(_, wf)| *wf);
             let t_prep = self
                 .cfg
                 .preproc
-                .batch_secs(node_bytes * elastic_wf as f64, plan.preproc_threads);
+                .batch_secs(node_work * elastic_wf as f64, plan.preproc_threads);
 
             // Intra-node overcommit at the tier-curve knees.
             let knee_r = self.cfg.storage.curve(Tier::RemoteCache).peak().0;

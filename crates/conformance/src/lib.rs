@@ -43,6 +43,7 @@ pub use refmodel::{
 pub use runner::{
     check_engine_delivery, conformance_config, crash_conformance_config,
     elastic_conformance_config, engine_epoch_multisets, record_divergence_flight,
-    run_boundary_canary, run_canary, run_differential, run_differential_recorded, CanaryOutcome,
-    DiffSummary, DES_MODEL, ENGINE_MODEL, SIM_MODEL, SWEEP_MODEL, TIME_TOL_S,
+    run_boundary_canary, run_canary, run_differential, run_differential_recorded,
+    workload_conformance_config, workload_conformance_matrix, CanaryOutcome, DiffSummary,
+    DES_MODEL, ENGINE_MODEL, SIM_MODEL, SWEEP_MODEL, TIME_TOL_S,
 };

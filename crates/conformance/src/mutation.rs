@@ -43,6 +43,12 @@ pub enum Mutation {
     /// identical; only the anomaly sequence diverges — proving the harness
     /// compares detector output itself, not just the inputs it's fed.
     DetectorThreshold,
+    /// Collapse per-sample preprocessing cost to the dataset-wide mean when
+    /// sizing `t_prep` — the exact simplification a mean-based
+    /// implementation would make. Equivalent on unit-cost datasets (the
+    /// ratio is exactly 1.0); on a bimodal-cost workload the per-node work
+    /// diverges whenever a batch's slow-sample mix departs from the mean.
+    UniformCost,
 }
 
 impl Mutation {
@@ -57,6 +63,7 @@ impl Mutation {
             Mutation::NeverSteal => "never-steal",
             Mutation::DropCrash => "drop-crash",
             Mutation::DetectorThreshold => "detector-threshold",
+            Mutation::UniformCost => "uniform-cost",
         }
     }
 
@@ -71,12 +78,13 @@ impl Mutation {
             "never-steal" => Mutation::NeverSteal,
             "drop-crash" => Mutation::DropCrash,
             "detector-threshold" => Mutation::DetectorThreshold,
+            "uniform-cost" => Mutation::UniformCost,
             _ => return None,
         })
     }
 
     /// Every real mutation (excluding `None`).
-    pub fn all() -> [Mutation; 7] {
+    pub fn all() -> [Mutation; 8] {
         [
             Mutation::SkipLastCopyGuard,
             Mutation::HorizonOffByOne,
@@ -85,6 +93,7 @@ impl Mutation {
             Mutation::NeverSteal,
             Mutation::DropCrash,
             Mutation::DetectorThreshold,
+            Mutation::UniformCost,
         ]
     }
 }

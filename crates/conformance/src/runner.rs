@@ -17,12 +17,16 @@ use crate::mutation::Mutation;
 use crate::refmodel::{check_sweep, horizon_boundary_fixture, naive_sweep_expectation};
 use lobster_cache::{Directory, EvictOrder, NodeCache};
 use lobster_core::ModelProfile;
-use lobster_core::{policy_by_name, ReuseAwareEvictor};
-use lobster_data::{Dataset, EpochSchedule, NodeOracle, SampleId, SizeDistribution};
+use lobster_core::{policy_by_name, ReuseAwareEvictor, WorkEstimate};
+use lobster_data::{
+    Dataset, EpochSchedule, NodeOracle, SampleId, SizeDistribution, WorkloadFamily, WorkloadSpec,
+};
 use lobster_metrics::Instruments;
 use lobster_pipeline::observe::RunObservables;
 use lobster_pipeline::{ClusterSim, ConfigBuilder, ElasticSimConfig, ExperimentConfig};
-use lobster_runtime::engine::{expected_integrity, schedule_spec, EngineConfig, EngineReport};
+use lobster_runtime::engine::{
+    engine_schedule, expected_integrity, schedule_spec, EngineConfig, EngineReport,
+};
 
 /// Timing tolerance between the f64 executor and the nanosecond DES:
 /// discrete observables match exactly, times to sub-microsecond.
@@ -95,6 +99,7 @@ pub fn elastic_conformance_config(seed: u64) -> ExperimentConfig {
             work_factor_step: Some((step_iter, 8)),
             churn: false,
             frozen: false,
+            estimate: WorkEstimate::Mean,
         })
         .build()
 }
@@ -130,6 +135,63 @@ pub fn crash_conformance_config(seed: u64) -> ExperimentConfig {
         .try_crash_node(1, 3, Some(8))
         .expect("valid crash schedule")
         .build()
+}
+
+/// A conformance configuration for one workload family (DESIGN.md §15):
+/// the family's seeded dataset (sizes + costs), its access pattern, its
+/// node-drift ramps — and, for the bimodal-cost family, an elastic pool
+/// whose controller runs the quantile work estimate, so the estimator
+/// itself sits on the differential path. Small enough that a full
+/// differential run takes milliseconds.
+pub fn workload_conformance_config(w: &WorkloadSpec, seed: u64) -> ExperimentConfig {
+    let dataset = w.dataset(seed);
+    let cache_bytes = (dataset.total_bytes() / 3).max(1);
+    let mut b = ConfigBuilder::new()
+        .nodes(2)
+        .gpus_per_node(2)
+        .batch_size(4)
+        .pipeline_threads(8)
+        .cache_bytes(cache_bytes)
+        .dataset(dataset)
+        .epochs(2)
+        .seed(seed)
+        .access(w.access());
+    for (node, from, to) in w.drift_ramp(2) {
+        b = b
+            .try_slow_node_profile(
+                node,
+                lobster_storage::SlowdownProfile::Ramp {
+                    from,
+                    to,
+                    over_s: 1.0,
+                },
+            )
+            .expect("drift ramp is a valid profile");
+    }
+    if matches!(w.family, WorkloadFamily::BimodalCost { .. }) {
+        b = b
+            .model(ModelProfile::new("bimodal-probe", 2e-4, 0.7, 10.0))
+            .elastic(ElasticSimConfig {
+                workers: 8,
+                initial_preproc: 1,
+                work_factor: 1,
+                work_factor_step: None,
+                churn: false,
+                frozen: false,
+                estimate: WorkEstimate::Quantile(900),
+            });
+    }
+    b.build()
+}
+
+/// The five workload families' conformance configurations at `seed`, with
+/// their CLI tokens — the matrix `conformance_smoke` and `workload_smoke`
+/// sweep.
+pub fn workload_conformance_matrix(seed: u64) -> Vec<(&'static str, ExperimentConfig)> {
+    WorkloadSpec::all_families(192)
+        .iter()
+        .map(|w| (w.family.token(), workload_conformance_config(w, seed)))
+        .collect()
 }
 
 /// Summary of one passing differential run.
@@ -398,7 +460,7 @@ fn check_engine_delivery_inner(
         ));
     }
     for epoch in 0..cfg.epochs {
-        let sched = EpochSchedule::generate(spec, epoch);
+        let sched = engine_schedule(spec, epoch, cfg);
         for h in 0..iters {
             let global = epoch * iters as u64 + h as u64;
             for consumer in 0..cfg.consumers {
@@ -649,6 +711,50 @@ mod tests {
             }
             CanaryOutcome::Undetected => {
                 panic!("crafted boundary schedule failed to expose the shrunken horizon")
+            }
+        }
+    }
+
+    #[test]
+    fn workload_families_differential_agrees() {
+        for (token, cfg) in workload_conformance_matrix(7) {
+            let summary = run_differential(&cfg, "lobster")
+                .unwrap_or_else(|d| panic!("workload {token}: {d}"));
+            assert!(summary.iterations > 0, "workload {token}");
+            assert!(summary.demand_accesses > 0, "workload {token}");
+        }
+    }
+
+    #[test]
+    fn canary_uniform_cost_is_detected_on_bimodal_config() {
+        let w = WorkloadSpec::default_for("bimodal", 192).unwrap();
+        let cfg = workload_conformance_config(&w, 7);
+        match run_canary(&cfg, "lobster", Mutation::UniformCost) {
+            CanaryOutcome::Detected(d) => {
+                // The wrong t_prep surfaces either directly in the pipeline
+                // timing or first through the spare-time prefetch budget it
+                // distorts.
+                assert!(
+                    d.observable == "pipe_s" || d.observable == "prefetched",
+                    "first effect should be timing or prefetch budget, got {d}"
+                );
+            }
+            CanaryOutcome::Undetected => {
+                panic!("harness missed the mean-collapsed preprocessing cost")
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_cost_is_equivalent_on_unit_cost_config() {
+        // Documents the canary's blind spot: on a unit-cost dataset the
+        // work/byte ratio is exactly 1.0, so the collapse is invisible —
+        // which is why the bimodal workload configuration exists.
+        let cfg = conformance_config(7);
+        match run_canary(&cfg, "lobster", Mutation::UniformCost) {
+            CanaryOutcome::Undetected => {}
+            CanaryOutcome::Detected(d) => {
+                panic!("uniform-cost visible on a unit-cost dataset: {d}")
             }
         }
     }

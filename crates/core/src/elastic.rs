@@ -143,6 +143,42 @@ impl ElasticParams {
     }
 }
 
+/// How the controller estimates per-sample preprocessing demand from the
+/// dataset (the `mean_sample_bytes` input of [`ElasticObservation`]).
+///
+/// The paper sizes the preprocessing side from the *mean* sample; under a
+/// bimodal fast/slow cost mixture the mean under-provisions — heavy
+/// batches routinely blow past `t_train` and stall the barrier while the
+/// average still looks fine. [`WorkEstimate::Quantile`] provisions for the
+/// chosen per-mille rank of the per-sample *work* distribution
+/// (`size · cost`, [`lobster_data::Dataset::work_quantile_bytes`]) so tail
+/// batches also hide under training. For unit-cost, near-uniform datasets
+/// the two collapse to the same value.
+///
+/// Like every controller input this is a pure function of the dataset, so
+/// the engine, the analytical executor, and the DES stay bit-equal.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorkEstimate {
+    /// Mean per-sample work bytes (the paper's policy).
+    #[default]
+    Mean,
+    /// The given per-mille rank of per-sample work bytes (e.g.
+    /// `Quantile(900)` = p90) — the cost-quantile extension.
+    Quantile(u32),
+}
+
+impl WorkEstimate {
+    /// The per-sample work estimate in bytes for `dataset`. For
+    /// [`WorkEstimate::Mean`] on a unit-cost dataset this is bit-identical
+    /// to `dataset.mean_sample_bytes()` (the pre-workload input).
+    pub fn per_sample_bytes(self, dataset: &lobster_data::Dataset) -> f64 {
+        match self {
+            WorkEstimate::Mean => dataset.mean_work_bytes(),
+            WorkEstimate::Quantile(q) => dataset.work_quantile_bytes(q),
+        }
+    }
+}
+
 /// Deterministic per-tick inputs. Every executor builds this through
 /// [`ElasticObservation::for_iteration`] so the f64 inputs are bit-equal
 /// across the engine, the analytical executor, and the DES.
@@ -630,5 +666,54 @@ mod tests {
         assert_eq!(throughput_factor(6, 6), 6.0);
         assert!(throughput_factor(10, 6) < 6.0);
         assert!(throughput_factor(64, 6) >= 3.0);
+    }
+
+    #[test]
+    fn mean_estimate_matches_the_legacy_input_bit_for_bit() {
+        use lobster_data::{Dataset, SizeDistribution};
+        let d = Dataset::generate("e", 100, SizeDistribution::Uniform { lo: 100, hi: 900 }, 3);
+        assert_eq!(
+            WorkEstimate::Mean.per_sample_bytes(&d).to_bits(),
+            d.mean_sample_bytes().to_bits()
+        );
+        // On near-uniform unit-cost data the quantile is close to the mean
+        // — the extension is a no-op where the paper's policy already wins.
+        let q = WorkEstimate::Quantile(900).per_sample_bytes(&d);
+        assert!((q / d.mean_sample_bytes() - 1.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn quantile_estimate_provisions_for_the_slow_mode() {
+        use lobster_data::{Dataset, SizeDistribution};
+        // 25% of samples cost 16×: the mean sees 4.75×, p90 sees the full
+        // 16× slow mode.
+        let mut costs = vec![1u32; 100];
+        for c in costs.iter_mut().take(25) {
+            *c = 16;
+        }
+        let d = Dataset::generate("q", 100, SizeDistribution::Constant { bytes: 1000 }, 0)
+            .with_costs(costs);
+        let mean = WorkEstimate::Mean.per_sample_bytes(&d);
+        let p90 = WorkEstimate::Quantile(900).per_sample_bytes(&d);
+        assert_eq!(mean, 4750.0);
+        assert_eq!(p90, 16_000.0);
+        // And the controller steers to more preprocessing threads under
+        // the quantile estimate for the same training budget.
+        let t_train = 0.8 * 16.0 * 16_000.0 * DEFAULT_UNIT_SECS * 16.0 / 6.0;
+        let settle_with = |per_sample: f64| -> u32 {
+            let mut ctl = ElasticController::new(ElasticParams::for_pool(12, 2), 1);
+            let mut preproc = 0;
+            for tick in 0..40 {
+                let o = ElasticObservation::for_iteration(tick, per_sample, 16, 16, t_train);
+                preproc = ctl.tick(&o).preproc_after;
+            }
+            preproc
+        };
+        assert!(
+            settle_with(p90) > settle_with(mean),
+            "p90 {} vs mean {} threads",
+            settle_with(p90),
+            settle_with(mean)
+        );
     }
 }

@@ -60,7 +60,7 @@ pub use algorithm1::{
 };
 pub use elastic::{
     knee_from_points, throughput_factor, ElasticController, ElasticDecision, ElasticObservation,
-    ElasticParams, Role,
+    ElasticParams, Role, WorkEstimate,
 };
 pub use model::{
     imbalance_gap_secs, load_time_secs, stage_gap_secs, ClusterSpec, ThreadAlloc, TierBreakdown,

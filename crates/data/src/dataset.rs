@@ -59,7 +59,8 @@ impl SizeDistribution {
     }
 }
 
-/// Static description of a dataset: how many samples and how big each one is.
+/// Static description of a dataset: how many samples, how big each one is,
+/// and (optionally) how expensive each one is to preprocess.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Dataset {
     /// Human-readable name used in reports ("imagenet-1k" etc.).
@@ -68,6 +69,14 @@ pub struct Dataset {
     sizes: Vec<u32>,
     /// Cached sum of `sizes`.
     total_bytes: u64,
+    /// Per-sample preprocessing cost multipliers, indexed by [`SampleId`].
+    /// `None` means every sample costs 1× (the classic vision workload);
+    /// serialized documents from before the workload layer deserialize to
+    /// that default (the stand-in serde maps an absent field to `None`).
+    costs: Option<Vec<u32>>,
+    /// Cached `Σ size_i · cost_i` ("work bytes"); `None` for unit-cost
+    /// datasets, where it equals `total_bytes` exactly.
+    total_work_bytes: Option<u64>,
 }
 
 impl Dataset {
@@ -90,7 +99,80 @@ impl Dataset {
             name: name.to_string(),
             sizes,
             total_bytes: total,
+            costs: None,
+            total_work_bytes: None,
         }
+    }
+
+    /// Attach per-sample preprocessing cost multipliers (one per sample,
+    /// clamped to ≥ 1). A sample of size `s` and cost `c` contributes
+    /// `s · c` "work bytes" to preprocessing while still moving `s` bytes
+    /// through storage and cache.
+    pub fn with_costs(mut self, costs: Vec<u32>) -> Dataset {
+        assert_eq!(
+            costs.len(),
+            self.sizes.len(),
+            "need exactly one cost per sample"
+        );
+        let costs: Vec<u32> = costs.into_iter().map(|c| c.max(1)).collect();
+        self.total_work_bytes = Some(
+            self.sizes
+                .iter()
+                .zip(&costs)
+                .map(|(&s, &c)| s as u64 * c as u64)
+                .sum(),
+        );
+        self.costs = Some(costs);
+        self
+    }
+
+    /// Whether any sample carries a non-unit preprocessing cost.
+    #[inline]
+    pub fn has_costs(&self) -> bool {
+        self.costs.is_some()
+    }
+
+    /// Preprocessing cost multiplier of sample `id` (1 for classic
+    /// unit-cost datasets).
+    #[inline]
+    pub fn cost_of(&self, id: SampleId) -> u32 {
+        match &self.costs {
+            None => 1,
+            Some(costs) => costs[id.index()],
+        }
+    }
+
+    /// Preprocessing work of sample `id` in byte-equivalents:
+    /// `size_i · cost_i`.
+    #[inline]
+    pub fn work_bytes_of(&self, id: SampleId) -> u64 {
+        self.size_of(id) * self.cost_of(id) as u64
+    }
+
+    /// Total preprocessing work `Σ size_i · cost_i`. Equals
+    /// [`total_bytes`](Dataset::total_bytes) for unit-cost datasets.
+    #[inline]
+    pub fn total_work_bytes(&self) -> u64 {
+        self.total_work_bytes.unwrap_or(self.total_bytes)
+    }
+
+    /// Mean per-sample preprocessing work in byte-equivalents. For a
+    /// unit-cost dataset this is exactly
+    /// [`mean_sample_bytes`](Dataset::mean_sample_bytes).
+    pub fn mean_work_bytes(&self) -> f64 {
+        self.total_work_bytes() as f64 / self.len() as f64
+    }
+
+    /// The `q`‰ (per-mille, nearest-rank) quantile of per-sample work
+    /// bytes. `work_quantile_bytes(500)` is the median; `(900)` is p90.
+    pub fn work_quantile_bytes(&self, q_permille: u32) -> f64 {
+        let mut work: Vec<u64> = (0..self.len() as u32)
+            .map(|i| self.work_bytes_of(SampleId(i)))
+            .collect();
+        work.sort_unstable();
+        let q = q_permille.min(1000) as usize;
+        let rank = (q * work.len()).div_ceil(1000).max(1) - 1;
+        work[rank.min(work.len() - 1)] as f64
     }
 
     /// Number of samples `|D|`.
@@ -222,6 +304,74 @@ mod tests {
         sizes.sort_unstable();
         let median = sizes[sizes.len() / 2];
         assert!((10_000..50_000).contains(&median), "median {median}");
+    }
+
+    #[test]
+    fn unit_cost_dataset_keeps_legacy_work_accounting() {
+        let d = Dataset::generate("c", 100, SizeDistribution::Constant { bytes: 1234 }, 0);
+        assert!(!d.has_costs());
+        assert_eq!(d.cost_of(SampleId(7)), 1);
+        assert_eq!(d.work_bytes_of(SampleId(7)), 1234);
+        assert_eq!(d.total_work_bytes(), d.total_bytes());
+        // Bit-identical, not just approximately equal: executors feed this
+        // straight into the elastic controller's memoized fit.
+        assert_eq!(
+            d.mean_work_bytes().to_bits(),
+            d.mean_sample_bytes().to_bits()
+        );
+    }
+
+    #[test]
+    fn costs_scale_work_but_not_storage_bytes() {
+        let d = Dataset::generate("c", 4, SizeDistribution::Constant { bytes: 100 }, 0)
+            .with_costs(vec![1, 1, 1, 17]);
+        assert!(d.has_costs());
+        assert_eq!(d.total_bytes(), 400, "storage bytes unchanged");
+        assert_eq!(d.total_work_bytes(), 300 + 1700);
+        assert_eq!(d.work_bytes_of(SampleId(3)), 1700);
+        assert_eq!(d.mean_work_bytes(), 500.0);
+    }
+
+    #[test]
+    fn costs_survive_serde_and_legacy_json_defaults_to_unit() {
+        let d = Dataset::generate("c", 3, SizeDistribution::Constant { bytes: 10 }, 0)
+            .with_costs(vec![2, 4, 8]);
+        let json = serde_json::to_string(&d).unwrap();
+        let back: Dataset = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.total_work_bytes(), d.total_work_bytes());
+        assert_eq!(back.cost_of(SampleId(2)), 8);
+
+        // A pre-cost document has no `costs` field at all.
+        let legacy = r#"{"name":"old","sizes":[5,6],"total_bytes":11}"#;
+        let old: Dataset = serde_json::from_str(legacy).unwrap();
+        assert!(!old.has_costs());
+        assert_eq!(old.total_work_bytes(), 11);
+    }
+
+    #[test]
+    fn work_quantile_is_nearest_rank() {
+        // 10 samples of size 100; one costs 50×.
+        let mut costs = vec![1u32; 10];
+        costs[4] = 50;
+        let d = Dataset::generate("q", 10, SizeDistribution::Constant { bytes: 100 }, 0)
+            .with_costs(costs);
+        assert_eq!(d.work_quantile_bytes(500), 100.0, "median is a fast sample");
+        assert_eq!(
+            d.work_quantile_bytes(900),
+            100.0,
+            "p90 rank 9/10 still fast"
+        );
+        assert_eq!(d.work_quantile_bytes(1000), 5000.0, "max is the slow one");
+        // Degenerate ranks clamp instead of panicking.
+        assert_eq!(d.work_quantile_bytes(0), 100.0);
+    }
+
+    #[test]
+    fn zero_costs_clamp_to_one() {
+        let d = Dataset::generate("z", 2, SizeDistribution::Constant { bytes: 10 }, 0)
+            .with_costs(vec![0, 3]);
+        assert_eq!(d.cost_of(SampleId(0)), 1);
+        assert_eq!(d.total_work_bytes(), 10 + 30);
     }
 
     #[test]

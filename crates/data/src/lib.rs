@@ -9,13 +9,19 @@
 //!   both NoPFS and Lobster exploit).
 //! * [`oracle`] — per-node reuse-distance / reuse-count oracle over a
 //!   sliding window of epochs (paper §4.4).
+//! * [`workload`] — the seeded workload scenario layer (DESIGN.md §15):
+//!   Zipf popularity, heavy-tailed sizes, bimodal preprocessing cost,
+//!   growing datasets, and per-node compute drift as pure functions of
+//!   `(seed, spec)`.
 
 pub mod dataset;
 pub mod oracle;
 pub mod partition;
 pub mod schedule;
+pub mod workload;
 
 pub use dataset::{imagenet_1k, imagenet_22k, Dataset, SampleId, SizeDistribution};
 pub use oracle::{FutureUse, NodeOracle};
 pub use partition::{generate_node_local, PartitionScheme};
 pub use schedule::{EpochSchedule, ScheduleSpec};
+pub use workload::{generate_access, AccessPattern, WorkloadFamily, WorkloadSpec};

@@ -14,7 +14,9 @@
 //!    present in the span.
 //! 2. **The live Eq.-3 gap** — `T_max − T_min` over the per-GPU effective
 //!    iteration times, with an EWMA trend so a transient blip is
-//!    distinguishable from a persistent imbalance.
+//!    distinguishable from a persistent imbalance, and a log-bucketed gap
+//!    histogram so skewed workloads (DESIGN.md §15) report the p50/p99
+//!    tail the mean gap alone would hide.
 //! 3. **Straggler detection** — a GPU whose share of the cluster's blamed
 //!    overage exceeds [`AnalysisConfig::straggler_share`] for
 //!    [`AnalysisConfig::straggler_consecutive`] consecutive iterations is
@@ -32,6 +34,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::decisions::{DecisionRecord, DecisionSource};
+use crate::histogram::LogHistogram;
 
 /// Where one GPU-iteration's wall time went.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -281,8 +284,19 @@ pub struct AnalysisReport {
     pub first_gap_s: f64,
     /// Final EWMA gap, seconds.
     pub ewma_gap_s: f64,
-    /// Mean gap over all iterations, seconds.
+    /// Mean gap over all iterations, seconds. On a skewed workload
+    /// (DESIGN.md §15) this hides the tail: a handful of giant-sample
+    /// iterations can carry the whole imbalance while the mean sits near
+    /// zero. Read it together with [`AnalysisReport::p99_gap_s`].
     pub mean_gap_s: f64,
+    /// Median per-iteration gap, seconds (from a log-bucketed histogram;
+    /// `None` when no iteration was observed or the report predates the
+    /// field).
+    pub p50_gap_s: Option<f64>,
+    /// 99th-percentile per-iteration gap, seconds — the tail the mean
+    /// hides under size- or cost-skewed workloads. Same provenance and
+    /// `None` semantics as [`AnalysisReport::p50_gap_s`].
+    pub p99_gap_s: Option<f64>,
     /// Largest single-iteration gap, seconds.
     pub max_gap_s: f64,
     pub episodes: Vec<StragglerEpisode>,
@@ -349,6 +363,9 @@ pub struct BottleneckAnalyzer {
     first_gap_s: Option<f64>,
     ewma_gap_s: Option<f64>,
     gap_sum_s: f64,
+    /// Per-iteration gaps in microseconds, log-bucketed, so the report can
+    /// answer "what is the *tail* gap" — the question the mean cannot.
+    gap_hist_us: LogHistogram,
     max_gap_s: f64,
     streak: Option<RunState>,
     episodes: Vec<StragglerEpisode>,
@@ -374,6 +391,7 @@ impl BottleneckAnalyzer {
             first_gap_s: None,
             ewma_gap_s: None,
             gap_sum_s: 0.0,
+            gap_hist_us: LogHistogram::new(),
             max_gap_s: 0.0,
             streak: None,
             episodes: Vec::new(),
@@ -451,6 +469,7 @@ impl BottleneckAnalyzer {
             self.first_gap_s = Some(gap);
         }
         self.gap_sum_s += gap;
+        self.gap_hist_us.record((gap * 1e6).round() as u64);
         self.max_gap_s = self.max_gap_s.max(gap);
         let alpha = self.cfg.ewma_alpha;
         self.ewma_gap_s = Some(match self.ewma_gap_s {
@@ -593,6 +612,8 @@ impl BottleneckAnalyzer {
             } else {
                 self.gap_sum_s / self.iterations as f64
             },
+            p50_gap_s: self.gap_hist_us.percentile(50.0).map(|us| us / 1e6),
+            p99_gap_s: self.gap_hist_us.percentile(99.0).map(|us| us / 1e6),
             max_gap_s: self.max_gap_s,
             episodes: self.episodes.clone(),
             solver: self.solver.clone(),
@@ -719,6 +740,67 @@ mod tests {
         let out = a.observe_iteration(1, &[sample(0, 0, 0.2, 0.1)]);
         assert_eq!(out.gap_s, 0.0, "one GPU has no imbalance gap");
         assert!(out.flagged.is_none());
+    }
+
+    #[test]
+    fn size_skew_trace_pins_p99_attribution() {
+        // 1000× size-skew regression (DESIGN.md §15 heavy-tail family):
+        // 196 of 200 iterations are balanced to within 100 µs, but every
+        // 50th draws one 1000×-sized sample whose PFS fetch opens a
+        // 100 ms gap on GPU (1, 0) — 2% tail mass, so nearest-rank p99
+        // lands inside the spikes. The mean gap averages the spikes away;
+        // the p99 must keep them, and the straggler attribution must blame
+        // the fetch tier, not preprocessing.
+        let mut a = BottleneckAnalyzer::default();
+        for i in 0..200u64 {
+            if i % 50 == 49 {
+                a.observe_iteration(i, &[sample(0, 0, 0.010, 0.0), sample(1, 0, 0.110, 0.1)]);
+            } else {
+                a.observe_iteration(i, &[sample(0, 0, 0.010, 0.0), sample(1, 0, 0.0101, 0.0001)]);
+            }
+        }
+        let r = a.report();
+        let p50 = r.p50_gap_s.expect("200 iterations recorded");
+        let p99 = r.p99_gap_s.expect("200 iterations recorded");
+        // p50 sits with the balanced iterations (~100 µs); p99 must reach
+        // the 100 ms spikes. Log buckets are power-of-two, so pin to the
+        // containing bucket, not the exact value.
+        assert!(p50 < 0.001, "p50 {p50}s must stay at the balanced floor");
+        assert!(
+            (0.05..=0.15).contains(&p99),
+            "p99 {p99}s must sit in the 100ms spike bucket"
+        );
+        // The mean hides the tail — that is the audit this test pins.
+        // (4 spikes of ~100 ms over 200 iterations put the mean near
+        // 2 ms, ~50× under the p99; pin with headroom for bucket edges.)
+        assert!(
+            r.mean_gap_s < p99 / 30.0,
+            "mean {} vs p99 {p99}: the spikes must dominate the tail, not the mean",
+            r.mean_gap_s
+        );
+        assert!((r.max_gap_s - 0.1).abs() < 1e-9);
+        // Attribution: the straggler is the GPU eating the giant sample,
+        // and the blame category is the PFS fetch that paid for its bytes.
+        assert_eq!(r.top_straggler(), Some((1, 0)));
+        assert_eq!(r.dominant_category(), Some(BlameCategory::PfsFetch));
+    }
+
+    #[test]
+    fn reports_without_gap_percentiles_still_parse() {
+        // Doctor traces recorded before the gap histogram existed carry no
+        // p50/p99 fields; they must deserialize to `None`, not error.
+        let mut a = BottleneckAnalyzer::default();
+        a.observe_iteration(0, &[sample(0, 0, 0.1, 0.0), sample(0, 1, 0.3, 0.2)]);
+        let r = a.report();
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("p99_gap_s"));
+        let legacy = json
+            .replace("\"p50_gap_s\":", "\"p50_gap_s_gone\":")
+            .replace("\"p99_gap_s\":", "\"p99_gap_s_gone\":");
+        let back: AnalysisReport = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back.p50_gap_s, None);
+        assert_eq!(back.p99_gap_s, None);
+        assert_eq!(back.iterations, r.iterations);
     }
 
     #[test]

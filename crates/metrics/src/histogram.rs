@@ -372,6 +372,35 @@ mod tests {
     }
 
     #[test]
+    fn thousand_fold_skew_keeps_p99_within_the_tail_bucket() {
+        // The DESIGN.md §15 heavy-tail audit at the histogram level: 990
+        // ordinary values around 100 and 10 outliers 1000× larger. The
+        // nearest-rank walk must land p99 in the outlier bucket, and the
+        // log-bucket midpoint must stay within one power of two of the
+        // true value — the resolution contract callers (the gap
+        // percentiles in [`crate::analysis`]) rely on.
+        let mut h = LogHistogram::new();
+        for _ in 0..980 {
+            h.record(100);
+        }
+        // 2% outliers: nearest-rank p99 (rank 990 of 1000) must land in
+        // the outlier bucket, not on the boundary.
+        for _ in 0..20 {
+            h.record(100_000);
+        }
+        let p50 = h.percentile(50.0).unwrap();
+        let p99 = h.percentile(99.0).unwrap();
+        assert_eq!(p50, 100.0, "p50 clamps to the ordinary mass");
+        assert!(
+            (50_000.0..=200_000.0).contains(&p99),
+            "p99 {p99} must be within 2× of the 100k outliers"
+        );
+        // And the mean sits far below the tail — the same blind spot the
+        // analyzer's mean_gap_s has, made visible here.
+        assert!(h.mean().unwrap() < p99 / 10.0);
+    }
+
+    #[test]
     fn saturated_histogram_percentiles_stay_in_range() {
         let mut h = LogHistogram::new();
         h.record_all([0, 0, 1, u64::MAX, u64::MAX]);

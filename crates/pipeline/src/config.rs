@@ -1,8 +1,8 @@
 //! Experiment configuration: everything needed to reproduce one evaluation
 //! run (cluster topology, storage model, dataset, DNN workload, seeds).
 
-use lobster_core::{ClusterSpec, ModelProfile, PreprocGovernor, PreprocModel};
-use lobster_data::{Dataset, PartitionScheme, ScheduleSpec};
+use lobster_core::{ClusterSpec, ModelProfile, PreprocGovernor, PreprocModel, WorkEstimate};
+use lobster_data::{AccessPattern, Dataset, PartitionScheme, ScheduleSpec};
 use lobster_storage::{CrashSpec, FaultConfigError, FaultSpec, SlowdownProfile, StorageModel};
 
 /// Elastic worker-pool rule for the simulators, mirroring the live
@@ -28,6 +28,10 @@ pub struct ElasticSimConfig {
     /// Freeze the controller at its initial split (the never-steal mutant
     /// and the static baseline in the elastic-vs-static experiment).
     pub frozen: bool,
+    /// Per-sample work estimate fed to the controller (mean, or a
+    /// quantile for heavy-tailed / bimodal preprocessing costs —
+    /// DESIGN.md §15).
+    pub estimate: WorkEstimate,
 }
 
 impl ElasticSimConfig {
@@ -41,6 +45,7 @@ impl ElasticSimConfig {
             work_factor_step: None,
             churn: false,
             frozen: false,
+            estimate: WorkEstimate::Mean,
         }
     }
 
@@ -96,6 +101,10 @@ pub struct ExperimentConfig {
     /// How epochs are partitioned across ranks (global shuffle — the
     /// paper's setting — or node-local shard shuffling).
     pub partition: PartitionScheme,
+    /// How the per-epoch sample order is drawn before partitioning
+    /// (epoch shuffle, Zipf-with-replacement, growing prefix —
+    /// DESIGN.md §15).
+    pub access: AccessPattern,
     /// Elastic worker-pool rule (None = the classic static/adaptive
     /// thread-count planning path).
     pub elastic: Option<ElasticSimConfig>,
@@ -179,6 +188,7 @@ pub struct ConfigBuilder {
     warnings: Vec<String>,
     kv_partitioned: bool,
     partition: PartitionScheme,
+    access: AccessPattern,
     elastic: Option<ElasticSimConfig>,
     crashes: Vec<CrashSpec>,
 }
@@ -201,6 +211,7 @@ impl ConfigBuilder {
             warnings: Vec::new(),
             kv_partitioned: false,
             partition: PartitionScheme::GlobalShuffle,
+            access: AccessPattern::EpochShuffle,
             elastic: None,
             crashes: Vec::new(),
         }
@@ -307,6 +318,12 @@ impl ConfigBuilder {
         self
     }
 
+    /// Choose the per-epoch access pattern (default: epoch shuffle).
+    pub fn access(mut self, pattern: AccessPattern) -> Self {
+        self.access = pattern;
+        self
+    }
+
     /// Enable the elastic worker-pool rule (None = classic planning path).
     pub fn elastic(mut self, e: ElasticSimConfig) -> Self {
         self.elastic = Some(e);
@@ -375,6 +392,7 @@ impl ConfigBuilder {
             config_warnings: self.warnings,
             kv_partitioned: self.kv_partitioned,
             partition: self.partition,
+            access: self.access,
             elastic: self.elastic,
             crashes: self.crashes,
         }

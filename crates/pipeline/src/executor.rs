@@ -29,7 +29,7 @@ use lobster_core::elastic::{ElasticController, ElasticObservation, ElasticParams
 use lobster_core::model::load_time_parts;
 use lobster_core::{
     CachingStrategy, EvictReport, LoaderPolicy, NodePlan, PlanContext, PreprocGovernor,
-    ReuseAwareEvictor, ThreadAlloc, TierBreakdown,
+    ReuseAwareEvictor, ThreadAlloc, TierBreakdown, WorkEstimate,
 };
 use lobster_data::{EpochSchedule, NodeOracle, SampleId};
 use lobster_metrics::{DecisionRecord, DecisionSource, Instruments, Summary, TraceEvent};
@@ -444,7 +444,13 @@ impl ClusterSim {
         let mean_bytes = self.cfg.dataset.mean_sample_bytes() as u64;
         let elastic_cfg = self.cfg.elastic;
         let elastic_batch_samples = (gpus * self.cfg.cluster.batch_size) as u64;
-        let mean_sample_f = self.cfg.dataset.mean_sample_bytes();
+        // The controller's per-sample work input: mean work bytes (bit-equal
+        // to `mean_sample_bytes` on unit-cost datasets) or a configured
+        // quantile for heavy-tailed / bimodal preprocessing costs.
+        let mean_sample_f = elastic_cfg
+            .as_ref()
+            .map_or(WorkEstimate::Mean, |e| e.estimate)
+            .per_sample_bytes(&self.cfg.dataset);
 
         let ins = self.instruments.clone();
         // Surface builder-repaired configuration (clamped slowdown factors
@@ -476,9 +482,10 @@ impl ClusterSim {
 
         for epoch in 0..self.cfg.epochs {
             let sched = next_schedule.take().unwrap_or_else(|| {
-                lobster_data::partition::generate(spec, epoch, self.cfg.partition)
+                lobster_data::generate_access(spec, epoch, self.cfg.partition, self.cfg.access)
             });
-            let upcoming = lobster_data::partition::generate(spec, epoch + 1, self.cfg.partition);
+            let upcoming =
+                lobster_data::generate_access(spec, epoch + 1, self.cfg.partition, self.cfg.access);
             if strategy.uses_oracle() {
                 for node in 0..nodes {
                     self.oracles[node] = Some(NodeOracle::build(
@@ -548,7 +555,10 @@ impl ClusterSim {
 
                 // Pass 1: tier splits for every GPU, before any mutation.
                 // A dead node's rows stay all-zero; its batches are fostered
-                // onto survivors below.
+                // onto survivors below. `work_units` accumulates per-node
+                // preprocessing work (size × cost; == storage bytes on
+                // unit-cost datasets) in the same walk, feeding `t_prep`.
+                let mut work_units = vec![0u64; nodes];
                 let mut splits: Vec<Vec<TierBreakdown>> = Vec::with_capacity(nodes);
                 for node in 0..nodes {
                     let mut per_gpu = Vec::with_capacity(gpus);
@@ -557,6 +567,7 @@ impl ClusterSim {
                         if down & (1u64 << node) == 0 {
                             for &s in sched.batch(h, node, gpu) {
                                 split.add(self.classify(node, s), self.cfg.dataset.size_of(s));
+                                work_units[node] += self.cfg.dataset.work_bytes_of(s);
                             }
                         }
                         per_gpu.push(split);
@@ -588,6 +599,7 @@ impl ClusterSim {
                             let mut foster = TierBreakdown::default();
                             for &s in sched.batch(h, d, gpu) {
                                 foster.add(self.classify(host, s), self.cfg.dataset.size_of(s));
+                                work_units[host] += self.cfg.dataset.work_bytes_of(s);
                             }
                             hits.0 += foster.local_count;
                             hits.1 += foster.remote_count;
@@ -729,8 +741,11 @@ impl ClusterSim {
 
                     // Ground-truth preprocessing time for the node's batches
                     // with the planned threads (shared stage: every GPU's
-                    // batch streams through together).
-                    let node_bytes: f64 = splits[node].iter().map(TierBreakdown::total_bytes).sum();
+                    // batch streams through together). Work units are
+                    // size × per-sample cost; every term is an exact f64
+                    // integer, so on unit-cost datasets this equals the old
+                    // sum of `TierBreakdown::total_bytes` bit for bit.
+                    let node_work = work_units[node] as f64;
                     // In elastic mode the preprocessing work factor scales
                     // the bytes through the cost model (wf = 1 is exact
                     // identity, so the classic path is untouched).
@@ -738,7 +753,7 @@ impl ClusterSim {
                     let t_prep = self
                         .cfg
                         .preproc
-                        .batch_secs(node_bytes * elastic_wf as f64, plan.preproc_threads);
+                        .batch_secs(node_work * elastic_wf as f64, plan.preproc_threads);
 
                     // Intra-node overcommit: the per-GPU model (Eq. 1)
                     // assumes each GPU's threads get the full tier curve,

@@ -43,6 +43,7 @@ fn step_cfg(frozen: bool) -> ElasticSimConfig {
         work_factor_step: Some((12, 8)),
         churn: false,
         frozen,
+        estimate: lobster_core::WorkEstimate::Mean,
     }
 }
 

@@ -28,7 +28,10 @@ use crossbeam::channel::{bounded, unbounded, Receiver, SendTimeoutError, Sender,
 use lobster_core::elastic::{
     ElasticController, ElasticDecision, ElasticObservation, ElasticParams,
 };
-use lobster_data::{Dataset, EpochSchedule, SampleId, ScheduleSpec};
+use lobster_core::WorkEstimate;
+use lobster_data::{
+    generate_access, AccessPattern, Dataset, EpochSchedule, PartitionScheme, SampleId, ScheduleSpec,
+};
 use lobster_metrics::{
     DecisionRecord, DecisionSource, FlightEvent, FlightFault, FlightTier, Instruments, TraceEvent,
 };
@@ -89,6 +92,14 @@ pub struct EngineConfig {
     /// grammar). Empty means no SLO evaluation; verdicts land in
     /// [`EngineReport::slo_verdicts`]. Requires enabled instruments.
     pub slo: Vec<lobster_metrics::SloSpec>,
+    /// How the per-epoch sample order is drawn (epoch shuffle,
+    /// Zipf-with-replacement, growing prefix — DESIGN.md §15). The feeder,
+    /// the integrity fingerprint, and the conformance delivery check all
+    /// derive from the same pattern.
+    pub access: AccessPattern,
+    /// Per-sample work estimate fed to the elastic controller (mean or a
+    /// quantile of `size · cost` — DESIGN.md §15).
+    pub work_estimate: WorkEstimate,
 }
 
 impl EngineConfig {
@@ -123,6 +134,8 @@ impl Default for EngineConfig {
             crashes: Vec::new(),
             peer_nodes: 0,
             slo: Vec::new(),
+            access: AccessPattern::EpochShuffle,
+            work_estimate: WorkEstimate::Mean,
         }
     }
 }
@@ -441,13 +454,21 @@ pub fn expected_integrity(dataset: &Dataset, cfg: &EngineConfig) -> u64 {
     let spec = schedule_spec(dataset, cfg);
     let mut acc = 0u64;
     for epoch in 0..cfg.epochs {
-        let sched = EpochSchedule::generate(spec, epoch);
+        let sched = engine_schedule(spec, epoch, cfg);
         for &s in sched.all_accesses() {
             let bytes = crate::store::sample_bytes(s, dataset.size_of(s) as usize);
             acc ^= sample_checksum(&bytes);
         }
     }
     acc
+}
+
+/// The exact epoch schedule the engine's feeder walks: the configured
+/// access pattern applied to the engine's single-node spec. Public so
+/// external checkers (conformance delivery, integrity) regenerate the same
+/// batches the feeder sent.
+pub fn engine_schedule(spec: ScheduleSpec, epoch: u64, cfg: &EngineConfig) -> EpochSchedule {
+    generate_access(spec, epoch, PartitionScheme::GlobalShuffle, cfg.access)
 }
 
 /// The schedule the engine executes: one "node", one queue per consumer.
@@ -571,7 +592,15 @@ pub fn run_with(store: Arc<SyntheticStore>, cfg: EngineConfig, ins: Instruments)
         Arc::new(parking_lot::Mutex::new(Vec::new()));
     let preproc_g = ins.gauge("engine.preproc_workers");
     let loader_g = ins.gauge("engine.loader_workers");
-    let mean_sample_bytes = store.dataset().mean_sample_bytes();
+    let mean_sample_bytes = cfg.work_estimate.per_sample_bytes(store.dataset());
+    // Per-sample preprocessing cost multipliers (unit on classic datasets),
+    // shared with every transform site so the live engine spends the same
+    // work the simulators account for.
+    let sample_costs: Arc<Vec<u32>> = Arc::new(
+        (0..store.dataset().len())
+            .map(|i| store.dataset().cost_of(SampleId(i as u32)))
+            .collect(),
+    );
     let batch_samples = (cfg.consumers * cfg.batch_size) as u64;
     let mut elastic_ctl = if cfg.elastic {
         let mut params = ElasticParams::for_pool(pool as u32, cfg.consumers as u32);
@@ -628,7 +657,7 @@ pub fn run_with(store: Arc<SyntheticStore>, cfg: EngineConfig, ins: Instruments)
             scope.spawn(move |_| {
                 let mut sent = vec![0u64; cfg.consumers];
                 for epoch in 0..cfg.epochs {
-                    let sched = EpochSchedule::generate(spec, epoch);
+                    let sched = engine_schedule(spec, epoch, &cfg);
                     for h in 0..iters_per_epoch {
                         let iter = epoch * iters_per_epoch as u64 + h as u64;
                         for consumer in 0..cfg.consumers {
@@ -699,6 +728,7 @@ pub fn run_with(store: Arc<SyntheticStore>, cfg: EngineConfig, ins: Instruments)
                 let feed_done = Arc::clone(&feed_done);
                 let done = Arc::clone(&done);
                 let cfg2 = cfg.clone();
+                let sample_costs = Arc::clone(&sample_costs);
                 let ins = ins.clone();
                 let fetches_m = fetches_m.clone();
                 let panics_m = panics_m.clone();
@@ -785,8 +815,11 @@ pub fn run_with(store: Arc<SyntheticStore>, cfg: EngineConfig, ins: Instruments)
                                 Ok(raw) => {
                                     let ts_us = ins.now_us();
                                     let t0 = Instant::now();
-                                    let cooked =
-                                        preprocess(&raw.bytes, cfg2.work_factor_at(raw.req.iter));
+                                    let cooked = preprocess(
+                                        &raw.bytes,
+                                        cfg2.work_factor_at(raw.req.iter)
+                                            .saturating_mul(sample_costs[raw.req.sample.index()]),
+                                    );
                                     ins.trace(|| {
                                         TraceEvent::span(
                                             "preprocess",
@@ -898,13 +931,18 @@ pub fn run_with(store: Arc<SyntheticStore>, cfg: EngineConfig, ins: Instruments)
                 let raw_rx = raw_rx.clone();
                 let cooked_tx = cooked_tx.clone();
                 let cfg2 = cfg.clone();
+                let sample_costs = Arc::clone(&sample_costs);
                 let stage_accum = Arc::clone(&stage_accum);
                 let ins = ins.clone();
                 scope.spawn(move |_| {
                     for raw in raw_rx.iter() {
                         let ts_us = ins.now_us();
                         let t0 = Instant::now();
-                        let cooked = preprocess(&raw.bytes, cfg2.work_factor_at(raw.req.iter));
+                        let cooked = preprocess(
+                            &raw.bytes,
+                            cfg2.work_factor_at(raw.req.iter)
+                                .saturating_mul(sample_costs[raw.req.sample.index()]),
+                        );
                         ins.trace(|| {
                             TraceEvent::span("preprocess", "compute", ts_us, ins.now_us() - ts_us)
                                 .tid(p as u32)
@@ -1023,6 +1061,7 @@ pub fn run_with(store: Arc<SyntheticStore>, cfg: EngineConfig, ins: Instruments)
             let decisions_m = decisions_m.clone();
             let cache = Arc::clone(&cache);
             let rstore = Arc::clone(&rstore);
+            let sample_costs = Arc::clone(&sample_costs);
             let evictions_m = ins.counter("engine.cache_evictions");
             scope.spawn(move |_| {
                 // Samples may arrive slightly out of iteration order when
@@ -1092,7 +1131,11 @@ pub fn run_with(store: Arc<SyntheticStore>, cfg: EngineConfig, ins: Instruments)
                     // End-to-end integrity: un-mix and fingerprint.
                     let mut acc = 0u64;
                     for c in &have {
-                        let original = invert(&c.bytes, cfg2.work_factor_at(iter));
+                        let original = invert(
+                            &c.bytes,
+                            cfg2.work_factor_at(iter)
+                                .saturating_mul(sample_costs[c.sample.index()]),
+                        );
                         acc ^= sample_checksum(&original);
                     }
                     let mut ids: Vec<u64> = have.iter().map(|c| c.sample.0 as u64).collect();

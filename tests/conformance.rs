@@ -18,7 +18,8 @@ use lobster_repro::cache::{Directory, EvictOrder, NodeCache};
 use lobster_repro::conformance::{
     check_engine_delivery, check_sweep, conformance_config, crash_conformance_config,
     elastic_conformance_config, engine_epoch_multisets, horizon_boundary_fixture, naive_next_use,
-    run_boundary_canary, run_canary, run_differential, CanaryOutcome, Mutation,
+    run_boundary_canary, run_canary, run_differential, workload_conformance_config, CanaryOutcome,
+    Mutation,
 };
 use lobster_repro::core::{policy_by_name, EvictCause, ModelProfile, ReuseAwareEvictor};
 use lobster_repro::data::{
@@ -226,6 +227,7 @@ fn role_flip_sequences_agree_across_all_three_executors() {
                 work_factor_step: Some((12, 8)),
                 churn: false,
                 frozen: false,
+                estimate: lobster_core::WorkEstimate::Mean,
             })
             .build();
         run_differential(&sim_cfg, "lobster")
@@ -398,6 +400,13 @@ fn every_mutation_canary_is_detected() {
             // Ignores the crash schedule: only observable on a config
             // that has one to ignore.
             let cfg = crash_conformance_config(11);
+            run_canary(&cfg, "lobster", m)
+        } else if m == Mutation::UniformCost {
+            // Collapses per-sample cost to the mean: only observable on
+            // a workload whose costs actually vary (DESIGN.md §15).
+            let bimodal = lobster_repro::data::WorkloadSpec::default_for("bimodal", 192)
+                .expect("bimodal is a known workload family");
+            let cfg = workload_conformance_config(&bimodal, 11);
             run_canary(&cfg, "lobster", m)
         } else {
             let cfg = conformance_config(11);
